@@ -1,0 +1,67 @@
+//! Component bench: BPC codec throughput on representative sector
+//! contents — the (de)compression engines Avatar adds to each memory
+//! controller must keep up with channel bandwidth, so codec cost matters.
+
+use avatar_bpc::{compress, decompress, embed_sector, inspect, PageInfo, Permissions};
+use avatar_workloads::Workload;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn sectors_of(abbr: &str, n: u64) -> Vec<[u8; 32]> {
+    let w = Workload::by_abbr(abbr).expect("workload");
+    let c = w.content();
+    (0..n).map(|i| c.bytes(i * 31)).collect()
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bpc_compress");
+    for abbr in ["GEMM", "SSSP", "SC", "XSB"] {
+        let sectors = sectors_of(abbr, 256);
+        g.bench_function(abbr, |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % sectors.len();
+                black_box(compress(&sectors[i]))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let sectors = sectors_of("GEMM", 256);
+    let compressed: Vec<_> = sectors.iter().map(compress).collect();
+    c.bench_function("bpc_decompress", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % compressed.len();
+            black_box(decompress(&compressed[i]))
+        })
+    });
+}
+
+fn bench_embed_inspect(c: &mut Criterion) {
+    let sectors = sectors_of("SSSP", 256);
+    let info = PageInfo::new(0xABCD, Permissions::READ_WRITE, 1);
+    c.bench_function("cava_embed", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % sectors.len();
+            black_box(embed_sector(&sectors[i], info))
+        })
+    });
+    let stored: Vec<_> = sectors.iter().map(|s| embed_sector(s, info)).collect();
+    c.bench_function("cava_inspect", |b| {
+        b.iter_batched(
+            || 0usize,
+            |mut i| {
+                i = (i + 1) % stored.len();
+                black_box(inspect(stored[i].bytes()))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_compress, bench_roundtrip, bench_embed_inspect);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Component bench: the simulator's hot structures — TLB models, the
+//! sectored cache directory, the DRAM timing model, and the page-walk
+//! system. These dominate whole-run simulation time.
+
+use avatar_baselines::{ColtTlb, SnakeByteTlb};
+use avatar_sim::addr::{PhysAddr, Ppn, Vpn};
+use avatar_sim::cache::{SectorCache, SectorFlags};
+use avatar_sim::config::GpuConfig;
+use avatar_sim::dram::{Dram, DramOp};
+use avatar_sim::page_table::PageTable;
+use avatar_sim::tlb::{BaseTlb, TlbFill, TlbModel};
+use avatar_sim::walker::PageWalkSystem;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_tlbs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tlb_lookup");
+    let fills: Vec<TlbFill> = (0..1024)
+        .map(|i| TlbFill { vpn: Vpn(i * 3), ppn: Ppn(i * 3 + 512), pages: 1, run: None })
+        .collect();
+
+    let mut base = BaseTlb::new(1024, 128, 8, 1);
+    let mut colt = ColtTlb::new(1024, 128, 8);
+    let mut snake = SnakeByteTlb::new(1152);
+    for f in &fills {
+        base.fill(f);
+        colt.fill(f);
+        snake.fill(f);
+    }
+    let mut v = 0u64;
+    g.bench_function("base", |b| {
+        b.iter(|| {
+            v = (v + 7) % 3072;
+            black_box(base.lookup(Vpn(v)))
+        })
+    });
+    g.bench_function("colt", |b| {
+        b.iter(|| {
+            v = (v + 7) % 3072;
+            black_box(colt.lookup(Vpn(v)))
+        })
+    });
+    g.bench_function("snakebyte", |b| {
+        b.iter(|| {
+            v = (v + 7) % 3072;
+            black_box(snake.lookup(Vpn(v)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    let mut cache = SectorCache::new(cfg.l2_cache.lines(), cfg.l2_cache.assoc);
+    let flags = SectorFlags { valid: true, compressed: false, guaranteed: true, dirty: false };
+    for i in 0..32_768u64 {
+        cache.fill(PhysAddr(i * 128), flags);
+    }
+    let mut a = 0u64;
+    c.bench_function("l2_cache_probe", |b| {
+        b.iter(|| {
+            a = (a + 131) % 65_536;
+            black_box(cache.probe(PhysAddr(a * 128)))
+        })
+    });
+    c.bench_function("l2_cache_fill", |b| {
+        b.iter(|| {
+            a = (a + 131) % 131_072;
+            black_box(cache.fill(PhysAddr(a * 128), flags))
+        })
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut dram = Dram::new(GpuConfig::default().dram);
+    let mut t = 0u64;
+    let mut a = 0u64;
+    c.bench_function("dram_access", |b| {
+        b.iter(|| {
+            a = a.wrapping_add(0x1243) & 0xFF_FFFF;
+            t += 1;
+            black_box(dram.access(PhysAddr(a * 32), DramOp::Read, t, 32))
+        })
+    });
+}
+
+fn bench_walks(c: &mut Criterion) {
+    let mut pt = PageTable::new();
+    for i in 0..4096u64 {
+        pt.map_page(Vpn(i), Ppn(i + 512));
+    }
+    c.bench_function("page_walk_dispatch_step", |b| {
+        let mut ws = PageWalkSystem::new(GpuConfig::default().walker);
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 1) % 4096;
+            let id = ws.enqueue(Vpn(v), pt.walk_levels(Vpn(v)), 0).expect("buffer space");
+            ws.dispatch().expect("walker free");
+            while let avatar_sim::walker::WalkProgress::Access(_) =
+                ws.step(id).expect("live")
+            {}
+        })
+    });
+}
+
+criterion_group!(benches, bench_tlbs, bench_cache, bench_dram, bench_walks);
+criterion_main!(benches);

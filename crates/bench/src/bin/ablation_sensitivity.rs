@@ -1,0 +1,118 @@
+//! Ablation and sensitivity studies for Avatar's design choices (beyond
+//! the paper's figures): EAF on/off, MOD sizing, confidence threshold,
+//! CAVA decompression latency, and the §III-D VIPT/PIPT cache arrangement.
+//!
+//! `--abbr <ABBR>` selects the workload (default SSSP).
+
+use avatar_bench::{print_table, HarnessOpts};
+use avatar_core::system::{run, run_with, speedup, SystemConfig};
+use avatar_sim::config::CacheArrangement;
+use avatar_workloads::Workload;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    study: String,
+    variant: String,
+    speedup: f64,
+    accuracy: f64,
+    coverage: f64,
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let abbr = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--abbr")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "SSSP".to_string());
+    let w = Workload::by_abbr(&abbr).unwrap_or_else(|| {
+        eprintln!("unknown workload {abbr}");
+        std::process::exit(1);
+    });
+    let ro = opts.run_options();
+    let base = run(&w, SystemConfig::Baseline, &ro);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json: Vec<Row> = Vec::new();
+    fn record(
+        rows: &mut Vec<Vec<String>>,
+        json: &mut Vec<Row>,
+        study: &str,
+        variant: &str,
+        x: f64,
+        s: &avatar_sim::Stats,
+        starred: bool,
+    ) {
+        let row = Row {
+            study: study.to_string(),
+            variant: variant.to_string(),
+            speedup: x,
+            accuracy: s.spec_accuracy(),
+            coverage: s.spec_coverage(),
+        };
+        rows.push(vec![
+            row.study.clone(),
+            row.variant.clone(),
+            format!("{:.3}{}", row.speedup, if starred { "*" } else { "" }),
+            format!("{:.1}%", row.accuracy * 100.0),
+            format!("{:.1}%", row.coverage * 100.0),
+        ]);
+        json.push(row);
+    }
+
+    // 1) Component ablation.
+    for (variant, cfg) in [
+        ("CAST only", SystemConfig::CastOnly),
+        ("CAST+CAVA (no EAF)", SystemConfig::AvatarNoEaf),
+        ("full Avatar", SystemConfig::Avatar),
+    ] {
+        let s = run(&w, cfg, &ro);
+        record(&mut rows, &mut json, "components", variant, speedup(&base, &s), &s, false);
+        eprintln!("components/{variant} done");
+    }
+
+    // 2) MOD capacity sweep (paper fixes 32).
+    for entries in [4usize, 8, 16, 32, 64] {
+        let s = run_with(&w, SystemConfig::Avatar, &ro, |c| c.spec.mod_entries = entries);
+        record(&mut rows, &mut json, "mod-entries", &entries.to_string(), speedup(&base, &s), &s, false);
+        eprintln!("mod-entries/{entries} done");
+    }
+
+    // 3) Confidence threshold sweep (paper fixes 2).
+    for threshold in [1u8, 2, 3] {
+        let s = run_with(&w, SystemConfig::Avatar, &ro, |c| c.spec.confidence_threshold = threshold);
+        record(&mut rows, &mut json, "threshold", &threshold.to_string(), speedup(&base, &s), &s, false);
+        eprintln!("threshold/{threshold} done");
+    }
+
+    // 4) Decompression latency sweep (paper assumes 7 cycles).
+    for lat in [0u64, 7, 14, 28] {
+        let s = run_with(&w, SystemConfig::Avatar, &ro, |c| c.spec.decompression_latency = lat);
+        record(&mut rows, &mut json, "decomp-latency", &lat.to_string(), speedup(&base, &s), &s, false);
+        eprintln!("decomp/{lat} done");
+    }
+
+    // 5) Access-counter migration threshold (§III-D): cold pages are
+    //    served remotely until they prove hot; MOD only trains on
+    //    GPU-mapped regions.
+    for threshold in [1u32, 2, 4] {
+        let s = run_with(&w, SystemConfig::Avatar, &ro, |c| c.uvm.migration_threshold = threshold);
+        record(&mut rows, &mut json, "migrate-threshold", &threshold.to_string(), speedup(&base, &s), &s, false);
+        eprintln!("migrate-threshold/{threshold} done");
+    }
+
+    // 6) Cache arrangement (§III-D): Avatar works under VIPT and PIPT.
+    for (name, arr) in [("VIPT", CacheArrangement::Vipt), ("PIPT", CacheArrangement::Pipt)] {
+        let s = run_with(&w, SystemConfig::Avatar, &ro, |c| c.l1_arrangement = arr);
+        let b = run_with(&w, SystemConfig::Baseline, &ro, |c| c.l1_arrangement = arr);
+        let rel = b.cycles as f64 / s.cycles as f64;
+        record(&mut rows, &mut json, "l1-arrangement", name, rel, &s, true);
+        eprintln!("arrangement/{name} done");
+    }
+
+    println!("\nAblation & sensitivity: {} (speedup vs baseline; * = vs same-arrangement baseline)", w.abbr);
+    print_table(&["Study", "Variant", "Speedup", "Accuracy", "Coverage"], &rows);
+    opts.dump_json(&json);
+}

@@ -1,0 +1,66 @@
+//! Fig 15: overall performance of the evaluated configurations,
+//! normalized to the baseline.
+//!
+//! Paper headline: Avatar +37.2% on average; CAST-only +29.1%;
+//! Avatar beats Promotion by 14.9%, CoLT by 10.1%, SnakeByte by 16.3%;
+//! CAST+Ideal-Valid exceeds Avatar by 5.8%.
+
+use avatar_bench::{geomean, print_table, HarnessOpts};
+use avatar_core::system::{run, speedup, SystemConfig};
+use avatar_workloads::Workload;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    class: String,
+    speedups: Vec<(String, f64)>,
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let ro = opts.run_options();
+    let configs = SystemConfig::FIG15;
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+
+    for w in Workload::all() {
+        let base = run(&w, SystemConfig::Baseline, &ro);
+        let mut cells = vec![w.abbr.to_string(), format!("{:?}", w.class)];
+        let mut speedups = Vec::new();
+        for (i, cfg) in configs.iter().enumerate() {
+            let s = run(&w, *cfg, &ro);
+            let x = speedup(&base, &s);
+            per_config[i].push(x);
+            cells.push(format!("{x:.3}"));
+            speedups.push((cfg.label().to_string(), x));
+        }
+        eprintln!("done {}", w.abbr);
+        json_rows.push(Row {
+            workload: w.abbr.to_string(),
+            class: format!("{:?}", w.class),
+            speedups,
+        });
+        rows.push(cells);
+    }
+
+    let mut gmean_cells = vec!["GMEAN".to_string(), "-".to_string()];
+    for xs in &per_config {
+        gmean_cells.push(format!("{:.3}", geomean(xs)));
+    }
+    rows.push(gmean_cells);
+
+    let mut headers = vec!["Workload", "Class"];
+    headers.extend(configs.iter().map(|c| c.label()));
+    println!("\nFig 15: speedup over baseline (scale {}, {} SMs x {} warps)", opts.scale, opts.sms, opts.warps);
+    print_table(&headers, &rows);
+
+    let avatar_idx = configs.iter().position(|c| *c == SystemConfig::Avatar).expect("Avatar in set");
+    println!(
+        "\npaper: Avatar 1.372x (avg) | measured GMEAN Avatar {:.3}x",
+        geomean(&per_config[avatar_idx])
+    );
+    opts.dump_json(&json_rows);
+}

@@ -1,0 +1,64 @@
+//! Fig 16: fraction of memory-access results that received (accurate)
+//! speculation in Avatar.
+//!
+//! Paper averages: L1D_hit + L1D_merge ≈ 59.0%, Fast_Translation ≈ 38.6%,
+//! L1D_miss ≈ 2.3%.
+
+use avatar_bench::{mean, print_table, HarnessOpts};
+use avatar_core::system::{run, SystemConfig};
+use avatar_workloads::Workload;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    fast_translation: f64,
+    l1d_hit: f64,
+    l1d_merge: f64,
+    l1d_miss: f64,
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let ro = opts.run_options();
+
+    let mut rows = Vec::new();
+    let mut json_rows: Vec<Row> = Vec::new();
+
+    for w in Workload::all() {
+        let s = run(&w, SystemConfig::Avatar, &ro);
+        let o = &s.outcomes;
+        let row = Row {
+            workload: w.abbr.to_string(),
+            fast_translation: o.fraction(o.fast_translation),
+            l1d_hit: o.fraction(o.l1d_hit),
+            l1d_merge: o.fraction(o.l1d_merge),
+            l1d_miss: o.fraction(o.l1d_miss),
+        };
+        eprintln!("done {}", w.abbr);
+        rows.push(vec![
+            row.workload.clone(),
+            format!("{:.1}%", row.fast_translation * 100.0),
+            format!("{:.1}%", row.l1d_hit * 100.0),
+            format!("{:.1}%", row.l1d_merge * 100.0),
+            format!("{:.1}%", row.l1d_miss * 100.0),
+        ]);
+        json_rows.push(row);
+    }
+
+    let avg = |f: fn(&Row) -> f64| mean(&json_rows.iter().map(f).collect::<Vec<_>>());
+    rows.push(vec![
+        "AVG".into(),
+        format!("{:.1}%", avg(|r| r.fast_translation) * 100.0),
+        format!("{:.1}%", avg(|r| r.l1d_hit) * 100.0),
+        format!("{:.1}%", avg(|r| r.l1d_merge) * 100.0),
+        format!("{:.1}%", avg(|r| r.l1d_miss) * 100.0),
+    ]);
+
+    println!("\nFig 16: speculation outcome fractions (Avatar)");
+    print_table(&["Workload", "Fast_Translation", "L1D_hit", "L1D_merge", "L1D_miss"], &rows);
+    println!(
+        "\npaper averages: Fast_Translation 38.6%, L1D_hit+L1D_merge 59.0%, L1D_miss 2.3%"
+    );
+    opts.dump_json(&json_rows);
+}

@@ -1,0 +1,73 @@
+//! Fig 20: average memory access latency per configuration, (a) without
+//! and (b) with 130% memory oversubscription, on the class-H workloads.
+//!
+//! Paper: Promotion and CoLT reduce latency by easing TLB pressure;
+//! SnakeByte pays for recursive merging; Avatar's immediate (speculative)
+//! translation gives the lowest latency, and its advantage grows under
+//! oversubscription.
+
+use avatar_bench::{mean, print_table, HarnessOpts};
+use avatar_core::system::{run, RunOptions, SystemConfig};
+use avatar_workloads::{Class, Workload};
+use serde::Serialize;
+
+const CONFIGS: [SystemConfig; 5] = [
+    SystemConfig::Baseline,
+    SystemConfig::Promotion,
+    SystemConfig::Colt,
+    SystemConfig::SnakeByte,
+    SystemConfig::Avatar,
+];
+
+#[derive(Serialize)]
+struct Row {
+    scenario: String,
+    latencies: Vec<(String, f64)>,
+}
+
+/// (mean, p99) per configuration, averaged over the class-H workloads.
+fn scenario(ro: &RunOptions) -> Vec<(f64, f64)> {
+    let mut per_config = vec![(Vec::new(), Vec::new()); CONFIGS.len()];
+    for w in Workload::all().into_iter().filter(|w| w.class == Class::H) {
+        for (i, cfg) in CONFIGS.iter().enumerate() {
+            let s = run(&w, *cfg, ro);
+            per_config[i].0.push(s.sector_latency.value());
+            per_config[i].1.push(s.sector_latency_hist.percentile(0.99) as f64);
+        }
+        eprintln!("done {}", w.abbr);
+    }
+    per_config.iter().map(|(m, p)| (mean(m), mean(p))).collect()
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let normal = scenario(&opts.run_options());
+    let oversub = scenario(&RunOptions { oversubscription: Some(1.3), ..opts.run_options() });
+
+    let mut rows = Vec::new();
+    for (label, data) in [("(a) no oversubscription", &normal), ("(b) 130% oversubscription", &oversub)]
+    {
+        let mut cells = vec![label.to_string()];
+        cells.extend(data.iter().map(|(m, p)| format!("{m:.0} (p99 {p:.0})")));
+        rows.push(cells);
+    }
+
+    let mut headers = vec!["Scenario"];
+    headers.extend(CONFIGS.iter().map(|c| c.label()));
+    println!("\nFig 20: mean memory access latency, class-H workloads (cycles)");
+    print_table(&headers, &rows);
+    println!("\npaper: Avatar lowest in both scenarios; prior techniques degrade more under oversubscription");
+
+    let json: Vec<Row> = [("normal", normal), ("oversub130", oversub)]
+        .into_iter()
+        .map(|(s, d)| Row {
+            scenario: s.to_string(),
+            latencies: CONFIGS
+                .iter()
+                .zip(d.iter())
+                .map(|(c, (m, _))| (c.label().to_string(), *m))
+                .collect(),
+        })
+        .collect();
+    opts.dump_json(&json);
+}

@@ -1,0 +1,71 @@
+//! Scalability sweep (paper Table I's central claim): TLB-reach techniques
+//! stop scaling once the working set outgrows their reach, while Avatar's
+//! speculation is reach-independent.
+//!
+//! Sweeps one irregular workload's footprint across scales and reports
+//! each technique's speedup over the equally-sized baseline.
+//!
+//! `--abbr <ABBR>` selects the workload (default XSB, the 2.24GB maximum).
+
+use avatar_bench::{print_table, HarnessOpts};
+use avatar_core::system::{run, speedup, RunOptions, SystemConfig};
+use avatar_workloads::Workload;
+use serde::Serialize;
+
+const CONFIGS: [SystemConfig; 4] = [
+    SystemConfig::Promotion,
+    SystemConfig::Colt,
+    SystemConfig::SnakeByte,
+    SystemConfig::Avatar,
+];
+
+#[derive(Serialize)]
+struct Row {
+    working_set_mb: u64,
+    speedups: Vec<(String, f64)>,
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let abbr = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--abbr")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "XSB".to_string());
+    let w = Workload::by_abbr(&abbr).unwrap_or_else(|| {
+        eprintln!("unknown workload {abbr}");
+        std::process::exit(1);
+    });
+
+    let mut rows = Vec::new();
+    let mut json: Vec<Row> = Vec::new();
+    for scale in [0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0] {
+        let ro = RunOptions {
+            scale,
+            sms: Some(opts.sms),
+            warps: Some(opts.warps),
+            ..RunOptions::default()
+        };
+        let ws_mb = w.scaled_working_set(scale) >> 20;
+        let base = run(&w, SystemConfig::Baseline, &ro);
+        let mut cells = vec![format!("{ws_mb}MB")];
+        let mut speedups = Vec::new();
+        for cfg in CONFIGS {
+            let s = run(&w, cfg, &ro);
+            let x = speedup(&base, &s);
+            cells.push(format!("{x:.3}"));
+            speedups.push((cfg.label().to_string(), x));
+        }
+        eprintln!("scale {scale} ({ws_mb}MB) done");
+        rows.push(cells);
+        json.push(Row { working_set_mb: ws_mb, speedups });
+    }
+
+    let mut headers = vec!["Working set"];
+    headers.extend(CONFIGS.iter().map(|c| c.label()));
+    println!("\nScalability sweep: {} footprint vs technique speedup", w.abbr);
+    print_table(&headers, &rows);
+    println!("\nTable I claim: reach-bound techniques flatten as the footprint outgrows TLB reach; Avatar keeps scaling.");
+    opts.dump_json(&json);
+}

@@ -1,0 +1,30 @@
+//! Table II: the simulated baseline configuration.
+//!
+//! Prints the configuration the simulator instantiates so it can be
+//! compared line by line with the paper's table.
+
+use avatar_bench::print_table;
+use avatar_sim::config::GpuConfig;
+
+fn main() {
+    let c = GpuConfig::rtx3070();
+    let rows = vec![
+        vec!["GPU core".into(), format!("{} SMs, max {} warps per SM, LRR-equivalent event order", c.num_sms, c.warps_per_sm)],
+        vec!["L1 TLB".into(), format!("{} entries (4KB) + {} (2MB), {} cyc, fully assoc, {} ports, {} MSHRs",
+            c.l1_tlb.base_entries, c.l1_tlb.large_entries, c.l1_tlb.latency, c.l1_tlb.ports, c.l1_tlb.mshr_entries)],
+        vec!["L2 TLB".into(), format!("{} entries (4KB) + {} (2MB), {} cyc, {}-way, {} ports, {} MSHRs",
+            c.l2_tlb.base_entries, c.l2_tlb.large_entries, c.l2_tlb.latency, c.l2_tlb.assoc, c.l2_tlb.ports, c.l2_tlb.mshr_entries)],
+        vec!["L1 cache".into(), format!("{}KB, {} cyc, 128B line (4x32B sectors), {}-way", c.l1_cache.bytes >> 10, c.l1_cache.latency, c.l1_cache.assoc)],
+        vec!["L2 cache".into(), format!("{}MB, {} cyc, 128B line (sectored), {}-way", c.l2_cache.bytes >> 20, c.l2_cache.latency, c.l2_cache.assoc)],
+        vec!["DRAM".into(), format!("{} channels x {} banks, 4KB row, tRCD {} tCL {} tRP {} tWL {} tRTW {} (core cycles), {}-cyc/32B burst",
+            c.dram.channels, c.dram.banks_per_channel, c.dram.t_rcd, c.dram.t_cl, c.dram.t_rp, c.dram.t_wl, c.dram.t_rtw, c.dram.burst)],
+        vec!["Page table".into(), "4-level radix, 4KB base (2MB on promotion)".into()],
+        vec!["Page walkers".into(), format!("{} walkers, {} walk-buffer entries", c.walker.walkers, c.walker.buffer_entries)],
+        vec!["PW cache".into(), format!("{} entries", c.walker.pw_cache_entries)],
+        vec!["Page prefetcher".into(), format!("TBN-style 64KB neighborhood (enabled: {})", c.uvm.tbn_prefetch)],
+        vec!["CAST".into(), format!("{}-entry MOD, confidence threshold {}", c.spec.mod_entries, c.spec.confidence_threshold)],
+        vec!["CAVA".into(), format!("BPC (de)compression, {} cyc decompression at L2", c.spec.decompression_latency)],
+    ];
+    println!("\nTable II: simulated baseline configuration");
+    print_table(&["Component", "Configuration"], &rows);
+}

@@ -1,0 +1,44 @@
+//! Table III: workload categorization — plus a *measured* L2 TLB MPMI
+//! check showing the L/M/H classes emerge from the synthetic streams.
+//!
+//! Run with `--measure` to simulate every workload on the baseline and
+//! report misses per million instructions (slower).
+
+use avatar_bench::{print_table, HarnessOpts};
+use avatar_core::system::{run, SystemConfig};
+use avatar_workloads::Workload;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let measure = std::env::args().any(|a| a == "--measure");
+    let ro = opts.run_options();
+
+    let mut rows = Vec::new();
+    for w in Workload::all() {
+        let mpmi = if measure {
+            let s = run(&w, SystemConfig::Baseline, &ro);
+            format!("{:.0}", s.l2_tlb_mpmi())
+        } else {
+            "-".to_string()
+        };
+        rows.push(vec![
+            format!("{:?}", w.class),
+            w.name.to_string(),
+            w.abbr.to_string(),
+            format!("{:?}", w.data_type),
+            format!("{:?}", w.pattern),
+            format!("{}MB", w.working_set >> 20),
+            mpmi,
+        ]);
+    }
+    println!("\nTable III: workload categorization");
+    print_table(
+        &["Class", "Benchmark", "Abbr", "Type", "Pattern", "WorkingSet", "L2 MPMI (measured)"],
+        &rows,
+    );
+    if !measure {
+        println!("\n(add --measure to simulate and report L2 TLB misses per million instructions)");
+    } else {
+        println!("\npaper classes: L < 10 MPMI, M 10-60, H > 60");
+    }
+}

@@ -1,0 +1,173 @@
+//! Shared harness utilities for the figure/table reproduction binaries.
+//!
+//! Every `fig*`/`table*` binary in `src/bin/` regenerates one table or
+//! figure of the paper: it runs the relevant configurations over the
+//! relevant workloads, prints the same rows/series the paper reports, and
+//! optionally dumps machine-readable JSON (`--json <path>`) for
+//! EXPERIMENTS.md bookkeeping.
+//!
+//! Common flags (parsed by [`HarnessOpts::from_args`]):
+//!
+//! * `--scale <f>`   — workload working-set scale (default 1.0: paper footprints)
+//! * `--sms <n>`     — SM count (default 16; paper config is 46)
+//! * `--warps <n>`   — warps per SM (default 32; paper config is 48)
+//! * `--full`        — paper-scale run: 46 SMs × 48 warps, scale 1.0
+//! * `--quick`       — CI-sized run: 4 SMs × 8 warps, scale 0.05
+//! * `--json <path>` — dump rows as JSON
+
+#![forbid(unsafe_code)]
+
+use avatar_core::system::RunOptions;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Options shared by all harness binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Workload scale factor.
+    pub scale: f64,
+    /// SM count.
+    pub sms: usize,
+    /// Warps per SM.
+    pub warps: usize,
+    /// Optional JSON dump path.
+    pub json: Option<PathBuf>,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        Self { scale: 1.0, sms: 16, warps: 32, json: None }
+    }
+}
+
+impl HarnessOpts {
+    /// Parses the common command-line flags.
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--scale" => {
+                    opts.scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(opts.scale)
+                }
+                "--sms" => {
+                    opts.sms = args.next().and_then(|v| v.parse().ok()).unwrap_or(opts.sms)
+                }
+                "--warps" => {
+                    opts.warps = args.next().and_then(|v| v.parse().ok()).unwrap_or(opts.warps)
+                }
+                "--full" => {
+                    opts.scale = 1.0;
+                    opts.sms = 46;
+                    opts.warps = 48;
+                }
+                "--quick" => {
+                    opts.scale = 0.05;
+                    opts.sms = 4;
+                    opts.warps = 8;
+                }
+                "--json" => opts.json = args.next().map(PathBuf::from),
+                other => eprintln!("ignoring unknown flag {other}"),
+            }
+        }
+        opts
+    }
+
+    /// Converts to simulator run options.
+    pub fn run_options(&self) -> RunOptions {
+        RunOptions {
+            scale: self.scale,
+            sms: Some(self.sms),
+            warps: Some(self.warps),
+            ..RunOptions::default()
+        }
+    }
+
+    /// Writes rows to the `--json` path, if given.
+    pub fn dump_json<T: Serialize>(&self, rows: &T) {
+        if let Some(path) = &self.json {
+            match serde_json::to_string_pretty(rows) {
+                Ok(s) => {
+                    if let Err(e) = std::fs::write(path, s) {
+                        eprintln!("failed to write {}: {e}", path.display());
+                    }
+                }
+                Err(e) => eprintln!("failed to serialize rows: {e}"),
+            }
+        }
+    }
+}
+
+/// Geometric mean (the paper's averaging for speedups).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Prints a fixed-width table: headers then rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identity() {
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_doubles() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_empty_is_zero() {
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn default_opts_reasonable() {
+        let o = HarnessOpts::default();
+        assert!(o.scale > 0.0 && o.sms > 0 && o.warps > 0);
+        let ro = o.run_options();
+        assert_eq!(ro.sms, Some(16));
+    }
+}

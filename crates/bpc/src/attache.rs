@@ -1,0 +1,146 @@
+//! Attaché-style compression marking (Hong et al., MICRO 2018).
+//!
+//! Attaché avoids a separate metadata array by storing a predefined 15-bit
+//! *Compression ID* (CID) in the signature of every compressed sector. A
+//! stored sector whose top 15 bits match the CID is treated as compressed.
+//! Rarely (probability 2⁻¹⁵ ≈ 0.003%) an *uncompressed* sector naturally
+//! begins with the CID; the 16th bit is then replaced by the *Exclusive ID*
+//! (XID) and the displaced original bit is kept in a reserved memory region
+//! maintained by the memory controller model.
+
+/// The predefined 15-bit Compression ID.
+///
+/// The concrete value is arbitrary (the scheme only relies on it being
+/// fixed); this one has a balanced bit pattern to behave like the hardware
+/// constant.
+pub const CID: u16 = 0b101_1010_0110_1001;
+
+/// The Exclusive ID bit value marking "raw sector that collided with CID".
+///
+/// Compressed sectors store the complement in the same bit position, so the
+/// (CID, 16th-bit) pair is unambiguous.
+pub const XID: bool = false;
+
+/// Classification of a stored 32-byte sector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SectorClass {
+    /// Top 15 bits match the CID and the 16th bit is the compressed marker:
+    /// the sector holds a compressed payload plus embedded page information.
+    Compressed,
+    /// Top 15 bits match the CID but the 16th bit is the XID: the sector is
+    /// raw data whose original 16th bit lives in the reserved region.
+    RawEscaped,
+    /// Ordinary uncompressed sector.
+    Raw,
+}
+
+/// Reads the 16-bit signature (big-endian) from the head of a stored sector.
+pub fn signature(bytes: &[u8; 32]) -> u16 {
+    u16::from_be_bytes([bytes[0], bytes[1]])
+}
+
+/// Builds the signature word for a compressed sector.
+pub fn compressed_signature() -> u16 {
+    (CID << 1) | u16::from(!XID)
+}
+
+/// Classifies a stored sector by its signature, as the memory controller
+/// does on every fetch from GPU main memory.
+pub fn classify(bytes: &[u8; 32]) -> SectorClass {
+    let sig = signature(bytes);
+    if sig >> 1 != CID {
+        return SectorClass::Raw;
+    }
+    if (sig & 1 == 1) == XID {
+        SectorClass::RawEscaped
+    } else {
+        SectorClass::Compressed
+    }
+}
+
+/// Escapes a raw sector that collides with the CID: replaces its 16th bit
+/// with the XID and returns the displaced original bit, which the caller
+/// must keep in the reserved region.
+///
+/// Returns `None` if the sector does not collide (no escaping needed).
+pub fn escape_raw(bytes: &mut [u8; 32]) -> Option<bool> {
+    if signature(bytes) >> 1 != CID {
+        return None;
+    }
+    let displaced = bytes[1] & 1 == 1;
+    if XID {
+        bytes[1] |= 1;
+    } else {
+        bytes[1] &= !1;
+    }
+    Some(displaced)
+}
+
+/// Restores an XID-escaped raw sector given the displaced bit from the
+/// reserved region.
+pub fn unescape_raw(bytes: &mut [u8; 32], displaced: bool) {
+    debug_assert_eq!(classify(bytes), SectorClass::RawEscaped);
+    if displaced {
+        bytes[1] |= 1;
+    } else {
+        bytes[1] &= !1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn colliding_raw() -> [u8; 32] {
+        let mut s = [0x42u8; 32];
+        let sig = (CID << 1) | u16::from(!XID); // worst case: looks compressed
+        s[0..2].copy_from_slice(&sig.to_be_bytes());
+        s
+    }
+
+    #[test]
+    fn cid_fits_15_bits() {
+        const { assert!(CID < 1 << 15) }
+    }
+
+    #[test]
+    fn ordinary_raw_sector_classified_raw() {
+        let s = [0u8; 32];
+        assert_eq!(classify(&s), SectorClass::Raw);
+    }
+
+    #[test]
+    fn compressed_signature_classifies_compressed() {
+        let mut s = [0u8; 32];
+        s[0..2].copy_from_slice(&compressed_signature().to_be_bytes());
+        assert_eq!(classify(&s), SectorClass::Compressed);
+    }
+
+    #[test]
+    fn colliding_raw_escape_roundtrip() {
+        let original = colliding_raw();
+        let mut s = original;
+        let displaced = escape_raw(&mut s).expect("collides with CID");
+        assert_eq!(classify(&s), SectorClass::RawEscaped);
+        unescape_raw(&mut s, displaced);
+        assert_eq!(s, original);
+    }
+
+    #[test]
+    fn non_colliding_raw_needs_no_escape() {
+        let mut s = [0xFFu8; 32];
+        if signature(&s) >> 1 == CID {
+            // Not possible for all-ones unless CID is all ones, which it isn't.
+            unreachable!();
+        }
+        assert_eq!(escape_raw(&mut s), None);
+        assert_eq!(s, [0xFFu8; 32]);
+    }
+
+    #[test]
+    fn escaped_sector_never_reads_as_compressed() {
+        let mut s = colliding_raw();
+        escape_raw(&mut s).unwrap();
+        assert_ne!(classify(&s), SectorClass::Compressed);
+    }
+}

@@ -1,0 +1,187 @@
+//! Base-Delta-Immediate compression (Pekhimenko et al., PACT 2012),
+//! adapted to 32-byte sectors — the second alternative codec for the CAVA
+//! ablation.
+//!
+//! The encoder tries, in order of decreasing savings: all-zero, repeated
+//! value, and base+delta layouts (8-byte base with 1/2/4-byte deltas,
+//! 4-byte base with 1/2-byte deltas), with an implicit second base of zero
+//! (the "immediate" part: each element uses either the base or zero,
+//! selected by a per-element mask bit). Falls back to raw.
+
+use crate::bpc::SECTOR_BYTES;
+
+/// The encoding BDI selected for a sector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BdiEncoding {
+    /// Every byte zero (1-byte tag only).
+    Zeros,
+    /// One repeated 8-byte value.
+    Repeat,
+    /// `base_bytes`-byte base with `delta_bytes`-byte deltas (+mask).
+    BaseDelta {
+        /// Size of the base element (4 or 8 bytes).
+        base_bytes: u8,
+        /// Size of each stored delta (1, 2, or 4 bytes).
+        delta_bytes: u8,
+    },
+    /// Uncompressed.
+    Raw,
+}
+
+impl BdiEncoding {
+    /// Encoded size in bits (including a 4-bit encoding tag, as in the
+    /// original design).
+    pub fn size_bits(self) -> usize {
+        const TAG: usize = 4;
+        match self {
+            BdiEncoding::Zeros => TAG,
+            BdiEncoding::Repeat => TAG + 64,
+            BdiEncoding::BaseDelta { base_bytes, delta_bytes } => {
+                let n = SECTOR_BYTES / base_bytes as usize;
+                // base + per-element mask bit (base vs zero) + deltas
+                TAG + base_bytes as usize * 8 + n + n * delta_bytes as usize * 8
+            }
+            BdiEncoding::Raw => TAG + SECTOR_BYTES * 8,
+        }
+    }
+}
+
+fn elements(sector: &[u8; SECTOR_BYTES], size: usize) -> Vec<u64> {
+    sector
+        .chunks_exact(size)
+        .map(|c| {
+            let mut v = 0u64;
+            for (i, b) in c.iter().enumerate() {
+                v |= u64::from(*b) << (i * 8);
+            }
+            v
+        })
+        .collect()
+}
+
+fn delta_fits(delta: i64, bytes: u8) -> bool {
+    let bits = u32::from(bytes) * 8;
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    (min..=max).contains(&delta)
+}
+
+fn try_base_delta(sector: &[u8; SECTOR_BYTES], base_bytes: u8, delta_bytes: u8) -> bool {
+    let elems = elements(sector, base_bytes as usize);
+    // First nonzero element is the base; every element must be within
+    // delta range of the base or of zero (the implicit immediate base).
+    let base = match elems.iter().find(|&&e| e != 0) {
+        Some(&b) => b,
+        None => return true, // all zeros: trivially encodable
+    };
+    let sign = |v: u64| {
+        if base_bytes == 4 {
+            i64::from(v as u32 as i32)
+        } else {
+            v as i64
+        }
+    };
+    elems.iter().all(|&e| {
+        delta_fits(sign(e).wrapping_sub(sign(base)), delta_bytes)
+            || delta_fits(sign(e), delta_bytes)
+    })
+}
+
+/// Picks the smallest applicable BDI encoding for a sector.
+pub fn encode(sector: &[u8; SECTOR_BYTES]) -> BdiEncoding {
+    if sector.iter().all(|&b| b == 0) {
+        return BdiEncoding::Zeros;
+    }
+    let qwords = elements(sector, 8);
+    if qwords.iter().all(|&q| q == qwords[0]) {
+        return BdiEncoding::Repeat;
+    }
+    // Candidate layouts ordered by compressed size.
+    let candidates = [
+        (8u8, 1u8),
+        (4, 1),
+        (8, 2),
+        (4, 2),
+        (8, 4),
+    ];
+    let mut best: Option<BdiEncoding> = None;
+    for (b, d) in candidates {
+        if try_base_delta(sector, b, d) {
+            let e = BdiEncoding::BaseDelta { base_bytes: b, delta_bytes: d };
+            if best.is_none_or(|cur| e.size_bits() < cur.size_bits()) {
+                best = Some(e);
+            }
+        }
+    }
+    best.unwrap_or(BdiEncoding::Raw)
+}
+
+/// Compressed size in bits for a sector under BDI.
+pub fn compressed_bits(sector: &[u8; SECTOR_BYTES]) -> usize {
+    encode(sector).size_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sector(words: [u32; 8]) -> [u8; SECTOR_BYTES] {
+        let mut s = [0u8; SECTOR_BYTES];
+        for (i, w) in words.iter().enumerate() {
+            s[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        s
+    }
+
+    #[test]
+    fn zero_sector() {
+        assert_eq!(encode(&[0u8; SECTOR_BYTES]), BdiEncoding::Zeros);
+        assert_eq!(compressed_bits(&[0u8; SECTOR_BYTES]), 4);
+    }
+
+    #[test]
+    fn repeated_qword() {
+        let s = sector([0xAABB_CCDD, 0x1122_3344, 0xAABB_CCDD, 0x1122_3344, 0xAABB_CCDD, 0x1122_3344, 0xAABB_CCDD, 0x1122_3344]);
+        assert_eq!(encode(&s), BdiEncoding::Repeat);
+    }
+
+    #[test]
+    fn nearby_values_use_small_deltas() {
+        let s = sector([1000, 1001, 1005, 1002, 1000, 1003, 1004, 1001]);
+        match encode(&s) {
+            BdiEncoding::BaseDelta { delta_bytes, .. } => assert!(delta_bytes <= 2),
+            other => panic!("expected base-delta, got {other:?}"),
+        }
+        assert!(compressed_bits(&s) < 256);
+    }
+
+    #[test]
+    fn zero_immediate_mixes_with_base() {
+        // Values near a base interleaved with exact zeros — the immediate
+        // case BDI is named for.
+        let s = sector([5000, 0, 5001, 0, 5003, 0, 5002, 0]);
+        assert!(compressed_bits(&s) < 256, "zero-immediate mix must compress");
+    }
+
+    #[test]
+    fn spread_values_fall_back_to_raw() {
+        let s = sector([0x1111_1111, 0x7F00_0001, 0x0BAD_F00D, 0x4242_4242, 0x1357_9BDF, 0x0246_8ACE, 0x7654_3210, 0x0FED_CBA9]);
+        assert_eq!(encode(&s), BdiEncoding::Raw);
+        assert!(compressed_bits(&s) > 256);
+    }
+
+    #[test]
+    fn size_accounting_is_consistent() {
+        assert_eq!(BdiEncoding::Zeros.size_bits(), 4);
+        assert_eq!(BdiEncoding::Repeat.size_bits(), 68);
+        assert_eq!(
+            BdiEncoding::BaseDelta { base_bytes: 8, delta_bytes: 1 }.size_bits(),
+            4 + 64 + 4 + 32
+        );
+        assert_eq!(
+            BdiEncoding::BaseDelta { base_bytes: 4, delta_bytes: 2 }.size_bits(),
+            4 + 32 + 8 + 128
+        );
+        assert_eq!(BdiEncoding::Raw.size_bits(), 260);
+    }
+}

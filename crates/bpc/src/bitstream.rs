@@ -1,0 +1,168 @@
+//! Minimal MSB-first bit stream writer/reader used by the BPC codec.
+
+/// Accumulates bits most-significant-first into a byte vector.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of valid bits in the stream.
+    len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty bit stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no bits have been written.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends the low `n` bits of `value`, most-significant bit first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn push(&mut self, value: u64, n: usize) {
+        assert!(n <= 64, "cannot push more than 64 bits at once");
+        for i in (0..n).rev() {
+            let bit = (value >> i) & 1;
+            let bit_idx = self.len % 8;
+            if bit_idx == 0 {
+                self.bytes.push(0);
+            }
+            if bit == 1 {
+                let last = self.bytes.last_mut().expect("byte just pushed");
+                *last |= 1 << (7 - bit_idx);
+            }
+            self.len += 1;
+        }
+    }
+
+    /// Consumes the writer, returning the packed bytes (zero-padded in the
+    /// final byte) and the exact bit length.
+    pub fn into_parts(self) -> (Vec<u8>, usize) {
+        (self.bytes, self.len)
+    }
+
+    /// Borrows the packed bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Reads bits most-significant-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    len: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `len` valid bits of `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is too short to hold `len` bits.
+    pub fn new(bytes: &'a [u8], len: usize) -> Self {
+        assert!(bytes.len() * 8 >= len, "byte slice shorter than bit length");
+        Self { bytes, pos: 0, len }
+    }
+
+    /// Number of unread bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.len - self.pos
+    }
+
+    /// Reads the next `n` bits as the low bits of a `u64`.
+    ///
+    /// Returns `None` if fewer than `n` bits remain.
+    pub fn read(&mut self, n: usize) -> Option<u64> {
+        if n > 64 || self.remaining() < n {
+            return None;
+        }
+        let mut out = 0u64;
+        for _ in 0..n {
+            let byte = self.bytes[self.pos / 8];
+            let bit = (byte >> (7 - self.pos % 8)) & 1;
+            out = (out << 1) | u64::from(bit);
+            self.pos += 1;
+        }
+        Some(out)
+    }
+
+    /// Reads a single bit.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        self.read(1).map(|b| b == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_bits() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.push(u64::from(b), 1);
+        }
+        let (bytes, len) = w.into_parts();
+        assert_eq!(len, pattern.len());
+        let mut r = BitReader::new(&bytes, len);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), Some(b));
+        }
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    fn roundtrip_multi_bit_values() {
+        let mut w = BitWriter::new();
+        w.push(0b101, 3);
+        w.push(0xDEAD_BEEF, 32);
+        w.push(0x3FF, 10);
+        w.push(u64::MAX, 64);
+        let (bytes, len) = w.into_parts();
+        assert_eq!(len, 3 + 32 + 10 + 64);
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(r.read(3), Some(0b101));
+        assert_eq!(r.read(32), Some(0xDEAD_BEEF));
+        assert_eq!(r.read(10), Some(0x3FF));
+        assert_eq!(r.read(64), Some(u64::MAX));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn read_past_end_returns_none() {
+        let mut w = BitWriter::new();
+        w.push(0b11, 2);
+        let (bytes, len) = w.into_parts();
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(r.read(3), None);
+        assert_eq!(r.read(2), Some(0b11));
+    }
+
+    #[test]
+    fn zero_width_read_is_zero() {
+        let r_bytes = [0xFFu8];
+        let mut r = BitReader::new(&r_bytes, 8);
+        assert_eq!(r.read(0), Some(0));
+        assert_eq!(r.remaining(), 8);
+    }
+
+    #[test]
+    fn push_zero_width_is_noop() {
+        let mut w = BitWriter::new();
+        w.push(0xFF, 0);
+        assert!(w.is_empty());
+    }
+}

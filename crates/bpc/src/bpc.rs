@@ -1,0 +1,438 @@
+//! Bit-Plane Compression (BPC) for 32-byte sectors.
+//!
+//! The algorithm follows Kim et al., *Bit-Plane Compression: Transforming
+//! Data for Better Compression in Many-Core Architectures* (ISCA 2016),
+//! instantiated at the 32-byte sector granularity the Avatar paper uses:
+//!
+//! 1. The sector is viewed as eight little-endian 32-bit words.
+//! 2. **Delta transform**: the first word is kept as the *base symbol*; the
+//!    remaining seven words become 33-bit deltas between neighbours.
+//! 3. **DBP (delta bit-plane)**: the 7×33-bit delta matrix is transposed
+//!    into 33 bit-planes of 7 bits each.
+//! 4. **DBX**: each bit-plane is XOR-ed with its more-significant neighbour,
+//!    exposing long runs of zero planes in correlated data.
+//! 5. Each DBX plane is encoded with the published pattern codes (zero runs,
+//!    all-ones, single/two-consecutive ones, zero-DBP, or verbatim), and the
+//!    base symbol with a sign-extension code.
+//!
+//! The codec is exact: [`decompress`] restores the original 32 bytes from a
+//! [`CompressedSector`] regardless of whether the encoding "won" (the
+//! compressed form may legitimately exceed 256 bits for adversarial data —
+//! callers decide whether to store the sector compressed, cf.
+//! [`crate::embed`]).
+
+use crate::bitstream::{BitReader, BitWriter};
+
+/// Size of a GPU cache sector in bytes.
+pub const SECTOR_BYTES: usize = 32;
+/// Number of 32-bit words per sector.
+const WORDS: usize = SECTOR_BYTES / 4;
+/// Bit width of a delta symbol (33-bit two's complement covers any
+/// difference of two 32-bit words).
+const DELTA_BITS: usize = 33;
+/// Number of deltas (and thus the bit-plane width).
+const PLANE_WIDTH: usize = WORDS - 1;
+/// All-ones pattern for a bit-plane.
+const PLANE_ONES: u8 = (1 << PLANE_WIDTH) - 1;
+/// Uncompressed size of a sector, in bits.
+pub const RAW_BITS: usize = SECTOR_BYTES * 8;
+
+/// A BPC-compressed sector: a packed bit stream plus its exact bit length.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CompressedSector {
+    bytes: Vec<u8>,
+    bits: usize,
+}
+
+impl CompressedSector {
+    /// Exact size of the compressed representation in bits.
+    pub fn size_bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Size rounded up to whole bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bits.div_ceil(8)
+    }
+
+    /// Compression ratio relative to the raw 32-byte sector.
+    pub fn ratio(&self) -> f64 {
+        RAW_BITS as f64 / self.bits as f64
+    }
+
+    /// Whether the sector compressed below `budget_bits`, i.e. fits the CAVA
+    /// payload region when `budget_bits == 176` (22 bytes).
+    pub fn fits(&self, budget_bits: usize) -> bool {
+        self.bits <= budget_bits
+    }
+
+    /// Borrows the packed bit stream (zero-padded to a byte boundary).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Rebuilds a compressed sector from a packed stream and bit length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` cannot hold `bits` bits.
+    pub fn from_parts(bytes: Vec<u8>, bits: usize) -> Self {
+        assert!(bytes.len() * 8 >= bits, "bit length exceeds byte storage");
+        Self { bytes, bits }
+    }
+}
+
+fn words_of(sector: &[u8; SECTOR_BYTES]) -> [u32; WORDS] {
+    let mut words = [0u32; WORDS];
+    for (i, chunk) in sector.chunks_exact(4).enumerate() {
+        words[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+    }
+    words
+}
+
+fn deltas_of(words: &[u32; WORDS]) -> [u64; PLANE_WIDTH] {
+    let mut deltas = [0u64; PLANE_WIDTH];
+    for j in 0..PLANE_WIDTH {
+        let d = i64::from(words[j + 1]) - i64::from(words[j]);
+        deltas[j] = (d as u64) & ((1u64 << DELTA_BITS) - 1);
+    }
+    deltas
+}
+
+/// Transposes deltas into DBP planes: plane `p`, bit `j` = bit `p` of delta `j`.
+fn dbp_planes(deltas: &[u64; PLANE_WIDTH]) -> [u8; DELTA_BITS] {
+    let mut planes = [0u8; DELTA_BITS];
+    for (p, plane) in planes.iter_mut().enumerate() {
+        let mut v = 0u8;
+        for (j, &d) in deltas.iter().enumerate() {
+            v |= (((d >> p) & 1) as u8) << j;
+        }
+        *plane = v;
+    }
+    planes
+}
+
+fn encode_base(w: &mut BitWriter, base: u32) {
+    let s = base as i32;
+    if s == 0 {
+        w.push(0b000, 3);
+    } else if (-8..8).contains(&s) {
+        w.push(0b001, 3);
+        w.push((s as u32 & 0xF) as u64, 4);
+    } else if (-128..128).contains(&s) {
+        w.push(0b010, 3);
+        w.push((s as u32 & 0xFF) as u64, 8);
+    } else if (-32768..32768).contains(&s) {
+        w.push(0b011, 3);
+        w.push((s as u32 & 0xFFFF) as u64, 16);
+    } else {
+        w.push(0b1, 1);
+        w.push(u64::from(base), 32);
+    }
+}
+
+fn decode_base(r: &mut BitReader<'_>) -> Option<u32> {
+    if r.read_bit()? {
+        return r.read(32).map(|v| v as u32);
+    }
+    let sel = r.read(2)?;
+    Some(match sel {
+        0b00 => 0,
+        0b01 => {
+            let v = r.read(4)? as u32;
+            ((v << 28) as i32 >> 28) as u32
+        }
+        0b10 => {
+            let v = r.read(8)? as u32;
+            ((v << 24) as i32 >> 24) as u32
+        }
+        0b11 => {
+            let v = r.read(16)? as u32;
+            ((v << 16) as i32 >> 16) as u32
+        }
+        _ => unreachable!("2-bit selector"),
+    })
+}
+
+/// Compresses a 32-byte sector with BPC.
+///
+/// The result is always an exact, decompressible encoding; use
+/// [`CompressedSector::fits`] to decide whether it met a storage budget.
+pub fn compress(sector: &[u8; SECTOR_BYTES]) -> CompressedSector {
+    let words = words_of(sector);
+    let deltas = deltas_of(&words);
+    let dbp = dbp_planes(&deltas);
+
+    let mut dbx = [0u8; DELTA_BITS];
+    dbx[DELTA_BITS - 1] = dbp[DELTA_BITS - 1];
+    for p in 0..DELTA_BITS - 1 {
+        dbx[p] = dbp[p] ^ dbp[p + 1];
+    }
+
+    let mut w = BitWriter::new();
+    encode_base(&mut w, words[0]);
+
+    // Encode planes from the most-significant down, so the decoder always
+    // knows DBP[p+1] before it reconstructs plane p.
+    let mut p = DELTA_BITS;
+    while p > 0 {
+        p -= 1;
+        if dbx[p] == 0 {
+            // Count the zero run extending toward less-significant planes.
+            let mut run = 1usize;
+            while p > 0 && dbx[p - 1] == 0 {
+                p -= 1;
+                run += 1;
+            }
+            if run == 1 {
+                w.push(0b011, 3);
+            } else {
+                debug_assert!(run <= DELTA_BITS);
+                w.push(0b001, 3);
+                w.push((run - 2) as u64, 5);
+            }
+        } else if dbp[p] == 0 {
+            // DBX != 0 but the original plane is zero: the decoder recovers
+            // DBX[p] as DBP[p+1] with no payload bits.
+            w.push(0b00001, 5);
+        } else if dbx[p] == PLANE_ONES {
+            w.push(0b00000, 5);
+        } else if let Some(s) = two_consecutive_ones(dbx[p]) {
+            w.push(0b00010, 5);
+            w.push(s as u64, 3);
+        } else if dbx[p].count_ones() == 1 {
+            w.push(0b00011, 5);
+            w.push(u64::from(dbx[p].trailing_zeros()), 3);
+        } else {
+            w.push(0b1, 1);
+            w.push(u64::from(dbx[p]), PLANE_WIDTH);
+        }
+    }
+
+    let (bytes, bits) = w.into_parts();
+    CompressedSector { bytes, bits }
+}
+
+fn two_consecutive_ones(plane: u8) -> Option<u8> {
+    (0..PLANE_WIDTH as u8 - 1).find(|&s| plane == 0b11 << s)
+}
+
+/// Decompresses a BPC-compressed sector back to its 32 original bytes.
+///
+/// # Panics
+///
+/// Panics if the stream is truncated or malformed; `CompressedSector` values
+/// produced by [`compress`] always decode.
+pub fn decompress(compressed: &CompressedSector) -> [u8; SECTOR_BYTES] {
+    try_decompress(compressed).expect("malformed BPC stream")
+}
+
+/// Fallible variant of [`decompress`] for streams of untrusted provenance.
+///
+/// Unlike [`decode_stream`], this requires the stream to contain exactly one
+/// encoded sector with no trailing bits.
+pub fn try_decompress(compressed: &CompressedSector) -> Option<[u8; SECTOR_BYTES]> {
+    let mut r = BitReader::new(&compressed.bytes, compressed.bits);
+    let out = decode_stream(&mut r)?;
+    if r.remaining() != 0 {
+        return None;
+    }
+    Some(out)
+}
+
+/// Decodes one sector from the head of a bit stream, leaving the reader just
+/// past the encoded data. Trailing bits (padding) are permitted — this is
+/// how a hardware decompressor consumes the zero-padded 22-byte payload
+/// region of a CAVA sector.
+pub fn decode_stream(r: &mut BitReader<'_>) -> Option<[u8; SECTOR_BYTES]> {
+    let base = decode_base(r)?;
+
+    let mut dbp = [0u8; DELTA_BITS];
+    let mut p = DELTA_BITS;
+    // DBP of the previously-decoded (more significant) plane; the plane
+    // "above" the MSB plane is defined as zero so that DBX[32] == DBP[32].
+    let mut dbp_above = 0u8;
+    while p > 0 {
+        let dbx_val: u8;
+        let mut run = 1usize;
+        if r.read_bit()? {
+            dbx_val = r.read(PLANE_WIDTH)? as u8;
+        } else if r.read_bit()? {
+            // "01x"
+            if r.read_bit()? {
+                // 011: single zero plane
+                dbx_val = 0;
+            } else {
+                // 010 is unused by the encoder.
+                return None;
+            }
+        } else if r.read_bit()? {
+            // 001: zero run
+            run = r.read(5)? as usize + 2;
+            dbx_val = 0;
+        } else {
+            // 0000x / 0001x family
+            let sel = r.read(2)?;
+            match sel {
+                0b00 => dbx_val = PLANE_ONES,
+                0b01 => {
+                    // DBP[p] == 0, DBX implied by the plane above.
+                    if run > p {
+                        return None;
+                    }
+                    p -= 1;
+                    dbp[p] = 0;
+                    dbp_above = 0;
+                    continue;
+                }
+                0b10 => {
+                    let s = r.read(3)? as u8;
+                    if s as usize >= PLANE_WIDTH - 1 {
+                        return None;
+                    }
+                    dbx_val = 0b11 << s;
+                }
+                0b11 => {
+                    let s = r.read(3)? as u8;
+                    if s as usize >= PLANE_WIDTH {
+                        return None;
+                    }
+                    dbx_val = 1 << s;
+                }
+                _ => unreachable!("2-bit selector"),
+            }
+        }
+        if run > p {
+            return None;
+        }
+        for _ in 0..run {
+            p -= 1;
+            dbp[p] = dbx_val ^ dbp_above;
+            dbp_above = dbp[p];
+        }
+    }
+
+    // Invert the bit-plane transpose.
+    let mut deltas = [0u64; PLANE_WIDTH];
+    for (p, &plane) in dbp.iter().enumerate() {
+        for (j, delta) in deltas.iter_mut().enumerate() {
+            *delta |= u64::from((plane >> j) & 1) << p;
+        }
+    }
+
+    let mut words = [0u32; WORDS];
+    words[0] = base;
+    for j in 0..PLANE_WIDTH {
+        // Sign-extend the 33-bit delta.
+        let raw = deltas[j];
+        let d = ((raw << (64 - DELTA_BITS)) as i64) >> (64 - DELTA_BITS);
+        words[j + 1] = (i64::from(words[j]) + d) as u32;
+    }
+
+    let mut out = [0u8; SECTOR_BYTES];
+    for (i, w) in words.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sector_from_words(words: [u32; 8]) -> [u8; SECTOR_BYTES] {
+        let mut s = [0u8; SECTOR_BYTES];
+        for (i, w) in words.iter().enumerate() {
+            s[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        s
+    }
+
+    #[test]
+    fn all_zero_sector_compresses_tiny() {
+        let sector = [0u8; SECTOR_BYTES];
+        let c = compress(&sector);
+        assert!(c.size_bits() <= 16, "got {} bits", c.size_bits());
+        assert_eq!(decompress(&c), sector);
+    }
+
+    #[test]
+    fn ramp_of_small_ints_compresses_below_22_bytes() {
+        let sector = sector_from_words([10, 20, 30, 40, 50, 60, 70, 80]);
+        let c = compress(&sector);
+        assert!(c.fits(176), "got {} bits", c.size_bits());
+        assert_eq!(decompress(&c), sector);
+    }
+
+    #[test]
+    fn constant_words_compress_well() {
+        let sector = sector_from_words([0xABCD_1234; 8]);
+        let c = compress(&sector);
+        assert!(c.fits(176), "got {} bits", c.size_bits());
+        assert_eq!(decompress(&c), sector);
+    }
+
+    #[test]
+    fn adversarial_random_roundtrips_even_when_expanded() {
+        // A fixed high-entropy pattern; expansion is allowed, loss is not.
+        let mut sector = [0u8; SECTOR_BYTES];
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for b in sector.iter_mut() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *b = (x >> 56) as u8;
+        }
+        let c = compress(&sector);
+        assert_eq!(decompress(&c), sector);
+    }
+
+    #[test]
+    fn extreme_deltas_roundtrip() {
+        let sector = sector_from_words([0, u32::MAX, 0, u32::MAX, 0, u32::MAX, 0, u32::MAX]);
+        let c = compress(&sector);
+        assert_eq!(decompress(&c), sector);
+    }
+
+    #[test]
+    fn negative_base_roundtrips() {
+        let sector = sector_from_words([(-5i32) as u32, 1, 2, 3, 4, 5, 6, 7]);
+        let c = compress(&sector);
+        assert_eq!(decompress(&c), sector);
+    }
+
+    #[test]
+    fn ratio_reflects_size() {
+        let sector = [0u8; SECTOR_BYTES];
+        let c = compress(&sector);
+        assert!(c.ratio() > 10.0);
+    }
+
+    #[test]
+    fn shared_exponent_floats_compress() {
+        // Floats around 1.0..2.0 share exponent bits — the typical GPU
+        // workload pattern BPC exploits.
+        let words: Vec<u32> = (0..8).map(|i| (1.0f32 + i as f32 * 0.001).to_bits()).collect();
+        let sector = sector_from_words(words.try_into().unwrap());
+        let c = compress(&sector);
+        assert!(c.fits(176), "got {} bits", c.size_bits());
+        assert_eq!(decompress(&c), sector);
+    }
+
+    #[test]
+    fn from_parts_reconstructs() {
+        let sector = sector_from_words([1, 2, 3, 4, 5, 6, 7, 8]);
+        let c = compress(&sector);
+        let bits = c.size_bits();
+        let rebuilt = CompressedSector::from_parts(c.bytes().to_vec(), bits);
+        assert_eq!(decompress(&rebuilt), sector);
+    }
+
+    #[test]
+    fn try_decompress_rejects_truncation() {
+        let sector = sector_from_words([9, 8, 7, 6, 5, 4, 3, 2]);
+        let c = compress(&sector);
+        if c.size_bits() > 8 {
+            let truncated = CompressedSector::from_parts(c.bytes().to_vec(), c.size_bits() - 8);
+            assert_eq!(try_decompress(&truncated), None);
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! CAVA sector layout: embedding page information into compressed sectors.
+//!
+//! Avatar compresses each 32-byte sector to at most 22 bytes (176 bits) and
+//! uses the reclaimed space for an 8-byte *page information* word (virtual
+//! page number, permissions, address-space ID) plus the 2-byte Attaché
+//! signature:
+//!
+//! ```text
+//! byte  0..2   signature   (15-bit CID | compressed marker bit)
+//! byte  2..10  page info   (VPN, permissions, ASID)
+//! byte 10..32  payload     (BPC stream, <= 176 bits, zero padded)
+//! ```
+//!
+//! Sectors that do not compress below the budget are stored raw (with the
+//! XID escape when their first 15 bits collide with the CID) and therefore
+//! carry no page information — CAVA then falls back to background
+//! translation, exactly as the paper describes.
+
+use crate::attache::{self, SectorClass};
+use crate::bitstream::BitReader;
+use crate::bpc::{self, CompressedSector, SECTOR_BYTES};
+
+/// Bit budget for the compressed payload: 22 bytes.
+pub const PAYLOAD_BITS: usize = 176;
+/// Byte offset of the page-info word within a stored compressed sector.
+const INFO_OFFSET: usize = 2;
+/// Byte offset of the payload within a stored compressed sector.
+const PAYLOAD_OFFSET: usize = 10;
+
+/// Page access permissions carried in the embedded page information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Permissions(u8);
+
+impl Permissions {
+    /// Read-only mapping.
+    pub const READ_ONLY: Permissions = Permissions(0b001);
+    /// Readable and writable mapping.
+    pub const READ_WRITE: Permissions = Permissions(0b011);
+    /// Atomic-capable read-write mapping.
+    pub const READ_WRITE_ATOMIC: Permissions = Permissions(0b111);
+
+    /// Whether writes are permitted.
+    pub fn writable(self) -> bool {
+        self.0 & 0b010 != 0
+    }
+
+    /// Whether atomics are permitted.
+    pub fn atomic(self) -> bool {
+        self.0 & 0b100 != 0
+    }
+
+    /// Raw 3-bit encoding.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds from the raw 3-bit encoding (upper bits ignored).
+    pub fn from_bits(bits: u8) -> Permissions {
+        Permissions(bits & 0b111)
+    }
+}
+
+/// The page information word embedded alongside a compressed sector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageInfo {
+    /// Virtual page number (36 bits: a 48-bit virtual address space with
+    /// 4KB pages).
+    pub vpn: u64,
+    /// Access permissions.
+    pub perm: Permissions,
+    /// Address-space identifier for multi-tenant GPUs (12 bits).
+    pub asid: u16,
+}
+
+impl PageInfo {
+    /// Creates page information, masking fields to their encoded widths.
+    pub fn new(vpn: u64, perm: Permissions, asid: u16) -> Self {
+        Self { vpn: vpn & ((1 << 36) - 1), perm, asid: asid & 0xFFF }
+    }
+
+    /// Packs into the 8-byte on-sector representation.
+    ///
+    /// Bit 63 is a validity marker so an all-zero word (e.g. a zeroed DRAM
+    /// row after migration) never parses as a valid mapping for VPN 0.
+    pub fn pack(self) -> u64 {
+        (1u64 << 63) | (u64::from(self.perm.bits()) << 48) | (u64::from(self.asid) << 36) | self.vpn
+    }
+
+    /// Unpacks the 8-byte representation; `None` if the validity bit is clear.
+    pub fn unpack(word: u64) -> Option<Self> {
+        if word >> 63 != 1 {
+            return None;
+        }
+        Some(Self {
+            vpn: word & ((1 << 36) - 1),
+            asid: ((word >> 36) & 0xFFF) as u16,
+            perm: Permissions::from_bits(((word >> 48) & 0b111) as u8),
+        })
+    }
+}
+
+/// A sector as stored in GPU main memory by the (de)compression engine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum EmbeddedSector {
+    /// Compressed below the budget; page information embedded.
+    Compressed {
+        /// The 32 stored bytes: signature, page info, padded payload.
+        bytes: [u8; SECTOR_BYTES],
+        /// Exact payload length in bits (kept by the model for exact
+        /// decompression; hardware recovers it by decoding to completion).
+        payload_bits: usize,
+    },
+    /// Stored uncompressed; no page information available.
+    Raw {
+        /// The 32 stored bytes (possibly XID-escaped).
+        bytes: [u8; SECTOR_BYTES],
+        /// The displaced 16th bit when the sector collided with the CID,
+        /// held in the reserved-region model.
+        displaced_bit: Option<bool>,
+    },
+}
+
+impl EmbeddedSector {
+    /// The 32 bytes as stored in DRAM.
+    pub fn bytes(&self) -> &[u8; SECTOR_BYTES] {
+        match self {
+            EmbeddedSector::Compressed { bytes, .. } | EmbeddedSector::Raw { bytes, .. } => bytes,
+        }
+    }
+
+    /// Whether the stored form is compressed (and thus carries page info).
+    pub fn is_compressed(&self) -> bool {
+        matches!(self, EmbeddedSector::Compressed { .. })
+    }
+
+    /// Recovers the original 32 data bytes regardless of stored form.
+    pub fn original_data(&self) -> [u8; SECTOR_BYTES] {
+        match self {
+            EmbeddedSector::Compressed { bytes, payload_bits } => {
+                let mut payload = [0u8; SECTOR_BYTES - PAYLOAD_OFFSET];
+                payload.copy_from_slice(&bytes[PAYLOAD_OFFSET..]);
+                let c = CompressedSector::from_parts(payload.to_vec(), *payload_bits);
+                bpc::decompress(&c)
+            }
+            EmbeddedSector::Raw { bytes, displaced_bit } => {
+                let mut data = *bytes;
+                if let Some(bit) = displaced_bit {
+                    attache::unescape_raw(&mut data, *bit);
+                }
+                data
+            }
+        }
+    }
+
+    /// The embedded page information, if the stored form carries any.
+    pub fn page_info(&self) -> Option<PageInfo> {
+        match self {
+            EmbeddedSector::Compressed { bytes, .. } => {
+                let word = u64::from_le_bytes(bytes[INFO_OFFSET..PAYLOAD_OFFSET].try_into().expect("8 bytes"));
+                PageInfo::unpack(word)
+            }
+            EmbeddedSector::Raw { .. } => None,
+        }
+    }
+}
+
+/// Compresses `data` and, if it fits the 22-byte budget, embeds `info`;
+/// otherwise stores it raw (XID-escaping a CID collision).
+///
+/// This is what the (de)compression engine in each GPU memory controller
+/// does when a demanded page migrates into GPU memory.
+pub fn embed_sector(data: &[u8; SECTOR_BYTES], info: PageInfo) -> EmbeddedSector {
+    let compressed = bpc::compress(data);
+    if compressed.fits(PAYLOAD_BITS) {
+        let mut bytes = [0u8; SECTOR_BYTES];
+        bytes[0..2].copy_from_slice(&attache::compressed_signature().to_be_bytes());
+        bytes[INFO_OFFSET..PAYLOAD_OFFSET].copy_from_slice(&info.pack().to_le_bytes());
+        let payload = compressed.bytes();
+        bytes[PAYLOAD_OFFSET..PAYLOAD_OFFSET + payload.len()].copy_from_slice(payload);
+        EmbeddedSector::Compressed { bytes, payload_bits: compressed.size_bits() }
+    } else {
+        let mut bytes = *data;
+        let displaced_bit = attache::escape_raw(&mut bytes);
+        EmbeddedSector::Raw { bytes, displaced_bit }
+    }
+}
+
+/// A decoded view of a stored compressed sector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectorView {
+    /// The embedded page information.
+    pub page_info: PageInfo,
+    /// The decompressed original data.
+    pub data: [u8; SECTOR_BYTES],
+}
+
+/// Inspects raw stored bytes as the L2-side decompressor does: classifies
+/// via the Attaché signature and, when compressed, recovers both the page
+/// information and the original data.
+///
+/// Returns `None` for raw sectors or malformed streams — the cases where
+/// CAVA cannot validate and falls back to the background page walk.
+pub fn inspect(bytes: &[u8; SECTOR_BYTES]) -> Option<SectorView> {
+    if attache::classify(bytes) != SectorClass::Compressed {
+        return None;
+    }
+    let word = u64::from_le_bytes(bytes[INFO_OFFSET..PAYLOAD_OFFSET].try_into().expect("8 bytes"));
+    let page_info = PageInfo::unpack(word)?;
+    let payload = &bytes[PAYLOAD_OFFSET..];
+    let data = decompress_prefix(payload)?;
+    Some(SectorView { page_info, data })
+}
+
+/// Decodes a BPC stream from the head of `payload` without knowing its exact
+/// bit length, as a hardware decompressor does (it stops once all planes are
+/// reconstructed). Trailing padding is ignored.
+fn decompress_prefix(payload: &[u8]) -> Option<[u8; SECTOR_BYTES]> {
+    // Try every plausible bit length is wasteful; instead decode once with a
+    // reader spanning the whole payload and let the plane loop terminate.
+    let total_bits = payload.len() * 8;
+    let mut r = BitReader::new(payload, total_bits);
+    bpc::decode_stream(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compressible_sector() -> [u8; SECTOR_BYTES] {
+        let mut s = [0u8; SECTOR_BYTES];
+        for (i, w) in s.chunks_exact_mut(4).enumerate() {
+            w.copy_from_slice(&(100 + i as u32).to_le_bytes());
+        }
+        s
+    }
+
+    fn incompressible_sector() -> [u8; SECTOR_BYTES] {
+        let mut s = [0u8; SECTOR_BYTES];
+        let mut x = 0xA5A5_5A5A_DEAD_BEEFu64;
+        for b in s.iter_mut() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *b = x as u8;
+        }
+        s
+    }
+
+    #[test]
+    fn page_info_pack_roundtrip() {
+        let info = PageInfo::new(0xF_FFFF_FFFF, Permissions::READ_WRITE_ATOMIC, 0xABC);
+        assert_eq!(PageInfo::unpack(info.pack()), Some(info));
+    }
+
+    #[test]
+    fn zero_word_is_not_valid_page_info() {
+        assert_eq!(PageInfo::unpack(0), None);
+    }
+
+    #[test]
+    fn page_info_masks_wide_inputs() {
+        let info = PageInfo::new(u64::MAX, Permissions::READ_ONLY, u16::MAX);
+        assert_eq!(info.vpn, (1 << 36) - 1);
+        assert_eq!(info.asid, 0xFFF);
+    }
+
+    #[test]
+    fn compressible_sector_embeds_and_inspects() {
+        let data = compressible_sector();
+        let info = PageInfo::new(0x1234, Permissions::READ_WRITE, 1);
+        let stored = embed_sector(&data, info);
+        assert!(stored.is_compressed());
+        let view = inspect(stored.bytes()).expect("compressed sector inspects");
+        assert_eq!(view.page_info, info);
+        assert_eq!(view.data, data);
+        assert_eq!(stored.original_data(), data);
+    }
+
+    #[test]
+    fn incompressible_sector_stays_raw() {
+        let data = incompressible_sector();
+        let stored = embed_sector(&data, PageInfo::new(7, Permissions::READ_ONLY, 0));
+        assert!(!stored.is_compressed());
+        assert_eq!(stored.page_info(), None);
+        assert_eq!(inspect(stored.bytes()), None);
+        assert_eq!(stored.original_data(), data);
+    }
+
+    #[test]
+    fn raw_collision_with_cid_is_escaped_and_recovered() {
+        let mut data = incompressible_sector();
+        // Force the first 15 bits to the CID with the "compressed" marker bit.
+        let sig = attache::compressed_signature();
+        data[0..2].copy_from_slice(&sig.to_be_bytes());
+        let stored = embed_sector(&data, PageInfo::new(9, Permissions::READ_ONLY, 0));
+        match &stored {
+            EmbeddedSector::Raw { displaced_bit, bytes } => {
+                assert!(displaced_bit.is_some(), "collision must be escaped");
+                assert_ne!(attache::classify(bytes), SectorClass::Compressed);
+            }
+            EmbeddedSector::Compressed { .. } => {
+                panic!("sector engineered to be incompressible")
+            }
+        }
+        assert_eq!(stored.original_data(), data);
+        assert_eq!(inspect(stored.bytes()), None);
+    }
+
+    #[test]
+    fn permissions_semantics() {
+        assert!(!Permissions::READ_ONLY.writable());
+        assert!(Permissions::READ_WRITE.writable());
+        assert!(!Permissions::READ_WRITE.atomic());
+        assert!(Permissions::READ_WRITE_ATOMIC.atomic());
+        assert_eq!(Permissions::from_bits(0b1011).bits(), 0b011);
+    }
+
+    #[test]
+    fn embedded_vpn_mismatch_detectable() {
+        // The core CAVA check: compare embedded VPN with the requested one.
+        let data = compressible_sector();
+        let stored = embed_sector(&data, PageInfo::new(42, Permissions::READ_WRITE, 3));
+        let view = inspect(stored.bytes()).unwrap();
+        assert_ne!(view.page_info.vpn, 43, "mismatched request must be rejected");
+        assert_eq!(view.page_info.vpn, 42);
+    }
+}

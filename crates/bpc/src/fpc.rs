@@ -1,0 +1,227 @@
+//! Frequent Pattern Compression (Alameldeen & Wood, 2004), adapted to
+//! 32-byte sectors — one of the alternative cache-compression schemes the
+//! Avatar paper cites; implemented here so the choice of codec behind CAVA
+//! can be studied as an ablation.
+//!
+//! Each 32-bit word is encoded with a 3-bit prefix selecting a frequent
+//! pattern:
+//!
+//! | prefix | pattern | payload |
+//! |---|---|---|
+//! | 000 | zero run (1–8 zero words) | 3 bits (run − 1) |
+//! | 001 | 4-bit sign-extended | 4 |
+//! | 010 | 8-bit sign-extended | 8 |
+//! | 011 | 16-bit sign-extended | 16 |
+//! | 100 | 16-bit padded with zeros (value in the high half) | 16 |
+//! | 101 | two 8-bit sign-extended halfwords | 16 |
+//! | 110 | repeated bytes (all four bytes equal) | 8 |
+//! | 111 | uncompressed word | 32 |
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::bpc::SECTOR_BYTES;
+
+const WORDS: usize = SECTOR_BYTES / 4;
+
+fn words_of(sector: &[u8; SECTOR_BYTES]) -> [u32; WORDS] {
+    let mut words = [0u32; WORDS];
+    for (i, chunk) in sector.chunks_exact(4).enumerate() {
+        words[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+    }
+    words
+}
+
+fn fits_signed(w: u32, bits: u32) -> bool {
+    let s = w as i32;
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    (min..=max).contains(&i64::from(s))
+}
+
+/// Compresses a sector with FPC; returns the packed stream and bit length.
+pub fn compress(sector: &[u8; SECTOR_BYTES]) -> (Vec<u8>, usize) {
+    let words = words_of(sector);
+    let mut w = BitWriter::new();
+    let mut i = 0;
+    while i < WORDS {
+        let word = words[i];
+        if word == 0 {
+            let mut run = 1;
+            while i + run < WORDS && words[i + run] == 0 && run < 8 {
+                run += 1;
+            }
+            w.push(0b000, 3);
+            w.push(run as u64 - 1, 3);
+            i += run;
+            continue;
+        }
+        if fits_signed(word, 4) {
+            w.push(0b001, 3);
+            w.push(u64::from(word & 0xF), 4);
+        } else if fits_signed(word, 8) {
+            w.push(0b010, 3);
+            w.push(u64::from(word & 0xFF), 8);
+        } else if fits_signed(word, 16) {
+            w.push(0b011, 3);
+            w.push(u64::from(word & 0xFFFF), 16);
+        } else if word & 0xFFFF == 0 {
+            w.push(0b100, 3);
+            w.push(u64::from(word >> 16), 16);
+        } else if halfwords_8bit(word) {
+            w.push(0b101, 3);
+            w.push(u64::from(word & 0xFF), 8);
+            w.push(u64::from((word >> 16) & 0xFF), 8);
+        } else if repeated_bytes(word) {
+            w.push(0b110, 3);
+            w.push(u64::from(word & 0xFF), 8);
+        } else {
+            w.push(0b111, 3);
+            w.push(u64::from(word), 32);
+        }
+        i += 1;
+    }
+    let (bytes, bits) = w.into_parts();
+    (bytes, bits)
+}
+
+fn halfwords_8bit(word: u32) -> bool {
+    let lo = (word & 0xFFFF) as u16;
+    let hi = (word >> 16) as u16;
+    let ok = |h: u16| {
+        let s = h as i16;
+        (-128..128).contains(&s)
+    };
+    ok(lo) && ok(hi)
+}
+
+fn repeated_bytes(word: u32) -> bool {
+    let b = word & 0xFF;
+    word == b | (b << 8) | (b << 16) | (b << 24)
+}
+
+/// Decompresses an FPC stream back into the 32 original bytes.
+///
+/// Returns `None` for malformed/truncated streams.
+pub fn decompress(bytes: &[u8], bits: usize) -> Option<[u8; SECTOR_BYTES]> {
+    let mut r = BitReader::new(bytes, bits);
+    let mut words = [0u32; WORDS];
+    let mut i = 0;
+    while i < WORDS {
+        let prefix = r.read(3)?;
+        match prefix {
+            0b000 => {
+                let run = r.read(3)? as usize + 1;
+                if i + run > WORDS {
+                    return None;
+                }
+                i += run;
+            }
+            0b001 => {
+                let v = r.read(4)? as u32;
+                words[i] = ((v << 28) as i32 >> 28) as u32;
+                i += 1;
+            }
+            0b010 => {
+                let v = r.read(8)? as u32;
+                words[i] = ((v << 24) as i32 >> 24) as u32;
+                i += 1;
+            }
+            0b011 => {
+                let v = r.read(16)? as u32;
+                words[i] = ((v << 16) as i32 >> 16) as u32;
+                i += 1;
+            }
+            0b100 => {
+                words[i] = (r.read(16)? as u32) << 16;
+                i += 1;
+            }
+            0b101 => {
+                let lo = r.read(8)? as u32;
+                let hi = r.read(8)? as u32;
+                let sx = |v: u32| ((v << 24) as i32 >> 24) as u32 & 0xFFFF;
+                words[i] = sx(lo) | (sx(hi) << 16);
+                i += 1;
+            }
+            0b110 => {
+                let b = r.read(8)? as u32;
+                words[i] = b | (b << 8) | (b << 16) | (b << 24);
+                i += 1;
+            }
+            0b111 => {
+                words[i] = r.read(32)? as u32;
+                i += 1;
+            }
+            _ => unreachable!("3-bit prefix"),
+        }
+    }
+    if r.remaining() != 0 {
+        return None;
+    }
+    let mut out = [0u8; SECTOR_BYTES];
+    for (i, w) in words.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sector(words: [u32; 8]) -> [u8; SECTOR_BYTES] {
+        let mut s = [0u8; SECTOR_BYTES];
+        for (i, w) in words.iter().enumerate() {
+            s[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        s
+    }
+
+    fn roundtrip(s: &[u8; SECTOR_BYTES]) -> usize {
+        let (bytes, bits) = compress(s);
+        assert_eq!(decompress(&bytes, bits).as_ref(), Some(s));
+        bits
+    }
+
+    #[test]
+    fn zero_sector_is_tiny() {
+        let bits = roundtrip(&[0u8; SECTOR_BYTES]);
+        assert_eq!(bits, 6, "one zero-run token");
+    }
+
+    #[test]
+    fn small_ints_compress() {
+        let bits = roundtrip(&sector([1, 2, 3, 4, 5, 6, 7, 8]));
+        // Seven words fit the 4-bit pattern (7 bits each); the value 8
+        // spills to the 8-bit pattern (11 bits).
+        assert_eq!(bits, 7 * 7 + 11, "small ints use the narrow patterns");
+    }
+
+    #[test]
+    fn negative_values_sign_extend() {
+        roundtrip(&sector([(-1i32) as u32, (-100i32) as u32, (-30000i32) as u32, 0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn high_half_pattern() {
+        let bits = roundtrip(&sector([0xABCD_0000; 8]));
+        assert!(bits <= 8 * 19);
+    }
+
+    #[test]
+    fn repeated_bytes_pattern() {
+        let bits = roundtrip(&sector([0x5555_5555; 8]));
+        assert!(bits <= 8 * 11);
+    }
+
+    #[test]
+    fn incompressible_expands_gracefully() {
+        let s = sector([0xDEAD_BEEF, 0x1234_5678, 0x9ABC_DEF1, 0x0FED_CBA9, 0x1111_2223, 0x7F00_FF01, 0x8000_0001, 0x4242_4243]);
+        let bits = roundtrip(&s);
+        assert!(bits > 256, "verbatim words carry 3-bit overhead");
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let (bytes, bits) = compress(&sector([100, 200, 300, 400, 500, 600, 700, 800]));
+        assert_eq!(decompress(&bytes, bits - 4), None);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the compression substrate: the codec must be exact
+//! on *every* input, and the CAVA sector layout must never lose data or
+//! misclassify.
+
+use avatar_bpc::bpc::{compress, decompress, try_decompress, CompressedSector};
+use avatar_bpc::embed::{embed_sector, inspect, PageInfo, Permissions, PAYLOAD_BITS};
+use avatar_bpc::{classify, SectorClass};
+use proptest::prelude::*;
+
+fn arb_sector() -> impl Strategy<Value = [u8; 32]> {
+    any::<[u8; 32]>()
+}
+
+/// Correlated data shaped like real GPU arrays (base + small deltas).
+fn arb_correlated_sector() -> impl Strategy<Value = [u8; 32]> {
+    (any::<u32>(), proptest::collection::vec(-64i64..64, 7)).prop_map(|(base, deltas)| {
+        let mut words = [0u32; 8];
+        words[0] = base;
+        for (i, d) in deltas.iter().enumerate() {
+            words[i + 1] = (i64::from(words[i]) + d) as u32;
+        }
+        let mut out = [0u8; 32];
+        for (i, w) in words.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        out
+    })
+}
+
+fn arb_page_info() -> impl Strategy<Value = PageInfo> {
+    (0u64..(1 << 36), 0u16..(1 << 12), prop_oneof![
+        Just(Permissions::READ_ONLY),
+        Just(Permissions::READ_WRITE),
+        Just(Permissions::READ_WRITE_ATOMIC)
+    ])
+        .prop_map(|(vpn, asid, perm)| PageInfo::new(vpn, perm, asid))
+}
+
+proptest! {
+    #[test]
+    fn bpc_roundtrips_any_sector(sector in arb_sector()) {
+        let c = compress(&sector);
+        prop_assert_eq!(decompress(&c), sector);
+    }
+
+    #[test]
+    fn bpc_roundtrips_correlated_sectors_and_compresses(sector in arb_correlated_sector()) {
+        let c = compress(&sector);
+        prop_assert_eq!(decompress(&c), sector);
+        // Small-delta data must compress below the raw size.
+        prop_assert!(c.size_bits() < 256, "correlated data must shrink, got {}", c.size_bits());
+    }
+
+    #[test]
+    fn compressed_size_is_positive_and_bounded(sector in arb_sector()) {
+        let c = compress(&sector);
+        // Worst case: 33-bit raw base + 33 verbatim planes (8 bits each).
+        prop_assert!(c.size_bits() >= 4);
+        prop_assert!(c.size_bits() <= 33 + 33 * 8);
+    }
+
+    #[test]
+    fn embed_preserves_data_and_info(sector in arb_sector(), info in arb_page_info()) {
+        let stored = embed_sector(&sector, info);
+        prop_assert_eq!(stored.original_data(), sector);
+        if stored.is_compressed() {
+            let view = inspect(stored.bytes()).expect("compressed sectors inspect");
+            prop_assert_eq!(view.page_info, info);
+            prop_assert_eq!(view.data, sector);
+        } else {
+            prop_assert_eq!(inspect(stored.bytes()), None);
+            prop_assert_ne!(classify(stored.bytes()), SectorClass::Compressed);
+        }
+    }
+
+    #[test]
+    fn embedding_is_honest_about_the_budget(sector in arb_sector(), info in arb_page_info()) {
+        let c = compress(&sector);
+        let stored = embed_sector(&sector, info);
+        prop_assert_eq!(stored.is_compressed(), c.fits(PAYLOAD_BITS));
+    }
+
+    #[test]
+    fn page_info_packs_roundtrip(info in arb_page_info()) {
+        prop_assert_eq!(PageInfo::unpack(info.pack()), Some(info));
+    }
+
+    #[test]
+    fn truncated_streams_never_panic(sector in arb_sector(), cut in 1usize..64) {
+        let c = compress(&sector);
+        if c.size_bits() > cut {
+            let t = CompressedSector::from_parts(c.bytes().to_vec(), c.size_bits() - cut);
+            // Either cleanly rejected or decodes to *something* — never a panic.
+            let _ = try_decompress(&t);
+        }
+    }
+
+    #[test]
+    fn stored_form_classification_is_total(sector in arb_sector(), info in arb_page_info()) {
+        // Whatever we store, the memory controller can classify it.
+        let stored = embed_sector(&sector, info);
+        let class = classify(stored.bytes());
+        match (stored.is_compressed(), class) {
+            (true, SectorClass::Compressed) => {}
+            (false, SectorClass::Raw) | (false, SectorClass::RawEscaped) => {}
+            other => prop_assert!(false, "inconsistent classification {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! **Avatar**: Accelerated Virtual Address Translation with Address
+//! Speculation and Rapid Validation for GPUs — a from-scratch Rust
+//! reproduction of the MICRO 2024 paper.
+//!
+//! Avatar hides GPU address-translation latency with two cooperating
+//! mechanisms:
+//!
+//! * **CAST** (Contiguity-Aware Speculative Translation, [`cast`] +
+//!   [`mod_table`]): a per-SM, PC-tagged Mapping Offset Detection table
+//!   tracks the virtual→physical offset each load instruction observes.
+//!   On an L1 TLB miss with sufficient confidence, CAST predicts the
+//!   physical address and fetches data immediately while the real
+//!   translation proceeds in the background.
+//! * **CAVA** (In-Cache Validation): migrated pages are compressed per
+//!   32-byte sector with BPC; sectors that fit 22 bytes carry the page's
+//!   VPN/permissions/ASID in the reclaimed space. When a speculatively
+//!   fetched sector arrives compressed, comparing the embedded VPN against
+//!   the request validates the speculation *immediately* — no waiting for
+//!   the page walk. **EAF** (Early TLB Fill) then turns the validated
+//!   mapping into TLB entries, releases MSHR/walk-buffer resources, aborts
+//!   the in-flight walk, and forwards the entry to other SMs.
+//!
+//! [`system`] assembles every configuration of the paper's evaluation on
+//! the `avatar-sim` substrate; [`system::run`] executes one workload:
+//!
+//! ```
+//! use avatar_core::system::{run, RunOptions, SystemConfig};
+//! use avatar_workloads::Workload;
+//!
+//! let workload = Workload::by_abbr("GEMM").expect("in Table III");
+//! let opts = RunOptions { scale: 0.02, sms: Some(2), warps: Some(4), ..RunOptions::default() };
+//! let baseline = run(&workload, SystemConfig::Baseline, &opts);
+//! let avatar = run(&workload, SystemConfig::Avatar, &opts);
+//! assert!(avatar.speculations > 0);
+//! println!("speedup: {:.3}", avatar_core::system::speedup(&baseline, &avatar));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cast;
+pub mod mod_table;
+pub mod system;
+pub mod vpn_table;
+
+pub use cast::{AvatarPolicy, Predictor};
+pub use mod_table::ModTable;
+pub use system::{run, run_with, speedup, RunOptions, SystemConfig};
+pub use vpn_table::VpnTable;
+
+pub(crate) use avatar_sim::addr::CHUNK_BYTES;

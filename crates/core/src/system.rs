@@ -1,0 +1,358 @@
+//! System assembly: the paper's evaluated configurations, wired onto the
+//! simulator with one call.
+//!
+//! [`SystemConfig`] enumerates every configuration that appears in the
+//! evaluation (Figs 3, 15, 19, 21, 22): the baseline, the ideal-TLB bound,
+//! the three prior-work techniques, and the Avatar family. [`run`] builds
+//! the TLB models, memory-manager behaviour, and speculation policy for a
+//! configuration and executes one workload on it.
+
+use crate::cast::AvatarPolicy;
+use avatar_baselines::{ColtTlb, SnakeByteTlb};
+use avatar_sim::config::{BasePage, GpuConfig};
+use avatar_sim::engine::Engine;
+use avatar_sim::hooks::NoSpeculation;
+use avatar_sim::stats::Stats;
+use avatar_sim::tlb::{BaseTlb, TlbModel};
+use avatar_workloads::Workload;
+
+/// A system configuration from the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemConfig {
+    /// UVM baseline: base TLBs, TBN prefetcher, no promotion.
+    Baseline,
+    /// Translation oracle: every lookup resolves instantly (Fig 3 bound).
+    IdealTlb,
+    /// Mosaic-style page promotion (adopted by all techniques below).
+    Promotion,
+    /// CoLT coalesced TLBs + promotion.
+    Colt,
+    /// SnakeByte recursive merging + promotion.
+    SnakeByte,
+    /// CAST speculation without validation support.
+    CastOnly,
+    /// Full Avatar: CAST + CAVA + EAF.
+    Avatar,
+    /// Avatar without Early-TLB-Fill (ablation).
+    AvatarNoEaf,
+    /// CAST with oracle validation (upper bound for validation).
+    CastIdealValid,
+    /// Avatar with the VPN-T predictor instead of MOD (Fig 22).
+    AvatarVpnT,
+}
+
+impl SystemConfig {
+    /// The seven configurations of the paper's Fig 15, in plot order.
+    pub const FIG15: [SystemConfig; 6] = [
+        SystemConfig::Promotion,
+        SystemConfig::Colt,
+        SystemConfig::SnakeByte,
+        SystemConfig::CastOnly,
+        SystemConfig::Avatar,
+        SystemConfig::CastIdealValid,
+    ];
+
+    /// Short label used in harness tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemConfig::Baseline => "Baseline",
+            SystemConfig::IdealTlb => "Ideal-TLB",
+            SystemConfig::Promotion => "Promotion",
+            SystemConfig::Colt => "CoLT",
+            SystemConfig::SnakeByte => "SnakeByte",
+            SystemConfig::CastOnly => "CAST-only",
+            SystemConfig::Avatar => "Avatar",
+            SystemConfig::AvatarNoEaf => "Avatar-noEAF",
+            SystemConfig::CastIdealValid => "CAST+Ideal-Valid",
+            SystemConfig::AvatarVpnT => "Avatar-VPNT",
+        }
+    }
+
+    /// Whether the configuration adopts page promotion (the paper adopts
+    /// it for everything except the plain baseline and the ideal bound).
+    pub fn uses_promotion(self) -> bool {
+        !matches!(self, SystemConfig::Baseline | SystemConfig::IdealTlb)
+    }
+
+    /// Whether migrated data is compressed with embedded page info (CAVA).
+    pub fn embeds_page_info(self) -> bool {
+        matches!(
+            self,
+            SystemConfig::Avatar | SystemConfig::AvatarNoEaf | SystemConfig::AvatarVpnT
+        )
+    }
+}
+
+/// Options shared by every experiment harness.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Workload scale factor (shrinks working sets for quick runs).
+    pub scale: f64,
+    /// Oversubscription factor: `Some(1.3)` sizes GPU memory to
+    /// working-set / 1.3 (paper §IV-B6).
+    pub oversubscription: Option<f64>,
+    /// Base page size (4KB default; 64KB for the §IV-C1 study).
+    pub base_page: BasePage,
+    /// Extra seed mixed into allocation randomness.
+    pub seed: u64,
+    /// Override the SM count (None = Table II's 46).
+    pub sms: Option<usize>,
+    /// Override warps per SM (None = Table II's 48).
+    pub warps: Option<usize>,
+    /// Spatially shared tenants (paper §III-D); each runs its own copy of
+    /// the workload on its SM partition with an isolated address space.
+    pub tenants: usize,
+    /// Sector-compression codec behind CAVA (the paper uses BPC; FPC/BDI
+    /// support the codec ablation).
+    pub codec: avatar_bpc::Codec,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            scale: 1.0,
+            oversubscription: None,
+            base_page: BasePage::Size4K,
+            seed: 7,
+            sms: None,
+            warps: None,
+            tenants: 1,
+            codec: avatar_bpc::Codec::Bpc,
+        }
+    }
+}
+
+/// Builds the `GpuConfig` for (workload, configuration, options).
+pub fn gpu_config(workload: &Workload, config: SystemConfig, opts: &RunOptions) -> GpuConfig {
+    let mut cfg = GpuConfig::rtx3070();
+    if let Some(sms) = opts.sms {
+        cfg.num_sms = sms;
+    }
+    if let Some(warps) = opts.warps {
+        cfg.warps_per_sm = warps;
+    }
+    cfg.seed = opts.seed ^ workload.seed.rotate_left(17);
+    cfg.tenants = opts.tenants.max(1);
+    cfg.ideal_tlb = config == SystemConfig::IdealTlb;
+    cfg.uvm.base_page = opts.base_page;
+    cfg.uvm.promotion = config.uses_promotion();
+    cfg.uvm.embed_page_info = config.embeds_page_info();
+    if let Some(factor) = opts.oversubscription {
+        // Size memory against the footprint the trace actually touches
+        // (the paper adjusts memory per workload to incur the target
+        // oversubscription). Rounded down to whole chunks so reduced
+        // traces still feel the pressure; at least two chunks resident.
+        let touched =
+            avatar_workloads::trace::touched_footprint(workload, cfg.num_sms, cfg.warps_per_sm, opts.scale);
+        let capacity = ((touched as f64 / factor) as u64 / crate::CHUNK_BYTES) * crate::CHUNK_BYTES;
+        cfg.uvm.gpu_memory_bytes = capacity.max(2 * crate::CHUNK_BYTES);
+    }
+    cfg
+}
+
+fn build_tlbs(
+    config: SystemConfig,
+    cfg: &GpuConfig,
+) -> (Vec<Box<dyn TlbModel>>, Box<dyn TlbModel>) {
+    let base_pages = cfg.uvm.base_page.pages();
+    let l1 = |_i: usize| -> Box<dyn TlbModel> {
+        match config {
+            SystemConfig::Colt => Box::new(ColtTlb::new(
+                cfg.l1_tlb.base_entries,
+                cfg.l1_tlb.large_entries,
+                cfg.l1_tlb.assoc,
+            )),
+            SystemConfig::SnakeByte => Box::new(SnakeByteTlb::new(
+                cfg.l1_tlb.base_entries + cfg.l1_tlb.large_entries,
+            )),
+            _ => Box::new(BaseTlb::new(
+                cfg.l1_tlb.base_entries,
+                cfg.l1_tlb.large_entries,
+                cfg.l1_tlb.assoc,
+                base_pages,
+            )),
+        }
+    };
+    let l1s: Vec<Box<dyn TlbModel>> = (0..cfg.num_sms).map(l1).collect();
+    let l2: Box<dyn TlbModel> = match config {
+        SystemConfig::Colt => Box::new(ColtTlb::new(
+            cfg.l2_tlb.base_entries,
+            cfg.l2_tlb.large_entries,
+            cfg.l2_tlb.assoc,
+        )),
+        SystemConfig::SnakeByte => {
+            Box::new(SnakeByteTlb::new(cfg.l2_tlb.base_entries + cfg.l2_tlb.large_entries))
+        }
+        _ => Box::new(BaseTlb::new(
+            cfg.l2_tlb.base_entries,
+            cfg.l2_tlb.large_entries,
+            cfg.l2_tlb.assoc,
+            base_pages,
+        )),
+    };
+    (l1s, l2)
+}
+
+fn build_policy(
+    config: SystemConfig,
+    cfg: &GpuConfig,
+) -> Box<dyn avatar_sim::hooks::TranslationAccel> {
+    let n = cfg.num_sms;
+    let entries = cfg.spec.mod_entries;
+    let threshold = cfg.spec.confidence_threshold;
+    match config {
+        SystemConfig::CastOnly => Box::new(AvatarPolicy::cast_only(n, entries, threshold)),
+        SystemConfig::Avatar => Box::new(AvatarPolicy::avatar(n, entries, threshold)),
+        SystemConfig::AvatarNoEaf => Box::new(AvatarPolicy::avatar_no_eaf(n, entries, threshold)),
+        SystemConfig::CastIdealValid => Box::new(AvatarPolicy::cast_ideal(n, entries, threshold)),
+        SystemConfig::AvatarVpnT => Box::new(AvatarPolicy::avatar_vpnt(n, entries)),
+        _ => Box::new(NoSpeculation),
+    }
+}
+
+/// Runs one workload under one configuration and returns its statistics.
+pub fn run(workload: &Workload, config: SystemConfig, opts: &RunOptions) -> Stats {
+    run_with(workload, config, opts, |_| {})
+}
+
+/// Like [`run`] but lets the caller tweak the assembled [`GpuConfig`]
+/// before the engine is built — the hook for sensitivity/ablation studies
+/// (MOD sizing, decompression latency, PIPT caches, …).
+pub fn run_with(
+    workload: &Workload,
+    config: SystemConfig,
+    opts: &RunOptions,
+    tweak: impl FnOnce(&mut GpuConfig),
+) -> Stats {
+    let mut cfg = gpu_config(workload, config, opts);
+    tweak(&mut cfg);
+    let (l1s, l2) = build_tlbs(config, &cfg);
+    let policy = build_policy(config, &cfg);
+    let content = avatar_workloads::ContentModel::with_codec(workload.clone(), opts.codec);
+    let program: Box<dyn avatar_sim::sm::WarpProgram> = if cfg.tenants > 1 {
+        let tenants = cfg.tenants;
+        let programs = (0..tenants)
+            .map(|t| {
+                let sms = avatar_workloads::MultiTenantProgram::partition_sms(
+                    cfg.num_sms,
+                    tenants,
+                    t,
+                );
+                Box::new(workload.program(sms, cfg.warps_per_sm, opts.scale))
+                    as Box<dyn avatar_sim::sm::WarpProgram>
+            })
+            .collect();
+        Box::new(avatar_workloads::MultiTenantProgram::new(programs, cfg.num_sms))
+    } else {
+        Box::new(workload.program(cfg.num_sms, cfg.warps_per_sm, opts.scale))
+    };
+    let engine = Engine::new(cfg, l1s, l2, policy, Box::new(content), program);
+    engine.run()
+}
+
+/// Cycles-based speedup of `other` relative to `base` (higher is faster).
+pub fn speedup(base: &Stats, other: &Stats) -> f64 {
+    if other.cycles == 0 {
+        return 0.0;
+    }
+    base.cycles as f64 / other.cycles as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> RunOptions {
+        RunOptions { scale: 0.03, sms: Some(4), warps: Some(8), ..RunOptions::default() }
+    }
+
+    fn quick_workload() -> Workload {
+        Workload::by_abbr("GEMM").expect("known workload")
+    }
+
+    #[test]
+    fn baseline_runs_to_completion() {
+        let stats = run(&quick_workload(), SystemConfig::Baseline, &quick_opts());
+        assert!(stats.cycles > 0);
+        assert!(stats.loads > 0);
+        assert_eq!(stats.speculations, 0, "baseline never speculates");
+    }
+
+    #[test]
+    fn ideal_tlb_beats_baseline() {
+        let w = Workload::by_abbr("SSSP").unwrap();
+        let base = run(&w, SystemConfig::Baseline, &quick_opts());
+        let ideal = run(&w, SystemConfig::IdealTlb, &quick_opts());
+        assert!(
+            ideal.cycles < base.cycles,
+            "ideal {} must beat baseline {}",
+            ideal.cycles,
+            base.cycles
+        );
+        assert_eq!(ideal.page_walks, 0, "ideal TLB never walks");
+    }
+
+    #[test]
+    fn avatar_speculates_and_validates() {
+        let w = Workload::by_abbr("SSSP").unwrap();
+        let stats = run(&w, SystemConfig::Avatar, &quick_opts());
+        assert!(stats.speculations > 0, "Avatar must speculate");
+        assert!(stats.spec_correct > 0, "some speculations must be correct");
+        assert!(stats.outcomes.fast_translation > 0, "CAVA must validate some");
+        assert!(stats.eaf_fills > 0, "EAF must install entries");
+    }
+
+    #[test]
+    fn cast_only_speculates_but_never_fast_translates() {
+        let w = Workload::by_abbr("SSSP").unwrap();
+        let stats = run(&w, SystemConfig::CastOnly, &quick_opts());
+        assert!(stats.speculations > 0);
+        assert_eq!(stats.outcomes.fast_translation, 0, "no validation hardware");
+        assert_eq!(stats.eaf_fills, 0);
+    }
+
+    #[test]
+    fn promotion_promotes_chunks() {
+        // A streaming workload sweeps its whole footprint page by page, so
+        // chunks become fully resident and promote.
+        let w = Workload::by_abbr("GEMM").unwrap();
+        let opts = RunOptions { scale: 0.05, sms: Some(8), warps: Some(16), ..RunOptions::default() };
+        let stats = run(&w, SystemConfig::Promotion, &opts);
+        assert!(stats.promotions > 0, "fully-touched chunks must promote");
+    }
+
+    #[test]
+    fn oversubscription_evicts() {
+        // A streaming sweep larger than the constrained memory must churn.
+        let w = Workload::by_abbr("GEMM").unwrap();
+        let opts = RunOptions {
+            scale: 0.5,
+            oversubscription: Some(1.3),
+            sms: Some(8),
+            warps: Some(16),
+            ..RunOptions::default()
+        };
+        let stats = run(&w, SystemConfig::Baseline, &opts);
+        assert!(stats.chunks_evicted > 0, "130% oversubscription must evict");
+        assert!(stats.tlb_shootdowns > 0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let w = quick_workload();
+        let a = run(&w, SystemConfig::Avatar, &quick_opts());
+        let b = run(&w, SystemConfig::Avatar, &quick_opts());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.speculations, b.speculations);
+        assert_eq!(a.dram_read_bytes, b.dram_read_bytes);
+    }
+
+    #[test]
+    fn colt_and_snakebyte_run() {
+        let w = Workload::by_abbr("KM").unwrap();
+        for config in [SystemConfig::Colt, SystemConfig::SnakeByte] {
+            let stats = run(&w, config, &quick_opts());
+            assert!(stats.cycles > 0, "{} must complete", config.label());
+        }
+    }
+}

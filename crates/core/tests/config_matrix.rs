@@ -1,0 +1,110 @@
+//! Configuration-matrix tests: every evaluated configuration must satisfy
+//! its defining properties on a common workload — the contract between
+//! `SystemConfig` and the machinery it enables.
+
+use avatar_core::system::{gpu_config, run, RunOptions, SystemConfig};
+use avatar_sim::config::CacheArrangement;
+use avatar_workloads::Workload;
+
+fn opts() -> RunOptions {
+    RunOptions { scale: 0.05, sms: Some(4), warps: Some(8), ..RunOptions::default() }
+}
+
+#[test]
+fn promotion_flag_follows_configuration() {
+    let w = Workload::by_abbr("GEMM").unwrap();
+    for cfg in [SystemConfig::Baseline, SystemConfig::IdealTlb] {
+        assert!(!gpu_config(&w, cfg, &opts()).uvm.promotion, "{}", cfg.label());
+    }
+    for cfg in [
+        SystemConfig::Promotion,
+        SystemConfig::Colt,
+        SystemConfig::SnakeByte,
+        SystemConfig::CastOnly,
+        SystemConfig::Avatar,
+        SystemConfig::CastIdealValid,
+    ] {
+        assert!(gpu_config(&w, cfg, &opts()).uvm.promotion, "{}", cfg.label());
+    }
+}
+
+#[test]
+fn embedding_only_for_cava_configurations() {
+    let w = Workload::by_abbr("GEMM").unwrap();
+    for cfg in [
+        SystemConfig::Baseline,
+        SystemConfig::Promotion,
+        SystemConfig::Colt,
+        SystemConfig::SnakeByte,
+        SystemConfig::CastOnly,
+        SystemConfig::CastIdealValid,
+    ] {
+        assert!(!gpu_config(&w, cfg, &opts()).uvm.embed_page_info, "{}", cfg.label());
+    }
+    for cfg in [SystemConfig::Avatar, SystemConfig::AvatarNoEaf, SystemConfig::AvatarVpnT] {
+        assert!(gpu_config(&w, cfg, &opts()).uvm.embed_page_info, "{}", cfg.label());
+    }
+}
+
+#[test]
+fn non_speculating_configs_never_speculate() {
+    let w = Workload::by_abbr("SSSP").unwrap();
+    for cfg in [
+        SystemConfig::Baseline,
+        SystemConfig::Promotion,
+        SystemConfig::Colt,
+        SystemConfig::SnakeByte,
+    ] {
+        let s = run(&w, cfg, &opts());
+        assert_eq!(s.speculations, 0, "{}", cfg.label());
+        assert_eq!(s.spec_fetches, 0, "{}", cfg.label());
+        assert_eq!(s.eaf_fills, 0, "{}", cfg.label());
+    }
+}
+
+#[test]
+fn vpnt_variant_uses_the_vpn_predictor() {
+    // The VPN-T predictor speculates directly after one observation, so
+    // on a fresh-page stream it attempts strictly more speculations than
+    // MOD (which needs two confirming observations per PC).
+    let w = Workload::by_abbr("GEMM").unwrap();
+    let m = run(&w, SystemConfig::Avatar, &opts());
+    let v = run(&w, SystemConfig::AvatarVpnT, &opts());
+    assert!(v.speculations > 0 && m.speculations > 0);
+}
+
+#[test]
+fn run_with_tweak_applies() {
+    let w = Workload::by_abbr("GEMM").unwrap();
+    // Degenerate tweak: zero-entry MOD tables (clamped to 1) with an
+    // unreachable threshold disable speculation entirely.
+    let s = avatar_core::system::run_with(&w, SystemConfig::Avatar, &opts(), |c| {
+        c.spec.confidence_threshold = 3;
+        c.spec.mod_entries = 1;
+    });
+    let normal = run(&w, SystemConfig::Avatar, &opts());
+    assert!(s.spec_coverage() <= normal.spec_coverage() + 1e-9);
+}
+
+#[test]
+fn pipt_is_never_faster_than_vipt() {
+    let w = Workload::by_abbr("GEMM").unwrap();
+    let vipt = avatar_core::system::run_with(&w, SystemConfig::Baseline, &opts(), |c| {
+        c.l1_arrangement = CacheArrangement::Vipt;
+    });
+    let pipt = avatar_core::system::run_with(&w, SystemConfig::Baseline, &opts(), |c| {
+        c.l1_arrangement = CacheArrangement::Pipt;
+    });
+    assert!(pipt.cycles >= vipt.cycles, "PIPT serializes: {} vs {}", pipt.cycles, vipt.cycles);
+}
+
+#[test]
+fn codec_choice_changes_validation_not_correctness() {
+    let w = Workload::by_abbr("GC").unwrap();
+    let bpc = run(&w, SystemConfig::Avatar, &RunOptions { codec: avatar_bpc::Codec::Bpc, ..opts() });
+    let fpc = run(&w, SystemConfig::Avatar, &RunOptions { codec: avatar_bpc::Codec::Fpc, ..opts() });
+    // Same work either way; FPC's weaker budget fit yields fewer (or
+    // equal) rapid validations.
+    assert_eq!(bpc.loads, fpc.loads);
+    assert!(fpc.outcomes.fast_translation <= bpc.outcomes.fast_translation);
+}

@@ -1,0 +1,100 @@
+//! Property tests for CAST's predictors: the MOD state machine must obey
+//! its saturating-counter rules on any training sequence, and predictions
+//! must always reflect sufficiently confident, previously observed
+//! offsets.
+
+use avatar_core::{AvatarPolicy, ModTable, VpnTable};
+use avatar_sim::addr::{Ppn, Vpn};
+use avatar_sim::hooks::TranslationAccel;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn mod_confidence_stays_in_two_bits(
+        trainings in proptest::collection::vec((0u64..8, -100i64..100), 1..300)
+    ) {
+        let mut m = ModTable::new(4, 2);
+        for (pc, offset) in trainings {
+            m.train(pc, offset);
+            if let Some(c) = m.confidence(pc) {
+                prop_assert!(c <= 3, "2-bit saturating counter");
+            }
+        }
+    }
+
+    #[test]
+    fn mod_only_predicts_observed_offsets(
+        trainings in proptest::collection::vec((0u64..4, 0i64..8), 1..200),
+        probe in 0u64..4,
+    ) {
+        let mut m = ModTable::new(8, 2);
+        let mut seen = std::collections::HashSet::new();
+        for (pc, offset) in &trainings {
+            m.train(*pc, *offset);
+            seen.insert(*offset);
+        }
+        if let Some(p) = m.predict(probe) {
+            prop_assert!(seen.contains(&p), "prediction {p} was never trained");
+        }
+    }
+
+    #[test]
+    fn mod_never_predicts_with_fewer_than_threshold_confirmations(
+        pc in 0u64..16, offset in -50i64..50
+    ) {
+        let mut m = ModTable::new(32, 2);
+        m.train(pc, offset);
+        prop_assert_eq!(m.predict(pc), None, "one observation is below threshold 2");
+        m.train(pc, offset);
+        prop_assert_eq!(m.predict(pc), Some(offset));
+    }
+
+    #[test]
+    fn mod_capacity_bounded(trainings in proptest::collection::vec((0u64..1000, 0i64..10), 1..300)) {
+        let mut m = ModTable::new(32, 2);
+        for (pc, offset) in trainings {
+            m.train(pc, offset);
+            prop_assert!(m.len() <= 32);
+        }
+    }
+
+    #[test]
+    fn vpnt_predicts_last_trained_offset_per_region(
+        trainings in proptest::collection::vec((0u64..(4 * 512), 0i64..100_000), 1..200)
+    ) {
+        let mut t = VpnTable::new(64); // larger than 4 regions: no eviction
+        let mut last: std::collections::HashMap<u64, i64> = std::collections::HashMap::new();
+        for (vpn, offset) in &trainings {
+            t.train(Vpn(*vpn), *offset);
+            last.insert(vpn / 512, *offset);
+        }
+        for (chunk, offset) in &last {
+            prop_assert_eq!(t.predict(Vpn(chunk * 512)), Some(*offset));
+        }
+    }
+
+    #[test]
+    fn policy_predictions_are_consistent_with_training(
+        vpns in proptest::collection::vec(1u64..10_000, 3..50),
+        offset in 1i64..100_000,
+    ) {
+        // Train one PC with a constant offset: every later prediction for
+        // that PC must be vpn + offset.
+        let mut p = AvatarPolicy::avatar(1, 32, 2);
+        for vpn in &vpns {
+            p.on_translation_resolved(0, 0x400, Vpn(*vpn), Ppn((*vpn as i64 + offset) as u64));
+        }
+        for vpn in vpns.iter().take(5) {
+            if let Some(ppn) = p.on_l1_tlb_miss(0, 0x400, Vpn(*vpn)) {
+                prop_assert_eq!(ppn.0 as i64, *vpn as i64 + offset);
+            }
+        }
+    }
+
+    #[test]
+    fn policy_never_predicts_untrained_pcs(pc in 0u64..100, vpn in 0u64..10_000) {
+        let mut p = AvatarPolicy::avatar(2, 32, 2);
+        prop_assert_eq!(p.on_l1_tlb_miss(0, pc, Vpn(vpn)), None);
+        prop_assert_eq!(p.on_l1_tlb_miss(1, pc, Vpn(vpn)), None);
+    }
+}

@@ -1,0 +1,208 @@
+//! Typed addresses and geometry constants for the simulated GPU.
+//!
+//! The simulator uses a 48-bit virtual address space with 4KB base pages,
+//! 2MB logical chunks (the CUDA-runtime UVM allocation granule), 128-byte
+//! cache lines split into four 32-byte sectors.
+
+use std::fmt;
+
+/// log2 of the base page size (4KB).
+pub const PAGE_SHIFT: u32 = 12;
+/// Base page size in bytes.
+pub const PAGE_BYTES: u64 = 1 << PAGE_SHIFT;
+/// log2 of the large-page / logical-chunk size (2MB).
+pub const CHUNK_SHIFT: u32 = 21;
+/// Logical chunk size in bytes (2MB).
+pub const CHUNK_BYTES: u64 = 1 << CHUNK_SHIFT;
+/// 4KB pages per 2MB chunk.
+pub const PAGES_PER_CHUNK: u64 = 1 << (CHUNK_SHIFT - PAGE_SHIFT);
+/// Cache line size in bytes.
+pub const LINE_BYTES: u64 = 128;
+/// Sector size in bytes.
+pub const SECTOR_BYTES: u64 = 32;
+/// Sectors per cache line.
+pub const SECTORS_PER_LINE: u64 = LINE_BYTES / SECTOR_BYTES;
+/// Sectors per 4KB page.
+pub const SECTORS_PER_PAGE: u64 = PAGE_BYTES / SECTOR_BYTES;
+
+/// A virtual byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+/// A physical (GPU device) byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+/// A virtual page number (address >> 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vpn(pub u64);
+
+/// A physical page (frame) number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ppn(pub u64);
+
+impl VirtAddr {
+    /// The page this address falls in.
+    pub fn vpn(self) -> Vpn {
+        Vpn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the page.
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_BYTES - 1)
+    }
+
+    /// The 2MB virtual chunk index.
+    pub fn chunk(self) -> u64 {
+        self.0 >> CHUNK_SHIFT
+    }
+
+    /// Virtual sector index (address / 32).
+    pub fn sector_id(self) -> u64 {
+        self.0 / SECTOR_BYTES
+    }
+
+    /// Sector index within the page (0..128).
+    pub fn sector_in_page(self) -> u32 {
+        (self.page_offset() / SECTOR_BYTES) as u32
+    }
+}
+
+impl Vpn {
+    /// First byte address of the page.
+    pub fn base(self) -> VirtAddr {
+        VirtAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// The 2MB virtual chunk index this page belongs to.
+    pub fn chunk(self) -> u64 {
+        self.0 >> (CHUNK_SHIFT - PAGE_SHIFT)
+    }
+
+    /// Page index within its 2MB chunk (0..512).
+    pub fn page_in_chunk(self) -> u64 {
+        self.0 & (PAGES_PER_CHUNK - 1)
+    }
+}
+
+impl Ppn {
+    /// First byte address of the frame.
+    pub fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_SHIFT)
+    }
+}
+
+impl PhysAddr {
+    /// The frame this address falls in.
+    pub fn ppn(self) -> Ppn {
+        Ppn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the frame.
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_BYTES - 1)
+    }
+
+    /// Physical cache-line address (aligned).
+    pub fn line(self) -> u64 {
+        self.0 / LINE_BYTES
+    }
+
+    /// Sector index within the cache line (0..4).
+    pub fn sector_in_line(self) -> u32 {
+        ((self.0 % LINE_BYTES) / SECTOR_BYTES) as u32
+    }
+}
+
+/// Combines a page translation with a page offset.
+pub fn translate(vaddr: VirtAddr, ppn: Ppn) -> PhysAddr {
+    PhysAddr((ppn.0 << PAGE_SHIFT) | vaddr.page_offset())
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vpn:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for Ppn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ppn:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(v: u64) -> Self {
+        VirtAddr(v)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        PhysAddr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_constants_consistent() {
+        assert_eq!(PAGES_PER_CHUNK, 512);
+        assert_eq!(SECTORS_PER_LINE, 4);
+        assert_eq!(SECTORS_PER_PAGE, 128);
+    }
+
+    #[test]
+    fn vpn_and_offsets() {
+        let a = VirtAddr(0x1234_5678);
+        assert_eq!(a.vpn().0, 0x1234_5678 >> 12);
+        assert_eq!(a.page_offset(), 0x678);
+        assert_eq!(a.vpn().base().0, a.0 & !0xFFF);
+    }
+
+    #[test]
+    fn chunk_indexing() {
+        let a = VirtAddr(2 * CHUNK_BYTES + 5 * PAGE_BYTES + 100);
+        assert_eq!(a.chunk(), 2);
+        assert_eq!(a.vpn().chunk(), 2);
+        assert_eq!(a.vpn().page_in_chunk(), 5);
+    }
+
+    #[test]
+    fn translate_preserves_offset() {
+        let va = VirtAddr(0xABCD_E123);
+        let pa = translate(va, Ppn(0x42));
+        assert_eq!(pa.page_offset(), va.page_offset());
+        assert_eq!(pa.ppn().0, 0x42);
+    }
+
+    #[test]
+    fn sector_indexing() {
+        let a = VirtAddr(PAGE_BYTES + 3 * SECTOR_BYTES + 1);
+        assert_eq!(a.sector_in_page(), 3);
+        assert_eq!(a.sector_id(), (PAGE_BYTES / SECTOR_BYTES) + 3);
+        let p = PhysAddr(LINE_BYTES * 7 + SECTOR_BYTES * 2);
+        assert_eq!(p.line(), 7);
+        assert_eq!(p.sector_in_line(), 2);
+    }
+
+    #[test]
+    fn display_formats_nonempty() {
+        assert!(!format!("{}", VirtAddr(0)).is_empty());
+        assert!(!format!("{}", Ppn(1)).is_empty());
+    }
+}

@@ -1,0 +1,353 @@
+//! Sectored set-associative caches with CAVA's per-sector tag extensions.
+//!
+//! Cache lines are 128 bytes split into four 32-byte sectors, as in modern
+//! NVIDIA designs. Each sector tag carries a valid bit plus the two bits
+//! Avatar adds (paper Fig 12):
+//!
+//! * **C (compression)** — the fetched sector was stored compressed in GPU
+//!   main memory (and therefore carries embedded page information).
+//! * **G (guarantee)** — the sector's translation is validated; while clear
+//!   the sector is *invisible*: present but unusable by warps, exactly the
+//!   InvisiSpec-style protection the paper adopts for speculatively fetched
+//!   data.
+
+use crate::addr::{PhysAddr, SECTORS_PER_LINE};
+
+/// Per-sector tag state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SectorFlags {
+    /// Sector data present.
+    pub valid: bool,
+    /// Stored compressed in DRAM (page info embedded).
+    pub compressed: bool,
+    /// Translation validated — data visible to warps.
+    pub guaranteed: bool,
+    /// Modified since fill — must be written back on eviction.
+    pub dirty: bool,
+}
+
+/// Result of probing the cache for one sector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// Sector present and guaranteed: a usable hit.
+    Hit,
+    /// Sector present but its guarantee bit is clear: data exists in the
+    /// array but is invisible until validation.
+    HitUnguaranteed,
+    /// Sector (or line) absent.
+    Miss,
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    line_addr: u64,
+    sectors: [SectorFlags; SECTORS_PER_LINE as usize],
+    last_use: u64,
+}
+
+/// An evicted line: its address and final sector flags, for writebacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// 128B-line address (byte address / 128).
+    pub line_addr: u64,
+    /// Final per-sector flags; dirty+valid sectors need writeback.
+    pub sectors: [SectorFlags; SECTORS_PER_LINE as usize],
+}
+
+/// A sectored, set-associative, LRU cache directory.
+///
+/// The simulator tracks tags and sector flags only — data contents are
+/// modelled by the deterministic content providers, so no byte storage is
+/// needed.
+#[derive(Debug, Clone)]
+pub struct SectorCache {
+    sets: Vec<Vec<Line>>,
+    assoc: usize,
+    stamp: u64,
+}
+
+impl SectorCache {
+    /// Creates a cache with `lines` total 128B lines and `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if geometry is degenerate (zero lines or associativity).
+    pub fn new(lines: u64, assoc: usize) -> Self {
+        assert!(lines > 0 && assoc > 0, "cache must have lines and ways");
+        let sets = (lines / assoc as u64).max(1) as usize;
+        Self { sets: vec![Vec::new(); sets], assoc, stamp: 0 }
+    }
+
+    fn set_of(&self, line_addr: u64) -> usize {
+        (line_addr % self.sets.len() as u64) as usize
+    }
+
+    /// Probes for the sector containing `pa`, updating LRU on any hit.
+    pub fn probe(&mut self, pa: PhysAddr) -> Probe {
+        let line_addr = pa.line();
+        let sector = pa.sector_in_line() as usize;
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_of(line_addr);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.line_addr == line_addr) {
+            if line.sectors[sector].valid {
+                line.last_use = stamp;
+                return if line.sectors[sector].guaranteed {
+                    Probe::Hit
+                } else {
+                    Probe::HitUnguaranteed
+                };
+            }
+        }
+        Probe::Miss
+    }
+
+    /// Reads the sector flags without touching LRU.
+    pub fn peek(&self, pa: PhysAddr) -> Option<SectorFlags> {
+        let line_addr = pa.line();
+        let set = self.set_of(line_addr);
+        self.sets[set]
+            .iter()
+            .find(|l| l.line_addr == line_addr)
+            .map(|l| l.sectors[pa.sector_in_line() as usize])
+            .filter(|s| s.valid)
+    }
+
+    /// Fills the sector containing `pa`, allocating (and possibly evicting)
+    /// its line. Returns the evicted line (address + sector flags), if any,
+    /// so the caller can write back its dirty sectors.
+    pub fn fill(&mut self, pa: PhysAddr, flags: SectorFlags) -> Option<EvictedLine> {
+        let line_addr = pa.line();
+        let sector = pa.sector_in_line() as usize;
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set_idx = self.set_of(line_addr);
+        let assoc = self.assoc;
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.line_addr == line_addr) {
+            // A refill must not lose an earlier dirtying of the sector.
+            let dirty = line.sectors[sector].dirty && line.sectors[sector].valid;
+            line.sectors[sector] = SectorFlags { valid: true, dirty: flags.dirty || dirty, ..flags };
+            line.last_use = stamp;
+            return None;
+        }
+        let mut evicted = None;
+        if set.len() >= assoc {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("nonempty set");
+            let v = set.swap_remove(victim);
+            evicted = Some(EvictedLine { line_addr: v.line_addr, sectors: v.sectors });
+        }
+        let mut sectors = [SectorFlags::default(); SECTORS_PER_LINE as usize];
+        sectors[sector] = SectorFlags { valid: true, ..flags };
+        set.push(Line { line_addr, sectors, last_use: stamp });
+        evicted
+    }
+
+    /// Marks a present sector dirty (store hit). Returns `false` if absent.
+    pub fn mark_dirty(&mut self, pa: PhysAddr) -> bool {
+        let line_addr = pa.line();
+        let set = self.set_of(line_addr);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.line_addr == line_addr) {
+            let s = &mut line.sectors[pa.sector_in_line() as usize];
+            if s.valid {
+                s.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Sets or clears the guarantee bit of a present sector.
+    ///
+    /// Returns `false` if the sector is no longer cached.
+    pub fn set_guarantee(&mut self, pa: PhysAddr, guaranteed: bool) -> bool {
+        let line_addr = pa.line();
+        let set = self.set_of(line_addr);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.line_addr == line_addr) {
+            let s = &mut line.sectors[pa.sector_in_line() as usize];
+            if s.valid {
+                s.guaranteed = guaranteed;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates one sector (mis-speculation cleanup). Returns whether it
+    /// was present.
+    pub fn invalidate_sector(&mut self, pa: PhysAddr) -> bool {
+        let line_addr = pa.line();
+        let set = self.set_of(line_addr);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.line_addr == line_addr) {
+            let s = &mut line.sectors[pa.sector_in_line() as usize];
+            let was = s.valid;
+            *s = SectorFlags::default();
+            return was;
+        }
+        false
+    }
+
+    /// Invalidates every sector belonging to the physical page `ppn_base`
+    /// (page-migration flush). Returns the number of sectors dropped.
+    pub fn invalidate_page(&mut self, page_base: PhysAddr) -> u64 {
+        let first_line = page_base.0 / crate::addr::LINE_BYTES;
+        let lines_per_page = crate::addr::PAGE_BYTES / crate::addr::LINE_BYTES;
+        let mut dropped = 0;
+        for set in &mut self.sets {
+            set.retain(|l| {
+                if l.line_addr >= first_line && l.line_addr < first_line + lines_per_page {
+                    dropped += l.sectors.iter().filter(|s| s.valid).count() as u64;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        dropped
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Invalidates every line belonging to any of the given frames (chunk
+    /// eviction flush). One pass over the directory regardless of how many
+    /// frames are dropped.
+    pub fn invalidate_frames(&mut self, frames: &std::collections::HashSet<u64>) -> u64 {
+        const LINES_PER_PAGE: u64 = crate::addr::PAGE_BYTES / crate::addr::LINE_BYTES;
+        let mut dropped = 0;
+        for set in &mut self.sets {
+            set.retain(|l| {
+                if frames.contains(&(l.line_addr / LINES_PER_PAGE)) {
+                    dropped += l.sectors.iter().filter(|s| s.valid).count() as u64;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pa(line: u64, sector: u64) -> PhysAddr {
+        PhysAddr(line * 128 + sector * 32)
+    }
+
+    fn guaranteed() -> SectorFlags {
+        SectorFlags { valid: true, compressed: false, guaranteed: true, dirty: false }
+    }
+
+    fn dirty() -> SectorFlags {
+        SectorFlags { valid: true, compressed: false, guaranteed: true, dirty: true }
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = SectorCache::new(64, 4);
+        assert_eq!(c.probe(pa(1, 0)), Probe::Miss);
+        c.fill(pa(1, 0), guaranteed());
+        assert_eq!(c.probe(pa(1, 0)), Probe::Hit);
+        // Other sectors of the same line are still misses.
+        assert_eq!(c.probe(pa(1, 1)), Probe::Miss);
+    }
+
+    #[test]
+    fn unguaranteed_sector_is_invisible() {
+        let mut c = SectorCache::new(64, 4);
+        c.fill(pa(2, 3), SectorFlags { valid: true, compressed: true, guaranteed: false, dirty: false });
+        assert_eq!(c.probe(pa(2, 3)), Probe::HitUnguaranteed);
+        assert!(c.set_guarantee(pa(2, 3), true));
+        assert_eq!(c.probe(pa(2, 3)), Probe::Hit);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = SectorCache::new(2, 2); // one set, two ways
+        c.fill(pa(10, 0), guaranteed());
+        c.fill(pa(20, 0), guaranteed());
+        c.probe(pa(10, 0)); // touch 10 so 20 is LRU
+        let evicted = c.fill(pa(30, 0), guaranteed());
+        assert_eq!(evicted.map(|e| e.line_addr), Some(20));
+        assert_eq!(c.probe(pa(10, 0)), Probe::Hit);
+        assert_eq!(c.probe(pa(20, 0)), Probe::Miss);
+    }
+
+    #[test]
+    fn invalidate_sector_leaves_line() {
+        let mut c = SectorCache::new(64, 4);
+        c.fill(pa(5, 0), guaranteed());
+        c.fill(pa(5, 1), guaranteed());
+        assert!(c.invalidate_sector(pa(5, 0)));
+        assert_eq!(c.probe(pa(5, 0)), Probe::Miss);
+        assert_eq!(c.probe(pa(5, 1)), Probe::Hit);
+        assert!(!c.invalidate_sector(pa(5, 0)));
+    }
+
+    #[test]
+    fn invalidate_page_drops_all_its_lines() {
+        let mut c = SectorCache::new(1024, 4);
+        // Page 0 covers lines 0..32.
+        c.fill(pa(0, 0), guaranteed());
+        c.fill(pa(31, 2), guaranteed());
+        c.fill(pa(32, 0), guaranteed()); // next page
+        let dropped = c.invalidate_page(PhysAddr(0));
+        assert_eq!(dropped, 2);
+        assert_eq!(c.probe(pa(32, 0)), Probe::Hit);
+    }
+
+    #[test]
+    fn peek_does_not_touch_lru() {
+        let mut c = SectorCache::new(2, 2);
+        c.fill(pa(10, 0), guaranteed());
+        c.fill(pa(20, 0), guaranteed());
+        let _ = c.peek(pa(10, 0)); // no LRU update: 10 stays older
+        c.fill(pa(30, 0), guaranteed());
+        assert_eq!(c.probe(pa(10, 0)), Probe::Miss);
+        assert_eq!(c.probe(pa(20, 0)), Probe::Hit);
+    }
+
+    #[test]
+    fn mark_dirty_and_writeback_on_eviction() {
+        let mut c = SectorCache::new(2, 2); // one set, two ways
+        c.fill(pa(10, 1), guaranteed());
+        assert!(c.mark_dirty(pa(10, 1)));
+        assert!(!c.mark_dirty(pa(10, 0)), "absent sector cannot be dirtied");
+        c.fill(pa(20, 0), guaranteed());
+        let evicted = c.fill(pa(30, 0), dirty()).expect("eviction");
+        assert_eq!(evicted.line_addr, 10);
+        assert!(evicted.sectors[1].dirty, "dirty flag survives to the writeback");
+        assert!(!evicted.sectors[0].dirty);
+    }
+
+    #[test]
+    fn refill_preserves_dirty_bit() {
+        let mut c = SectorCache::new(64, 4);
+        c.fill(pa(5, 0), guaranteed());
+        c.mark_dirty(pa(5, 0));
+        // A refill of the same sector (e.g. a later fetch generation)
+        // must not silently drop the pending writeback.
+        c.fill(pa(5, 0), guaranteed());
+        assert!(c.peek(pa(5, 0)).unwrap().dirty);
+    }
+
+    #[test]
+    fn refill_updates_flags() {
+        let mut c = SectorCache::new(64, 4);
+        c.fill(pa(7, 0), SectorFlags { valid: true, compressed: false, guaranteed: false, dirty: false });
+        c.fill(pa(7, 0), guaranteed());
+        assert_eq!(c.probe(pa(7, 0)), Probe::Hit);
+        let f = c.peek(pa(7, 0)).unwrap();
+        assert!(f.guaranteed);
+    }
+}

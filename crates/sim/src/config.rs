@@ -1,0 +1,337 @@
+//! Simulated system configuration (paper Table II, RTX3070-like).
+
+/// A simulation timestamp in GPU core cycles (1132 MHz).
+pub type Cycle = u64;
+
+/// L1 data-cache arrangement relative to address translation (paper
+/// §III-D "Cache Designs").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheArrangement {
+    /// Virtually indexed, physically tagged (the baseline): the L1 lookup
+    /// proceeds in parallel with the L1 TLB, so a TLB hit only pays the
+    /// non-overlapped part of the cache latency.
+    Vipt,
+    /// Physically indexed, physically tagged: the data lookup starts only
+    /// after translation completes.
+    Pipt,
+}
+
+/// Base page size selector (paper §IV-C1 evaluates 4KB and 64KB bases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BasePage {
+    /// 4KB base pages (default UVM fault granularity).
+    Size4K,
+    /// 64KB base pages (prefetch-enlarged fault granularity).
+    Size64K,
+}
+
+impl BasePage {
+    /// Number of 4KB pages covered by one base page.
+    pub fn pages(self) -> u64 {
+        match self {
+            BasePage::Size4K => 1,
+            BasePage::Size64K => 16,
+        }
+    }
+}
+
+/// TLB hierarchy sizing and latencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TlbConfig {
+    /// Entries for base-page translations.
+    pub base_entries: usize,
+    /// Entries for 2MB large-page translations.
+    pub large_entries: usize,
+    /// Access latency in cycles.
+    pub latency: Cycle,
+    /// Associativity (0 = fully associative).
+    pub assoc: usize,
+    /// Lookups that may start per cycle.
+    pub ports: u32,
+    /// Outstanding misses.
+    pub mshr_entries: usize,
+}
+
+/// Cache sizing and latencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub bytes: u64,
+    /// Access latency in cycles.
+    pub latency: Cycle,
+    /// Set associativity.
+    pub assoc: usize,
+    /// Outstanding line misses.
+    pub mshr_entries: usize,
+    /// Accesses that may start per cycle.
+    pub ports: u32,
+}
+
+impl CacheConfig {
+    /// Number of 128B lines.
+    pub fn lines(&self) -> u64 {
+        self.bytes / crate::addr::LINE_BYTES
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        (self.lines() / self.assoc as u64).max(1)
+    }
+}
+
+/// GDDR6 DRAM timing (converted to core cycles at 1132 MHz).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramConfig {
+    /// Number of channels.
+    pub channels: usize,
+    /// Banks per channel.
+    pub banks_per_channel: usize,
+    /// DRAM row (page) size in bytes.
+    pub row_bytes: u64,
+    /// Row activate latency (tRCD) in core cycles.
+    pub t_rcd: Cycle,
+    /// Column access latency (tCL) in core cycles.
+    pub t_cl: Cycle,
+    /// Precharge latency (tRP) in core cycles.
+    pub t_rp: Cycle,
+    /// Write latency (tWL) in core cycles.
+    pub t_wl: Cycle,
+    /// Read-to-write turnaround (tRTW) in core cycles.
+    pub t_rtw: Cycle,
+    /// Data-bus occupancy per 32B sector burst, in core cycles.
+    pub burst: Cycle,
+}
+
+/// Page-walk system parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkerConfig {
+    /// Concurrent page-table walkers.
+    pub walkers: usize,
+    /// Page-walk buffer entries.
+    pub buffer_entries: usize,
+    /// Page-walk cache entries.
+    pub pw_cache_entries: usize,
+    /// Page-walk cache ports.
+    pub pw_cache_ports: u32,
+}
+
+/// UVM memory-management behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UvmConfig {
+    /// GPU memory capacity in bytes. `u64::MAX` disables oversubscription.
+    pub gpu_memory_bytes: u64,
+    /// Base page (fault granularity) size.
+    pub base_page: BasePage,
+    /// Enable the tree-based neighborhood (TBN-style) prefetcher: faults
+    /// migrate the surrounding 64KB block.
+    pub tbn_prefetch: bool,
+    /// Enable page promotion to 2MB when a chunk is fully resident and
+    /// physically contiguous (Mosaic-style; adopted by all non-baseline
+    /// configurations in the paper's Fig 15).
+    pub promotion: bool,
+    /// Probability that a 2MB chunk reservation fails and the chunk's pages
+    /// are scattered to arbitrary free frames (physical fragmentation).
+    pub fragmentation: f64,
+    /// Probability that consecutive virtual chunks are placed in
+    /// consecutive physical chunks (cross-chunk contiguity).
+    pub cross_chunk_contiguity: f64,
+    /// Compress sectors and embed page info at migration (CAVA support).
+    pub embed_page_info: bool,
+    /// Access-counter migration threshold (paper §III-D): a page migrates
+    /// only after this many touches; earlier accesses are served remotely
+    /// from host memory over the interconnect. 1 = migrate on first touch
+    /// (the default UVM behaviour).
+    pub migration_threshold: u32,
+    /// Latency of a remote (host-memory) access over PCIe/NVLink, in core
+    /// cycles.
+    pub remote_latency: Cycle,
+}
+
+/// Speculation-related parameters (paper Table II, CAST/CAVA rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecConfig {
+    /// MOD (or VPN-T) entries.
+    pub mod_entries: usize,
+    /// State-counter confidence threshold.
+    pub confidence_threshold: u8,
+    /// Decompression latency added at the L2 for compressed sectors.
+    pub decompression_latency: Cycle,
+}
+
+/// Full system configuration (paper Table II defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Maximum resident warps per SM.
+    pub warps_per_sm: usize,
+    /// Per-SM private L1 TLB.
+    pub l1_tlb: TlbConfig,
+    /// Shared L2 TLB.
+    pub l2_tlb: TlbConfig,
+    /// Per-SM private L1 data cache (sectored, VIPT).
+    pub l1_cache: CacheConfig,
+    /// Shared L2 cache (sectored).
+    pub l2_cache: CacheConfig,
+    /// DRAM timing.
+    pub dram: DramConfig,
+    /// Page-walk system.
+    pub walker: WalkerConfig,
+    /// UVM behaviour.
+    pub uvm: UvmConfig,
+    /// Speculation parameters.
+    pub spec: SpecConfig,
+    /// L1 cache arrangement (VIPT default, PIPT for the §III-D study).
+    pub l1_arrangement: CacheArrangement,
+    /// Spatially shared tenants (paper §III-D multi-tenancy): SMs are
+    /// partitioned contiguously among `tenants` isolated address spaces,
+    /// each with its own page table, physical region, and ASID.
+    pub tenants: usize,
+    /// Ideal-TLB mode: every translation resolves instantly (used for the
+    /// Fig 3 ideal baseline).
+    pub ideal_tlb: bool,
+    /// Deterministic seed for allocation randomness.
+    pub seed: u64,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            num_sms: 46,
+            warps_per_sm: 48,
+            l1_tlb: TlbConfig {
+                base_entries: 32,
+                large_entries: 16,
+                latency: 25,
+                assoc: 0,
+                ports: 4,
+                mshr_entries: 32,
+            },
+            l2_tlb: TlbConfig {
+                base_entries: 1024,
+                large_entries: 128,
+                latency: 90,
+                assoc: 8,
+                ports: 8,
+                mshr_entries: 128,
+            },
+            l1_cache: CacheConfig {
+                bytes: 128 * 1024,
+                latency: 39,
+                assoc: 4,
+                // Outstanding 32B sector fetches per SM. Modern GPUs keep
+                // hundreds of sectors in flight per SM; a tight file here
+                // would artificially suppress speculative fetches.
+                mshr_entries: 512,
+                ports: 8,
+            },
+            l2_cache: CacheConfig {
+                bytes: 4 * 1024 * 1024,
+                latency: 187,
+                assoc: 16,
+                mshr_entries: 2048,
+                // One slice per memory channel with dual-ported tag pipes.
+                ports: 32,
+            },
+            dram: DramConfig {
+                channels: 16,
+                banks_per_channel: 16,
+                row_bytes: 4096,
+                // Table II nanoseconds at 1132MHz core clock:
+                // 13.7ns ≈ 16, 15.3ns ≈ 17, 4.6ns ≈ 5, 6.3ns ≈ 7 cycles.
+                t_rcd: 16,
+                t_cl: 16,
+                t_rp: 17,
+                t_wl: 5,
+                t_rtw: 7,
+                // 32B at 28GB/s ≈ 1.14ns ≈ 2 core cycles.
+                burst: 2,
+            },
+            walker: WalkerConfig {
+                walkers: 16,
+                buffer_entries: 128,
+                pw_cache_entries: 64,
+                pw_cache_ports: 8,
+            },
+            uvm: UvmConfig {
+                gpu_memory_bytes: u64::MAX,
+                base_page: BasePage::Size4K,
+                tbn_prefetch: true,
+                promotion: false,
+                fragmentation: 0.03,
+                cross_chunk_contiguity: 0.93,
+                embed_page_info: false,
+                migration_threshold: 1,
+                // ~700ns PCIe round trip at 1132MHz.
+                remote_latency: 800,
+            },
+            spec: SpecConfig {
+                mod_entries: 32,
+                confidence_threshold: 2,
+                decompression_latency: 7,
+            },
+            l1_arrangement: CacheArrangement::Vipt,
+            tenants: 1,
+            ideal_tlb: false,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl GpuConfig {
+    /// Table II configuration with default knobs.
+    pub fn rtx3070() -> Self {
+        Self::default()
+    }
+
+    /// GPU memory capacity in 4KB frames.
+    pub fn gpu_frames(&self) -> u64 {
+        if self.uvm.gpu_memory_bytes == u64::MAX {
+            u64::MAX
+        } else {
+            self.uvm.gpu_memory_bytes / crate::addr::PAGE_BYTES
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_defaults() {
+        let c = GpuConfig::rtx3070();
+        assert_eq!(c.num_sms, 46);
+        assert_eq!(c.warps_per_sm, 48);
+        assert_eq!(c.l1_tlb.base_entries, 32);
+        assert_eq!(c.l2_tlb.base_entries, 1024);
+        assert_eq!(c.l1_cache.bytes, 128 * 1024);
+        assert_eq!(c.l2_cache.bytes, 4 * 1024 * 1024);
+        assert_eq!(c.dram.channels, 16);
+        assert_eq!(c.walker.walkers, 16);
+        assert_eq!(c.spec.mod_entries, 32);
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let c = GpuConfig::default();
+        assert_eq!(c.l1_cache.lines(), 1024);
+        assert_eq!(c.l1_cache.sets(), 256);
+        assert_eq!(c.l2_cache.lines(), 32768);
+    }
+
+    #[test]
+    fn base_page_sizes() {
+        assert_eq!(BasePage::Size4K.pages(), 1);
+        assert_eq!(BasePage::Size64K.pages(), 16);
+    }
+
+    #[test]
+    fn unlimited_memory_means_unlimited_frames() {
+        let c = GpuConfig::default();
+        assert_eq!(c.gpu_frames(), u64::MAX);
+        let mut c2 = c.clone();
+        c2.uvm.gpu_memory_bytes = 8 << 20;
+        assert_eq!(c2.gpu_frames(), 2048);
+    }
+}

@@ -1,0 +1,1259 @@
+//! The discrete-event simulation engine: drives warps through the TLB
+//! hierarchy, caches, page-walk system, DRAM, and the speculative
+//! translation machinery.
+//!
+//! The engine is deliberately policy-free: speculation decisions come from
+//! the plugged-in [`TranslationAccel`] and compressibility from the
+//! [`SectorCompression`] content model. The baseline, the prior-work TLB
+//! designs, and Avatar all run on this same plumbing.
+
+use crate::addr::{translate, PhysAddr, Ppn, VirtAddr, Vpn, SECTOR_BYTES};
+use crate::cache::{Probe, SectorCache, SectorFlags};
+use crate::config::{Cycle, GpuConfig};
+use crate::dram::{Dram, DramOp};
+use crate::event::EventQueue;
+use crate::hooks::{
+    FetchedSector, PageMeta, SectorCompression, SpecFillAction, SpecFillContext, TranslationAccel,
+    ValidationKind,
+};
+use crate::page_table::PT_BASE;
+use crate::port::{MshrFile, MshrGrant, Ports};
+use crate::sm::{coalesce, SmState, WarpOp, WarpProgram, WarpState};
+use crate::stats::{CoverageBucket, SpecOutcome, Stats};
+use crate::tlb::{TlbFill, TlbModel};
+use crate::uvm::Uvm;
+use crate::walker::{PageWalkSystem, WalkId, WalkProgress};
+use std::collections::HashMap;
+
+/// Bit position where the tenant id is folded into TLB/walk keys, so one
+/// physical TLB hierarchy holds entries of several address spaces without
+/// aliasing (the hardware equivalent of ASID-tagged entries).
+const ASID_SHIFT: u32 = 44;
+
+/// Index of a sector request.
+type ReqId = u32;
+
+#[derive(Debug, Clone, Copy)]
+struct SpecState {
+    ppn: Ppn,
+    ideal: bool,
+    killed: bool,
+    /// The request is registered as a waiter on its speculative fetch's
+    /// L1 MSHR entry.
+    fetch_registered: bool,
+}
+
+#[derive(Debug, Clone)]
+struct MemReq {
+    sm: u32,
+    warp: u32,
+    pc: u64,
+    vaddr: VirtAddr,
+    issued: Cycle,
+    real_ppn: Option<Ppn>,
+    translation_done: bool,
+    completed: bool,
+    is_store: bool,
+    spec: Option<SpecState>,
+}
+
+impl MemReq {
+    fn vpn(&self) -> Vpn {
+        self.vaddr.vpn()
+    }
+
+    fn spec_pa(&self) -> Option<PhysAddr> {
+        self.spec.map(|s| translate(self.vaddr, s.ppn))
+    }
+
+    fn real_pa(&self) -> Option<PhysAddr> {
+        self.real_ppn.map(|p| translate(self.vaddr, p))
+    }
+}
+
+/// Waiter kinds on the shared L2 cache MSHRs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum L2Waiter {
+    Sector { sm: u32 },
+    Walk { walk: WalkId },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    WarpIssue { sm: u32, warp: u32 },
+    L1TlbResult { req: ReqId },
+    L2TlbResult { sm: u32, vpn: u64 },
+    WalkDispatch,
+    WalkL2 { walk: WalkId, pa: u64 },
+    SpecL1Result { req: ReqId },
+    L1Result { req: ReqId },
+    L2Access { sm: u32, pa: u64 },
+    DramDone { pa: u64 },
+    L1Fill { sm: u32, pa: u64 },
+    RemoteDone { req: ReqId },
+}
+
+/// The assembled system: all hardware structures plus the plugged policies.
+pub struct Engine<'a> {
+    cfg: GpuConfig,
+    q: EventQueue<Ev>,
+    sms: Vec<SmState>,
+    l1_tlbs: Vec<Box<dyn TlbModel>>,
+    l2_tlb: Box<dyn TlbModel>,
+    l1_tlb_ports: Vec<Ports>,
+    l2_tlb_ports: Ports,
+    l1_caches: Vec<SectorCache>,
+    l2_cache: SectorCache,
+    l1_cache_ports: Vec<Ports>,
+    l2_cache_ports: Ports,
+    dram: Dram,
+    walks: PageWalkSystem,
+    /// One UVM manager per tenant (index = tenant id).
+    uvms: Vec<Uvm>,
+    accel: Box<dyn TranslationAccel>,
+    compression: Box<dyn SectorCompression + 'a>,
+    program: Box<dyn WarpProgram + 'a>,
+    stats: Stats,
+
+    reqs: Vec<MemReq>,
+    l1_tlb_mshrs: Vec<MshrFile<u64, ReqId>>,
+    tlb_overflow: Vec<Vec<ReqId>>,
+    l2_tlb_mshr: MshrFile<u64, u32>,
+    l2_tlb_overflow: Vec<(u32, u64)>,
+    l1_mshrs: Vec<MshrFile<u64, ReqId>>,
+    l1_mshr_overflow: Vec<Vec<ReqId>>,
+    l2_mshr: MshrFile<u64, L2Waiter>,
+    l2_mshr_overflow: Vec<(u64, L2Waiter)>,
+    /// Requests that found a present-but-unguaranteed sector and wait for
+    /// its validation outcome instead of duplicating the fetch.
+    unguaranteed_waiters: HashMap<(u32, u64), Vec<ReqId>>,
+    walk_of_vpn: HashMap<u64, WalkId>,
+    vpn_of_walk: HashMap<WalkId, Vpn>,
+    walk_started: HashMap<u64, Cycle>,
+    pw_overflow: Vec<u64>,
+
+    warp_outstanding: Vec<u32>,
+    warp_issue_time: Vec<Cycle>,
+    max_cycles: Cycle,
+}
+
+impl std::fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.q.now())
+            .field("reqs", &self.reqs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Engine<'a> {
+    /// Builds an engine from a configuration, TLB models, a speculation
+    /// policy, a content model, and a warp program.
+    pub fn new(
+        cfg: GpuConfig,
+        l1_tlbs: Vec<Box<dyn TlbModel>>,
+        l2_tlb: Box<dyn TlbModel>,
+        accel: Box<dyn TranslationAccel>,
+        compression: Box<dyn SectorCompression + 'a>,
+        program: Box<dyn WarpProgram + 'a>,
+    ) -> Self {
+        assert_eq!(l1_tlbs.len(), cfg.num_sms, "one L1 TLB per SM");
+        assert!(cfg.tenants >= 1 && cfg.tenants <= cfg.num_sms, "tenants partition the SMs");
+        let n = cfg.num_sms;
+        // Spatial sharing partitions GPU memory evenly among tenants.
+        let mut uvm_cfg = cfg.uvm.clone();
+        if cfg.tenants > 1 && uvm_cfg.gpu_memory_bytes != u64::MAX {
+            uvm_cfg.gpu_memory_bytes /= cfg.tenants as u64;
+        }
+        let uvms: Vec<Uvm> = (0..cfg.tenants)
+            .map(|t| Uvm::for_tenant(uvm_cfg.clone(), cfg.seed, t))
+            .collect();
+        Engine {
+            q: EventQueue::new(),
+            sms: (0..n).map(|_| SmState::new(cfg.warps_per_sm)).collect(),
+            l1_tlb_ports: (0..n).map(|_| Ports::new(cfg.l1_tlb.ports)).collect(),
+            l2_tlb_ports: Ports::new(cfg.l2_tlb.ports),
+            l1_caches: (0..n)
+                .map(|_| SectorCache::new(cfg.l1_cache.lines(), cfg.l1_cache.assoc))
+                .collect(),
+            l2_cache: SectorCache::new(cfg.l2_cache.lines(), cfg.l2_cache.assoc),
+            l1_cache_ports: (0..n).map(|_| Ports::new(cfg.l1_cache.ports)).collect(),
+            l2_cache_ports: Ports::new(cfg.l2_cache.ports),
+            dram: Dram::new(cfg.dram.clone()),
+            walks: PageWalkSystem::new(cfg.walker.clone()),
+            uvms,
+            accel,
+            compression,
+            program,
+            stats: Stats::default(),
+            reqs: Vec::new(),
+            l1_tlb_mshrs: (0..n).map(|_| MshrFile::new(cfg.l1_tlb.mshr_entries)).collect(),
+            tlb_overflow: vec![Vec::new(); n],
+            l2_tlb_mshr: MshrFile::new(cfg.l2_tlb.mshr_entries),
+            l2_tlb_overflow: Vec::new(),
+            l1_mshrs: (0..n).map(|_| MshrFile::new(cfg.l1_cache.mshr_entries)).collect(),
+            l1_mshr_overflow: vec![Vec::new(); n],
+            l2_mshr: MshrFile::new(cfg.l2_cache.mshr_entries),
+            l2_mshr_overflow: Vec::new(),
+            unguaranteed_waiters: HashMap::new(),
+            walk_of_vpn: HashMap::new(),
+            vpn_of_walk: HashMap::new(),
+            walk_started: HashMap::new(),
+            pw_overflow: Vec::new(),
+            warp_outstanding: vec![0; n * cfg.warps_per_sm],
+            warp_issue_time: vec![0; n * cfg.warps_per_sm],
+            max_cycles: 2_000_000_000,
+            l1_tlbs,
+            l2_tlb,
+            cfg,
+        }
+    }
+
+    /// Caps the simulated cycle count (safety valve; the default is ample).
+    pub fn set_max_cycles(&mut self, cycles: Cycle) {
+        self.max_cycles = cycles;
+    }
+
+    fn trace(&self, id: ReqId, msg: &str) {
+        if std::env::var("AVATAR_TRACE_REQ").ok().and_then(|v| v.parse::<u32>().ok()) == Some(id) {
+            eprintln!("[req {id} @ {}] {msg}", self.q.now());
+        }
+    }
+
+    fn warp_slot(&self, sm: u32, warp: u32) -> usize {
+        sm as usize * self.cfg.warps_per_sm + warp as usize
+    }
+
+    /// The tenant an SM belongs to (contiguous spatial partitioning).
+    fn tenant_of_sm(&self, sm: u32) -> usize {
+        sm as usize * self.cfg.tenants / self.cfg.num_sms
+    }
+
+    fn asid_of(&self, tenant: usize) -> u16 {
+        tenant as u16 + 1
+    }
+
+    /// Folds the tenant into a TLB/walk key (ASID tagging).
+    fn salt(&self, tenant: usize, vpn: Vpn) -> u64 {
+        debug_assert!(vpn.0 < 1 << ASID_SHIFT);
+        vpn.0 | ((tenant as u64) << ASID_SHIFT)
+    }
+
+    fn unsalt(svpn: u64) -> Vpn {
+        Vpn(svpn & ((1 << ASID_SHIFT) - 1))
+    }
+
+    fn tenant_of_svpn(svpn: u64) -> usize {
+        (svpn >> ASID_SHIFT) as usize
+    }
+
+    /// Salts a contiguity run so its reach stays within the tenant's key
+    /// space.
+    fn salt_run(&self, tenant: usize, run: Option<crate::tlb::ContigRun>) -> Option<crate::tlb::ContigRun> {
+        run.map(|r| crate::tlb::ContigRun {
+            start_vpn: self.salt(tenant, Vpn(r.start_vpn)),
+            ..r
+        })
+    }
+
+    /// Inspection access to a tenant's UVM manager.
+    pub fn uvm(&self) -> &Uvm {
+        &self.uvms[0]
+    }
+
+    /// Runs the program to completion and returns the statistics.
+    pub fn run(mut self) -> Stats {
+        for sm in 0..self.cfg.num_sms as u32 {
+            for warp in 0..self.cfg.warps_per_sm as u32 {
+                self.q.schedule(0, Ev::WarpIssue { sm, warp });
+            }
+        }
+        let mut timed_out = false;
+        while let Some((now, ev)) = self.q.pop() {
+            if now > self.max_cycles {
+                timed_out = true;
+                break;
+            }
+            self.handle(now, ev);
+        }
+        let now = self.q.now();
+        for sm in &mut self.sms {
+            sm.finish(now);
+        }
+        self.stats.cycles = now;
+        self.stats.stall_cycles = self.sms.iter().map(|s| s.stall_cycles).sum();
+        self.stats.dram_read_bytes = self.dram.read_bytes;
+        self.stats.dram_write_bytes = self.dram.write_bytes;
+        self.stats.dram_row_hits = self.dram.row_hits;
+        self.stats.dram_row_misses = self.dram.row_misses;
+        if cfg!(debug_assertions) && !timed_out {
+            for (i, r) in self.reqs.iter().enumerate() {
+                if !r.completed {
+                    eprintln!(
+                        "INCOMPLETE req {i}: sm={} pc={:#x} va={:#x} tdone={} spec={:?}",
+                        r.sm, r.pc, r.vaddr.0, r.translation_done, r.spec
+                    );
+                }
+            }
+            assert!(
+                self.reqs.iter().all(|r| r.completed),
+                "all sector requests must complete (lost events?)"
+            );
+        }
+        self.stats
+    }
+
+    fn handle(&mut self, now: Cycle, ev: Ev) {
+        match ev {
+            Ev::WarpIssue { sm, warp } => self.warp_issue(now, sm, warp),
+            Ev::L1TlbResult { req } => self.l1_tlb_result(now, req),
+            Ev::L2TlbResult { sm, vpn } => self.l2_tlb_result(now, sm, vpn),
+            Ev::WalkDispatch => self.walk_dispatch(now),
+            Ev::WalkL2 { walk, pa } => self.walk_l2(now, walk, PhysAddr(pa)),
+            Ev::SpecL1Result { req } => self.spec_l1_result(now, req),
+            Ev::L1Result { req } => self.l1_result(now, req),
+            Ev::L2Access { sm, pa } => self.l2_access(now, sm, PhysAddr(pa)),
+            Ev::DramDone { pa } => self.dram_done(now, PhysAddr(pa)),
+            Ev::L1Fill { sm, pa } => self.l1_fill(now, sm, PhysAddr(pa)),
+            Ev::RemoteDone { req } => {
+                if !self.reqs[req as usize].completed {
+                    self.complete_req(now, req);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Warp issue
+    // ------------------------------------------------------------------
+
+    fn warp_issue(&mut self, now: Cycle, sm: u32, warp: u32) {
+        let issue_free = self.sms[sm as usize].issue_free_at;
+        if issue_free > now {
+            self.q.schedule(issue_free, Ev::WarpIssue { sm, warp });
+            return;
+        }
+        match self.program.next_op(sm as usize, warp as usize) {
+            None => {
+                self.sms[sm as usize].set_warp(warp as usize, WarpState::Retired, now);
+            }
+            Some(WarpOp::Compute { cycles }) => {
+                self.stats.instructions += 1;
+                self.sms[sm as usize].issue_free_at = now + 1;
+                self.sms[sm as usize].set_warp(warp as usize, WarpState::Computing, now);
+                self.q.schedule(now + cycles.max(1), Ev::WarpIssue { sm, warp });
+            }
+            Some(op @ (WarpOp::Load { .. } | WarpOp::Store { .. })) => {
+                let (pc, addrs, is_store) = match op {
+                    WarpOp::Load { pc, addrs } => (pc, addrs, false),
+                    WarpOp::Store { pc, addrs } => (pc, addrs, true),
+                    WarpOp::Compute { .. } => unreachable!("matched above"),
+                };
+                self.stats.instructions += 1;
+                if is_store {
+                    self.stats.stores += 1;
+                } else {
+                    self.stats.loads += 1;
+                }
+                self.sms[sm as usize].issue_free_at = now + 1;
+                let sectors = coalesce(&addrs);
+                let slot = self.warp_slot(sm, warp);
+                self.warp_outstanding[slot] = sectors.len() as u32;
+                self.warp_issue_time[slot] = now;
+                self.sms[sm as usize].set_warp(
+                    warp as usize,
+                    WarpState::WaitingMemory { outstanding: sectors.len() as u32 },
+                    now,
+                );
+                for vaddr in sectors {
+                    self.stats.sector_requests += 1;
+                    let id = self.reqs.len() as ReqId;
+                    self.reqs.push(MemReq {
+                        sm,
+                        warp,
+                        pc,
+                        vaddr,
+                        issued: now,
+                        real_ppn: None,
+                        translation_done: false,
+                        completed: false,
+                        is_store,
+                        spec: None,
+                    });
+                    self.start_translation(now, id);
+                }
+            }
+        }
+    }
+
+    fn start_translation(&mut self, now: Cycle, id: ReqId) {
+        let vpn = self.reqs[id as usize].vpn();
+        let sm = self.reqs[id as usize].sm;
+        let tenant = self.tenant_of_sm(sm);
+        if self.touch_page(tenant, vpn) {
+            // Cold page below the migration threshold: the GMMU faults and
+            // the access is serviced from host memory over the
+            // interconnect. No GPU TLB entry is installed and MOD is not
+            // trained (the paper restricts updates to GPU-mapped regions).
+            self.stats.remote_accesses += 1;
+            self.q.schedule(now + self.cfg.uvm.remote_latency, Ev::RemoteDone { req: id });
+            return;
+        }
+        if self.cfg.ideal_tlb {
+            let t = self.uvms[tenant].page_table.translate(vpn).expect("page just touched");
+            self.reqs[id as usize].real_ppn = Some(t.ppn);
+            self.reqs[id as usize].translation_done = true;
+            self.schedule_l1_access(now, id, 0);
+            return;
+        }
+        let grant = self.l1_tlb_ports[sm as usize].grant(now);
+        self.q.schedule(grant + self.cfg.l1_tlb.latency, Ev::L1TlbResult { req: id });
+    }
+
+    /// Touches a page; returns `true` when the access must be served
+    /// remotely (cold page under threshold-based migration).
+    fn touch_page(&mut self, tenant: usize, vpn: Vpn) -> bool {
+        let result = self.uvms[tenant].touch(vpn);
+        if result.remote {
+            return true;
+        }
+        if !result.faulted {
+            return false;
+        }
+        self.stats.page_faults += 1;
+        self.stats.pages_migrated += result.migrated.len() as u64;
+        // Migration traffic: page contents written into GPU DRAM (timing
+        // excluded per §IV-B, traffic counted).
+        self.dram
+            .account_untimed(DramOp::Write, result.migrated.len() as u64 * crate::addr::PAGE_BYTES);
+        if result.promoted {
+            self.stats.promotions += 1;
+        }
+        for chunk in result.evicted {
+            self.stats.chunks_evicted += 1;
+            self.stats.tlb_shootdowns += 1;
+            if chunk.was_promoted {
+                self.stats.splinters += 1;
+            }
+            // Eviction reads the chunk out of DRAM for transfer to the host.
+            self.dram
+                .account_untimed(DramOp::Read, chunk.frames.len() as u64 * crate::addr::PAGE_BYTES);
+            let salted_first = Vpn(chunk.first_vpn.0 | ((tenant as u64) << ASID_SHIFT));
+            for tlb in &mut self.l1_tlbs {
+                tlb.invalidate(salted_first, chunk.pages);
+            }
+            self.l2_tlb.invalidate(salted_first, chunk.pages);
+            let frames: std::collections::HashSet<u64> = chunk.frames.iter().map(|p| p.0).collect();
+            for cache in &mut self.l1_caches {
+                cache.invalidate_frames(&frames);
+            }
+            self.l2_cache.invalidate_frames(&frames);
+            let now = self.q.now();
+            for sm in 0..self.cfg.num_sms as u32 {
+                self.wake_all_unguaranteed(now, sm);
+            }
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Translation path
+    // ------------------------------------------------------------------
+
+    fn l1_tlb_result(&mut self, now: Cycle, id: ReqId) {
+        let (sm, pc, vpn) = {
+            let r = &self.reqs[id as usize];
+            (r.sm, r.pc, r.vpn())
+        };
+        self.stats.l1_tlb_lookups += 1;
+        let tenant = self.tenant_of_sm(sm);
+        let svpn = self.salt(tenant, vpn);
+        if let Some(hit) = self.l1_tlbs[sm as usize].lookup(Vpn(svpn)) {
+            self.stats.l1_tlb_hits += 1;
+            self.record_coverage(hit.coverage_pages);
+            self.reqs[id as usize].real_ppn = Some(hit.ppn);
+            self.reqs[id as usize].translation_done = true;
+            // VIPT: the L1 data lookup proceeded in parallel with the TLB,
+            // so only the non-overlapped latency remains. PIPT serializes.
+            let latency = match self.cfg.l1_arrangement {
+                crate::config::CacheArrangement::Vipt => {
+                    self.cfg.l1_cache.latency.saturating_sub(self.cfg.l1_tlb.latency)
+                }
+                crate::config::CacheArrangement::Pipt => self.cfg.l1_cache.latency,
+            };
+            self.schedule_l1_access(now, id, latency);
+            return;
+        }
+
+        // CAST hook: attempt speculative translation. Stores never
+        // speculate — erroneously performed writes cannot be rolled back.
+        let is_store = self.reqs[id as usize].is_store;
+        let prediction =
+            if is_store { None } else { self.accel.on_l1_tlb_miss(sm as usize, pc, vpn) };
+        if let Some(spec_ppn) = prediction {
+            self.stats.speculations += 1;
+            let real = self.uvms[tenant].page_table.translate(vpn).expect("touched at issue");
+            let correct = real.ppn == spec_ppn;
+            if correct {
+                self.stats.spec_correct += 1;
+            }
+            if self.frame_owner_any(spec_ppn).is_none() {
+                self.stats.spec_false += 1;
+            }
+            let ideal = self.accel.validation_kind() == ValidationKind::Ideal;
+            if !ideal || correct {
+                // Ideal validation confirms speculations before fetching;
+                // incorrect ones never fetch.
+                self.reqs[id as usize].spec =
+                    Some(SpecState { ppn: spec_ppn, ideal, killed: false, fetch_registered: false });
+                let grant = self.l1_cache_ports[sm as usize].grant(now);
+                self.q.schedule(grant + self.cfg.l1_cache.latency, Ev::SpecL1Result { req: id });
+            }
+        }
+
+        // Forward the translation request toward the L2 TLB.
+        self.request_l2_translation(now, id);
+    }
+
+    fn request_l2_translation(&mut self, now: Cycle, id: ReqId) {
+        let sm = self.reqs[id as usize].sm;
+        let vpn = self.reqs[id as usize].vpn();
+        let svpn = self.salt(self.tenant_of_sm(sm), vpn);
+        match self.l1_tlb_mshrs[sm as usize].request(svpn, id) {
+            MshrGrant::Allocated => {
+                self.stats.l2_tlb_lookups += 1;
+                let grant = self.l2_tlb_ports.grant(now);
+                self.q.schedule(grant + self.cfg.l2_tlb.latency, Ev::L2TlbResult { sm, vpn: svpn });
+            }
+            MshrGrant::Merged => {}
+            MshrGrant::Full => {
+                self.stats.l1_tlb_mshr_full += 1;
+                self.tlb_overflow[sm as usize].push(id);
+            }
+        }
+    }
+
+    fn l2_tlb_result(&mut self, now: Cycle, sm: u32, vpn: u64) {
+        if !self.l1_tlb_mshrs[sm as usize].contains(vpn) {
+            // Already resolved (e.g. EAF released the MSHR).
+            return;
+        }
+        if let Some(hit) = self.l2_tlb.lookup(Vpn(vpn)) {
+            self.stats.l2_tlb_hits += 1;
+            self.record_coverage(hit.coverage_pages);
+            let pages = if hit.coverage_pages >= crate::addr::PAGES_PER_CHUNK {
+                crate::addr::PAGES_PER_CHUNK
+            } else {
+                1
+            };
+            let fill = TlbFill { vpn: Vpn(vpn), ppn: hit.ppn, pages, run: Some(hit.run()) };
+            self.resolve_for_sm(now, sm, vpn, hit.ppn, &fill, false);
+            return;
+        }
+        match self.l2_tlb_mshr.request(vpn, sm) {
+            MshrGrant::Allocated => self.start_walk(now, vpn),
+            MshrGrant::Merged => self.stats.walk_merges += 1,
+            MshrGrant::Full => {
+                self.stats.l2_tlb_mshr_full += 1;
+                self.l2_tlb_overflow.push((sm, vpn));
+            }
+        }
+    }
+
+    fn start_walk(&mut self, now: Cycle, vpn: u64) {
+        let tenant = Self::tenant_of_svpn(vpn);
+        let levels = self.uvms[tenant].page_table.walk_levels(Self::unsalt(vpn));
+        match self.walks.enqueue(Vpn(vpn), levels, now) {
+            Some(id) => {
+                self.walk_of_vpn.insert(vpn, id);
+                self.vpn_of_walk.insert(id, Vpn(vpn));
+                self.walk_started.insert(vpn, now);
+                self.q.schedule(now, Ev::WalkDispatch);
+            }
+            None => {
+                self.stats.pw_buffer_full += 1;
+                self.pw_overflow.push(vpn);
+            }
+        }
+    }
+
+    fn walk_dispatch(&mut self, now: Cycle) {
+        while let Some((walk, addr)) = self.walks.dispatch() {
+            self.walk_mem(now, walk, addr);
+        }
+    }
+
+    fn walk_mem(&mut self, now: Cycle, walk: WalkId, addr: PhysAddr) {
+        self.stats.walk_memory_accesses += 1;
+        let pa = PhysAddr(addr.0 & !(SECTOR_BYTES - 1));
+        let grant = self.l2_cache_ports.grant(now);
+        self.q.schedule(grant + self.cfg.l2_cache.latency, Ev::WalkL2 { walk, pa: pa.0 });
+    }
+
+    fn walk_l2(&mut self, now: Cycle, walk: WalkId, pa: PhysAddr) {
+        self.stats.l2_lookups += 1;
+        match self.l2_cache.probe(pa) {
+            Probe::Hit | Probe::HitUnguaranteed => {
+                self.stats.l2_hits += 1;
+                self.advance_walk(now, walk);
+            }
+            Probe::Miss => match self.l2_mshr.request(pa.0, L2Waiter::Walk { walk }) {
+                MshrGrant::Allocated => {
+                    let done = self.dram.access(pa, DramOp::Read, now, SECTOR_BYTES);
+                    self.q.schedule(done, Ev::DramDone { pa: pa.0 });
+                }
+                MshrGrant::Merged => {}
+                MshrGrant::Full => self.l2_mshr_overflow.push((pa.0, L2Waiter::Walk { walk })),
+            },
+        }
+    }
+
+    fn advance_walk(&mut self, now: Cycle, walk: WalkId) {
+        match self.walks.step(walk) {
+            None => {} // aborted by EAF
+            Some(WalkProgress::Access(addr)) => self.walk_mem(now, walk, addr),
+            Some(WalkProgress::Done) => {
+                let svpn = self.vpn_of_walk.remove(&walk).expect("walk has vpn");
+                let tenant = Self::tenant_of_svpn(svpn.0);
+                let vpn = Self::unsalt(svpn.0);
+                self.stats.page_walks += 1;
+                if let Some(start) = self.walk_started.remove(&svpn.0) {
+                    self.stats.walk_latency.add((now - start) as f64);
+                }
+                self.walk_of_vpn.remove(&svpn.0);
+                // The PTE may have been invalidated by a concurrent
+                // eviction; refault instantly (latency excluded).
+                if self.uvms[tenant].page_table.translate(vpn).is_none() {
+                    // The page was evicted while its walk was in flight;
+                    // refault it in (repeat touches satisfy the access
+                    // counter when threshold-based migration is active).
+                    while self.touch_page(tenant, vpn) {}
+                }
+                let t = self.uvms[tenant].page_table.translate(vpn).expect("resident after touch");
+                self.resolve_translation(now, svpn.0, t.ppn, t.pages);
+                // A walker freed: dispatch more walks and retry overflow.
+                self.drain_pw_overflow(now);
+                self.q.schedule(now, Ev::WalkDispatch);
+            }
+        }
+    }
+
+    fn drain_pw_overflow(&mut self, now: Cycle) {
+        while !self.pw_overflow.is_empty() && self.walks.has_buffer_space() {
+            let vpn = self.pw_overflow.remove(0);
+            self.start_walk(now, vpn);
+        }
+    }
+
+    /// Resolves a translation globally: fills the L2 TLB, wakes every
+    /// waiting SM, and retries overflow queues.
+    fn resolve_translation(&mut self, now: Cycle, svpn: u64, ppn: Ppn, pages: u64) {
+        let tenant = Self::tenant_of_svpn(svpn);
+        let run = self.uvms[tenant].page_table.contiguous_run(Self::unsalt(svpn), 16);
+        let run = self.salt_run(tenant, run);
+        let vpn = svpn;
+        let fill = TlbFill { vpn: Vpn(vpn), ppn, pages, run };
+        self.l2_tlb.fill(&fill);
+        self.charge_merge_refs(now);
+        if let Some(waiters) = self.l2_tlb_mshr.complete(vpn) {
+            let mut seen = Vec::new();
+            for sm in waiters {
+                if !seen.contains(&sm) {
+                    seen.push(sm);
+                    self.resolve_for_sm(now, sm, vpn, ppn, &fill, false);
+                }
+            }
+        }
+        self.drain_l2_tlb_overflow(now);
+    }
+
+    fn charge_merge_refs(&mut self, now: Cycle) {
+        let refs = self.l2_tlb.drain_extra_memory_refs();
+        if refs > 0 {
+            self.stats.merge_memory_accesses += refs;
+            // Merge traffic consumes page-table bandwidth: fire-and-forget
+            // DRAM reads in the page-table region.
+            for i in 0..refs {
+                let pa = PhysAddr(PT_BASE + (self.stats.merge_memory_accesses + i) * 64 % (1 << 30));
+                self.dram.access(pa, DramOp::Read, now, SECTOR_BYTES);
+            }
+        }
+    }
+
+    fn drain_l2_tlb_overflow(&mut self, now: Cycle) {
+        let pending = std::mem::take(&mut self.l2_tlb_overflow);
+        for (sm, vpn) in pending {
+            self.l2_tlb_result(now, sm, vpn);
+        }
+    }
+
+    /// Fills one SM's L1 TLB and wakes its waiting requests. `via_eaf`
+    /// marks resolutions produced by Early-TLB-Fill, which the paper's
+    /// Fig 16 accounting attributes to `Fast_Translation`.
+    fn resolve_for_sm(&mut self, now: Cycle, sm: u32, vpn: u64, ppn: Ppn, fill: &TlbFill, via_eaf: bool) {
+        self.l1_tlbs[sm as usize].fill(fill);
+        if let Some(waiters) = self.l1_tlb_mshrs[sm as usize].complete(vpn) {
+            for id in waiters {
+                let pc = self.reqs[id as usize].pc;
+                self.accel.on_translation_resolved(sm as usize, pc, Self::unsalt(vpn), ppn);
+                self.translation_resolved_for_req(now, id, ppn, via_eaf);
+            }
+        }
+        // MSHR space freed: retry overflow translation requests.
+        let pending = std::mem::take(&mut self.tlb_overflow[sm as usize]);
+        for id in pending {
+            self.request_l2_translation(now, id);
+        }
+    }
+
+    fn translation_resolved_for_req(&mut self, now: Cycle, id: ReqId, ppn: Ppn, via_eaf: bool) {
+        self.trace(id, &format!("translation_resolved ppn={}", ppn.0));
+        let req = &mut self.reqs[id as usize];
+        req.real_ppn = Some(ppn);
+        req.translation_done = true;
+        if req.completed {
+            return; // already satisfied by rapid/ideal validation
+        }
+        let sm = req.sm as usize;
+        let Some(spec) = req.spec else {
+            self.schedule_l1_access(now, id, self.cfg.l1_cache.latency);
+            return;
+        };
+        let spec_pa = translate(req.vaddr, spec.ppn);
+        let correct = spec.ppn == ppn;
+        if correct {
+            // Fig 16 accounting: a resolution delivered by Early-TLB-Fill
+            // counts as Fast_Translation — one rapid validation serves
+            // many accesses.
+            if self.l1_mshrs[sm].contains(spec_pa.0) {
+                // A fetch of the speculated sector is in flight (this
+                // request's own, or another warp's): the original access
+                // merges with it in the cache MSHR.
+                if !spec.fetch_registered
+                    && self.l1_mshrs[sm].merge(spec_pa.0, id)
+                {
+                    self.reqs[id as usize].spec.as_mut().expect("spec").fetch_registered = true;
+                }
+                self.stats.outcomes.record(if via_eaf {
+                    SpecOutcome::FastTranslation
+                } else {
+                    SpecOutcome::L1dMerge
+                });
+                self.trace(id, "merge-wait");
+                return; // completion happens at the fill
+            }
+            if self.l1_caches[sm].peek(spec_pa).is_some() {
+                // Prefetched sector still resident: guarantee and re-access.
+                self.l1_caches[sm].set_guarantee(spec_pa, true);
+                self.wake_unguaranteed(now, self.reqs[id as usize].sm, spec_pa);
+                self.trace(id, "l1d-hit-path");
+                self.stats.outcomes.record(if via_eaf {
+                    SpecOutcome::FastTranslation
+                } else {
+                    SpecOutcome::L1dHit
+                });
+                self.schedule_l1_access(now, id, self.cfg.l1_cache.latency);
+                return;
+            }
+            // Not fetched (or evicted) before the translation arrived.
+            self.stats.outcomes.record(if via_eaf {
+                SpecOutcome::FastTranslation
+            } else {
+                SpecOutcome::L1dMiss
+            });
+            self.schedule_l1_access(now, id, self.cfg.l1_cache.latency);
+        } else {
+            self.reqs[id as usize].spec.as_mut().expect("spec present").killed = true;
+            // Drop the wrongly fetched sector if it is resident and not
+            // legitimately owned (guaranteed) by some other request.
+            if let Some(flags) = self.l1_caches[sm].peek(spec_pa) {
+                if !flags.guaranteed {
+                    self.l1_caches[sm].invalidate_sector(spec_pa);
+                    self.wake_unguaranteed(now, self.reqs[id as usize].sm, spec_pa);
+                }
+            }
+            self.schedule_l1_access(now, id, self.cfg.l1_cache.latency);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data path
+    // ------------------------------------------------------------------
+
+    fn schedule_l1_access(&mut self, now: Cycle, id: ReqId, latency: Cycle) {
+        let sm = self.reqs[id as usize].sm as usize;
+        let grant = self.l1_cache_ports[sm].grant(now);
+        self.q.schedule(grant + latency, Ev::L1Result { req: id });
+    }
+
+    fn l1_result(&mut self, now: Cycle, id: ReqId) {
+        self.trace(id, "l1_result");
+        if self.reqs[id as usize].completed {
+            return;
+        }
+        let sm = self.reqs[id as usize].sm;
+        let pa = self.reqs[id as usize].real_pa().expect("translated before L1 access");
+        self.stats.l1d_lookups += 1;
+        let is_store = self.reqs[id as usize].is_store;
+        match self.l1_caches[sm as usize].probe(pa) {
+            Probe::Hit => {
+                self.stats.l1d_hits += 1;
+                if is_store {
+                    self.l1_caches[sm as usize].mark_dirty(pa);
+                }
+                self.complete_req(now, id);
+            }
+            Probe::HitUnguaranteed => {
+                // The sector is present but awaiting validation. This
+                // request reached the data path with a *confirmed*
+                // translation to the same physical sector — exactly the
+                // proof the guarantee bit requires ("if the speculation
+                // is accurate, set the guarantee bit"). Validate and use.
+                self.stats.l1d_hits += 1;
+                self.l1_caches[sm as usize].set_guarantee(pa, true);
+                if is_store {
+                    self.l1_caches[sm as usize].mark_dirty(pa);
+                }
+                self.complete_req(now, id);
+                self.wake_unguaranteed(now, sm, pa);
+            }
+            Probe::Miss => self.l1_miss(now, id, pa),
+        }
+    }
+
+    /// Wakes requests waiting on an unguaranteed sector once its fate is
+    /// known: on `usable` they re-probe (and hit); otherwise they fall
+    /// back to a normal fetch.
+    fn wake_unguaranteed(&mut self, now: Cycle, sm: u32, pa: PhysAddr) {
+        if let Some(waiters) = self.unguaranteed_waiters.remove(&(sm, pa.0)) {
+            for id in waiters {
+                if !self.reqs[id as usize].completed {
+                    self.schedule_l1_access(now, id, 1);
+                }
+            }
+        }
+    }
+
+    /// Wakes every unguaranteed-sector waiter of an SM (shootdown path).
+    fn wake_all_unguaranteed(&mut self, now: Cycle, sm: u32) {
+        let keys: Vec<u64> = self
+            .unguaranteed_waiters
+            .keys()
+            .filter(|(s, _)| *s == sm)
+            .map(|(_, pa)| *pa)
+            .collect();
+        for pa in keys {
+            self.wake_unguaranteed(now, sm, PhysAddr(pa));
+        }
+    }
+
+    fn l1_miss(&mut self, now: Cycle, id: ReqId, pa: PhysAddr) {
+        let sm = self.reqs[id as usize].sm;
+        match self.l1_mshrs[sm as usize].request(pa.0, id) {
+            MshrGrant::Allocated => {
+                let grant = self.l2_cache_ports.grant(now);
+                self.q.schedule(grant + self.cfg.l2_cache.latency, Ev::L2Access { sm, pa: pa.0 });
+            }
+            MshrGrant::Merged => {}
+            MshrGrant::Full => {
+                self.stats.cache_mshr_full += 1;
+                self.l1_mshr_overflow[sm as usize].push(id);
+            }
+        }
+    }
+
+    fn spec_l1_result(&mut self, now: Cycle, id: ReqId) {
+        self.trace(id, "spec_l1_result");
+        let req = &self.reqs[id as usize];
+        if req.completed || req.translation_done {
+            // Translation beat the speculative lookup; the normal path owns
+            // the request now.
+            return;
+        }
+        let sm = req.sm;
+        let Some(spec) = req.spec else { return };
+        let spec_pa = translate(req.vaddr, spec.ppn);
+        match self.l1_caches[sm as usize].probe(spec_pa) {
+            Probe::Hit => {
+                if spec.ideal {
+                    // Ideal validation: the speculation is already
+                    // confirmed, so a guaranteed hit completes the load,
+                    // and the oracle-known mapping releases the pending
+                    // translation machinery exactly like EAF.
+                    let vpn = self.reqs[id as usize].vpn();
+                    self.stats.outcomes.record(SpecOutcome::FastTranslation);
+                    self.complete_req(now, id);
+                    self.eaf_resolve(now, sm, vpn, spec.ppn);
+                }
+            }
+            Probe::HitUnguaranteed => {
+                // Another request's speculative fetch already brought the
+                // sector in; wait for validation or translation.
+            }
+            Probe::Miss => {
+                // Demand fetches take priority: speculative fetches lapse
+                // when the MSHR file is under pressure (the LSU pending
+                // table drops speculative entries rather than stalling).
+                let mshrs = &self.l1_mshrs[sm as usize];
+                if !mshrs.contains(spec_pa.0)
+                    && mshrs.len() * 2 >= self.cfg.l1_cache.mshr_entries
+                {
+                    return;
+                }
+                match self.l1_mshrs[sm as usize].request(spec_pa.0, id) {
+                MshrGrant::Allocated => {
+                    self.stats.spec_fetches += 1;
+                    self.reqs[id as usize].spec.as_mut().expect("spec").fetch_registered = true;
+                    let grant = self.l2_cache_ports.grant(now);
+                    self.q
+                        .schedule(grant + self.cfg.l2_cache.latency, Ev::L2Access { sm, pa: spec_pa.0 });
+                }
+                MshrGrant::Merged => {
+                    self.stats.spec_fetches += 1;
+                    self.reqs[id as usize].spec.as_mut().expect("spec").fetch_registered = true;
+                }
+                MshrGrant::Full => {
+                    // Resource-constrained: the speculation silently lapses.
+                }
+                }
+            }
+        }
+    }
+
+    fn l2_access(&mut self, now: Cycle, sm: u32, pa: PhysAddr) {
+        self.stats.l2_lookups += 1;
+        match self.l2_cache.probe(pa) {
+            Probe::Hit | Probe::HitUnguaranteed => {
+                self.stats.l2_hits += 1;
+                let meta = self.sector_meta(pa);
+                let extra = if meta.compressed { self.cfg.spec.decompression_latency } else { 0 };
+                self.q.schedule(now + extra, Ev::L1Fill { sm, pa: pa.0 });
+            }
+            Probe::Miss => match self.l2_mshr.request(pa.0, L2Waiter::Sector { sm }) {
+                MshrGrant::Allocated => {
+                    let done = self.dram.access(pa, DramOp::Read, now, SECTOR_BYTES);
+                    self.q.schedule(done, Ev::DramDone { pa: pa.0 });
+                }
+                MshrGrant::Merged => {}
+                MshrGrant::Full => {
+                    self.stats.cache_mshr_full += 1;
+                    self.l2_mshr_overflow.push((pa.0, L2Waiter::Sector { sm }));
+                }
+            },
+        }
+    }
+
+    fn dram_done(&mut self, now: Cycle, pa: PhysAddr) {
+        let meta = self.sector_meta(pa);
+        let evicted = self.l2_cache.fill(
+            pa,
+            SectorFlags { valid: true, compressed: meta.compressed, guaranteed: true, dirty: false },
+        );
+        self.writeback_evicted_l2(now, evicted);
+        let extra = if meta.compressed { self.cfg.spec.decompression_latency } else { 0 };
+        if let Some(waiters) = self.l2_mshr.complete(pa.0) {
+            for w in waiters {
+                match w {
+                    L2Waiter::Sector { sm } => {
+                        self.q.schedule(now + extra, Ev::L1Fill { sm, pa: pa.0 })
+                    }
+                    L2Waiter::Walk { walk } => self.advance_walk(now, walk),
+                }
+            }
+        }
+        // MSHR space freed: admit overflow waiters into the capacity that
+        // opened up. They already paid the L2 port on their original
+        // access — re-probe directly (no extra port grant or latency).
+        while !self.l2_mshr_overflow.is_empty() {
+            let (pa, _) = self.l2_mshr_overflow[0];
+            if self.l2_mshr.is_full() && !self.l2_mshr.contains(pa) {
+                break;
+            }
+            let (pa, w) = self.l2_mshr_overflow.remove(0);
+            self.l2_retry(now, PhysAddr(pa), w);
+        }
+    }
+
+    /// Re-probes the L2 for an overflow waiter without charging the port
+    /// again.
+    fn l2_retry(&mut self, now: Cycle, pa: PhysAddr, w: L2Waiter) {
+        match self.l2_cache.probe(pa) {
+            Probe::Hit | Probe::HitUnguaranteed => {
+                let meta = self.sector_meta(pa);
+                let extra = if meta.compressed { self.cfg.spec.decompression_latency } else { 0 };
+                match w {
+                    L2Waiter::Sector { sm } => {
+                        self.q.schedule(now + extra, Ev::L1Fill { sm, pa: pa.0 })
+                    }
+                    L2Waiter::Walk { walk } => self.advance_walk(now, walk),
+                }
+            }
+            Probe::Miss => match self.l2_mshr.request(pa.0, w) {
+                MshrGrant::Allocated => {
+                    let done = self.dram.access(pa, DramOp::Read, now, SECTOR_BYTES);
+                    self.q.schedule(done, Ev::DramDone { pa: pa.0 });
+                }
+                MshrGrant::Merged => {}
+                MshrGrant::Full => self.l2_mshr_overflow.insert(0, (pa.0, w)),
+            },
+        }
+    }
+
+    /// Writes a dirty L1 sector back into the L2 (write-back, 
+    /// write-allocate hierarchy). Cascading L2 evictions write to DRAM.
+    fn writeback_to_l2(&mut self, now: Cycle, pa: PhysAddr) {
+        let meta = self.sector_meta(pa);
+        let evicted = self.l2_cache.fill(
+            pa,
+            SectorFlags { valid: true, compressed: meta.compressed, guaranteed: true, dirty: true },
+        );
+        self.writeback_evicted_l2(now, evicted);
+    }
+
+    /// Writes the dirty sectors of an evicted L2 line to DRAM.
+    fn writeback_evicted_l2(&mut self, now: Cycle, evicted: Option<crate::cache::EvictedLine>) {
+        if let Some(ev) = evicted {
+            for sector in 0..crate::addr::SECTORS_PER_LINE {
+                let f = ev.sectors[sector as usize];
+                if f.valid && f.dirty {
+                    let spa =
+                        PhysAddr(ev.line_addr * crate::addr::LINE_BYTES + sector * SECTOR_BYTES);
+                    // Fire-and-forget: the writeback occupies the channel
+                    // but nothing waits on it.
+                    self.dram.access(spa, DramOp::Write, now, SECTOR_BYTES);
+                    self.stats.writebacks += 1;
+                }
+            }
+        }
+    }
+
+    /// The frame owner, whichever tenant's region the frame lies in.
+    fn frame_owner_any(&self, ppn: Ppn) -> Option<(usize, crate::uvm::FrameOwner)> {
+        let tenant = crate::uvm::tenant_of_frame(ppn);
+        let uvm = self.uvms.get(tenant)?;
+        uvm.frame_owner(ppn).map(|o| (tenant, o))
+    }
+
+    /// What the memory controller sees in the stored sector at `pa`.
+    fn sector_meta(&mut self, pa: PhysAddr) -> FetchedSector {
+        if pa.0 >= PT_BASE {
+            return FetchedSector { compressed: false, embedded: None };
+        }
+        match self.frame_owner_any(pa.ppn()) {
+            Some((tenant, owner)) if owner.embedded => {
+                let sector = (pa.page_offset() / SECTOR_BYTES) as u32;
+                if self.compression.compressible(owner.vpn, sector) {
+                    let asid = self.asid_of(tenant);
+                    FetchedSector {
+                        compressed: true,
+                        embedded: Some(PageMeta { vpn: owner.vpn, asid }),
+                    }
+                } else {
+                    FetchedSector { compressed: false, embedded: None }
+                }
+            }
+            _ => FetchedSector { compressed: false, embedded: None },
+        }
+    }
+
+    fn l1_fill(&mut self, now: Cycle, sm: u32, pa: PhysAddr) {
+        let meta = self.sector_meta(pa);
+        // Fill invisible first; waiters below decide visibility.
+        let evicted_line = self.l1_caches[sm as usize].fill(
+            pa,
+            SectorFlags { valid: true, compressed: meta.compressed, guaranteed: false, dirty: false },
+        );
+        if let Some(ev) = evicted_line {
+            for sector in 0..crate::addr::SECTORS_PER_LINE {
+                let spa = PhysAddr(ev.line_addr * crate::addr::LINE_BYTES + sector * SECTOR_BYTES);
+                self.wake_unguaranteed(now, sm, spa);
+                // Write-back: dirty sectors leave the L1 toward the L2.
+                let f = ev.sectors[sector as usize];
+                if f.valid && f.dirty {
+                    self.writeback_to_l2(now, spa);
+                }
+            }
+        }
+        let mut guarantee = false;
+        let mut dirty = false;
+        let mut all_killed_specs = true;
+        if let Some(waiters) = self.l1_mshrs[sm as usize].complete(pa.0) {
+            for id in waiters {
+                self.trace(id, &format!("l1_fill waiter pa={:#x}", pa.0));
+                let req = &self.reqs[id as usize];
+                if req.completed {
+                    // Already satisfied elsewhere; never a reason to drop
+                    // the freshly fetched data.
+                    all_killed_specs = false;
+                    continue;
+                }
+                if req.translation_done {
+                    if req.real_pa() == Some(pa) {
+                        // Normal fetch (or a correct-spec merge): usable.
+                        guarantee = true;
+                        all_killed_specs = false;
+                        if req.is_store {
+                            dirty = true;
+                        }
+                        self.complete_req(now, id);
+                    }
+                    // else: stale fill for a killed speculation; ignore.
+                    continue;
+                }
+                // Untranslated waiter: must be a speculative fetch.
+                if req.spec_pa() == Some(pa) {
+                    let spec = req.spec.expect("spec fetch has state");
+                    if spec.ideal {
+                        // Pre-confirmed by ideal validation; the oracle
+                        // mapping also releases the translation machinery.
+                        guarantee = true;
+                        all_killed_specs = false;
+                        self.stats.outcomes.record(SpecOutcome::FastTranslation);
+                        let vpn = self.reqs[id as usize].vpn();
+                        self.complete_req(now, id);
+                        self.eaf_resolve(now, sm, vpn, spec.ppn);
+                        continue;
+                    }
+                    let ctx = SpecFillContext {
+                        sm: sm as usize,
+                        pc: req.pc,
+                        requested_vpn: req.vpn(),
+                        asid: self.asid_of(self.tenant_of_sm(sm)),
+                        spec_ppn: spec.ppn,
+                        sector: meta,
+                    };
+                    match self.accel.on_spec_fill(&ctx) {
+                        SpecFillAction::AwaitTranslation => {
+                            all_killed_specs = false;
+                        }
+                        SpecFillAction::Validated { eaf } => {
+                            guarantee = true;
+                            all_killed_specs = false;
+                            if meta.compressed {
+                                self.stats.spec_compressed += 1;
+                            }
+                            self.stats.outcomes.record(SpecOutcome::FastTranslation);
+                            let vpn = self.reqs[id as usize].vpn();
+                            self.complete_req(now, id);
+                            if eaf {
+                                self.eaf_resolve(now, sm, vpn, spec.ppn);
+                            }
+                        }
+                        SpecFillAction::Invalidate => {
+                            self.stats.cava_mismatches += 1;
+                            self.reqs[id as usize].spec.as_mut().expect("spec").killed = true;
+                        }
+                    }
+                }
+            }
+        } else {
+            // No waiters (e.g. a refill after invalidation): plain data.
+            guarantee = true;
+            all_killed_specs = false;
+        }
+        if guarantee {
+            self.l1_caches[sm as usize].set_guarantee(pa, true);
+            if dirty {
+                self.l1_caches[sm as usize].mark_dirty(pa);
+            }
+            self.wake_unguaranteed(now, sm, pa);
+        } else if all_killed_specs {
+            // Only mis-speculated fetches wanted this sector: drop it.
+            self.l1_caches[sm as usize].invalidate_sector(pa);
+            self.wake_unguaranteed(now, sm, pa);
+        }
+        // L1 MSHR space freed: admit overflow waiters into free capacity.
+        while !self.l1_mshr_overflow[sm as usize].is_empty() {
+            let id = self.l1_mshr_overflow[sm as usize][0];
+            if self.reqs[id as usize].completed {
+                self.l1_mshr_overflow[sm as usize].remove(0);
+                continue;
+            }
+            let target = self.reqs[id as usize].real_pa().expect("overflowed after translation");
+            if self.l1_mshrs[sm as usize].is_full() && !self.l1_mshrs[sm as usize].contains(target.0) {
+                break;
+            }
+            self.l1_mshr_overflow[sm as usize].remove(0);
+            self.l1_miss(now, id, target);
+        }
+    }
+
+    /// Early TLB Fill: installs the validated translation, releases pending
+    /// translation resources, aborts the in-flight walk, and propagates the
+    /// entry to other SMs waiting on the same page.
+    fn eaf_resolve(&mut self, now: Cycle, sm: u32, vpn: Vpn, ppn: Ppn) {
+        self.stats.eaf_fills += 1;
+        let tenant = self.tenant_of_sm(sm);
+        let vpn = Vpn(self.salt(tenant, vpn));
+        let fill = TlbFill { vpn, ppn, pages: 1, run: None };
+        self.l2_tlb.fill(&fill);
+        // Wake this SM's own waiters (other requests to the same page).
+        self.resolve_for_sm(now, sm, vpn.0, ppn, &fill, true);
+        // Release the shared translation machinery.
+        if let Some(waiters) = self.l2_tlb_mshr.complete(vpn.0) {
+            self.stats.eaf_releases += 1;
+            if let Some(walk) = self.walk_of_vpn.remove(&vpn.0) {
+                if self.walks.abort(walk) {
+                    self.stats.walks_aborted += 1;
+                }
+                self.vpn_of_walk.remove(&walk);
+                self.walk_started.remove(&vpn.0);
+                self.q.schedule(now, Ev::WalkDispatch);
+            }
+            self.pw_overflow.retain(|&v| v != vpn.0);
+            let mut seen = Vec::new();
+            for other in waiters {
+                if other != sm && !seen.contains(&other) {
+                    seen.push(other);
+                    self.resolve_for_sm(now, other, vpn.0, ppn, &fill, true);
+                }
+            }
+        }
+        // Cross-SM propagation: the entry is *prefetched* into every
+        // other SM's L1 TLB ("ensuring the desired translation is
+        // efficiently prefetched across SMs"), not only handed to SMs
+        // with a pending miss.
+        if self.accel.propagates_cross_sm() {
+            for other in 0..self.cfg.num_sms as u32 {
+                // Isolation: entries are only forwarded within the tenant.
+                if other != sm && self.tenant_of_sm(other) == tenant {
+                    self.stats.eaf_cross_sm_fills += 1;
+                    self.resolve_for_sm(now, other, vpn.0, ppn, &fill, true);
+                }
+            }
+        }
+        self.drain_l2_tlb_overflow(now);
+    }
+
+    fn complete_req(&mut self, now: Cycle, id: ReqId) {
+        let (sm, warp, issued) = {
+            let req = &mut self.reqs[id as usize];
+            debug_assert!(!req.completed, "double completion of request {id}");
+            req.completed = true;
+            (req.sm, req.warp, req.issued)
+        };
+        self.trace(id, "complete");
+        self.stats.sector_latency.add((now - issued) as f64);
+        self.stats.sector_latency_hist.add(now - issued);
+        let slot = self.warp_slot(sm, warp);
+        self.warp_outstanding[slot] -= 1;
+        let left = self.warp_outstanding[slot];
+        if left == 0 {
+            self.stats.load_latency.add((now - self.warp_issue_time[slot]) as f64);
+            self.sms[sm as usize].set_warp(warp as usize, WarpState::Ready, now);
+            self.q.schedule(now + 1, Ev::WarpIssue { sm, warp });
+        } else {
+            self.sms[sm as usize].set_warp(
+                warp as usize,
+                WarpState::WaitingMemory { outstanding: left },
+                now,
+            );
+        }
+    }
+
+    fn record_coverage(&mut self, pages: u64) {
+        let bucket = CoverageBucket::of_pages(pages);
+        let idx = CoverageBucket::ALL.iter().position(|b| *b == bucket).expect("bucket");
+        self.stats.coverage_hits[idx] += 1;
+    }
+}

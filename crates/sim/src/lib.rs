@@ -1,0 +1,88 @@
+//! A discrete-event GPU memory-system simulator.
+//!
+//! `avatar-sim` is the substrate on which the Avatar framework (MICRO 2024)
+//! is reproduced: a from-scratch model of the memory side of an
+//! RTX3070-class GPU (paper Table II) —
+//!
+//! * [`sm`] — streaming multiprocessors: warp programs, the memory
+//!   coalescer, and occupancy/stall accounting;
+//! * [`tlb`] — a two-level TLB hierarchy behind the pluggable
+//!   [`tlb::TlbModel`] trait (the prior-work CoLT/SnakeByte designs plug in
+//!   from the `avatar-baselines` crate);
+//! * [`walker`] — the shared 16-walker page-walk system with its walk
+//!   buffer and page-walk cache;
+//! * [`page_table`] — a four-level radix page table with 2MB promotion;
+//! * [`cache`] — sectored L1/L2 caches with Avatar's per-sector
+//!   compression/guarantee tag bits;
+//! * [`dram`] — a command-level GDDR6 timing model;
+//! * [`uvm`] — UVM demand paging: 2MB logical chunks, neighborhood
+//!   prefetching, promotion, and chunk eviction under oversubscription;
+//! * [`engine`] — the event-driven orchestrator tying it all together;
+//! * [`hooks`] — the policy interfaces (speculation, validation, sector
+//!   compressibility) that `avatar-core` implements.
+//!
+//! # Example
+//!
+//! Run a tiny streaming kernel on the baseline configuration:
+//!
+//! ```
+//! use avatar_sim::config::GpuConfig;
+//! use avatar_sim::engine::Engine;
+//! use avatar_sim::hooks::{NoSpeculation, UniformCompression};
+//! use avatar_sim::sm::{WarpOp, WarpProgram};
+//! use avatar_sim::tlb::{BaseTlb, TlbModel};
+//! use avatar_sim::addr::VirtAddr;
+//!
+//! struct Stream { remaining: u32 }
+//! impl WarpProgram for Stream {
+//!     fn next_op(&mut self, sm: usize, warp: usize) -> Option<WarpOp> {
+//!         if sm > 0 || warp > 0 || self.remaining == 0 {
+//!             return None;
+//!         }
+//!         self.remaining -= 1;
+//!         let base = self.remaining as u64 * 128;
+//!         Some(WarpOp::Load { pc: 0x100, addrs: (0..32).map(|i| VirtAddr(base + i * 4)).collect() })
+//!     }
+//! }
+//!
+//! let mut cfg = GpuConfig::rtx3070();
+//! cfg.num_sms = 1; // keep the doctest light
+//! let l1s: Vec<Box<dyn TlbModel>> = (0..cfg.num_sms)
+//!     .map(|_| Box::new(BaseTlb::new(32, 16, 0, 1)) as Box<dyn TlbModel>)
+//!     .collect();
+//! let l2 = Box::new(BaseTlb::new(1024, 128, 8, 1));
+//! let engine = Engine::new(
+//!     cfg,
+//!     l1s,
+//!     l2,
+//!     Box::new(NoSpeculation),
+//!     Box::new(UniformCompression { fraction: 0.6 }),
+//!     Box::new(Stream { remaining: 16 }),
+//! );
+//! let stats = engine.run();
+//! assert_eq!(stats.loads, 16);
+//! assert!(stats.cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod engine;
+pub mod event;
+pub mod hooks;
+pub mod page_table;
+pub mod port;
+pub mod sm;
+pub mod stats;
+pub mod tlb;
+pub mod uvm;
+pub mod walker;
+
+pub use addr::{PhysAddr, Ppn, VirtAddr, Vpn};
+pub use config::{BasePage, Cycle, GpuConfig};
+pub use engine::Engine;
+pub use stats::Stats;

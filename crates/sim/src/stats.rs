@@ -1,0 +1,440 @@
+//! Simulation statistics: everything the paper's figures report.
+
+use crate::config::Cycle;
+
+/// Outcome classes for memory accesses that received a *correct*
+/// speculative translation (paper Fig 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecOutcome {
+    /// Rapid validation succeeded (CAVA) — translation overhead eliminated.
+    FastTranslation,
+    /// Validation unavailable (raw sector); the background translation
+    /// completed after the fetch and the original access hit the
+    /// prefetched sector in the L1.
+    L1dHit,
+    /// Validation unavailable; the background translation completed before
+    /// the fetch and the original access merged with the in-flight
+    /// speculative fetch in the cache MSHR.
+    L1dMerge,
+    /// The speculatively fetched sector was evicted before the original
+    /// access could use it — no benefit.
+    L1dMiss,
+}
+
+/// Coverage buckets for TLB-entry reach (paper Fig 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoverageBucket {
+    /// A single 4KB page.
+    Pages4K,
+    /// 8KB–32KB of reach.
+    To32K,
+    /// 64KB–256KB of reach.
+    To256K,
+    /// 512KB–1MB of reach.
+    To1M,
+    /// A full 2MB (or larger) region.
+    From2M,
+}
+
+impl CoverageBucket {
+    /// Buckets a coverage expressed in 4KB pages.
+    pub fn of_pages(pages: u64) -> Self {
+        match pages {
+            0..=1 => CoverageBucket::Pages4K,
+            2..=8 => CoverageBucket::To32K,
+            9..=64 => CoverageBucket::To256K,
+            65..=256 => CoverageBucket::To1M,
+            _ => CoverageBucket::From2M,
+        }
+    }
+
+    /// All buckets, smallest reach first.
+    pub const ALL: [CoverageBucket; 5] = [
+        CoverageBucket::Pages4K,
+        CoverageBucket::To32K,
+        CoverageBucket::To256K,
+        CoverageBucket::To1M,
+        CoverageBucket::From2M,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CoverageBucket::Pages4K => "4KB",
+            CoverageBucket::To32K => "8-32KB",
+            CoverageBucket::To256K => "64-256KB",
+            CoverageBucket::To1M => "512KB-1MB",
+            CoverageBucket::From2M => ">=2MB",
+        }
+    }
+}
+
+/// Running mean without storing samples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mean {
+    sum: f64,
+    n: u64,
+}
+
+impl Mean {
+    /// Adds a sample.
+    pub fn add(&mut self, x: f64) {
+        self.sum += x;
+        self.n += 1;
+    }
+
+    /// Current mean (0 if empty).
+    pub fn value(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// A log2-bucketed latency histogram with percentile estimation.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Bucket `i` counts samples in `[2^i, 2^(i+1))` cycles.
+    buckets: [u64; 32],
+    n: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self { buckets: [0; 32], n: 0 }
+    }
+}
+
+impl Histogram {
+    /// Adds a latency sample.
+    pub fn add(&mut self, cycles: u64) {
+        let idx = (64 - cycles.max(1).leading_zeros() - 1).min(31) as usize;
+        self.buckets[idx] += 1;
+        self.n += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Estimates percentile `p` (0.0–1.0) as the upper edge of the bucket
+    /// containing it (conservative; resolution is a factor of two).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.n == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.n as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return 1 << (i + 1);
+            }
+        }
+        1 << 31
+    }
+}
+
+/// All counters for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Total simulated cycles.
+    pub cycles: Cycle,
+    /// Warp instructions issued (loads + compute ops).
+    pub instructions: u64,
+    /// Warp load instructions issued.
+    pub loads: u64,
+    /// Warp store instructions issued.
+    pub stores: u64,
+    /// Dirty sectors written back from the L2 to DRAM.
+    pub writebacks: u64,
+    /// Coalesced sector requests issued to the memory system.
+    pub sector_requests: u64,
+    /// Cycles during which an SM had warps but none ready (summed over SMs).
+    pub stall_cycles: u64,
+
+    /// L1 TLB lookups / hits.
+    pub l1_tlb_lookups: u64,
+    /// L1 TLB hits.
+    pub l1_tlb_hits: u64,
+    /// L2 TLB lookups.
+    pub l2_tlb_lookups: u64,
+    /// L2 TLB hits.
+    pub l2_tlb_hits: u64,
+    /// Completed page walks.
+    pub page_walks: u64,
+    /// Page walks aborted by EAF before completion.
+    pub walks_aborted: u64,
+    /// Walk requests satisfied by merging into a pending walk.
+    pub walk_merges: u64,
+    /// Memory accesses issued by page walkers.
+    pub walk_memory_accesses: u64,
+    /// TLB fills propagated to other SMs by EAF.
+    pub eaf_cross_sm_fills: u64,
+    /// TLB entries installed by EAF.
+    pub eaf_fills: u64,
+    /// Requests that found the per-SM L1 TLB MSHR file full.
+    pub l1_tlb_mshr_full: u64,
+    /// Requests that found the shared L2 TLB MSHR file full.
+    pub l2_tlb_mshr_full: u64,
+    /// Sector fetches that found a cache MSHR file full.
+    pub cache_mshr_full: u64,
+    /// Walk requests that found the page-walk buffer full.
+    pub pw_buffer_full: u64,
+    /// MSHR/PW-buffer entries released early by EAF.
+    pub eaf_releases: u64,
+
+    /// L1 data-cache sector lookups.
+    pub l1d_lookups: u64,
+    /// L1 data-cache sector hits.
+    pub l1d_hits: u64,
+    /// L2 cache sector lookups.
+    pub l2_lookups: u64,
+    /// L2 cache sector hits.
+    pub l2_hits: u64,
+    /// Bytes read from DRAM.
+    pub dram_read_bytes: u64,
+    /// Bytes written to DRAM.
+    pub dram_write_bytes: u64,
+    /// DRAM row-buffer hits.
+    pub dram_row_hits: u64,
+    /// DRAM row-buffer misses (activations).
+    pub dram_row_misses: u64,
+
+    /// Page faults taken (first-touch or refault after eviction).
+    pub page_faults: u64,
+    /// Pages migrated to GPU memory.
+    pub pages_migrated: u64,
+    /// Accesses served remotely from host memory (cold pages below the
+    /// access-counter migration threshold).
+    pub remote_accesses: u64,
+    /// 2MB chunks evicted under oversubscription.
+    pub chunks_evicted: u64,
+    /// TLB shootdowns performed.
+    pub tlb_shootdowns: u64,
+    /// Chunks promoted to 2MB pages.
+    pub promotions: u64,
+    /// Promoted chunks splintered back to 4KB pages.
+    pub splinters: u64,
+    /// Extra page-table references charged for merging (SnakeByte).
+    pub merge_memory_accesses: u64,
+
+    /// Speculations attempted.
+    pub speculations: u64,
+    /// Speculations whose predicted PPN matched the real translation.
+    pub spec_correct: u64,
+    /// Speculations on pages not resident in GPU memory (false speculation).
+    pub spec_false: u64,
+    /// Speculative fetches that reached DRAM.
+    pub spec_fetches: u64,
+    /// Sectors fetched speculatively that were compressed (had page info).
+    pub spec_compressed: u64,
+    /// Mis-speculations detected by CAVA VPN mismatch.
+    pub cava_mismatches: u64,
+    /// Counts per speculation outcome class (correct speculations only).
+    pub outcomes: OutcomeCounts,
+
+    /// TLB-hit coverage histogram (counts per bucket).
+    pub coverage_hits: [u64; 5],
+
+    /// Mean end-to-end latency of warp load instructions.
+    pub load_latency: Mean,
+    /// Mean latency of sector requests (issue to data-usable).
+    pub sector_latency: Mean,
+    /// Log2 histogram of sector-request latencies (for percentiles).
+    pub sector_latency_hist: Histogram,
+    /// Mean page-walk latency.
+    pub walk_latency: Mean,
+
+    /// Sectors considered at migration.
+    pub migrate_sectors: u64,
+    /// Sectors that compressed below the 22B budget at migration.
+    pub migrate_compressed: u64,
+}
+
+/// Per-outcome counters for Fig 16.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OutcomeCounts {
+    /// Rapid-validation successes.
+    pub fast_translation: u64,
+    /// Late-translation L1 hits on prefetched sectors.
+    pub l1d_hit: u64,
+    /// MSHR merges with in-flight speculative fetches.
+    pub l1d_merge: u64,
+    /// Speculative sectors evicted before use.
+    pub l1d_miss: u64,
+}
+
+impl OutcomeCounts {
+    /// Records one outcome.
+    pub fn record(&mut self, o: SpecOutcome) {
+        match o {
+            SpecOutcome::FastTranslation => self.fast_translation += 1,
+            SpecOutcome::L1dHit => self.l1d_hit += 1,
+            SpecOutcome::L1dMerge => self.l1d_merge += 1,
+            SpecOutcome::L1dMiss => self.l1d_miss += 1,
+        }
+    }
+
+    /// Total recorded outcomes.
+    pub fn total(&self) -> u64 {
+        self.fast_translation + self.l1d_hit + self.l1d_merge + self.l1d_miss
+    }
+
+    /// Fraction of a given count over the total (0 if empty).
+    pub fn fraction(&self, count: u64) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            count as f64 / t as f64
+        }
+    }
+}
+
+impl Stats {
+    /// Speculation accuracy: correct / attempted (paper Fig 18).
+    pub fn spec_accuracy(&self) -> f64 {
+        if self.speculations == 0 {
+            0.0
+        } else {
+            self.spec_correct as f64 / self.speculations as f64
+        }
+    }
+
+    /// Speculation coverage: correct speculations over all L1 TLB misses
+    /// (paper Fig 18).
+    pub fn spec_coverage(&self) -> f64 {
+        let misses = self.l1_tlb_lookups - self.l1_tlb_hits;
+        if misses == 0 {
+            0.0
+        } else {
+            self.spec_correct as f64 / misses as f64
+        }
+    }
+
+    /// L1 TLB miss rate.
+    pub fn l1_tlb_miss_rate(&self) -> f64 {
+        if self.l1_tlb_lookups == 0 {
+            0.0
+        } else {
+            1.0 - self.l1_tlb_hits as f64 / self.l1_tlb_lookups as f64
+        }
+    }
+
+    /// L2 TLB misses per million warp instructions (workload classing,
+    /// paper Table III).
+    pub fn l2_tlb_mpmi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            (self.l2_tlb_lookups - self.l2_tlb_hits) as f64 * 1.0e6 / self.instructions as f64
+        }
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    /// Fraction of migrated sectors that fit the 22-byte budget.
+    pub fn migrate_compress_fraction(&self) -> f64 {
+        if self.migrate_sectors == 0 {
+            0.0
+        } else {
+            self.migrate_compressed as f64 / self.migrate_sectors as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.add(100); // bucket [64,128) -> upper edge 128
+        }
+        for _ in 0..10 {
+            h.add(10_000); // bucket [8192,16384) -> upper edge 16384
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(0.5), 128);
+        assert_eq!(h.percentile(0.99), 16384);
+        assert_eq!(Histogram::default().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = Histogram::default();
+        h.add(0); // clamped to 1
+        h.add(u64::MAX); // clamped to the top bucket
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(1.0) >= 1 << 31);
+    }
+
+    #[test]
+    fn coverage_bucketing() {
+        assert_eq!(CoverageBucket::of_pages(1), CoverageBucket::Pages4K);
+        assert_eq!(CoverageBucket::of_pages(2), CoverageBucket::To32K);
+        assert_eq!(CoverageBucket::of_pages(8), CoverageBucket::To32K);
+        assert_eq!(CoverageBucket::of_pages(16), CoverageBucket::To256K);
+        assert_eq!(CoverageBucket::of_pages(128), CoverageBucket::To1M);
+        assert_eq!(CoverageBucket::of_pages(512), CoverageBucket::From2M);
+    }
+
+    #[test]
+    fn mean_accumulates() {
+        let mut m = Mean::default();
+        assert_eq!(m.value(), 0.0);
+        m.add(10.0);
+        m.add(20.0);
+        assert_eq!(m.value(), 15.0);
+        assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    fn outcome_fractions() {
+        let mut o = OutcomeCounts::default();
+        o.record(SpecOutcome::FastTranslation);
+        o.record(SpecOutcome::FastTranslation);
+        o.record(SpecOutcome::L1dHit);
+        o.record(SpecOutcome::L1dMiss);
+        assert_eq!(o.total(), 4);
+        assert_eq!(o.fraction(o.fast_translation), 0.5);
+    }
+
+    #[test]
+    fn accuracy_and_coverage() {
+        let s = Stats {
+            speculations: 10,
+            spec_correct: 9,
+            l1_tlb_lookups: 100,
+            l1_tlb_hits: 88,
+            ..Stats::default()
+        };
+        assert!((s.spec_accuracy() - 0.9).abs() < 1e-9);
+        assert!((s.spec_coverage() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mpmi() {
+        let s = Stats {
+            instructions: 1_000_000,
+            l2_tlb_lookups: 500,
+            l2_tlb_hits: 440,
+            ..Stats::default()
+        };
+        assert!((s.l2_tlb_mpmi() - 60.0).abs() < 1e-9);
+    }
+}

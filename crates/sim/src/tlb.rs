@@ -1,0 +1,380 @@
+//! TLB models: the pluggable interface and the baseline two-array design.
+//!
+//! The baseline TLB (Table II) keeps separate entry arrays for base pages
+//! (4KB, or 64KB in the §IV-C1 sensitivity study) and promoted 2MB pages.
+//! Prior-work designs (CoLT, SnakeByte) replace the base array's fill and
+//! lookup behaviour via the [`TlbModel`] trait — they live in the
+//! `avatar-baselines` crate.
+
+use crate::addr::{Ppn, Vpn, PAGES_PER_CHUNK};
+
+/// A physically contiguous virtual→physical run around a translated page,
+/// computed by the page table at walk completion. Coalescing TLBs use it to
+/// widen their entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContigRun {
+    /// First VPN of the run.
+    pub start_vpn: u64,
+    /// PPN mapped to `start_vpn`.
+    pub start_ppn: u64,
+    /// Run length in 4KB pages.
+    pub len: u64,
+}
+
+impl ContigRun {
+    /// Whether `vpn` is covered by this run.
+    pub fn covers(&self, vpn: u64) -> bool {
+        vpn >= self.start_vpn && vpn < self.start_vpn + self.len
+    }
+
+    /// Translates a covered VPN.
+    pub fn translate(&self, vpn: u64) -> u64 {
+        debug_assert!(self.covers(vpn));
+        self.start_ppn + (vpn - self.start_vpn)
+    }
+}
+
+/// Information delivered to a TLB on fill (from the walker, the L2 TLB, or
+/// Avatar's EAF path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbFill {
+    /// The translated page.
+    pub vpn: Vpn,
+    /// Its frame.
+    pub ppn: Ppn,
+    /// Pages covered by the installed translation: 1 for a base 4KB PTE,
+    /// 16 for a 64KB base page, 512 for a promoted 2MB page.
+    pub pages: u64,
+    /// Contiguity neighbourhood from the page table, if known (EAF fills
+    /// have none).
+    pub run: Option<ContigRun>,
+}
+
+/// A successful TLB lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbHit {
+    /// Translated frame for the requested page.
+    pub ppn: Ppn,
+    /// Reach of the entry that hit, in 4KB pages (for Fig 5 coverage).
+    pub coverage_pages: u64,
+    /// First VPN covered by the hit entry.
+    pub entry_vpn: u64,
+    /// PPN mapped to `entry_vpn`.
+    pub entry_ppn: u64,
+}
+
+impl TlbHit {
+    /// The contiguity run described by the hit entry (used to propagate
+    /// coalesced reach from the L2 TLB into L1 fills).
+    pub fn run(&self) -> ContigRun {
+        ContigRun { start_vpn: self.entry_vpn, start_ppn: self.entry_ppn, len: self.coverage_pages }
+    }
+}
+
+/// The pluggable TLB interface.
+pub trait TlbModel: std::fmt::Debug {
+    /// Looks up a page, updating replacement state.
+    fn lookup(&mut self, vpn: Vpn) -> Option<TlbHit>;
+
+    /// Installs a translation.
+    fn fill(&mut self, fill: &TlbFill);
+
+    /// Invalidates any entries overlapping `[vpn, vpn + pages)`; returns
+    /// the number of entries dropped. Coalesced/merged entries overlapping
+    /// the range are dropped entirely (the shootdown cost the paper
+    /// discusses).
+    fn invalidate(&mut self, vpn: Vpn, pages: u64) -> u64;
+
+    /// Drops every entry.
+    fn flush(&mut self);
+
+    /// Model name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Extra page-table memory references this model has accrued (e.g.
+    /// SnakeByte merge traffic). Drained by the engine each time it is read.
+    fn drain_extra_memory_refs(&mut self) -> u64 {
+        0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    vpn: u64,
+    ppn: u64,
+    pages: u64,
+    last_use: u64,
+}
+
+impl Entry {
+    fn covers(&self, vpn: u64) -> bool {
+        vpn >= self.vpn && vpn < self.vpn + self.pages
+    }
+
+    fn overlaps(&self, vpn: u64, pages: u64) -> bool {
+        self.vpn < vpn + pages && vpn < self.vpn + self.pages
+    }
+}
+
+/// One set-associative (or fully associative) array of TLB entries.
+#[derive(Debug, Clone)]
+pub(crate) struct EntryArray {
+    sets: Vec<Vec<Entry>>,
+    ways: usize,
+    stamp: u64,
+    /// Granularity used for set indexing (pages per entry).
+    index_pages: u64,
+}
+
+impl EntryArray {
+    pub(crate) fn new(entries: usize, assoc: usize, index_pages: u64) -> Self {
+        let (nsets, ways) = if assoc == 0 || assoc >= entries {
+            (1, entries.max(1))
+        } else {
+            ((entries / assoc).max(1), assoc)
+        };
+        Self { sets: vec![Vec::new(); nsets], ways, stamp: 0, index_pages: index_pages.max(1) }
+    }
+
+    fn set_of(&self, vpn: u64) -> usize {
+        ((vpn / self.index_pages) % self.sets.len() as u64) as usize
+    }
+
+    fn lookup(&mut self, vpn: u64) -> Option<TlbHit> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_of(vpn);
+        let e = self.sets[set].iter_mut().find(|e| e.covers(vpn))?;
+        e.last_use = stamp;
+        Some(TlbHit {
+            ppn: Ppn(e.ppn + (vpn - e.vpn)),
+            coverage_pages: e.pages,
+            entry_vpn: e.vpn,
+            entry_ppn: e.ppn,
+        })
+    }
+
+    fn insert(&mut self, vpn: u64, ppn: u64, pages: u64) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set_idx = self.set_of(vpn);
+        let ways = self.ways;
+        let set = &mut self.sets[set_idx];
+        if let Some(e) = set.iter_mut().find(|e| e.vpn == vpn && e.pages == pages) {
+            e.ppn = ppn;
+            e.last_use = stamp;
+            return;
+        }
+        if set.len() >= ways {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(i, _)| i)
+                .expect("nonempty set");
+            set.swap_remove(victim);
+        }
+        set.push(Entry { vpn, ppn, pages, last_use: stamp });
+    }
+
+    fn invalidate(&mut self, vpn: u64, pages: u64) -> u64 {
+        let mut dropped = 0;
+        for set in &mut self.sets {
+            set.retain(|e| {
+                if e.overlaps(vpn, pages) {
+                    dropped += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        dropped
+    }
+
+    fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+/// The baseline TLB: a base-page array plus a 2MB large-page array.
+#[derive(Debug, Clone)]
+pub struct BaseTlb {
+    base: EntryArray,
+    large: EntryArray,
+    /// Pages covered by one base entry (1 for 4KB, 16 for 64KB).
+    base_pages: u64,
+}
+
+impl BaseTlb {
+    /// Creates a baseline TLB.
+    ///
+    /// `assoc` of 0 means fully associative. `base_pages` is the base-page
+    /// size in 4KB pages (1 or 16).
+    pub fn new(base_entries: usize, large_entries: usize, assoc: usize, base_pages: u64) -> Self {
+        Self {
+            base: EntryArray::new(base_entries, assoc, base_pages),
+            large: EntryArray::new(large_entries, assoc, PAGES_PER_CHUNK),
+            base_pages,
+        }
+    }
+
+    /// Total live entries (both arrays).
+    pub fn len(&self) -> usize {
+        self.base.len() + self.large.len()
+    }
+
+    /// Whether the TLB holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TlbModel for BaseTlb {
+    fn lookup(&mut self, vpn: Vpn) -> Option<TlbHit> {
+        if let Some(hit) = self.large.lookup(vpn.0) {
+            return Some(hit);
+        }
+        self.base.lookup(vpn.0)
+    }
+
+    fn fill(&mut self, fill: &TlbFill) {
+        if fill.pages >= PAGES_PER_CHUNK {
+            // Align the 2MB entry on its natural boundary.
+            let base_vpn = fill.vpn.0 & !(PAGES_PER_CHUNK - 1);
+            let base_ppn = fill.ppn.0 - (fill.vpn.0 - base_vpn);
+            self.large.insert(base_vpn, base_ppn, PAGES_PER_CHUNK);
+        } else {
+            // Align on the base-page boundary.
+            let base_vpn = fill.vpn.0 & !(self.base_pages - 1);
+            let base_ppn = fill.ppn.0 - (fill.vpn.0 - base_vpn);
+            self.base.insert(base_vpn, base_ppn, self.base_pages);
+        }
+    }
+
+    fn invalidate(&mut self, vpn: Vpn, pages: u64) -> u64 {
+        self.base.invalidate(vpn.0, pages) + self.large.invalidate(vpn.0, pages)
+    }
+
+    fn flush(&mut self) {
+        self.base.flush();
+        self.large.flush();
+    }
+
+    fn name(&self) -> &'static str {
+        "base"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill4k(vpn: u64, ppn: u64) -> TlbFill {
+        TlbFill { vpn: Vpn(vpn), ppn: Ppn(ppn), pages: 1, run: None }
+    }
+
+    #[test]
+    fn miss_fill_hit() {
+        let mut t = BaseTlb::new(4, 2, 0, 1);
+        assert!(t.lookup(Vpn(5)).is_none());
+        t.fill(&fill4k(5, 100));
+        let hit = t.lookup(Vpn(5)).unwrap();
+        assert_eq!(hit.ppn, Ppn(100));
+        assert_eq!(hit.coverage_pages, 1);
+    }
+
+    #[test]
+    fn lru_in_fully_associative_array() {
+        let mut t = BaseTlb::new(2, 1, 0, 1);
+        t.fill(&fill4k(1, 11));
+        t.fill(&fill4k(2, 22));
+        t.lookup(Vpn(1)); // make 2 the LRU
+        t.fill(&fill4k(3, 33));
+        assert!(t.lookup(Vpn(1)).is_some());
+        assert!(t.lookup(Vpn(2)).is_none());
+        assert!(t.lookup(Vpn(3)).is_some());
+    }
+
+    #[test]
+    fn large_page_covers_whole_chunk() {
+        let mut t = BaseTlb::new(4, 2, 0, 1);
+        // Fill reported for a page in the middle of the chunk.
+        t.fill(&TlbFill { vpn: Vpn(512 + 37), ppn: Ppn(1024 + 37), pages: 512, run: None });
+        let hit = t.lookup(Vpn(512)).unwrap();
+        assert_eq!(hit.ppn, Ppn(1024));
+        assert_eq!(hit.coverage_pages, 512);
+        let hit2 = t.lookup(Vpn(512 + 511)).unwrap();
+        assert_eq!(hit2.ppn, Ppn(1024 + 511));
+    }
+
+    #[test]
+    fn base_64k_entry_covers_16_pages() {
+        let mut t = BaseTlb::new(4, 2, 0, 16);
+        t.fill(&TlbFill { vpn: Vpn(19), ppn: Ppn(119), pages: 1, run: None });
+        // Entry aligned to vpn 16 → ppn 116.
+        let hit = t.lookup(Vpn(16)).unwrap();
+        assert_eq!(hit.ppn, Ppn(116));
+        assert_eq!(hit.coverage_pages, 16);
+        assert!(t.lookup(Vpn(32)).is_none());
+    }
+
+    #[test]
+    fn invalidate_range_drops_overlapping() {
+        let mut t = BaseTlb::new(8, 2, 0, 1);
+        t.fill(&fill4k(10, 110));
+        t.fill(&fill4k(11, 111));
+        t.fill(&fill4k(20, 120));
+        assert_eq!(t.invalidate(Vpn(10), 2), 2);
+        assert!(t.lookup(Vpn(10)).is_none());
+        assert!(t.lookup(Vpn(20)).is_some());
+    }
+
+    #[test]
+    fn invalidate_drops_large_entry_overlapping_page() {
+        let mut t = BaseTlb::new(4, 2, 0, 1);
+        t.fill(&TlbFill { vpn: Vpn(512), ppn: Ppn(0), pages: 512, run: None });
+        assert_eq!(t.invalidate(Vpn(600), 1), 1);
+        assert!(t.lookup(Vpn(512)).is_none());
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut t = BaseTlb::new(4, 2, 0, 1);
+        t.fill(&fill4k(1, 2));
+        t.flush();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn set_associative_indexing_separates_sets() {
+        let mut t = BaseTlb::new(8, 0, 2, 1); // 4 sets x 2 ways
+        // VPNs 0,4,8 map to set 0 with 4 sets — capacity 2.
+        t.fill(&fill4k(0, 10));
+        t.fill(&fill4k(4, 14));
+        t.fill(&fill4k(8, 18));
+        let present = [0u64, 4, 8].iter().filter(|&&v| t.lookup(Vpn(v)).is_some()).count();
+        assert_eq!(present, 2, "one conflict eviction in the set");
+    }
+
+    #[test]
+    fn refill_same_page_updates_mapping() {
+        let mut t = BaseTlb::new(4, 2, 0, 1);
+        t.fill(&fill4k(7, 70));
+        t.fill(&fill4k(7, 77));
+        assert_eq!(t.lookup(Vpn(7)).unwrap().ppn, Ppn(77));
+    }
+
+    #[test]
+    fn contig_run_translation() {
+        let r = ContigRun { start_vpn: 100, start_ppn: 500, len: 8 };
+        assert!(r.covers(100) && r.covers(107) && !r.covers(108));
+        assert_eq!(r.translate(103), 503);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for the simulator's core structures: replacement
+//! invariants, translation consistency, and hazard primitives.
+
+use avatar_sim::addr::{PhysAddr, Ppn, Vpn, PAGES_PER_CHUNK};
+use avatar_sim::cache::{Probe, SectorCache, SectorFlags};
+use avatar_sim::config::GpuConfig;
+use avatar_sim::dram::{Dram, DramOp};
+use avatar_sim::event::EventQueue;
+use avatar_sim::page_table::PageTable;
+use avatar_sim::port::{MshrFile, MshrGrant, Ports};
+use avatar_sim::tlb::{BaseTlb, TlbFill, TlbModel};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ports_grants_are_monotonic_and_bounded(width in 1u32..8, times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut p = Ports::new(width);
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut grants = Vec::new();
+        for t in sorted {
+            grants.push(p.grant(t));
+        }
+        // Monotonic when requests arrive in time order.
+        for w in grants.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+        // No cycle is granted more than `width` times.
+        let mut counts = std::collections::HashMap::new();
+        for g in grants {
+            *counts.entry(g).or_insert(0u32) += 1;
+        }
+        prop_assert!(counts.values().all(|&c| c <= width));
+    }
+
+    #[test]
+    fn mshr_capacity_is_respected(cap in 1usize..16, keys in proptest::collection::vec(0u64..32, 1..100)) {
+        let mut m: MshrFile<u64, usize> = MshrFile::new(cap);
+        let mut live = std::collections::HashSet::new();
+        for (i, k) in keys.iter().enumerate() {
+            match m.request(*k, i) {
+                MshrGrant::Allocated => {
+                    prop_assert!(live.insert(*k));
+                    prop_assert!(live.len() <= cap);
+                }
+                MshrGrant::Merged => prop_assert!(live.contains(k)),
+                MshrGrant::Full => {
+                    prop_assert_eq!(live.len(), cap);
+                    prop_assert!(!live.contains(k));
+                }
+            }
+            prop_assert_eq!(m.len(), live.len());
+        }
+        // Completion returns every merged waiter exactly once.
+        let total_waiters: usize = live.iter()
+            .map(|k| m.complete(*k).map(|w| w.len()).unwrap_or(0))
+            .sum();
+        prop_assert!(total_waiters <= keys.len());
+        prop_assert!(m.is_empty());
+    }
+
+    #[test]
+    fn event_queue_pops_in_order(events in proptest::collection::vec((0u64..1000, 0u32..100), 1..200)) {
+        let mut q = EventQueue::new();
+        for (t, v) in &events {
+            q.schedule(*t, *v);
+        }
+        let mut last = 0;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, events.len());
+    }
+
+    #[test]
+    fn cache_never_exceeds_capacity_and_probe_after_fill_hits(
+        addrs in proptest::collection::vec(0u64..4096, 1..300)
+    ) {
+        let mut c = SectorCache::new(64, 4);
+        let flags = SectorFlags { valid: true, compressed: false, guaranteed: true, dirty: false };
+        for a in &addrs {
+            let pa = PhysAddr(a * 32);
+            c.fill(pa, flags);
+            prop_assert_eq!(c.probe(pa), Probe::Hit, "freshly filled sector must hit");
+            prop_assert!(c.resident_lines() <= 64);
+        }
+    }
+
+    #[test]
+    fn page_table_translations_are_exact(pages in proptest::collection::vec((0u64..10_000, 1u64..1_000_000), 1..200)) {
+        let mut pt = PageTable::new();
+        let mut model = std::collections::HashMap::new();
+        for (vpn, ppn) in &pages {
+            pt.map_page(Vpn(*vpn), Ppn(*ppn));
+            model.insert(*vpn, *ppn);
+        }
+        for (vpn, ppn) in &model {
+            prop_assert_eq!(pt.translate(Vpn(*vpn)).map(|t| t.ppn.0), Some(*ppn));
+        }
+        prop_assert_eq!(pt.mapped_pages(), model.len());
+    }
+
+    #[test]
+    fn promotion_splinter_roundtrip(vchunk in 0u64..64, base in 0u64..1_000_000) {
+        let base = base & !(PAGES_PER_CHUNK - 1);
+        let mut pt = PageTable::new();
+        for i in 0..PAGES_PER_CHUNK {
+            pt.map_page(Vpn(vchunk * PAGES_PER_CHUNK + i), Ppn(base + i));
+        }
+        pt.promote_chunk(vchunk, Ppn(base));
+        prop_assert!(pt.is_promoted(vchunk));
+        pt.splinter_chunk(vchunk);
+        for i in (0..PAGES_PER_CHUNK).step_by(37) {
+            let t = pt.translate(Vpn(vchunk * PAGES_PER_CHUNK + i)).unwrap();
+            prop_assert_eq!(t.ppn, Ppn(base + i));
+            prop_assert_eq!(t.pages, 1);
+        }
+    }
+
+    #[test]
+    fn tlb_lookup_matches_last_fill(fills in proptest::collection::vec((0u64..64, 0u64..100_000), 1..100)) {
+        let mut tlb = BaseTlb::new(4096, 16, 0, 1); // big enough: no evictions
+        let mut model = std::collections::HashMap::new();
+        for (vpn, ppn) in &fills {
+            tlb.fill(&TlbFill { vpn: Vpn(*vpn), ppn: Ppn(*ppn), pages: 1, run: None });
+            model.insert(*vpn, *ppn);
+        }
+        for (vpn, ppn) in &model {
+            prop_assert_eq!(tlb.lookup(Vpn(*vpn)).map(|h| h.ppn.0), Some(*ppn));
+        }
+    }
+
+    #[test]
+    fn tlb_invalidate_removes_exactly_the_range(
+        fills in proptest::collection::vec(0u64..256, 1..80),
+        start in 0u64..256,
+        len in 1u64..64,
+    ) {
+        let mut tlb = BaseTlb::new(4096, 16, 0, 1);
+        for vpn in &fills {
+            tlb.fill(&TlbFill { vpn: Vpn(*vpn), ppn: Ppn(vpn + 1000), pages: 1, run: None });
+        }
+        tlb.invalidate(Vpn(start), len);
+        for vpn in &fills {
+            let inside = *vpn >= start && *vpn < start + len;
+            prop_assert_eq!(tlb.lookup(Vpn(*vpn)).is_some(), !inside);
+        }
+    }
+
+    #[test]
+    fn dram_completions_never_precede_issue(
+        accesses in proptest::collection::vec((0u64..(1u64 << 30), 0u64..64), 1..200)
+    ) {
+        let mut dram = Dram::new(GpuConfig::default().dram);
+        let mut now = 0;
+        for (addr, gap) in accesses {
+            now += gap;
+            let done = dram.access(PhysAddr(addr & !31), DramOp::Read, now, 32);
+            prop_assert!(done > now, "completion strictly after issue");
+        }
+    }
+}
