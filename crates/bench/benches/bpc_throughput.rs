@@ -2,10 +2,9 @@
 //! contents — the (de)compression engines Avatar adds to each memory
 //! controller must keep up with channel bandwidth, so codec cost matters.
 
+use avatar_bench::timer::{bench, group};
 use avatar_bpc::{compress, decompress, embed_sector, inspect, PageInfo, Permissions};
 use avatar_workloads::Workload;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
 
 fn sectors_of(abbr: &str, n: u64) -> Vec<[u8; 32]> {
     let w = Workload::by_abbr(abbr).expect("workload");
@@ -13,55 +12,38 @@ fn sectors_of(abbr: &str, n: u64) -> Vec<[u8; 32]> {
     (0..n).map(|i| c.bytes(i * 31)).collect()
 }
 
-fn bench_compress(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bpc_compress");
+fn main() {
+    group("bpc_compress");
     for abbr in ["GEMM", "SSSP", "SC", "XSB"] {
         let sectors = sectors_of(abbr, 256);
-        g.bench_function(abbr, |b| {
-            let mut i = 0;
-            b.iter(|| {
-                i = (i + 1) % sectors.len();
-                black_box(compress(&sectors[i]))
-            })
+        let mut i = 0;
+        bench(abbr, || {
+            i = (i + 1) % sectors.len();
+            compress(&sectors[i])
         });
     }
-    g.finish();
-}
 
-fn bench_roundtrip(c: &mut Criterion) {
+    group("bpc_decompress");
     let sectors = sectors_of("GEMM", 256);
     let compressed: Vec<_> = sectors.iter().map(compress).collect();
-    c.bench_function("bpc_decompress", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % compressed.len();
-            black_box(decompress(&compressed[i]))
-        })
+    let mut i = 0;
+    bench("bpc_decompress", || {
+        i = (i + 1) % compressed.len();
+        decompress(&compressed[i])
     });
-}
 
-fn bench_embed_inspect(c: &mut Criterion) {
+    group("cava_embed_inspect");
     let sectors = sectors_of("SSSP", 256);
     let info = PageInfo::new(0xABCD, Permissions::READ_WRITE, 1);
-    c.bench_function("cava_embed", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % sectors.len();
-            black_box(embed_sector(&sectors[i], info))
-        })
+    let mut i = 0;
+    bench("cava_embed", || {
+        i = (i + 1) % sectors.len();
+        embed_sector(&sectors[i], info)
     });
     let stored: Vec<_> = sectors.iter().map(|s| embed_sector(s, info)).collect();
-    c.bench_function("cava_inspect", |b| {
-        b.iter_batched(
-            || 0usize,
-            |mut i| {
-                i = (i + 1) % stored.len();
-                black_box(inspect(stored[i].bytes()))
-            },
-            BatchSize::SmallInput,
-        )
+    let mut i = 0;
+    bench("cava_inspect", || {
+        i = (i + 1) % stored.len();
+        inspect(stored[i].bytes())
     });
 }
-
-criterion_group!(benches, bench_compress, bench_roundtrip, bench_embed_inspect);
-criterion_main!(benches);

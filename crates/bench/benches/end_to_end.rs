@@ -2,18 +2,16 @@
 //! tracks the simulator's own throughput (simulated work per wall-clock
 //! second) so regressions in the engine's hot paths are visible.
 
+use avatar_bench::timer::{bench, group};
 use avatar_core::system::{run, RunOptions, SystemConfig};
 use avatar_workloads::Workload;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
 fn opts() -> RunOptions {
     RunOptions { scale: 0.02, sms: Some(2), warps: Some(8), ..RunOptions::default() }
 }
 
-fn bench_configs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end_small");
-    g.sample_size(10);
+fn main() {
+    group("end_to_end_small (SSSP)");
     let w = Workload::by_abbr("SSSP").expect("workload");
     for cfg in [
         SystemConfig::Baseline,
@@ -22,20 +20,12 @@ fn bench_configs(c: &mut Criterion) {
         SystemConfig::SnakeByte,
         SystemConfig::Avatar,
     ] {
-        g.bench_function(cfg.label(), |b| b.iter(|| black_box(run(&w, cfg, &opts()))));
+        bench(cfg.label(), || run(&w, cfg, &opts()));
     }
-    g.finish();
-}
 
-fn bench_workload_classes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end_avatar");
-    g.sample_size(10);
+    group("end_to_end_avatar");
     for abbr in ["GEMM", "PAF", "XSB"] {
         let w = Workload::by_abbr(abbr).expect("workload");
-        g.bench_function(abbr, |b| b.iter(|| black_box(run(&w, SystemConfig::Avatar, &opts()))));
+        bench(abbr, || run(&w, SystemConfig::Avatar, &opts()));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_configs, bench_workload_classes);
-criterion_main!(benches);

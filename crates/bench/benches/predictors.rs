@@ -2,12 +2,12 @@
 //! L1-TLB-miss critical path, so per-lookup cost must be table-lookup
 //! cheap.
 
+use avatar_bench::timer::{bench, group};
 use avatar_core::{ModTable, VpnTable};
 use avatar_sim::addr::Vpn;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
-fn bench_mod(c: &mut Criterion) {
+fn main() {
+    group("mod");
     let mut table = ModTable::new(32, 2);
     // Pre-train 16 PCs.
     for pc in 0..16u64 {
@@ -15,45 +15,31 @@ fn bench_mod(c: &mut Criterion) {
             table.train(0x1000 + pc * 16, 512 + pc as i64);
         }
     }
-    c.bench_function("mod_predict_hit", |b| {
-        let mut pc = 0u64;
-        b.iter(|| {
-            pc = (pc + 1) % 16;
-            black_box(table.predict(0x1000 + pc * 16))
-        })
+    let mut pc = 0u64;
+    bench("mod_predict_hit", || {
+        pc = (pc + 1) % 16;
+        table.predict(0x1000 + pc * 16)
     });
-    c.bench_function("mod_predict_miss", |b| {
-        b.iter(|| black_box(table.predict(0xDEAD_BEEF)))
+    bench("mod_predict_miss", || table.predict(0xDEAD_BEEF));
+    let mut pc = 0u64;
+    bench("mod_train", || {
+        pc = (pc + 1) % 48; // includes replacement churn
+        table.train(0x2000 + pc * 16, pc as i64);
     });
-    c.bench_function("mod_train", |b| {
-        let mut pc = 0u64;
-        b.iter(|| {
-            pc = (pc + 1) % 48; // includes replacement churn
-            table.train(0x2000 + pc * 16, pc as i64);
-        })
-    });
-}
 
-fn bench_vpnt(c: &mut Criterion) {
+    group("vpnt");
     let mut table = VpnTable::new(32);
     for chunk in 0..16u64 {
         table.train(Vpn(chunk * 512), 512);
     }
-    c.bench_function("vpnt_predict_hit", |b| {
-        let mut v = 0u64;
-        b.iter(|| {
-            v = (v + 17) % (16 * 512);
-            black_box(table.predict(Vpn(v)))
-        })
+    let mut v = 0u64;
+    bench("vpnt_predict_hit", || {
+        v = (v + 17) % (16 * 512);
+        table.predict(Vpn(v))
     });
-    c.bench_function("vpnt_train", |b| {
-        let mut v = 0u64;
-        b.iter(|| {
-            v = (v + 512) % (64 * 512);
-            table.train(Vpn(v), v as i64);
-        })
+    let mut v = 0u64;
+    bench("vpnt_train", || {
+        v = (v + 512) % (64 * 512);
+        table.train(Vpn(v), v as i64);
     });
 }
-
-criterion_group!(benches, bench_mod, bench_vpnt);
-criterion_main!(benches);

@@ -1,24 +1,23 @@
 //! Component bench: the simulator's hot structures — TLB models, the
-//! sectored cache directory, the DRAM timing model, and the page-walk
-//! system. These dominate whole-run simulation time.
+//! sectored cache directory, the DRAM timing model, the event calendar,
+//! and the page-walk system. These dominate whole-run simulation time.
 
 use avatar_baselines::{ColtTlb, SnakeByteTlb};
+use avatar_bench::timer::{bench, group};
 use avatar_sim::addr::{PhysAddr, Ppn, Vpn};
 use avatar_sim::cache::{SectorCache, SectorFlags};
 use avatar_sim::config::GpuConfig;
 use avatar_sim::dram::{Dram, DramOp};
+use avatar_sim::event::EventQueue;
 use avatar_sim::page_table::PageTable;
 use avatar_sim::tlb::{BaseTlb, TlbFill, TlbModel};
 use avatar_sim::walker::PageWalkSystem;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
-fn bench_tlbs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tlb_lookup");
+fn main() {
+    group("tlb_lookup");
     let fills: Vec<TlbFill> = (0..1024)
         .map(|i| TlbFill { vpn: Vpn(i * 3), ppn: Ppn(i * 3 + 512), pages: 1, run: None })
         .collect();
-
     let mut base = BaseTlb::new(1024, 128, 8, 1);
     let mut colt = ColtTlb::new(1024, 128, 8);
     let mut snake = SnakeByteTlb::new(1152);
@@ -28,28 +27,20 @@ fn bench_tlbs(c: &mut Criterion) {
         snake.fill(f);
     }
     let mut v = 0u64;
-    g.bench_function("base", |b| {
-        b.iter(|| {
-            v = (v + 7) % 3072;
-            black_box(base.lookup(Vpn(v)))
-        })
+    bench("base", || {
+        v = (v + 7) % 3072;
+        base.lookup(Vpn(v))
     });
-    g.bench_function("colt", |b| {
-        b.iter(|| {
-            v = (v + 7) % 3072;
-            black_box(colt.lookup(Vpn(v)))
-        })
+    bench("colt", || {
+        v = (v + 7) % 3072;
+        colt.lookup(Vpn(v))
     });
-    g.bench_function("snakebyte", |b| {
-        b.iter(|| {
-            v = (v + 7) % 3072;
-            black_box(snake.lookup(Vpn(v)))
-        })
+    bench("snakebyte", || {
+        v = (v + 7) % 3072;
+        snake.lookup(Vpn(v))
     });
-    g.finish();
-}
 
-fn bench_cache(c: &mut Criterion) {
+    group("l2_cache");
     let cfg = GpuConfig::default();
     let mut cache = SectorCache::new(cfg.l2_cache.lines(), cfg.l2_cache.assoc);
     let flags = SectorFlags { valid: true, compressed: false, guaranteed: true, dirty: false };
@@ -57,51 +48,52 @@ fn bench_cache(c: &mut Criterion) {
         cache.fill(PhysAddr(i * 128), flags);
     }
     let mut a = 0u64;
-    c.bench_function("l2_cache_probe", |b| {
-        b.iter(|| {
-            a = (a + 131) % 65_536;
-            black_box(cache.probe(PhysAddr(a * 128)))
-        })
+    bench("l2_cache_probe", || {
+        a = (a + 131) % 65_536;
+        cache.probe(PhysAddr(a * 128))
     });
-    c.bench_function("l2_cache_fill", |b| {
-        b.iter(|| {
-            a = (a + 131) % 131_072;
-            black_box(cache.fill(PhysAddr(a * 128), flags))
-        })
+    bench("l2_cache_fill", || {
+        a = (a + 131) % 131_072;
+        cache.fill(PhysAddr(a * 128), flags)
     });
-}
 
-fn bench_dram(c: &mut Criterion) {
+    group("dram");
     let mut dram = Dram::new(GpuConfig::default().dram);
     let mut t = 0u64;
     let mut a = 0u64;
-    c.bench_function("dram_access", |b| {
-        b.iter(|| {
-            a = a.wrapping_add(0x1243) & 0xFF_FFFF;
-            t += 1;
-            black_box(dram.access(PhysAddr(a * 32), DramOp::Read, t, 32))
-        })
+    bench("dram_access", || {
+        a = a.wrapping_add(0x1243) & 0xFF_FFFF;
+        t += 1;
+        dram.access(PhysAddr(a * 32), DramOp::Read, t, 32)
     });
-}
 
-fn bench_walks(c: &mut Criterion) {
+    group("event_calendar");
+    // Steady-state schedule/pop churn at a realistic queue depth, with a
+    // mix of near-future (ring) and far-future (overflow) horizons.
+    let mut q: EventQueue<u32> = EventQueue::new();
+    for i in 0..4096u64 {
+        q.schedule(i % 512, i as u32);
+    }
+    let mut k = 0u64;
+    bench("event_schedule_pop", || {
+        let (t, ev) = q.pop().expect("queue stays non-empty");
+        k = k.wrapping_add(1);
+        let horizon = if k % 64 == 0 { 5000 } else { k % 128 };
+        q.schedule(t + 1 + horizon, ev);
+        ev
+    });
+
+    group("page_walks");
     let mut pt = PageTable::new();
     for i in 0..4096u64 {
         pt.map_page(Vpn(i), Ppn(i + 512));
     }
-    c.bench_function("page_walk_dispatch_step", |b| {
-        let mut ws = PageWalkSystem::new(GpuConfig::default().walker);
-        let mut v = 0u64;
-        b.iter(|| {
-            v = (v + 1) % 4096;
-            let id = ws.enqueue(Vpn(v), pt.walk_levels(Vpn(v)), 0).expect("buffer space");
-            ws.dispatch().expect("walker free");
-            while let avatar_sim::walker::WalkProgress::Access(_) =
-                ws.step(id).expect("live")
-            {}
-        })
+    let mut ws = PageWalkSystem::new(GpuConfig::default().walker);
+    let mut v = 0u64;
+    bench("page_walk_dispatch_step", || {
+        v = (v + 1) % 4096;
+        let id = ws.enqueue(Vpn(v), pt.walk_levels(Vpn(v)), 0).expect("buffer space");
+        ws.dispatch().expect("walker free");
+        while let avatar_sim::walker::WalkProgress::Access(_) = ws.step(id).expect("live") {}
     });
 }
-
-criterion_group!(benches, bench_tlbs, bench_cache, bench_dram, bench_walks);
-criterion_main!(benches);

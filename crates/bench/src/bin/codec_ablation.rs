@@ -5,38 +5,22 @@
 //! (which bounds CAVA's validation opportunities) and the resulting Avatar
 //! speedup.
 
-use avatar_bench::{geomean, mean, print_table, HarnessOpts};
-use avatar_bpc::Codec;
-use avatar_core::system::{run, speedup, RunOptions, SystemConfig};
+use avatar_bench::json::Json;
+use avatar_bench::runner::{run_scenarios, Scenario};
+use avatar_bench::{geomean, mean, obj, print_table, HarnessOpts};
+use avatar_core::system::{speedup, RunOptions, SystemConfig};
 use avatar_workloads::{ContentModel, Workload};
-use serde::Serialize;
 
 const SAMPLE_WORKLOADS: [&str; 5] = ["GEMM", "PAF", "GC", "SSSP", "XSB"];
-
-#[derive(Serialize)]
-struct Row {
-    codec: String,
-    fit22_avg: f64,
-    avatar_gmean: f64,
-}
 
 fn main() {
     let opts = HarnessOpts::from_args();
 
-    let mut rows = Vec::new();
-    let mut json: Vec<Row> = Vec::new();
-    for codec in Codec::ALL {
-        let mut fits = Vec::new();
-        let mut speedups = Vec::new();
+    // codec × workload × {Baseline, Avatar}: one flat grid.
+    let mut scenarios = Vec::new();
+    for codec in avatar_bpc::Codec::ALL {
         for abbr in SAMPLE_WORKLOADS {
             let w = Workload::by_abbr(abbr).expect("known workload");
-            // Budget-fit fraction under this codec, measured on real bytes.
-            let model = ContentModel::with_codec(w.clone(), codec);
-            let fit = (0..4000u64)
-                .filter(|i| model.compressed_bits(i * 977) <= avatar_bpc::embed::PAYLOAD_BITS)
-                .count();
-            fits.push(fit as f64 / 4000.0);
-
             let ro = RunOptions {
                 codec,
                 scale: opts.scale,
@@ -44,22 +28,42 @@ fn main() {
                 warps: Some(opts.warps),
                 ..RunOptions::default()
             };
-            let base = run(&w, SystemConfig::Baseline, &ro);
-            let avatar = run(&w, SystemConfig::Avatar, &ro);
-            speedups.push(speedup(&base, &avatar));
-            eprintln!("{} / {abbr} done", codec.name());
+            scenarios.push(Scenario::new("Baseline", &w, SystemConfig::Baseline, ro.clone()));
+            scenarios.push(Scenario::new("Avatar", &w, SystemConfig::Avatar, ro));
         }
-        let row = Row {
-            codec: codec.name().to_string(),
-            fit22_avg: mean(&fits),
-            avatar_gmean: geomean(&speedups),
-        };
+    }
+    let results = run_scenarios(opts.threads, scenarios);
+    let stride = SAMPLE_WORKLOADS.len() * 2;
+
+    let mut rows = Vec::new();
+    let mut json: Vec<Json> = Vec::new();
+    for (ci, codec) in avatar_bpc::Codec::ALL.into_iter().enumerate() {
+        let mut fits = Vec::new();
+        let mut speedups = Vec::new();
+        for (wi, abbr) in SAMPLE_WORKLOADS.into_iter().enumerate() {
+            let w = Workload::by_abbr(abbr).expect("known workload");
+            // Budget-fit fraction under this codec, measured on real bytes.
+            let model = ContentModel::with_codec(w, codec);
+            let fit = (0..4000u64)
+                .filter(|i| model.compressed_bits(i * 977) <= avatar_bpc::embed::PAYLOAD_BITS)
+                .count();
+            fits.push(fit as f64 / 4000.0);
+
+            let base = results[ci * stride + wi * 2].expect_stats();
+            let avatar = results[ci * stride + wi * 2 + 1].expect_stats();
+            speedups.push(speedup(base, avatar));
+        }
+        let (fit22_avg, avatar_gmean) = (mean(&fits), geomean(&speedups));
         rows.push(vec![
-            row.codec.clone(),
-            format!("{:.1}%", row.fit22_avg * 100.0),
-            format!("{:.3}", row.avatar_gmean),
+            codec.name().to_string(),
+            format!("{:.1}%", fit22_avg * 100.0),
+            format!("{avatar_gmean:.3}"),
         ]);
-        json.push(row);
+        json.push(obj! {
+            "codec": codec.name(),
+            "fit22_avg": fit22_avg,
+            "avatar_gmean": avatar_gmean,
+        });
     }
 
     println!("\nCodec ablation: CAVA budget fit and Avatar speedup per compression scheme");

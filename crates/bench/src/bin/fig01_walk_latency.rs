@@ -10,14 +10,14 @@
 //! (b) a multi-GB region with one access per page and a cold-TLB stride,
 //! and we report the mean sector latency of each regime.
 
-use avatar_bench::{print_table, HarnessOpts};
+use avatar_bench::runner::run_cells;
+use avatar_bench::{obj, print_table, HarnessOpts};
 use avatar_sim::addr::VirtAddr;
 use avatar_sim::config::GpuConfig;
 use avatar_sim::engine::Engine;
 use avatar_sim::hooks::{NoSpeculation, UniformCompression};
 use avatar_sim::sm::{WarpOp, WarpProgram};
 use avatar_sim::tlb::{BaseTlb, TlbModel};
-use serde::Serialize;
 
 /// A single-warp dependent-load chase with a fixed stride.
 struct Chase {
@@ -62,25 +62,26 @@ fn run_chase(stride: u64, span: u64, accesses: u32, ideal_tlb: bool) -> f64 {
     stats.sector_latency.value()
 }
 
-#[derive(Serialize)]
-struct Row {
-    regime: String,
-    latency_cycles: f64,
-}
-
 fn main() {
     let opts = HarnessOpts::from_args();
     let accesses = 4096;
 
-    // Translation-free regime: the chase spans far more than the caches
-    // (DRAM-bound, as the paper's microbenchmark on commodity GPUs) but
-    // translation is free — this isolates raw memory latency.
-    let hit = run_chase(4096 + 256, 256 << 20, accesses, true);
-    // Page-walk regime: identical memory behaviour, but every access
-    // lands in a fresh 2MB region of a multi-GB span, defeating the TLBs
-    // and the page-walk cache so a multi-reference walk precedes each
-    // access.
-    let miss = run_chase((2 << 20) + 4096 + 256, 8 << 30, accesses, false);
+    // Two independent chases; even this two-cell figure goes through the
+    // pool so `--threads` overlaps them.
+    let jobs: Vec<Box<dyn FnOnce() -> f64 + Send>> = vec![
+        // Translation-free regime: the chase spans far more than the caches
+        // (DRAM-bound, as the paper's microbenchmark on commodity GPUs) but
+        // translation is free — this isolates raw memory latency.
+        Box::new(move || run_chase(4096 + 256, 256 << 20, accesses, true)),
+        // Page-walk regime: identical memory behaviour, but every access
+        // lands in a fresh 2MB region of a multi-GB span, defeating the TLBs
+        // and the page-walk cache so a multi-reference walk precedes each
+        // access.
+        Box::new(move || run_chase((2 << 20) + 4096 + 256, 8 << 30, accesses, false)),
+    ];
+    let cells = run_cells(opts.threads, jobs);
+    let hit = *cells[0].outcome.as_ref().expect("TLB-hit chase");
+    let miss = *cells[1].outcome.as_ref().expect("page-walk chase");
 
     let rows = vec![
         vec!["TLB hit".to_string(), format!("{hit:.0}")],
@@ -91,8 +92,8 @@ fn main() {
     println!("\nFig 1: memory access latency with and without page walks");
     print_table(&["Regime", "Mean latency (cycles)"], &rows);
     println!("\npaper: up to 1.96x, ~950-1000 extra cycles on commodity GPUs");
-    opts.dump_json(&vec![
-        Row { regime: "hit".into(), latency_cycles: hit },
-        Row { regime: "walk".into(), latency_cycles: miss },
+    opts.dump_json(&[
+        obj! { "regime": "hit", "latency_cycles": hit },
+        obj! { "regime": "walk", "latency_cycles": miss },
     ]);
 }

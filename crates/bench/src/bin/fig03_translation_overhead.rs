@@ -4,30 +4,32 @@
 //!     TLB — paper average 1.7×, with SSSP/SPMV/XSB ≥ 2×;
 //! (b) performance degradation vs the ideal TLB — paper average −34.5%.
 
-use avatar_bench::{geomean, mean, print_table, HarnessOpts};
-use avatar_core::system::{run, SystemConfig};
+use avatar_bench::json::Json;
+use avatar_bench::runner::{run_scenarios, Scenario};
+use avatar_bench::{geomean, mean, obj, print_table, HarnessOpts};
+use avatar_core::system::SystemConfig;
 use avatar_workloads::Workload;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    workload: String,
-    stall_ratio: f64,
-    perf_vs_ideal: f64,
-}
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let ro = opts.run_options();
+    let workloads = Workload::all();
+
+    let mut scenarios = Vec::new();
+    for w in &workloads {
+        scenarios.push(Scenario::new("Baseline", w, SystemConfig::Baseline, ro.clone()));
+        scenarios.push(Scenario::new("IdealTLB", w, SystemConfig::IdealTlb, ro.clone()));
+    }
+    let results = run_scenarios(opts.threads, scenarios);
 
     let mut rows = Vec::new();
-    let mut json_rows = Vec::new();
+    let mut json_rows: Vec<Json> = Vec::new();
     let mut stall_ratios = Vec::new();
     let mut perf = Vec::new();
 
-    for w in Workload::all() {
-        let base = run(&w, SystemConfig::Baseline, &ro);
-        let ideal = run(&w, SystemConfig::IdealTlb, &ro);
+    for (wi, w) in workloads.iter().enumerate() {
+        let base = results[wi * 2].expect_stats();
+        let ideal = results[wi * 2 + 1].expect_stats();
         let stall_ratio = if ideal.stall_cycles == 0 {
             base.stall_cycles as f64
         } else {
@@ -37,13 +39,16 @@ fn main() {
         let degradation = 1.0 - perf_vs_ideal;
         stall_ratios.push(stall_ratio);
         perf.push(perf_vs_ideal);
-        eprintln!("done {}", w.abbr);
         rows.push(vec![
             w.abbr.to_string(),
             format!("{stall_ratio:.2}x"),
             format!("{:.1}%", degradation * 100.0),
         ]);
-        json_rows.push(Row { workload: w.abbr.to_string(), stall_ratio, perf_vs_ideal });
+        json_rows.push(obj! {
+            "workload": w.abbr,
+            "stall_ratio": stall_ratio,
+            "perf_vs_ideal": perf_vs_ideal,
+        });
     }
 
     println!("\nFig 3: translation overhead (baseline vs ideal TLB)");

@@ -7,26 +7,20 @@
 //! configuration over the class-H workloads and report the hit fractions
 //! per coverage bucket.
 
-use avatar_bench::{print_table, HarnessOpts};
-use avatar_core::system::{run, RunOptions, SystemConfig};
+use avatar_bench::json::Json;
+use avatar_bench::runner::{run_scenarios, Scenario, ScenarioResult};
+use avatar_bench::{obj, print_table, HarnessOpts};
+use avatar_core::system::{RunOptions, SystemConfig};
 use avatar_sim::stats::CoverageBucket;
 use avatar_workloads::{Class, Workload};
-use serde::Serialize;
 
-#[derive(Serialize)]
-struct Row {
-    scenario: String,
-    buckets: Vec<(String, f64)>,
-}
-
-fn coverage_fractions(ro: &RunOptions) -> [f64; 5] {
+fn coverage_fractions(results: &[ScenarioResult]) -> [f64; 5] {
     let mut hits = [0u64; 5];
-    for w in Workload::all().into_iter().filter(|w| w.class == Class::H) {
-        let s = run(&w, SystemConfig::Colt, ro);
+    for r in results {
+        let s = r.expect_stats();
         for (i, h) in s.coverage_hits.iter().enumerate() {
             hits[i] += h;
         }
-        eprintln!("done {}", w.abbr);
     }
     let total: u64 = hits.iter().sum();
     let mut out = [0.0; 5];
@@ -40,28 +34,40 @@ fn coverage_fractions(ro: &RunOptions) -> [f64; 5] {
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let normal = coverage_fractions(&opts.run_options());
-    let oversub = coverage_fractions(&RunOptions {
-        oversubscription: Some(1.3),
-        ..opts.run_options()
-    });
+    let class_h: Vec<Workload> = Workload::all().into_iter().filter(|w| w.class == Class::H).collect();
+    let scenarios_of = |ro: &RunOptions| -> Vec<Scenario> {
+        class_h.iter().map(|w| Scenario::new(w.abbr, w, SystemConfig::Colt, ro.clone())).collect()
+    };
+
+    // Three oversubscription regimes × class-H workloads, one flat grid.
     // Our reduced traces re-touch evicted chunks far less than the paper's
     // full benchmark runs, so 130% produces mild churn; a harsher factor
     // shows the same direction amplified.
-    let oversub3 = coverage_fractions(&RunOptions {
-        oversubscription: Some(3.0),
-        ..opts.run_options()
-    });
+    let regimes = [
+        ("no oversubscription", "normal", opts.run_options()),
+        ("130% oversubscription", "oversub130", RunOptions { oversubscription: Some(1.3), ..opts.run_options() }),
+        ("300% oversubscription", "oversub300", RunOptions { oversubscription: Some(3.0), ..opts.run_options() }),
+    ];
+    let mut scenarios = Vec::new();
+    for (_, _, ro) in &regimes {
+        scenarios.extend(scenarios_of(ro));
+    }
+    let results = run_scenarios(opts.threads, scenarios);
 
     let mut rows = Vec::new();
-    for (label, data) in [
-        ("no oversubscription", normal),
-        ("130% oversubscription", oversub),
-        ("300% oversubscription", oversub3),
-    ] {
+    let mut json: Vec<Json> = Vec::new();
+    for (ri, (label, key, _)) in regimes.iter().enumerate() {
+        let slice = &results[ri * class_h.len()..(ri + 1) * class_h.len()];
+        let data = coverage_fractions(slice);
         let mut cells = vec![label.to_string()];
         cells.extend(data.iter().map(|f| format!("{:.1}%", f * 100.0)));
         rows.push(cells);
+        let buckets: Vec<Json> = CoverageBucket::ALL
+            .iter()
+            .zip(data.iter())
+            .map(|(b, f)| obj! { "bucket": b.label(), "fraction": *f })
+            .collect();
+        json.push(obj! { "scenario": *key, "buckets": Json::Arr(buckets) });
     }
 
     let mut headers = vec!["Scenario"];
@@ -69,17 +75,5 @@ fn main() {
     println!("\nFig 5: TLB-hit coverage breakdown (CoLT + Promotion, class H)");
     print_table(&headers, &rows);
     println!("\npaper: the large-coverage hit fraction shrinks sharply under oversubscription");
-
-    let json: Vec<Row> = [("normal", normal), ("oversub130", oversub), ("oversub300", oversub3)]
-        .into_iter()
-        .map(|(s, d)| Row {
-            scenario: s.to_string(),
-            buckets: CoverageBucket::ALL
-                .iter()
-                .zip(d.iter())
-                .map(|(b, f)| (b.label().to_string(), *f))
-                .collect(),
-        })
-        .collect();
     opts.dump_json(&json);
 }

@@ -6,58 +6,71 @@
 //! streams: for every load PC, the fraction of consecutive accesses that
 //! stay within the previously accessed 2MB chunk.
 
-use avatar_bench::{mean, print_table, HarnessOpts};
+use avatar_bench::json::Json;
+use avatar_bench::runner::run_cells;
+use avatar_bench::{mean, obj, print_table, HarnessOpts};
 use avatar_sim::addr::CHUNK_BYTES;
+use avatar_sim::fxhash::FxHashMap;
 use avatar_sim::sm::{WarpOp, WarpProgram};
 use avatar_workloads::Workload;
-use serde::Serialize;
-use std::collections::HashMap;
 
-#[derive(Serialize)]
-struct Row {
-    workload: String,
-    same_chunk_fraction: f64,
+fn same_chunk_fraction(w: &Workload, sms: usize, warps: usize, scale: f64) -> f64 {
+    let mut program = w.program(sms, warps, scale);
+    // Per (SM, PC): the chunk last accessed by that instruction on
+    // that SM — MOD's viewpoint.
+    let mut last: FxHashMap<(usize, u64), u64> = FxHashMap::default();
+    let (mut same, mut total) = (0u64, 0u64);
+    for sm in 0..sms {
+        for warp in 0..warps {
+            while let Some(op) = program.next_op(sm, warp) {
+                let (pc, addrs) = match op {
+                    WarpOp::Load { pc, addrs } | WarpOp::Store { pc, addrs } => (pc, addrs),
+                    WarpOp::Compute { .. } => continue,
+                };
+                for a in &addrs {
+                    let chunk = a.0 / CHUNK_BYTES;
+                    if let Some(&prev) = last.get(&(sm, pc)) {
+                        total += 1;
+                        if prev == chunk {
+                            same += 1;
+                        }
+                    }
+                    last.insert((sm, pc), chunk);
+                }
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        same as f64 / total as f64
+    }
 }
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let workloads = Workload::all();
+
+    // Pure trace analysis — no Engine — but the streams are long enough
+    // that fanning per-workload jobs across the pool still pays.
+    let (sms, warps, scale) = (opts.sms, opts.warps, opts.scale);
+    let jobs: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            let w = w.clone();
+            move || same_chunk_fraction(&w, sms, warps, scale)
+        })
+        .collect();
+    let cells = run_cells(opts.threads, jobs);
 
     let mut rows = Vec::new();
-    let mut json_rows = Vec::new();
+    let mut json_rows: Vec<Json> = Vec::new();
     let mut fractions = Vec::new();
-
-    for w in Workload::all() {
-        let mut program = w.program(opts.sms, opts.warps, opts.scale);
-        // Per (SM, PC): the chunk last accessed by that instruction on
-        // that SM — MOD's viewpoint.
-        let mut last: HashMap<(usize, u64), u64> = HashMap::new();
-        let (mut same, mut total) = (0u64, 0u64);
-        for sm in 0..opts.sms {
-            for warp in 0..opts.warps {
-                while let Some(op) = program.next_op(sm, warp) {
-                    let (pc, addrs) = match op {
-                        WarpOp::Load { pc, addrs } | WarpOp::Store { pc, addrs } => (pc, addrs),
-                        WarpOp::Compute { .. } => continue,
-                    };
-                    {
-                        for a in &addrs {
-                            let chunk = a.0 / CHUNK_BYTES;
-                            if let Some(&prev) = last.get(&(sm, pc)) {
-                                total += 1;
-                                if prev == chunk {
-                                    same += 1;
-                                }
-                            }
-                            last.insert((sm, pc), chunk);
-                        }
-                    }
-                }
-            }
-        }
-        let frac = if total == 0 { 0.0 } else { same as f64 / total as f64 };
+    for (w, cell) in workloads.iter().zip(&cells) {
+        let frac = *cell.outcome.as_ref().expect("trace analysis cell");
         fractions.push(frac);
         rows.push(vec![w.abbr.to_string(), format!("{:.1}%", frac * 100.0)]);
-        json_rows.push(Row { workload: w.abbr.to_string(), same_chunk_fraction: frac });
+        json_rows.push(obj! { "workload": w.abbr, "same_chunk_fraction": frac });
     }
 
     rows.push(vec!["AVG".into(), format!("{:.1}%", mean(&fractions) * 100.0)]);

@@ -6,19 +6,13 @@
 //! by running the real BPC codec over the synthesized sector contents of
 //! each workload.
 
-use avatar_bench::{mean, print_table, HarnessOpts};
+use avatar_bench::json::Json;
+use avatar_bench::runner::run_cells;
+use avatar_bench::{mean, obj, print_table, HarnessOpts};
 use avatar_bpc::embed::PAYLOAD_BITS;
 use avatar_workloads::Workload;
-use serde::Serialize;
 
-#[derive(Serialize)]
-struct Row {
-    workload: String,
-    ratio: f64,
-    fit22: f64,
-}
-
-fn measure(w: &Workload, samples: u64) -> Row {
+fn measure(w: &Workload, samples: u64) -> (f64, f64) {
     let model = w.content();
     let mut bits_sum = 0usize;
     let mut fit = 0u64;
@@ -31,32 +25,39 @@ fn measure(w: &Workload, samples: u64) -> Row {
             fit += 1;
         }
     }
-    Row {
-        workload: w.abbr.to_string(),
-        ratio: 256.0 * samples as f64 / bits_sum as f64,
-        fit22: fit as f64 / samples as f64,
-    }
+    (256.0 * samples as f64 / bits_sum as f64, fit as f64 / samples as f64)
 }
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let samples = 20_000;
+    let samples = 20_000u64;
+    let workloads = Workload::all();
+
+    // One codec sweep per workload, fanned across the pool.
+    let jobs: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            let w = w.clone();
+            move || measure(&w, samples)
+        })
+        .collect();
+    let cells = run_cells(opts.threads, jobs);
 
     let mut rows = Vec::new();
-    let mut json_rows = Vec::new();
+    let mut json_rows: Vec<Json> = Vec::new();
     let mut ratios = Vec::new();
     let mut fits = Vec::new();
 
-    for w in Workload::all() {
-        let row = measure(&w, samples);
-        ratios.push(row.ratio);
-        fits.push(row.fit22);
+    for (w, cell) in workloads.iter().zip(&cells) {
+        let (ratio, fit22) = *cell.outcome.as_ref().expect("codec sweep cell");
+        ratios.push(ratio);
+        fits.push(fit22);
         rows.push(vec![
-            row.workload.clone(),
-            format!("{:.2}", row.ratio),
-            format!("{:.1}%", row.fit22 * 100.0),
+            w.abbr.to_string(),
+            format!("{ratio:.2}"),
+            format!("{:.1}%", fit22 * 100.0),
         ]);
-        json_rows.push(row);
+        json_rows.push(obj! { "workload": w.abbr, "ratio": ratio, "fit22": fit22 });
     }
     rows.push(vec![
         "AVG".into(),

@@ -5,43 +5,50 @@
 //! Avatar beats Promotion by 14.9%, CoLT by 10.1%, SnakeByte by 16.3%;
 //! CAST+Ideal-Valid exceeds Avatar by 5.8%.
 
-use avatar_bench::{geomean, print_table, HarnessOpts};
-use avatar_core::system::{run, speedup, SystemConfig};
+use avatar_bench::json::Json;
+use avatar_bench::runner::{fmt_cell, run_scenarios, speedup_cell, Scenario};
+use avatar_bench::{geomean, obj, print_table, HarnessOpts};
+use avatar_core::system::SystemConfig;
 use avatar_workloads::Workload;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    workload: String,
-    class: String,
-    speedups: Vec<(String, f64)>,
-}
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let ro = opts.run_options();
     let configs = SystemConfig::FIG15;
+    let workloads = Workload::all();
+
+    // One cell per (workload × {Baseline + Fig-15 configs}), fanned across
+    // the thread pool; the grid is indexed back by fixed stride.
+    let mut scenarios = Vec::new();
+    for w in &workloads {
+        scenarios.push(Scenario::new("Baseline", w, SystemConfig::Baseline, ro.clone()));
+        for cfg in configs {
+            scenarios.push(Scenario::new(cfg.label(), w, cfg, ro.clone()));
+        }
+    }
+    let results = run_scenarios(opts.threads, scenarios);
+    let stride = configs.len() + 1;
 
     let mut rows = Vec::new();
-    let mut json_rows = Vec::new();
+    let mut json_rows: Vec<Json> = Vec::new();
     let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
 
-    for w in Workload::all() {
-        let base = run(&w, SystemConfig::Baseline, &ro);
+    for (wi, w) in workloads.iter().enumerate() {
+        let base = &results[wi * stride];
         let mut cells = vec![w.abbr.to_string(), format!("{:?}", w.class)];
         let mut speedups = Vec::new();
         for (i, cfg) in configs.iter().enumerate() {
-            let s = run(&w, *cfg, &ro);
-            let x = speedup(&base, &s);
-            per_config[i].push(x);
-            cells.push(format!("{x:.3}"));
-            speedups.push((cfg.label().to_string(), x));
+            let x = speedup_cell(base, &results[wi * stride + 1 + i]);
+            if let Some(x) = x {
+                per_config[i].push(x);
+            }
+            cells.push(fmt_cell(x, 3));
+            speedups.push(obj! { "config": cfg.label(), "speedup": x });
         }
-        eprintln!("done {}", w.abbr);
-        json_rows.push(Row {
-            workload: w.abbr.to_string(),
-            class: format!("{:?}", w.class),
-            speedups,
+        json_rows.push(obj! {
+            "workload": w.abbr,
+            "class": format!("{:?}", w.class),
+            "speedups": Json::Arr(speedups),
         });
         rows.push(cells);
     }
@@ -54,7 +61,10 @@ fn main() {
 
     let mut headers = vec!["Workload", "Class"];
     headers.extend(configs.iter().map(|c| c.label()));
-    println!("\nFig 15: speedup over baseline (scale {}, {} SMs x {} warps)", opts.scale, opts.sms, opts.warps);
+    println!(
+        "\nFig 15: speedup over baseline (scale {}, {} SMs x {} warps)",
+        opts.scale, opts.sms, opts.warps
+    );
     print_table(&headers, &rows);
 
     let avatar_idx = configs.iter().position(|c| *c == SystemConfig::Avatar).expect("Avatar in set");

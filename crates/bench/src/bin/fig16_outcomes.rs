@@ -4,55 +4,60 @@
 //! Paper averages: L1D_hit + L1D_merge ≈ 59.0%, Fast_Translation ≈ 38.6%,
 //! L1D_miss ≈ 2.3%.
 
-use avatar_bench::{mean, print_table, HarnessOpts};
-use avatar_core::system::{run, SystemConfig};
+use avatar_bench::json::Json;
+use avatar_bench::runner::{run_scenarios, Scenario};
+use avatar_bench::{mean, obj, print_table, HarnessOpts};
+use avatar_core::system::SystemConfig;
 use avatar_workloads::Workload;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    workload: String,
-    fast_translation: f64,
-    l1d_hit: f64,
-    l1d_merge: f64,
-    l1d_miss: f64,
-}
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let ro = opts.run_options();
+    let workloads = Workload::all();
+
+    let scenarios: Vec<Scenario> = workloads
+        .iter()
+        .map(|w| Scenario::new(w.abbr, w, SystemConfig::Avatar, ro.clone()))
+        .collect();
+    let results = run_scenarios(opts.threads, scenarios);
 
     let mut rows = Vec::new();
-    let mut json_rows: Vec<Row> = Vec::new();
+    let mut json_rows: Vec<Json> = Vec::new();
+    let mut fracs: Vec<[f64; 4]> = Vec::new();
 
-    for w in Workload::all() {
-        let s = run(&w, SystemConfig::Avatar, &ro);
+    for (w, r) in workloads.iter().zip(&results) {
+        let s = r.expect_stats();
         let o = &s.outcomes;
-        let row = Row {
-            workload: w.abbr.to_string(),
-            fast_translation: o.fraction(o.fast_translation),
-            l1d_hit: o.fraction(o.l1d_hit),
-            l1d_merge: o.fraction(o.l1d_merge),
-            l1d_miss: o.fraction(o.l1d_miss),
-        };
-        eprintln!("done {}", w.abbr);
+        let f = [
+            o.fraction(o.fast_translation),
+            o.fraction(o.l1d_hit),
+            o.fraction(o.l1d_merge),
+            o.fraction(o.l1d_miss),
+        ];
+        fracs.push(f);
         rows.push(vec![
-            row.workload.clone(),
-            format!("{:.1}%", row.fast_translation * 100.0),
-            format!("{:.1}%", row.l1d_hit * 100.0),
-            format!("{:.1}%", row.l1d_merge * 100.0),
-            format!("{:.1}%", row.l1d_miss * 100.0),
+            w.abbr.to_string(),
+            format!("{:.1}%", f[0] * 100.0),
+            format!("{:.1}%", f[1] * 100.0),
+            format!("{:.1}%", f[2] * 100.0),
+            format!("{:.1}%", f[3] * 100.0),
         ]);
-        json_rows.push(row);
+        json_rows.push(obj! {
+            "workload": w.abbr,
+            "fast_translation": f[0],
+            "l1d_hit": f[1],
+            "l1d_merge": f[2],
+            "l1d_miss": f[3],
+        });
     }
 
-    let avg = |f: fn(&Row) -> f64| mean(&json_rows.iter().map(f).collect::<Vec<_>>());
+    let avg = |i: usize| mean(&fracs.iter().map(|f| f[i]).collect::<Vec<_>>());
     rows.push(vec![
         "AVG".into(),
-        format!("{:.1}%", avg(|r| r.fast_translation) * 100.0),
-        format!("{:.1}%", avg(|r| r.l1d_hit) * 100.0),
-        format!("{:.1}%", avg(|r| r.l1d_merge) * 100.0),
-        format!("{:.1}%", avg(|r| r.l1d_miss) * 100.0),
+        format!("{:.1}%", avg(0) * 100.0),
+        format!("{:.1}%", avg(1) * 100.0),
+        format!("{:.1}%", avg(2) * 100.0),
+        format!("{:.1}%", avg(3) * 100.0),
     ]);
 
     println!("\nFig 16: speculation outcome fractions (Avatar)");

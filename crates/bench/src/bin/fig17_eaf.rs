@@ -4,31 +4,34 @@
 //! workloads, and its aggressive sector-granularity speculative fetching
 //! raises DRAM traffic by only 2.2% over the baseline on average.
 
-use avatar_bench::{mean, print_table, HarnessOpts};
-use avatar_core::system::{run, SystemConfig};
+use avatar_bench::json::Json;
+use avatar_bench::runner::{run_scenarios, Scenario};
+use avatar_bench::{mean, obj, print_table, HarnessOpts};
+use avatar_core::system::SystemConfig;
 use avatar_workloads::{Class, Workload};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    workload: String,
-    class: String,
-    walks_vs_promotion: f64,
-    traffic_vs_baseline: f64,
-    walks_aborted: u64,
-}
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let ro = opts.run_options();
+    let workloads = Workload::all();
+
+    let mut scenarios = Vec::new();
+    for w in &workloads {
+        scenarios.push(Scenario::new("Baseline", w, SystemConfig::Baseline, ro.clone()));
+        scenarios.push(Scenario::new("Promotion", w, SystemConfig::Promotion, ro.clone()));
+        scenarios.push(Scenario::new("Avatar", w, SystemConfig::Avatar, ro.clone()));
+    }
+    let results = run_scenarios(opts.threads, scenarios);
 
     let mut rows = Vec::new();
-    let mut json_rows: Vec<Row> = Vec::new();
+    let mut json_rows: Vec<Json> = Vec::new();
+    let mut h_walks = Vec::new();
+    let mut traffic = Vec::new();
 
-    for w in Workload::all() {
-        let base = run(&w, SystemConfig::Baseline, &ro);
-        let promo = run(&w, SystemConfig::Promotion, &ro);
-        let avatar = run(&w, SystemConfig::Avatar, &ro);
+    for (wi, w) in workloads.iter().enumerate() {
+        let base = results[wi * 3].expect_stats();
+        let promo = results[wi * 3 + 1].expect_stats();
+        let avatar = results[wi * 3 + 2].expect_stats();
         let walks_ratio = if promo.page_walks == 0 {
             1.0
         } else {
@@ -39,7 +42,10 @@ fn main() {
         } else {
             avatar.dram_bytes() as f64 / base.dram_bytes() as f64
         };
-        eprintln!("done {}", w.abbr);
+        if w.class == Class::H {
+            h_walks.push(walks_ratio);
+        }
+        traffic.push(traffic_ratio);
         rows.push(vec![
             w.abbr.to_string(),
             format!("{:?}", w.class),
@@ -47,22 +53,14 @@ fn main() {
             format!("{:+.1}%", (traffic_ratio - 1.0) * 100.0),
             avatar.walks_aborted.to_string(),
         ]);
-        json_rows.push(Row {
-            workload: w.abbr.to_string(),
-            class: format!("{:?}", w.class),
-            walks_vs_promotion: walks_ratio,
-            traffic_vs_baseline: traffic_ratio,
-            walks_aborted: avatar.walks_aborted,
+        json_rows.push(obj! {
+            "workload": w.abbr,
+            "class": format!("{:?}", w.class),
+            "walks_vs_promotion": walks_ratio,
+            "traffic_vs_baseline": traffic_ratio,
+            "walks_aborted": avatar.walks_aborted,
         });
     }
-
-    let h_walks: Vec<f64> = json_rows
-        .iter()
-        .zip(Workload::all())
-        .filter(|(_, w)| w.class == Class::H)
-        .map(|(r, _)| r.walks_vs_promotion)
-        .collect();
-    let traffic: Vec<f64> = json_rows.iter().map(|r| r.traffic_vs_baseline).collect();
 
     println!("\nFig 17: EAF impact (Avatar)");
     print_table(

@@ -3,48 +3,51 @@
 //! Paper averages: accuracy 90.3%, coverage 73.4% (coverage = correct
 //! speculations over all L1 TLB misses).
 
-use avatar_bench::{mean, print_table, HarnessOpts};
-use avatar_core::system::{run, SystemConfig};
+use avatar_bench::json::Json;
+use avatar_bench::runner::{run_scenarios, Scenario};
+use avatar_bench::{mean, obj, print_table, HarnessOpts};
+use avatar_core::system::SystemConfig;
 use avatar_workloads::Workload;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    workload: String,
-    accuracy: f64,
-    coverage: f64,
-    speculations: u64,
-}
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let ro = opts.run_options();
+    let workloads = Workload::all();
+
+    let scenarios: Vec<Scenario> = workloads
+        .iter()
+        .map(|w| Scenario::new(w.abbr, w, SystemConfig::Avatar, ro.clone()))
+        .collect();
+    let results = run_scenarios(opts.threads, scenarios);
 
     let mut rows = Vec::new();
-    let mut json_rows: Vec<Row> = Vec::new();
+    let mut json_rows: Vec<Json> = Vec::new();
+    let mut accuracies = Vec::new();
+    let mut coverages = Vec::new();
 
-    for w in Workload::all() {
-        let s = run(&w, SystemConfig::Avatar, &ro);
-        let row = Row {
-            workload: w.abbr.to_string(),
-            accuracy: s.spec_accuracy(),
-            coverage: s.spec_coverage(),
-            speculations: s.speculations,
-        };
-        eprintln!("done {}", w.abbr);
+    for (w, r) in workloads.iter().zip(&results) {
+        let s = r.expect_stats();
+        let (accuracy, coverage) = (s.spec_accuracy(), s.spec_coverage());
+        accuracies.push(accuracy);
+        coverages.push(coverage);
         rows.push(vec![
-            row.workload.clone(),
-            format!("{:.1}%", row.accuracy * 100.0),
-            format!("{:.1}%", row.coverage * 100.0),
-            row.speculations.to_string(),
+            w.abbr.to_string(),
+            format!("{:.1}%", accuracy * 100.0),
+            format!("{:.1}%", coverage * 100.0),
+            s.speculations.to_string(),
         ]);
-        json_rows.push(row);
+        json_rows.push(obj! {
+            "workload": w.abbr,
+            "accuracy": accuracy,
+            "coverage": coverage,
+            "speculations": s.speculations,
+        });
     }
 
     rows.push(vec![
         "AVG".into(),
-        format!("{:.1}%", mean(&json_rows.iter().map(|r| r.accuracy).collect::<Vec<_>>()) * 100.0),
-        format!("{:.1}%", mean(&json_rows.iter().map(|r| r.coverage).collect::<Vec<_>>()) * 100.0),
+        format!("{:.1}%", mean(&accuracies) * 100.0),
+        format!("{:.1}%", mean(&coverages) * 100.0),
         "-".into(),
     ]);
 

@@ -6,19 +6,13 @@
 //! LMD, FW, and GEMM are excluded (working sets too small), as in the
 //! paper.
 
-use avatar_bench::{geomean, print_table, HarnessOpts};
-use avatar_core::system::{run, speedup, RunOptions, SystemConfig};
+use avatar_bench::json::Json;
+use avatar_bench::runner::{fmt_cell, run_scenarios, speedup_cell, Scenario};
+use avatar_bench::{geomean, obj, print_table, HarnessOpts};
+use avatar_core::system::{RunOptions, SystemConfig};
 use avatar_workloads::Workload;
-use serde::Serialize;
 
 const EXCLUDED: [&str; 3] = ["LMD", "FW", "GEMM"];
-
-#[derive(Serialize)]
-struct Row {
-    workload: String,
-    speedups: Vec<(String, f64)>,
-    evictions: u64,
-}
 
 fn main() {
     let opts = HarnessOpts::from_args();
@@ -29,31 +23,41 @@ fn main() {
         SystemConfig::SnakeByte,
         SystemConfig::Avatar,
     ];
+    let workloads: Vec<Workload> =
+        Workload::all().into_iter().filter(|w| !EXCLUDED.contains(&w.abbr)).collect();
+
+    let mut scenarios = Vec::new();
+    for w in &workloads {
+        scenarios.push(Scenario::new("Baseline", w, SystemConfig::Baseline, ro.clone()));
+        for cfg in configs {
+            scenarios.push(Scenario::new(cfg.label(), w, cfg, ro.clone()));
+        }
+    }
+    let results = run_scenarios(opts.threads, scenarios);
+    let stride = configs.len() + 1;
 
     let mut rows = Vec::new();
-    let mut json_rows = Vec::new();
+    let mut json_rows: Vec<Json> = Vec::new();
     let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
 
-    for w in Workload::all() {
-        if EXCLUDED.contains(&w.abbr) {
-            continue;
-        }
-        let base = run(&w, SystemConfig::Baseline, &ro);
+    for (wi, w) in workloads.iter().enumerate() {
+        let base = &results[wi * stride];
         let mut cells = vec![w.abbr.to_string()];
         let mut speedups = Vec::new();
         for (i, cfg) in configs.iter().enumerate() {
-            let s = run(&w, *cfg, &ro);
-            let x = speedup(&base, &s);
-            per_config[i].push(x);
-            cells.push(format!("{x:.3}"));
-            speedups.push((cfg.label().to_string(), x));
+            let x = speedup_cell(base, &results[wi * stride + 1 + i]);
+            if let Some(x) = x {
+                per_config[i].push(x);
+            }
+            cells.push(fmt_cell(x, 3));
+            speedups.push(obj! { "config": cfg.label(), "speedup": x });
         }
-        cells.push(base.chunks_evicted.to_string());
-        eprintln!("done {}", w.abbr);
-        json_rows.push(Row {
-            workload: w.abbr.to_string(),
-            speedups,
-            evictions: base.chunks_evicted,
+        let evictions = base.stats.as_ref().map(|s| s.chunks_evicted).unwrap_or(0);
+        cells.push(evictions.to_string());
+        json_rows.push(obj! {
+            "workload": w.abbr,
+            "speedups": Json::Arr(speedups),
+            "evictions": evictions,
         });
         rows.push(cells);
     }

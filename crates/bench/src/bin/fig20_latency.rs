@@ -6,10 +6,11 @@
 //! translation gives the lowest latency, and its advantage grows under
 //! oversubscription.
 
-use avatar_bench::{mean, print_table, HarnessOpts};
-use avatar_core::system::{run, RunOptions, SystemConfig};
+use avatar_bench::json::Json;
+use avatar_bench::runner::{run_scenarios, Scenario, ScenarioResult};
+use avatar_bench::{mean, obj, print_table, HarnessOpts};
+use avatar_core::system::{RunOptions, SystemConfig};
 use avatar_workloads::{Class, Workload};
-use serde::Serialize;
 
 const CONFIGS: [SystemConfig; 5] = [
     SystemConfig::Baseline,
@@ -19,37 +20,55 @@ const CONFIGS: [SystemConfig; 5] = [
     SystemConfig::Avatar,
 ];
 
-#[derive(Serialize)]
-struct Row {
-    scenario: String,
-    latencies: Vec<(String, f64)>,
-}
-
 /// (mean, p99) per configuration, averaged over the class-H workloads.
-fn scenario(ro: &RunOptions) -> Vec<(f64, f64)> {
+fn summarize(results: &[ScenarioResult], n_workloads: usize) -> Vec<(f64, f64)> {
     let mut per_config = vec![(Vec::new(), Vec::new()); CONFIGS.len()];
-    for w in Workload::all().into_iter().filter(|w| w.class == Class::H) {
-        for (i, cfg) in CONFIGS.iter().enumerate() {
-            let s = run(&w, *cfg, ro);
+    for wi in 0..n_workloads {
+        for i in 0..CONFIGS.len() {
+            let s = results[wi * CONFIGS.len() + i].expect_stats();
             per_config[i].0.push(s.sector_latency.value());
             per_config[i].1.push(s.sector_latency_hist.percentile(0.99) as f64);
         }
-        eprintln!("done {}", w.abbr);
     }
     per_config.iter().map(|(m, p)| (mean(m), mean(p))).collect()
 }
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let normal = scenario(&opts.run_options());
-    let oversub = scenario(&RunOptions { oversubscription: Some(1.3), ..opts.run_options() });
+    let class_h: Vec<Workload> = Workload::all().into_iter().filter(|w| w.class == Class::H).collect();
+    let regimes = [
+        ("(a) no oversubscription", "normal", opts.run_options()),
+        (
+            "(b) 130% oversubscription",
+            "oversub130",
+            RunOptions { oversubscription: Some(1.3), ..opts.run_options() },
+        ),
+    ];
+
+    let mut scenarios = Vec::new();
+    for (_, _, ro) in &regimes {
+        for w in &class_h {
+            for cfg in CONFIGS {
+                scenarios.push(Scenario::new(cfg.label(), w, cfg, ro.clone()));
+            }
+        }
+    }
+    let results = run_scenarios(opts.threads, scenarios);
+    let per_regime = class_h.len() * CONFIGS.len();
 
     let mut rows = Vec::new();
-    for (label, data) in [("(a) no oversubscription", &normal), ("(b) 130% oversubscription", &oversub)]
-    {
+    let mut json: Vec<Json> = Vec::new();
+    for (ri, (label, key, _)) in regimes.iter().enumerate() {
+        let data = summarize(&results[ri * per_regime..(ri + 1) * per_regime], class_h.len());
         let mut cells = vec![label.to_string()];
         cells.extend(data.iter().map(|(m, p)| format!("{m:.0} (p99 {p:.0})")));
         rows.push(cells);
+        let latencies: Vec<Json> = CONFIGS
+            .iter()
+            .zip(data.iter())
+            .map(|(c, (m, _))| obj! { "config": c.label(), "latency": *m })
+            .collect();
+        json.push(obj! { "scenario": *key, "latencies": Json::Arr(latencies) });
     }
 
     let mut headers = vec!["Scenario"];
@@ -57,17 +76,5 @@ fn main() {
     println!("\nFig 20: mean memory access latency, class-H workloads (cycles)");
     print_table(&headers, &rows);
     println!("\npaper: Avatar lowest in both scenarios; prior techniques degrade more under oversubscription");
-
-    let json: Vec<Row> = [("normal", normal), ("oversub130", oversub)]
-        .into_iter()
-        .map(|(s, d)| Row {
-            scenario: s.to_string(),
-            latencies: CONFIGS
-                .iter()
-                .zip(d.iter())
-                .map(|(c, (m, _))| (c.label().to_string(), *m))
-                .collect(),
-        })
-        .collect();
     opts.dump_json(&json);
 }

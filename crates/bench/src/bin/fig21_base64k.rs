@@ -7,42 +7,48 @@
 //! (SC, XSB) still favour Avatar. SnakeByte is excluded (64KB pages do
 //! not align with its merging), as in the paper.
 
-use avatar_bench::{geomean, print_table, HarnessOpts};
-use avatar_core::system::{run, speedup, RunOptions, SystemConfig};
+use avatar_bench::json::Json;
+use avatar_bench::runner::{fmt_cell, run_scenarios, speedup_cell, Scenario};
+use avatar_bench::{geomean, obj, print_table, HarnessOpts};
+use avatar_core::system::{RunOptions, SystemConfig};
 use avatar_sim::config::BasePage;
 use avatar_workloads::Workload;
-use serde::Serialize;
 
 const CONFIGS: [SystemConfig; 3] =
     [SystemConfig::Promotion, SystemConfig::Colt, SystemConfig::Avatar];
 
-#[derive(Serialize)]
-struct Row {
-    workload: String,
-    speedups: Vec<(String, f64)>,
-}
-
 fn main() {
     let opts = HarnessOpts::from_args();
     let ro = RunOptions { base_page: BasePage::Size64K, ..opts.run_options() };
+    let workloads = Workload::all();
+
+    let mut scenarios = Vec::new();
+    for w in &workloads {
+        scenarios.push(Scenario::new("Baseline", w, SystemConfig::Baseline, ro.clone()));
+        for cfg in CONFIGS {
+            scenarios.push(Scenario::new(cfg.label(), w, cfg, ro.clone()));
+        }
+    }
+    let results = run_scenarios(opts.threads, scenarios);
+    let stride = CONFIGS.len() + 1;
 
     let mut rows = Vec::new();
-    let mut json_rows = Vec::new();
+    let mut json_rows: Vec<Json> = Vec::new();
     let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); CONFIGS.len()];
 
-    for w in Workload::all() {
-        let base = run(&w, SystemConfig::Baseline, &ro);
+    for (wi, w) in workloads.iter().enumerate() {
+        let base = &results[wi * stride];
         let mut cells = vec![w.abbr.to_string()];
         let mut speedups = Vec::new();
         for (i, cfg) in CONFIGS.iter().enumerate() {
-            let s = run(&w, *cfg, &ro);
-            let x = speedup(&base, &s);
-            per_config[i].push(x);
-            cells.push(format!("{x:.3}"));
-            speedups.push((cfg.label().to_string(), x));
+            let x = speedup_cell(base, &results[wi * stride + 1 + i]);
+            if let Some(x) = x {
+                per_config[i].push(x);
+            }
+            cells.push(fmt_cell(x, 3));
+            speedups.push(obj! { "config": cfg.label(), "speedup": x });
         }
-        eprintln!("done {}", w.abbr);
-        json_rows.push(Row { workload: w.abbr.to_string(), speedups });
+        json_rows.push(obj! { "workload": w.abbr, "speedups": Json::Arr(speedups) });
         rows.push(cells);
     }
 

@@ -4,55 +4,62 @@
 //! confidence build-up) and shows higher coverage when 32 entries suffice,
 //! but is less adaptable to other paging schemes.
 
-use avatar_bench::{geomean, mean, print_table, HarnessOpts};
-use avatar_core::system::{run, speedup, SystemConfig};
+use avatar_bench::json::Json;
+use avatar_bench::runner::{run_scenarios, Scenario};
+use avatar_bench::{geomean, mean, obj, print_table, HarnessOpts};
+use avatar_core::system::{speedup, SystemConfig};
 use avatar_workloads::Workload;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    workload: String,
-    mod_speedup: f64,
-    vpnt_speedup: f64,
-    mod_coverage: f64,
-    vpnt_coverage: f64,
-}
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let ro = opts.run_options();
+    let workloads = Workload::all();
+
+    let mut scenarios = Vec::new();
+    for w in &workloads {
+        scenarios.push(Scenario::new("Baseline", w, SystemConfig::Baseline, ro.clone()));
+        scenarios.push(Scenario::new("MOD", w, SystemConfig::Avatar, ro.clone()));
+        scenarios.push(Scenario::new("VPN-T", w, SystemConfig::AvatarVpnT, ro.clone()));
+    }
+    let results = run_scenarios(opts.threads, scenarios);
 
     let mut rows = Vec::new();
-    let mut json_rows: Vec<Row> = Vec::new();
+    let mut json_rows: Vec<Json> = Vec::new();
+    let (mut mod_speedups, mut vpnt_speedups) = (Vec::new(), Vec::new());
+    let (mut mod_covs, mut vpnt_covs) = (Vec::new(), Vec::new());
 
-    for w in Workload::all() {
-        let base = run(&w, SystemConfig::Baseline, &ro);
-        let m = run(&w, SystemConfig::Avatar, &ro);
-        let v = run(&w, SystemConfig::AvatarVpnT, &ro);
-        let row = Row {
-            workload: w.abbr.to_string(),
-            mod_speedup: speedup(&base, &m),
-            vpnt_speedup: speedup(&base, &v),
-            mod_coverage: m.spec_coverage(),
-            vpnt_coverage: v.spec_coverage(),
-        };
-        eprintln!("done {}", w.abbr);
+    for (wi, w) in workloads.iter().enumerate() {
+        let base = results[wi * 3].expect_stats();
+        let m = results[wi * 3 + 1].expect_stats();
+        let v = results[wi * 3 + 2].expect_stats();
+        let (ms, vs) = (speedup(base, m), speedup(base, v));
+        let (mc, vc) = (m.spec_coverage(), v.spec_coverage());
+        mod_speedups.push(ms);
+        vpnt_speedups.push(vs);
+        mod_covs.push(mc);
+        vpnt_covs.push(vc);
         rows.push(vec![
-            row.workload.clone(),
-            format!("{:.3}", row.mod_speedup),
-            format!("{:.3}", row.vpnt_speedup),
-            format!("{:.1}%", row.mod_coverage * 100.0),
-            format!("{:.1}%", row.vpnt_coverage * 100.0),
+            w.abbr.to_string(),
+            format!("{ms:.3}"),
+            format!("{vs:.3}"),
+            format!("{:.1}%", mc * 100.0),
+            format!("{:.1}%", vc * 100.0),
         ]);
-        json_rows.push(row);
+        json_rows.push(obj! {
+            "workload": w.abbr,
+            "mod_speedup": ms,
+            "vpnt_speedup": vs,
+            "mod_coverage": mc,
+            "vpnt_coverage": vc,
+        });
     }
 
     rows.push(vec![
         "MEAN".into(),
-        format!("{:.3}", geomean(&json_rows.iter().map(|r| r.mod_speedup).collect::<Vec<_>>())),
-        format!("{:.3}", geomean(&json_rows.iter().map(|r| r.vpnt_speedup).collect::<Vec<_>>())),
-        format!("{:.1}%", mean(&json_rows.iter().map(|r| r.mod_coverage).collect::<Vec<_>>()) * 100.0),
-        format!("{:.1}%", mean(&json_rows.iter().map(|r| r.vpnt_coverage).collect::<Vec<_>>()) * 100.0),
+        format!("{:.3}", geomean(&mod_speedups)),
+        format!("{:.3}", geomean(&vpnt_speedups)),
+        format!("{:.1}%", mean(&mod_covs) * 100.0),
+        format!("{:.1}%", mean(&vpnt_covs) * 100.0),
     ]);
 
     println!("\nFig 22: MOD vs VPN-T (speedup over baseline; speculation coverage)");

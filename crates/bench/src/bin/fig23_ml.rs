@@ -5,11 +5,12 @@
 //! technique) by 7.1% on average because CAST's fetch/translation overlap
 //! does not depend on compressibility.
 
-use avatar_bench::{geomean, mean, print_table, HarnessOpts};
+use avatar_bench::json::Json;
+use avatar_bench::runner::{fmt_cell, run_scenarios, speedup_cell, Scenario};
+use avatar_bench::{geomean, mean, obj, print_table, HarnessOpts};
 use avatar_bpc::embed::PAYLOAD_BITS;
-use avatar_core::system::{run, speedup, SystemConfig};
+use avatar_core::system::SystemConfig;
 use avatar_workloads::Workload;
-use serde::Serialize;
 
 const CONFIGS: [SystemConfig; 4] = [
     SystemConfig::Promotion,
@@ -18,40 +19,49 @@ const CONFIGS: [SystemConfig; 4] = [
     SystemConfig::Avatar,
 ];
 
-#[derive(Serialize)]
-struct Row {
-    workload: String,
-    bpc_ratio: f64,
-    fit22: f64,
-    speedups: Vec<(String, f64)>,
+/// (a) compressibility, measured with the real codec.
+fn compressibility(w: &Workload, samples: u64) -> (f64, f64) {
+    let content = w.content();
+    let mut bits = 0usize;
+    let mut fit = 0u64;
+    for i in 0..samples {
+        let b = content.compressed_bits(i * 977);
+        bits += b.min(256);
+        if b <= PAYLOAD_BITS {
+            fit += 1;
+        }
+    }
+    (256.0 * samples as f64 / bits as f64, fit as f64 / samples as f64)
 }
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let ro = opts.run_options();
     let samples = 20_000u64;
+    let workloads = Workload::ml_suite();
+
+    let mut scenarios = Vec::new();
+    for w in &workloads {
+        scenarios.push(Scenario::new("Baseline", w, SystemConfig::Baseline, ro.clone()));
+        for cfg in CONFIGS {
+            scenarios.push(Scenario::new(cfg.label(), w, cfg, ro.clone()));
+        }
+    }
+    let results = run_scenarios(opts.threads, scenarios);
+    let stride = CONFIGS.len() + 1;
 
     let mut rows = Vec::new();
-    let mut json_rows: Vec<Row> = Vec::new();
+    let mut json_rows: Vec<Json> = Vec::new();
     let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); CONFIGS.len()];
+    let (mut ratios, mut fits) = (Vec::new(), Vec::new());
 
-    for w in Workload::ml_suite() {
-        // (a) compressibility, measured with the real codec.
-        let content = w.content();
-        let mut bits = 0usize;
-        let mut fit = 0u64;
-        for i in 0..samples {
-            let b = content.compressed_bits(i * 977);
-            bits += b.min(256);
-            if b <= PAYLOAD_BITS {
-                fit += 1;
-            }
-        }
-        let ratio = 256.0 * samples as f64 / bits as f64;
-        let fit22 = fit as f64 / samples as f64;
+    for (wi, w) in workloads.iter().enumerate() {
+        let (ratio, fit22) = compressibility(w, samples);
+        ratios.push(ratio);
+        fits.push(fit22);
 
         // (b) performance.
-        let base = run(&w, SystemConfig::Baseline, &ro);
+        let base = &results[wi * stride];
         let mut cells = vec![
             w.abbr.to_string(),
             format!("{ratio:.2}"),
@@ -59,21 +69,26 @@ fn main() {
         ];
         let mut speedups = Vec::new();
         for (i, cfg) in CONFIGS.iter().enumerate() {
-            let s = run(&w, *cfg, &ro);
-            let x = speedup(&base, &s);
-            per_config[i].push(x);
-            cells.push(format!("{x:.3}"));
-            speedups.push((cfg.label().to_string(), x));
+            let x = speedup_cell(base, &results[wi * stride + 1 + i]);
+            if let Some(x) = x {
+                per_config[i].push(x);
+            }
+            cells.push(fmt_cell(x, 3));
+            speedups.push(obj! { "config": cfg.label(), "speedup": x });
         }
-        eprintln!("done {}", w.abbr);
-        json_rows.push(Row { workload: w.abbr.to_string(), bpc_ratio: ratio, fit22, speedups });
+        json_rows.push(obj! {
+            "workload": w.abbr,
+            "bpc_ratio": ratio,
+            "fit22": fit22,
+            "speedups": Json::Arr(speedups),
+        });
         rows.push(cells);
     }
 
     let mut footer = vec![
         "MEAN".to_string(),
-        format!("{:.2}", mean(&json_rows.iter().map(|r| r.bpc_ratio).collect::<Vec<_>>())),
-        format!("{:.1}%", mean(&json_rows.iter().map(|r| r.fit22).collect::<Vec<_>>()) * 100.0),
+        format!("{:.2}", mean(&ratios)),
+        format!("{:.1}%", mean(&fits) * 100.0),
     ];
     for xs in &per_config {
         footer.push(format!("{:.3}", geomean(xs)));

@@ -5,54 +5,54 @@
 //! Reports per-configuration speedups for 1 vs 2 tenants and the isolation
 //! diagnostics (accuracy, ASID-mismatch invalidations).
 
-use avatar_bench::{print_table, HarnessOpts};
-use avatar_core::system::{run, speedup, RunOptions, SystemConfig};
+use avatar_bench::json::Json;
+use avatar_bench::runner::{run_scenarios, Scenario};
+use avatar_bench::{obj, print_table, HarnessOpts};
+use avatar_core::system::{speedup, RunOptions, SystemConfig};
 use avatar_workloads::Workload;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    workload: String,
-    tenants: usize,
-    avatar_speedup: f64,
-    accuracy: f64,
-    cava_mismatches: u64,
-}
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let grid: Vec<(&str, usize)> = ["GEMM", "PAF", "SSSP", "XSB"]
+        .into_iter()
+        .flat_map(|abbr| [(abbr, 1usize), (abbr, 2)])
+        .collect();
+
+    let mut scenarios = Vec::new();
+    for &(abbr, tenants) in &grid {
+        let w = Workload::by_abbr(abbr).expect("known workload");
+        let ro = RunOptions {
+            tenants,
+            scale: opts.scale,
+            sms: Some(opts.sms),
+            warps: Some(opts.warps),
+            ..RunOptions::default()
+        };
+        scenarios.push(Scenario::new("Baseline", &w, SystemConfig::Baseline, ro.clone()));
+        scenarios.push(Scenario::new("Avatar", &w, SystemConfig::Avatar, ro));
+    }
+    let results = run_scenarios(opts.threads, scenarios);
 
     let mut rows = Vec::new();
-    let mut json: Vec<Row> = Vec::new();
-    for abbr in ["GEMM", "PAF", "SSSP", "XSB"] {
-        let w = Workload::by_abbr(abbr).expect("known workload");
-        for tenants in [1usize, 2] {
-            let ro = RunOptions {
-                tenants,
-                scale: opts.scale,
-                sms: Some(opts.sms),
-                warps: Some(opts.warps),
-                ..RunOptions::default()
-            };
-            let base = run(&w, SystemConfig::Baseline, &ro);
-            let avatar = run(&w, SystemConfig::Avatar, &ro);
-            let row = Row {
-                workload: abbr.to_string(),
-                tenants,
-                avatar_speedup: speedup(&base, &avatar),
-                accuracy: avatar.spec_accuracy(),
-                cava_mismatches: avatar.cava_mismatches,
-            };
-            eprintln!("{abbr} x{tenants} done");
-            rows.push(vec![
-                row.workload.clone(),
-                row.tenants.to_string(),
-                format!("{:.3}", row.avatar_speedup),
-                format!("{:.1}%", row.accuracy * 100.0),
-                row.cava_mismatches.to_string(),
-            ]);
-            json.push(row);
-        }
+    let mut json: Vec<Json> = Vec::new();
+    for (gi, &(abbr, tenants)) in grid.iter().enumerate() {
+        let base = results[gi * 2].expect_stats();
+        let avatar = results[gi * 2 + 1].expect_stats();
+        let x = speedup(base, avatar);
+        rows.push(vec![
+            abbr.to_string(),
+            tenants.to_string(),
+            format!("{x:.3}"),
+            format!("{:.1}%", avatar.spec_accuracy() * 100.0),
+            avatar.cava_mismatches.to_string(),
+        ]);
+        json.push(obj! {
+            "workload": abbr,
+            "tenants": tenants,
+            "avatar_speedup": x,
+            "accuracy": avatar.spec_accuracy(),
+            "cava_mismatches": avatar.cava_mismatches,
+        });
     }
 
     println!("\nMulti-tenancy: Avatar under spatial sharing (speedup vs equally-shared baseline)");

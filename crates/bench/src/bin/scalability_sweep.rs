@@ -7,10 +7,11 @@
 //!
 //! `--abbr <ABBR>` selects the workload (default XSB, the 2.24GB maximum).
 
-use avatar_bench::{print_table, HarnessOpts};
-use avatar_core::system::{run, speedup, RunOptions, SystemConfig};
+use avatar_bench::json::Json;
+use avatar_bench::runner::{fmt_cell, run_scenarios, speedup_cell, Scenario};
+use avatar_bench::{obj, print_table, HarnessOpts};
+use avatar_core::system::{RunOptions, SystemConfig};
 use avatar_workloads::Workload;
-use serde::Serialize;
 
 const CONFIGS: [SystemConfig; 4] = [
     SystemConfig::Promotion,
@@ -19,11 +20,7 @@ const CONFIGS: [SystemConfig; 4] = [
     SystemConfig::Avatar,
 ];
 
-#[derive(Serialize)]
-struct Row {
-    working_set_mb: u64,
-    speedups: Vec<(String, f64)>,
-}
+const SCALES: [f64; 6] = [0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0];
 
 fn main() {
     let opts = HarnessOpts::from_args();
@@ -38,28 +35,36 @@ fn main() {
         std::process::exit(1);
     });
 
-    let mut rows = Vec::new();
-    let mut json: Vec<Row> = Vec::new();
-    for scale in [0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0] {
+    let mut scenarios = Vec::new();
+    for scale in SCALES {
         let ro = RunOptions {
             scale,
             sms: Some(opts.sms),
             warps: Some(opts.warps),
             ..RunOptions::default()
         };
-        let ws_mb = w.scaled_working_set(scale) >> 20;
-        let base = run(&w, SystemConfig::Baseline, &ro);
+        scenarios.push(Scenario::new("Baseline", &w, SystemConfig::Baseline, ro.clone()));
+        for cfg in CONFIGS {
+            scenarios.push(Scenario::new(cfg.label(), &w, cfg, ro.clone()));
+        }
+    }
+    let results = run_scenarios(opts.threads, scenarios);
+    let stride = CONFIGS.len() + 1;
+
+    let mut rows = Vec::new();
+    let mut json: Vec<Json> = Vec::new();
+    for (si, scale) in SCALES.iter().enumerate() {
+        let ws_mb = w.scaled_working_set(*scale) >> 20;
+        let base = &results[si * stride];
         let mut cells = vec![format!("{ws_mb}MB")];
         let mut speedups = Vec::new();
-        for cfg in CONFIGS {
-            let s = run(&w, cfg, &ro);
-            let x = speedup(&base, &s);
-            cells.push(format!("{x:.3}"));
-            speedups.push((cfg.label().to_string(), x));
+        for (i, cfg) in CONFIGS.iter().enumerate() {
+            let x = speedup_cell(base, &results[si * stride + 1 + i]);
+            cells.push(fmt_cell(x, 3));
+            speedups.push(obj! { "config": cfg.label(), "speedup": x });
         }
-        eprintln!("scale {scale} ({ws_mb}MB) done");
         rows.push(cells);
-        json.push(Row { working_set_mb: ws_mb, speedups });
+        json.push(obj! { "working_set_mb": ws_mb, "speedups": Json::Arr(speedups) });
     }
 
     let mut headers = vec!["Working set"];

@@ -1,12 +1,15 @@
 //! Table II: the simulated baseline configuration.
 //!
 //! Prints the configuration the simulator instantiates so it can be
-//! compared line by line with the paper's table.
+//! compared line by line with the paper's table. Accepts the standard
+//! harness flags (`--json` dumps the rows machine-readably).
 
-use avatar_bench::print_table;
+use avatar_bench::json::Json;
+use avatar_bench::{obj, print_table, HarnessOpts};
 use avatar_sim::config::GpuConfig;
 
 fn main() {
+    let opts = HarnessOpts::from_args();
     let c = GpuConfig::rtx3070();
     let rows = vec![
         vec!["GPU core".into(), format!("{} SMs, max {} warps per SM, LRR-equivalent event order", c.num_sms, c.warps_per_sm)],
@@ -27,4 +30,9 @@ fn main() {
     ];
     println!("\nTable II: simulated baseline configuration");
     print_table(&["Component", "Configuration"], &rows);
+    let json: Vec<Json> = rows
+        .iter()
+        .map(|r| obj! { "component": r[0].clone(), "configuration": r[1].clone() })
+        .collect();
+    opts.dump_json(&json);
 }

@@ -4,23 +4,34 @@
 //! Run with `--measure` to simulate every workload on the baseline and
 //! report misses per million instructions (slower).
 
-use avatar_bench::{print_table, HarnessOpts};
-use avatar_core::system::{run, SystemConfig};
+use avatar_bench::json::Json;
+use avatar_bench::runner::{run_scenarios, Scenario};
+use avatar_bench::{obj, print_table, HarnessOpts};
+use avatar_core::system::SystemConfig;
 use avatar_workloads::Workload;
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let measure = std::env::args().any(|a| a == "--measure");
     let ro = opts.run_options();
+    let workloads = Workload::all();
+
+    let mpmis: Vec<Option<f64>> = if measure {
+        let scenarios: Vec<Scenario> = workloads
+            .iter()
+            .map(|w| Scenario::new(w.abbr, w, SystemConfig::Baseline, ro.clone()))
+            .collect();
+        run_scenarios(opts.threads, scenarios)
+            .iter()
+            .map(|r| Some(r.expect_stats().l2_tlb_mpmi()))
+            .collect()
+    } else {
+        vec![None; workloads.len()]
+    };
 
     let mut rows = Vec::new();
-    for w in Workload::all() {
-        let mpmi = if measure {
-            let s = run(&w, SystemConfig::Baseline, &ro);
-            format!("{:.0}", s.l2_tlb_mpmi())
-        } else {
-            "-".to_string()
-        };
+    let mut json: Vec<Json> = Vec::new();
+    for (w, mpmi) in workloads.iter().zip(&mpmis) {
         rows.push(vec![
             format!("{:?}", w.class),
             w.name.to_string(),
@@ -28,8 +39,15 @@ fn main() {
             format!("{:?}", w.data_type),
             format!("{:?}", w.pattern),
             format!("{}MB", w.working_set >> 20),
-            mpmi,
+            mpmi.map(|m| format!("{m:.0}")).unwrap_or_else(|| "-".to_string()),
         ]);
+        json.push(obj! {
+            "class": format!("{:?}", w.class),
+            "name": w.name,
+            "abbr": w.abbr,
+            "working_set_mb": w.working_set >> 20,
+            "l2_mpmi": *mpmi,
+        });
     }
     println!("\nTable III: workload categorization");
     print_table(
@@ -41,4 +59,5 @@ fn main() {
     } else {
         println!("\npaper classes: L < 10 MPMI, M 10-60, H > 60");
     }
+    opts.dump_json(&json);
 }

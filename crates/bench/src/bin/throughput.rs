@@ -1,0 +1,102 @@
+//! Simulator throughput harness: events/sec on the engine hot path and
+//! cells/sec through the parallel scenario runner.
+//!
+//! Runs a fixed grid of (workload × configuration) cells twice — once on a
+//! single thread, once on `--threads N` workers — and reports:
+//!
+//! * **events/sec** — simulation events retired per wall-clock second on
+//!   one thread (the event-calendar / hashing / allocation hot path);
+//! * **cells/sec** — grid cells per second at each thread count, and the
+//!   parallel speedup between them.
+//!
+//! Results are dumped to `BENCH_throughput.json` (override with
+//! `--json <path>`). `--quick` keeps it CI-sized.
+
+use avatar_bench::runner::{run_scenarios, Scenario, ScenarioResult};
+use avatar_bench::{obj, print_table, HarnessOpts};
+use avatar_core::system::SystemConfig;
+use avatar_workloads::Workload;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const CONFIGS: [SystemConfig; 2] = [SystemConfig::Baseline, SystemConfig::Avatar];
+
+fn grid(opts: &HarnessOpts) -> Vec<Scenario> {
+    let ro = opts.run_options();
+    let mut scenarios = Vec::new();
+    for w in Workload::all() {
+        for cfg in CONFIGS {
+            scenarios.push(Scenario::new(format!("{}/{}", w.abbr, cfg.label()), &w, cfg, ro.clone()));
+        }
+    }
+    scenarios
+}
+
+/// (wall seconds, total events, failed cells) of one grid pass.
+fn measure(results: &[ScenarioResult], wall_s: f64) -> (f64, u64, usize) {
+    let mut events = 0u64;
+    let mut failed = 0usize;
+    for r in results {
+        match &r.stats {
+            Ok(s) => events += s.events_processed,
+            Err(e) => {
+                failed += 1;
+                eprintln!("cell '{}' failed: {e}", r.label);
+            }
+        }
+    }
+    (wall_s, events, failed)
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let n_cells = grid(&opts).len();
+
+    eprintln!("throughput: {n_cells} cells, pass 1/2 on 1 thread...");
+    let t0 = Instant::now();
+    let serial = run_scenarios(1, grid(&opts));
+    let (serial_s, serial_events, serial_failed) = measure(&serial, t0.elapsed().as_secs_f64());
+
+    eprintln!("throughput: pass 2/2 on {} threads...", opts.threads);
+    let t1 = Instant::now();
+    let parallel = run_scenarios(opts.threads, grid(&opts));
+    let (parallel_s, _, parallel_failed) = measure(&parallel, t1.elapsed().as_secs_f64());
+
+    let events_per_sec = serial_events as f64 / serial_s;
+    let serial_cps = n_cells as f64 / serial_s;
+    let parallel_cps = n_cells as f64 / parallel_s;
+    let scaling = serial_s / parallel_s;
+
+    let rows = vec![
+        vec!["cells".into(), n_cells.to_string(), n_cells.to_string()],
+        vec!["wall time (s)".into(), format!("{serial_s:.2}"), format!("{parallel_s:.2}")],
+        vec!["cells/sec".into(), format!("{serial_cps:.3}"), format!("{parallel_cps:.3}")],
+        vec!["events/sec".into(), format!("{events_per_sec:.0}"), "-".into()],
+        vec!["failed cells".into(), serial_failed.to_string(), parallel_failed.to_string()],
+    ];
+    println!("\nThroughput: scenario grid at 1 vs {} threads (scale {}, {} SMs x {} warps)",
+        opts.threads, opts.scale, opts.sms, opts.warps);
+    print_table(&["Metric", "1 thread", &format!("{} threads", opts.threads)], &rows);
+    println!("\nparallel scaling: {scaling:.2}x with {} threads", opts.threads);
+
+    let json = vec![obj! {
+        "cells": n_cells,
+        "threads": opts.threads,
+        "events_processed": serial_events,
+        "events_per_sec": events_per_sec,
+        "serial_wall_s": serial_s,
+        "parallel_wall_s": parallel_s,
+        "serial_cells_per_sec": serial_cps,
+        "parallel_cells_per_sec": parallel_cps,
+        "scaling": scaling,
+        "failed_cells": serial_failed + parallel_failed,
+    }];
+    let path = opts.json.clone().unwrap_or_else(|| PathBuf::from("BENCH_throughput.json"));
+    opts.dump_json_to(path.clone(), &json);
+    eprintln!("wrote {}", path.display());
+
+    if serial_failed + parallel_failed > 0 {
+        // CI treats a diverging cell as a hard failure.
+        std::process::exit(1);
+    }
+}

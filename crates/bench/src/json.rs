@@ -1,0 +1,246 @@
+//! A minimal JSON value and emitter.
+//!
+//! The harness binaries dump machine-readable rows for EXPERIMENTS.md
+//! bookkeeping. The crates.io registry is unreachable from the build
+//! environment, so instead of serde this module provides the ~few dozen
+//! lines the harnesses actually need: a [`Json`] value tree, `From`
+//! conversions for the row field types, and a deterministic pretty
+//! printer. Determinism matters beyond aesthetics — the runner's
+//! 1-thread-vs-N-thread test asserts byte-identical dumps.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer (emitted without a decimal point).
+    Int(i64),
+    /// A float (emitted with a decimal point or exponent).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved in the output.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+impl From<i32> for Json {
+    fn from(v: i32) -> Self {
+        Json::Int(v as i64)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::Int(v as i64)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        // Row counters comfortably fit i64; saturate rather than wrap.
+        Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Self {
+        v.map(Into::into).unwrap_or(Json::Null)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl Json {
+    /// Pretty-prints with two-space indentation and a trailing newline,
+    /// matching the layout of the previously committed result dumps.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) => write_f64(out, *f),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        // Keep whole-valued floats visibly floats ("2.0", not "2").
+        let _ = write!(out, "{v:.1}");
+    } else {
+        // Rust's shortest-roundtrip formatting: deterministic and exact.
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds a [`Json::Obj`] with field order as written:
+/// `obj! { "workload": w.abbr, "speedup": 1.25 }`.
+#[macro_export]
+macro_rules! obj {
+    ( $( $k:literal : $v:expr ),* $(,)? ) => {
+        $crate::json::Json::Obj(vec![
+            $( ($k.to_string(), $crate::json::Json::from($v)) ),*
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_print() {
+        assert_eq!(Json::Null.pretty(), "null\n");
+        assert_eq!(Json::Bool(true).pretty(), "true\n");
+        assert_eq!(Json::Int(-3).pretty(), "-3\n");
+        assert_eq!(Json::from(2.0).pretty(), "2.0\n");
+        assert_eq!(Json::from(0.125).pretty(), "0.125\n");
+        assert_eq!(Json::from(f64::NAN).pretty(), "null\n");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(Json::from("a\"b\\c\n").pretty(), "\"a\\\"b\\\\c\\n\"\n");
+    }
+
+    #[test]
+    fn arrays_and_objects_nest() {
+        let v = Json::Arr(vec![obj! { "x": 1u64, "y": "z" }, Json::Arr(vec![])]);
+        assert_eq!(v.pretty(), "[\n  {\n    \"x\": 1,\n    \"y\": \"z\"\n  },\n  []\n]\n");
+    }
+
+    #[test]
+    fn obj_macro_preserves_field_order() {
+        let v = obj! { "b": 1u64, "a": 2u64 };
+        match v {
+            Json::Obj(fields) => {
+                assert_eq!(fields[0].0, "b");
+                assert_eq!(fields[1].0, "a");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn option_and_vec_convert() {
+        assert_eq!(Json::from(None::<u64>), Json::Null);
+        assert_eq!(Json::from(Some(3u64)), Json::Int(3));
+        assert_eq!(Json::from(vec![1u64, 2]), Json::Arr(vec![Json::Int(1), Json::Int(2)]));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let build = || Json::Arr(vec![obj! { "w": "SSSP", "s": 1.5, "n": 42u64 }]);
+        assert_eq!(build().pretty(), build().pretty());
+    }
+}

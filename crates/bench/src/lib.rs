@@ -14,11 +14,17 @@
 //! * `--full`        — paper-scale run: 46 SMs × 48 warps, scale 1.0
 //! * `--quick`       — CI-sized run: 4 SMs × 8 warps, scale 0.05
 //! * `--json <path>` — dump rows as JSON
+//! * `--threads <n>` — worker threads for the scenario grid (default:
+//!   `AVATAR_THREADS` env var, else `std::thread::available_parallelism()`)
 
 #![forbid(unsafe_code)]
 
+pub mod json;
+pub mod runner;
+pub mod timer;
+
 use avatar_core::system::RunOptions;
-use serde::Serialize;
+use json::Json;
 use std::path::PathBuf;
 
 /// Options shared by all harness binaries.
@@ -32,29 +38,63 @@ pub struct HarnessOpts {
     pub warps: usize,
     /// Optional JSON dump path.
     pub json: Option<PathBuf>,
+    /// Worker threads for the scenario grid.
+    pub threads: usize,
+}
+
+/// Default thread count: `AVATAR_THREADS` if set and parsable, else the
+/// machine's available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("AVATAR_THREADS") {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => eprintln!("warning: AVATAR_THREADS='{v}' is not a positive integer; ignoring"),
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 impl Default for HarnessOpts {
     fn default() -> Self {
-        Self { scale: 1.0, sms: 16, warps: 32, json: None }
+        Self { scale: 1.0, sms: 16, warps: 32, json: None, threads: default_threads() }
     }
 }
 
 impl HarnessOpts {
     /// Parses the common command-line flags.
     pub fn from_args() -> Self {
+        Self::from_arg_list(std::env::args().skip(1))
+    }
+
+    /// Parses flags from an explicit argument list (testable core of
+    /// [`HarnessOpts::from_args`]). A known flag with an unparsable value
+    /// warns on stderr and keeps the default instead of silently
+    /// swallowing the value.
+    pub fn from_arg_list(args: impl IntoIterator<Item = String>) -> Self {
+        fn parse_or_warn<T: std::str::FromStr>(flag: &str, value: Option<String>, default: T) -> T {
+            match value {
+                Some(v) => match v.parse() {
+                    Ok(parsed) => parsed,
+                    Err(_) => {
+                        eprintln!("warning: {flag} value '{v}' is not valid; using the default");
+                        default
+                    }
+                },
+                None => {
+                    eprintln!("warning: {flag} needs a value; using the default");
+                    default
+                }
+            }
+        }
         let mut opts = Self::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
-                "--scale" => {
-                    opts.scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(opts.scale)
-                }
-                "--sms" => {
-                    opts.sms = args.next().and_then(|v| v.parse().ok()).unwrap_or(opts.sms)
-                }
-                "--warps" => {
-                    opts.warps = args.next().and_then(|v| v.parse().ok()).unwrap_or(opts.warps)
+                "--scale" => opts.scale = parse_or_warn("--scale", args.next(), opts.scale),
+                "--sms" => opts.sms = parse_or_warn("--sms", args.next(), opts.sms),
+                "--warps" => opts.warps = parse_or_warn("--warps", args.next(), opts.warps),
+                "--threads" => {
+                    opts.threads = parse_or_warn("--threads", args.next(), opts.threads).max(1)
                 }
                 "--full" => {
                     opts.scale = 1.0;
@@ -84,16 +124,18 @@ impl HarnessOpts {
     }
 
     /// Writes rows to the `--json` path, if given.
-    pub fn dump_json<T: Serialize>(&self, rows: &T) {
+    pub fn dump_json(&self, rows: &[Json]) {
         if let Some(path) = &self.json {
-            match serde_json::to_string_pretty(rows) {
-                Ok(s) => {
-                    if let Err(e) = std::fs::write(path, s) {
-                        eprintln!("failed to write {}: {e}", path.display());
-                    }
-                }
-                Err(e) => eprintln!("failed to serialize rows: {e}"),
-            }
+            self.dump_json_to(path.clone(), rows);
+        }
+    }
+
+    /// Writes rows to an explicit path (used by harnesses with a default
+    /// dump location, e.g. `throughput`).
+    pub fn dump_json_to(&self, path: PathBuf, rows: &[Json]) {
+        let doc = Json::Arr(rows.to_vec());
+        if let Err(e) = std::fs::write(&path, doc.pretty()) {
+            eprintln!("failed to write {}: {e}", path.display());
         }
     }
 }
@@ -166,8 +208,44 @@ mod tests {
     #[test]
     fn default_opts_reasonable() {
         let o = HarnessOpts::default();
-        assert!(o.scale > 0.0 && o.sms > 0 && o.warps > 0);
+        assert!(o.scale > 0.0 && o.sms > 0 && o.warps > 0 && o.threads >= 1);
         let ro = o.run_options();
         assert_eq!(ro.sms, Some(16));
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn arg_list_parses_known_flags() {
+        let o = HarnessOpts::from_arg_list(args(&[
+            "--scale", "0.5", "--sms", "8", "--warps", "16", "--threads", "3",
+        ]));
+        assert_eq!(o.scale, 0.5);
+        assert_eq!(o.sms, 8);
+        assert_eq!(o.warps, 16);
+        assert_eq!(o.threads, 3);
+    }
+
+    #[test]
+    fn unparsable_value_falls_back_to_default() {
+        let o = HarnessOpts::from_arg_list(args(&["--sms", "lots", "--scale", "0.25"]));
+        assert_eq!(o.sms, HarnessOpts::default().sms);
+        assert_eq!(o.scale, 0.25);
+    }
+
+    #[test]
+    fn threads_zero_clamps_to_one() {
+        let o = HarnessOpts::from_arg_list(args(&["--threads", "0"]));
+        assert_eq!(o.threads, 1);
+    }
+
+    #[test]
+    fn quick_and_full_presets() {
+        let q = HarnessOpts::from_arg_list(args(&["--quick"]));
+        assert_eq!((q.sms, q.warps), (4, 8));
+        let f = HarnessOpts::from_arg_list(args(&["--full"]));
+        assert_eq!((f.sms, f.warps), (46, 48));
     }
 }

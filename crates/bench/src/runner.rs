@@ -1,0 +1,234 @@
+//! Parallel scenario runner for the figure/table harnesses.
+//!
+//! Every paper artifact is a grid of *independent* `(SystemConfig ×
+//! Workload)` simulations, so the harnesses fan their cells across a
+//! scoped `std::thread` pool (no external crates). Three properties are
+//! load-bearing:
+//!
+//! * **Determinism** — results come back keyed by cell index, in
+//!   submission order, regardless of completion order or thread count.
+//!   Each simulation is itself deterministic, so `--threads 1` and
+//!   `--threads 8` produce byte-identical rows (a tested invariant).
+//! * **Panic isolation** — a diverging cell reports as a failed row
+//!   (`Err` with the panic message) instead of killing the whole figure.
+//! * **Wall-time capture** — each cell records its own execution time, so
+//!   the throughput harness can report cells/sec without re-running.
+
+use avatar_core::system::{run_with, RunOptions, SystemConfig};
+use avatar_sim::config::GpuConfig;
+use avatar_sim::Stats;
+use avatar_workloads::Workload;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Outcome of one cell: the closure's result (or the panic message that
+/// killed it) plus its wall time.
+#[derive(Debug)]
+pub struct Cell<T> {
+    /// Index of the job in the submitted vector.
+    pub index: usize,
+    /// `Ok` result, or `Err(panic message)` if the cell panicked.
+    pub outcome: Result<T, String>,
+    /// Wall time the cell took on its worker thread.
+    pub wall: Duration,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+/// Runs `jobs` across `threads` workers, returning results in submission
+/// order. `threads` is clamped to at least 1; with one thread the jobs run
+/// inline on the calling thread (no pool, easier profiling).
+pub fn run_cells<T, F>(threads: usize, jobs: Vec<F>) -> Vec<Cell<T>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let threads = threads.max(1).min(jobs.len().max(1));
+    let run_one = |index: usize, job: F| {
+        let start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(job)).map_err(panic_message);
+        Cell { index, outcome, wall: start.elapsed() }
+    };
+    if threads == 1 {
+        return jobs.into_iter().enumerate().map(|(i, j)| run_one(i, j)).collect();
+    }
+    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<Cell<T>>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let job = slots[i].lock().expect("job slot").take().expect("job taken twice");
+                let cell = run_one(i, job);
+                *results[i].lock().expect("result slot") = Some(cell);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("result lock").expect("worker died before storing"))
+        .collect()
+}
+
+/// One simulation cell of a figure grid: a workload on a system
+/// configuration with run options, plus an optional [`GpuConfig`] tweak
+/// for ablation/sensitivity studies.
+pub struct Scenario {
+    /// Human-readable cell label, carried into the result (figure row/column).
+    pub label: String,
+    /// The workload to run.
+    pub workload: Workload,
+    /// The system configuration to run it on.
+    pub config: SystemConfig,
+    /// Scale/SMs/oversubscription/etc.
+    pub opts: RunOptions,
+    /// Optional config tweak applied after assembly (ablations).
+    pub tweak: Option<Box<dyn Fn(&mut GpuConfig) + Send + Sync>>,
+}
+
+impl Scenario {
+    /// A plain cell: workload × config × options, labelled by the config.
+    pub fn new(label: impl Into<String>, workload: &Workload, config: SystemConfig, opts: RunOptions) -> Self {
+        Self { label: label.into(), workload: workload.clone(), config, opts, tweak: None }
+    }
+
+    /// Attaches a [`GpuConfig`] tweak (ablation/sensitivity knob).
+    pub fn with_tweak(mut self, tweak: impl Fn(&mut GpuConfig) + Send + Sync + 'static) -> Self {
+        self.tweak = Some(Box::new(tweak));
+        self
+    }
+
+    /// Runs the cell synchronously.
+    pub fn run(&self) -> Stats {
+        match &self.tweak {
+            Some(t) => run_with(&self.workload, self.config, &self.opts, |c| t(c)),
+            None => run_with(&self.workload, self.config, &self.opts, |_| {}),
+        }
+    }
+}
+
+/// Result of one [`Scenario`] cell.
+#[derive(Debug)]
+pub struct ScenarioResult {
+    /// The scenario's label.
+    pub label: String,
+    /// Simulation statistics, or the panic message if the cell diverged.
+    pub stats: Result<Stats, String>,
+    /// Wall time of the cell.
+    pub wall: Duration,
+}
+
+impl ScenarioResult {
+    /// The statistics, panicking with the cell label on a failed cell.
+    /// Figure binaries that cannot render partial grids use this.
+    pub fn expect_stats(&self) -> &Stats {
+        match &self.stats {
+            Ok(s) => s,
+            Err(e) => panic!("cell '{}' failed: {e}", self.label),
+        }
+    }
+}
+
+/// Speedup of `other` over `base`, or `None` if either cell failed —
+/// figure binaries render failed cells as `ERR` rows instead of dying.
+pub fn speedup_cell(base: &ScenarioResult, other: &ScenarioResult) -> Option<f64> {
+    match (&base.stats, &other.stats) {
+        (Ok(b), Ok(o)) => Some(avatar_core::system::speedup(b, o)),
+        _ => None,
+    }
+}
+
+/// Formats an optional metric for a table cell (`ERR` for failed cells).
+pub fn fmt_cell(v: Option<f64>, digits: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.digits$}"),
+        None => "ERR".to_string(),
+    }
+}
+
+/// Fans `scenarios` across `threads` workers; results are in submission
+/// order regardless of thread count or completion order.
+pub fn run_scenarios(threads: usize, scenarios: Vec<Scenario>) -> Vec<ScenarioResult> {
+    let jobs: Vec<_> = scenarios
+        .into_iter()
+        .map(|s| move || (s.label.clone(), s.run()))
+        .collect();
+    run_cells(threads, jobs)
+        .into_iter()
+        .map(|c| match c.outcome {
+            Ok((label, stats)) => ScenarioResult { label, stats: Ok(stats), wall: c.wall },
+            Err(e) => ScenarioResult { label: format!("cell #{}", c.index), stats: Err(e), wall: c.wall },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        // Jobs finish in reverse submission order (earlier jobs sleep
+        // longer); indices must still match.
+        let jobs: Vec<_> = (0..8usize)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(Duration::from_millis((8 - i) as u64 * 3));
+                    i * 10
+                }
+            })
+            .collect();
+        let cells = run_cells(4, jobs);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+            assert_eq!(c.outcome.as_ref().copied().unwrap(), i * 10);
+        }
+    }
+
+    #[test]
+    fn panics_become_failed_cells() {
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("cell diverged on purpose")),
+            Box::new(|| 3),
+        ];
+        let cells = run_cells(2, jobs);
+        assert_eq!(cells[0].outcome.as_ref().copied().unwrap(), 1);
+        assert!(cells[1].outcome.as_ref().unwrap_err().contains("diverged on purpose"));
+        assert_eq!(cells[2].outcome.as_ref().copied().unwrap(), 3);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let cells = run_cells(1, vec![|| 7]);
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].outcome.as_ref().copied().unwrap(), 7);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let jobs: Vec<_> = (0..3usize).map(|i| move || i).collect();
+        let cells = run_cells(64, jobs);
+        assert_eq!(cells.len(), 3);
+    }
+
+    #[test]
+    fn zero_jobs_zero_cells() {
+        let cells: Vec<Cell<u32>> = run_cells(4, Vec::<fn() -> u32>::new());
+        assert!(cells.is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! Minimal self-timing harness for the component benches.
+//!
+//! The `benches/*.rs` targets are plain `harness = false` binaries (the
+//! registry is unreachable, so no criterion). Each measurement
+//! self-calibrates its batch size, takes the best of several batches (the
+//! least-interference estimate), and prints one `ns/iter` line — enough
+//! to spot hot-path regressions from run to run.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Minimum wall time one measured batch must cover.
+const BATCH_FLOOR: Duration = Duration::from_millis(10);
+/// Batches measured per benchmark (best one is reported).
+const BATCHES: u32 = 5;
+
+/// Times `f` and prints `<name>  <ns>/iter`. The closure result is passed
+/// through [`black_box`] so the work is not optimized away.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Calibrate: grow the batch until it runs long enough to time reliably
+    // (this doubles as warm-up for caches and branch predictors).
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        if t.elapsed() >= BATCH_FLOOR || iters >= 1 << 30 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..BATCHES {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let per = t.elapsed().as_nanos() as f64 / iters as f64;
+        if per < best {
+            best = per;
+        }
+    }
+    if best >= 1e6 {
+        println!("{name:<32} {:>12.3} ms/iter ({iters} iters/batch)", best / 1e6);
+    } else {
+        println!("{name:<32} {best:>12.1} ns/iter ({iters} iters/batch)");
+    }
+}
+
+/// Prints a section header for a group of related measurements.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_returns() {
+        // Smoke test: a trivial closure must calibrate and finish.
+        bench("noop", || 1 + 1);
+    }
+}

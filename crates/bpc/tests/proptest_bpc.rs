@@ -1,92 +1,151 @@
 //! Property tests for the compression substrate: the codec must be exact
 //! on *every* input, and the CAVA sector layout must never lose data or
 //! misclassify.
+//!
+//! Generators are hand-rolled over a local SplitMix64 (the registry is
+//! unreachable, so no proptest; `avatar-bpc` stays dependency-free, so the
+//! generator lives here rather than pulling in `avatar-sim`). Trials are
+//! seeded deterministically for exact reproduction.
 
 use avatar_bpc::bpc::{compress, decompress, try_decompress, CompressedSector};
 use avatar_bpc::embed::{embed_sector, inspect, PageInfo, Permissions, PAYLOAD_BITS};
 use avatar_bpc::{classify, SectorClass};
-use proptest::prelude::*;
 
-fn arb_sector() -> impl Strategy<Value = [u8; 32]> {
-    any::<[u8; 32]>()
+const TRIALS: u64 = 128;
+
+/// Minimal SplitMix64, matching `avatar_sim::rng::SimRng`'s stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+fn arb_sector(rng: &mut Rng) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for chunk in out.chunks_exact_mut(8) {
+        chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    out
 }
 
 /// Correlated data shaped like real GPU arrays (base + small deltas).
-fn arb_correlated_sector() -> impl Strategy<Value = [u8; 32]> {
-    (any::<u32>(), proptest::collection::vec(-64i64..64, 7)).prop_map(|(base, deltas)| {
-        let mut words = [0u32; 8];
-        words[0] = base;
-        for (i, d) in deltas.iter().enumerate() {
-            words[i + 1] = (i64::from(words[i]) + d) as u32;
-        }
-        let mut out = [0u8; 32];
-        for (i, w) in words.iter().enumerate() {
-            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
-        }
-        out
-    })
-}
-
-fn arb_page_info() -> impl Strategy<Value = PageInfo> {
-    (0u64..(1 << 36), 0u16..(1 << 12), prop_oneof![
-        Just(Permissions::READ_ONLY),
-        Just(Permissions::READ_WRITE),
-        Just(Permissions::READ_WRITE_ATOMIC)
-    ])
-        .prop_map(|(vpn, asid, perm)| PageInfo::new(vpn, perm, asid))
-}
-
-proptest! {
-    #[test]
-    fn bpc_roundtrips_any_sector(sector in arb_sector()) {
-        let c = compress(&sector);
-        prop_assert_eq!(decompress(&c), sector);
+fn arb_correlated_sector(rng: &mut Rng) -> [u8; 32] {
+    let mut words = [0u32; 8];
+    words[0] = rng.next_u64() as u32;
+    for i in 1..8 {
+        let delta = rng.below(128) as i64 - 64;
+        words[i] = (i64::from(words[i - 1]) + delta) as u32;
     }
+    let mut out = [0u8; 32];
+    for (i, w) in words.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+    }
+    out
+}
 
-    #[test]
-    fn bpc_roundtrips_correlated_sectors_and_compresses(sector in arb_correlated_sector()) {
+fn arb_page_info(rng: &mut Rng) -> PageInfo {
+    let vpn = rng.below(1 << 36);
+    let asid = rng.below(1 << 12) as u16;
+    let perm = match rng.below(3) {
+        0 => Permissions::READ_ONLY,
+        1 => Permissions::READ_WRITE,
+        _ => Permissions::READ_WRITE_ATOMIC,
+    };
+    PageInfo::new(vpn, perm, asid)
+}
+
+#[test]
+fn bpc_roundtrips_any_sector() {
+    for trial in 0..TRIALS {
+        let mut rng = Rng(0xB9C0 ^ trial);
+        let sector = arb_sector(&mut rng);
         let c = compress(&sector);
-        prop_assert_eq!(decompress(&c), sector);
+        assert_eq!(decompress(&c), sector, "trial {trial}");
+    }
+}
+
+#[test]
+fn bpc_roundtrips_correlated_sectors_and_compresses() {
+    for trial in 0..TRIALS {
+        let mut rng = Rng(0xB9C1 ^ trial);
+        let sector = arb_correlated_sector(&mut rng);
+        let c = compress(&sector);
+        assert_eq!(decompress(&c), sector, "trial {trial}");
         // Small-delta data must compress below the raw size.
-        prop_assert!(c.size_bits() < 256, "correlated data must shrink, got {}", c.size_bits());
+        assert!(c.size_bits() < 256, "trial {trial}: correlated data must shrink, got {}", c.size_bits());
     }
+}
 
-    #[test]
-    fn compressed_size_is_positive_and_bounded(sector in arb_sector()) {
+#[test]
+fn compressed_size_is_positive_and_bounded() {
+    for trial in 0..TRIALS {
+        let mut rng = Rng(0xB9C2 ^ trial);
+        let sector = arb_sector(&mut rng);
         let c = compress(&sector);
         // Worst case: 33-bit raw base + 33 verbatim planes (8 bits each).
-        prop_assert!(c.size_bits() >= 4);
-        prop_assert!(c.size_bits() <= 33 + 33 * 8);
+        assert!(c.size_bits() >= 4, "trial {trial}");
+        assert!(c.size_bits() <= 33 + 33 * 8, "trial {trial}");
     }
+}
 
-    #[test]
-    fn embed_preserves_data_and_info(sector in arb_sector(), info in arb_page_info()) {
+#[test]
+fn embed_preserves_data_and_info() {
+    for trial in 0..TRIALS {
+        let mut rng = Rng(0xB9C3 ^ trial);
+        // Alternate raw and correlated sectors so both embed outcomes
+        // (compressed fits / raw escape) are exercised.
+        let sector = if trial % 2 == 0 { arb_sector(&mut rng) } else { arb_correlated_sector(&mut rng) };
+        let info = arb_page_info(&mut rng);
         let stored = embed_sector(&sector, info);
-        prop_assert_eq!(stored.original_data(), sector);
+        assert_eq!(stored.original_data(), sector, "trial {trial}");
         if stored.is_compressed() {
             let view = inspect(stored.bytes()).expect("compressed sectors inspect");
-            prop_assert_eq!(view.page_info, info);
-            prop_assert_eq!(view.data, sector);
+            assert_eq!(view.page_info, info, "trial {trial}");
+            assert_eq!(view.data, sector, "trial {trial}");
         } else {
-            prop_assert_eq!(inspect(stored.bytes()), None);
-            prop_assert_ne!(classify(stored.bytes()), SectorClass::Compressed);
+            assert_eq!(inspect(stored.bytes()), None, "trial {trial}");
+            assert_ne!(classify(stored.bytes()), SectorClass::Compressed, "trial {trial}");
         }
     }
+}
 
-    #[test]
-    fn embedding_is_honest_about_the_budget(sector in arb_sector(), info in arb_page_info()) {
+#[test]
+fn embedding_is_honest_about_the_budget() {
+    for trial in 0..TRIALS {
+        let mut rng = Rng(0xB9C4 ^ trial);
+        let sector = if trial % 2 == 0 { arb_sector(&mut rng) } else { arb_correlated_sector(&mut rng) };
+        let info = arb_page_info(&mut rng);
         let c = compress(&sector);
         let stored = embed_sector(&sector, info);
-        prop_assert_eq!(stored.is_compressed(), c.fits(PAYLOAD_BITS));
+        assert_eq!(stored.is_compressed(), c.fits(PAYLOAD_BITS), "trial {trial}");
     }
+}
 
-    #[test]
-    fn page_info_packs_roundtrip(info in arb_page_info()) {
-        prop_assert_eq!(PageInfo::unpack(info.pack()), Some(info));
+#[test]
+fn page_info_packs_roundtrip() {
+    for trial in 0..TRIALS {
+        let mut rng = Rng(0xB9C5 ^ trial);
+        let info = arb_page_info(&mut rng);
+        assert_eq!(PageInfo::unpack(info.pack()), Some(info), "trial {trial}");
     }
+}
 
-    #[test]
-    fn truncated_streams_never_panic(sector in arb_sector(), cut in 1usize..64) {
+#[test]
+fn truncated_streams_never_panic() {
+    for trial in 0..TRIALS {
+        let mut rng = Rng(0xB9C6 ^ trial);
+        let sector = if trial % 2 == 0 { arb_sector(&mut rng) } else { arb_correlated_sector(&mut rng) };
+        let cut = 1 + rng.below(63) as usize;
         let c = compress(&sector);
         if c.size_bits() > cut {
             let t = CompressedSector::from_parts(c.bytes().to_vec(), c.size_bits() - cut);
@@ -94,16 +153,21 @@ proptest! {
             let _ = try_decompress(&t);
         }
     }
+}
 
-    #[test]
-    fn stored_form_classification_is_total(sector in arb_sector(), info in arb_page_info()) {
+#[test]
+fn stored_form_classification_is_total() {
+    for trial in 0..TRIALS {
+        let mut rng = Rng(0xB9C7 ^ trial);
+        let sector = if trial % 2 == 0 { arb_sector(&mut rng) } else { arb_correlated_sector(&mut rng) };
+        let info = arb_page_info(&mut rng);
         // Whatever we store, the memory controller can classify it.
         let stored = embed_sector(&sector, info);
         let class = classify(stored.bytes());
         match (stored.is_compressed(), class) {
             (true, SectorClass::Compressed) => {}
             (false, SectorClass::Raw) | (false, SectorClass::RawEscaped) => {}
-            other => prop_assert!(false, "inconsistent classification {:?}", other),
+            other => panic!("trial {trial}: inconsistent classification {other:?}"),
         }
     }
 }

@@ -219,7 +219,7 @@ impl SectorCache {
     /// Invalidates every line belonging to any of the given frames (chunk
     /// eviction flush). One pass over the directory regardless of how many
     /// frames are dropped.
-    pub fn invalidate_frames(&mut self, frames: &std::collections::HashSet<u64>) -> u64 {
+    pub fn invalidate_frames(&mut self, frames: &crate::fxhash::FxHashSet<u64>) -> u64 {
         const LINES_PER_PAGE: u64 = crate::addr::PAGE_BYTES / crate::addr::LINE_BYTES;
         let mut dropped = 0;
         for set in &mut self.sets {

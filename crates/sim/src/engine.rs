@@ -18,12 +18,12 @@ use crate::hooks::{
 };
 use crate::page_table::PT_BASE;
 use crate::port::{MshrFile, MshrGrant, Ports};
-use crate::sm::{coalesce, SmState, WarpOp, WarpProgram, WarpState};
+use crate::sm::{coalesce_into, SmState, WarpOp, WarpProgram, WarpState};
 use crate::stats::{CoverageBucket, SpecOutcome, Stats};
 use crate::tlb::{TlbFill, TlbModel};
 use crate::uvm::Uvm;
 use crate::walker::{PageWalkSystem, WalkId, WalkProgress};
-use std::collections::HashMap;
+use crate::fxhash::{FxHashMap, FxHashSet};
 
 /// Bit position where the tenant id is folded into TLB/walk keys, so one
 /// physical TLB hierarchy holds entries of several address spaces without
@@ -121,16 +121,22 @@ pub struct Engine<'a> {
     l2_tlb_mshr: MshrFile<u64, u32>,
     l2_tlb_overflow: Vec<(u32, u64)>,
     l1_mshrs: Vec<MshrFile<u64, ReqId>>,
-    l1_mshr_overflow: Vec<Vec<ReqId>>,
+    l1_mshr_overflow: Vec<std::collections::VecDeque<ReqId>>,
     l2_mshr: MshrFile<u64, L2Waiter>,
-    l2_mshr_overflow: Vec<(u64, L2Waiter)>,
+    l2_mshr_overflow: std::collections::VecDeque<(u64, L2Waiter)>,
     /// Requests that found a present-but-unguaranteed sector and wait for
     /// its validation outcome instead of duplicating the fetch.
-    unguaranteed_waiters: HashMap<(u32, u64), Vec<ReqId>>,
-    walk_of_vpn: HashMap<u64, WalkId>,
-    vpn_of_walk: HashMap<WalkId, Vpn>,
-    walk_started: HashMap<u64, Cycle>,
-    pw_overflow: Vec<u64>,
+    unguaranteed_waiters: FxHashMap<(u32, u64), Vec<ReqId>>,
+    walk_of_vpn: FxHashMap<u64, WalkId>,
+    vpn_of_walk: FxHashMap<WalkId, Vpn>,
+    walk_started: FxHashMap<u64, Cycle>,
+    pw_overflow: std::collections::VecDeque<u64>,
+    /// Scratch for the coalescer: reused across warp instructions so the
+    /// issue loop does not allocate in steady state.
+    coalesce_buf: Vec<VirtAddr>,
+    /// Scratch key list for shootdown wakes (reused, see
+    /// `wake_all_unguaranteed`).
+    scratch_keys: Vec<u64>,
 
     warp_outstanding: Vec<u32>,
     warp_issue_time: Vec<Cycle>,
@@ -192,14 +198,16 @@ impl<'a> Engine<'a> {
             l2_tlb_mshr: MshrFile::new(cfg.l2_tlb.mshr_entries),
             l2_tlb_overflow: Vec::new(),
             l1_mshrs: (0..n).map(|_| MshrFile::new(cfg.l1_cache.mshr_entries)).collect(),
-            l1_mshr_overflow: vec![Vec::new(); n],
+            l1_mshr_overflow: vec![std::collections::VecDeque::new(); n],
             l2_mshr: MshrFile::new(cfg.l2_cache.mshr_entries),
-            l2_mshr_overflow: Vec::new(),
-            unguaranteed_waiters: HashMap::new(),
-            walk_of_vpn: HashMap::new(),
-            vpn_of_walk: HashMap::new(),
-            walk_started: HashMap::new(),
-            pw_overflow: Vec::new(),
+            l2_mshr_overflow: std::collections::VecDeque::new(),
+            unguaranteed_waiters: FxHashMap::default(),
+            walk_of_vpn: FxHashMap::default(),
+            vpn_of_walk: FxHashMap::default(),
+            walk_started: FxHashMap::default(),
+            pw_overflow: std::collections::VecDeque::new(),
+            coalesce_buf: Vec::new(),
+            scratch_keys: Vec::new(),
             warp_outstanding: vec![0; n * cfg.warps_per_sm],
             warp_issue_time: vec![0; n * cfg.warps_per_sm],
             max_cycles: 2_000_000_000,
@@ -274,6 +282,7 @@ impl<'a> Engine<'a> {
                 timed_out = true;
                 break;
             }
+            self.stats.events_processed += 1;
             self.handle(now, ev);
         }
         let now = self.q.now();
@@ -356,7 +365,8 @@ impl<'a> Engine<'a> {
                     self.stats.loads += 1;
                 }
                 self.sms[sm as usize].issue_free_at = now + 1;
-                let sectors = coalesce(&addrs);
+                let mut sectors = std::mem::take(&mut self.coalesce_buf);
+                coalesce_into(&addrs, &mut sectors);
                 let slot = self.warp_slot(sm, warp);
                 self.warp_outstanding[slot] = sectors.len() as u32;
                 self.warp_issue_time[slot] = now;
@@ -365,7 +375,7 @@ impl<'a> Engine<'a> {
                     WarpState::WaitingMemory { outstanding: sectors.len() as u32 },
                     now,
                 );
-                for vaddr in sectors {
+                for &vaddr in &sectors {
                     self.stats.sector_requests += 1;
                     let id = self.reqs.len() as ReqId;
                     self.reqs.push(MemReq {
@@ -382,6 +392,7 @@ impl<'a> Engine<'a> {
                     });
                     self.start_translation(now, id);
                 }
+                self.coalesce_buf = sectors;
             }
         }
     }
@@ -443,7 +454,7 @@ impl<'a> Engine<'a> {
                 tlb.invalidate(salted_first, chunk.pages);
             }
             self.l2_tlb.invalidate(salted_first, chunk.pages);
-            let frames: std::collections::HashSet<u64> = chunk.frames.iter().map(|p| p.0).collect();
+            let frames: FxHashSet<u64> = chunk.frames.iter().map(|p| p.0).collect();
             for cache in &mut self.l1_caches {
                 cache.invalidate_frames(&frames);
             }
@@ -492,8 +503,10 @@ impl<'a> Engine<'a> {
             if is_store { None } else { self.accel.on_l1_tlb_miss(sm as usize, pc, vpn) };
         if let Some(spec_ppn) = prediction {
             self.stats.speculations += 1;
-            let real = self.uvms[tenant].page_table.translate(vpn).expect("touched at issue");
-            let correct = real.ppn == spec_ppn;
+            // The page can have been evicted (oversubscription) between
+            // warp issue and this miss; such speculations validate false.
+            let real = self.uvms[tenant].page_table.translate(vpn);
+            let correct = real.is_some_and(|r| r.ppn == spec_ppn);
             if correct {
                 self.stats.spec_correct += 1;
             }
@@ -572,7 +585,7 @@ impl<'a> Engine<'a> {
             }
             None => {
                 self.stats.pw_buffer_full += 1;
-                self.pw_overflow.push(vpn);
+                self.pw_overflow.push_back(vpn);
             }
         }
     }
@@ -603,7 +616,7 @@ impl<'a> Engine<'a> {
                     self.q.schedule(done, Ev::DramDone { pa: pa.0 });
                 }
                 MshrGrant::Merged => {}
-                MshrGrant::Full => self.l2_mshr_overflow.push((pa.0, L2Waiter::Walk { walk })),
+                MshrGrant::Full => self.l2_mshr_overflow.push_back((pa.0, L2Waiter::Walk { walk })),
             },
         }
     }
@@ -640,7 +653,7 @@ impl<'a> Engine<'a> {
 
     fn drain_pw_overflow(&mut self, now: Cycle) {
         while !self.pw_overflow.is_empty() && self.walks.has_buffer_space() {
-            let vpn = self.pw_overflow.remove(0);
+            let vpn = self.pw_overflow.pop_front().expect("checked non-empty");
             self.start_walk(now, vpn);
         }
     }
@@ -655,14 +668,15 @@ impl<'a> Engine<'a> {
         let fill = TlbFill { vpn: Vpn(vpn), ppn, pages, run };
         self.l2_tlb.fill(&fill);
         self.charge_merge_refs(now);
-        if let Some(waiters) = self.l2_tlb_mshr.complete(vpn) {
+        if let Some(mut waiters) = self.l2_tlb_mshr.complete(vpn) {
             let mut seen = Vec::new();
-            for sm in waiters {
+            for sm in waiters.drain(..) {
                 if !seen.contains(&sm) {
                     seen.push(sm);
                     self.resolve_for_sm(now, sm, vpn, ppn, &fill, false);
                 }
             }
+            self.l2_tlb_mshr.recycle(waiters);
         }
         self.drain_l2_tlb_overflow(now);
     }
@@ -692,12 +706,13 @@ impl<'a> Engine<'a> {
     /// Fig 16 accounting attributes to `Fast_Translation`.
     fn resolve_for_sm(&mut self, now: Cycle, sm: u32, vpn: u64, ppn: Ppn, fill: &TlbFill, via_eaf: bool) {
         self.l1_tlbs[sm as usize].fill(fill);
-        if let Some(waiters) = self.l1_tlb_mshrs[sm as usize].complete(vpn) {
-            for id in waiters {
+        if let Some(mut waiters) = self.l1_tlb_mshrs[sm as usize].complete(vpn) {
+            for id in waiters.drain(..) {
                 let pc = self.reqs[id as usize].pc;
                 self.accel.on_translation_resolved(sm as usize, pc, Self::unsalt(vpn), ppn);
                 self.translation_resolved_for_req(now, id, ppn, via_eaf);
             }
+            self.l1_tlb_mshrs[sm as usize].recycle(waiters);
         }
         // MSHR space freed: retry overflow translation requests.
         let pending = std::mem::take(&mut self.tlb_overflow[sm as usize]);
@@ -836,15 +851,15 @@ impl<'a> Engine<'a> {
 
     /// Wakes every unguaranteed-sector waiter of an SM (shootdown path).
     fn wake_all_unguaranteed(&mut self, now: Cycle, sm: u32) {
-        let keys: Vec<u64> = self
-            .unguaranteed_waiters
-            .keys()
-            .filter(|(s, _)| *s == sm)
-            .map(|(_, pa)| *pa)
-            .collect();
-        for pa in keys {
+        let mut keys = std::mem::take(&mut self.scratch_keys);
+        keys.clear();
+        keys.extend(
+            self.unguaranteed_waiters.keys().filter(|(s, _)| *s == sm).map(|(_, pa)| *pa),
+        );
+        for &pa in &keys {
             self.wake_unguaranteed(now, sm, PhysAddr(pa));
         }
+        self.scratch_keys = keys;
     }
 
     fn l1_miss(&mut self, now: Cycle, id: ReqId, pa: PhysAddr) {
@@ -857,7 +872,7 @@ impl<'a> Engine<'a> {
             MshrGrant::Merged => {}
             MshrGrant::Full => {
                 self.stats.cache_mshr_full += 1;
-                self.l1_mshr_overflow[sm as usize].push(id);
+                self.l1_mshr_overflow[sm as usize].push_back(id);
             }
         }
     }
@@ -937,7 +952,7 @@ impl<'a> Engine<'a> {
                 MshrGrant::Merged => {}
                 MshrGrant::Full => {
                     self.stats.cache_mshr_full += 1;
-                    self.l2_mshr_overflow.push((pa.0, L2Waiter::Sector { sm }));
+                    self.l2_mshr_overflow.push_back((pa.0, L2Waiter::Sector { sm }));
                 }
             },
         }
@@ -951,8 +966,8 @@ impl<'a> Engine<'a> {
         );
         self.writeback_evicted_l2(now, evicted);
         let extra = if meta.compressed { self.cfg.spec.decompression_latency } else { 0 };
-        if let Some(waiters) = self.l2_mshr.complete(pa.0) {
-            for w in waiters {
+        if let Some(mut waiters) = self.l2_mshr.complete(pa.0) {
+            for w in waiters.drain(..) {
                 match w {
                     L2Waiter::Sector { sm } => {
                         self.q.schedule(now + extra, Ev::L1Fill { sm, pa: pa.0 })
@@ -960,16 +975,16 @@ impl<'a> Engine<'a> {
                     L2Waiter::Walk { walk } => self.advance_walk(now, walk),
                 }
             }
+            self.l2_mshr.recycle(waiters);
         }
         // MSHR space freed: admit overflow waiters into the capacity that
         // opened up. They already paid the L2 port on their original
         // access — re-probe directly (no extra port grant or latency).
-        while !self.l2_mshr_overflow.is_empty() {
-            let (pa, _) = self.l2_mshr_overflow[0];
+        while let Some(&(pa, _)) = self.l2_mshr_overflow.front() {
             if self.l2_mshr.is_full() && !self.l2_mshr.contains(pa) {
                 break;
             }
-            let (pa, w) = self.l2_mshr_overflow.remove(0);
+            let (pa, w) = self.l2_mshr_overflow.pop_front().expect("checked non-empty");
             self.l2_retry(now, PhysAddr(pa), w);
         }
     }
@@ -994,7 +1009,7 @@ impl<'a> Engine<'a> {
                     self.q.schedule(done, Ev::DramDone { pa: pa.0 });
                 }
                 MshrGrant::Merged => {}
-                MshrGrant::Full => self.l2_mshr_overflow.insert(0, (pa.0, w)),
+                MshrGrant::Full => self.l2_mshr_overflow.push_front((pa.0, w)),
             },
         }
     }
@@ -1077,8 +1092,8 @@ impl<'a> Engine<'a> {
         let mut guarantee = false;
         let mut dirty = false;
         let mut all_killed_specs = true;
-        if let Some(waiters) = self.l1_mshrs[sm as usize].complete(pa.0) {
-            for id in waiters {
+        if let Some(mut waiters) = self.l1_mshrs[sm as usize].complete(pa.0) {
+            for id in waiters.drain(..) {
                 self.trace(id, &format!("l1_fill waiter pa={:#x}", pa.0));
                 let req = &self.reqs[id as usize];
                 if req.completed {
@@ -1163,17 +1178,16 @@ impl<'a> Engine<'a> {
             self.wake_unguaranteed(now, sm, pa);
         }
         // L1 MSHR space freed: admit overflow waiters into free capacity.
-        while !self.l1_mshr_overflow[sm as usize].is_empty() {
-            let id = self.l1_mshr_overflow[sm as usize][0];
+        while let Some(&id) = self.l1_mshr_overflow[sm as usize].front() {
             if self.reqs[id as usize].completed {
-                self.l1_mshr_overflow[sm as usize].remove(0);
+                self.l1_mshr_overflow[sm as usize].pop_front();
                 continue;
             }
             let target = self.reqs[id as usize].real_pa().expect("overflowed after translation");
             if self.l1_mshrs[sm as usize].is_full() && !self.l1_mshrs[sm as usize].contains(target.0) {
                 break;
             }
-            self.l1_mshr_overflow[sm as usize].remove(0);
+            self.l1_mshr_overflow[sm as usize].pop_front();
             self.l1_miss(now, id, target);
         }
     }
@@ -1190,7 +1204,7 @@ impl<'a> Engine<'a> {
         // Wake this SM's own waiters (other requests to the same page).
         self.resolve_for_sm(now, sm, vpn.0, ppn, &fill, true);
         // Release the shared translation machinery.
-        if let Some(waiters) = self.l2_tlb_mshr.complete(vpn.0) {
+        if let Some(mut waiters) = self.l2_tlb_mshr.complete(vpn.0) {
             self.stats.eaf_releases += 1;
             if let Some(walk) = self.walk_of_vpn.remove(&vpn.0) {
                 if self.walks.abort(walk) {
@@ -1202,12 +1216,13 @@ impl<'a> Engine<'a> {
             }
             self.pw_overflow.retain(|&v| v != vpn.0);
             let mut seen = Vec::new();
-            for other in waiters {
+            for other in waiters.drain(..) {
                 if other != sm && !seen.contains(&other) {
                     seen.push(other);
                     self.resolve_for_sm(now, other, vpn.0, ppn, &fill, true);
                 }
             }
+            self.l2_tlb_mshr.recycle(waiters);
         }
         // Cross-SM propagation: the entry is *prefetched* into every
         // other SM's L1 TLB ("ensuring the desired translation is

@@ -1,0 +1,143 @@
+//! An FxHash-style hasher for the simulator's hot-path maps.
+//!
+//! The event loop hits half a dozen `HashMap`s on every simulated memory
+//! access (MSHR files, walk bookkeeping, page-table lookups, UVM frame
+//! ownership). The standard library's default SipHash is DoS-resistant but
+//! costs tens of cycles per lookup; none of these maps are fed untrusted
+//! input, so we use the multiply-fold hash popularized by rustc's
+//! `FxHasher`: one `u64` multiply + rotate + xor per word of key. Keys here
+//! are small integers or tuples of integers, which this hash handles well.
+//!
+//! No external dependency — the whole hasher is ~40 lines.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant (from the golden ratio, as used by rustc's Fx).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher for trusted integer-like keys.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fold arbitrary bytes one machine word at a time; the tail is
+        // padded into a single word. Only hit for `&str`/byte-slice keys,
+        // which the simulator does not use on hot paths.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; usable anywhere `RandomState` is.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the fast hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(u32, u64), Vec<u32>> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, (i as u64) << 20), vec![i]);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, (i as u64) << 20)), Some(&vec![i]));
+        }
+    }
+
+    #[test]
+    fn set_roundtrip() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000u64 {
+            s.insert(i * 4096);
+        }
+        assert_eq!(s.len(), 1000);
+        assert!(s.contains(&(999 * 4096)));
+        assert!(!s.contains(&1));
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        use std::hash::{BuildHasher, Hash};
+        let b = FxBuildHasher::default();
+        let hash = |s: &str| {
+            let mut h = b.build_hasher();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash("hello world"), hash("hello world"));
+        assert_ne!(hash("hello world"), hash("hello worle"));
+    }
+
+    #[test]
+    fn sequential_keys_spread() {
+        // The map must not degenerate on the simulator's typical key shape
+        // (sequential VPNs): adjacent keys should land in different buckets.
+        use std::hash::{BuildHasher, Hash};
+        let b = FxBuildHasher::default();
+        let mut low_bits: FxHashSet<u64> = FxHashSet::default();
+        for vpn in 0u64..256 {
+            let mut h = b.build_hasher();
+            vpn.hash(&mut h);
+            low_bits.insert(h.finish() & 0xFF);
+        }
+        assert!(low_bits.len() > 128, "only {} distinct low bytes", low_bits.len());
+    }
+}

@@ -73,9 +73,11 @@ pub mod config;
 pub mod dram;
 pub mod engine;
 pub mod event;
+pub mod fxhash;
 pub mod hooks;
 pub mod page_table;
 pub mod port;
+pub mod rng;
 pub mod sm;
 pub mod stats;
 pub mod tlb;

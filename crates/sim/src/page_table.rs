@@ -9,7 +9,7 @@
 
 use crate::addr::{Ppn, Vpn, PAGES_PER_CHUNK};
 use crate::tlb::ContigRun;
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 /// Number of radix levels (L0 root .. L3 leaf for 4KB pages).
 pub const LEVELS: usize = 4;
@@ -30,8 +30,8 @@ pub struct Translation {
 /// The page table for one address space.
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    map: HashMap<u64, u64>,
-    large: HashMap<u64, u64>,
+    map: FxHashMap<u64, u64>,
+    large: FxHashMap<u64, u64>,
 }
 
 impl PageTable {

@@ -61,13 +61,16 @@ pub enum MshrGrant {
 #[derive(Debug, Clone)]
 pub struct MshrFile<K, W> {
     capacity: usize,
-    entries: std::collections::HashMap<K, Vec<W>>,
+    entries: crate::fxhash::FxHashMap<K, Vec<W>>,
+    /// Retired waiter vectors, kept so steady-state allocate/complete
+    /// cycles reuse capacity instead of hitting the allocator every miss.
+    spare: Vec<Vec<W>>,
 }
 
 impl<K: std::hash::Hash + Eq + Copy, W> MshrFile<K, W> {
     /// Creates a file with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        Self { capacity, entries: std::collections::HashMap::new() }
+        Self { capacity, entries: crate::fxhash::FxHashMap::default(), spare: Vec::new() }
     }
 
     /// Registers a miss for `key` with waiter `w`.
@@ -79,7 +82,9 @@ impl<K: std::hash::Hash + Eq + Copy, W> MshrFile<K, W> {
         if self.entries.len() >= self.capacity {
             return MshrGrant::Full;
         }
-        self.entries.insert(key, vec![w]);
+        let mut waiters = self.spare.pop().unwrap_or_default();
+        waiters.push(w);
+        self.entries.insert(key, waiters);
         MshrGrant::Allocated
     }
 
@@ -106,6 +111,18 @@ impl<K: std::hash::Hash + Eq + Copy, W> MshrFile<K, W> {
     /// Drops the entry for `key` without waking waiters (EAF release path).
     pub fn release(&mut self, key: K) -> Option<Vec<W>> {
         self.complete(key)
+    }
+
+    /// Returns a drained waiter vector to the file's spare pool.
+    ///
+    /// Callers that `complete` an entry, drain its waiters, and hand the
+    /// empty vector back here make the allocate/complete cycle
+    /// allocation-free in steady state. Non-empty vectors are cleared.
+    pub fn recycle(&mut self, mut waiters: Vec<W>) {
+        waiters.clear();
+        if self.spare.len() < self.capacity && waiters.capacity() > 0 {
+            self.spare.push(waiters);
+        }
     }
 
     /// Number of live entries.
@@ -165,6 +182,22 @@ mod tests {
         assert_eq!(m.complete(100), Some(vec![1, 2]));
         assert_eq!(m.request(300, 4), MshrGrant::Allocated);
         assert!(m.is_full());
+    }
+
+    #[test]
+    fn mshr_recycle_reuses_capacity() {
+        let mut m: MshrFile<u64, u32> = MshrFile::new(4);
+        m.request(1, 10);
+        m.merge(1, 11);
+        let waiters = m.complete(1).unwrap();
+        let cap = waiters.capacity();
+        m.recycle(waiters);
+        // The next allocation draws from the spare pool: same capacity,
+        // fresh contents.
+        assert_eq!(m.request(2, 20), MshrGrant::Allocated);
+        let again = m.complete(2).unwrap();
+        assert_eq!(again, vec![20]);
+        assert!(again.capacity() >= cap);
     }
 
     #[test]

@@ -41,14 +41,22 @@ pub trait WarpProgram {
 /// Coalesces a warp's per-thread addresses into unique 32B sector requests,
 /// preserving first-appearance order (deterministic).
 pub fn coalesce(addrs: &[VirtAddr]) -> Vec<VirtAddr> {
-    let mut out: Vec<VirtAddr> = Vec::new();
+    let mut out = Vec::new();
+    coalesce_into(addrs, &mut out);
+    out
+}
+
+/// Coalesces into a caller-owned vector (cleared first), so per-instruction
+/// hot loops can reuse one scratch buffer instead of allocating. Keeps the
+/// first-appearance order of [`coalesce`].
+pub fn coalesce_into(addrs: &[VirtAddr], out: &mut Vec<VirtAddr>) {
+    out.clear();
     for a in addrs {
         let sector = VirtAddr(a.0 & !(SECTOR_BYTES - 1));
         if !out.contains(&sector) {
             out.push(sector);
         }
     }
-    out
 }
 
 /// Execution state of one warp slot.

@@ -148,6 +148,9 @@ impl Histogram {
 pub struct Stats {
     /// Total simulated cycles.
     pub cycles: Cycle,
+    /// Simulation events dispatched by the engine's calendar (a host-side
+    /// throughput denominator: events per wall-second, not a GPU metric).
+    pub events_processed: u64,
     /// Warp instructions issued (loads + compute ops).
     pub instructions: u64,
     /// Warp load instructions issued.

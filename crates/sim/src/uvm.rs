@@ -21,9 +21,8 @@
 use crate::addr::{Ppn, Vpn, PAGES_PER_CHUNK};
 use crate::config::UvmConfig;
 use crate::page_table::PageTable;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use std::collections::HashMap;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::rng::SimRng;
 
 /// Who owns a physical frame (for embedded-page-info lookups at fetch).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,11 +102,11 @@ impl ChunkState {
 #[derive(Debug)]
 pub struct Uvm {
     cfg: UvmConfig,
-    rng: StdRng,
+    rng: SimRng,
     /// The GPU-local page table.
     pub page_table: PageTable,
-    chunks: HashMap<u64, ChunkState>,
-    frame_owner: HashMap<u64, FrameOwner>,
+    chunks: FxHashMap<u64, ChunkState>,
+    frame_owner: FxHashMap<u64, FrameOwner>,
     /// First chunk of this address space's physical region.
     base_chunk: u64,
     next_chunk: u64,
@@ -115,10 +114,10 @@ pub struct Uvm {
     scatter_pool: Vec<u64>,
     /// Virtual chunks that lost their arena slot to an eviction; refaults
     /// re-reserve from the spill range with a different offset.
-    displaced: std::collections::HashSet<u64>,
+    displaced: FxHashSet<u64>,
     /// Access counters for cold (not yet migrated) pages, used by the
     /// threshold-based migration scheme.
-    cold_counts: HashMap<u64, u32>,
+    cold_counts: FxHashMap<u64, u32>,
     capacity_frames: u64,
     used_frames: u64,
     touch_epoch: u64,
@@ -141,16 +140,16 @@ impl Uvm {
         let base = tenant as u64 * TENANT_CHUNK_STRIDE;
         Self {
             cfg,
-            rng: StdRng::seed_from_u64(seed ^ (tenant as u64).wrapping_mul(0x9E37_79B9)),
+            rng: SimRng::seed_from_u64(seed ^ (tenant as u64).wrapping_mul(0x9E37_79B9)),
             page_table: PageTable::new(),
-            chunks: HashMap::new(),
-            frame_owner: HashMap::new(),
+            chunks: FxHashMap::default(),
+            frame_owner: FxHashMap::default(),
             base_chunk: base,
             next_chunk: base + SPILL_BASE_CHUNK,
             free_chunks: Vec::new(),
             scatter_pool: Vec::new(),
-            displaced: std::collections::HashSet::new(),
-            cold_counts: HashMap::new(),
+            displaced: FxHashSet::default(),
+            cold_counts: FxHashMap::default(),
             capacity_frames,
             used_frames: 0,
             touch_epoch: 0,
@@ -277,7 +276,7 @@ impl Uvm {
                     self.scatter_pool.extend(first..first + PAGES_PER_CHUNK);
                     // Shuffle so scattered chunks really break contiguity.
                     for i in (1..self.scatter_pool.len()).rev() {
-                        let j = self.rng.random_range(0..=i);
+                        let j = self.rng.range_inclusive(0, i as u64) as usize;
                         self.scatter_pool.swap(i, j);
                     }
                 }
@@ -303,7 +302,7 @@ impl Uvm {
     /// distant spill range, changing the offset. `fragmentation` makes
     /// the reservation fail entirely, scattering the chunk's pages.
     fn reserve_chunk(&mut self, vchunk: u64) -> Option<u64> {
-        if self.rng.random::<f64>() < self.cfg.fragmentation {
+        if self.rng.next_f64() < self.cfg.fragmentation {
             return None;
         }
         // Refaults after an eviction land in whatever frames are free at
@@ -313,7 +312,7 @@ impl Uvm {
         if self.displaced.contains(&vchunk) {
             return None;
         }
-        if self.rng.random::<f64>() < self.cfg.cross_chunk_contiguity {
+        if self.rng.next_f64() < self.cfg.cross_chunk_contiguity {
             return Some((self.base_chunk + ARENA_BASE_CHUNK + vchunk) * PAGES_PER_CHUNK);
         }
         let c = if let Some(c) = self.free_chunks.pop() {

@@ -10,7 +10,8 @@
 use crate::addr::{PhysAddr, Vpn};
 use crate::config::{Cycle, WalkerConfig};
 use crate::page_table::PageTable;
-use std::collections::{HashMap, VecDeque};
+use crate::fxhash::FxHashMap;
+use std::collections::VecDeque;
 
 /// A queued walk request: the page plus the number of radix levels the
 /// walk must reference (captured at enqueue; 4 for a 4KB leaf, 3 for a
@@ -115,7 +116,7 @@ pub struct PageWalkSystem {
     cfg: WalkerConfig,
     pw_cache: PwCache,
     queue: VecDeque<QueuedWalk>,
-    active: HashMap<WalkId, ActiveWalk>,
+    active: FxHashMap<WalkId, ActiveWalk>,
     next_id: u64,
 }
 
@@ -123,7 +124,7 @@ impl PageWalkSystem {
     /// Creates the system from configuration.
     pub fn new(cfg: WalkerConfig) -> Self {
         let pw_cache = PwCache::new(cfg.pw_cache_entries);
-        Self { cfg, pw_cache, queue: VecDeque::new(), active: HashMap::new(), next_id: 0 }
+        Self { cfg, pw_cache, queue: VecDeque::new(), active: FxHashMap::default(), next_id: 0 }
     }
 
     /// Whether the walk buffer can accept another request.

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification + a quick throughput smoke run.
+#
+# Fails if the build breaks, any test fails, or a scenario cell panics
+# during the throughput grid (the harness exits non-zero on a failed
+# cell).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test --workspace -q
+
+echo "== throughput smoke (--quick) =="
+cargo run --release -p avatar-bench --bin throughput -- --quick
+
+echo "== OK =="
