@@ -78,7 +78,7 @@ fn main() {
     bench("event_schedule_pop", || {
         let (t, ev) = q.pop().expect("queue stays non-empty");
         k = k.wrapping_add(1);
-        let horizon = if k % 64 == 0 { 5000 } else { k % 128 };
+        let horizon = if k.is_multiple_of(64) { 5000 } else { k % 128 };
         q.schedule(t + 1 + horizon, ev);
         ev
     });

@@ -1,39 +1,50 @@
 //! Simulator throughput harness: events/sec on the engine hot path and
 //! cells/sec through the parallel scenario runner.
 //!
-//! Runs a fixed grid of (workload × configuration) cells twice — once on a
-//! single thread, once on `--threads N` workers — and reports:
+//! Runs a fixed grid of (workload × configuration) cells once per thread
+//! count in `THREAD_COUNTS` and reports:
 //!
 //! * **events/sec** — simulation events retired per wall-clock second on
 //!   one thread (the event-calendar / hashing / allocation hot path);
 //! * **cells/sec** — grid cells per second at each thread count, and the
-//!   parallel speedup between them.
+//!   parallel scaling relative to the single-thread pass.
 //!
-//! Results are dumped to `BENCH_throughput.json` (override with
-//! `--json <path>`). `--quick` keeps it CI-sized.
+//! One JSON entry is written per thread count to `BENCH_throughput.json`
+//! (override with `--json <path>`). `--quick` keeps it CI-sized.
 
 use avatar_bench::runner::{run_scenarios, Scenario, ScenarioResult};
 use avatar_bench::{obj, print_table, HarnessOpts};
 use avatar_core::system::SystemConfig;
 use avatar_workloads::Workload;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 const CONFIGS: [SystemConfig; 2] = [SystemConfig::Baseline, SystemConfig::Avatar];
+
+/// Thread counts measured, in order. The first entry must be 1: it is the
+/// scaling denominator and the events/sec measurement pass.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn grid(opts: &HarnessOpts) -> Vec<Scenario> {
     let ro = opts.run_options();
     let mut scenarios = Vec::new();
     for w in Workload::all() {
+        let w = Arc::new(w);
         for cfg in CONFIGS {
-            scenarios.push(Scenario::new(format!("{}/{}", w.abbr, cfg.label()), &w, cfg, ro.clone()));
+            scenarios.push(Scenario::shared(
+                format!("{}/{}", w.abbr, cfg.label()),
+                Arc::clone(&w),
+                cfg,
+                ro.clone(),
+            ));
         }
     }
     scenarios
 }
 
-/// (wall seconds, total events, failed cells) of one grid pass.
-fn measure(results: &[ScenarioResult], wall_s: f64) -> (f64, u64, usize) {
+/// (total events, failed cells) of one grid pass.
+fn measure(results: &[ScenarioResult]) -> (u64, usize) {
     let mut events = 0u64;
     let mut failed = 0usize;
     for r in results {
@@ -45,57 +56,69 @@ fn measure(results: &[ScenarioResult], wall_s: f64) -> (f64, u64, usize) {
             }
         }
     }
-    (wall_s, events, failed)
+    (events, failed)
 }
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let n_cells = grid(&opts).len();
 
-    eprintln!("throughput: {n_cells} cells, pass 1/2 on 1 thread...");
-    let t0 = Instant::now();
-    let serial = run_scenarios(1, grid(&opts));
-    let (serial_s, serial_events, serial_failed) = measure(&serial, t0.elapsed().as_secs_f64());
+    let mut json = Vec::new();
+    let mut rows = Vec::new();
+    let mut serial_s = 0.0f64;
+    let mut events_per_sec = 0.0f64;
+    let mut total_failed = 0usize;
+    for (i, &threads) in THREAD_COUNTS.iter().enumerate() {
+        eprintln!(
+            "throughput: {n_cells} cells, pass {}/{} on {threads} thread(s)...",
+            i + 1,
+            THREAD_COUNTS.len()
+        );
+        let t0 = Instant::now();
+        let results = run_scenarios(threads, grid(&opts));
+        let wall_s = t0.elapsed().as_secs_f64();
+        let (events, failed) = measure(&results);
+        total_failed += failed;
+        if threads == 1 {
+            serial_s = wall_s;
+            events_per_sec = events as f64 / wall_s;
+        }
+        let cells_per_sec = n_cells as f64 / wall_s;
+        let scaling = serial_s / wall_s;
+        rows.push(vec![
+            threads.to_string(),
+            format!("{wall_s:.2}"),
+            format!("{cells_per_sec:.3}"),
+            format!("{scaling:.2}"),
+            if threads == 1 { format!("{events_per_sec:.0}") } else { "-".into() },
+            failed.to_string(),
+        ]);
+        json.push(obj! {
+            "cells": n_cells,
+            "threads": threads,
+            "events_processed": events,
+            "events_per_sec": if threads == 1 { events_per_sec } else { events as f64 / wall_s },
+            "wall_s": wall_s,
+            "cells_per_sec": cells_per_sec,
+            "scaling": scaling,
+            "failed_cells": failed,
+        });
+    }
 
-    eprintln!("throughput: pass 2/2 on {} threads...", opts.threads);
-    let t1 = Instant::now();
-    let parallel = run_scenarios(opts.threads, grid(&opts));
-    let (parallel_s, _, parallel_failed) = measure(&parallel, t1.elapsed().as_secs_f64());
+    println!(
+        "\nThroughput: scenario grid (scale {}, {} SMs x {} warps)",
+        opts.scale, opts.sms, opts.warps
+    );
+    print_table(
+        &["Threads", "Wall (s)", "Cells/sec", "Scaling", "Events/sec", "Failed"],
+        &rows,
+    );
 
-    let events_per_sec = serial_events as f64 / serial_s;
-    let serial_cps = n_cells as f64 / serial_s;
-    let parallel_cps = n_cells as f64 / parallel_s;
-    let scaling = serial_s / parallel_s;
-
-    let rows = vec![
-        vec!["cells".into(), n_cells.to_string(), n_cells.to_string()],
-        vec!["wall time (s)".into(), format!("{serial_s:.2}"), format!("{parallel_s:.2}")],
-        vec!["cells/sec".into(), format!("{serial_cps:.3}"), format!("{parallel_cps:.3}")],
-        vec!["events/sec".into(), format!("{events_per_sec:.0}"), "-".into()],
-        vec!["failed cells".into(), serial_failed.to_string(), parallel_failed.to_string()],
-    ];
-    println!("\nThroughput: scenario grid at 1 vs {} threads (scale {}, {} SMs x {} warps)",
-        opts.threads, opts.scale, opts.sms, opts.warps);
-    print_table(&["Metric", "1 thread", &format!("{} threads", opts.threads)], &rows);
-    println!("\nparallel scaling: {scaling:.2}x with {} threads", opts.threads);
-
-    let json = vec![obj! {
-        "cells": n_cells,
-        "threads": opts.threads,
-        "events_processed": serial_events,
-        "events_per_sec": events_per_sec,
-        "serial_wall_s": serial_s,
-        "parallel_wall_s": parallel_s,
-        "serial_cells_per_sec": serial_cps,
-        "parallel_cells_per_sec": parallel_cps,
-        "scaling": scaling,
-        "failed_cells": serial_failed + parallel_failed,
-    }];
     let path = opts.json.clone().unwrap_or_else(|| PathBuf::from("BENCH_throughput.json"));
     opts.dump_json_to(path.clone(), &json);
     eprintln!("wrote {}", path.display());
 
-    if serial_failed + parallel_failed > 0 {
+    if total_failed > 0 {
         // CI treats a diverging cell as a hard failure.
         std::process::exit(1);
     }

@@ -20,8 +20,15 @@ use avatar_sim::Stats;
 use avatar_workloads::Workload;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Pads shared per-cell state to its own cache-line pair so worker threads
+/// taking adjacent jobs (or storing adjacent results) never false-share.
+/// 128 bytes covers the adjacent-line prefetch granularity of current x86
+/// parts, not just the 64-byte line itself.
+#[repr(align(128))]
+struct Padded<T>(T);
 
 /// Outcome of one cell: the closure's result (or the panic message that
 /// killed it) plus its wall time.
@@ -62,27 +69,32 @@ where
     if threads == 1 {
         return jobs.into_iter().enumerate().map(|(i, j)| run_one(i, j)).collect();
     }
-    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let results: Vec<Mutex<Option<Cell<T>>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
+    let slots: Vec<Padded<Mutex<Option<F>>>> =
+        jobs.into_iter().map(|j| Padded(Mutex::new(Some(j)))).collect();
+    let results: Vec<Padded<Mutex<Option<Cell<T>>>>> =
+        (0..slots.len()).map(|_| Padded(Mutex::new(None))).collect();
+    let next = Padded(AtomicUsize::new(0));
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
+                let i = next.0.fetch_add(1, Ordering::Relaxed);
                 if i >= slots.len() {
                     break;
                 }
-                let job = slots[i].lock().expect("job slot").take().expect("job taken twice");
+                let job = slots[i].0.lock().expect("job slot").take().expect("job taken twice");
                 let cell = run_one(i, job);
-                *results[i].lock().expect("result slot") = Some(cell);
+                *results[i].0.lock().expect("result slot") = Some(cell);
             });
         }
     });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("result lock").expect("worker died before storing"))
+        .map(|m| m.0.into_inner().expect("result lock").expect("worker died before storing"))
         .collect()
 }
+
+/// A [`GpuConfig`] adjustment applied after assembly (ablation knob).
+pub type ConfigTweak = Box<dyn Fn(&mut GpuConfig) + Send + Sync>;
 
 /// One simulation cell of a figure grid: a workload on a system
 /// configuration with run options, plus an optional [`GpuConfig`] tweak
@@ -90,20 +102,33 @@ where
 pub struct Scenario {
     /// Human-readable cell label, carried into the result (figure row/column).
     pub label: String,
-    /// The workload to run.
-    pub workload: Workload,
+    /// The workload to run, shared (not deep-cloned) across the cells of a
+    /// grid: every row of a figure references the same `Arc`.
+    pub workload: Arc<Workload>,
     /// The system configuration to run it on.
     pub config: SystemConfig,
     /// Scale/SMs/oversubscription/etc.
     pub opts: RunOptions,
     /// Optional config tweak applied after assembly (ablations).
-    pub tweak: Option<Box<dyn Fn(&mut GpuConfig) + Send + Sync>>,
+    pub tweak: Option<ConfigTweak>,
 }
 
 impl Scenario {
     /// A plain cell: workload × config × options, labelled by the config.
     pub fn new(label: impl Into<String>, workload: &Workload, config: SystemConfig, opts: RunOptions) -> Self {
-        Self { label: label.into(), workload: workload.clone(), config, opts, tweak: None }
+        Self::shared(label, Arc::new(workload.clone()), config, opts)
+    }
+
+    /// Like [`new`](Self::new) but shares an already-`Arc`d workload —
+    /// grids that build many cells over the same workload pay one clone
+    /// total instead of one per cell.
+    pub fn shared(
+        label: impl Into<String>,
+        workload: Arc<Workload>,
+        config: SystemConfig,
+        opts: RunOptions,
+    ) -> Self {
+        Self { label: label.into(), workload, config, opts, tweak: None }
     }
 
     /// Attaches a [`GpuConfig`] tweak (ablation/sensitivity knob).
@@ -163,16 +188,15 @@ pub fn fmt_cell(v: Option<f64>, digits: usize) -> String {
 /// Fans `scenarios` across `threads` workers; results are in submission
 /// order regardless of thread count or completion order.
 pub fn run_scenarios(threads: usize, scenarios: Vec<Scenario>) -> Vec<ScenarioResult> {
-    let jobs: Vec<_> = scenarios
-        .into_iter()
-        .map(|s| move || (s.label.clone(), s.run()))
-        .collect();
+    // Labels are split off up front: workers return bare `Stats`, and a
+    // panicked cell still reports under its real label instead of an
+    // anonymous index.
+    let labels: Vec<String> = scenarios.iter().map(|s| s.label.clone()).collect();
+    let jobs: Vec<_> = scenarios.into_iter().map(|s| move || s.run()).collect();
     run_cells(threads, jobs)
         .into_iter()
-        .map(|c| match c.outcome {
-            Ok((label, stats)) => ScenarioResult { label, stats: Ok(stats), wall: c.wall },
-            Err(e) => ScenarioResult { label: format!("cell #{}", c.index), stats: Err(e), wall: c.wall },
-        })
+        .zip(labels)
+        .map(|(c, label)| ScenarioResult { label, stats: c.outcome, wall: c.wall })
         .collect()
 }
 

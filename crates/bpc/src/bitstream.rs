@@ -24,6 +24,11 @@ impl BitWriter {
         self.len == 0
     }
 
+    /// Creates an empty bit stream with room for `bits` bits preallocated.
+    pub fn with_capacity(bits: usize) -> Self {
+        Self { bytes: Vec::with_capacity(bits.div_ceil(8)), len: 0 }
+    }
+
     /// Appends the low `n` bits of `value`, most-significant bit first.
     ///
     /// # Panics
@@ -31,17 +36,23 @@ impl BitWriter {
     /// Panics if `n > 64`.
     pub fn push(&mut self, value: u64, n: usize) {
         assert!(n <= 64, "cannot push more than 64 bits at once");
-        for i in (0..n).rev() {
-            let bit = (value >> i) & 1;
+        // Byte-chunked: peel off as many bits as fit in the current
+        // partial byte, then whole bytes, instead of looping per bit.
+        let mut rem = n;
+        while rem > 0 {
             let bit_idx = self.len % 8;
             if bit_idx == 0 {
                 self.bytes.push(0);
             }
-            if bit == 1 {
-                let last = self.bytes.last_mut().expect("byte just pushed");
-                *last |= 1 << (7 - bit_idx);
-            }
-            self.len += 1;
+            let space = 8 - bit_idx;
+            let take = space.min(rem);
+            // The next `take` bits of `value`, MSB-first, are bits
+            // [rem-1 .. rem-take]; they land left-aligned after the
+            // `bit_idx` bits already in the byte.
+            let chunk = ((value >> (rem - take)) & ((1u64 << take) - 1)) as u8;
+            *self.bytes.last_mut().expect("byte present") |= chunk << (space - take);
+            self.len += take;
+            rem -= take;
         }
     }
 

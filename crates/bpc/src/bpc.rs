@@ -169,7 +169,8 @@ pub fn compress(sector: &[u8; SECTOR_BYTES]) -> CompressedSector {
         dbx[p] = dbp[p] ^ dbp[p + 1];
     }
 
-    let mut w = BitWriter::new();
+    // Worst case: 33-bit base + 33 verbatim planes at 8 bits ≈ 300 bits.
+    let mut w = BitWriter::with_capacity(300);
     encode_base(&mut w, words[0]);
 
     // Encode planes from the most-significant down, so the decoder always
@@ -215,6 +216,78 @@ pub fn compress(sector: &[u8; SECTOR_BYTES]) -> CompressedSector {
 
 fn two_consecutive_ones(plane: u8) -> Option<u8> {
     (0..PLANE_WIDTH as u8 - 1).find(|&s| plane == 0b11 << s)
+}
+
+/// Exact bit size of [`compress`]'s output without materializing the
+/// stream. This is the hot path of the compressibility model: deciding
+/// whether a sector fits the CAVA budget needs only the size, so the
+/// encoder's allocation and bit packing are skipped entirely. A test pins
+/// it bit-for-bit against [`compress`].
+pub fn compressed_size_bits(sector: &[u8; SECTOR_BYTES]) -> usize {
+    let words = words_of(sector);
+    let deltas = deltas_of(&words);
+
+    // Bit p of `gray[j]` is bit j of DBX plane p: XOR-ing a delta with
+    // itself shifted down one position performs all 33 plane XORs of the
+    // DBX step at once (bit 33 of a delta is zero, so the top plane comes
+    // out equal to its DBP plane, exactly as the encoder defines it).
+    // The OR-accumulators flag which planes are non-zero, so zero runs —
+    // the common case on correlated data — cost O(1) instead of a
+    // transpose.
+    let mut gray = [0u64; PLANE_WIDTH];
+    let mut dbx_any = 0u64;
+    let mut dbp_any = 0u64;
+    for (j, &d) in deltas.iter().enumerate() {
+        gray[j] = d ^ (d >> 1);
+        dbx_any |= gray[j];
+        dbp_any |= d;
+    }
+
+    let s = words[0] as i32;
+    let mut bits = if s == 0 {
+        3
+    } else if (-8..8).contains(&s) {
+        3 + 4
+    } else if (-128..128).contains(&s) {
+        3 + 8
+    } else if (-32768..32768).contains(&s) {
+        3 + 16
+    } else {
+        1 + 32
+    };
+
+    let mut p = DELTA_BITS - 1;
+    loop {
+        if (dbx_any >> p) & 1 == 0 {
+            // Zero run: extends down to just above the next non-zero plane.
+            let below = dbx_any & ((1u64 << (p + 1)) - 1);
+            let next = if below == 0 { -1 } else { 63 - below.leading_zeros() as i32 };
+            let run = p as i32 - next;
+            bits += if run == 1 { 3 } else { 3 + 5 };
+            if next < 0 {
+                break;
+            }
+            p = next as usize;
+            continue;
+        }
+        // Non-zero plane: gather its 7 bits and classify as the encoder does.
+        let mut v = 0u8;
+        for (j, &g) in gray.iter().enumerate() {
+            v |= (((g >> p) & 1) as u8) << j;
+        }
+        bits += if (dbp_any >> p) & 1 == 0 || v == PLANE_ONES {
+            5
+        } else if two_consecutive_ones(v).is_some() || v.count_ones() == 1 {
+            5 + 3
+        } else {
+            1 + PLANE_WIDTH
+        };
+        if p == 0 {
+            break;
+        }
+        p -= 1;
+    }
+    bits
 }
 
 /// Decompresses a BPC-compressed sector back to its 32 original bytes.
@@ -415,6 +488,48 @@ mod tests {
         let c = compress(&sector);
         assert!(c.fits(176), "got {} bits", c.size_bits());
         assert_eq!(decompress(&c), sector);
+    }
+
+    #[test]
+    fn size_only_path_matches_encoder_exactly() {
+        // Structured ramps, constants, float patterns, and high-entropy
+        // noise must all report the same size from both paths.
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        for trial in 0..2000u64 {
+            let mut sector = [0u8; SECTOR_BYTES];
+            match trial % 4 {
+                0 => {
+                    // Random bytes.
+                    for b in sector.iter_mut() {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        *b = (x >> 56) as u8;
+                    }
+                }
+                1 => {
+                    // Small-stride int ramp.
+                    let words: Vec<u32> =
+                        (0..8).map(|i| (trial as u32) * 3 + i * ((trial % 7) as u32 + 1)).collect();
+                    sector = sector_from_words(words.try_into().unwrap());
+                }
+                2 => {
+                    // Shared-exponent floats.
+                    let words: Vec<u32> = (0..8)
+                        .map(|i| (1.0f32 + trial as f32 * 0.01 + i as f32 * 0.001).to_bits())
+                        .collect();
+                    sector = sector_from_words(words.try_into().unwrap());
+                }
+                _ => {
+                    // Sparse single bits per word.
+                    let words: Vec<u32> = (0..8).map(|i| 1u32 << ((trial + i) % 32)).collect();
+                    sector = sector_from_words(words.try_into().unwrap());
+                }
+            }
+            assert_eq!(
+                compressed_size_bits(&sector),
+                compress(&sector).size_bits(),
+                "trial {trial} diverged"
+            );
+        }
     }
 
     #[test]

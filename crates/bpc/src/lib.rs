@@ -69,7 +69,7 @@ impl Codec {
     /// Compressed size of a sector in bits under this codec.
     pub fn compressed_bits(self, sector: &[u8; 32]) -> usize {
         match self {
-            Codec::Bpc => bpc::compress(sector).size_bits(),
+            Codec::Bpc => bpc::compressed_size_bits(sector),
             Codec::Fpc => fpc::compress(sector).1,
             Codec::Bdi => bdi::compressed_bits(sector),
         }

@@ -143,11 +143,38 @@ pub fn gpu_config(workload: &Workload, config: SystemConfig, opts: &RunOptions) 
         // oversubscription). Rounded down to whole chunks so reduced
         // traces still feel the pressure; at least two chunks resident.
         let touched =
-            avatar_workloads::trace::touched_footprint(workload, cfg.num_sms, cfg.warps_per_sm, opts.scale);
+            touched_footprint_cached(workload, cfg.num_sms, cfg.warps_per_sm, opts.scale);
         let capacity = ((touched as f64 / factor) as u64 / crate::CHUNK_BYTES) * crate::CHUNK_BYTES;
         cfg.uvm.gpu_memory_bytes = capacity.max(2 * crate::CHUNK_BYTES);
     }
     cfg
+}
+
+/// [`touched_footprint`](avatar_workloads::trace::touched_footprint) drains
+/// the complete trace of a workload, which costs as much as a short
+/// simulation. Sweep grids ask for the same (workload, geometry, scale)
+/// combination once per cell — dozens of times, from every runner thread —
+/// so the answer is memoized process-wide. Computation happens outside the
+/// lock: two threads racing on a cold key duplicate the drain once rather
+/// than serializing every lookup behind it.
+fn touched_footprint_cached(
+    workload: &Workload,
+    num_sms: usize,
+    warps_per_sm: usize,
+    scale: f64,
+) -> u64 {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    type Key = (&'static str, usize, usize, u64);
+    static CACHE: OnceLock<Mutex<HashMap<Key, u64>>> = OnceLock::new();
+    let key: Key = (workload.name, num_sms, warps_per_sm, scale.to_bits());
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(&v) = cache.lock().expect("footprint cache poisoned").get(&key) {
+        return v;
+    }
+    let v = avatar_workloads::trace::touched_footprint(workload, num_sms, warps_per_sm, scale);
+    cache.lock().expect("footprint cache poisoned").insert(key, v);
+    v
 }
 
 fn build_tlbs(

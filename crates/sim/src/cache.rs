@@ -38,13 +38,6 @@ pub enum Probe {
     Miss,
 }
 
-#[derive(Debug, Clone)]
-struct Line {
-    line_addr: u64,
-    sectors: [SectorFlags; SECTORS_PER_LINE as usize],
-    last_use: u64,
-}
-
 /// An evicted line: its address and final sector flags, for writebacks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvictedLine {
@@ -54,16 +47,61 @@ pub struct EvictedLine {
     pub sectors: [SectorFlags; SECTORS_PER_LINE as usize],
 }
 
+const NSECT: usize = SECTORS_PER_LINE as usize;
+/// Sentinel tag for an unoccupied way. Physical line addresses are bounded
+/// by the simulated address space (< 2^48 / 128), so the all-ones tag can
+/// never collide with a real line.
+const TAG_EMPTY: u64 = u64::MAX;
+
+// Per-sector bit layout inside the packed 16-bit line metadata word
+// (4 bits per sector × 4 sectors per line).
+const B_VALID: u16 = 1;
+const B_COMP: u16 = 2;
+const B_GUAR: u16 = 4;
+const B_DIRTY: u16 = 8;
+/// Mask selecting every sector's valid bit at once.
+const ALL_VALID: u16 = 0x1111;
+
+impl SectorFlags {
+    #[inline]
+    fn pack(self) -> u16 {
+        ((self.valid as u16) * B_VALID)
+            | ((self.compressed as u16) * B_COMP)
+            | ((self.guaranteed as u16) * B_GUAR)
+            | ((self.dirty as u16) * B_DIRTY)
+    }
+
+    #[inline]
+    fn unpack(bits: u16) -> Self {
+        SectorFlags {
+            valid: bits & B_VALID != 0,
+            compressed: bits & B_COMP != 0,
+            guaranteed: bits & B_GUAR != 0,
+            dirty: bits & B_DIRTY != 0,
+        }
+    }
+}
+
 /// A sectored, set-associative, LRU cache directory.
 ///
 /// The simulator tracks tags and sector flags only — data contents are
 /// modelled by the deterministic content providers, so no byte storage is
-/// needed.
+/// needed. The directory is three flat parallel arrays indexed
+/// `set * assoc + way` (tag, LRU stamp, packed per-sector flags): one
+/// allocation each, no per-set vectors, so a probe touches a handful of
+/// adjacent cache lines instead of chasing `Vec<Vec<_>>` pointers.
 #[derive(Debug, Clone)]
 pub struct SectorCache {
-    sets: Vec<Vec<Line>>,
+    /// Line address per way, or [`TAG_EMPTY`].
+    tags: Vec<u64>,
+    /// Last-use stamp per way (valid only while the way is occupied).
+    stamps: Vec<u64>,
+    /// Packed sector flags per way: 4 bits per sector.
+    meta: Vec<u16>,
+    nsets: usize,
     assoc: usize,
     stamp: u64,
+    resident: usize,
 }
 
 impl SectorCache {
@@ -74,29 +112,44 @@ impl SectorCache {
     /// Panics if geometry is degenerate (zero lines or associativity).
     pub fn new(lines: u64, assoc: usize) -> Self {
         assert!(lines > 0 && assoc > 0, "cache must have lines and ways");
-        let sets = (lines / assoc as u64).max(1) as usize;
-        Self { sets: vec![Vec::new(); sets], assoc, stamp: 0 }
+        let nsets = (lines / assoc as u64).max(1) as usize;
+        let cap = nsets * assoc;
+        Self {
+            tags: vec![TAG_EMPTY; cap],
+            stamps: vec![0; cap],
+            meta: vec![0; cap],
+            nsets,
+            assoc,
+            stamp: 0,
+            resident: 0,
+        }
     }
 
-    fn set_of(&self, line_addr: u64) -> usize {
-        (line_addr % self.sets.len() as u64) as usize
+    #[inline]
+    fn set_base(&self, line_addr: u64) -> usize {
+        (line_addr % self.nsets as u64) as usize * self.assoc
+    }
+
+    /// Index of the way holding `line_addr`, if resident.
+    #[inline]
+    fn find(&self, line_addr: u64) -> Option<usize> {
+        let base = self.set_base(line_addr);
+        self.tags[base..base + self.assoc]
+            .iter()
+            .position(|&t| t == line_addr)
+            .map(|w| base + w)
     }
 
     /// Probes for the sector containing `pa`, updating LRU on any hit.
     pub fn probe(&mut self, pa: PhysAddr) -> Probe {
         let line_addr = pa.line();
-        let sector = pa.sector_in_line() as usize;
+        let shift = 4 * pa.sector_in_line() as u16;
         self.stamp += 1;
-        let stamp = self.stamp;
-        let set = self.set_of(line_addr);
-        if let Some(line) = self.sets[set].iter_mut().find(|l| l.line_addr == line_addr) {
-            if line.sectors[sector].valid {
-                line.last_use = stamp;
-                return if line.sectors[sector].guaranteed {
-                    Probe::Hit
-                } else {
-                    Probe::HitUnguaranteed
-                };
+        if let Some(w) = self.find(line_addr) {
+            let bits = self.meta[w] >> shift;
+            if bits & B_VALID != 0 {
+                self.stamps[w] = self.stamp;
+                return if bits & B_GUAR != 0 { Probe::Hit } else { Probe::HitUnguaranteed };
             }
         }
         Probe::Miss
@@ -104,13 +157,13 @@ impl SectorCache {
 
     /// Reads the sector flags without touching LRU.
     pub fn peek(&self, pa: PhysAddr) -> Option<SectorFlags> {
-        let line_addr = pa.line();
-        let set = self.set_of(line_addr);
-        self.sets[set]
-            .iter()
-            .find(|l| l.line_addr == line_addr)
-            .map(|l| l.sectors[pa.sector_in_line() as usize])
-            .filter(|s| s.valid)
+        let w = self.find(pa.line())?;
+        let bits = (self.meta[w] >> (4 * pa.sector_in_line() as u16)) & 0xF;
+        if bits & B_VALID != 0 {
+            Some(SectorFlags::unpack(bits))
+        } else {
+            None
+        }
     }
 
     /// Fills the sector containing `pa`, allocating (and possibly evicting)
@@ -118,44 +171,56 @@ impl SectorCache {
     /// so the caller can write back its dirty sectors.
     pub fn fill(&mut self, pa: PhysAddr, flags: SectorFlags) -> Option<EvictedLine> {
         let line_addr = pa.line();
-        let sector = pa.sector_in_line() as usize;
+        let shift = 4 * pa.sector_in_line() as u16;
         self.stamp += 1;
         let stamp = self.stamp;
-        let set_idx = self.set_of(line_addr);
-        let assoc = self.assoc;
-        let set = &mut self.sets[set_idx];
-        if let Some(line) = set.iter_mut().find(|l| l.line_addr == line_addr) {
-            // A refill must not lose an earlier dirtying of the sector.
-            let dirty = line.sectors[sector].dirty && line.sectors[sector].valid;
-            line.sectors[sector] = SectorFlags { valid: true, dirty: flags.dirty || dirty, ..flags };
-            line.last_use = stamp;
-            return None;
+        let base = self.set_base(line_addr);
+        let mut empty = None;
+        for w in base..base + self.assoc {
+            if self.tags[w] == line_addr {
+                // A refill must not lose an earlier dirtying of the sector.
+                let old = (self.meta[w] >> shift) & 0xF;
+                let keep_dirty = old & (B_VALID | B_DIRTY) == (B_VALID | B_DIRTY);
+                let mut bits = flags.pack() | B_VALID;
+                if keep_dirty {
+                    bits |= B_DIRTY;
+                }
+                self.meta[w] = (self.meta[w] & !(0xF << shift)) | (bits << shift);
+                self.stamps[w] = stamp;
+                return None;
+            }
+            if empty.is_none() && self.tags[w] == TAG_EMPTY {
+                empty = Some(w);
+            }
         }
-        let mut evicted = None;
-        if set.len() >= assoc {
-            let victim = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.last_use)
-                .map(|(i, _)| i)
-                .expect("nonempty set");
-            let v = set.swap_remove(victim);
-            evicted = Some(EvictedLine { line_addr: v.line_addr, sectors: v.sectors });
-        }
-        let mut sectors = [SectorFlags::default(); SECTORS_PER_LINE as usize];
-        sectors[sector] = SectorFlags { valid: true, ..flags };
-        set.push(Line { line_addr, sectors, last_use: stamp });
+        let (w, evicted) = match empty {
+            Some(w) => {
+                self.resident += 1;
+                (w, None)
+            }
+            None => {
+                let w = (base..base + self.assoc)
+                    .min_by_key(|&i| self.stamps[i])
+                    .expect("nonempty set");
+                let mut sectors = [SectorFlags::default(); NSECT];
+                for (s, slot) in sectors.iter_mut().enumerate() {
+                    *slot = SectorFlags::unpack((self.meta[w] >> (4 * s as u16)) & 0xF);
+                }
+                (w, Some(EvictedLine { line_addr: self.tags[w], sectors }))
+            }
+        };
+        self.tags[w] = line_addr;
+        self.stamps[w] = stamp;
+        self.meta[w] = (flags.pack() | B_VALID) << shift;
         evicted
     }
 
     /// Marks a present sector dirty (store hit). Returns `false` if absent.
     pub fn mark_dirty(&mut self, pa: PhysAddr) -> bool {
-        let line_addr = pa.line();
-        let set = self.set_of(line_addr);
-        if let Some(line) = self.sets[set].iter_mut().find(|l| l.line_addr == line_addr) {
-            let s = &mut line.sectors[pa.sector_in_line() as usize];
-            if s.valid {
-                s.dirty = true;
+        let shift = 4 * pa.sector_in_line() as u16;
+        if let Some(w) = self.find(pa.line()) {
+            if self.meta[w] >> shift & B_VALID != 0 {
+                self.meta[w] |= B_DIRTY << shift;
                 return true;
             }
         }
@@ -166,12 +231,14 @@ impl SectorCache {
     ///
     /// Returns `false` if the sector is no longer cached.
     pub fn set_guarantee(&mut self, pa: PhysAddr, guaranteed: bool) -> bool {
-        let line_addr = pa.line();
-        let set = self.set_of(line_addr);
-        if let Some(line) = self.sets[set].iter_mut().find(|l| l.line_addr == line_addr) {
-            let s = &mut line.sectors[pa.sector_in_line() as usize];
-            if s.valid {
-                s.guaranteed = guaranteed;
+        let shift = 4 * pa.sector_in_line() as u16;
+        if let Some(w) = self.find(pa.line()) {
+            if self.meta[w] >> shift & B_VALID != 0 {
+                if guaranteed {
+                    self.meta[w] |= B_GUAR << shift;
+                } else {
+                    self.meta[w] &= !(B_GUAR << shift);
+                }
                 return true;
             }
         }
@@ -181,12 +248,10 @@ impl SectorCache {
     /// Invalidates one sector (mis-speculation cleanup). Returns whether it
     /// was present.
     pub fn invalidate_sector(&mut self, pa: PhysAddr) -> bool {
-        let line_addr = pa.line();
-        let set = self.set_of(line_addr);
-        if let Some(line) = self.sets[set].iter_mut().find(|l| l.line_addr == line_addr) {
-            let s = &mut line.sectors[pa.sector_in_line() as usize];
-            let was = s.valid;
-            *s = SectorFlags::default();
+        let shift = 4 * pa.sector_in_line() as u16;
+        if let Some(w) = self.find(pa.line()) {
+            let was = self.meta[w] >> shift & B_VALID != 0;
+            self.meta[w] &= !(0xF << shift);
             return was;
         }
         false
@@ -198,22 +263,19 @@ impl SectorCache {
         let first_line = page_base.0 / crate::addr::LINE_BYTES;
         let lines_per_page = crate::addr::PAGE_BYTES / crate::addr::LINE_BYTES;
         let mut dropped = 0;
-        for set in &mut self.sets {
-            set.retain(|l| {
-                if l.line_addr >= first_line && l.line_addr < first_line + lines_per_page {
-                    dropped += l.sectors.iter().filter(|s| s.valid).count() as u64;
-                    false
-                } else {
-                    true
-                }
-            });
+        for w in 0..self.tags.len() {
+            let t = self.tags[w];
+            if t != TAG_EMPTY && t >= first_line && t < first_line + lines_per_page {
+                dropped += (self.meta[w] & ALL_VALID).count_ones() as u64;
+                self.drop_way(w);
+            }
         }
         dropped
     }
 
     /// Number of resident lines.
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.resident
     }
 
     /// Invalidates every line belonging to any of the given frames (chunk
@@ -222,17 +284,21 @@ impl SectorCache {
     pub fn invalidate_frames(&mut self, frames: &crate::fxhash::FxHashSet<u64>) -> u64 {
         const LINES_PER_PAGE: u64 = crate::addr::PAGE_BYTES / crate::addr::LINE_BYTES;
         let mut dropped = 0;
-        for set in &mut self.sets {
-            set.retain(|l| {
-                if frames.contains(&(l.line_addr / LINES_PER_PAGE)) {
-                    dropped += l.sectors.iter().filter(|s| s.valid).count() as u64;
-                    false
-                } else {
-                    true
-                }
-            });
+        for w in 0..self.tags.len() {
+            let t = self.tags[w];
+            if t != TAG_EMPTY && frames.contains(&(t / LINES_PER_PAGE)) {
+                dropped += (self.meta[w] & ALL_VALID).count_ones() as u64;
+                self.drop_way(w);
+            }
         }
         dropped
+    }
+
+    #[inline]
+    fn drop_way(&mut self, w: usize) {
+        self.tags[w] = TAG_EMPTY;
+        self.meta[w] = 0;
+        self.resident -= 1;
     }
 }
 

@@ -192,6 +192,11 @@ pub struct GpuConfig {
     pub ideal_tlb: bool,
     /// Deterministic seed for allocation randomness.
     pub seed: u64,
+    /// Let the event calendar jump over cycles with no pending events
+    /// (host-side speed knob; simulated behaviour is identical either way,
+    /// and the skipped cycles are reported in
+    /// [`Stats::idle_cycles_skipped`](crate::stats::Stats::idle_cycles_skipped)).
+    pub fast_forward: bool,
 }
 
 impl Default for GpuConfig {
@@ -274,6 +279,7 @@ impl Default for GpuConfig {
             tenants: 1,
             ideal_tlb: false,
             seed: 0x5EED,
+            fast_forward: true,
         }
     }
 }

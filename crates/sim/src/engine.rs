@@ -141,6 +141,9 @@ pub struct Engine<'a> {
     warp_outstanding: Vec<u32>,
     warp_issue_time: Vec<Cycle>,
     max_cycles: Cycle,
+    /// `AVATAR_TRACE_REQ`, parsed once at construction — `trace` sits on
+    /// the per-event path and must not re-read the environment.
+    trace_req: Option<ReqId>,
 }
 
 impl std::fmt::Debug for Engine<'_> {
@@ -174,8 +177,10 @@ impl<'a> Engine<'a> {
         let uvms: Vec<Uvm> = (0..cfg.tenants)
             .map(|t| Uvm::for_tenant(uvm_cfg.clone(), cfg.seed, t))
             .collect();
+        let mut q = EventQueue::new();
+        q.set_fast_forward(cfg.fast_forward);
         Engine {
-            q: EventQueue::new(),
+            q,
             sms: (0..n).map(|_| SmState::new(cfg.warps_per_sm)).collect(),
             l1_tlb_ports: (0..n).map(|_| Ports::new(cfg.l1_tlb.ports)).collect(),
             l2_tlb_ports: Ports::new(cfg.l2_tlb.ports),
@@ -211,6 +216,7 @@ impl<'a> Engine<'a> {
             warp_outstanding: vec![0; n * cfg.warps_per_sm],
             warp_issue_time: vec![0; n * cfg.warps_per_sm],
             max_cycles: 2_000_000_000,
+            trace_req: std::env::var("AVATAR_TRACE_REQ").ok().and_then(|v| v.parse().ok()),
             l1_tlbs,
             l2_tlb,
             cfg,
@@ -223,7 +229,7 @@ impl<'a> Engine<'a> {
     }
 
     fn trace(&self, id: ReqId, msg: &str) {
-        if std::env::var("AVATAR_TRACE_REQ").ok().and_then(|v| v.parse::<u32>().ok()) == Some(id) {
+        if self.trace_req == Some(id) {
             eprintln!("[req {id} @ {}] {msg}", self.q.now());
         }
     }
@@ -290,6 +296,7 @@ impl<'a> Engine<'a> {
             sm.finish(now);
         }
         self.stats.cycles = now;
+        self.stats.idle_cycles_skipped = self.q.idle_cycles_skipped();
         self.stats.stall_cycles = self.sms.iter().map(|s| s.stall_cycles).sum();
         self.stats.dram_read_bytes = self.dram.read_bytes;
         self.stats.dram_write_bytes = self.dram.write_bytes;

@@ -9,6 +9,19 @@
 //! cost O(1) push and amortized-O(1) pop instead of the O(log n)
 //! sift of a global heap.
 //!
+//! Event payloads live in a **slab**: a single grow-only arena of slots
+//! threaded into per-bucket singly-linked lists through `u32` indices, with
+//! a free list recycling retired slots. Scheduling an event in steady state
+//! allocates nothing and moves no enum values through the calendar — a
+//! bucket is just a `(head, tail)` index pair. An occupancy bitmap (one bit
+//! per bucket) lets `pop` jump straight to the next occupied cycle instead
+//! of draining empty buckets one at a time; the cycles skipped that way are
+//! reported as `idle_cycles_skipped` (the engine surfaces them in
+//! [`crate::stats::Stats`]). The jump can be disabled
+//! ([`EventQueue::set_fast_forward`]) to force the legacy linear scan —
+//! both paths visit the identical event sequence, which a workspace test
+//! pins byte-for-byte.
+//!
 //! Ordering semantics are identical to the heap it replaced and are pinned
 //! by differential tests below: events pop in ascending cycle order, and
 //! events scheduled for the same cycle pop in the order they were pushed
@@ -17,12 +30,27 @@
 
 use crate::config::Cycle;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
 /// Ring span in cycles. Must be a power of two. Events scheduled less than
 /// `WINDOW` cycles ahead of the calendar cursor go into the ring; the rest
 /// (UVM far-faults, long DRAM refresh horizons) go to the overflow heap.
 const WINDOW: u64 = 1024;
+/// Words in the bucket-occupancy bitmap.
+const OCC_WORDS: usize = (WINDOW / 64) as usize;
+/// Null slab index (list terminator / empty bucket).
+const NIL: u32 = u32::MAX;
+
+/// One slab slot: an event plus its calendar linkage.
+#[derive(Debug)]
+struct Slot<E> {
+    time: Cycle,
+    seq: u64,
+    /// Next slot in the same bucket's FIFO list.
+    next: u32,
+    /// `None` only while the slot sits on the free list.
+    event: Option<E>,
+}
 
 /// A time-ordered event queue with deterministic FIFO tie-breaking.
 ///
@@ -30,43 +58,51 @@ const WINDOW: u64 = 1024;
 /// which keeps whole-simulation runs bit-reproducible.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    /// Near-future ring: bucket `t & (WINDOW-1)` holds events for cycle
-    /// `t` while `t` lies within `[cursor, cursor + WINDOW)`. Because the
-    /// cursor only moves forward to popped-event times, every live bucket
-    /// holds events of exactly one cycle, already in FIFO (sequence)
-    /// order.
-    buckets: Vec<VecDeque<(Cycle, u64, E)>>,
+    /// Pool-recycled event storage; buckets and the overflow heap hold
+    /// `u32` indices into this arena.
+    slab: Vec<Slot<E>>,
+    /// Retired slot indices, reused LIFO.
+    free: Vec<u32>,
+    /// Near-future ring: bucket `t & (WINDOW-1)` is the FIFO list head for
+    /// cycle `t` while `t` lies within `[cursor, cursor + WINDOW)`. Because
+    /// the cursor only moves forward to popped-event times, every live
+    /// bucket holds events of exactly one cycle, already in sequence order.
+    heads: Vec<u32>,
+    /// Tail of each bucket's list (for O(1) FIFO append).
+    tails: Vec<u32>,
+    /// One bit per bucket: set iff the bucket list is non-empty. `pop`
+    /// scans this to jump over empty cycles in O(words) instead of
+    /// O(elapsed cycles).
+    occupied: [u64; OCC_WORDS],
     /// Events at least `WINDOW` cycles ahead of the cursor at the time
     /// they were scheduled. Popped by `(time, seq)` comparison against the
     /// ring head, so an early-scheduled far event still wins FIFO ties.
-    overflow: BinaryHeap<Reverse<Entry<E>>>,
-    /// Number of events currently in `buckets`.
+    overflow: BinaryHeap<Reverse<FarEntry>>,
+    /// Number of events currently in the ring.
     ring_len: usize,
     /// Scan position: no pending event anywhere is earlier than `cursor`.
     cursor: Cycle,
     seq: u64,
     now: Cycle,
+    /// Whether `pop` may jump over empty buckets via the occupancy bitmap.
+    fast_forward: bool,
+    /// Cycles jumped over while fast-forwarding (0 when disabled).
+    idle_skipped: u64,
 }
 
-#[derive(Debug)]
-struct Entry<E> {
+#[derive(Debug, PartialEq, Eq)]
+struct FarEntry {
     time: Cycle,
     seq: u64,
-    event: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
+impl PartialOrd for FarEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Entry<E> {
+impl Ord for FarEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.time, self.seq).cmp(&(other.time, other.seq))
     }
@@ -79,21 +115,57 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue at cycle 0.
+    /// Creates an empty queue at cycle 0 with fast-forward enabled.
     pub fn new() -> Self {
         Self {
-            buckets: (0..WINDOW).map(|_| VecDeque::new()).collect(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            heads: vec![NIL; WINDOW as usize],
+            tails: vec![NIL; WINDOW as usize],
+            occupied: [0; OCC_WORDS],
             overflow: BinaryHeap::new(),
             ring_len: 0,
             cursor: 0,
             seq: 0,
             now: 0,
+            fast_forward: true,
+            idle_skipped: 0,
         }
     }
 
     /// Current simulation time (the timestamp of the last popped event).
     pub fn now(&self) -> Cycle {
         self.now
+    }
+
+    /// Enables or disables the empty-bucket jump. Popping order is
+    /// identical either way; only the scan cost and the
+    /// [`idle_cycles_skipped`](Self::idle_cycles_skipped) accounting
+    /// change.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
+    }
+
+    /// Cycles jumped over by fast-forward so far (0 while disabled).
+    pub fn idle_cycles_skipped(&self) -> u64 {
+        self.idle_skipped
+    }
+
+    /// Takes a slot from the free list or grows the slab.
+    #[inline]
+    fn alloc_slot(&mut self, time: Cycle, seq: u64, event: E) -> u32 {
+        if let Some(i) = self.free.pop() {
+            let s = &mut self.slab[i as usize];
+            s.time = time;
+            s.seq = seq;
+            s.next = NIL;
+            s.event = Some(event);
+            i
+        } else {
+            let i = self.slab.len() as u32;
+            self.slab.push(Slot { time, seq, next: NIL, event: Some(event) });
+            i
+        }
     }
 
     /// Schedules `event` at absolute cycle `time`.
@@ -105,11 +177,19 @@ impl<E> EventQueue<E> {
         debug_assert!(time >= self.now, "event scheduled in the past: {time} < {}", self.now);
         let seq = self.seq;
         self.seq += 1;
+        let slot = self.alloc_slot(time, seq, event);
         if time - self.cursor < WINDOW {
-            self.buckets[(time & (WINDOW - 1)) as usize].push_back((time, seq, event));
+            let b = (time & (WINDOW - 1)) as usize;
+            if self.heads[b] == NIL {
+                self.heads[b] = slot;
+                self.occupied[b / 64] |= 1 << (b % 64);
+            } else {
+                self.slab[self.tails[b] as usize].next = slot;
+            }
+            self.tails[b] = slot;
             self.ring_len += 1;
         } else {
-            self.overflow.push(Reverse(Entry { time, seq, event }));
+            self.overflow.push(Reverse(FarEntry { time, seq, slot }));
         }
     }
 
@@ -118,23 +198,49 @@ impl<E> EventQueue<E> {
         self.schedule(self.now + delta, event);
     }
 
+    /// Cycle of the earliest non-empty ring bucket at or after `cursor`,
+    /// via the occupancy bitmap: scans at most `OCC_WORDS` words.
+    #[inline]
+    fn next_occupied(&self) -> Cycle {
+        let start = (self.cursor & (WINDOW - 1)) as usize;
+        let mut word = start / 64;
+        let mut bits = self.occupied[word] & (!0u64 << (start % 64));
+        for scanned in 0..=OCC_WORDS {
+            if bits != 0 {
+                let bucket = (word * 64) as u64 + bits.trailing_zeros() as u64;
+                let dist = bucket.wrapping_sub(self.cursor) & (WINDOW - 1);
+                return self.cursor + dist;
+            }
+            debug_assert!(scanned < OCC_WORDS, "ring_len desynchronized from bitmap");
+            word = (word + 1) % OCC_WORDS;
+            bits = self.occupied[word];
+        }
+        unreachable!("ring_len > 0 guarantees an occupied bucket");
+    }
+
+    /// Cycle of the earliest non-empty ring bucket, by the legacy
+    /// one-bucket-per-cycle scan (fast-forward disabled).
+    #[inline]
+    fn next_occupied_scan(&self) -> Cycle {
+        let mut t = self.cursor;
+        loop {
+            if self.heads[(t & (WINDOW - 1)) as usize] != NIL {
+                return t;
+            }
+            t += 1;
+            debug_assert!(t - self.cursor <= WINDOW, "ring_len desynchronized");
+        }
+    }
+
     /// Pops the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        // Earliest ring event: scan forward from the cursor. All ring
-        // events lie in [cursor, cursor + WINDOW), so if the ring is
-        // non-empty the scan terminates; the cursor-only-advances
-        // invariant makes the total scan work O(elapsed cycles).
         let ring_head = if self.ring_len > 0 {
-            let mut t = self.cursor;
-            loop {
-                let b = &self.buckets[(t & (WINDOW - 1)) as usize];
-                if let Some(&(bt, bs, _)) = b.front() {
-                    debug_assert_eq!(bt, t, "bucket holds a foreign cycle");
-                    break Some((bt, bs));
-                }
-                t += 1;
-                debug_assert!(t - self.cursor <= WINDOW, "ring_len desynchronized");
-            }
+            let t = if self.fast_forward { self.next_occupied() } else { self.next_occupied_scan() };
+            let head = self.heads[(t & (WINDOW - 1)) as usize];
+            debug_assert_ne!(head, NIL);
+            let s = &self.slab[head as usize];
+            debug_assert_eq!(s.time, t, "bucket holds a foreign cycle");
+            Some((s.time, s.seq))
         } else {
             None
         };
@@ -146,17 +252,28 @@ impl<E> EventQueue<E> {
             (None, Some(_)) => false,
             (None, None) => return None,
         };
-        let (time, event) = if take_ring {
+        let (time, slot) = if take_ring {
             let (t, _) = ring_head.expect("checked");
-            let (time, _, event) = self.buckets[(t & (WINDOW - 1)) as usize]
-                .pop_front()
-                .expect("ring head vanished");
+            let b = (t & (WINDOW - 1)) as usize;
+            let slot = self.heads[b];
+            self.heads[b] = self.slab[slot as usize].next;
+            if self.heads[b] == NIL {
+                self.tails[b] = NIL;
+                self.occupied[b / 64] &= !(1 << (b % 64));
+            }
             self.ring_len -= 1;
-            (time, event)
+            (t, slot)
         } else {
             let Reverse(e) = self.overflow.pop().expect("overflow head vanished");
-            (e.time, e.event)
+            (e.time, e.slot)
         };
+        let event = self.slab[slot as usize].event.take().expect("slot holds an event");
+        self.free.push(slot);
+        if self.fast_forward {
+            // Cycles strictly between the previous and the new clock carry
+            // no events at all — they were never visited.
+            self.idle_skipped += (time - self.now).saturating_sub(1);
+        }
         self.now = time;
         self.cursor = time;
         Some((time, event))
@@ -177,6 +294,30 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
     use crate::rng::SimRng;
+
+    /// Heap entry for the oracle below (the slab queue no longer stores
+    /// events inline, so the oracle keeps its own owning entry type).
+    struct Entry<E> {
+        time: Cycle,
+        seq: u64,
+        event: E,
+    }
+    impl<E> PartialEq for Entry<E> {
+        fn eq(&self, other: &Self) -> bool {
+            (self.time, self.seq) == (other.time, other.seq)
+        }
+    }
+    impl<E> Eq for Entry<E> {}
+    impl<E> PartialOrd for Entry<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<E> Ord for Entry<E> {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            (self.time, self.seq).cmp(&(other.time, other.seq))
+        }
+    }
 
     /// The pre-calendar implementation — a single binary heap ordered by
     /// `(time, seq)` — kept as the ordering oracle for differential tests.
@@ -294,6 +435,8 @@ mod tests {
         for trial in 0..50u64 {
             let mut rng = SimRng::seed_from_u64(0xD1FF ^ trial);
             let mut calendar = EventQueue::new();
+            // Cover both pop paths: bitmap jump and legacy linear scan.
+            calendar.set_fast_forward(trial % 2 == 0);
             let mut classic = ClassicHeap::new();
             let mut next_tag = 0u32;
             for _ in 0..2000 {
@@ -344,6 +487,44 @@ mod tests {
         q.pop();
         q.pop();
         assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fast_forward_counts_skipped_idle_cycles() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "a"); // skips cycles 1..=9 -> 9 idle
+        q.schedule(10, "b"); // same cycle -> no idle
+        q.schedule(12, "c"); // skips cycle 11 -> 1 idle
+        q.schedule(WINDOW * 3, "far"); // overflow pop also fast-forwards
+        while q.pop().is_some() {}
+        assert_eq!(q.idle_cycles_skipped(), 9 + 1 + (WINDOW * 3 - 12 - 1));
+    }
+
+    #[test]
+    fn disabled_fast_forward_reports_zero_idle() {
+        let mut q = EventQueue::new();
+        q.set_fast_forward(false);
+        q.schedule(10, "a");
+        q.schedule(500, "b");
+        while q.pop().is_some() {}
+        assert_eq!(q.idle_cycles_skipped(), 0);
+    }
+
+    #[test]
+    fn slab_recycles_slots() {
+        let mut q = EventQueue::new();
+        // Steady-state churn: never more than 4 events live, so the slab
+        // should never grow past the high-water mark.
+        for round in 0..1000u64 {
+            for k in 0..4 {
+                q.schedule_in(1 + k, round * 10 + k);
+            }
+            for _ in 0..4 {
+                q.pop().unwrap();
+            }
+        }
+        assert!(q.slab.len() <= 8, "slab grew to {} despite recycling", q.slab.len());
         assert!(q.is_empty());
     }
 }

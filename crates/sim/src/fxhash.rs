@@ -115,13 +115,9 @@ mod tests {
 
     #[test]
     fn byte_slices_hash_consistently() {
-        use std::hash::{BuildHasher, Hash};
+        use std::hash::BuildHasher;
         let b = FxBuildHasher::default();
-        let hash = |s: &str| {
-            let mut h = b.build_hasher();
-            s.hash(&mut h);
-            h.finish()
-        };
+        let hash = |s: &str| b.hash_one(s);
         assert_eq!(hash("hello world"), hash("hello world"));
         assert_ne!(hash("hello world"), hash("hello worle"));
     }
@@ -130,13 +126,11 @@ mod tests {
     fn sequential_keys_spread() {
         // The map must not degenerate on the simulator's typical key shape
         // (sequential VPNs): adjacent keys should land in different buckets.
-        use std::hash::{BuildHasher, Hash};
+        use std::hash::BuildHasher;
         let b = FxBuildHasher::default();
         let mut low_bits: FxHashSet<u64> = FxHashSet::default();
         for vpn in 0u64..256 {
-            let mut h = b.build_hasher();
-            vpn.hash(&mut h);
-            low_bits.insert(h.finish() & 0xFF);
+            low_bits.insert(b.hash_one(vpn) & 0xFF);
         }
         assert!(low_bits.len() > 128, "only {} distinct low bytes", low_bits.len());
     }

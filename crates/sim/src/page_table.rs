@@ -27,10 +27,22 @@ pub struct Translation {
     pub pages: u64,
 }
 
+/// Pages per chunk as an array length.
+const CHUNK_PAGES: usize = PAGES_PER_CHUNK as usize;
+/// Sentinel frame for an unmapped page slot.
+const NO_FRAME: u64 = u64::MAX;
+
 /// The page table for one address space.
+///
+/// 4KB mappings are stored chunk-granular: one hash lookup finds a 512-slot
+/// frame array for the page's 2MB chunk, and the page indexes it directly.
+/// Neighbour scans (PTE-locality, [`PageTable::contiguous_run`]) become
+/// contiguous array reads instead of per-page hash probes.
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    map: FxHashMap<u64, u64>,
+    map: FxHashMap<u64, Box<[u64; CHUNK_PAGES]>>,
+    /// Live 4KB mappings (incremental count; the chunk arrays are sparse).
+    mapped: usize,
     large: FxHashMap<u64, u64>,
 }
 
@@ -46,12 +58,28 @@ impl PageTable {
             !self.large.contains_key(&vpn.chunk()),
             "mapping a 4KB page inside a promoted chunk"
         );
-        self.map.insert(vpn.0, ppn.0);
+        let slot = self
+            .map
+            .entry(vpn.chunk())
+            .or_insert_with(|| Box::new([NO_FRAME; CHUNK_PAGES]));
+        let i = vpn.page_in_chunk() as usize;
+        if slot[i] == NO_FRAME {
+            self.mapped += 1;
+        }
+        slot[i] = ppn.0;
     }
 
     /// Unmaps one 4KB page; returns its frame if it was mapped.
     pub fn unmap_page(&mut self, vpn: Vpn) -> Option<Ppn> {
-        self.map.remove(&vpn.0).map(Ppn)
+        let slot = self.map.get_mut(&vpn.chunk())?;
+        let i = vpn.page_in_chunk() as usize;
+        if slot[i] == NO_FRAME {
+            return None;
+        }
+        let p = slot[i];
+        slot[i] = NO_FRAME;
+        self.mapped -= 1;
+        Some(Ppn(p))
     }
 
     /// Promotes a fully resident, contiguous chunk to a 2MB mapping.
@@ -59,9 +87,8 @@ impl PageTable {
     /// The caller must have verified residency and contiguity; the 4KB
     /// entries are subsumed (removed).
     pub fn promote_chunk(&mut self, vchunk: u64, base_ppn: Ppn) {
-        let first_vpn = vchunk * PAGES_PER_CHUNK;
-        for i in 0..PAGES_PER_CHUNK {
-            self.map.remove(&(first_vpn + i));
+        if let Some(slot) = self.map.remove(&vchunk) {
+            self.mapped -= slot.iter().filter(|&&p| p != NO_FRAME).count();
         }
         self.large.insert(vchunk, base_ppn.0);
     }
@@ -71,10 +98,14 @@ impl PageTable {
         let Some(base) = self.large.remove(&vchunk) else {
             return false;
         };
-        let first_vpn = vchunk * PAGES_PER_CHUNK;
-        for i in 0..PAGES_PER_CHUNK {
-            self.map.insert(first_vpn + i, base + i);
+        let mut arr = Box::new([NO_FRAME; CHUNK_PAGES]);
+        for (i, slot) in arr.iter_mut().enumerate() {
+            *slot = base + i as u64;
         }
+        if let Some(old) = self.map.insert(vchunk, arr) {
+            self.mapped -= old.iter().filter(|&&p| p != NO_FRAME).count();
+        }
+        self.mapped += CHUNK_PAGES;
         true
     }
 
@@ -88,7 +119,13 @@ impl PageTable {
         if let Some(&base) = self.large.get(&vpn.chunk()) {
             return Some(Translation { ppn: Ppn(base + vpn.page_in_chunk()), pages: PAGES_PER_CHUNK });
         }
-        self.map.get(&vpn.0).map(|&p| Translation { ppn: Ppn(p), pages: 1 })
+        let slot = self.map.get(&vpn.chunk())?;
+        let p = slot[vpn.page_in_chunk() as usize];
+        if p == NO_FRAME {
+            None
+        } else {
+            Some(Translation { ppn: Ppn(p), pages: 1 })
+        }
     }
 
     /// Whether the page is mapped at any granularity.
@@ -98,7 +135,7 @@ impl PageTable {
 
     /// Number of 4KB mappings (excluding promoted chunks).
     pub fn mapped_pages(&self) -> usize {
-        self.map.len()
+        self.mapped
     }
 
     /// Number of promoted chunks.
@@ -137,28 +174,45 @@ impl PageTable {
     /// report their full 2MB run.
     pub fn contiguous_run(&self, vpn: Vpn, window_pages: u64) -> Option<ContigRun> {
         debug_assert!(window_pages.is_power_of_two());
+        // An aligned window of at most a chunk never crosses a chunk
+        // boundary, so the whole scan stays inside one frame array.
+        debug_assert!(window_pages <= PAGES_PER_CHUNK);
         if let Some(&base) = self.large.get(&vpn.chunk()) {
             let start_vpn = vpn.chunk() * PAGES_PER_CHUNK;
             return Some(ContigRun { start_vpn, start_ppn: base, len: PAGES_PER_CHUNK });
         }
-        let &ppn = self.map.get(&vpn.0)?;
-        let window_start = vpn.0 & !(window_pages - 1);
+        let slot = self.map.get(&vpn.chunk())?;
+        let i = vpn.page_in_chunk() as usize;
+        let ppn = slot[i];
+        if ppn == NO_FRAME {
+            return None;
+        }
+        let window_start = (vpn.0 & !(window_pages - 1)) & (PAGES_PER_CHUNK - 1);
         let window_end = window_start + window_pages;
-        let mut lo = vpn.0;
+        let mut lo = i as u64;
         while lo > window_start {
-            match self.map.get(&(lo - 1)) {
-                Some(&p) if p + (vpn.0 - (lo - 1)) == ppn => lo -= 1,
-                _ => break,
+            let p = slot[lo as usize - 1];
+            if p != NO_FRAME && p + (i as u64 - (lo - 1)) == ppn {
+                lo -= 1;
+            } else {
+                break;
             }
         }
-        let mut hi = vpn.0 + 1;
+        let mut hi = i as u64 + 1;
         while hi < window_end {
-            match self.map.get(&hi) {
-                Some(&p) if p == ppn + (hi - vpn.0) => hi += 1,
-                _ => break,
+            let p = slot[hi as usize];
+            if p != NO_FRAME && p == ppn + (hi - i as u64) {
+                hi += 1;
+            } else {
+                break;
             }
         }
-        Some(ContigRun { start_vpn: lo, start_ppn: ppn - (vpn.0 - lo), len: hi - lo })
+        let chunk_first = vpn.chunk() * PAGES_PER_CHUNK;
+        Some(ContigRun {
+            start_vpn: chunk_first + lo,
+            start_ppn: ppn - (i as u64 - lo),
+            len: hi - lo,
+        })
     }
 }
 

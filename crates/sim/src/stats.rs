@@ -99,17 +99,11 @@ impl Mean {
 }
 
 /// A log2-bucketed latency histogram with percentile estimation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Histogram {
     /// Bucket `i` counts samples in `[2^i, 2^(i+1))` cycles.
     buckets: [u64; 32],
     n: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self { buckets: [0; 32], n: 0 }
-    }
 }
 
 impl Histogram {
@@ -151,6 +145,11 @@ pub struct Stats {
     /// Simulation events dispatched by the engine's calendar (a host-side
     /// throughput denominator: events per wall-second, not a GPU metric).
     pub events_processed: u64,
+    /// Empty calendar cycles the engine jumped over instead of scanning
+    /// (host-side accounting; 0 when `fast_forward` is disabled). These
+    /// cycles still count in `cycles` — skipping is invisible to every
+    /// simulated metric.
+    pub idle_cycles_skipped: u64,
     /// Warp instructions issued (loads + compute ops).
     pub instructions: u64,
     /// Warp load instructions issued.

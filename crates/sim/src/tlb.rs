@@ -98,32 +98,31 @@ pub trait TlbModel: std::fmt::Debug {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Entry {
-    vpn: u64,
-    ppn: u64,
-    pages: u64,
-    last_use: u64,
-}
-
-impl Entry {
-    fn covers(&self, vpn: u64) -> bool {
-        vpn >= self.vpn && vpn < self.vpn + self.pages
-    }
-
-    fn overlaps(&self, vpn: u64, pages: u64) -> bool {
-        self.vpn < vpn + pages && vpn < self.vpn + self.pages
-    }
-}
+/// Sentinel VPN for an unoccupied way. Salted VPNs stay far below 2^63, so
+/// the all-ones tag can never collide with a real entry.
+const VPN_EMPTY: u64 = u64::MAX;
 
 /// One set-associative (or fully associative) array of TLB entries.
+///
+/// Four flat parallel arrays indexed `set * ways + way` (vpn, ppn, reach,
+/// LRU stamp) — one allocation each, replacing the seed's `Vec<Vec<Entry>>`
+/// so lookups scan contiguous words instead of chasing per-set vectors.
 #[derive(Debug, Clone)]
 pub(crate) struct EntryArray {
-    sets: Vec<Vec<Entry>>,
+    /// First VPN covered per way, or [`VPN_EMPTY`].
+    vpns: Vec<u64>,
+    /// PPN mapped to the way's first VPN.
+    ppns: Vec<u64>,
+    /// Reach in 4KB pages per way.
+    spans: Vec<u64>,
+    /// Last-use stamp per way (valid only while occupied).
+    stamps: Vec<u64>,
+    nsets: usize,
     ways: usize,
     stamp: u64,
     /// Granularity used for set indexing (pages per entry).
     index_pages: u64,
+    live: usize,
 }
 
 impl EntryArray {
@@ -133,73 +132,95 @@ impl EntryArray {
         } else {
             ((entries / assoc).max(1), assoc)
         };
-        Self { sets: vec![Vec::new(); nsets], ways, stamp: 0, index_pages: index_pages.max(1) }
+        let cap = nsets * ways;
+        Self {
+            vpns: vec![VPN_EMPTY; cap],
+            ppns: vec![0; cap],
+            spans: vec![0; cap],
+            stamps: vec![0; cap],
+            nsets,
+            ways,
+            stamp: 0,
+            index_pages: index_pages.max(1),
+            live: 0,
+        }
     }
 
-    fn set_of(&self, vpn: u64) -> usize {
-        ((vpn / self.index_pages) % self.sets.len() as u64) as usize
+    #[inline]
+    fn set_base(&self, vpn: u64) -> usize {
+        ((vpn / self.index_pages) % self.nsets as u64) as usize * self.ways
     }
 
     fn lookup(&mut self, vpn: u64) -> Option<TlbHit> {
         self.stamp += 1;
-        let stamp = self.stamp;
-        let set = self.set_of(vpn);
-        let e = self.sets[set].iter_mut().find(|e| e.covers(vpn))?;
-        e.last_use = stamp;
-        Some(TlbHit {
-            ppn: Ppn(e.ppn + (vpn - e.vpn)),
-            coverage_pages: e.pages,
-            entry_vpn: e.vpn,
-            entry_ppn: e.ppn,
-        })
+        let base = self.set_base(vpn);
+        for w in base..base + self.ways {
+            let evpn = self.vpns[w];
+            // `evpn == VPN_EMPTY` fails the first comparison, so empty ways
+            // need no separate occupancy check.
+            if vpn >= evpn && vpn < evpn + self.spans[w] {
+                self.stamps[w] = self.stamp;
+                return Some(TlbHit {
+                    ppn: Ppn(self.ppns[w] + (vpn - evpn)),
+                    coverage_pages: self.spans[w],
+                    entry_vpn: evpn,
+                    entry_ppn: self.ppns[w],
+                });
+            }
+        }
+        None
     }
 
     fn insert(&mut self, vpn: u64, ppn: u64, pages: u64) {
         self.stamp += 1;
         let stamp = self.stamp;
-        let set_idx = self.set_of(vpn);
-        let ways = self.ways;
-        let set = &mut self.sets[set_idx];
-        if let Some(e) = set.iter_mut().find(|e| e.vpn == vpn && e.pages == pages) {
-            e.ppn = ppn;
-            e.last_use = stamp;
-            return;
+        let base = self.set_base(vpn);
+        let mut empty = None;
+        for w in base..base + self.ways {
+            if self.vpns[w] == vpn && self.spans[w] == pages {
+                self.ppns[w] = ppn;
+                self.stamps[w] = stamp;
+                return;
+            }
+            if empty.is_none() && self.vpns[w] == VPN_EMPTY {
+                empty = Some(w);
+            }
         }
-        if set.len() >= ways {
-            let victim = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.last_use)
-                .map(|(i, _)| i)
-                .expect("nonempty set");
-            set.swap_remove(victim);
-        }
-        set.push(Entry { vpn, ppn, pages, last_use: stamp });
+        let w = match empty {
+            Some(w) => {
+                self.live += 1;
+                w
+            }
+            None => (base..base + self.ways)
+                .min_by_key(|&i| self.stamps[i])
+                .expect("nonempty set"),
+        };
+        self.vpns[w] = vpn;
+        self.ppns[w] = ppn;
+        self.spans[w] = pages;
+        self.stamps[w] = stamp;
     }
 
     fn invalidate(&mut self, vpn: u64, pages: u64) -> u64 {
         let mut dropped = 0;
-        for set in &mut self.sets {
-            set.retain(|e| {
-                if e.overlaps(vpn, pages) {
-                    dropped += 1;
-                    false
-                } else {
-                    true
-                }
-            });
+        for w in 0..self.vpns.len() {
+            let evpn = self.vpns[w];
+            if evpn != VPN_EMPTY && evpn < vpn + pages && vpn < evpn + self.spans[w] {
+                self.vpns[w] = VPN_EMPTY;
+                self.live -= 1;
+                dropped += 1;
+            }
         }
         dropped
     }
 
     fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.vpns.fill(VPN_EMPTY);
+        self.live = 0;
     }
 
     fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.live
     }
 }
 

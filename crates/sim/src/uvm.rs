@@ -79,6 +79,44 @@ pub fn tenant_of_frame(ppn: Ppn) -> usize {
     ((ppn.0 / PAGES_PER_CHUNK) / TENANT_CHUNK_STRIDE) as usize
 }
 
+/// Frame→owner directory, chunk-granular: one hash lookup finds a 512-slot
+/// array for the frame's physical 2MB chunk. Slots pack the owner into one
+/// word (`vpn << 1 | embedded`, all-ones = free): migrations fill whole
+/// fault blocks, so owners cluster and the dense arrays stay warm on the
+/// per-fill `frame_owner` probes.
+#[derive(Debug, Default)]
+struct FrameOwners {
+    chunks: FxHashMap<u64, Box<[u64; PAGES_PER_CHUNK as usize]>>,
+}
+
+const NO_OWNER: u64 = u64::MAX;
+
+impl FrameOwners {
+    fn get(&self, ppn: u64) -> Option<FrameOwner> {
+        let arr = self.chunks.get(&(ppn / PAGES_PER_CHUNK))?;
+        let v = arr[(ppn % PAGES_PER_CHUNK) as usize];
+        if v == NO_OWNER {
+            None
+        } else {
+            Some(FrameOwner { vpn: Vpn(v >> 1), embedded: v & 1 == 1 })
+        }
+    }
+
+    fn insert(&mut self, ppn: u64, owner: FrameOwner) {
+        let arr = self
+            .chunks
+            .entry(ppn / PAGES_PER_CHUNK)
+            .or_insert_with(|| Box::new([NO_OWNER; PAGES_PER_CHUNK as usize]));
+        arr[(ppn % PAGES_PER_CHUNK) as usize] = (owner.vpn.0 << 1) | owner.embedded as u64;
+    }
+
+    fn remove(&mut self, ppn: u64) {
+        if let Some(arr) = self.chunks.get_mut(&(ppn / PAGES_PER_CHUNK)) {
+            arr[(ppn % PAGES_PER_CHUNK) as usize] = NO_OWNER;
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct ChunkState {
     phys_base: Option<u64>,
@@ -106,7 +144,7 @@ pub struct Uvm {
     /// The GPU-local page table.
     pub page_table: PageTable,
     chunks: FxHashMap<u64, ChunkState>,
-    frame_owner: FxHashMap<u64, FrameOwner>,
+    frame_owner: FrameOwners,
     /// First chunk of this address space's physical region.
     base_chunk: u64,
     next_chunk: u64,
@@ -143,7 +181,7 @@ impl Uvm {
             rng: SimRng::seed_from_u64(seed ^ (tenant as u64).wrapping_mul(0x9E37_79B9)),
             page_table: PageTable::new(),
             chunks: FxHashMap::default(),
-            frame_owner: FxHashMap::default(),
+            frame_owner: FrameOwners::default(),
             base_chunk: base,
             next_chunk: base + SPILL_BASE_CHUNK,
             free_chunks: Vec::new(),
@@ -158,7 +196,7 @@ impl Uvm {
 
     /// The owner of a physical frame, if it holds migrated data.
     pub fn frame_owner(&self, ppn: Ppn) -> Option<FrameOwner> {
-        self.frame_owner.get(&ppn.0).copied()
+        self.frame_owner.get(ppn.0)
     }
 
     /// Frames currently holding resident pages.
@@ -350,7 +388,7 @@ impl Uvm {
             if chunk.is_resident(i) {
                 let vpn = Vpn(first_vpn.0 + i);
                 if let Some(ppn) = self.page_table.unmap_page(vpn) {
-                    self.frame_owner.remove(&ppn.0);
+                    self.frame_owner.remove(ppn.0);
                     if chunk.phys_base.is_none() {
                         self.scatter_pool.push(ppn.0);
                     }

@@ -10,7 +10,6 @@
 use crate::addr::{PhysAddr, Vpn};
 use crate::config::{Cycle, WalkerConfig};
 use crate::page_table::PageTable;
-use crate::fxhash::FxHashMap;
 use std::collections::VecDeque;
 
 /// A queued walk request: the page plus the number of radix levels the
@@ -37,35 +36,50 @@ pub enum WalkProgress {
     Done,
 }
 
-#[derive(Debug, Clone)]
+/// An in-flight walk, flattened to fixed-width fields: the level cursor
+/// replaces the seed's per-walk `VecDeque<usize>` (levels advance strictly
+/// in order, so a counter suffices — no per-walk heap allocation).
+#[derive(Debug, Clone, Copy)]
 struct ActiveWalk {
+    id: WalkId,
     vpn: Vpn,
-    /// Remaining levels to reference (front = next).
-    remaining: VecDeque<usize>,
+    /// Level currently being referenced.
+    level: u8,
     /// Total levels in this walk (for prefix insertion on completion).
-    levels: usize,
+    levels: u8,
     started_at: Cycle,
 }
 
 /// An LRU cache of page-structure pointer entries, keyed (level, prefix).
+///
+/// Keys are packed into one word (`prefix << 2 | level`; levels fit in two
+/// bits, prefixes stay far below 2^62), so the scan compares a flat `u64`
+/// array instead of tuples.
 #[derive(Debug, Clone)]
 pub struct PwCache {
     capacity: usize,
-    entries: Vec<((usize, u64), u64)>,
+    entries: Vec<(u64, u64)>,
     stamp: u64,
+}
+
+#[inline]
+fn pw_key(level: usize, prefix: u64) -> u64 {
+    debug_assert!(level < 4);
+    (prefix << 2) | level as u64
 }
 
 impl PwCache {
     /// Creates a cache with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        Self { capacity, entries: Vec::new(), stamp: 0 }
+        Self { capacity, entries: Vec::with_capacity(capacity), stamp: 0 }
     }
 
     /// Whether (level, prefix) is cached; touches LRU on hit.
     pub fn contains(&mut self, level: usize, prefix: u64) -> bool {
         self.stamp += 1;
         let stamp = self.stamp;
-        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == (level, prefix)) {
+        let key = pw_key(level, prefix);
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == key) {
             e.1 = stamp;
             true
         } else {
@@ -77,7 +91,8 @@ impl PwCache {
     pub fn insert(&mut self, level: usize, prefix: u64) {
         self.stamp += 1;
         let stamp = self.stamp;
-        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == (level, prefix)) {
+        let key = pw_key(level, prefix);
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == key) {
             e.1 = stamp;
             return;
         }
@@ -91,7 +106,7 @@ impl PwCache {
                 .expect("nonempty");
             self.entries.swap_remove(victim);
         }
-        self.entries.push(((level, prefix), stamp));
+        self.entries.push((key, stamp));
     }
 
     /// Drops every entry (full shootdown).
@@ -111,12 +126,16 @@ impl PwCache {
 }
 
 /// The page-walk system: finite walkers fed from a finite walk buffer.
+///
+/// Active walks live in a small flat vector (there are at most
+/// `cfg.walkers` ≈ 16): a linear id scan beats hashing at this size and
+/// keeps the per-walk state in two cache lines.
 #[derive(Debug)]
 pub struct PageWalkSystem {
     cfg: WalkerConfig,
     pw_cache: PwCache,
     queue: VecDeque<QueuedWalk>,
-    active: FxHashMap<WalkId, ActiveWalk>,
+    active: Vec<ActiveWalk>,
     next_id: u64,
 }
 
@@ -124,7 +143,8 @@ impl PageWalkSystem {
     /// Creates the system from configuration.
     pub fn new(cfg: WalkerConfig) -> Self {
         let pw_cache = PwCache::new(cfg.pw_cache_entries);
-        Self { cfg, pw_cache, queue: VecDeque::new(), active: FxHashMap::default(), next_id: 0 }
+        let active = Vec::with_capacity(cfg.walkers);
+        Self { cfg, pw_cache, queue: VecDeque::new(), active, next_id: 0 }
     }
 
     /// Whether the walk buffer can accept another request.
@@ -167,10 +187,14 @@ impl PageWalkSystem {
                 break;
             }
         }
-        let remaining: VecDeque<usize> = (start..levels).collect();
-        let first = *remaining.front().expect("at least the leaf level");
-        let addr = PageTable::entry_address(vpn, first);
-        self.active.insert(id, ActiveWalk { vpn, remaining, levels, started_at });
+        let addr = PageTable::entry_address(vpn, start);
+        self.active.push(ActiveWalk {
+            id,
+            vpn,
+            level: start as u8,
+            levels: levels as u8,
+            started_at,
+        });
         Some((id, addr))
     }
 
@@ -180,14 +204,15 @@ impl PageWalkSystem {
     /// cache and the walker frees. Returns `None` for unknown (e.g.
     /// aborted) walks.
     pub fn step(&mut self, id: WalkId) -> Option<WalkProgress> {
-        let walk = self.active.get_mut(&id)?;
-        walk.remaining.pop_front();
-        if let Some(&next) = walk.remaining.front() {
-            let addr = PageTable::entry_address(walk.vpn, next);
+        let i = self.active.iter().position(|w| w.id == id)?;
+        let walk = &mut self.active[i];
+        walk.level += 1;
+        if walk.level < walk.levels {
+            let addr = PageTable::entry_address(walk.vpn, walk.level as usize);
             return Some(WalkProgress::Access(addr));
         }
-        let walk = self.active.remove(&id).expect("present");
-        for level in 0..walk.levels - 1 {
+        let walk = self.active.swap_remove(i);
+        for level in 0..walk.levels as usize - 1 {
             self.pw_cache.insert(level, PageTable::prefix(walk.vpn, level));
         }
         Some(WalkProgress::Done)
@@ -195,7 +220,7 @@ impl PageWalkSystem {
 
     /// The VPN of a live (queued or active) walk.
     pub fn vpn_of(&self, id: WalkId) -> Option<Vpn> {
-        if let Some(w) = self.active.get(&id) {
+        if let Some(w) = self.active.iter().find(|w| w.id == id) {
             return Some(w.vpn);
         }
         self.queue.iter().find(|q| q.id == id).map(|q| q.vpn)
@@ -203,7 +228,7 @@ impl PageWalkSystem {
 
     /// Start cycle of a live walk (for latency stats).
     pub fn started_at(&self, id: WalkId) -> Option<Cycle> {
-        self.active.get(&id).map(|w| w.started_at)
+        self.active.iter().find(|w| w.id == id).map(|w| w.started_at)
     }
 
     /// Aborts a walk (EAF early release). Returns `true` if it was live.
@@ -212,7 +237,8 @@ impl PageWalkSystem {
     /// walker immediately — subsequent [`step`](Self::step) calls for the
     /// id are ignored by returning `None`.
     pub fn abort(&mut self, id: WalkId) -> bool {
-        if self.active.remove(&id).is_some() {
+        if let Some(i) = self.active.iter().position(|w| w.id == id) {
+            self.active.swap_remove(i);
             return true;
         }
         let before = self.queue.len();

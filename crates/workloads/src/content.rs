@@ -14,8 +14,8 @@ use crate::spec::{DataType, Workload};
 use avatar_bpc::embed::PAYLOAD_BITS;
 use avatar_bpc::Codec;
 use avatar_sim::addr::{Vpn, SECTORS_PER_PAGE};
+use avatar_sim::fxhash::FxHashMap;
 use avatar_sim::hooks::SectorCompression;
-use std::collections::HashMap;
 
 /// SplitMix64: a deterministic hash for per-sector decisions.
 fn mix(mut x: u64) -> u64 {
@@ -122,7 +122,7 @@ fn to_bytes(words: [u32; 8]) -> [u8; 32] {
 pub struct ContentModel {
     workload: Workload,
     codec: Codec,
-    memo: HashMap<u64, bool>,
+    memo: FxHashMap<u64, bool>,
     /// Sectors evaluated (model statistic).
     pub evaluated: u64,
     /// Sectors that fit the 22-byte budget (model statistic).
@@ -138,7 +138,7 @@ impl ContentModel {
     /// Creates the model with an explicit compression codec (for the
     /// codec-choice ablation).
     pub fn with_codec(workload: Workload, codec: Codec) -> Self {
-        Self { workload, codec, memo: HashMap::new(), evaluated: 0, fit: 0 }
+        Self { workload, codec, memo: FxHashMap::default(), evaluated: 0, fit: 0 }
     }
 
     /// The bytes stored at a global sector index.

@@ -43,7 +43,7 @@ impl MultiTenantProgram {
     fn first_sm_of(&self, tenant: usize) -> usize {
         // Smallest sm with tenant_of_sm(sm) == tenant.
         tenant * self.num_sms / self.programs.len()
-            + usize::from(tenant * self.num_sms % self.programs.len() != 0)
+            + usize::from(!(tenant * self.num_sms).is_multiple_of(self.programs.len()))
     }
 
     /// SMs assigned to tenant `t` under the engine's partitioning.

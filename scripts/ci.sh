@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification + a quick throughput smoke run.
+# Tier-1 verification + a quick throughput smoke run with a regression gate.
 #
-# Fails if the build breaks, any test fails, or a scenario cell panics
-# during the throughput grid (the harness exits non-zero on a failed
-# cell).
+# Fails if the build breaks, clippy reports any warning, any test fails, a
+# scenario cell panics during the throughput grid (the harness exits
+# non-zero on a failed cell), or single-thread events/sec regresses more
+# than AVATAR_TP_TOLERANCE percent (default 20) below the checked-in
+# BENCH_throughput.json baseline.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -11,10 +13,34 @@ cd "$(dirname "$0")/.."
 echo "== build (release) =="
 cargo build --release
 
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== tests =="
 cargo test --workspace -q
 
-echo "== throughput smoke (--quick) =="
-cargo run --release -p avatar-bench --bin throughput -- --quick
+echo "== throughput smoke + regression gate (--quick) =="
+tp_json=$(mktemp /tmp/avatar-throughput.XXXXXX.json)
+trap 'rm -f "$tp_json"' EXIT
+cargo run --release -p avatar-bench --bin throughput -- --quick --json "$tp_json"
+
+# The first entry of each file is the single-thread pass; its
+# events_per_sec is the gated metric. Wall-clock noise on shared runners is
+# why the tolerance is generous; tighten with AVATAR_TP_TOLERANCE=<pct>.
+extract_eps() {
+    awk -F': ' '/"events_per_sec"/ { gsub(/,/, "", $2); print $2; exit }' "$1"
+}
+baseline_eps=$(extract_eps BENCH_throughput.json)
+current_eps=$(extract_eps "$tp_json")
+tolerance="${AVATAR_TP_TOLERANCE:-20}"
+awk -v base="$baseline_eps" -v cur="$current_eps" -v tol="$tolerance" 'BEGIN {
+    floor = base * (1 - tol / 100);
+    printf "events/sec: current %.0f vs baseline %.0f (floor %.0f at -%s%%)\n",
+           cur, base, floor, tol;
+    if (cur < floor) {
+        print "THROUGHPUT REGRESSION: below floor" > "/dev/stderr";
+        exit 1;
+    }
+}'
 
 echo "== OK =="
