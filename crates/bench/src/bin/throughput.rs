@@ -18,6 +18,7 @@ use avatar_core::system::SystemConfig;
 use avatar_workloads::Workload;
 use std::path::PathBuf;
 use std::sync::Arc;
+// Wall-time measurement is this harness's whole job. lint:allow(nondeterminism)
 use std::time::Instant;
 
 const CONFIGS: [SystemConfig; 2] = [SystemConfig::Baseline, SystemConfig::Avatar];
@@ -43,20 +44,29 @@ fn grid(opts: &HarnessOpts) -> Vec<Scenario> {
     scenarios
 }
 
-/// (total events, failed cells) of one grid pass.
-fn measure(results: &[ScenarioResult]) -> (u64, usize) {
+/// (total events, failed cells, combined determinism digest) of one grid
+/// pass. The digest folds every cell's full [`avatar_sim::Stats`] digest in
+/// submission order; since cells come back in submission order regardless
+/// of thread count, every pass of the same grid must produce the same
+/// value.
+fn measure(results: &[ScenarioResult]) -> (u64, usize, u64) {
     let mut events = 0u64;
     let mut failed = 0usize;
+    let mut digest = avatar_sim::invariant::Fnv64::new();
     for r in results {
         match &r.stats {
-            Ok(s) => events += s.events_processed,
+            Ok(s) => {
+                events += s.events_processed;
+                digest.write_u64(s.digest());
+            }
             Err(e) => {
                 failed += 1;
+                digest.write_u64(u64::MAX); // failed cells still shift the digest
                 eprintln!("cell '{}' failed: {e}", r.label);
             }
         }
     }
-    (events, failed)
+    (events, failed, digest.finish())
 }
 
 fn main() {
@@ -67,6 +77,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut serial_s = 0.0f64;
     let mut events_per_sec = 0.0f64;
+    let mut serial_digest = 0u64;
     let mut total_failed = 0usize;
     for (i, &threads) in THREAD_COUNTS.iter().enumerate() {
         eprintln!(
@@ -74,14 +85,21 @@ fn main() {
             i + 1,
             THREAD_COUNTS.len()
         );
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // lint:allow(nondeterminism)
         let results = run_scenarios(threads, grid(&opts));
         let wall_s = t0.elapsed().as_secs_f64();
-        let (events, failed) = measure(&results);
+        let (events, failed, digest) = measure(&results);
         total_failed += failed;
         if threads == 1 {
             serial_s = wall_s;
             events_per_sec = events as f64 / wall_s;
+            serial_digest = digest;
+        } else if digest != serial_digest {
+            eprintln!(
+                "DETERMINISM VIOLATION: {threads}-thread pass digest {digest:#018x} != \
+                 1-thread digest {serial_digest:#018x}"
+            );
+            total_failed += 1;
         }
         let cells_per_sec = n_cells as f64 / wall_s;
         let scaling = serial_s / wall_s;
@@ -96,6 +114,7 @@ fn main() {
         json.push(obj! {
             "cells": n_cells,
             "threads": threads,
+            "digest": format!("{digest:#018x}"),
             "events_processed": events,
             "events_per_sec": if threads == 1 { events_per_sec } else { events as f64 / wall_s },
             "wall_s": wall_s,

@@ -21,6 +21,7 @@ use avatar_workloads::Workload;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+// Wall-time capture of harness cells, never simulated state. lint:allow(nondeterminism)
 use std::time::{Duration, Instant};
 
 /// Pads shared per-cell state to its own cache-line pair so worker threads
@@ -62,7 +63,7 @@ where
 {
     let threads = threads.max(1).min(jobs.len().max(1));
     let run_one = |index: usize, job: F| {
-        let start = Instant::now();
+        let start = Instant::now(); // lint:allow(nondeterminism)
         let outcome = catch_unwind(AssertUnwindSafe(job)).map_err(panic_message);
         Cell { index, outcome, wall: start.elapsed() }
     };

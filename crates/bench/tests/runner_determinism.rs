@@ -53,3 +53,24 @@ fn one_and_many_threads_dump_identical_json() {
 fn repeated_parallel_runs_are_stable() {
     assert_eq!(rows_json(4), rows_json(4));
 }
+
+/// Per-cell FNV digests over *every* Stats field (not just the handful a
+/// figure dumps) must agree between a serial and a parallel pass. This is
+/// strictly stronger than the JSON comparison above: a counter no figure
+/// renders still flips the digest.
+#[test]
+fn full_stats_digests_match_across_thread_counts() {
+    let digests = |threads: usize| -> Vec<u64> {
+        run_scenarios(threads, small_grid())
+            .iter()
+            .map(|r| r.expect_stats().digest())
+            .collect()
+    };
+    let serial = digests(1);
+    for &threads in &[2usize, 8] {
+        assert_eq!(serial, digests(threads), "digest diverged at {threads} threads");
+    }
+    // Distinct cells really produce distinct state (guards against a
+    // degenerate digest that hashes nothing).
+    assert!(serial.windows(2).any(|w| w[0] != w[1]));
+}

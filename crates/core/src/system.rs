@@ -163,12 +163,12 @@ fn touched_footprint_cached(
     warps_per_sm: usize,
     scale: f64,
 ) -> u64 {
-    use std::collections::HashMap;
+    use avatar_sim::fxhash::FxHashMap;
     use std::sync::{Mutex, OnceLock};
     type Key = (&'static str, usize, usize, u64);
-    static CACHE: OnceLock<Mutex<HashMap<Key, u64>>> = OnceLock::new();
+    static CACHE: OnceLock<Mutex<FxHashMap<Key, u64>>> = OnceLock::new();
     let key: Key = (workload.name, num_sms, warps_per_sm, scale.to_bits());
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let cache = CACHE.get_or_init(|| Mutex::new(FxHashMap::default()));
     if let Some(&v) = cache.lock().expect("footprint cache poisoned").get(&key) {
         return v;
     }

@@ -1,0 +1,823 @@
+//! `avatar-lint`: an in-repo, zero-dependency source analyzer for the
+//! workspace's hand-rolled hot-path disciplines.
+//!
+//! PR 1–2 replaced every external dependency and every `Vec<Vec<_>>` hot
+//! structure with hand-rolled substitutes (FxHash maps, a slab-backed
+//! event calendar, stride-indexed cache/TLB arrays). Those disciplines
+//! are easy to erode one innocuous-looking patch at a time, so this
+//! crate machine-enforces them. It is a *line/token-level* scanner, not
+//! a full parser: comments and string/char literals are stripped first
+//! (so prose mentioning `HashMap` never trips a rule), `#[cfg(test)]`
+//! items are skipped by brace counting, and matches are checked for
+//! identifier boundaries (so `FxHashMap` is not a `HashMap` hit).
+//!
+//! Findings print as `file:line: [rule-id] message` and can also be
+//! emitted as JSON for CI archival. Escapes, most specific first:
+//!
+//! * `// lint:allow(rule-id)` on the offending line or the line above
+//!   suppresses one site (it is still reported as `allowed` in JSON);
+//! * the `AVATAR_LINT_ALLOW=rule-a,rule-b` environment variable (or the
+//!   `--allow` flag) downgrades whole rules for local iteration;
+//! * a rule's scope (which crates it applies to) is part of the rule
+//!   itself — see [`RULES`].
+//!
+//! Known scanner limits (documented, not load-bearing for this repo):
+//! byte-raw strings (`br"…"`) and exotic literal forms are not modeled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Rule id: default-hasher `std::collections::{HashMap,HashSet}` in
+/// non-test code. Hot-path maps must use `avatar_sim::fxhash`.
+pub const DEFAULT_COLLECTIONS: &str = "default-collections";
+/// Rule id: `.unwrap()` / `panic!`-family macros in `sim`/`core`
+/// non-test code. Use `expect("<invariant>")` naming what was violated.
+pub const HOT_PATH_PANIC: &str = "hot-path-panic";
+/// Rule id: `.expect("…")` whose message is too short to name the
+/// violated invariant (`"spec"`, `"checked"`, …) in `sim`/`core`.
+pub const WEAK_EXPECT: &str = "weak-expect";
+/// Rule id: wall-clock / OS-entropy sources anywhere outside the bench
+/// crate's sanctioned timer. Simulations must be bit-deterministic.
+pub const NONDETERMINISM: &str = "nondeterminism";
+/// Rule id: `Vec<Vec<…>>` in `sim`/`core` non-test code — the PR 2
+/// packed-layout rule (per-element heap boxes wreck locality).
+pub const VEC_VEC: &str = "vec-vec";
+/// Rule id: `f32`/`f64` fields inside `*Stats*`/`*Counts*` structs.
+/// Counters must be integers; float accumulation is order-sensitive.
+pub const FLOAT_STATS: &str = "float-stats";
+/// Rule id: every source file must open with a `//!` module doc.
+pub const MODULE_DOC: &str = "module-doc";
+
+/// Minimum length for an `.expect("…")` message in hot crates; anything
+/// shorter cannot plausibly name the violated invariant.
+pub const MIN_EXPECT_LEN: usize = 8;
+
+/// The one file allowed to touch wall-clock time directly: everything
+/// else in the bench crate routes timing through it or carries an
+/// explicit `lint:allow`.
+const TIMER_FILE: &str = "crates/bench/src/timer.rs";
+
+/// Static description of one lint rule (for `--list-rules` and JSON).
+pub struct RuleInfo {
+    /// Stable rule identifier, as written in `lint:allow(…)`.
+    pub id: &'static str,
+    /// Which crates the rule scans (`"all"` or a crate list).
+    pub scope: &'static str,
+    /// One-line summary of what the rule forbids and why.
+    pub summary: &'static str,
+}
+
+/// The rule catalogue, in the order rules are applied.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: DEFAULT_COLLECTIONS,
+        scope: "all crates",
+        summary: "std::collections::HashMap/HashSet use SipHash (~10x slower on small integer keys); use avatar_sim::fxhash::FxHashMap/FxHashSet",
+    },
+    RuleInfo {
+        id: HOT_PATH_PANIC,
+        scope: "sim, core",
+        summary: "no .unwrap()/panic!/unreachable!/todo!/unimplemented! in engine hot paths; use expect(\"<invariant>\") or restructure",
+    },
+    RuleInfo {
+        id: WEAK_EXPECT,
+        scope: "sim, core",
+        summary: "expect() messages must name the violated invariant (>= 8 chars), not restate the Option",
+    },
+    RuleInfo {
+        id: NONDETERMINISM,
+        scope: "all crates except bench::timer",
+        summary: "no Instant/SystemTime/thread_rng/RandomState: simulations must be bit-deterministic across runs and thread counts",
+    },
+    RuleInfo {
+        id: VEC_VEC,
+        scope: "sim, core",
+        summary: "no Vec<Vec<..>> hot structures; use a packed flat array with stride indexing (PR 2 layout rule)",
+    },
+    RuleInfo {
+        id: FLOAT_STATS,
+        scope: "sim, core",
+        summary: "no f32/f64 fields in *Stats*/*Counts* structs; integer counters only (float accumulation is summation-order-sensitive)",
+    },
+    RuleInfo {
+        id: MODULE_DOC,
+        scope: "all crates",
+        summary: "every source file opens with a //! module doc comment",
+    },
+];
+
+/// One lint hit, suppressed or not.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Path relative to the workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id (one of the `pub const` ids above).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+    /// `true` if suppressed by `lint:allow` or rule-level config; such
+    /// findings are reported in JSON but do not fail the run.
+    pub allowed: bool,
+}
+
+/// Rule-level allow configuration (from `--allow` / `AVATAR_LINT_ALLOW`).
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    allowed_rules: Vec<String>,
+}
+
+impl Config {
+    /// Reads `AVATAR_LINT_ALLOW` (comma-separated rule ids, or `all`).
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(v) = std::env::var("AVATAR_LINT_ALLOW") {
+            cfg.allow_list(&v);
+        }
+        cfg
+    }
+
+    /// Adds a comma-separated list of rule ids to the allow set.
+    pub fn allow_list(&mut self, list: &str) {
+        for id in list.split(',') {
+            let id = id.trim();
+            if !id.is_empty() {
+                self.allowed_rules.push(id.to_string());
+            }
+        }
+    }
+
+    /// Whether `rule` has been downgraded to allow.
+    pub fn is_allowed(&self, rule: &str) -> bool {
+        self.allowed_rules.iter().any(|r| r == rule || r == "all")
+    }
+}
+
+/// Result of a lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// All findings, deny and allowed, in file/line order.
+    pub findings: Vec<Finding>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings that fail the run (not suppressed).
+    pub fn deny(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.allowed)
+    }
+
+    /// Number of deny-level findings.
+    pub fn deny_count(&self) -> usize {
+        self.deny().count()
+    }
+
+    /// Number of suppressed findings.
+    pub fn allowed_count(&self) -> usize {
+        self.findings.len() - self.deny_count()
+    }
+
+    /// `file:line: [rule-id] message` lines; deny findings always,
+    /// suppressed ones too when `show_allowed`.
+    pub fn to_text(&self, show_allowed: bool) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            if f.allowed && !show_allowed {
+                continue;
+            }
+            let tag = if f.allowed { " (allowed)" } else { "" };
+            out.push_str(&format!("{}:{}: [{}] {}{}\n", f.file, f.line, f.rule, f.message, tag));
+        }
+        out
+    }
+
+    /// Machine-readable report for CI archival.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"schema\": \"avatar-lint/1\",\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!("  \"deny\": {},\n", self.deny_count()));
+        s.push_str(&format!("  \"allowed\": {},\n", self.allowed_count()));
+        s.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let level = if f.allowed { "allowed" } else { "deny" };
+            s.push_str(&format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"level\": \"{}\", \"message\": \"{}\"}}{}\n",
+                json_escape(&f.file),
+                f.line,
+                f.rule,
+                level,
+                json_escape(&f.message),
+                if i + 1 == self.findings.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Source preprocessing: comment/string stripping and test-block marking.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+enum StripState {
+    Code,
+    BlockComment(u32),
+    Str,
+    RawStr(u8),
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Blanks comments and string/char-literal *contents* (string delimiters
+/// are kept so `.expect("   ")` spans stay measurable), preserving
+/// column positions. Carries block-comment and multi-line-string state
+/// across lines.
+fn strip_lines(raw: &[&str]) -> Vec<String> {
+    let mut state = StripState::Code;
+    let mut out = Vec::with_capacity(raw.len());
+    for line in raw {
+        let chars: Vec<char> = line.chars().collect();
+        let mut code = String::with_capacity(chars.len());
+        let mut i = 0usize;
+        while i < chars.len() {
+            match state {
+                StripState::BlockComment(depth) => {
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        state = if depth <= 1 { StripState::Code } else { StripState::BlockComment(depth - 1) };
+                        code.push_str("  ");
+                        i += 2;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = StripState::BlockComment(depth + 1);
+                        code.push_str("  ");
+                        i += 2;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                StripState::Str => {
+                    if chars[i] == '\\' {
+                        code.push(' ');
+                        if i + 1 < chars.len() {
+                            code.push(' ');
+                        }
+                        i += 2;
+                    } else if chars[i] == '"' {
+                        code.push('"');
+                        state = StripState::Code;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                StripState::RawStr(hashes) => {
+                    let h = hashes as usize;
+                    let closes = chars[i] == '"'
+                        && (1..=h).all(|k| chars.get(i + k) == Some(&'#'));
+                    if closes {
+                        code.push('"');
+                        for _ in 0..h {
+                            code.push('#');
+                        }
+                        state = StripState::Code;
+                        i += 1 + h;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                StripState::Code => {
+                    let c = chars[i];
+                    let prev_ident = i > 0 && chars[i - 1].is_ascii() && is_ident_byte(chars[i - 1] as u8);
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        break; // line comment: drop the rest of the line
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = StripState::BlockComment(1);
+                        code.push_str("  ");
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        state = StripState::Str;
+                        i += 1;
+                    } else if c == 'r' && !prev_ident && raw_string_hashes(&chars, i).is_some() {
+                        let h = raw_string_hashes(&chars, i).unwrap_or(0);
+                        code.push('r');
+                        for _ in 0..h {
+                            code.push('#');
+                        }
+                        code.push('"');
+                        state = StripState::RawStr(h);
+                        i += 2 + h as usize;
+                    } else if c == '\'' {
+                        if chars.get(i + 1) == Some(&'\\') {
+                            // Escaped char literal: skip '…\x…' to its close.
+                            let mut j = i + 3;
+                            while j < chars.len() && chars[j] != '\'' {
+                                j += 1;
+                            }
+                            let end = j.min(chars.len().saturating_sub(1));
+                            for _ in i..=end {
+                                code.push(' ');
+                            }
+                            i = j + 1;
+                        } else if chars.get(i + 2) == Some(&'\'') && i + 1 < chars.len() {
+                            code.push_str("   ");
+                            i += 3;
+                        } else {
+                            code.push('\''); // lifetime
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(code);
+    }
+    out
+}
+
+/// If `chars[at] == 'r'` starts a raw string (`r"`, `r#"`, …) returns
+/// the number of hashes.
+fn raw_string_hashes(chars: &[char], at: usize) -> Option<u8> {
+    let mut h = 0u8;
+    let mut j = at + 1;
+    while chars.get(j) == Some(&'#') {
+        h += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(h)
+    } else {
+        None
+    }
+}
+
+/// Marks lines belonging to `#[cfg(test)]` items (the attribute line
+/// through the item's closing brace, or its `;` for non-block items).
+fn mark_tests(code: &[String]) -> Vec<bool> {
+    let mut is_test = vec![false; code.len()];
+    let mut i = 0usize;
+    while i < code.len() {
+        let Some(pos) = code[i].find("#[cfg(test)]") else {
+            i += 1;
+            continue;
+        };
+        let start = i;
+        let mut depth: i64 = 0;
+        let mut entered = false;
+        let mut end = code.len() - 1; // unterminated item: to EOF
+        let mut j = i;
+        'scan: while j < code.len() {
+            let line = &code[j];
+            let skip = if j == i { (pos + "#[cfg(test)]".len()).min(line.len()) } else { 0 };
+            for &b in line.as_bytes()[skip..].iter() {
+                match b {
+                    b'{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    b'}' => {
+                        depth -= 1;
+                        if entered && depth <= 0 {
+                            end = j;
+                            break 'scan;
+                        }
+                    }
+                    b';' if !entered => {
+                        end = j;
+                        break 'scan;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        for t in is_test.iter_mut().take(end + 1).skip(start) {
+            *t = true;
+        }
+        i = end + 1;
+    }
+    is_test
+}
+
+/// Rule ids named by `lint:allow(a, b)` markers on this raw line.
+fn parse_allows(raw: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = raw;
+    while let Some(p) = rest.find("lint:allow(") {
+        let after = &rest[p + "lint:allow(".len()..];
+        let Some(close) = after.find(')') else { break };
+        for id in after[..close].split(',') {
+            let id = id.trim();
+            if !id.is_empty() {
+                out.push(id.to_string());
+            }
+        }
+        rest = &after[close..];
+    }
+    out
+}
+
+/// First boundary-checked occurrence of identifier-ish token `tok`.
+fn find_token(line: &str, tok: &str) -> Option<usize> {
+    let lb = line.as_bytes();
+    let mut from = 0usize;
+    while let Some(p) = line[from..].find(tok) {
+        let at = from + p;
+        let end = at + tok.len();
+        let pre_ok = at == 0 || !is_ident_byte(lb[at - 1]);
+        let post_ok = end >= lb.len() || !is_ident_byte(lb[end]);
+        if pre_ok && post_ok {
+            return Some(at);
+        }
+        from = end;
+    }
+    None
+}
+
+fn crate_of(rel: &str) -> &str {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some(slash) = rest.find('/') {
+            return &rest[..slash];
+        }
+    }
+    "root"
+}
+
+// ---------------------------------------------------------------------------
+// Rule application.
+// ---------------------------------------------------------------------------
+
+/// Lints a single source file (given as text) into `out`. `rel` is the
+/// workspace-relative path and determines which crate-scoped rules fire.
+pub fn lint_source(rel: &str, source: &str, cfg: &Config, out: &mut Vec<Finding>) {
+    let raw: Vec<&str> = source.lines().collect();
+    let code = strip_lines(&raw);
+    let is_test = mark_tests(&code);
+    let allows: Vec<Vec<String>> = raw.iter().map(|l| parse_allows(l)).collect();
+    let krate = crate_of(rel);
+    let hot = matches!(krate, "sim" | "core");
+
+    let mut emit = |rule: &'static str, line: usize, message: String| {
+        let l0 = line - 1;
+        let escaped = allows
+            .get(l0)
+            .map(|a| a.iter().any(|r| r == rule || r == "all"))
+            .unwrap_or(false)
+            || (l0 > 0
+                && allows
+                    .get(l0 - 1)
+                    .map(|a| a.iter().any(|r| r == rule || r == "all"))
+                    .unwrap_or(false));
+        out.push(Finding {
+            file: rel.to_string(),
+            line,
+            rule,
+            message,
+            allowed: escaped || cfg.is_allowed(rule),
+        });
+    };
+
+    // module-doc: first non-blank line must open a `//!` doc comment.
+    if let Some((idx, first)) = raw.iter().enumerate().find(|(_, l)| !l.trim().is_empty()) {
+        if !first.trim_start().starts_with("//!") {
+            emit(
+                MODULE_DOC,
+                idx + 1,
+                "source file must open with a //! module doc comment".to_string(),
+            );
+        }
+    }
+
+    for (idx, cl) in code.iter().enumerate() {
+        if is_test[idx] {
+            continue;
+        }
+        let n = idx + 1;
+
+        if find_token(cl, "HashMap").is_some() || find_token(cl, "HashSet").is_some() {
+            emit(
+                DEFAULT_COLLECTIONS,
+                n,
+                "default-hasher std collection; use avatar_sim::fxhash::FxHashMap/FxHashSet (SipHash is ~10x slower on integer keys)"
+                    .to_string(),
+            );
+        }
+
+        if rel != TIMER_FILE {
+            for tok in ["Instant", "SystemTime", "thread_rng", "RandomState", "from_entropy"] {
+                if find_token(cl, tok).is_some() {
+                    emit(
+                        NONDETERMINISM,
+                        n,
+                        format!("`{tok}` breaks bit-determinism; wall-clock/entropy belongs in bench::timer only"),
+                    );
+                    break;
+                }
+            }
+        }
+
+        if hot {
+            if cl.contains(".unwrap()") {
+                emit(
+                    HOT_PATH_PANIC,
+                    n,
+                    "unwrap() in a hot-path crate; use expect(\"<invariant>\") naming the violated invariant, or restructure"
+                        .to_string(),
+                );
+            }
+            for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+                if find_token(cl, mac).is_some() {
+                    emit(
+                        HOT_PATH_PANIC,
+                        n,
+                        format!("`{mac}` in a hot-path crate; engine code must degrade via expect(\"<invariant>\") or Result"),
+                    );
+                    break;
+                }
+            }
+
+            let mut from = 0usize;
+            while let Some(p) = cl[from..].find(".expect(\"") {
+                let at = from + p + ".expect(\"".len();
+                match cl[at..].find('"') {
+                    Some(close) => {
+                        if close < MIN_EXPECT_LEN {
+                            emit(
+                                WEAK_EXPECT,
+                                n,
+                                format!(
+                                    "expect message is {close} chars; name the violated invariant (>= {MIN_EXPECT_LEN} chars)"
+                                ),
+                            );
+                        }
+                        from = at + close + 1;
+                    }
+                    None => break,
+                }
+            }
+
+            let compact: String = cl.chars().filter(|c| !c.is_whitespace()).collect();
+            if compact.contains("Vec<Vec<") {
+                emit(
+                    VEC_VEC,
+                    n,
+                    "Vec<Vec<..>> hot structure; use a packed flat array with stride indexing (see DESIGN.md)".to_string(),
+                );
+            }
+        }
+    }
+
+    if hot {
+        for (line, message) in float_stats_findings(&code, &is_test) {
+            emit(FLOAT_STATS, line, message);
+        }
+    }
+}
+
+/// `f32`/`f64` fields inside `struct` declarations whose name contains
+/// `Stats` or `Counts` (brace-tracked, non-test lines only).
+fn float_stats_findings(code: &[String], is_test: &[bool]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut active: Option<(i64, bool)> = None; // (brace depth, body entered)
+    for (idx, line) in code.iter().enumerate() {
+        if is_test[idx] {
+            continue;
+        }
+        if active.is_none() {
+            if let Some(p) = find_token(line, "struct") {
+                let rest = &line[p + "struct".len()..];
+                let name: String = rest
+                    .trim_start()
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                if name.contains("Stats") || name.contains("Counts") {
+                    active = Some((0, false));
+                }
+            }
+        }
+        if let Some((ref mut depth, ref mut entered)) = active {
+            let mut unit_struct = false;
+            for b in line.bytes() {
+                match b {
+                    b'{' => {
+                        *depth += 1;
+                        *entered = true;
+                    }
+                    b'}' => *depth -= 1,
+                    b';' if !*entered => unit_struct = true,
+                    _ => {}
+                }
+            }
+            if *entered
+                && *depth > 0
+                && (find_token(line, "f32").is_some() || find_token(line, "f64").is_some())
+            {
+                out.push((
+                    idx + 1,
+                    "float field in a Stats/Counts struct; counters must be integers (float accumulation is summation-order-sensitive)"
+                        .to_string(),
+                ));
+            }
+            if (*entered && *depth <= 0) || unit_struct {
+                active = None;
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walking.
+// ---------------------------------------------------------------------------
+
+/// All `.rs` files under `<root>/src` and `<root>/crates/*/src`, sorted.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut dirs = Vec::new();
+    let src = root.join("src");
+    if src.is_dir() {
+        dirs.push(src);
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        members.sort();
+        for m in members {
+            let s = m.join("src");
+            if s.is_dir() {
+                dirs.push(s);
+            }
+        }
+    }
+    let mut files = Vec::new();
+    for d in &dirs {
+        collect_rs(d, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every workspace source file under `root`.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let files = workspace_files(root)?;
+    let mut findings = Vec::new();
+    for f in &files {
+        let rel = match f.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => f.to_string_lossy().replace('\\', "/"),
+        };
+        let source = fs::read_to_string(f)?;
+        lint_source(&rel, &source, cfg, &mut findings);
+    }
+    Ok(Report { findings, files_scanned: files.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(rel: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        lint_source(rel, src, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trip_rules() {
+        let src = "//! Doc mentioning HashMap and Instant.\n\
+                   // std::collections::HashMap in a comment\n\
+                   pub fn f() -> &'static str { \"HashMap Instant panic!\" }\n";
+        assert!(findings("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fx_prefixed_names_are_not_hits() {
+        let src = "//! Doc.\nuse avatar_sim::fxhash::FxHashMap;\ntype M = FxHashMap<u64, u64>;\n";
+        assert!(findings("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_exempt() {
+        let src = "//! Doc.\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       use std::collections::HashMap;\n\
+                       fn f() { let x: Option<u32> = None; x.unwrap(); }\n\
+                   }\n";
+        assert!(findings("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lint_allow_suppresses_but_reports() {
+        let src = "//! Doc.\n\
+                   // lint:allow(default-collections)\n\
+                   use std::collections::HashMap;\n";
+        let f = findings("crates/sim/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].allowed);
+        assert_eq!(f[0].rule, DEFAULT_COLLECTIONS);
+    }
+
+    #[test]
+    fn weak_expect_measures_blanked_span() {
+        let src = "//! Doc.\nfn f(x: Option<u32>) -> u32 { x.expect(\"spec\") }\n";
+        let f = findings("crates/sim/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, WEAK_EXPECT);
+        assert_eq!(f[0].line, 2);
+        let src_ok = "//! Doc.\nfn f(x: Option<u32>) -> u32 { x.expect(\"spec table has an entry per in-flight req\") }\n";
+        assert!(findings("crates/sim/src/x.rs", src_ok).is_empty());
+    }
+
+    #[test]
+    fn scoped_rules_skip_cold_crates() {
+        // unwrap/Vec<Vec< are a sim/core discipline; bpc is out of scope.
+        let src = "//! Doc.\nfn f(x: Option<u32>) -> u32 { let _v: Vec<Vec<u8>> = vec![]; x.unwrap() }\n";
+        assert!(findings("crates/bpc/src/x.rs", src).is_empty());
+        assert_eq!(findings("crates/sim/src/x.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn float_stats_only_fires_inside_stats_structs() {
+        let src = "//! Doc.\n\
+                   pub struct Stats {\n\
+                       pub hits: u64,\n\
+                       pub rate: f64,\n\
+                   }\n\
+                   pub struct Point {\n\
+                       pub x: f64,\n\
+                   }\n";
+        let f = findings("crates/sim/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, FLOAT_STATS);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn env_style_config_downgrades_rules() {
+        let mut cfg = Config::default();
+        cfg.allow_list("nondeterminism, vec-vec");
+        let mut out = Vec::new();
+        lint_source(
+            "crates/sim/src/x.rs",
+            "//! Doc.\nuse std::time::Instant;\n",
+            &cfg,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].allowed);
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_survive_stripping() {
+        let src = "//! Doc.\n\
+                   fn f() -> (char, char, &'static str) { ('\\'', '}', r#\"Instant {\"#) }\n\
+                   pub struct S<'a> { pub r: &'a str }\n";
+        assert!(findings("crates/sim/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: the sanctioned FxHash map passes (identifier-boundary check
+//! means `FxHashMap` is not a `HashMap` hit).
+
+pub fn warp_table() -> avatar_sim::fxhash::FxHashMap<u64, u64> {
+    avatar_sim::fxhash::FxHashMap::default()
+}

@@ -1,0 +1,6 @@
+//! Fixture: default-hasher std collection in non-test hot-path code.
+
+pub fn warp_table(keys: &[u64]) -> usize {
+    let m: std::collections::HashMap<u64, u64> = keys.iter().map(|&k| (k, k)).collect();
+    m.len()
+}

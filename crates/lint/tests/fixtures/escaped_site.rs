@@ -1,0 +1,7 @@
+//! Fixture: a `lint:allow` escape downgrades one site to `allowed`
+//! (still reported in JSON) without silencing the rule elsewhere.
+
+pub fn audit_only(cursor: Option<u32>) -> u32 {
+    // Audit code: panicking is the whole point. lint:allow(hot-path-panic)
+    cursor.unwrap()
+}

@@ -1,0 +1,11 @@
+//! Fixture: integer sum + count; the ratio is derived at report time.
+//! Floats outside Stats/Counts structs are fine too.
+
+pub struct WalkStats {
+    pub walks: u64,
+    pub latency_sum: u64,
+}
+
+pub struct Point {
+    pub x: f64,
+}

@@ -1,0 +1,7 @@
+//! Fixture: a float field in a Stats struct — accumulation order would
+//! leak into the reported value.
+
+pub struct WalkStats {
+    pub walks: u64,
+    pub avg_latency: f64,
+}

@@ -1,0 +1,6 @@
+//! Fixture: hot-path code names the violated invariant instead of
+//! unwrapping blind.
+
+pub fn pop_cursor(cursor: Option<u32>) -> u32 {
+    cursor.expect("calendar cursor is seeded before the first event fires")
+}

@@ -1,0 +1,5 @@
+//! Fixture: bare `.unwrap()` on the engine hot path.
+
+pub fn pop_cursor(cursor: Option<u32>) -> u32 {
+    cursor.unwrap()
+}

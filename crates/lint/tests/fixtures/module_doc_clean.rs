@@ -1,0 +1,3 @@
+//! Fixture: opens with a module doc comment, as every file must.
+
+pub fn noop() {}

@@ -1,0 +1,3 @@
+// A plain comment is not a module doc; the file must open with `//!`.
+
+pub fn noop() {}

@@ -1,0 +1,5 @@
+//! Fixture: simulation code keys everything off the logical clock.
+
+pub fn busy_spin(now_cycle: u64, spins: u64) -> u64 {
+    spins.wrapping_mul(now_cycle)
+}

@@ -1,0 +1,13 @@
+//! Fixture: the PR 2 packed layout — one flat array plus stride
+//! indexing instead of a vector of vectors.
+
+pub struct WaiterTable {
+    pub waiters: Vec<u32>,
+    pub stride: usize,
+}
+
+impl WaiterTable {
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.waiters[i * self.stride..(i + 1) * self.stride]
+    }
+}

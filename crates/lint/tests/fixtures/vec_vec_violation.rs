@@ -1,0 +1,5 @@
+//! Fixture: per-element heap boxes wreck locality in hot structures.
+
+pub struct WaiterTable {
+    pub waiters: Vec<Vec<u32>>,
+}

@@ -1,0 +1,5 @@
+//! Fixture: an expect message that states which invariant broke.
+
+pub fn head_slot(slots: Option<u32>) -> u32 {
+    slots.expect("MSHR waiter list is non-empty while the entry is live")
+}

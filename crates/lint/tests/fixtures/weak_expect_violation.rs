@@ -1,0 +1,5 @@
+//! Fixture: an expect message too short to name the violated invariant.
+
+pub fn head_slot(slots: Option<u32>) -> u32 {
+    slots.expect("slot")
+}

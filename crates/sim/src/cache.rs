@@ -300,6 +300,47 @@ impl SectorCache {
         self.meta[w] = 0;
         self.resident -= 1;
     }
+
+    /// Asserts directory consistency: the resident counter matches the
+    /// occupied ways, empty ways carry no sector flags, every tag indexes
+    /// into its own set, no set holds a tag twice, and no LRU stamp is
+    /// ahead of the global counter. Read-only; called periodically by the
+    /// engine in checked (`invariants` feature) builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn audit_invariants(&self) {
+        assert_eq!(self.tags.len(), self.nsets * self.assoc);
+        let mut occupied = 0usize;
+        for set in 0..self.nsets {
+            let base = set * self.assoc;
+            for w in base..base + self.assoc {
+                let t = self.tags[w];
+                if t == TAG_EMPTY {
+                    assert_eq!(self.meta[w], 0, "empty way {w} still carries sector flags");
+                    continue;
+                }
+                occupied += 1;
+                assert_eq!(
+                    (t % self.nsets as u64) as usize,
+                    set,
+                    "line {t} resident in set {set}, indexes elsewhere"
+                );
+                assert!(
+                    self.stamps[w] <= self.stamp,
+                    "way {w} stamp {} ahead of global stamp {}",
+                    self.stamps[w],
+                    self.stamp
+                );
+                assert!(
+                    !self.tags[base..w].contains(&t),
+                    "line {t} resident twice in set {set}"
+                );
+            }
+        }
+        assert_eq!(occupied, self.resident, "resident counter desynchronized");
+    }
 }
 
 #[cfg(test)]
@@ -405,6 +446,22 @@ mod tests {
         // must not silently drop the pending writeback.
         c.fill(pa(5, 0), guaranteed());
         assert!(c.peek(pa(5, 0)).unwrap().dirty);
+    }
+
+    #[test]
+    fn audit_passes_under_fill_evict_churn() {
+        let mut c = SectorCache::new(16, 2);
+        c.audit_invariants();
+        for i in 0..200u64 {
+            c.fill(pa(i % 40, i % 4), guaranteed());
+            if i % 7 == 0 {
+                c.invalidate_sector(pa(i % 40, 0));
+            }
+            if i % 13 == 0 {
+                c.invalidate_page(PhysAddr((i % 3) * crate::addr::PAGE_BYTES));
+            }
+            c.audit_invariants();
+        }
     }
 
     #[test]

@@ -117,6 +117,9 @@ pub struct Engine<'a> {
 
     reqs: Vec<MemReq>,
     l1_tlb_mshrs: Vec<MshrFile<u64, ReqId>>,
+    // Per-SM retry queues: the outer Vec is fixed at SM count and the
+    // inner ones are drained every retry event, so this never becomes a
+    // per-element hot structure. lint:allow(vec-vec)
     tlb_overflow: Vec<Vec<ReqId>>,
     l2_tlb_mshr: MshrFile<u64, u32>,
     l2_tlb_overflow: Vec<(u32, u64)>,
@@ -282,6 +285,13 @@ impl<'a> Engine<'a> {
                 self.q.schedule(0, Ev::WarpIssue { sm, warp });
             }
         }
+        // Checked mode: re-audit every structure at a fixed event cadence.
+        // The interval is read once — the audit must not touch the
+        // environment (or anything else nondeterministic) on the event path.
+        #[cfg(feature = "invariants")]
+        let audit_every = crate::invariant::audit_interval();
+        #[cfg(feature = "invariants")]
+        let mut until_audit = audit_every;
         let mut timed_out = false;
         while let Some((now, ev)) = self.q.pop() {
             if now > self.max_cycles {
@@ -290,7 +300,17 @@ impl<'a> Engine<'a> {
             }
             self.stats.events_processed += 1;
             self.handle(now, ev);
+            #[cfg(feature = "invariants")]
+            if audit_every != 0 {
+                until_audit -= 1;
+                if until_audit == 0 {
+                    until_audit = audit_every;
+                    self.audit_invariants();
+                }
+            }
         }
+        #[cfg(feature = "invariants")]
+        self.audit_invariants();
         let now = self.q.now();
         for sm in &mut self.sms {
             sm.finish(now);
@@ -363,6 +383,8 @@ impl<'a> Engine<'a> {
                 let (pc, addrs, is_store) = match op {
                     WarpOp::Load { pc, addrs } => (pc, addrs, false),
                     WarpOp::Store { pc, addrs } => (pc, addrs, true),
+                    // Pattern-restricted by the outer `op @ (Load | Store)`
+                    // binding; no runtime path reaches it. lint:allow(hot-path-panic)
                     WarpOp::Compute { .. } => unreachable!("matched above"),
                 };
                 self.stats.instructions += 1;
@@ -754,7 +776,7 @@ impl<'a> Engine<'a> {
                 if !spec.fetch_registered
                     && self.l1_mshrs[sm].merge(spec_pa.0, id)
                 {
-                    self.reqs[id as usize].spec.as_mut().expect("spec").fetch_registered = true;
+                    self.reqs[id as usize].spec.as_mut().expect("spec state outlives its in-flight sector fetch").fetch_registered = true;
                 }
                 self.stats.outcomes.record(if via_eaf {
                     SpecOutcome::FastTranslation
@@ -925,14 +947,14 @@ impl<'a> Engine<'a> {
                 match self.l1_mshrs[sm as usize].request(spec_pa.0, id) {
                 MshrGrant::Allocated => {
                     self.stats.spec_fetches += 1;
-                    self.reqs[id as usize].spec.as_mut().expect("spec").fetch_registered = true;
+                    self.reqs[id as usize].spec.as_mut().expect("spec state outlives its in-flight sector fetch").fetch_registered = true;
                     let grant = self.l2_cache_ports.grant(now);
                     self.q
                         .schedule(grant + self.cfg.l2_cache.latency, Ev::L2Access { sm, pa: spec_pa.0 });
                 }
                 MshrGrant::Merged => {
                     self.stats.spec_fetches += 1;
-                    self.reqs[id as usize].spec.as_mut().expect("spec").fetch_registered = true;
+                    self.reqs[id as usize].spec.as_mut().expect("spec state outlives its in-flight sector fetch").fetch_registered = true;
                 }
                 MshrGrant::Full => {
                     // Resource-constrained: the speculation silently lapses.
@@ -1163,7 +1185,7 @@ impl<'a> Engine<'a> {
                         }
                         SpecFillAction::Invalidate => {
                             self.stats.cava_mismatches += 1;
-                            self.reqs[id as usize].spec.as_mut().expect("spec").killed = true;
+                            self.reqs[id as usize].spec.as_mut().expect("spec state outlives its in-flight sector fetch").killed = true;
                         }
                     }
                 }
@@ -1258,6 +1280,10 @@ impl<'a> Engine<'a> {
         self.stats.sector_latency.add((now - issued) as f64);
         self.stats.sector_latency_hist.add(now - issued);
         let slot = self.warp_slot(sm, warp);
+        crate::debug_invariant!(
+            self.warp_outstanding[slot] > 0,
+            "completing request {id} for a warp with no outstanding sectors"
+        );
         self.warp_outstanding[slot] -= 1;
         let left = self.warp_outstanding[slot];
         if left == 0 {
@@ -1275,7 +1301,95 @@ impl<'a> Engine<'a> {
 
     fn record_coverage(&mut self, pages: u64) {
         let bucket = CoverageBucket::of_pages(pages);
-        let idx = CoverageBucket::ALL.iter().position(|b| *b == bucket).expect("bucket");
+        let idx = CoverageBucket::ALL
+            .iter()
+            .position(|b| *b == bucket)
+            .expect("CoverageBucket::ALL enumerates every bucket of_pages can return");
         self.stats.coverage_hits[idx] += 1;
+    }
+
+    /// Asserts whole-system consistency: every structure's own audit
+    /// (calendar slab, cache/TLB directories, MSHR files, walker, UVM)
+    /// plus the cross-structure invariants only the engine can see —
+    /// the walk-to-page maps are mutual inverses, every walk the walker
+    /// tracks is known to the engine, walk start-times belong to live
+    /// walks, and the per-warp outstanding counters sum to exactly the
+    /// incomplete sector requests.
+    ///
+    /// Read-only and O(total structure size): called between events, never
+    /// inside a handler. Checked (`invariants` feature) builds run it
+    /// every [`crate::invariant::audit_interval`] events and at end of
+    /// run; tests may call it directly in any build.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn audit_invariants(&self) {
+        self.q.audit_invariants();
+        for c in &self.l1_caches {
+            c.audit_invariants();
+        }
+        self.l2_cache.audit_invariants();
+        for t in &self.l1_tlbs {
+            t.audit_invariants();
+        }
+        self.l2_tlb.audit_invariants();
+        for m in &self.l1_tlb_mshrs {
+            m.audit_invariants();
+        }
+        self.l2_tlb_mshr.audit_invariants();
+        for m in &self.l1_mshrs {
+            m.audit_invariants();
+        }
+        self.l2_mshr.audit_invariants();
+        self.walks.audit_invariants();
+        for u in &self.uvms {
+            u.audit_invariants();
+        }
+
+        // The walk maps are mutual inverses (keys are salted VPNs).
+        assert_eq!(
+            self.walk_of_vpn.len(),
+            self.vpn_of_walk.len(),
+            "walk maps disagree on live walk count"
+        );
+        for (&svpn, &walk) in &self.walk_of_vpn {
+            let back = self
+                .vpn_of_walk
+                .get(&walk)
+                // Audit code: panicking is the whole point. lint:allow(hot-path-panic)
+                .unwrap_or_else(|| panic!("walk {} for page {svpn} has no inverse entry", walk.0));
+            assert_eq!(back.0, svpn, "walk {} maps back to page {}, not {svpn}", walk.0, back.0);
+        }
+        for &svpn in self.walk_started.keys() {
+            assert!(
+                self.walk_of_vpn.contains_key(&svpn),
+                "walk start-time recorded for page {svpn} with no live walk"
+            );
+        }
+        for id in self.walks.pending_walk_ids() {
+            assert!(
+                self.vpn_of_walk.contains_key(&id),
+                "walker tracks walk {} unknown to the engine",
+                id.0
+            );
+        }
+
+        // Waiter conservation: each warp's outstanding counter drops by one
+        // exactly when one of its sector requests completes, so the sums
+        // must agree at every event boundary.
+        let outstanding: u64 = self.warp_outstanding.iter().map(|&o| o as u64).sum();
+        let incomplete = self.reqs.iter().filter(|r| !r.completed).count() as u64;
+        assert_eq!(
+            outstanding, incomplete,
+            "warp outstanding counters desynchronized from incomplete requests"
+        );
+    }
+
+    /// Deliberately corrupts the event calendar's free list so checked-mode
+    /// tests can prove the audit detects real damage.
+    #[cfg(feature = "invariants")]
+    pub fn corrupt_event_queue_for_test(&mut self) {
+        self.q.corrupt_free_list_for_test();
     }
 }

@@ -215,6 +215,9 @@ impl<E> EventQueue<E> {
             word = (word + 1) % OCC_WORDS;
             bits = self.occupied[word];
         }
+        // The loop scans every OCC_WORDS word; ring_len > 0 guarantees a
+        // set bit, and the debug_assert above fires first if the bitmap
+        // ever desynchronizes. lint:allow(hot-path-panic)
         unreachable!("ring_len > 0 guarantees an occupied bucket");
     }
 
@@ -253,7 +256,7 @@ impl<E> EventQueue<E> {
             (None, None) => return None,
         };
         let (time, slot) = if take_ring {
-            let (t, _) = ring_head.expect("checked");
+            let (t, _) = ring_head.expect("take_ring implies the ring head exists");
             let b = (t & (WINDOW - 1)) as usize;
             let slot = self.heads[b];
             self.heads[b] = self.slab[slot as usize].next;
@@ -287,6 +290,117 @@ impl<E> EventQueue<E> {
     /// Whether the queue is drained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Asserts the calendar's full internal consistency: slab accounting
+    /// (every slot is on the free list, in a ring bucket, or in the
+    /// overflow heap — exactly once), bucket-list acyclicity and FIFO
+    /// sequence order, head/tail/occupancy-bitmap agreement, and that
+    /// every pending event lies at or after the cursor.
+    ///
+    /// O(slab + WINDOW) and read-only; the engine calls it periodically in
+    /// checked (`invariants` feature) builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn audit_invariants(&self) {
+        assert_eq!(
+            self.slab.len(),
+            self.free.len() + self.ring_len + self.overflow.len(),
+            "slab slots leaked: {} slots, {} free + {} ring + {} overflow",
+            self.slab.len(),
+            self.free.len(),
+            self.ring_len,
+            self.overflow.len()
+        );
+        // Every slot must be claimed by exactly one owner.
+        let mut seen = vec![false; self.slab.len()];
+        let mut claim = |slot: u32, role: &str| {
+            let i = slot as usize;
+            assert!(i < self.slab.len(), "{role} holds out-of-range slot {slot}");
+            assert!(!seen[i], "slot {slot} claimed twice (second owner: {role})");
+            seen[i] = true;
+        };
+        for &f in &self.free {
+            claim(f, "free list");
+            assert!(
+                self.slab[f as usize].event.is_none(),
+                "free slot {f} still holds an event"
+            );
+        }
+        let mut ring_count = 0usize;
+        for b in 0..WINDOW as usize {
+            let head = self.heads[b];
+            let bit_set = self.occupied[b / 64] >> (b % 64) & 1 == 1;
+            assert_eq!(bit_set, head != NIL, "occupancy bit disagrees with bucket {b}");
+            assert_eq!(head == NIL, self.tails[b] == NIL, "head/tail disagree in bucket {b}");
+            let mut cur = head;
+            let mut prev_seq = None;
+            let mut last = NIL;
+            let mut steps = 0usize;
+            while cur != NIL {
+                steps += 1;
+                assert!(steps <= self.slab.len(), "cycle in bucket {b} list");
+                claim(cur, "ring bucket");
+                let s = &self.slab[cur as usize];
+                assert!(s.event.is_some(), "ring slot {cur} holds no event");
+                assert_eq!(
+                    (s.time & (WINDOW - 1)) as usize,
+                    b,
+                    "slot in bucket {b} carries a time that maps elsewhere"
+                );
+                assert!(
+                    s.time >= self.cursor && s.time - self.cursor < WINDOW,
+                    "ring event at cycle {} outside window [{}, {})",
+                    s.time,
+                    self.cursor,
+                    self.cursor + WINDOW
+                );
+                assert!(s.seq < self.seq, "slot seq {} from the future", s.seq);
+                if let Some(p) = prev_seq {
+                    assert!(s.seq > p, "bucket {b} FIFO order broken: {} after {p}", s.seq);
+                }
+                prev_seq = Some(s.seq);
+                last = cur;
+                cur = s.next;
+            }
+            if head != NIL {
+                assert_eq!(self.tails[b], last, "tail of bucket {b} is not its last node");
+            }
+            ring_count += steps;
+        }
+        assert_eq!(ring_count, self.ring_len, "ring_len desynchronized from bucket lists");
+        for Reverse(e) in self.overflow.iter() {
+            claim(e.slot, "overflow heap");
+            let s = &self.slab[e.slot as usize];
+            assert!(s.event.is_some(), "overflow slot {} holds no event", e.slot);
+            assert_eq!(
+                (s.time, s.seq),
+                (e.time, e.seq),
+                "overflow entry disagrees with its slab slot"
+            );
+            assert!(e.time >= self.cursor, "overflow event at {} behind cursor {}", e.time, self.cursor);
+            assert!(e.seq < self.seq, "overflow seq {} from the future", e.seq);
+        }
+    }
+
+    /// Deliberately pushes an in-use slot onto the free list, breaking the
+    /// slab accounting. Exists only so the checked-mode test suite can
+    /// prove [`audit_invariants`](Self::audit_invariants) actually catches
+    /// corruption.
+    #[cfg(feature = "invariants")]
+    pub fn corrupt_free_list_for_test(&mut self) {
+        // Prefer double-freeing a live slot; an empty calendar gets an
+        // out-of-range index instead. Either way the slab accounting no
+        // longer balances.
+        let victim = self
+            .slab
+            .iter()
+            .position(|s| s.event.is_some())
+            .map(|i| i as u32)
+            .unwrap_or(self.slab.len() as u32 + 7);
+        self.free.push(victim);
     }
 }
 
@@ -509,6 +623,27 @@ mod tests {
         q.schedule(500, "b");
         while q.pop().is_some() {}
         assert_eq!(q.idle_cycles_skipped(), 0);
+    }
+
+    #[test]
+    fn audit_passes_under_random_churn() {
+        let mut q = EventQueue::new();
+        q.audit_invariants();
+        let mut rng = SimRng::seed_from_u64(0xA0D1);
+        for step in 0..3000u32 {
+            if rng.next_f64() < 0.6 {
+                let horizon = if rng.next_f64() < 0.1 { WINDOW * 3 } else { WINDOW / 2 };
+                let t = q.now() + rng.next_below(horizon);
+                q.schedule(t, step);
+            } else {
+                q.pop();
+            }
+            if step % 64 == 0 {
+                q.audit_invariants();
+            }
+        }
+        while q.pop().is_some() {}
+        q.audit_invariants();
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Checked-mode invariant auditing support.
+//!
+//! The simulator's hot structures are hand-rolled (slab-backed event
+//! calendar, packed cache/TLB arrays, chunk-granular frame directories),
+//! which means a silent corruption — a leaked slab slot, a desynchronized
+//! LRU counter, a frame-owner entry that no longer round-trips — skews
+//! the paper's headline numbers without failing a single functional test.
+//! Each structure therefore exposes an `audit_invariants()` method that
+//! asserts its full internal consistency (O(structure size), far too slow
+//! for every event).
+//!
+//! The `invariants` cargo feature turns on *checked mode*: the engine
+//! re-audits every structure every [`audit_interval`] events (tunable via
+//! `AVATAR_INVARIANT_INTERVAL`, default 4096, `0` = only at end of run)
+//! and the [`debug_invariant!`] macro compiles to a real assertion at the
+//! inline checkpoints sprinkled through hot paths. With the feature off,
+//! both compile to nothing — checked mode costs zero on the measured
+//! configurations, which is what lets CI run the same binaries for
+//! figures and for auditing. Audits never mutate state, so a checked-mode
+//! run produces byte-identical statistics (a CI-enforced property).
+
+/// FNV-1a, 64-bit: the determinism digest hash. Stable across platforms
+/// and independent of the std hasher, so digests can be compared across
+/// runs, thread counts, and builds.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// Creates a hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one 64-bit word (little-endian bytes) into the digest.
+    pub fn write_u64(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Events between two full structure audits in checked mode, from
+/// `AVATAR_INVARIANT_INTERVAL` (default 4096; `0` disables the periodic
+/// audit, leaving only the end-of-run one). Read once per run — the
+/// audit cadence must not re-read the environment on the event path.
+#[cfg(feature = "invariants")]
+pub fn audit_interval() -> u64 {
+    std::env::var("AVATAR_INVARIANT_INTERVAL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4096)
+}
+
+/// Asserts an invariant in checked-mode (`invariants` feature) builds;
+/// compiles to nothing otherwise. Same argument shape as `assert!`.
+#[cfg(feature = "invariants")]
+#[macro_export]
+macro_rules! debug_invariant {
+    ($($t:tt)*) => {
+        assert!($($t)*);
+    };
+}
+
+/// Asserts an invariant in checked-mode (`invariants` feature) builds;
+/// compiles to nothing otherwise. Same argument shape as `assert!`.
+#[cfg(not(feature = "invariants"))]
+#[macro_export]
+macro_rules! debug_invariant {
+    ($($t:tt)*) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_order_sensitive() {
+        let mut a = Fnv64::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv64::new();
+        b.write_u64(1);
+        b.write_u64(2);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv64::new();
+        c.write_u64(2);
+        c.write_u64(1);
+        assert_ne!(a.finish(), c.finish());
+        // Zero input still advances the state (FNV-1a multiplies after
+        // every byte), so an all-zero Stats has a distinctive digest.
+        let mut d = Fnv64::new();
+        d.write_u64(0);
+        assert_ne!(d.finish(), Fnv64::new().finish());
+    }
+
+    #[test]
+    fn empty_digest_is_offset_basis() {
+        assert_eq!(Fnv64::new().finish(), 0xcbf2_9ce4_8422_2325);
+    }
+}

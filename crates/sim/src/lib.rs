@@ -75,6 +75,7 @@ pub mod engine;
 pub mod event;
 pub mod fxhash;
 pub mod hooks;
+pub mod invariant;
 pub mod page_table;
 pub mod port;
 pub mod rng;

@@ -64,6 +64,7 @@ pub struct MshrFile<K, W> {
     entries: crate::fxhash::FxHashMap<K, Vec<W>>,
     /// Retired waiter vectors, kept so steady-state allocate/complete
     /// cycles reuse capacity instead of hitting the allocator every miss.
+    /// A recycling pool, not a hot per-element structure. lint:allow(vec-vec)
     spare: Vec<Vec<W>>,
 }
 
@@ -138,6 +139,38 @@ impl<K: std::hash::Hash + Eq + Copy, W> MshrFile<K, W> {
     /// Whether the file is at capacity.
     pub fn is_full(&self) -> bool {
         self.entries.len() >= self.capacity
+    }
+
+    /// Total waiters across all live entries (checked-mode conservation
+    /// audits compare this against the requests known to be in flight).
+    pub fn waiter_count(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// Asserts file consistency: never above capacity, no entry without a
+    /// waiter (an MSHR exists only to hold whoever is waiting on the
+    /// fill), and every pooled spare vector empty. Read-only; called
+    /// periodically by the engine in checked (`invariants` feature)
+    /// builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn audit_invariants(&self) {
+        assert!(
+            self.entries.len() <= self.capacity,
+            "MSHR file over capacity: {} entries, capacity {}",
+            self.entries.len(),
+            self.capacity
+        );
+        for waiters in self.entries.values() {
+            assert!(!waiters.is_empty(), "MSHR entry with no waiters");
+        }
+        assert!(self.spare.len() <= self.capacity, "spare pool over capacity");
+        assert!(
+            self.spare.iter().all(Vec::is_empty),
+            "spare pool holds a non-empty waiter vector"
+        );
     }
 }
 

@@ -1,6 +1,7 @@
 //! Simulation statistics: everything the paper's figures report.
 
 use crate::config::Cycle;
+use crate::invariant::Fnv64;
 
 /// Outcome classes for memory accesses that received a *correct*
 /// speculative translation (paper Fig 16).
@@ -355,6 +356,82 @@ impl Stats {
             self.migrate_compressed as f64 / self.migrate_sectors as f64
         }
     }
+
+    /// FNV-1a determinism digest over every counter in declaration order.
+    ///
+    /// Two runs of the same cell must produce the same digest regardless of
+    /// runner thread count or whether the `invariants` feature is on —
+    /// checked mode and the parallel runner both gate on this. Floats are
+    /// folded as raw bit patterns, so any numeric drift (not just a changed
+    /// rounding) flips the digest.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        let mut w = |v: u64| h.write_u64(v);
+        w(self.cycles);
+        w(self.events_processed);
+        w(self.idle_cycles_skipped);
+        w(self.instructions);
+        w(self.loads);
+        w(self.stores);
+        w(self.writebacks);
+        w(self.sector_requests);
+        w(self.stall_cycles);
+        w(self.l1_tlb_lookups);
+        w(self.l1_tlb_hits);
+        w(self.l2_tlb_lookups);
+        w(self.l2_tlb_hits);
+        w(self.page_walks);
+        w(self.walks_aborted);
+        w(self.walk_merges);
+        w(self.walk_memory_accesses);
+        w(self.eaf_cross_sm_fills);
+        w(self.eaf_fills);
+        w(self.l1_tlb_mshr_full);
+        w(self.l2_tlb_mshr_full);
+        w(self.cache_mshr_full);
+        w(self.pw_buffer_full);
+        w(self.eaf_releases);
+        w(self.l1d_lookups);
+        w(self.l1d_hits);
+        w(self.l2_lookups);
+        w(self.l2_hits);
+        w(self.dram_read_bytes);
+        w(self.dram_write_bytes);
+        w(self.dram_row_hits);
+        w(self.dram_row_misses);
+        w(self.page_faults);
+        w(self.pages_migrated);
+        w(self.remote_accesses);
+        w(self.chunks_evicted);
+        w(self.tlb_shootdowns);
+        w(self.promotions);
+        w(self.splinters);
+        w(self.merge_memory_accesses);
+        w(self.speculations);
+        w(self.spec_correct);
+        w(self.spec_false);
+        w(self.spec_fetches);
+        w(self.spec_compressed);
+        w(self.cava_mismatches);
+        w(self.outcomes.fast_translation);
+        w(self.outcomes.l1d_hit);
+        w(self.outcomes.l1d_merge);
+        w(self.outcomes.l1d_miss);
+        for c in self.coverage_hits {
+            w(c);
+        }
+        for m in [&self.load_latency, &self.sector_latency, &self.walk_latency] {
+            w(m.sum.to_bits());
+            w(m.n);
+        }
+        for b in self.sector_latency_hist.buckets {
+            w(b);
+        }
+        w(self.sector_latency_hist.n);
+        w(self.migrate_sectors);
+        w(self.migrate_compressed);
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -427,6 +504,19 @@ mod tests {
         };
         assert!((s.spec_accuracy() - 0.9).abs() < 1e-9);
         assert!((s.spec_coverage() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn digest_covers_counters_and_float_state() {
+        assert_eq!(Stats::default().digest(), Stats::default().digest());
+        let bumped = Stats { loads: 1, ..Stats::default() };
+        assert_ne!(Stats::default().digest(), bumped.digest());
+        let mut with_mean = Stats::default();
+        with_mean.load_latency.add(1.0);
+        assert_ne!(Stats::default().digest(), with_mean.digest());
+        let mut with_hist = Stats::default();
+        with_hist.sector_latency_hist.add(100);
+        assert_ne!(Stats::default().digest(), with_hist.digest());
     }
 
     #[test]

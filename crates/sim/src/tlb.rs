@@ -96,6 +96,11 @@ pub trait TlbModel: std::fmt::Debug {
     fn drain_extra_memory_refs(&mut self) -> u64 {
         0
     }
+
+    /// Asserts the model's internal consistency (checked-mode audits).
+    /// Must be read-only. Models with no auditable state keep the default
+    /// no-op.
+    fn audit_invariants(&self) {}
 }
 
 /// Sentinel VPN for an unoccupied way. Salted VPNs stay far below 2^63, so
@@ -222,6 +227,38 @@ impl EntryArray {
     fn len(&self) -> usize {
         self.live
     }
+
+    /// Asserts array consistency: the live counter matches the occupied
+    /// ways, every occupied way has a non-zero reach and indexes into its
+    /// own set, and no LRU stamp is ahead of the global counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub(crate) fn audit_invariants(&self) {
+        assert_eq!(self.vpns.len(), self.nsets * self.ways);
+        let mut occupied = 0usize;
+        for (w, &vpn) in self.vpns.iter().enumerate() {
+            if vpn == VPN_EMPTY {
+                continue;
+            }
+            occupied += 1;
+            let set = w / self.ways;
+            assert!(self.spans[w] > 0, "way {w} live with zero reach");
+            assert_eq!(
+                self.set_base(vpn) / self.ways,
+                set,
+                "entry for vpn {vpn} resident in set {set}, indexes elsewhere"
+            );
+            assert!(
+                self.stamps[w] <= self.stamp,
+                "way {w} stamp {} ahead of global stamp {}",
+                self.stamps[w],
+                self.stamp
+            );
+        }
+        assert_eq!(occupied, self.live, "live counter desynchronized");
+    }
 }
 
 /// The baseline TLB: a base-page array plus a 2MB large-page array.
@@ -290,6 +327,11 @@ impl TlbModel for BaseTlb {
 
     fn name(&self) -> &'static str {
         "base"
+    }
+
+    fn audit_invariants(&self) {
+        self.base.audit_invariants();
+        self.large.audit_invariants();
     }
 }
 
@@ -390,6 +432,29 @@ mod tests {
         t.fill(&fill4k(7, 70));
         t.fill(&fill4k(7, 77));
         assert_eq!(t.lookup(Vpn(7)).unwrap().ppn, Ppn(77));
+    }
+
+    #[test]
+    fn audit_passes_under_fill_invalidate_churn() {
+        let mut t = BaseTlb::new(8, 4, 2, 1);
+        t.audit_invariants();
+        for i in 0..200u64 {
+            t.fill(&fill4k(i % 37, i + 100));
+            if i % 9 == 0 {
+                t.fill(&TlbFill {
+                    vpn: Vpn((i % 5) * PAGES_PER_CHUNK),
+                    ppn: Ppn(i * 1000),
+                    pages: PAGES_PER_CHUNK,
+                    run: None,
+                });
+            }
+            if i % 5 == 0 {
+                t.invalidate(Vpn(i % 37), 2);
+            }
+            t.audit_invariants();
+        }
+        t.flush();
+        t.audit_invariants();
     }
 
     #[test]

@@ -321,7 +321,7 @@ impl Uvm {
                 Ppn(self.scatter_pool.pop().expect("refilled"))
             }
         };
-        let chunk = self.chunks.get_mut(&vchunk).expect("present");
+        let chunk = self.chunks.get_mut(&vchunk).expect("chunk entry was inserted at the top of migrate_page");
         chunk.last_touch = epoch;
         chunk.set_resident(vpn.page_in_chunk());
         self.page_table.map_page(vpn, ppn);
@@ -418,6 +418,83 @@ impl Uvm {
             .get(&vpn.chunk())
             .map(|c| c.is_resident(vpn.page_in_chunk()))
             .unwrap_or(false)
+    }
+
+    /// Asserts manager consistency: every chunk's resident counter matches
+    /// its bitmap, `used_frames` equals both the total resident pages and
+    /// the total owned frames, every resident page round-trips through the
+    /// page table to a frame owned by exactly that page (and back), and
+    /// cold-page access counters sit strictly below the migration
+    /// threshold. Read-only; called periodically by the engine in checked
+    /// (`invariants` feature) builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn audit_invariants(&self) {
+        let mut resident_total = 0u64;
+        for (&vchunk, c) in &self.chunks {
+            let popcount: u64 = c.resident.iter().map(|w| w.count_ones() as u64).sum();
+            assert_eq!(
+                c.resident_count, popcount,
+                "chunk {vchunk}: resident_count desynchronized from bitmap"
+            );
+            assert!(c.resident_count <= PAGES_PER_CHUNK);
+            assert!(c.last_touch <= self.touch_epoch, "chunk {vchunk} touched in the future");
+            resident_total += c.resident_count;
+            for i in 0..PAGES_PER_CHUNK {
+                if !c.is_resident(i) {
+                    continue;
+                }
+                let vpn = Vpn(vchunk * PAGES_PER_CHUNK + i);
+                let t = self
+                    .page_table
+                    .translate(vpn)
+                    // Audit code: panicking is the whole point. lint:allow(hot-path-panic)
+                    .unwrap_or_else(|| panic!("resident page {} not mapped", vpn.0));
+                let owner = self
+                    .frame_owner
+                    .get(t.ppn.0)
+                    // Audit code: panicking is the whole point. lint:allow(hot-path-panic)
+                    .unwrap_or_else(|| panic!("frame {} of resident page {} unowned", t.ppn.0, vpn.0));
+                assert_eq!(
+                    owner.vpn, vpn,
+                    "frame {} owned by page {}, mapped from page {}",
+                    t.ppn.0, owner.vpn.0, vpn.0
+                );
+            }
+        }
+        assert_eq!(resident_total, self.used_frames, "used_frames desynchronized from chunk bitmaps");
+        // The inverse direction: every owned frame belongs to a page that
+        // is resident and maps back to that frame.
+        let mut owned_total = 0u64;
+        for (&pchunk, arr) in &self.frame_owner.chunks {
+            for (slot, &v) in arr.iter().enumerate() {
+                if v == NO_OWNER {
+                    continue;
+                }
+                owned_total += 1;
+                let ppn = pchunk * PAGES_PER_CHUNK + slot as u64;
+                let vpn = Vpn(v >> 1);
+                assert!(self.is_resident(vpn), "frame {ppn} owned by non-resident page {}", vpn.0);
+                let t = self
+                    .page_table
+                    .translate(vpn)
+                    // Audit code: panicking is the whole point. lint:allow(hot-path-panic)
+                    .unwrap_or_else(|| panic!("owned frame {ppn}: page {} unmapped", vpn.0));
+                assert_eq!(t.ppn.0, ppn, "frame {ppn} owner maps elsewhere ({})", t.ppn.0);
+            }
+        }
+        assert_eq!(owned_total, self.used_frames, "frame-owner directory desynchronized");
+        if self.cfg.migration_threshold > 1 {
+            for (&vpn, &count) in &self.cold_counts {
+                assert!(
+                    count > 0 && count < self.cfg.migration_threshold,
+                    "cold counter for page {vpn} is {count}, threshold {}",
+                    self.cfg.migration_threshold
+                );
+            }
+        }
     }
 }
 
@@ -614,6 +691,24 @@ mod tests {
         // Once resident, later touches are ordinary hits.
         let r4 = u.touch(Vpn(5));
         assert!(!r4.remote && !r4.faulted);
+    }
+
+    #[test]
+    fn audit_passes_across_migrate_evict_churn() {
+        let mut u = Uvm::new(
+            UvmConfig {
+                gpu_memory_bytes: 2 * crate::addr::CHUNK_BYTES,
+                promotion: true,
+                ..cfg()
+            },
+            1,
+        );
+        u.audit_invariants();
+        for p in (0..4 * PAGES_PER_CHUNK).step_by(16) {
+            u.touch(Vpn(p));
+            u.audit_invariants();
+        }
+        assert!(u.resident_chunks() > 0);
     }
 
     #[test]

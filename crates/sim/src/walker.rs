@@ -123,6 +123,23 @@ impl PwCache {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Asserts cache consistency: within capacity, unique keys, no LRU
+    /// stamp ahead of the global counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn audit_invariants(&self) {
+        assert!(self.entries.len() <= self.capacity, "pw cache over capacity");
+        for (i, &(k, t)) in self.entries.iter().enumerate() {
+            assert!(t <= self.stamp, "pw cache stamp {t} ahead of global {}", self.stamp);
+            assert!(
+                !self.entries[..i].iter().any(|&(k2, _)| k2 == k),
+                "pw cache key {k} present twice"
+            );
+        }
+    }
 }
 
 /// The page-walk system: finite walkers fed from a finite walk buffer.
@@ -264,6 +281,50 @@ impl PageWalkSystem {
     /// Access to the page-walk cache (tests, stats).
     pub fn pw_cache(&self) -> &PwCache {
         &self.pw_cache
+    }
+
+    /// Ids of every live (queued or active) walk, queued first. Checked
+    /// mode cross-checks these against the engine's walk-to-VPN maps.
+    pub fn pending_walk_ids(&self) -> impl Iterator<Item = WalkId> + '_ {
+        self.queue.iter().map(|q| q.id).chain(self.active.iter().map(|w| w.id))
+    }
+
+    /// Asserts system consistency: walker and buffer limits respected,
+    /// every live walk id unique and below the allocation cursor, every
+    /// active walk's level cursor inside its walk, and the page-walk
+    /// cache internally consistent. Read-only; called periodically by the
+    /// engine in checked (`invariants` feature) builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn audit_invariants(&self) {
+        assert!(
+            self.active.len() <= self.cfg.walkers,
+            "{} active walks exceed {} walkers",
+            self.active.len(),
+            self.cfg.walkers
+        );
+        assert!(
+            self.queue.len() + self.active.len() <= self.cfg.buffer_entries,
+            "walk buffer over capacity: {} queued + {} active > {}",
+            self.queue.len(),
+            self.active.len(),
+            self.cfg.buffer_entries
+        );
+        let ids: Vec<WalkId> = self.pending_walk_ids().collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert!(id.0 < self.next_id, "walk id {} from the future", id.0);
+            assert!(!ids[..i].contains(id), "walk id {} live twice", id.0);
+        }
+        for w in &self.active {
+            assert!(
+                (w.level as usize) < w.levels as usize,
+                "active walk {} past its last level",
+                w.id.0
+            );
+        }
+        self.pw_cache.audit_invariants();
     }
 }
 

@@ -345,7 +345,7 @@ impl TraceProgram {
 /// relative to real occupancy, as the paper does per workload.
 pub fn touched_footprint(w: &Workload, num_sms: usize, warps_per_sm: usize, scale: f64) -> u64 {
     let mut p = TraceProgram::new(w.clone(), num_sms, warps_per_sm, scale);
-    let mut blocks = std::collections::HashSet::new();
+    let mut blocks = avatar_sim::fxhash::FxHashSet::default();
     for sm in 0..num_sms {
         for warp in 0..warps_per_sm {
             while let Some(op) = p.next_op(sm, warp) {

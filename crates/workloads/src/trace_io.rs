@@ -15,8 +15,8 @@
 //! warps is irrelevant (each warp replays its own stream).
 
 use avatar_sim::addr::VirtAddr;
+use avatar_sim::fxhash::FxHashMap;
 use avatar_sim::sm::{WarpOp, WarpProgram};
-use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
 
 /// Magic header for the trace format.
@@ -94,8 +94,8 @@ impl From<ParseTraceError> for io::Error {
 /// A replayable program loaded from a trace.
 #[derive(Debug, Clone, Default)]
 pub struct FileProgram {
-    ops: HashMap<(usize, usize), Vec<WarpOp>>,
-    cursor: HashMap<(usize, usize), usize>,
+    ops: FxHashMap<(usize, usize), Vec<WarpOp>>,
+    cursor: FxHashMap<(usize, usize), usize>,
 }
 
 impl FileProgram {
@@ -106,7 +106,7 @@ impl FileProgram {
     /// Returns an error on I/O failure or malformed lines.
     pub fn from_reader<R: Read>(r: R) -> io::Result<FileProgram> {
         let reader = BufReader::new(r);
-        let mut ops: HashMap<(usize, usize), Vec<WarpOp>> = HashMap::new();
+        let mut ops: FxHashMap<(usize, usize), Vec<WarpOp>> = FxHashMap::default();
         for (idx, line) in reader.lines().enumerate() {
             let line = line?;
             let lineno = idx + 1;
@@ -157,7 +157,7 @@ impl FileProgram {
             };
             ops.entry((sm, warp)).or_default().push(op);
         }
-        Ok(FileProgram { ops, cursor: HashMap::new() })
+        Ok(FileProgram { ops, cursor: FxHashMap::default() })
     }
 
     /// Total operations across all warps.
