@@ -44,34 +44,58 @@ fn grid(opts: &HarnessOpts) -> Vec<Scenario> {
     scenarios
 }
 
-/// (total events, failed cells, combined determinism digest) of one grid
-/// pass. The digest folds every cell's full [`avatar_sim::Stats`] digest in
-/// submission order; since cells come back in submission order regardless
-/// of thread count, every pass of the same grid must produce the same
-/// value.
-fn measure(results: &[ScenarioResult]) -> (u64, usize, u64) {
-    let mut events = 0u64;
-    let mut failed = 0usize;
+/// Aggregates of one grid pass. The digest folds every cell's full
+/// [`avatar_sim::Stats`] digest in submission order; since cells come back
+/// in submission order regardless of thread count, every pass of the same
+/// grid must produce the same value.
+struct PassMeasure {
+    events: u64,
+    failed: usize,
+    digest: u64,
+    /// Total coalesced sector requests across all cells.
+    sector_requests: u64,
+    /// Sectors resolved by the inline hit fast path across all cells.
+    fast_path_sectors: u64,
+}
+
+fn measure(results: &[ScenarioResult]) -> PassMeasure {
+    let mut m = PassMeasure {
+        events: 0,
+        failed: 0,
+        digest: 0,
+        sector_requests: 0,
+        fast_path_sectors: 0,
+    };
     let mut digest = avatar_sim::invariant::Fnv64::new();
     for r in results {
         match &r.stats {
             Ok(s) => {
-                events += s.events_processed;
+                m.events += s.events_processed;
+                m.sector_requests += s.sector_requests;
+                m.fast_path_sectors += s.fast_path_sectors;
                 digest.write_u64(s.digest());
             }
             Err(e) => {
-                failed += 1;
+                m.failed += 1;
                 digest.write_u64(u64::MAX); // failed cells still shift the digest
                 eprintln!("cell '{}' failed: {e}", r.label);
             }
         }
     }
-    (events, failed, digest.finish())
+    m.digest = digest.finish();
+    m
 }
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let n_cells = grid(&opts).len();
+
+    // Host environment + speed-knob provenance, recorded per JSON entry so
+    // a benchmark number can never be quoted without the knobs it ran
+    // under. Cells build their configs from `GpuConfig::default()`, which
+    // is where the env-driven knobs are read.
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let knobs = avatar_sim::config::GpuConfig::default();
 
     let mut json = Vec::new();
     let mut rows = Vec::new();
@@ -88,8 +112,11 @@ fn main() {
         let t0 = Instant::now(); // lint:allow(nondeterminism)
         let results = run_scenarios(threads, grid(&opts));
         let wall_s = t0.elapsed().as_secs_f64();
-        let (events, failed, digest) = measure(&results);
+        let m = measure(&results);
+        let PassMeasure { events, failed, digest, sector_requests, fast_path_sectors } = m;
         total_failed += failed;
+        let fast_path_ratio =
+            if sector_requests > 0 { fast_path_sectors as f64 / sector_requests as f64 } else { 0.0 };
         if threads == 1 {
             serial_s = wall_s;
             events_per_sec = events as f64 / wall_s;
@@ -109,17 +136,22 @@ fn main() {
             format!("{cells_per_sec:.3}"),
             format!("{scaling:.2}"),
             if threads == 1 { format!("{events_per_sec:.0}") } else { "-".into() },
+            format!("{:.1}%", fast_path_ratio * 100.0),
             failed.to_string(),
         ]);
         json.push(obj! {
             "cells": n_cells,
             "threads": threads,
+            "cpus": cpus,
             "digest": format!("{digest:#018x}"),
             "events_processed": events,
             "events_per_sec": if threads == 1 { events_per_sec } else { events as f64 / wall_s },
             "wall_s": wall_s,
             "cells_per_sec": cells_per_sec,
             "scaling": scaling,
+            "fast_path_ratio": fast_path_ratio,
+            "fast_forward": knobs.fast_forward,
+            "inline_hit_path": knobs.inline_hit_path,
             "failed_cells": failed,
         });
     }
@@ -129,7 +161,7 @@ fn main() {
         opts.scale, opts.sms, opts.warps
     );
     print_table(
-        &["Threads", "Wall (s)", "Cells/sec", "Scaling", "Events/sec", "Failed"],
+        &["Threads", "Wall (s)", "Cells/sec", "Scaling", "Events/sec", "FastPath", "Failed"],
         &rows,
     );
 

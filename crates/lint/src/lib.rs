@@ -51,6 +51,12 @@ pub const VEC_VEC: &str = "vec-vec";
 pub const FLOAT_STATS: &str = "float-stats";
 /// Rule id: every source file must open with a `//!` module doc.
 pub const MODULE_DOC: &str = "module-doc";
+/// Rule id: `schedule(now, …)` / `schedule_in(0, …)` in `sim`/`core`
+/// non-test code. A zero-delta self-schedule pays a full calendar
+/// round-trip (insert, pop, dispatch) to run code the caller could have
+/// invoked directly in the same cycle — the PR 4 fast-path work removed
+/// every such site from the engine.
+pub const ZERO_DELTA_SCHEDULE: &str = "zero-delta-schedule";
 
 /// Minimum length for an `.expect("…")` message in hot crates; anything
 /// shorter cannot plausibly name the violated invariant.
@@ -107,6 +113,11 @@ pub const RULES: &[RuleInfo] = &[
         id: MODULE_DOC,
         scope: "all crates",
         summary: "every source file opens with a //! module doc comment",
+    },
+    RuleInfo {
+        id: ZERO_DELTA_SCHEDULE,
+        scope: "sim, core",
+        summary: "no schedule(now, ..)/schedule_in(0, ..) zero-delta self-schedules; call the handler directly instead of paying a calendar round-trip",
     },
 ];
 
@@ -594,6 +605,30 @@ pub fn lint_source(rel: &str, source: &str, cfg: &Config, out: &mut Vec<Finding>
                     "Vec<Vec<..>> hot structure; use a packed flat array with stride indexing (see DESIGN.md)".to_string(),
                 );
             }
+
+            // zero-delta-schedule: `schedule(now, ..)` / `schedule_in(0, ..)`
+            // on the whitespace-compacted line, with an identifier boundary
+            // before `schedule` so `schedule_l1_access(now, ..)` (a direct
+            // call that happens to take the clock) is not a hit. Note
+            // `schedule(now + 1, ..)` compacts to `schedule(now+1,` and
+            // misses the pattern, as intended.
+            'zds: for pat in ["schedule(now,", "schedule_in(0,"] {
+                let cb = compact.as_bytes();
+                let mut from = 0usize;
+                while let Some(p) = compact[from..].find(pat) {
+                    let at = from + p;
+                    if at == 0 || !is_ident_byte(cb[at - 1]) {
+                        emit(
+                            ZERO_DELTA_SCHEDULE,
+                            n,
+                            "zero-delta self-schedule; a same-cycle event pays a calendar round-trip for no model effect — call the handler directly"
+                                .to_string(),
+                        );
+                        break 'zds;
+                    }
+                    from = at + pat.len();
+                }
+            }
         }
     }
 
@@ -811,6 +846,28 @@ mod tests {
         );
         assert_eq!(out.len(), 1);
         assert!(out[0].allowed);
+    }
+
+    #[test]
+    fn zero_delta_schedule_boundaries() {
+        // Zero-delta forms fire, whether or not spaces appear.
+        let bad = "//! Doc.\nfn f(&mut self, now: u64) { self.q.schedule(now, Ev::Tick); }\n";
+        let f = findings("crates/sim/src/x.rs", bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, ZERO_DELTA_SCHEDULE);
+        let bad2 = "//! Doc.\nfn f(&mut self) { self.q.schedule_in( 0 , Ev::Tick); }\n";
+        assert_eq!(findings("crates/sim/src/x.rs", bad2).len(), 1);
+        // Non-zero deltas, direct calls that take the clock, and cold
+        // crates are all out of scope.
+        for ok in [
+            "//! Doc.\nfn f(&mut self, now: u64) { self.q.schedule(now + 1, Ev::Tick); }\n",
+            "//! Doc.\nfn f(&mut self, now: u64) { self.schedule_l1_access(now, 7); }\n",
+            "//! Doc.\nfn f(&mut self) { self.q.schedule_in(1, Ev::Tick); }\n",
+        ] {
+            assert!(findings("crates/sim/src/x.rs", ok).is_empty(), "false hit on: {ok}");
+        }
+        let cold = "//! Doc.\nfn f(&mut self, now: u64) { self.q.schedule(now, Ev::Tick); }\n";
+        assert!(findings("crates/bench/src/x.rs", cold).is_empty());
     }
 
     #[test]

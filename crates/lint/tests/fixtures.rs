@@ -74,6 +74,11 @@ fn module_doc_golden() {
 }
 
 #[test]
+fn zero_delta_schedule_golden() {
+    assert_golden("zero_delta_schedule", "zero-delta-schedule", 5);
+}
+
+#[test]
 fn lint_allow_escape_downgrades_one_site() {
     let found = lint_fixture("escaped_site.rs");
     assert_eq!(found.len(), 1, "escape still reports the site: {found:#?}");

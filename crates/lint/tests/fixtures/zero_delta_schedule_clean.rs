@@ -1,0 +1,7 @@
+//! Fixture: same-cycle work runs as a direct call; only genuinely
+//! future work goes through the calendar.
+
+pub fn kick(engine: &mut Engine, now: u64) {
+    engine.walk_dispatch(now);
+    engine.q.schedule(now + 1, Ev::WalkDispatch);
+}

@@ -1,0 +1,6 @@
+//! Fixture: a zero-delta self-schedule pays a full calendar round-trip
+//! (insert, pop, dispatch) to run code in the same cycle.
+
+pub fn kick(q: &mut EventQueue, now: u64) {
+    q.schedule(now, Ev::WalkDispatch);
+}

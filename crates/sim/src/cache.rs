@@ -98,6 +98,10 @@ pub struct SectorCache {
     stamps: Vec<u64>,
     /// Packed sector flags per way: 4 bits per sector.
     meta: Vec<u16>,
+    /// Last way hit/filled per set. Purely a scan accelerator: tags are
+    /// unique within a set, so checking the hinted way first can only save
+    /// (never change) the match — a stale hint costs one wasted compare.
+    hints: Vec<u32>,
     nsets: usize,
     assoc: usize,
     stamp: u64,
@@ -118,6 +122,7 @@ impl SectorCache {
             tags: vec![TAG_EMPTY; cap],
             stamps: vec![0; cap],
             meta: vec![0; cap],
+            hints: vec![0; nsets],
             nsets,
             assoc,
             stamp: 0,
@@ -133,11 +138,21 @@ impl SectorCache {
     /// Index of the way holding `line_addr`, if resident.
     #[inline]
     fn find(&self, line_addr: u64) -> Option<usize> {
+        if self.resident == 0 {
+            return None;
+        }
         let base = self.set_base(line_addr);
-        self.tags[base..base + self.assoc]
-            .iter()
-            .position(|&t| t == line_addr)
-            .map(|w| base + w)
+        let hint = base + self.hints[base / self.assoc] as usize;
+        if self.tags[hint] == line_addr {
+            return Some(hint);
+        }
+        (base..base + self.assoc).find(|&w| self.tags[w] == line_addr)
+    }
+
+    /// Records `w` as its set's most-recently-matched way.
+    #[inline]
+    fn remember(&mut self, w: usize) {
+        self.hints[w / self.assoc] = (w % self.assoc) as u32;
     }
 
     /// Probes for the sector containing `pa`, updating LRU on any hit.
@@ -146,6 +161,7 @@ impl SectorCache {
         let shift = 4 * pa.sector_in_line() as u16;
         self.stamp += 1;
         if let Some(w) = self.find(line_addr) {
+            self.remember(w);
             let bits = self.meta[w] >> shift;
             if bits & B_VALID != 0 {
                 self.stamps[w] = self.stamp;
@@ -153,6 +169,16 @@ impl SectorCache {
             }
         }
         Probe::Miss
+    }
+
+    /// The outcome [`SectorCache::probe`] would return for `pa`, without
+    /// updating LRU (the inline fast path's classification step).
+    pub fn peek_probe(&self, pa: PhysAddr) -> Probe {
+        match self.peek(pa) {
+            Some(f) if f.guaranteed => Probe::Hit,
+            Some(_) => Probe::HitUnguaranteed,
+            None => Probe::Miss,
+        }
     }
 
     /// Reads the sector flags without touching LRU.
@@ -187,6 +213,7 @@ impl SectorCache {
                 }
                 self.meta[w] = (self.meta[w] & !(0xF << shift)) | (bits << shift);
                 self.stamps[w] = stamp;
+                self.remember(w);
                 return None;
             }
             if empty.is_none() && self.tags[w] == TAG_EMPTY {
@@ -212,6 +239,7 @@ impl SectorCache {
         self.tags[w] = line_addr;
         self.stamps[w] = stamp;
         self.meta[w] = (flags.pack() | B_VALID) << shift;
+        self.remember(w);
         evicted
     }
 
@@ -219,6 +247,7 @@ impl SectorCache {
     pub fn mark_dirty(&mut self, pa: PhysAddr) -> bool {
         let shift = 4 * pa.sector_in_line() as u16;
         if let Some(w) = self.find(pa.line()) {
+            self.remember(w);
             if self.meta[w] >> shift & B_VALID != 0 {
                 self.meta[w] |= B_DIRTY << shift;
                 return true;
@@ -233,6 +262,7 @@ impl SectorCache {
     pub fn set_guarantee(&mut self, pa: PhysAddr, guaranteed: bool) -> bool {
         let shift = 4 * pa.sector_in_line() as u16;
         if let Some(w) = self.find(pa.line()) {
+            self.remember(w);
             if self.meta[w] >> shift & B_VALID != 0 {
                 if guaranteed {
                     self.meta[w] |= B_GUAR << shift;
@@ -312,6 +342,11 @@ impl SectorCache {
     /// Panics on the first violated invariant.
     pub fn audit_invariants(&self) {
         assert_eq!(self.tags.len(), self.nsets * self.assoc);
+        assert_eq!(self.hints.len(), self.nsets, "one scan hint per set");
+        assert!(
+            self.hints.iter().all(|&h| (h as usize) < self.assoc),
+            "scan hint points past the last way"
+        );
         let mut occupied = 0usize;
         for set in 0..self.nsets {
             let base = set * self.assoc;
@@ -411,6 +446,19 @@ mod tests {
         let dropped = c.invalidate_page(PhysAddr(0));
         assert_eq!(dropped, 2);
         assert_eq!(c.probe(pa(32, 0)), Probe::Hit);
+    }
+
+    #[test]
+    fn peek_probe_matches_probe_without_lru() {
+        let mut c = SectorCache::new(64, 4);
+        assert_eq!(c.peek_probe(pa(1, 0)), Probe::Miss);
+        c.fill(pa(1, 0), guaranteed());
+        assert_eq!(c.peek_probe(pa(1, 0)), Probe::Hit);
+        c.fill(pa(2, 1), SectorFlags { valid: true, compressed: true, guaranteed: false, dirty: false });
+        assert_eq!(c.peek_probe(pa(2, 1)), Probe::HitUnguaranteed);
+        // Classification never bumps LRU: probe() after peek_probe() sees
+        // the same state it would have seen without the peek.
+        assert_eq!(c.probe(pa(2, 1)), Probe::HitUnguaranteed);
     }
 
     #[test]

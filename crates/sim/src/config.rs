@@ -197,6 +197,12 @@ pub struct GpuConfig {
     /// and the skipped cycles are reported in
     /// [`Stats::idle_cycles_skipped`](crate::stats::Stats::idle_cycles_skipped)).
     pub fast_forward: bool,
+    /// Resolve all-hit warp memory instructions inline at issue instead of
+    /// routing them through the event calendar (host-side speed knob; the
+    /// resulting statistics are identical either way — a CI-enforced
+    /// property). Defaults to on; set `AVATAR_NO_FASTPATH=1` to default it
+    /// off for debugging.
+    pub inline_hit_path: bool,
 }
 
 impl Default for GpuConfig {
@@ -280,6 +286,8 @@ impl Default for GpuConfig {
             ideal_tlb: false,
             seed: 0x5EED,
             fast_forward: true,
+            // Read once at config construction, never on the event path.
+            inline_hit_path: std::env::var_os("AVATAR_NO_FASTPATH").is_none(),
         }
     }
 }

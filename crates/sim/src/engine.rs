@@ -18,6 +18,7 @@ use crate::hooks::{
 };
 use crate::page_table::PT_BASE;
 use crate::port::{MshrFile, MshrGrant, Ports};
+use crate::reqslab::{ReqId, ReqSlab};
 use crate::sm::{coalesce_into, SmState, WarpOp, WarpProgram, WarpState};
 use crate::stats::{CoverageBucket, SpecOutcome, Stats};
 use crate::tlb::{TlbFill, TlbModel};
@@ -29,9 +30,6 @@ use crate::fxhash::{FxHashMap, FxHashSet};
 /// physical TLB hierarchy holds entries of several address spaces without
 /// aliasing (the hardware equivalent of ASID-tagged entries).
 const ASID_SHIFT: u32 = 44;
-
-/// Index of a sector request.
-type ReqId = u32;
 
 #[derive(Debug, Clone, Copy)]
 struct SpecState {
@@ -55,6 +53,11 @@ struct MemReq {
     completed: bool,
     is_store: bool,
     spec: Option<SpecState>,
+    /// Stored copies of this request's id (calendar events, MSHR waiter
+    /// lists, overflow queues). The slab slot is freed when the request
+    /// is completed and the count drops to zero — never earlier, because
+    /// e.g. `l1_fill` reads `completed` through still-live waiter copies.
+    refs: u32,
 }
 
 impl MemReq {
@@ -83,7 +86,6 @@ enum Ev {
     WarpIssue { sm: u32, warp: u32 },
     L1TlbResult { req: ReqId },
     L2TlbResult { sm: u32, vpn: u64 },
-    WalkDispatch,
     WalkL2 { walk: WalkId, pa: u64 },
     SpecL1Result { req: ReqId },
     L1Result { req: ReqId },
@@ -91,6 +93,9 @@ enum Ev {
     DramDone { pa: u64 },
     L1Fill { sm: u32, pa: u64 },
     RemoteDone { req: ReqId },
+    /// Evented twin of the inline fast path (`inline_hit_path` off): one
+    /// sector of a fully-hitting warp completing at its computed cycle.
+    FastComplete { sm: u32, warp: u32, last: bool },
 }
 
 /// The assembled system: all hardware structures plus the plugged policies.
@@ -115,7 +120,7 @@ pub struct Engine<'a> {
     program: Box<dyn WarpProgram + 'a>,
     stats: Stats,
 
-    reqs: Vec<MemReq>,
+    reqs: ReqSlab<MemReq>,
     l1_tlb_mshrs: Vec<MshrFile<u64, ReqId>>,
     // Per-SM retry queues: the outer Vec is fixed at SM count and the
     // inner ones are drained every retry event, so this never becomes a
@@ -145,8 +150,10 @@ pub struct Engine<'a> {
     warp_issue_time: Vec<Cycle>,
     max_cycles: Cycle,
     /// `AVATAR_TRACE_REQ`, parsed once at construction — `trace` sits on
-    /// the per-event path and must not re-read the environment.
-    trace_req: Option<ReqId>,
+    /// the per-event path and must not re-read the environment. Matches
+    /// requests by slab slot index (slots recycle, so one trace value may
+    /// follow several requests over a run).
+    trace_req: Option<u32>,
 }
 
 impl std::fmt::Debug for Engine<'_> {
@@ -200,7 +207,7 @@ impl<'a> Engine<'a> {
             compression,
             program,
             stats: Stats::default(),
-            reqs: Vec::new(),
+            reqs: ReqSlab::new(),
             l1_tlb_mshrs: (0..n).map(|_| MshrFile::new(cfg.l1_tlb.mshr_entries)).collect(),
             tlb_overflow: vec![Vec::new(); n],
             l2_tlb_mshr: MshrFile::new(cfg.l2_tlb.mshr_entries),
@@ -232,8 +239,39 @@ impl<'a> Engine<'a> {
     }
 
     fn trace(&self, id: ReqId, msg: &str) {
-        if self.trace_req == Some(id) {
-            eprintln!("[req {id} @ {}] {msg}", self.q.now());
+        if self.trace_req == Some(id.slot()) {
+            eprintln!("[req {} @ {}] {msg}", id.slot(), self.q.now());
+        }
+    }
+
+    /// The live request behind `id`.
+    ///
+    /// Panics on a stale id: a request was freed while a copy of its id
+    /// was still stored somewhere — exactly the bug the reference counts
+    /// exist to prevent, so it must never be survivable.
+    fn req(&self, id: ReqId) -> &MemReq {
+        self.reqs.get(id).expect("stale ReqId: request freed while a reference was still live")
+    }
+
+    fn req_mut(&mut self, id: ReqId) -> &mut MemReq {
+        self.reqs.get_mut(id).expect("stale ReqId: request freed while a reference was still live")
+    }
+
+    /// Records that a copy of `id` was stored — in a calendar event, an
+    /// MSHR waiter list, or an overflow queue. Every stored copy pins the
+    /// slab slot until [`Self::req_unref`] consumes it.
+    fn req_ref(&mut self, id: ReqId) {
+        self.req_mut(id).refs += 1;
+    }
+
+    /// Consumes one stored copy of `id`, freeing (and recycling) the slab
+    /// slot once the request is completed and no copies remain.
+    fn req_unref(&mut self, id: ReqId) {
+        let r = self.req_mut(id);
+        crate::debug_invariant!(r.refs > 0, "unbalanced request unref");
+        r.refs -= 1;
+        if r.refs == 0 && r.completed {
+            self.reqs.remove(id);
         }
     }
 
@@ -322,19 +360,36 @@ impl<'a> Engine<'a> {
         self.stats.dram_write_bytes = self.dram.write_bytes;
         self.stats.dram_row_hits = self.dram.row_hits;
         self.stats.dram_row_misses = self.dram.row_misses;
-        if cfg!(debug_assertions) && !timed_out {
-            for (i, r) in self.reqs.iter().enumerate() {
+        // With the calendar drained, every request should have completed
+        // and been recycled. Anything left is a lost event. Counted in
+        // all builds (so `--features invariants` release runs report it
+        // through `Stats::lost_requests` instead of dying); debug builds
+        // additionally halt so the bug cannot slip through development.
+        if !timed_out {
+            let mut lost = 0u64;
+            self.reqs.for_each(|id, r| {
                 if !r.completed {
-                    eprintln!(
-                        "INCOMPLETE req {i}: sm={} pc={:#x} va={:#x} tdone={} spec={:?}",
-                        r.sm, r.pc, r.vaddr.0, r.translation_done, r.spec
-                    );
+                    lost += 1;
+                    if cfg!(debug_assertions) {
+                        eprintln!(
+                            "INCOMPLETE req {}: sm={} pc={:#x} va={:#x} tdone={} spec={:?}",
+                            id.slot(),
+                            r.sm,
+                            r.pc,
+                            r.vaddr.0,
+                            r.translation_done,
+                            r.spec
+                        );
+                    }
                 }
+            });
+            self.stats.lost_requests = lost;
+            if cfg!(debug_assertions) {
+                assert!(
+                    lost == 0 && self.reqs.is_empty(),
+                    "all sector requests must complete and be freed (lost events?)"
+                );
             }
-            assert!(
-                self.reqs.iter().all(|r| r.completed),
-                "all sector requests must complete (lost events?)"
-            );
         }
         self.stats
     }
@@ -342,20 +397,33 @@ impl<'a> Engine<'a> {
     fn handle(&mut self, now: Cycle, ev: Ev) {
         match ev {
             Ev::WarpIssue { sm, warp } => self.warp_issue(now, sm, warp),
-            Ev::L1TlbResult { req } => self.l1_tlb_result(now, req),
+            // Request-carrying events hold one pin on their request for
+            // the lifetime of the event; it is consumed here, after the
+            // handler, so the request stays live throughout.
+            Ev::L1TlbResult { req } => {
+                self.l1_tlb_result(now, req);
+                self.req_unref(req);
+            }
             Ev::L2TlbResult { sm, vpn } => self.l2_tlb_result(now, sm, vpn),
-            Ev::WalkDispatch => self.walk_dispatch(now),
             Ev::WalkL2 { walk, pa } => self.walk_l2(now, walk, PhysAddr(pa)),
-            Ev::SpecL1Result { req } => self.spec_l1_result(now, req),
-            Ev::L1Result { req } => self.l1_result(now, req),
+            Ev::SpecL1Result { req } => {
+                self.spec_l1_result(now, req);
+                self.req_unref(req);
+            }
+            Ev::L1Result { req } => {
+                self.l1_result(now, req);
+                self.req_unref(req);
+            }
             Ev::L2Access { sm, pa } => self.l2_access(now, sm, PhysAddr(pa)),
             Ev::DramDone { pa } => self.dram_done(now, PhysAddr(pa)),
             Ev::L1Fill { sm, pa } => self.l1_fill(now, sm, PhysAddr(pa)),
             Ev::RemoteDone { req } => {
-                if !self.reqs[req as usize].completed {
+                if !self.req(req).completed {
                     self.complete_req(now, req);
                 }
+                self.req_unref(req);
             }
+            Ev::FastComplete { sm, warp, last } => self.fast_complete(now, sm, warp, last),
         }
     }
 
@@ -404,31 +472,195 @@ impl<'a> Engine<'a> {
                     WarpState::WaitingMemory { outstanding: sectors.len() as u32 },
                     now,
                 );
-                for &vaddr in &sectors {
-                    self.stats.sector_requests += 1;
-                    let id = self.reqs.len() as ReqId;
-                    self.reqs.push(MemReq {
-                        sm,
-                        warp,
-                        pc,
-                        vaddr,
-                        issued: now,
-                        real_ppn: None,
-                        translation_done: false,
-                        completed: false,
-                        is_store,
-                        spec: None,
-                    });
-                    self.start_translation(now, id);
+                if !sectors.is_empty() && self.fast_path_classify(now, sm, &sectors) {
+                    // Every sector is a guaranteed L1 TLB + L1 data hit
+                    // and the ports have a free slot this cycle: resolve
+                    // the whole instruction at issue with the Table II
+                    // latency arithmetic instead of per-sector events.
+                    self.fast_path_commit(now, sm, warp, is_store, &sectors);
+                    self.warp_outstanding[slot] = 0;
+                } else {
+                    for &vaddr in &sectors {
+                        self.stats.sector_requests += 1;
+                        let id = self.reqs.insert(MemReq {
+                            sm,
+                            warp,
+                            pc,
+                            vaddr,
+                            issued: now,
+                            real_ppn: None,
+                            translation_done: false,
+                            completed: false,
+                            is_store,
+                            spec: None,
+                            refs: 0,
+                        });
+                        self.start_translation(now, id);
+                    }
                 }
                 self.coalesce_buf = sectors;
             }
         }
     }
 
+    /// Decides whether a warp memory instruction can be resolved by the
+    /// inline hit fast path: every coalesced sector must be backed by a
+    /// resident page, hit the L1 TLB on a probe (skipped under
+    /// `ideal_tlb`), hit the L1 data cache with a *guaranteed* sector,
+    /// and each required port group must have a free slot this cycle.
+    /// Strictly read-only — when any sector fails, the warp takes the
+    /// event path with no state disturbed. All-or-nothing per warp, so a
+    /// warp's sectors never straddle the two mechanisms.
+    fn fast_path_classify(&self, now: Cycle, sm: u32, sectors: &[VirtAddr]) -> bool {
+        let tenant = self.tenant_of_sm(sm);
+        // Structural hazards: a fully backed-up port means the grants
+        // would land in future cycles; leave that to the event path.
+        if !self.cfg.ideal_tlb && self.l1_tlb_ports[sm as usize].peek_grant(now) != now {
+            return false;
+        }
+        if self.l1_cache_ports[sm as usize].peek_grant(now) != now {
+            return false;
+        }
+        for &vaddr in sectors {
+            let vpn = vaddr.vpn();
+            if !self.uvms[tenant].is_resident(vpn) {
+                return false;
+            }
+            let ppn = if self.cfg.ideal_tlb {
+                match self.uvms[tenant].page_table.translate(vpn) {
+                    Some(t) => t.ppn,
+                    None => return false,
+                }
+            } else {
+                match self.l1_tlbs[sm as usize].probe(Vpn(self.salt(tenant, vpn))) {
+                    Some(Some(hit)) => hit.ppn,
+                    // A probe miss — or a model that cannot preview its
+                    // lookups (the coalescing CoLT/SnakeByte designs) —
+                    // takes the event path.
+                    _ => return false,
+                }
+            };
+            if !matches!(self.l1_caches[sm as usize].peek_probe(translate(vaddr, ppn)), Probe::Hit)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Commits a classified fast-path warp: performs, at issue time, the
+    /// state updates the event path spreads across its TLB-result and
+    /// L1-result events — page touch, TLB LRU bump and stats, port
+    /// grants, cache LRU/dirty bits — and computes each sector's
+    /// completion cycle from the Table II latencies. With
+    /// `inline_hit_path` on, the latency bookkeeping happens inline and
+    /// the calendar carries only the warp wake-up; with it off, the
+    /// identical bookkeeping rides per-sector [`Ev::FastComplete`]
+    /// events. The two must be digest-identical — that is the CI
+    /// differential gate's whole claim.
+    fn fast_path_commit(
+        &mut self,
+        now: Cycle,
+        sm: u32,
+        warp: u32,
+        is_store: bool,
+        sectors: &[VirtAddr],
+    ) {
+        let tenant = self.tenant_of_sm(sm);
+        let tlb_lat = self.cfg.l1_tlb.latency;
+        let cache_lat = self.cfg.l1_cache.latency;
+        self.stats.fast_path_hits += 1;
+        self.stats.fast_path_sectors += sectors.len() as u64;
+        let mut t_done = now;
+        for (i, &vaddr) in sectors.iter().enumerate() {
+            self.stats.sector_requests += 1;
+            let vpn = vaddr.vpn();
+            let remote = self.touch_page(tenant, vpn);
+            debug_assert!(!remote, "fast path classified a non-resident page as a hit");
+            let (ppn, done) = if self.cfg.ideal_tlb {
+                let t = self
+                    .uvms[tenant]
+                    .page_table
+                    .translate(vpn)
+                    .expect("fast path classified an unmapped page as resident");
+                (t.ppn, self.l1_cache_ports[sm as usize].grant(now))
+            } else {
+                self.stats.l1_tlb_lookups += 1;
+                let g_tlb = self.l1_tlb_ports[sm as usize].grant(now);
+                let svpn = self.salt(tenant, vpn);
+                let hit = self.l1_tlbs[sm as usize]
+                    .lookup(Vpn(svpn))
+                    .expect("fast path classified an L1 TLB miss as a hit");
+                self.stats.l1_tlb_hits += 1;
+                self.record_coverage(hit.coverage_pages);
+                let g_cache = self.l1_cache_ports[sm as usize].grant(now);
+                let done = match self.cfg.l1_arrangement {
+                    // VIPT: translation and data lookup overlap from
+                    // their respective port grants.
+                    crate::config::CacheArrangement::Vipt => {
+                        (g_tlb + tlb_lat).max(g_cache + cache_lat)
+                    }
+                    // PIPT: the data access needs both its port slot and
+                    // the finished translation before it can start.
+                    crate::config::CacheArrangement::Pipt => {
+                        (g_tlb + tlb_lat).max(g_cache) + cache_lat
+                    }
+                };
+                (hit.ppn, done)
+            };
+            let pa = translate(vaddr, ppn);
+            self.stats.l1d_lookups += 1;
+            let probe = self.l1_caches[sm as usize].probe(pa);
+            debug_assert!(
+                matches!(probe, Probe::Hit),
+                "fast path classified an L1 data miss as a hit: {probe:?}"
+            );
+            self.stats.l1d_hits += 1;
+            if is_store {
+                self.l1_caches[sm as usize].mark_dirty(pa);
+            }
+            if self.cfg.inline_hit_path {
+                self.stats.sector_latency.add(done - now);
+                self.stats.sector_latency_hist.add(done - now);
+            } else {
+                self.q.schedule(
+                    done,
+                    Ev::FastComplete { sm, warp, last: i + 1 == sectors.len() },
+                );
+            }
+            // Port grants are non-decreasing across the loop, so the last
+            // sector carries the warp's completion cycle.
+            t_done = t_done.max(done);
+        }
+        if self.cfg.inline_hit_path {
+            self.stats.load_latency.add(t_done - now);
+        }
+        // The warp re-issues one cycle after its last sector completes —
+        // the same wake point `complete_req` produces. Scheduled here, at
+        // issue, in *both* modes, so the wake-up occupies the identical
+        // calendar FIFO position whichever mode does the bookkeeping.
+        self.q.schedule(t_done + 1, Ev::WarpIssue { sm, warp });
+    }
+
+    /// Evented twin of the inline fast-path latency bookkeeping
+    /// (`inline_hit_path` off): credits one sector's latency at its
+    /// computed completion cycle, and the whole warp's at the last
+    /// sector. All the adds are commutative integer sums, so running
+    /// them here instead of inline cannot change `Stats::digest()`.
+    fn fast_complete(&mut self, now: Cycle, sm: u32, warp: u32, last: bool) {
+        let issued = self.warp_issue_time[self.warp_slot(sm, warp)];
+        self.stats.sector_latency.add(now - issued);
+        self.stats.sector_latency_hist.add(now - issued);
+        if last {
+            self.stats.load_latency.add(now - issued);
+        }
+    }
+
     fn start_translation(&mut self, now: Cycle, id: ReqId) {
-        let vpn = self.reqs[id as usize].vpn();
-        let sm = self.reqs[id as usize].sm;
+        let (vpn, sm) = {
+            let r = self.req(id);
+            (r.vpn(), r.sm)
+        };
         let tenant = self.tenant_of_sm(sm);
         if self.touch_page(tenant, vpn) {
             // Cold page below the migration threshold: the GMMU faults and
@@ -436,17 +668,20 @@ impl<'a> Engine<'a> {
             // interconnect. No GPU TLB entry is installed and MOD is not
             // trained (the paper restricts updates to GPU-mapped regions).
             self.stats.remote_accesses += 1;
+            self.req_ref(id);
             self.q.schedule(now + self.cfg.uvm.remote_latency, Ev::RemoteDone { req: id });
             return;
         }
         if self.cfg.ideal_tlb {
             let t = self.uvms[tenant].page_table.translate(vpn).expect("page just touched");
-            self.reqs[id as usize].real_ppn = Some(t.ppn);
-            self.reqs[id as usize].translation_done = true;
+            let r = self.req_mut(id);
+            r.real_ppn = Some(t.ppn);
+            r.translation_done = true;
             self.schedule_l1_access(now, id, 0);
             return;
         }
         let grant = self.l1_tlb_ports[sm as usize].grant(now);
+        self.req_ref(id);
         self.q.schedule(grant + self.cfg.l1_tlb.latency, Ev::L1TlbResult { req: id });
     }
 
@@ -502,7 +737,7 @@ impl<'a> Engine<'a> {
 
     fn l1_tlb_result(&mut self, now: Cycle, id: ReqId) {
         let (sm, pc, vpn) = {
-            let r = &self.reqs[id as usize];
+            let r = self.req(id);
             (r.sm, r.pc, r.vpn())
         };
         self.stats.l1_tlb_lookups += 1;
@@ -511,8 +746,9 @@ impl<'a> Engine<'a> {
         if let Some(hit) = self.l1_tlbs[sm as usize].lookup(Vpn(svpn)) {
             self.stats.l1_tlb_hits += 1;
             self.record_coverage(hit.coverage_pages);
-            self.reqs[id as usize].real_ppn = Some(hit.ppn);
-            self.reqs[id as usize].translation_done = true;
+            let r = self.req_mut(id);
+            r.real_ppn = Some(hit.ppn);
+            r.translation_done = true;
             // VIPT: the L1 data lookup proceeded in parallel with the TLB,
             // so only the non-overlapped latency remains. PIPT serializes.
             let latency = match self.cfg.l1_arrangement {
@@ -527,7 +763,7 @@ impl<'a> Engine<'a> {
 
         // CAST hook: attempt speculative translation. Stores never
         // speculate — erroneously performed writes cannot be rolled back.
-        let is_store = self.reqs[id as usize].is_store;
+        let is_store = self.req(id).is_store;
         let prediction =
             if is_store { None } else { self.accel.on_l1_tlb_miss(sm as usize, pc, vpn) };
         if let Some(spec_ppn) = prediction {
@@ -546,9 +782,10 @@ impl<'a> Engine<'a> {
             if !ideal || correct {
                 // Ideal validation confirms speculations before fetching;
                 // incorrect ones never fetch.
-                self.reqs[id as usize].spec =
+                self.req_mut(id).spec =
                     Some(SpecState { ppn: spec_ppn, ideal, killed: false, fetch_registered: false });
                 let grant = self.l1_cache_ports[sm as usize].grant(now);
+                self.req_ref(id);
                 self.q.schedule(grant + self.cfg.l1_cache.latency, Ev::SpecL1Result { req: id });
             }
         }
@@ -558,9 +795,14 @@ impl<'a> Engine<'a> {
     }
 
     fn request_l2_translation(&mut self, now: Cycle, id: ReqId) {
-        let sm = self.reqs[id as usize].sm;
-        let vpn = self.reqs[id as usize].vpn();
+        let (sm, vpn) = {
+            let r = self.req(id);
+            (r.sm, r.vpn())
+        };
         let svpn = self.salt(self.tenant_of_sm(sm), vpn);
+        // Whatever the grant, the id gets stored: as an MSHR waiter
+        // (allocated or merged) or on the overflow queue.
+        self.req_ref(id);
         match self.l1_tlb_mshrs[sm as usize].request(svpn, id) {
             MshrGrant::Allocated => {
                 self.stats.l2_tlb_lookups += 1;
@@ -610,7 +852,10 @@ impl<'a> Engine<'a> {
                 self.walk_of_vpn.insert(vpn, id);
                 self.vpn_of_walk.insert(id, Vpn(vpn));
                 self.walk_started.insert(vpn, now);
-                self.q.schedule(now, Ev::WalkDispatch);
+                // Dispatch synchronously: a zero-delta event would only
+                // defer this same call behind the rest of the cycle's
+                // queue (and is deny-listed by avatar-lint).
+                self.walk_dispatch(now);
             }
             None => {
                 self.stats.pw_buffer_full += 1;
@@ -660,7 +905,7 @@ impl<'a> Engine<'a> {
                 let vpn = Self::unsalt(svpn.0);
                 self.stats.page_walks += 1;
                 if let Some(start) = self.walk_started.remove(&svpn.0) {
-                    self.stats.walk_latency.add((now - start) as f64);
+                    self.stats.walk_latency.add(now - start);
                 }
                 self.walk_of_vpn.remove(&svpn.0);
                 // The PTE may have been invalidated by a concurrent
@@ -673,9 +918,10 @@ impl<'a> Engine<'a> {
                 }
                 let t = self.uvms[tenant].page_table.translate(vpn).expect("resident after touch");
                 self.resolve_translation(now, svpn.0, t.ppn, t.pages);
-                // A walker freed: dispatch more walks and retry overflow.
+                // A walker freed: dispatch more walks and retry overflow,
+                // synchronously rather than via a zero-delta event.
                 self.drain_pw_overflow(now);
-                self.q.schedule(now, Ev::WalkDispatch);
+                self.walk_dispatch(now);
             }
         }
     }
@@ -737,22 +983,29 @@ impl<'a> Engine<'a> {
         self.l1_tlbs[sm as usize].fill(fill);
         if let Some(mut waiters) = self.l1_tlb_mshrs[sm as usize].complete(vpn) {
             for id in waiters.drain(..) {
-                let pc = self.reqs[id as usize].pc;
+                let pc = self.req(id).pc;
                 self.accel.on_translation_resolved(sm as usize, pc, Self::unsalt(vpn), ppn);
                 self.translation_resolved_for_req(now, id, ppn, via_eaf);
+                self.req_unref(id);
             }
             self.l1_tlb_mshrs[sm as usize].recycle(waiters);
         }
-        // MSHR space freed: retry overflow translation requests.
+        // MSHR space freed: retry overflow translation requests. The
+        // retry re-pins the id before the queue's own pin is consumed.
         let pending = std::mem::take(&mut self.tlb_overflow[sm as usize]);
         for id in pending {
             self.request_l2_translation(now, id);
+            self.req_unref(id);
         }
     }
 
     fn translation_resolved_for_req(&mut self, now: Cycle, id: ReqId, ppn: Ppn, via_eaf: bool) {
-        self.trace(id, &format!("translation_resolved ppn={}", ppn.0));
-        let req = &mut self.reqs[id as usize];
+        if self.trace_req.is_some() {
+            // Guarded: the format! must not run (or allocate) per sector
+            // when tracing is off.
+            self.trace(id, &format!("translation_resolved ppn={}", ppn.0));
+        }
+        let req = self.req_mut(id);
         req.real_ppn = Some(ppn);
         req.translation_done = true;
         if req.completed {
@@ -776,7 +1029,8 @@ impl<'a> Engine<'a> {
                 if !spec.fetch_registered
                     && self.l1_mshrs[sm].merge(spec_pa.0, id)
                 {
-                    self.reqs[id as usize].spec.as_mut().expect("spec state outlives its in-flight sector fetch").fetch_registered = true;
+                    self.req_ref(id);
+                    self.req_mut(id).spec.as_mut().expect("spec state outlives its in-flight sector fetch").fetch_registered = true;
                 }
                 self.stats.outcomes.record(if via_eaf {
                     SpecOutcome::FastTranslation
@@ -789,7 +1043,7 @@ impl<'a> Engine<'a> {
             if self.l1_caches[sm].peek(spec_pa).is_some() {
                 // Prefetched sector still resident: guarantee and re-access.
                 self.l1_caches[sm].set_guarantee(spec_pa, true);
-                self.wake_unguaranteed(now, self.reqs[id as usize].sm, spec_pa);
+                self.wake_unguaranteed(now, sm as u32, spec_pa);
                 self.trace(id, "l1d-hit-path");
                 self.stats.outcomes.record(if via_eaf {
                     SpecOutcome::FastTranslation
@@ -807,13 +1061,13 @@ impl<'a> Engine<'a> {
             });
             self.schedule_l1_access(now, id, self.cfg.l1_cache.latency);
         } else {
-            self.reqs[id as usize].spec.as_mut().expect("spec present").killed = true;
+            self.req_mut(id).spec.as_mut().expect("spec present").killed = true;
             // Drop the wrongly fetched sector if it is resident and not
             // legitimately owned (guaranteed) by some other request.
             if let Some(flags) = self.l1_caches[sm].peek(spec_pa) {
                 if !flags.guaranteed {
                     self.l1_caches[sm].invalidate_sector(spec_pa);
-                    self.wake_unguaranteed(now, self.reqs[id as usize].sm, spec_pa);
+                    self.wake_unguaranteed(now, sm as u32, spec_pa);
                 }
             }
             self.schedule_l1_access(now, id, self.cfg.l1_cache.latency);
@@ -825,20 +1079,22 @@ impl<'a> Engine<'a> {
     // ------------------------------------------------------------------
 
     fn schedule_l1_access(&mut self, now: Cycle, id: ReqId, latency: Cycle) {
-        let sm = self.reqs[id as usize].sm as usize;
+        let sm = self.req(id).sm as usize;
         let grant = self.l1_cache_ports[sm].grant(now);
+        self.req_ref(id);
         self.q.schedule(grant + latency, Ev::L1Result { req: id });
     }
 
     fn l1_result(&mut self, now: Cycle, id: ReqId) {
         self.trace(id, "l1_result");
-        if self.reqs[id as usize].completed {
+        if self.req(id).completed {
             return;
         }
-        let sm = self.reqs[id as usize].sm;
-        let pa = self.reqs[id as usize].real_pa().expect("translated before L1 access");
+        let (sm, pa, is_store) = {
+            let r = self.req(id);
+            (r.sm, r.real_pa().expect("translated before L1 access"), r.is_store)
+        };
         self.stats.l1d_lookups += 1;
-        let is_store = self.reqs[id as usize].is_store;
         match self.l1_caches[sm as usize].probe(pa) {
             Probe::Hit => {
                 self.stats.l1d_hits += 1;
@@ -871,9 +1127,10 @@ impl<'a> Engine<'a> {
     fn wake_unguaranteed(&mut self, now: Cycle, sm: u32, pa: PhysAddr) {
         if let Some(waiters) = self.unguaranteed_waiters.remove(&(sm, pa.0)) {
             for id in waiters {
-                if !self.reqs[id as usize].completed {
+                if !self.req(id).completed {
                     self.schedule_l1_access(now, id, 1);
                 }
+                self.req_unref(id);
             }
         }
     }
@@ -892,7 +1149,10 @@ impl<'a> Engine<'a> {
     }
 
     fn l1_miss(&mut self, now: Cycle, id: ReqId, pa: PhysAddr) {
-        let sm = self.reqs[id as usize].sm;
+        let sm = self.req(id).sm;
+        // All three grants store the id: as an MSHR waiter or on the
+        // overflow queue.
+        self.req_ref(id);
         match self.l1_mshrs[sm as usize].request(pa.0, id) {
             MshrGrant::Allocated => {
                 let grant = self.l2_cache_ports.grant(now);
@@ -908,7 +1168,7 @@ impl<'a> Engine<'a> {
 
     fn spec_l1_result(&mut self, now: Cycle, id: ReqId) {
         self.trace(id, "spec_l1_result");
-        let req = &self.reqs[id as usize];
+        let req = self.req(id);
         if req.completed || req.translation_done {
             // Translation beat the speculative lookup; the normal path owns
             // the request now.
@@ -924,7 +1184,7 @@ impl<'a> Engine<'a> {
                     // confirmed, so a guaranteed hit completes the load,
                     // and the oracle-known mapping releases the pending
                     // translation machinery exactly like EAF.
-                    let vpn = self.reqs[id as usize].vpn();
+                    let vpn = self.req(id).vpn();
                     self.stats.outcomes.record(SpecOutcome::FastTranslation);
                     self.complete_req(now, id);
                     self.eaf_resolve(now, sm, vpn, spec.ppn);
@@ -946,18 +1206,21 @@ impl<'a> Engine<'a> {
                 }
                 match self.l1_mshrs[sm as usize].request(spec_pa.0, id) {
                 MshrGrant::Allocated => {
+                    self.req_ref(id);
                     self.stats.spec_fetches += 1;
-                    self.reqs[id as usize].spec.as_mut().expect("spec state outlives its in-flight sector fetch").fetch_registered = true;
+                    self.req_mut(id).spec.as_mut().expect("spec state outlives its in-flight sector fetch").fetch_registered = true;
                     let grant = self.l2_cache_ports.grant(now);
                     self.q
                         .schedule(grant + self.cfg.l2_cache.latency, Ev::L2Access { sm, pa: spec_pa.0 });
                 }
                 MshrGrant::Merged => {
+                    self.req_ref(id);
                     self.stats.spec_fetches += 1;
-                    self.reqs[id as usize].spec.as_mut().expect("spec state outlives its in-flight sector fetch").fetch_registered = true;
+                    self.req_mut(id).spec.as_mut().expect("spec state outlives its in-flight sector fetch").fetch_registered = true;
                 }
                 MshrGrant::Full => {
-                    // Resource-constrained: the speculation silently lapses.
+                    // Resource-constrained: the speculation silently
+                    // lapses — the id was never stored, so no pin.
                 }
                 }
             }
@@ -1123,12 +1386,17 @@ impl<'a> Engine<'a> {
         let mut all_killed_specs = true;
         if let Some(mut waiters) = self.l1_mshrs[sm as usize].complete(pa.0) {
             for id in waiters.drain(..) {
-                self.trace(id, &format!("l1_fill waiter pa={:#x}", pa.0));
-                let req = &self.reqs[id as usize];
+                if self.trace_req.is_some() {
+                    self.trace(id, &format!("l1_fill waiter pa={:#x}", pa.0));
+                }
+                let req = self.req(id);
                 if req.completed {
                     // Already satisfied elsewhere; never a reason to drop
-                    // the freshly fetched data.
+                    // the freshly fetched data. (This read through the
+                    // waiter copy is why completion alone must not free a
+                    // request — only a zero pin count may.)
                     all_killed_specs = false;
+                    self.req_unref(id);
                     continue;
                 }
                 if req.translation_done {
@@ -1142,6 +1410,7 @@ impl<'a> Engine<'a> {
                         self.complete_req(now, id);
                     }
                     // else: stale fill for a killed speculation; ignore.
+                    self.req_unref(id);
                     continue;
                 }
                 // Untranslated waiter: must be a speculative fetch.
@@ -1153,9 +1422,10 @@ impl<'a> Engine<'a> {
                         guarantee = true;
                         all_killed_specs = false;
                         self.stats.outcomes.record(SpecOutcome::FastTranslation);
-                        let vpn = self.reqs[id as usize].vpn();
+                        let vpn = self.req(id).vpn();
                         self.complete_req(now, id);
                         self.eaf_resolve(now, sm, vpn, spec.ppn);
+                        self.req_unref(id);
                         continue;
                     }
                     let ctx = SpecFillContext {
@@ -1177,7 +1447,7 @@ impl<'a> Engine<'a> {
                                 self.stats.spec_compressed += 1;
                             }
                             self.stats.outcomes.record(SpecOutcome::FastTranslation);
-                            let vpn = self.reqs[id as usize].vpn();
+                            let vpn = self.req(id).vpn();
                             self.complete_req(now, id);
                             if eaf {
                                 self.eaf_resolve(now, sm, vpn, spec.ppn);
@@ -1185,10 +1455,11 @@ impl<'a> Engine<'a> {
                         }
                         SpecFillAction::Invalidate => {
                             self.stats.cava_mismatches += 1;
-                            self.reqs[id as usize].spec.as_mut().expect("spec state outlives its in-flight sector fetch").killed = true;
+                            self.req_mut(id).spec.as_mut().expect("spec state outlives its in-flight sector fetch").killed = true;
                         }
                     }
                 }
+                self.req_unref(id);
             }
         } else {
             // No waiters (e.g. a refill after invalidation): plain data.
@@ -1208,16 +1479,19 @@ impl<'a> Engine<'a> {
         }
         // L1 MSHR space freed: admit overflow waiters into free capacity.
         while let Some(&id) = self.l1_mshr_overflow[sm as usize].front() {
-            if self.reqs[id as usize].completed {
+            if self.req(id).completed {
                 self.l1_mshr_overflow[sm as usize].pop_front();
+                self.req_unref(id);
                 continue;
             }
-            let target = self.reqs[id as usize].real_pa().expect("overflowed after translation");
+            let target = self.req(id).real_pa().expect("overflowed after translation");
             if self.l1_mshrs[sm as usize].is_full() && !self.l1_mshrs[sm as usize].contains(target.0) {
                 break;
             }
             self.l1_mshr_overflow[sm as usize].pop_front();
+            // The retry (`l1_miss`) re-pins before the queue's pin drops.
             self.l1_miss(now, id, target);
+            self.req_unref(id);
         }
     }
 
@@ -1241,7 +1515,8 @@ impl<'a> Engine<'a> {
                 }
                 self.vpn_of_walk.remove(&walk);
                 self.walk_started.remove(&vpn.0);
-                self.q.schedule(now, Ev::WalkDispatch);
+                // The aborted walk freed a walker: dispatch synchronously.
+                self.walk_dispatch(now);
             }
             self.pw_overflow.retain(|&v| v != vpn.0);
             let mut seen = Vec::new();
@@ -1271,23 +1546,23 @@ impl<'a> Engine<'a> {
 
     fn complete_req(&mut self, now: Cycle, id: ReqId) {
         let (sm, warp, issued) = {
-            let req = &mut self.reqs[id as usize];
-            debug_assert!(!req.completed, "double completion of request {id}");
+            let req = self.req_mut(id);
+            debug_assert!(!req.completed, "double completion of request {id:?}");
             req.completed = true;
             (req.sm, req.warp, req.issued)
         };
         self.trace(id, "complete");
-        self.stats.sector_latency.add((now - issued) as f64);
+        self.stats.sector_latency.add(now - issued);
         self.stats.sector_latency_hist.add(now - issued);
         let slot = self.warp_slot(sm, warp);
         crate::debug_invariant!(
             self.warp_outstanding[slot] > 0,
-            "completing request {id} for a warp with no outstanding sectors"
+            "completing request {id:?} for a warp with no outstanding sectors"
         );
         self.warp_outstanding[slot] -= 1;
         let left = self.warp_outstanding[slot];
         if left == 0 {
-            self.stats.load_latency.add((now - self.warp_issue_time[slot]) as f64);
+            self.stats.load_latency.add(now - self.warp_issue_time[slot]);
             self.sms[sm as usize].set_warp(warp as usize, WarpState::Ready, now);
             self.q.schedule(now + 1, Ev::WarpIssue { sm, warp });
         } else {
@@ -1326,6 +1601,7 @@ impl<'a> Engine<'a> {
     /// Panics on the first violated invariant.
     pub fn audit_invariants(&self) {
         self.q.audit_invariants();
+        self.reqs.audit_invariants();
         for c in &self.l1_caches {
             c.audit_invariants();
         }
@@ -1376,14 +1652,75 @@ impl<'a> Engine<'a> {
         }
 
         // Waiter conservation: each warp's outstanding counter drops by one
-        // exactly when one of its sector requests completes, so the sums
-        // must agree at every event boundary.
+        // exactly when one of its sector requests completes (fast-path
+        // warps allocate no requests and zero their counter at issue), so
+        // the sums must agree at every event boundary.
         let outstanding: u64 = self.warp_outstanding.iter().map(|&o| o as u64).sum();
-        let incomplete = self.reqs.iter().filter(|r| !r.completed).count() as u64;
+        let mut incomplete = 0u64;
+        self.reqs.for_each(|_, r| {
+            if !r.completed {
+                incomplete += 1;
+            }
+        });
         assert_eq!(
             outstanding, incomplete,
             "warp outstanding counters desynchronized from incomplete requests"
         );
+
+        // Reference conservation: each live request's pin count must equal
+        // the stored copies of its id across the calendar, the MSHR waiter
+        // lists, and the overflow queues — and no stored id may be stale.
+        // A mismatch here is what would let the slab free (and recycle) a
+        // slot that an in-flight event still points at.
+        let mut counted: FxHashMap<ReqId, u32> = FxHashMap::default();
+        {
+            let mut bump = |id: ReqId| *counted.entry(id).or_insert(0) += 1;
+            self.q.for_each_event(|ev| match *ev {
+                Ev::L1TlbResult { req }
+                | Ev::SpecL1Result { req }
+                | Ev::L1Result { req }
+                | Ev::RemoteDone { req } => bump(req),
+                _ => {}
+            });
+            for m in &self.l1_tlb_mshrs {
+                m.for_each_waiter(|&id| bump(id));
+            }
+            for m in &self.l1_mshrs {
+                m.for_each_waiter(|&id| bump(id));
+            }
+            for v in &self.tlb_overflow {
+                for &id in v {
+                    bump(id);
+                }
+            }
+            for dq in &self.l1_mshr_overflow {
+                for &id in dq {
+                    bump(id);
+                }
+            }
+            for v in self.unguaranteed_waiters.values() {
+                for &id in v {
+                    bump(id);
+                }
+            }
+        }
+        for (&id, &n) in &counted {
+            assert!(
+                self.reqs.get(id).is_some(),
+                "stale request id {id:?} still referenced by {n} holder(s)"
+            );
+        }
+        self.reqs.for_each(|id, r| {
+            let stored = counted.get(&id).copied().unwrap_or(0);
+            assert_eq!(
+                r.refs, stored,
+                "request {id:?} pin count disagrees with its stored copies"
+            );
+            assert!(
+                r.refs > 0,
+                "live request {id:?} is unreachable: no event or waiter references it"
+            );
+        });
     }
 
     /// Deliberately corrupts the event calendar's free list so checked-mode

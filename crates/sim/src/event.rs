@@ -282,6 +282,17 @@ impl<E> EventQueue<E> {
         Some((time, event))
     }
 
+    /// Visits every pending event (ring and overflow) in unspecified
+    /// order. Read-only; checked-mode reference audits recompute
+    /// per-request refcounts this way.
+    pub fn for_each_event(&self, mut f: impl FnMut(&E)) {
+        for s in &self.slab {
+            if let Some(e) = &s.event {
+                f(e);
+            }
+        }
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.ring_len + self.overflow.len()
@@ -644,6 +655,19 @@ mod tests {
         }
         while q.pop().is_some() {}
         q.audit_invariants();
+    }
+
+    #[test]
+    fn for_each_event_visits_exactly_the_pending_events() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 1u32);
+        q.schedule(WINDOW * 2, 2); // overflow
+        q.schedule(5, 3);
+        q.pop(); // retire event 1; its slot goes to the free list
+        let mut seen = Vec::new();
+        q.for_each_event(|e| seen.push(*e));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![2, 3]);
     }
 
     #[test]

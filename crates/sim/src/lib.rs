@@ -78,6 +78,7 @@ pub mod hooks;
 pub mod invariant;
 pub mod page_table;
 pub mod port;
+pub mod reqslab;
 pub mod rng;
 pub mod sm;
 pub mod stats;

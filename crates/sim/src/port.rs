@@ -40,6 +40,18 @@ impl Ports {
             self.cycle
         }
     }
+
+    /// The cycle [`Ports::grant`] would return for `now`, without
+    /// consuming a slot (the fast path's structural-hazard probe).
+    pub fn peek_grant(&self, now: Cycle) -> Cycle {
+        if now > self.cycle {
+            now
+        } else if self.used < self.width {
+            self.cycle
+        } else {
+            self.cycle + 1
+        }
+    }
 }
 
 /// Outcome of attempting to track a miss in an MSHR file.
@@ -147,6 +159,17 @@ impl<K: std::hash::Hash + Eq + Copy, W> MshrFile<K, W> {
         self.entries.values().map(Vec::len).sum()
     }
 
+    /// Visits every waiter of every live entry (checked-mode reference
+    /// audits recompute per-request refcounts this way). Read-only;
+    /// iteration order is unspecified.
+    pub fn for_each_waiter(&self, mut f: impl FnMut(&W)) {
+        for waiters in self.entries.values() {
+            for w in waiters {
+                f(w);
+            }
+        }
+    }
+
     /// Asserts file consistency: never above capacity, no entry without a
     /// waiter (an MSHR exists only to hold whoever is waiting on the
     /// fill), and every pooled spare vector empty. Read-only; called
@@ -203,6 +226,38 @@ mod tests {
         // A request arriving "earlier" (same-cycle reordering) still gets a
         // slot no earlier than the port's high-water mark.
         assert_eq!(p.grant(3), 11);
+    }
+
+    #[test]
+    fn peek_grant_matches_grant_without_consuming() {
+        let mut p = Ports::new(2);
+        // Fresh port: a future cycle resets the window.
+        assert_eq!(p.peek_grant(10), 10);
+        assert_eq!(p.grant(10), 10);
+        // One slot left this cycle.
+        assert_eq!(p.peek_grant(10), 10);
+        assert_eq!(p.grant(10), 10);
+        // Cycle full: the next grant spills to 11 — and peeking never
+        // consumed anything along the way.
+        assert_eq!(p.peek_grant(10), 11);
+        assert_eq!(p.peek_grant(10), 11);
+        assert_eq!(p.grant(10), 11);
+        // High-water mark: an "earlier" request peeks the same late slot
+        // `grant` would give it.
+        assert_eq!(p.peek_grant(3), 11);
+        assert_eq!(p.grant(3), 11);
+    }
+
+    #[test]
+    fn mshr_for_each_waiter_visits_all() {
+        let mut m: MshrFile<u64, u32> = MshrFile::new(4);
+        m.request(1, 10);
+        m.merge(1, 11);
+        m.request(2, 20);
+        let mut seen: Vec<u32> = Vec::new();
+        m.for_each_waiter(|w| seen.push(*w));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![10, 11, 20]);
     }
 
     #[test]

@@ -70,16 +70,19 @@ impl CoverageBucket {
     }
 }
 
-/// Running mean without storing samples.
+/// Running mean without storing samples. The accumulator is an integer
+/// (all simulator samples are cycle counts), which keeps the digest
+/// insensitive to accumulation order — integer addition commutes where
+/// float addition does not.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Mean {
-    sum: f64,
+    sum: u64,
     n: u64,
 }
 
 impl Mean {
     /// Adds a sample.
-    pub fn add(&mut self, x: f64) {
+    pub fn add(&mut self, x: u64) {
         self.sum += x;
         self.n += 1;
     }
@@ -89,7 +92,7 @@ impl Mean {
         if self.n == 0 {
             0.0
         } else {
-            self.sum / self.n as f64
+            self.sum as f64 / self.n as f64
         }
     }
 
@@ -161,6 +164,16 @@ pub struct Stats {
     pub writebacks: u64,
     /// Coalesced sector requests issued to the memory system.
     pub sector_requests: u64,
+    /// Warp memory instructions fully resolved on the inline hit fast
+    /// path (every sector hit the L1 TLB and L1 cache with free ports, so
+    /// no calendar events were scheduled).
+    pub fast_path_hits: u64,
+    /// Sector requests resolved on the inline hit fast path.
+    pub fast_path_sectors: u64,
+    /// Requests still incomplete when the run finished (always 0 in a
+    /// healthy run; counted instead of panicking so checked-mode release
+    /// builds surface lost-event bugs too).
+    pub lost_requests: u64,
     /// Cycles during which an SM had warps but none ready (summed over SMs).
     pub stall_cycles: u64,
 
@@ -357,6 +370,15 @@ impl Stats {
         }
     }
 
+    /// Fraction of sector requests resolved on the inline hit fast path.
+    pub fn fast_path_ratio(&self) -> f64 {
+        if self.sector_requests == 0 {
+            0.0
+        } else {
+            self.fast_path_sectors as f64 / self.sector_requests as f64
+        }
+    }
+
     /// FNV-1a determinism digest over every counter in declaration order.
     ///
     /// Two runs of the same cell must produce the same digest regardless of
@@ -375,6 +397,9 @@ impl Stats {
         w(self.stores);
         w(self.writebacks);
         w(self.sector_requests);
+        w(self.fast_path_hits);
+        w(self.fast_path_sectors);
+        w(self.lost_requests);
         w(self.stall_cycles);
         w(self.l1_tlb_lookups);
         w(self.l1_tlb_hits);
@@ -421,7 +446,7 @@ impl Stats {
             w(c);
         }
         for m in [&self.load_latency, &self.sector_latency, &self.walk_latency] {
-            w(m.sum.to_bits());
+            w(m.sum);
             w(m.n);
         }
         for b in self.sector_latency_hist.buckets {
@@ -476,8 +501,8 @@ mod tests {
     fn mean_accumulates() {
         let mut m = Mean::default();
         assert_eq!(m.value(), 0.0);
-        m.add(10.0);
-        m.add(20.0);
+        m.add(10);
+        m.add(20);
         assert_eq!(m.value(), 15.0);
         assert_eq!(m.count(), 2);
     }
@@ -512,7 +537,7 @@ mod tests {
         let bumped = Stats { loads: 1, ..Stats::default() };
         assert_ne!(Stats::default().digest(), bumped.digest());
         let mut with_mean = Stats::default();
-        with_mean.load_latency.add(1.0);
+        with_mean.load_latency.add(1);
         assert_ne!(Stats::default().digest(), with_mean.digest());
         let mut with_hist = Stats::default();
         with_hist.sector_latency_hist.add(100);

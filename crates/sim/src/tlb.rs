@@ -76,6 +76,16 @@ pub trait TlbModel: std::fmt::Debug {
     /// Looks up a page, updating replacement state.
     fn lookup(&mut self, vpn: Vpn) -> Option<TlbHit>;
 
+    /// Whether [`TlbModel::lookup`] would hit for `vpn`, without touching
+    /// replacement state or any other model state. `None` means the model
+    /// cannot answer non-destructively (the engine's inline fast path then
+    /// falls back to the event path); `Some(hit)` must equal exactly what
+    /// `lookup` would return. The default is `None`, so coalescing models
+    /// (CoLT, SnakeByte) opt out automatically.
+    fn probe(&self, _vpn: Vpn) -> Option<Option<TlbHit>> {
+        None
+    }
+
     /// Installs a translation.
     fn fill(&mut self, fill: &TlbFill);
 
@@ -128,6 +138,12 @@ pub(crate) struct EntryArray {
     /// Granularity used for set indexing (pages per entry).
     index_pages: u64,
     live: usize,
+    /// Last way that hit, per set — checked first on the next lookup.
+    /// Coalesced sectors land in the same page back to back, so this
+    /// short-circuits most scans; a stale hint costs one wasted compare
+    /// (the hit is re-verified), never a wrong result, because entry
+    /// ranges within a set are disjoint.
+    hints: Vec<u32>,
 }
 
 impl EntryArray {
@@ -148,7 +164,16 @@ impl EntryArray {
             stamp: 0,
             index_pages: index_pages.max(1),
             live: 0,
+            hints: vec![0; nsets],
         }
+    }
+
+    /// One-compare range check: `vpn - evpn` wraps for `vpn < evpn` (and
+    /// for the [`VPN_EMPTY`] sentinel) to a huge value no real span
+    /// reaches.
+    #[inline]
+    fn covers(evpn: u64, span: u64, vpn: u64) -> bool {
+        vpn.wrapping_sub(evpn) < span
     }
 
     #[inline]
@@ -156,24 +181,46 @@ impl EntryArray {
         ((vpn / self.index_pages) % self.nsets as u64) as usize * self.ways
     }
 
+    #[inline]
+    fn hit_at(&self, w: usize, vpn: u64) -> TlbHit {
+        let evpn = self.vpns[w];
+        TlbHit {
+            ppn: Ppn(self.ppns[w] + (vpn - evpn)),
+            coverage_pages: self.spans[w],
+            entry_vpn: evpn,
+            entry_ppn: self.ppns[w],
+        }
+    }
+
+    /// The way holding `vpn`, if any. Checks the set's last-hit hint
+    /// first — coalesced sector streams resolve in one compare — then
+    /// falls back to the way scan. Empty arrays return immediately
+    /// (the 2MB side of a [`BaseTlb`] is empty in every non-promotion
+    /// configuration, and it used to pay a full scan per lookup).
+    #[inline]
+    fn find(&self, vpn: u64) -> Option<usize> {
+        if self.live == 0 {
+            return None;
+        }
+        let base = self.set_base(vpn);
+        let hint = base + self.hints[base / self.ways] as usize;
+        if Self::covers(self.vpns[hint], self.spans[hint], vpn) {
+            return Some(hint);
+        }
+        (base..base + self.ways).find(|&w| Self::covers(self.vpns[w], self.spans[w], vpn))
+    }
+
     fn lookup(&mut self, vpn: u64) -> Option<TlbHit> {
         self.stamp += 1;
-        let base = self.set_base(vpn);
-        for w in base..base + self.ways {
-            let evpn = self.vpns[w];
-            // `evpn == VPN_EMPTY` fails the first comparison, so empty ways
-            // need no separate occupancy check.
-            if vpn >= evpn && vpn < evpn + self.spans[w] {
-                self.stamps[w] = self.stamp;
-                return Some(TlbHit {
-                    ppn: Ppn(self.ppns[w] + (vpn - evpn)),
-                    coverage_pages: self.spans[w],
-                    entry_vpn: evpn,
-                    entry_ppn: self.ppns[w],
-                });
-            }
-        }
-        None
+        let w = self.find(vpn)?;
+        self.stamps[w] = self.stamp;
+        self.hints[w / self.ways] = (w % self.ways) as u32;
+        Some(self.hit_at(w, vpn))
+    }
+
+    /// The hit [`EntryArray::lookup`] would return, with no LRU update.
+    fn probe(&self, vpn: u64) -> Option<TlbHit> {
+        self.find(vpn).map(|w| self.hit_at(w, vpn))
     }
 
     fn insert(&mut self, vpn: u64, ppn: u64, pages: u64) {
@@ -204,6 +251,8 @@ impl EntryArray {
         self.ppns[w] = ppn;
         self.spans[w] = pages;
         self.stamps[w] = stamp;
+        // A fill is usually followed by the lookup that wanted it.
+        self.hints[w / self.ways] = (w % self.ways) as u32;
     }
 
     fn invalidate(&mut self, vpn: u64, pages: u64) -> u64 {
@@ -212,6 +261,9 @@ impl EntryArray {
             let evpn = self.vpns[w];
             if evpn != VPN_EMPTY && evpn < vpn + pages && vpn < evpn + self.spans[w] {
                 self.vpns[w] = VPN_EMPTY;
+                // A free way must have zero reach so the one-compare
+                // `covers` check can never match it.
+                self.spans[w] = 0;
                 self.live -= 1;
                 dropped += 1;
             }
@@ -221,6 +273,7 @@ impl EntryArray {
 
     fn flush(&mut self) {
         self.vpns.fill(VPN_EMPTY);
+        self.spans.fill(0);
         self.live = 0;
     }
 
@@ -237,9 +290,18 @@ impl EntryArray {
     /// Panics on the first violated invariant.
     pub(crate) fn audit_invariants(&self) {
         assert_eq!(self.vpns.len(), self.nsets * self.ways);
+        assert_eq!(self.hints.len(), self.nsets);
+        for (set, &h) in self.hints.iter().enumerate() {
+            assert!(
+                (h as usize) < self.ways,
+                "set {set} hint {h} out of range for {}-way array",
+                self.ways
+            );
+        }
         let mut occupied = 0usize;
         for (w, &vpn) in self.vpns.iter().enumerate() {
             if vpn == VPN_EMPTY {
+                assert_eq!(self.spans[w], 0, "free way {w} keeps a non-zero reach");
                 continue;
             }
             occupied += 1;
@@ -300,6 +362,13 @@ impl TlbModel for BaseTlb {
             return Some(hit);
         }
         self.base.lookup(vpn.0)
+    }
+
+    fn probe(&self, vpn: Vpn) -> Option<Option<TlbHit>> {
+        if let Some(hit) = self.large.probe(vpn.0) {
+            return Some(Some(hit));
+        }
+        Some(self.base.probe(vpn.0))
     }
 
     fn fill(&mut self, fill: &TlbFill) {
@@ -455,6 +524,24 @@ mod tests {
         }
         t.flush();
         t.audit_invariants();
+    }
+
+    #[test]
+    fn probe_previews_lookup_without_lru_update() {
+        let mut t = BaseTlb::new(2, 1, 0, 1);
+        t.fill(&fill4k(1, 11));
+        t.fill(&fill4k(2, 22));
+        // Probe agrees with lookup on both hit and miss...
+        assert_eq!(t.probe(Vpn(1)), Some(t.lookup(Vpn(1))));
+        assert_eq!(t.probe(Vpn(9)), Some(None));
+        // ...and probing vpn 2 must NOT refresh its LRU position: after a
+        // lookup of 1, a probe of 2, and a capacity fill, 2 (not 1) is the
+        // victim.
+        t.lookup(Vpn(1));
+        t.probe(Vpn(2));
+        t.fill(&fill4k(3, 33));
+        assert!(t.lookup(Vpn(1)).is_some());
+        assert!(t.lookup(Vpn(2)).is_none());
     }
 
     #[test]

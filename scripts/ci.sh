@@ -3,12 +3,13 @@
 #
 # Fails if the build breaks, avatar-lint reports any deny finding, clippy
 # reports any warning, any test fails (including the checked-mode
-# `--features invariants` suite), the fig15 grid diverges between the
-# default and invariants builds, a scenario cell panics during the
-# throughput grid (the harness exits non-zero on a failed cell), or
-# single-thread events/sec regresses more than AVATAR_TP_TOLERANCE
-# percent (default 20) below the checked-in BENCH_throughput.json
-# baseline.
+# `--features invariants` suite), the inline-hit fast path changes any
+# simulated statistic (the on/off digest differential), the fig15 grid
+# diverges between the default and invariants builds, a scenario cell
+# panics during the throughput grid (the harness exits non-zero on a
+# failed cell), or single-thread events/sec regresses more than
+# AVATAR_TP_TOLERANCE percent (default 20) below the checked-in
+# BENCH_throughput.json baseline.
 #
 # To iterate locally with a known-noisy rule, downgrade it instead of
 # editing the gate: AVATAR_LINT_ALLOW=<rule,rule> scripts/ci.sh
@@ -35,6 +36,14 @@ cargo test --workspace -q
 
 echo "== checked-mode invariants (audits + negative tests) =="
 cargo test -q -p avatar-sim --features invariants
+
+echo "== fast-path differential gate (inline vs evented, all figure configs) =="
+# The inline hit fast path is a host-side speed knob: Stats::digest()
+# must be identical with it on and off for every figure-bin system
+# configuration. The sweep lives in crates/core/tests/fast_path.rs; it
+# already ran once inside the workspace test pass above, so this release
+# re-run guards against opt-level-dependent divergence.
+cargo test --release -q -p avatar-core --test fast_path
 
 echo "== invariants build must not perturb results (fig15 byte-diff) =="
 fig_default=$(mktemp /tmp/avatar-fig15-default.XXXXXX.json)
