@@ -6,7 +6,7 @@
 
 use avatar_bench::json::Json;
 use avatar_bench::runner::{run_scenarios, Scenario};
-use avatar_bench::{obj, print_table, HarnessOpts};
+use avatar_bench::{obj, print_table, ExtraFlag, HarnessArgs};
 use avatar_core::system::{speedup, SystemConfig};
 use avatar_sim::config::CacheArrangement;
 use avatar_sim::Stats;
@@ -20,13 +20,12 @@ const ARRANGEMENTS: [(&str, CacheArrangement); 2] =
     [("VIPT", CacheArrangement::Vipt), ("PIPT", CacheArrangement::Pipt)];
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    let abbr = std::env::args()
-        .collect::<Vec<_>>()
-        .windows(2)
-        .find(|w| w[0] == "--abbr")
-        .map(|w| w[1].clone())
-        .unwrap_or_else(|| "SSSP".to_string());
+    let opts = HarnessArgs::parse_with(&[ExtraFlag {
+        flag: "--abbr",
+        value_name: Some("WL"),
+        help: "workload abbreviation to study (default SSSP)",
+    }]);
+    let abbr = opts.extra_value("--abbr").unwrap_or("SSSP").to_string();
     let w = Workload::by_abbr(&abbr).unwrap_or_else(|| {
         eprintln!("unknown workload {abbr}");
         std::process::exit(1);

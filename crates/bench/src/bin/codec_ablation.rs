@@ -7,14 +7,14 @@
 
 use avatar_bench::json::Json;
 use avatar_bench::runner::{run_scenarios, Scenario};
-use avatar_bench::{geomean, mean, obj, print_table, HarnessOpts};
+use avatar_bench::{geomean, mean, obj, print_table, HarnessArgs};
 use avatar_core::system::{speedup, RunOptions, SystemConfig};
 use avatar_workloads::{ContentModel, Workload};
 
 const SAMPLE_WORKLOADS: [&str; 5] = ["GEMM", "PAF", "GC", "SSSP", "XSB"];
 
 fn main() {
-    let opts = HarnessOpts::from_args();
+    let opts = HarnessArgs::parse();
 
     // codec × workload × {Baseline, Avatar}: one flat grid.
     let mut scenarios = Vec::new();

@@ -11,7 +11,8 @@
 //! and we report the mean sector latency of each regime.
 
 use avatar_bench::runner::run_cells;
-use avatar_bench::{obj, print_table, HarnessOpts};
+use avatar_bench::{obj, print_table, HarnessArgs};
+use avatar_core::system::{attach_trace, RunOptions};
 use avatar_sim::addr::VirtAddr;
 use avatar_sim::config::GpuConfig;
 use avatar_sim::engine::Engine;
@@ -38,7 +39,7 @@ impl WarpProgram for Chase {
     }
 }
 
-fn run_chase(stride: u64, span: u64, accesses: u32, ideal_tlb: bool) -> f64 {
+fn run_chase(stride: u64, span: u64, accesses: u32, ideal_tlb: bool, ro: &RunOptions) -> f64 {
     let mut cfg = GpuConfig::rtx3070();
     cfg.num_sms = 1;
     cfg.warps_per_sm = 1;
@@ -50,7 +51,7 @@ fn run_chase(stride: u64, span: u64, accesses: u32, ideal_tlb: bool) -> f64 {
         1,
     ))];
     let l2 = Box::new(BaseTlb::new(cfg.l2_tlb.base_entries, cfg.l2_tlb.large_entries, cfg.l2_tlb.assoc, 1));
-    let engine = Engine::new(
+    let mut engine = Engine::new(
         cfg,
         l1s,
         l2,
@@ -58,26 +59,35 @@ fn run_chase(stride: u64, span: u64, accesses: u32, ideal_tlb: bool) -> f64 {
         Box::new(UniformCompression { fraction: 0.0 }),
         Box::new(Chase { stride, span, remaining: accesses, pos: 0 }),
     );
+    attach_trace(&mut engine, ro);
     let stats = engine.run();
     stats.sector_latency.value()
 }
 
 fn main() {
-    let opts = HarnessOpts::from_args();
+    let opts = HarnessArgs::parse();
     let accesses = 4096;
 
     // Two independent chases; even this two-cell figure goes through the
     // pool so `--threads` overlaps them.
+    // This bin assembles its engines by hand, so `--trace-out` is honoured
+    // via `attach_trace` with a per-regime tag rather than through `run`.
+    let tagged = |tag: &str| {
+        let mut ro = opts.run_options();
+        ro.trace_tag = Some(tag.to_string());
+        ro
+    };
+    let (ro_hit, ro_walk) = (tagged("hit"), tagged("walk"));
     let jobs: Vec<Box<dyn FnOnce() -> f64 + Send>> = vec![
         // Translation-free regime: the chase spans far more than the caches
         // (DRAM-bound, as the paper's microbenchmark on commodity GPUs) but
         // translation is free — this isolates raw memory latency.
-        Box::new(move || run_chase(4096 + 256, 256 << 20, accesses, true)),
+        Box::new(move || run_chase(4096 + 256, 256 << 20, accesses, true, &ro_hit)),
         // Page-walk regime: identical memory behaviour, but every access
         // lands in a fresh 2MB region of a multi-GB span, defeating the TLBs
         // and the page-walk cache so a multi-reference walk precedes each
         // access.
-        Box::new(move || run_chase((2 << 20) + 4096 + 256, 8 << 30, accesses, false)),
+        Box::new(move || run_chase((2 << 20) + 4096 + 256, 8 << 30, accesses, false, &ro_walk)),
     ];
     let cells = run_cells(opts.threads, jobs);
     let hit = *cells[0].outcome.as_ref().expect("TLB-hit chase");

@@ -9,7 +9,7 @@
 
 use avatar_bench::json::Json;
 use avatar_bench::runner::{run_scenarios, Scenario, ScenarioResult};
-use avatar_bench::{obj, print_table, HarnessOpts};
+use avatar_bench::{obj, print_table, HarnessArgs};
 use avatar_core::system::{RunOptions, SystemConfig};
 use avatar_sim::stats::CoverageBucket;
 use avatar_workloads::{Class, Workload};
@@ -33,7 +33,7 @@ fn coverage_fractions(results: &[ScenarioResult]) -> [f64; 5] {
 }
 
 fn main() {
-    let opts = HarnessOpts::from_args();
+    let opts = HarnessArgs::parse();
     let class_h: Vec<Workload> = Workload::all().into_iter().filter(|w| w.class == Class::H).collect();
     let scenarios_of = |ro: &RunOptions| -> Vec<Scenario> {
         class_h.iter().map(|w| Scenario::new(w.abbr, w, SystemConfig::Colt, ro.clone())).collect()

@@ -8,7 +8,7 @@
 
 use avatar_bench::json::Json;
 use avatar_bench::runner::run_cells;
-use avatar_bench::{mean, obj, print_table, HarnessOpts};
+use avatar_bench::{mean, obj, print_table, HarnessArgs};
 use avatar_sim::addr::CHUNK_BYTES;
 use avatar_sim::fxhash::FxHashMap;
 use avatar_sim::sm::{WarpOp, WarpProgram};
@@ -48,7 +48,7 @@ fn same_chunk_fraction(w: &Workload, sms: usize, warps: usize, scale: f64) -> f6
 }
 
 fn main() {
-    let opts = HarnessOpts::from_args();
+    let opts = HarnessArgs::parse();
     let workloads = Workload::all();
 
     // Pure trace analysis — no Engine — but the streams are long enough

@@ -8,7 +8,7 @@
 
 use avatar_bench::json::Json;
 use avatar_bench::runner::run_cells;
-use avatar_bench::{mean, obj, print_table, HarnessOpts};
+use avatar_bench::{mean, obj, print_table, HarnessArgs};
 use avatar_bpc::embed::PAYLOAD_BITS;
 use avatar_workloads::Workload;
 
@@ -29,7 +29,7 @@ fn measure(w: &Workload, samples: u64) -> (f64, f64) {
 }
 
 fn main() {
-    let opts = HarnessOpts::from_args();
+    let opts = HarnessArgs::parse();
     let samples = 20_000u64;
     let workloads = Workload::all();
 

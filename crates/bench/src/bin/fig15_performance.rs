@@ -7,12 +7,12 @@
 
 use avatar_bench::json::Json;
 use avatar_bench::runner::{fmt_cell, run_scenarios, speedup_cell, Scenario};
-use avatar_bench::{geomean, obj, print_table, HarnessOpts};
+use avatar_bench::{geomean, obj, print_table, HarnessArgs};
 use avatar_core::system::SystemConfig;
 use avatar_workloads::Workload;
 
 fn main() {
-    let opts = HarnessOpts::from_args();
+    let opts = HarnessArgs::parse();
     let ro = opts.run_options();
     let configs = SystemConfig::FIG15;
     let workloads = Workload::all();

@@ -5,12 +5,12 @@
 
 use avatar_bench::json::Json;
 use avatar_bench::runner::{run_scenarios, Scenario};
-use avatar_bench::{mean, obj, print_table, HarnessOpts};
+use avatar_bench::{mean, obj, print_table, HarnessArgs};
 use avatar_core::system::SystemConfig;
 use avatar_workloads::Workload;
 
 fn main() {
-    let opts = HarnessOpts::from_args();
+    let opts = HarnessArgs::parse();
     let ro = opts.run_options();
     let workloads = Workload::all();
 

@@ -8,14 +8,14 @@
 
 use avatar_bench::json::Json;
 use avatar_bench::runner::{fmt_cell, run_scenarios, speedup_cell, Scenario};
-use avatar_bench::{geomean, obj, print_table, HarnessOpts};
+use avatar_bench::{geomean, obj, print_table, HarnessArgs};
 use avatar_core::system::{RunOptions, SystemConfig};
 use avatar_workloads::Workload;
 
 const EXCLUDED: [&str; 3] = ["LMD", "FW", "GEMM"];
 
 fn main() {
-    let opts = HarnessOpts::from_args();
+    let opts = HarnessArgs::parse();
     let ro = RunOptions { oversubscription: Some(1.3), ..opts.run_options() };
     let configs = [
         SystemConfig::Promotion,

@@ -8,7 +8,7 @@
 
 use avatar_bench::json::Json;
 use avatar_bench::runner::{run_scenarios, Scenario, ScenarioResult};
-use avatar_bench::{mean, obj, print_table, HarnessOpts};
+use avatar_bench::{mean, obj, print_table, HarnessArgs};
 use avatar_core::system::{RunOptions, SystemConfig};
 use avatar_workloads::{Class, Workload};
 
@@ -34,7 +34,7 @@ fn summarize(results: &[ScenarioResult], n_workloads: usize) -> Vec<(f64, f64)> 
 }
 
 fn main() {
-    let opts = HarnessOpts::from_args();
+    let opts = HarnessArgs::parse();
     let class_h: Vec<Workload> = Workload::all().into_iter().filter(|w| w.class == Class::H).collect();
     let regimes = [
         ("(a) no oversubscription", "normal", opts.run_options()),
@@ -75,6 +75,46 @@ fn main() {
     headers.extend(CONFIGS.iter().map(|c| c.label()));
     println!("\nFig 20: mean memory access latency, class-H workloads (cycles)");
     print_table(&headers, &rows);
+    print_breakdown(&results[..per_regime], &class_h);
     println!("\npaper: Avatar lowest in both scenarios; prior techniques degrade more under oversubscription");
     opts.dump_json(&json);
 }
+
+/// Latency-breakdown cross-check (`probes` builds): per-phase attribution
+/// shares for the no-oversubscription regime, with the conservation
+/// invariant — phase sums equal the end-to-end sector latency sum exactly
+/// — re-verified on every cell before anything is printed.
+#[cfg(feature = "probes")]
+fn print_breakdown(results: &[ScenarioResult], class_h: &[Workload]) {
+    use avatar_sim::probe::{LatencyBreakdown, Phase};
+    let mut rows = Vec::new();
+    for (ci, cfg) in CONFIGS.iter().enumerate() {
+        let mut agg = LatencyBreakdown::default();
+        for wi in 0..class_h.len() {
+            let s = results[wi * CONFIGS.len() + ci].expect_stats();
+            assert_eq!(
+                s.latency_breakdown.total_cycles(),
+                s.sector_latency.sum(),
+                "fig20 {} / {}: latency breakdown violates cycle conservation",
+                cfg.label(),
+                class_h[wi].abbr,
+            );
+            for ph in Phase::ALL {
+                agg.add(ph, s.latency_breakdown.of(ph));
+            }
+            agg.sectors += s.latency_breakdown.sectors;
+        }
+        let mut cells = vec![cfg.label().to_string()];
+        cells.extend(Phase::ALL.iter().map(|&ph| format!("{:.1}%", 100.0 * agg.fraction(ph))));
+        rows.push(cells);
+    }
+    let mut headers = vec!["Config"];
+    headers.extend(Phase::ALL.iter().map(|p| p.label()));
+    println!("\nLatency breakdown, regime (a) — share of attributed sector cycles");
+    println!("(conservation-checked per cell: phase sums == end-to-end latency sum)");
+    print_table(&headers, &rows);
+}
+
+/// Probes compiled out: the breakdown fields are all zero; print nothing.
+#[cfg(not(feature = "probes"))]
+fn print_breakdown(_results: &[ScenarioResult], _class_h: &[Workload]) {}

@@ -9,7 +9,7 @@
 
 use avatar_bench::json::Json;
 use avatar_bench::runner::{fmt_cell, run_scenarios, speedup_cell, Scenario};
-use avatar_bench::{geomean, obj, print_table, HarnessOpts};
+use avatar_bench::{geomean, obj, print_table, HarnessArgs};
 use avatar_core::system::{RunOptions, SystemConfig};
 use avatar_sim::config::BasePage;
 use avatar_workloads::Workload;
@@ -18,7 +18,7 @@ const CONFIGS: [SystemConfig; 3] =
     [SystemConfig::Promotion, SystemConfig::Colt, SystemConfig::Avatar];
 
 fn main() {
-    let opts = HarnessOpts::from_args();
+    let opts = HarnessArgs::parse();
     let ro = RunOptions { base_page: BasePage::Size64K, ..opts.run_options() };
     let workloads = Workload::all();
 

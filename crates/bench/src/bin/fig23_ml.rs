@@ -7,7 +7,7 @@
 
 use avatar_bench::json::Json;
 use avatar_bench::runner::{fmt_cell, run_scenarios, speedup_cell, Scenario};
-use avatar_bench::{geomean, mean, obj, print_table, HarnessOpts};
+use avatar_bench::{geomean, mean, obj, print_table, HarnessArgs};
 use avatar_bpc::embed::PAYLOAD_BITS;
 use avatar_core::system::SystemConfig;
 use avatar_workloads::Workload;
@@ -35,7 +35,7 @@ fn compressibility(w: &Workload, samples: u64) -> (f64, f64) {
 }
 
 fn main() {
-    let opts = HarnessOpts::from_args();
+    let opts = HarnessArgs::parse();
     let ro = opts.run_options();
     let samples = 20_000u64;
     let workloads = Workload::ml_suite();

@@ -7,12 +7,12 @@
 
 use avatar_bench::json::Json;
 use avatar_bench::runner::{run_scenarios, Scenario};
-use avatar_bench::{obj, print_table, HarnessOpts};
+use avatar_bench::{obj, print_table, HarnessArgs};
 use avatar_core::system::{speedup, RunOptions, SystemConfig};
 use avatar_workloads::Workload;
 
 fn main() {
-    let opts = HarnessOpts::from_args();
+    let opts = HarnessArgs::parse();
     let grid: Vec<(&str, usize)> = ["GEMM", "PAF", "SSSP", "XSB"]
         .into_iter()
         .flat_map(|abbr| [(abbr, 1usize), (abbr, 2)])

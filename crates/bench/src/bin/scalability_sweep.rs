@@ -9,7 +9,7 @@
 
 use avatar_bench::json::Json;
 use avatar_bench::runner::{fmt_cell, run_scenarios, speedup_cell, Scenario};
-use avatar_bench::{obj, print_table, HarnessOpts};
+use avatar_bench::{obj, print_table, ExtraFlag, HarnessArgs};
 use avatar_core::system::{RunOptions, SystemConfig};
 use avatar_workloads::Workload;
 
@@ -23,13 +23,12 @@ const CONFIGS: [SystemConfig; 4] = [
 const SCALES: [f64; 6] = [0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0];
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    let abbr = std::env::args()
-        .collect::<Vec<_>>()
-        .windows(2)
-        .find(|w| w[0] == "--abbr")
-        .map(|w| w[1].clone())
-        .unwrap_or_else(|| "XSB".to_string());
+    let opts = HarnessArgs::parse_with(&[ExtraFlag {
+        flag: "--abbr",
+        value_name: Some("WL"),
+        help: "workload abbreviation to sweep (default XSB, the 2.24GB maximum)",
+    }]);
+    let abbr = opts.extra_value("--abbr").unwrap_or("XSB").to_string();
     let w = Workload::by_abbr(&abbr).unwrap_or_else(|| {
         eprintln!("unknown workload {abbr}");
         std::process::exit(1);

@@ -5,11 +5,11 @@
 //! harness flags (`--json` dumps the rows machine-readably).
 
 use avatar_bench::json::Json;
-use avatar_bench::{obj, print_table, HarnessOpts};
+use avatar_bench::{obj, print_table, HarnessArgs};
 use avatar_sim::config::GpuConfig;
 
 fn main() {
-    let opts = HarnessOpts::from_args();
+    let opts = HarnessArgs::parse();
     let c = GpuConfig::rtx3070();
     let rows = vec![
         vec!["GPU core".into(), format!("{} SMs, max {} warps per SM, LRR-equivalent event order", c.num_sms, c.warps_per_sm)],

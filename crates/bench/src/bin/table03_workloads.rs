@@ -6,13 +6,17 @@
 
 use avatar_bench::json::Json;
 use avatar_bench::runner::{run_scenarios, Scenario};
-use avatar_bench::{obj, print_table, HarnessOpts};
+use avatar_bench::{obj, print_table, ExtraFlag, HarnessArgs};
 use avatar_core::system::SystemConfig;
 use avatar_workloads::Workload;
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    let measure = std::env::args().any(|a| a == "--measure");
+    let opts = HarnessArgs::parse_with(&[ExtraFlag {
+        flag: "--measure",
+        value_name: None,
+        help: "simulate every workload to measure L2 TLB MPMI (slower)",
+    }]);
+    let measure = opts.extra_present("--measure");
     let ro = opts.run_options();
     let workloads = Workload::all();
 

@@ -2,7 +2,8 @@
 //! cells/sec through the parallel scenario runner.
 //!
 //! Runs a fixed grid of (workload × configuration) cells once per thread
-//! count in `THREAD_COUNTS` and reports:
+//! count in `THREAD_COUNTS` (best-of-[`MEASURE_REPEATS`] on the
+//! single-thread measurement pass) and reports:
 //!
 //! * **events/sec** — simulation events retired per wall-clock second on
 //!   one thread (the event-calendar / hashing / allocation hot path);
@@ -13,7 +14,7 @@
 //! (override with `--json <path>`). `--quick` keeps it CI-sized.
 
 use avatar_bench::runner::{run_scenarios, Scenario, ScenarioResult};
-use avatar_bench::{obj, print_table, HarnessOpts};
+use avatar_bench::{obj, print_table, HarnessArgs};
 use avatar_core::system::SystemConfig;
 use avatar_workloads::Workload;
 use std::path::PathBuf;
@@ -27,7 +28,13 @@ const CONFIGS: [SystemConfig; 2] = [SystemConfig::Baseline, SystemConfig::Avatar
 /// scaling denominator and the events/sec measurement pass.
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-fn grid(opts: &HarnessOpts) -> Vec<Scenario> {
+/// Identical passes of the single-thread grid; the fastest wall time is
+/// the reported measurement. Scheduler noise on a shared box only ever
+/// slows a pass down, so best-of-N is the stable estimator the CI gate's
+/// tight tolerance needs (single runs were observed ±5% on one core).
+const MEASURE_REPEATS: usize = 5;
+
+fn grid(opts: &HarnessArgs) -> Vec<Scenario> {
     let ro = opts.run_options();
     let mut scenarios = Vec::new();
     for w in Workload::all() {
@@ -87,7 +94,7 @@ fn measure(results: &[ScenarioResult]) -> PassMeasure {
 }
 
 fn main() {
-    let opts = HarnessOpts::from_args();
+    let opts = HarnessArgs::parse();
     let n_cells = grid(&opts).len();
 
     // Host environment + speed-knob provenance, recorded per JSON entry so
@@ -105,13 +112,23 @@ fn main() {
     let mut total_failed = 0usize;
     for (i, &threads) in THREAD_COUNTS.iter().enumerate() {
         eprintln!(
-            "throughput: {n_cells} cells, pass {}/{} on {threads} thread(s)...",
+            "throughput: {n_cells} cells, pass {}/{} on {threads} thread(s){}...",
             i + 1,
-            THREAD_COUNTS.len()
+            THREAD_COUNTS.len(),
+            if threads == 1 { format!(" (best of {MEASURE_REPEATS})") } else { String::new() }
         );
-        let t0 = Instant::now(); // lint:allow(nondeterminism)
-        let results = run_scenarios(threads, grid(&opts));
-        let wall_s = t0.elapsed().as_secs_f64();
+        let repeats = if threads == 1 { MEASURE_REPEATS } else { 1 };
+        let mut wall_s = f64::INFINITY;
+        let mut results = Vec::new();
+        for _ in 0..repeats {
+            let t0 = Instant::now(); // lint:allow(nondeterminism)
+            let pass = run_scenarios(threads, grid(&opts));
+            let s = t0.elapsed().as_secs_f64();
+            if s < wall_s {
+                wall_s = s;
+            }
+            results = pass;
+        }
         let m = measure(&results);
         let PassMeasure { events, failed, digest, sector_requests, fast_path_sectors } = m;
         total_failed += failed;

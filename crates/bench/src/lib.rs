@@ -6,139 +6,20 @@
 //! optionally dumps machine-readable JSON (`--json <path>`) for
 //! EXPERIMENTS.md bookkeeping.
 //!
-//! Common flags (parsed by [`HarnessOpts::from_args`]):
-//!
-//! * `--scale <f>`   — workload working-set scale (default 1.0: paper footprints)
-//! * `--sms <n>`     — SM count (default 16; paper config is 46)
-//! * `--warps <n>`   — warps per SM (default 32; paper config is 48)
-//! * `--full`        — paper-scale run: 46 SMs × 48 warps, scale 1.0
-//! * `--quick`       — CI-sized run: 4 SMs × 8 warps, scale 0.05
-//! * `--json <path>` — dump rows as JSON
-//! * `--threads <n>` — worker threads for the scenario grid (default:
-//!   `AVATAR_THREADS` env var, else `std::thread::available_parallelism()`)
+//! Command-line parsing is shared: [`HarnessArgs::parse`] handles the
+//! flags every harness understands (`--quick`, `--full`, `--scale`,
+//! `--sms`, `--warps`, `--threads`, `--seed`, `--json`, `--trace-out`)
+//! and rejects everything undeclared with usage text; binaries with
+//! bespoke flags declare them as [`ExtraFlag`]s — see [`cli`].
 
 #![forbid(unsafe_code)]
 
+pub mod cli;
 pub mod json;
 pub mod runner;
 pub mod timer;
 
-use avatar_core::system::RunOptions;
-use json::Json;
-use std::path::PathBuf;
-
-/// Options shared by all harness binaries.
-#[derive(Debug, Clone)]
-pub struct HarnessOpts {
-    /// Workload scale factor.
-    pub scale: f64,
-    /// SM count.
-    pub sms: usize,
-    /// Warps per SM.
-    pub warps: usize,
-    /// Optional JSON dump path.
-    pub json: Option<PathBuf>,
-    /// Worker threads for the scenario grid.
-    pub threads: usize,
-}
-
-/// Default thread count: `AVATAR_THREADS` if set and parsable, else the
-/// machine's available parallelism.
-pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("AVATAR_THREADS") {
-        match v.parse::<usize>() {
-            Ok(n) if n >= 1 => return n,
-            _ => eprintln!("warning: AVATAR_THREADS='{v}' is not a positive integer; ignoring"),
-        }
-    }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
-
-impl Default for HarnessOpts {
-    fn default() -> Self {
-        Self { scale: 1.0, sms: 16, warps: 32, json: None, threads: default_threads() }
-    }
-}
-
-impl HarnessOpts {
-    /// Parses the common command-line flags.
-    pub fn from_args() -> Self {
-        Self::from_arg_list(std::env::args().skip(1))
-    }
-
-    /// Parses flags from an explicit argument list (testable core of
-    /// [`HarnessOpts::from_args`]). A known flag with an unparsable value
-    /// warns on stderr and keeps the default instead of silently
-    /// swallowing the value.
-    pub fn from_arg_list(args: impl IntoIterator<Item = String>) -> Self {
-        fn parse_or_warn<T: std::str::FromStr>(flag: &str, value: Option<String>, default: T) -> T {
-            match value {
-                Some(v) => match v.parse() {
-                    Ok(parsed) => parsed,
-                    Err(_) => {
-                        eprintln!("warning: {flag} value '{v}' is not valid; using the default");
-                        default
-                    }
-                },
-                None => {
-                    eprintln!("warning: {flag} needs a value; using the default");
-                    default
-                }
-            }
-        }
-        let mut opts = Self::default();
-        let mut args = args.into_iter();
-        while let Some(a) = args.next() {
-            match a.as_str() {
-                "--scale" => opts.scale = parse_or_warn("--scale", args.next(), opts.scale),
-                "--sms" => opts.sms = parse_or_warn("--sms", args.next(), opts.sms),
-                "--warps" => opts.warps = parse_or_warn("--warps", args.next(), opts.warps),
-                "--threads" => {
-                    opts.threads = parse_or_warn("--threads", args.next(), opts.threads).max(1)
-                }
-                "--full" => {
-                    opts.scale = 1.0;
-                    opts.sms = 46;
-                    opts.warps = 48;
-                }
-                "--quick" => {
-                    opts.scale = 0.05;
-                    opts.sms = 4;
-                    opts.warps = 8;
-                }
-                "--json" => opts.json = args.next().map(PathBuf::from),
-                other => eprintln!("ignoring unknown flag {other}"),
-            }
-        }
-        opts
-    }
-
-    /// Converts to simulator run options.
-    pub fn run_options(&self) -> RunOptions {
-        RunOptions {
-            scale: self.scale,
-            sms: Some(self.sms),
-            warps: Some(self.warps),
-            ..RunOptions::default()
-        }
-    }
-
-    /// Writes rows to the `--json` path, if given.
-    pub fn dump_json(&self, rows: &[Json]) {
-        if let Some(path) = &self.json {
-            self.dump_json_to(path.clone(), rows);
-        }
-    }
-
-    /// Writes rows to an explicit path (used by harnesses with a default
-    /// dump location, e.g. `throughput`).
-    pub fn dump_json_to(&self, path: PathBuf, rows: &[Json]) {
-        let doc = Json::Arr(rows.to_vec());
-        if let Err(e) = std::fs::write(&path, doc.pretty()) {
-            eprintln!("failed to write {}: {e}", path.display());
-        }
-    }
-}
+pub use cli::{default_threads, usage, ExtraFlag, HarnessArgs};
 
 /// Geometric mean (the paper's averaging for speedups).
 pub fn geomean(xs: &[f64]) -> f64 {
@@ -203,49 +84,5 @@ mod tests {
     #[test]
     fn mean_basic() {
         assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
-    }
-
-    #[test]
-    fn default_opts_reasonable() {
-        let o = HarnessOpts::default();
-        assert!(o.scale > 0.0 && o.sms > 0 && o.warps > 0 && o.threads >= 1);
-        let ro = o.run_options();
-        assert_eq!(ro.sms, Some(16));
-    }
-
-    fn args(list: &[&str]) -> Vec<String> {
-        list.iter().map(|s| s.to_string()).collect()
-    }
-
-    #[test]
-    fn arg_list_parses_known_flags() {
-        let o = HarnessOpts::from_arg_list(args(&[
-            "--scale", "0.5", "--sms", "8", "--warps", "16", "--threads", "3",
-        ]));
-        assert_eq!(o.scale, 0.5);
-        assert_eq!(o.sms, 8);
-        assert_eq!(o.warps, 16);
-        assert_eq!(o.threads, 3);
-    }
-
-    #[test]
-    fn unparsable_value_falls_back_to_default() {
-        let o = HarnessOpts::from_arg_list(args(&["--sms", "lots", "--scale", "0.25"]));
-        assert_eq!(o.sms, HarnessOpts::default().sms);
-        assert_eq!(o.scale, 0.25);
-    }
-
-    #[test]
-    fn threads_zero_clamps_to_one() {
-        let o = HarnessOpts::from_arg_list(args(&["--threads", "0"]));
-        assert_eq!(o.threads, 1);
-    }
-
-    #[test]
-    fn quick_and_full_presets() {
-        let q = HarnessOpts::from_arg_list(args(&["--quick"]));
-        assert_eq!((q.sms, q.warps), (4, 8));
-        let f = HarnessOpts::from_arg_list(args(&["--full"]));
-        assert_eq!((f.sms, f.warps), (46, 48));
     }
 }

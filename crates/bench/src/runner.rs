@@ -138,11 +138,17 @@ impl Scenario {
         self
     }
 
-    /// Runs the cell synchronously.
+    /// Runs the cell synchronously. When a trace destination is set but
+    /// untagged, workload + cell label become the tag, so every cell of
+    /// a grid sharing one `--trace-out` writes its own file.
     pub fn run(&self) -> Stats {
+        let mut opts = self.opts.clone();
+        if opts.trace_out.is_some() && opts.trace_tag.is_none() {
+            opts.trace_tag = Some(format!("{} {}", self.workload.abbr, self.label));
+        }
         match &self.tweak {
-            Some(t) => run_with(&self.workload, self.config, &self.opts, |c| t(c)),
-            None => run_with(&self.workload, self.config, &self.opts, |_| {}),
+            Some(t) => run_with(&self.workload, self.config, &opts, |c| t(c)),
+            None => run_with(&self.workload, self.config, &opts, |_| {}),
         }
     }
 }

@@ -105,6 +105,13 @@ pub struct RunOptions {
     /// Sector-compression codec behind CAVA (the paper uses BPC; FPC/BDI
     /// support the codec ablation).
     pub codec: avatar_bpc::Codec,
+    /// Chrome-trace destination (`probes` feature; set by `--trace-out`
+    /// or `AVATAR_TRACE_OUT`). `None` disables trace export.
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Tag inserted into the trace filename before its extension so grid
+    /// cells sharing one `trace_out` write distinct files (typically the
+    /// scenario label).
+    pub trace_tag: Option<String>,
 }
 
 impl Default for RunOptions {
@@ -118,7 +125,31 @@ impl Default for RunOptions {
             warps: None,
             tenants: 1,
             codec: avatar_bpc::Codec::Bpc,
+            trace_out: None,
+            trace_tag: None,
         }
+    }
+}
+
+impl RunOptions {
+    /// The effective trace path: `trace_out` with `trace_tag` (sanitized
+    /// to `[a-z0-9_]`) inserted before the extension. `None` when no
+    /// trace was requested.
+    pub fn trace_path(&self) -> Option<std::path::PathBuf> {
+        let base = self.trace_out.as_ref()?;
+        let Some(tag) = self.trace_tag.as_deref() else {
+            return Some(base.clone());
+        };
+        let tag: String = tag
+            .chars()
+            .map(|c| {
+                let c = c.to_ascii_lowercase();
+                if c.is_ascii_alphanumeric() { c } else { '_' }
+            })
+            .collect();
+        let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+        let ext = base.extension().and_then(|e| e.to_str()).unwrap_or("json");
+        Some(base.with_file_name(format!("{stem}.{tag}.{ext}")))
     }
 }
 
@@ -147,6 +178,7 @@ pub fn gpu_config(workload: &Workload, config: SystemConfig, opts: &RunOptions) 
         let capacity = ((touched as f64 / factor) as u64 / crate::CHUNK_BYTES) * crate::CHUNK_BYTES;
         cfg.uvm.gpu_memory_bytes = capacity.max(2 * crate::CHUNK_BYTES);
     }
+    cfg.validate().expect("assembled harness GpuConfig violates geometry invariants");
     cfg
 }
 
@@ -273,8 +305,38 @@ pub fn run_with(
     } else {
         Box::new(workload.program(cfg.num_sms, cfg.warps_per_sm, opts.scale))
     };
-    let engine = Engine::new(cfg, l1s, l2, policy, Box::new(content), program);
+    let mut engine = Engine::new(cfg, l1s, l2, policy, Box::new(content), program);
+    attach_trace(&mut engine, opts);
     engine.run()
+}
+
+/// Attaches a Chrome-trace exporter to the engine when the run options
+/// request one (`probes` builds only). The per-warp span sampling stride
+/// comes from `AVATAR_TRACE_SAMPLE` (0/1 = every warp); it is read once
+/// here, at construction — never on the event path. Public so harnesses
+/// that assemble an [`Engine`] by hand (microbenchmark bins) honour
+/// `--trace-out` the same way [`run`] does.
+#[cfg(feature = "probes")]
+pub fn attach_trace(engine: &mut Engine, opts: &RunOptions) {
+    if let Some(path) = opts.trace_path() {
+        let sample = std::env::var("AVATAR_TRACE_SAMPLE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0u32);
+        engine.attach_probe(Box::new(avatar_sim::trace_export::ChromeTraceProbe::new(path)), sample);
+    }
+}
+
+/// Probes are compiled out: warn once per run if a trace was requested.
+#[cfg(not(feature = "probes"))]
+pub fn attach_trace(_engine: &mut Engine, opts: &RunOptions) {
+    if let Some(path) = opts.trace_path() {
+        eprintln!(
+            "avatar-core: trace output {} requested but the `probes` feature is compiled out; \
+             rebuild with `--features probes` to export traces",
+            path.display()
+        );
+    }
 }
 
 /// Cycles-based speedup of `other` relative to `base` (higher is faster).

@@ -57,6 +57,12 @@ pub const MODULE_DOC: &str = "module-doc";
 /// invoked directly in the same cycle — the PR 4 fast-path work removed
 /// every such site from the engine.
 pub const ZERO_DELTA_SCHEDULE: &str = "zero-delta-schedule";
+/// Rule id: unbalanced `.span_enter(` / `.span_exit(` probe calls inside
+/// one function in `sim`/`core` non-test code. A begin with no end (or
+/// vice versa) renders as a malformed nesting in the Chrome-trace viewer
+/// and usually means an early return skipped the close; the engine keeps
+/// every pair in one function so this is statically checkable.
+pub const PROBE_SPAN_BALANCE: &str = "probe-span-balance";
 
 /// Minimum length for an `.expect("…")` message in hot crates; anything
 /// shorter cannot plausibly name the violated invariant.
@@ -118,6 +124,11 @@ pub const RULES: &[RuleInfo] = &[
         id: ZERO_DELTA_SCHEDULE,
         scope: "sim, core",
         summary: "no schedule(now, ..)/schedule_in(0, ..) zero-delta self-schedules; call the handler directly instead of paying a calendar round-trip",
+    },
+    RuleInfo {
+        id: PROBE_SPAN_BALANCE,
+        scope: "sim, core",
+        summary: "every probe .span_enter( must have a matching .span_exit( in the same function (an unclosed span corrupts trace nesting)",
     },
 ];
 
@@ -636,7 +647,100 @@ pub fn lint_source(rel: &str, source: &str, cfg: &Config, out: &mut Vec<Finding>
         for (line, message) in float_stats_findings(&code, &is_test) {
             emit(FLOAT_STATS, line, message);
         }
+        for (line, message) in probe_span_balance_findings(&code, &is_test) {
+            emit(PROBE_SPAN_BALANCE, line, message);
+        }
     }
+}
+
+/// Functions whose `.span_enter(` and `.span_exit(` call counts differ
+/// (brace-tracked, non-test lines only). Findings anchor at the `fn`
+/// keyword's line, so a `lint:allow` above the signature escapes the
+/// whole function (forwarding shims).
+fn probe_span_balance_findings(code: &[String], is_test: &[bool]) -> Vec<(usize, String)> {
+    struct Frame {
+        line: usize,
+        depth_at: i64,
+        entered: bool,
+        enters: u32,
+        exits: u32,
+    }
+    let mut out = Vec::new();
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut depth: i64 = 0;
+    for (idx, line) in code.iter().enumerate() {
+        if is_test[idx] {
+            continue;
+        }
+        let lb = line.as_bytes();
+        let mut i = 0usize;
+        while i < lb.len() {
+            if lb[i] == b'f'
+                && line[i..].starts_with("fn")
+                && (i == 0 || !is_ident_byte(lb[i - 1]))
+                && (i + 2 >= lb.len() || !is_ident_byte(lb[i + 2]))
+            {
+                stack.push(Frame {
+                    line: idx + 1,
+                    depth_at: depth,
+                    entered: false,
+                    enters: 0,
+                    exits: 0,
+                });
+                i += 2;
+            } else if lb[i] == b'.' && line[i..].starts_with(".span_enter(") {
+                if let Some(top) = stack.last_mut() {
+                    top.enters += 1;
+                }
+                i += ".span_enter(".len();
+            } else if lb[i] == b'.' && line[i..].starts_with(".span_exit(") {
+                if let Some(top) = stack.last_mut() {
+                    top.exits += 1;
+                }
+                i += ".span_exit(".len();
+            } else {
+                match lb[i] {
+                    b'{' => {
+                        depth += 1;
+                        if let Some(top) = stack.last_mut() {
+                            if !top.entered && depth == top.depth_at + 1 {
+                                top.entered = true;
+                            }
+                        }
+                    }
+                    b'}' => {
+                        depth -= 1;
+                        if let Some(top) = stack.last() {
+                            if top.entered && depth <= top.depth_at {
+                                let f = stack.pop().expect("frame stack top just observed");
+                                if f.enters != f.exits {
+                                    out.push((
+                                        f.line,
+                                        format!(
+                                            "function has {} span_enter but {} span_exit probe calls; every span must open and close in the same function",
+                                            f.enters, f.exits
+                                        ),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    b';' => {
+                        // A bodyless `fn` item (trait method declaration,
+                        // `fn`-pointer type alias) terminates its frame.
+                        if let Some(top) = stack.last() {
+                            if !top.entered && depth == top.depth_at {
+                                stack.pop();
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+    out
 }
 
 /// `f32`/`f64` fields inside `struct` declarations whose name contains
@@ -868,6 +972,72 @@ mod tests {
         }
         let cold = "//! Doc.\nfn f(&mut self, now: u64) { self.q.schedule(now, Ev::Tick); }\n";
         assert!(findings("crates/bench/src/x.rs", cold).is_empty());
+    }
+
+    #[test]
+    fn probe_span_balance_catches_unclosed_spans() {
+        let bad = "//! Doc.\n\
+                   fn f(&mut self, now: u64) {\n\
+                       self.probe.span_enter(SpanPoint::FastPath, t, now);\n\
+                   }\n";
+        let f = findings("crates/sim/src/x.rs", bad);
+        assert_eq!(f.len(), 1, "unbalanced: {f:#?}");
+        assert_eq!(f[0].rule, PROBE_SPAN_BALANCE);
+        assert_eq!(f[0].line, 2, "finding anchors at the fn keyword");
+        // Balanced pairs — even across branches — are fine.
+        let ok = "//! Doc.\n\
+                  fn f(&mut self, now: u64, done: u64) {\n\
+                      self.probe.span_enter(SpanPoint::FastPath, t, now);\n\
+                      if done > now {\n\
+                          self.probe.span_exit(SpanPoint::FastPath, t, done);\n\
+                      } else {\n\
+                          self.probe.span_exit(SpanPoint::FastPath, t, now);\n\
+                      }\n\
+                  }\n";
+        let f = findings("crates/sim/src/x.rs", ok);
+        assert_eq!(f.len(), 1, "two exits for one enter is also an imbalance");
+        // An exit with no enter fires too.
+        let exit_only = "//! Doc.\nfn f(&mut self) { self.probe.span_exit(p, t, 0); }\n";
+        assert_eq!(findings("crates/sim/src/x.rs", exit_only).len(), 1);
+    }
+
+    #[test]
+    fn probe_span_balance_scopes_and_shapes() {
+        // Trait declarations (bodyless fns) and fn names *called*
+        // without a dot are not call pairs.
+        let decls = "//! Doc.\n\
+                     pub trait Probe {\n\
+                         fn span_enter(&mut self, at: u64);\n\
+                         fn span_exit(&mut self, at: u64);\n\
+                     }\n\
+                     fn span_enter_shim(x: u64) -> u64 { x }\n";
+        assert!(findings("crates/sim/src/x.rs", decls).is_empty());
+        // Nested functions balance independently: the outer is clean,
+        // the inner leaks.
+        let nested = "//! Doc.\n\
+                      fn outer(&mut self) {\n\
+                          self.probe.span_enter(p, t, 0);\n\
+                          fn inner(h: &mut Hub) {\n\
+                              h.span_exit(p, t, 1);\n\
+                          }\n\
+                          self.probe.span_exit(p, t, 2);\n\
+                      }\n";
+        let f = findings("crates/sim/src/x.rs", nested);
+        assert_eq!(f.len(), 1, "inner fn imbalance: {f:#?}");
+        assert_eq!(f[0].line, 4);
+        // lint:allow above the fn signature escapes the whole function
+        // (the ProbeHub forwarding-shim pattern).
+        let shim = "//! Doc.\n\
+                    // lint:allow(probe-span-balance)\n\
+                    pub fn span_enter(&mut self, at: u64) {\n\
+                        if let Some(s) = &mut self.sink { s.span_enter(at); }\n\
+                    }\n";
+        let f = findings("crates/sim/src/x.rs", shim);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].allowed, "allow above the signature must downgrade");
+        // Cold crates are out of scope.
+        let bad = "//! Doc.\nfn f(&mut self) { self.probe.span_enter(p, t, 0); }\n";
+        assert!(findings("crates/bench/src/x.rs", bad).is_empty());
     }
 
     #[test]

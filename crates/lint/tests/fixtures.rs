@@ -79,6 +79,11 @@ fn zero_delta_schedule_golden() {
 }
 
 #[test]
+fn probe_span_balance_golden() {
+    assert_golden("probe_span_balance", "probe-span-balance", 3);
+}
+
+#[test]
 fn lint_allow_escape_downgrades_one_site() {
     let found = lint_fixture("escaped_site.rs");
     assert_eq!(found.len(), 1, "escape still reports the site: {found:#?}");

@@ -298,6 +298,14 @@ impl GpuConfig {
         Self::default()
     }
 
+    /// A typed, validating builder starting from the Table II defaults.
+    /// Struct-literal / field-mutation construction keeps working; the
+    /// builder adds `validate()` at the end so impossible geometries
+    /// fail loudly at configuration time instead of as simulation bugs.
+    pub fn builder() -> GpuConfigBuilder {
+        GpuConfigBuilder { cfg: GpuConfig::default() }
+    }
+
     /// GPU memory capacity in 4KB frames.
     pub fn gpu_frames(&self) -> u64 {
         if self.uvm.gpu_memory_bytes == u64::MAX {
@@ -305,6 +313,255 @@ impl GpuConfig {
         } else {
             self.uvm.gpu_memory_bytes / crate::addr::PAGE_BYTES
         }
+    }
+
+    /// Rejects impossible geometries: zero-sized structures, sector/set
+    /// counts that break the power-of-two indexing the caches assume,
+    /// more tenants than SMs to partition among them, and out-of-range
+    /// probabilities. Called by [`GpuConfigBuilder::build`]; harnesses
+    /// that mutate fields directly can call it themselves.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn fail(msg: String) -> Result<(), ConfigError> {
+            Err(ConfigError(msg))
+        }
+        if self.num_sms == 0 {
+            return fail("num_sms must be at least 1".into());
+        }
+        if self.warps_per_sm == 0 {
+            return fail("warps_per_sm must be at least 1".into());
+        }
+        if self.tenants == 0 || self.tenants > self.num_sms {
+            return fail(format!(
+                "tenants must be in 1..={} (one SM cannot be shared), got {}",
+                self.num_sms, self.tenants
+            ));
+        }
+        for (name, tlb) in [("l1_tlb", &self.l1_tlb), ("l2_tlb", &self.l2_tlb)] {
+            if tlb.base_entries == 0 {
+                return fail(format!("{name}.base_entries must be at least 1"));
+            }
+            if tlb.assoc > 0 && tlb.base_entries % tlb.assoc != 0 {
+                return fail(format!(
+                    "{name}: base_entries {} not divisible by assoc {}",
+                    tlb.base_entries, tlb.assoc
+                ));
+            }
+            if tlb.ports == 0 {
+                return fail(format!("{name}.ports must be at least 1"));
+            }
+            if tlb.mshr_entries == 0 {
+                return fail(format!("{name}.mshr_entries must be at least 1"));
+            }
+        }
+        for (name, cache) in [("l1_cache", &self.l1_cache), ("l2_cache", &self.l2_cache)] {
+            if cache.bytes < crate::addr::LINE_BYTES || cache.bytes % crate::addr::LINE_BYTES != 0
+            {
+                return fail(format!(
+                    "{name}.bytes {} is not a positive multiple of the {}B line",
+                    cache.bytes,
+                    crate::addr::LINE_BYTES
+                ));
+            }
+            if cache.assoc == 0 {
+                return fail(format!("{name}.assoc must be at least 1"));
+            }
+            if !cache.sets().is_power_of_two() {
+                return fail(format!(
+                    "{name}: {} sets ({} lines / {}-way) is not a power of two, breaking set indexing",
+                    cache.sets(),
+                    cache.lines(),
+                    cache.assoc
+                ));
+            }
+            if cache.ports == 0 {
+                return fail(format!("{name}.ports must be at least 1"));
+            }
+            if cache.mshr_entries == 0 {
+                return fail(format!("{name}.mshr_entries must be at least 1"));
+            }
+        }
+        if self.dram.channels == 0 || self.dram.banks_per_channel == 0 {
+            return fail("dram needs at least one channel and one bank per channel".into());
+        }
+        if !self.dram.row_bytes.is_power_of_two() || self.dram.row_bytes < crate::addr::LINE_BYTES
+        {
+            return fail(format!(
+                "dram.row_bytes {} must be a power of two of at least one {}B line",
+                self.dram.row_bytes,
+                crate::addr::LINE_BYTES
+            ));
+        }
+        if self.walker.walkers == 0 {
+            return fail("walker.walkers must be at least 1".into());
+        }
+        if self.walker.buffer_entries < self.walker.walkers {
+            return fail(format!(
+                "walker.buffer_entries {} below walkers {} would starve idle walkers",
+                self.walker.buffer_entries, self.walker.walkers
+            ));
+        }
+        if self.walker.pw_cache_entries == 0 || self.walker.pw_cache_ports == 0 {
+            return fail("page-walk cache needs at least one entry and one port".into());
+        }
+        for (name, p) in [
+            ("uvm.fragmentation", self.uvm.fragmentation),
+            ("uvm.cross_chunk_contiguity", self.uvm.cross_chunk_contiguity),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return fail(format!("{name} must be a probability in [0, 1], got {p}"));
+            }
+        }
+        if self.uvm.migration_threshold == 0 {
+            return fail("uvm.migration_threshold must be at least 1 (1 = first touch)".into());
+        }
+        if self.spec.mod_entries == 0 {
+            return fail("spec.mod_entries must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// A rejected [`GpuConfig::validate`] geometry, with the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid GpuConfig: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Typed builder for [`GpuConfig`] (see [`GpuConfig::builder`]).
+///
+/// Scalar knobs get direct setters; structured sections are tweaked
+/// in place through closures so a caller changes only what it means
+/// to change:
+///
+/// ```
+/// use avatar_sim::config::GpuConfig;
+/// let cfg = GpuConfig::builder()
+///     .num_sms(4)
+///     .warps_per_sm(8)
+///     .uvm(|u| u.migration_threshold = 8)
+///     .build()
+///     .expect("valid geometry");
+/// assert_eq!(cfg.uvm.migration_threshold, 8);
+/// assert!(GpuConfig::builder().num_sms(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpuConfigBuilder {
+    cfg: GpuConfig,
+}
+
+impl GpuConfigBuilder {
+    /// Number of streaming multiprocessors.
+    pub fn num_sms(mut self, n: usize) -> Self {
+        self.cfg.num_sms = n;
+        self
+    }
+
+    /// Maximum resident warps per SM.
+    pub fn warps_per_sm(mut self, n: usize) -> Self {
+        self.cfg.warps_per_sm = n;
+        self
+    }
+
+    /// Spatially shared tenants (must not exceed `num_sms`).
+    pub fn tenants(mut self, n: usize) -> Self {
+        self.cfg.tenants = n;
+        self
+    }
+
+    /// Deterministic seed for allocation randomness.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Ideal-TLB mode (Fig 3 baseline).
+    pub fn ideal_tlb(mut self, on: bool) -> Self {
+        self.cfg.ideal_tlb = on;
+        self
+    }
+
+    /// Calendar fast-forward (host-side speed knob).
+    pub fn fast_forward(mut self, on: bool) -> Self {
+        self.cfg.fast_forward = on;
+        self
+    }
+
+    /// Inline hit fast path (host-side speed knob).
+    pub fn inline_hit_path(mut self, on: bool) -> Self {
+        self.cfg.inline_hit_path = on;
+        self
+    }
+
+    /// L1 cache arrangement (VIPT default, PIPT for the §III-D study).
+    pub fn l1_arrangement(mut self, a: CacheArrangement) -> Self {
+        self.cfg.l1_arrangement = a;
+        self
+    }
+
+    /// Base page size (shorthand for `uvm(|u| u.base_page = ...)`).
+    pub fn base_page(mut self, p: BasePage) -> Self {
+        self.cfg.uvm.base_page = p;
+        self
+    }
+
+    /// Tweak the per-SM L1 TLB section.
+    pub fn l1_tlb(mut self, f: impl FnOnce(&mut TlbConfig)) -> Self {
+        f(&mut self.cfg.l1_tlb);
+        self
+    }
+
+    /// Tweak the shared L2 TLB section.
+    pub fn l2_tlb(mut self, f: impl FnOnce(&mut TlbConfig)) -> Self {
+        f(&mut self.cfg.l2_tlb);
+        self
+    }
+
+    /// Tweak the per-SM L1 data-cache section.
+    pub fn l1_cache(mut self, f: impl FnOnce(&mut CacheConfig)) -> Self {
+        f(&mut self.cfg.l1_cache);
+        self
+    }
+
+    /// Tweak the shared L2 cache section.
+    pub fn l2_cache(mut self, f: impl FnOnce(&mut CacheConfig)) -> Self {
+        f(&mut self.cfg.l2_cache);
+        self
+    }
+
+    /// Tweak DRAM timing.
+    pub fn dram(mut self, f: impl FnOnce(&mut DramConfig)) -> Self {
+        f(&mut self.cfg.dram);
+        self
+    }
+
+    /// Tweak the page-walk system.
+    pub fn walker(mut self, f: impl FnOnce(&mut WalkerConfig)) -> Self {
+        f(&mut self.cfg.walker);
+        self
+    }
+
+    /// Tweak UVM behaviour.
+    pub fn uvm(mut self, f: impl FnOnce(&mut UvmConfig)) -> Self {
+        f(&mut self.cfg.uvm);
+        self
+    }
+
+    /// Tweak speculation parameters.
+    pub fn spec(mut self, f: impl FnOnce(&mut SpecConfig)) -> Self {
+        f(&mut self.cfg.spec);
+        self
+    }
+
+    /// Validate and return the configuration.
+    pub fn build(self) -> Result<GpuConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -338,6 +595,63 @@ mod tests {
     fn base_page_sizes() {
         assert_eq!(BasePage::Size4K.pages(), 1);
         assert_eq!(BasePage::Size64K.pages(), 16);
+    }
+
+    #[test]
+    fn defaults_validate_clean() {
+        assert_eq!(GpuConfig::default().validate(), Ok(()));
+        let built = GpuConfig::builder().build().expect("Table II defaults are valid");
+        assert_eq!(built, GpuConfig::default());
+    }
+
+    #[test]
+    fn builder_rejects_impossible_geometries() {
+        let cases: [(&str, GpuConfigBuilder); 7] = [
+            ("zero SMs", GpuConfig::builder().num_sms(0)),
+            ("zero warps", GpuConfig::builder().warps_per_sm(0)),
+            ("tenants over SMs", GpuConfig::builder().num_sms(4).tenants(5)),
+            // 3 sets below: 384 lines / 4-way = 96 sets, not a power of two.
+            ("non-pow2 sets", GpuConfig::builder().l1_cache(|c| c.bytes = 48 * 1024)),
+            ("walkers over buffer", GpuConfig::builder().walker(|w| w.buffer_entries = 4)),
+            ("probability out of range", GpuConfig::builder().uvm(|u| u.fragmentation = 1.5)),
+            ("zero migration threshold", GpuConfig::builder().uvm(|u| u.migration_threshold = 0)),
+        ];
+        for (what, builder) in cases {
+            assert!(builder.build().is_err(), "validate accepted {what}");
+        }
+    }
+
+    #[test]
+    fn builder_sets_scalars_and_sections() {
+        let cfg = GpuConfig::builder()
+            .num_sms(8)
+            .warps_per_sm(16)
+            .tenants(2)
+            .seed(99)
+            .ideal_tlb(true)
+            .l1_arrangement(CacheArrangement::Pipt)
+            .base_page(BasePage::Size64K)
+            .l2_tlb(|t| t.base_entries = 2048)
+            .dram(|d| d.channels = 8)
+            .spec(|s| s.mod_entries = 64)
+            .build()
+            .expect("valid custom geometry");
+        assert_eq!(cfg.num_sms, 8);
+        assert_eq!(cfg.tenants, 2);
+        assert_eq!(cfg.seed, 99);
+        assert!(cfg.ideal_tlb);
+        assert_eq!(cfg.l1_arrangement, CacheArrangement::Pipt);
+        assert_eq!(cfg.uvm.base_page, BasePage::Size64K);
+        assert_eq!(cfg.l2_tlb.base_entries, 2048);
+        assert_eq!(cfg.dram.channels, 8);
+        assert_eq!(cfg.spec.mod_entries, 64);
+    }
+
+    #[test]
+    fn config_error_displays_reason() {
+        let err = GpuConfig::builder().num_sms(0).build().expect_err("zero SMs must fail");
+        let text = format!("{err}");
+        assert!(text.contains("num_sms"), "unhelpful error: {text}");
     }
 
     #[test]

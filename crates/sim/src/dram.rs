@@ -47,6 +47,11 @@ pub struct Dram {
     pub read_bytes: u64,
     /// Bytes written.
     pub write_bytes: u64,
+    /// Log2-bucketed service latency (issue to data return) of every
+    /// timed access. Probe-fed: merged into
+    /// `Stats::dram_service_hist` at end of run (`probes` feature).
+    #[cfg(feature = "probes")]
+    pub service_hist: crate::stats::Histogram,
 }
 
 impl Dram {
@@ -59,7 +64,16 @@ impl Dram {
                 last_op: DramOp::Read,
             })
             .collect();
-        Self { cfg, channels, row_hits: 0, row_misses: 0, read_bytes: 0, write_bytes: 0 }
+        Self {
+            cfg,
+            channels,
+            row_hits: 0,
+            row_misses: 0,
+            read_bytes: 0,
+            write_bytes: 0,
+            #[cfg(feature = "probes")]
+            service_hist: crate::stats::Histogram::default(),
+        }
     }
 
     /// Maps a physical address to (channel, bank, row).
@@ -122,6 +136,8 @@ impl Dram {
             DramOp::Read => self.read_bytes += bytes,
             DramOp::Write => self.write_bytes += bytes,
         }
+        #[cfg(feature = "probes")]
+        self.service_hist.add(done - now);
         done
     }
 

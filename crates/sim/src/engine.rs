@@ -18,6 +18,7 @@ use crate::hooks::{
 };
 use crate::page_table::PT_BASE;
 use crate::port::{MshrFile, MshrGrant, Ports};
+use crate::probe::{Phase, SpanPoint, Track};
 use crate::reqslab::{ReqId, ReqSlab};
 use crate::sm::{coalesce_into, SmState, WarpOp, WarpProgram, WarpState};
 use crate::stats::{CoverageBucket, SpecOutcome, Stats};
@@ -58,6 +59,19 @@ struct MemReq {
     /// is completed and the count drops to zero — never earlier, because
     /// e.g. `l1_fill` reads `completed` through still-live waiter copies.
     refs: u32,
+    /// Lifecycle phase currently charged for this request's wait.
+    #[cfg(feature = "probes")]
+    phase: Phase,
+    /// Cycle the current phase was entered (attribution anchor).
+    #[cfg(feature = "probes")]
+    phase_entered: Cycle,
+    /// Cycles already attributed across earlier phases; at completion
+    /// this telescopes to exactly `now - issued` (conservation check).
+    #[cfg(feature = "probes")]
+    phase_acc: u64,
+    /// Cycle the speculative fetch registered (validation-latency anchor).
+    #[cfg(feature = "probes")]
+    spec_started: Cycle,
 }
 
 impl MemReq {
@@ -154,6 +168,12 @@ pub struct Engine<'a> {
     /// requests by slab slot index (slots recycle, so one trace value may
     /// follow several requests over a run).
     trace_req: Option<u32>,
+    /// Observability hub: forwards spans/instants to an attached
+    /// [`crate::probe::Probe`] sink (no-op without one) and feeds the
+    /// probe-fed `Stats` fields. Exists only under the `probes` feature;
+    /// default builds carry no probe state or call sites at all.
+    #[cfg(feature = "probes")]
+    probe: crate::probe::ProbeHub,
 }
 
 impl std::fmt::Debug for Engine<'_> {
@@ -227,6 +247,8 @@ impl<'a> Engine<'a> {
             warp_issue_time: vec![0; n * cfg.warps_per_sm],
             max_cycles: 2_000_000_000,
             trace_req: std::env::var("AVATAR_TRACE_REQ").ok().and_then(|v| v.parse().ok()),
+            #[cfg(feature = "probes")]
+            probe: crate::probe::ProbeHub::default(),
             l1_tlbs,
             l2_tlb,
             cfg,
@@ -243,6 +265,146 @@ impl<'a> Engine<'a> {
             eprintln!("[req {} @ {}] {msg}", id.slot(), self.q.now());
         }
     }
+
+    // ------------------------------------------------------------------
+    // Observability (`probes` feature)
+    //
+    // Every probe helper has an empty `#[inline(always)]` twin for the
+    // default build, so the call sites below compile away entirely and
+    // the hot path carries no probe code when the feature is off.
+    // ------------------------------------------------------------------
+
+    /// Attaches a probe sink (e.g.
+    /// [`ChromeTraceProbe`](crate::trace_export::ChromeTraceProbe)).
+    /// Request-level spans are emitted only for warps where
+    /// `warp % warp_sample == 0` (0 or 1 keeps every warp); component
+    /// spans are never sampled away. The sink is flushed when
+    /// [`Engine::run`] finishes.
+    #[cfg(feature = "probes")]
+    pub fn attach_probe(&mut self, sink: Box<dyn crate::probe::Probe>, warp_sample: u32) {
+        self.probe.attach(sink, warp_sample);
+    }
+
+    /// Moves `id` into phase `next`, attributing the cycles since the
+    /// last transition to the phase being left and emitting it as a span
+    /// when a sink is attached. Re-entering the current phase is
+    /// harmless: it attributes and re-anchors.
+    #[cfg(feature = "probes")]
+    fn probe_phase(&mut self, now: Cycle, id: ReqId, next: Phase) {
+        let (sm, warp, prev, entered) = {
+            let r = self.req_mut(id);
+            let prev = r.phase;
+            let entered = r.phase_entered;
+            r.phase_acc += now - entered;
+            r.phase = next;
+            r.phase_entered = now;
+            (r.sm, r.warp, prev, entered)
+        };
+        self.stats.latency_breakdown.add(prev, now - entered);
+        if self.probe.is_active() && self.probe.sampled(warp) && now > entered {
+            self.probe.span(
+                SpanPoint::Phase(prev),
+                Track::sm_warp(sm, warp),
+                entered,
+                now,
+                id.slot() as u64,
+            );
+        }
+    }
+
+    #[cfg(not(feature = "probes"))]
+    #[inline(always)]
+    fn probe_phase(&mut self, _now: Cycle, _id: ReqId, _next: Phase) {}
+
+    /// Final attribution for a completing request: charges the tail to
+    /// the current phase, counts the sector, and checks per-request
+    /// conservation — the telescoped phase sums must equal the request's
+    /// end-to-end latency exactly.
+    #[cfg(feature = "probes")]
+    fn probe_complete(&mut self, now: Cycle, id: ReqId) {
+        let (sm, warp, phase, entered) = {
+            let r = self.req_mut(id);
+            r.phase_acc += now - r.phase_entered;
+            (r.sm, r.warp, r.phase, r.phase_entered)
+        };
+        self.stats.latency_breakdown.add(phase, now - entered);
+        self.stats.latency_breakdown.sectors += 1;
+        #[cfg(feature = "invariants")]
+        {
+            let r = self.req(id);
+            crate::debug_invariant!(
+                r.phase_acc == now - r.issued,
+                "phase attribution lost cycles: attributed {}, end-to-end {}",
+                r.phase_acc,
+                now - r.issued
+            );
+        }
+        if self.probe.is_active() && self.probe.sampled(warp) && now > entered {
+            self.probe.span(
+                SpanPoint::Phase(phase),
+                Track::sm_warp(sm, warp),
+                entered,
+                now,
+                id.slot() as u64,
+            );
+        }
+    }
+
+    #[cfg(not(feature = "probes"))]
+    #[inline(always)]
+    fn probe_complete(&mut self, _now: Cycle, _id: ReqId) {}
+
+    /// Emits a component-side complete span (never warp-sampled).
+    #[cfg(feature = "probes")]
+    fn probe_span(&mut self, point: SpanPoint, track: Track, start: Cycle, end: Cycle, arg: u64) {
+        self.probe.span(point, track, start, end, arg);
+    }
+
+    #[cfg(not(feature = "probes"))]
+    #[inline(always)]
+    fn probe_span(
+        &mut self,
+        _point: SpanPoint,
+        _track: Track,
+        _start: Cycle,
+        _end: Cycle,
+        _arg: u64,
+    ) {
+    }
+
+    /// Emits a zero-duration component event.
+    #[cfg(feature = "probes")]
+    fn probe_instant(&mut self, point: SpanPoint, track: Track, at: Cycle, arg: u64) {
+        self.probe.instant(point, track, at, arg);
+    }
+
+    #[cfg(not(feature = "probes"))]
+    #[inline(always)]
+    fn probe_instant(&mut self, _point: SpanPoint, _track: Track, _at: Cycle, _arg: u64) {}
+
+    /// Emits a counter sample on a component track.
+    #[cfg(feature = "probes")]
+    fn probe_counter(&mut self, name: &'static str, track: Track, at: Cycle, value: u64) {
+        self.probe.counter(name, track, at, value);
+    }
+
+    #[cfg(not(feature = "probes"))]
+    #[inline(always)]
+    fn probe_counter(&mut self, _name: &'static str, _track: Track, _at: Cycle, _value: u64) {}
+
+    /// Records a structural-hazard wait (port arbitration or walk-buffer
+    /// queueing) in the queue-latency histogram. Zero waits are skipped —
+    /// the histogram answers "when a request queued, for how long?".
+    #[cfg(feature = "probes")]
+    fn probe_queue_wait(&mut self, wait: u64) {
+        if wait > 0 {
+            self.stats.queue_latency_hist.add(wait);
+        }
+    }
+
+    #[cfg(not(feature = "probes"))]
+    #[inline(always)]
+    fn probe_queue_wait(&mut self, _wait: u64) {}
 
     /// The live request behind `id`.
     ///
@@ -360,6 +522,11 @@ impl<'a> Engine<'a> {
         self.stats.dram_write_bytes = self.dram.write_bytes;
         self.stats.dram_row_hits = self.dram.row_hits;
         self.stats.dram_row_misses = self.dram.row_misses;
+        #[cfg(feature = "probes")]
+        {
+            self.stats.dram_service_hist.merge(&self.dram.service_hist);
+            self.probe.finish(now);
+        }
         // With the calendar drained, every request should have completed
         // and been recycled. Anything left is a lost event. Counted in
         // all builds (so `--features invariants` release runs report it
@@ -494,6 +661,14 @@ impl<'a> Engine<'a> {
                             is_store,
                             spec: None,
                             refs: 0,
+                            #[cfg(feature = "probes")]
+                            phase: Phase::Issue,
+                            #[cfg(feature = "probes")]
+                            phase_entered: now,
+                            #[cfg(feature = "probes")]
+                            phase_acc: 0,
+                            #[cfg(feature = "probes")]
+                            spec_started: 0,
                         });
                         self.start_translation(now, id);
                     }
@@ -571,6 +746,12 @@ impl<'a> Engine<'a> {
         let cache_lat = self.cfg.l1_cache.latency;
         self.stats.fast_path_hits += 1;
         self.stats.fast_path_sectors += sectors.len() as u64;
+        #[cfg(feature = "probes")]
+        let emit_span = self.probe.is_active() && self.probe.sampled(warp);
+        #[cfg(feature = "probes")]
+        if emit_span {
+            self.probe.span_enter(SpanPoint::FastPath, Track::sm_warp(sm, warp), now);
+        }
         let mut t_done = now;
         for (i, &vaddr) in sectors.iter().enumerate() {
             self.stats.sector_requests += 1;
@@ -622,6 +803,15 @@ impl<'a> Engine<'a> {
             if self.cfg.inline_hit_path {
                 self.stats.sector_latency.add(done - now);
                 self.stats.sector_latency_hist.add(done - now);
+                // Fast-path sectors allocate no request, so they feed the
+                // breakdown here: the whole latency is data-side (Fetch).
+                // The evented twin adds the identical value at its
+                // FastComplete event — commutative, digest-safe.
+                #[cfg(feature = "probes")]
+                {
+                    self.stats.latency_breakdown.add(Phase::Fetch, done - now);
+                    self.stats.latency_breakdown.sectors += 1;
+                }
             } else {
                 self.q.schedule(
                     done,
@@ -634,6 +824,10 @@ impl<'a> Engine<'a> {
         }
         if self.cfg.inline_hit_path {
             self.stats.load_latency.add(t_done - now);
+        }
+        #[cfg(feature = "probes")]
+        if emit_span {
+            self.probe.span_exit(SpanPoint::FastPath, Track::sm_warp(sm, warp), t_done);
         }
         // The warp re-issues one cycle after its last sector completes —
         // the same wake point `complete_req` produces. Scheduled here, at
@@ -651,6 +845,11 @@ impl<'a> Engine<'a> {
         let issued = self.warp_issue_time[self.warp_slot(sm, warp)];
         self.stats.sector_latency.add(now - issued);
         self.stats.sector_latency_hist.add(now - issued);
+        #[cfg(feature = "probes")]
+        {
+            self.stats.latency_breakdown.add(Phase::Fetch, now - issued);
+            self.stats.latency_breakdown.sectors += 1;
+        }
         if last {
             self.stats.load_latency.add(now - issued);
         }
@@ -668,6 +867,14 @@ impl<'a> Engine<'a> {
             // interconnect. No GPU TLB entry is installed and MOD is not
             // trained (the paper restricts updates to GPU-mapped regions).
             self.stats.remote_accesses += 1;
+            self.probe_phase(now, id, Phase::Fetch);
+            self.probe_span(
+                SpanPoint::Remote,
+                Track::uvm(tenant as u32),
+                now,
+                now + self.cfg.uvm.remote_latency,
+                id.slot() as u64,
+            );
             self.req_ref(id);
             self.q.schedule(now + self.cfg.uvm.remote_latency, Ev::RemoteDone { req: id });
             return;
@@ -677,10 +884,13 @@ impl<'a> Engine<'a> {
             let r = self.req_mut(id);
             r.real_ppn = Some(t.ppn);
             r.translation_done = true;
+            self.probe_phase(now, id, Phase::Fetch);
             self.schedule_l1_access(now, id, 0);
             return;
         }
         let grant = self.l1_tlb_ports[sm as usize].grant(now);
+        self.probe_phase(now, id, Phase::Tlb);
+        self.probe_queue_wait(grant - now);
         self.req_ref(id);
         self.q.schedule(grant + self.cfg.l1_tlb.latency, Ev::L1TlbResult { req: id });
     }
@@ -697,6 +907,12 @@ impl<'a> Engine<'a> {
         }
         self.stats.page_faults += 1;
         self.stats.pages_migrated += result.migrated.len() as u64;
+        self.probe_instant(
+            SpanPoint::UvmFault,
+            Track::uvm(tenant as u32),
+            self.q.now(),
+            result.migrated.len() as u64,
+        );
         // Migration traffic: page contents written into GPU DRAM (timing
         // excluded per §IV-B, traffic counted).
         self.dram
@@ -707,6 +923,12 @@ impl<'a> Engine<'a> {
         for chunk in result.evicted {
             self.stats.chunks_evicted += 1;
             self.stats.tlb_shootdowns += 1;
+            self.probe_instant(
+                SpanPoint::Eviction,
+                Track::uvm(tenant as u32),
+                self.q.now(),
+                chunk.pages,
+            );
             if chunk.was_promoted {
                 self.stats.splinters += 1;
             }
@@ -728,6 +950,12 @@ impl<'a> Engine<'a> {
                 self.wake_all_unguaranteed(now, sm);
             }
         }
+        self.probe_counter(
+            "resident_pages",
+            Track::uvm(tenant as u32),
+            self.q.now(),
+            self.uvms[tenant].used_frames(),
+        );
         false
     }
 
@@ -746,6 +974,7 @@ impl<'a> Engine<'a> {
         if let Some(hit) = self.l1_tlbs[sm as usize].lookup(Vpn(svpn)) {
             self.stats.l1_tlb_hits += 1;
             self.record_coverage(hit.coverage_pages);
+            self.probe_phase(now, id, Phase::Fetch);
             let r = self.req_mut(id);
             r.real_ppn = Some(hit.ppn);
             r.translation_done = true;
@@ -800,6 +1029,7 @@ impl<'a> Engine<'a> {
             (r.sm, r.vpn())
         };
         let svpn = self.salt(self.tenant_of_sm(sm), vpn);
+        self.probe_phase(now, id, Phase::Walk);
         // Whatever the grant, the id gets stored: as an MSHR waiter
         // (allocated or merged) or on the overflow queue.
         self.req_ref(id);
@@ -807,6 +1037,7 @@ impl<'a> Engine<'a> {
             MshrGrant::Allocated => {
                 self.stats.l2_tlb_lookups += 1;
                 let grant = self.l2_tlb_ports.grant(now);
+                self.probe_queue_wait(grant - now);
                 self.q.schedule(grant + self.cfg.l2_tlb.latency, Ev::L2TlbResult { sm, vpn: svpn });
             }
             MshrGrant::Merged => {}
@@ -866,6 +1097,12 @@ impl<'a> Engine<'a> {
 
     fn walk_dispatch(&mut self, now: Cycle) {
         while let Some((walk, addr)) = self.walks.dispatch() {
+            // The walker records its enqueue cycle as the walk's start:
+            // the gap to the dispatch cycle is walk-buffer queueing.
+            #[cfg(feature = "probes")]
+            if let Some(enqueued) = self.walks.started_at(walk) {
+                self.probe_queue_wait(now - enqueued);
+            }
             self.walk_mem(now, walk, addr);
         }
     }
@@ -906,6 +1143,19 @@ impl<'a> Engine<'a> {
                 self.stats.page_walks += 1;
                 if let Some(start) = self.walk_started.remove(&svpn.0) {
                     self.stats.walk_latency.add(now - start);
+                    #[cfg(feature = "probes")]
+                    {
+                        self.stats.walk_latency_hist.add(now - start);
+                        let walker =
+                            (walk.0 % self.cfg.walker.walkers as u64) as u32;
+                        self.probe_span(
+                            SpanPoint::WalkService,
+                            Track::walker(walker),
+                            start,
+                            now,
+                            svpn.0,
+                        );
+                    }
                 }
                 self.walk_of_vpn.remove(&svpn.0);
                 // The PTE may have been invalidated by a concurrent
@@ -1011,6 +1261,10 @@ impl<'a> Engine<'a> {
         if req.completed {
             return; // already satisfied by rapid/ideal validation
         }
+        // Translation known: whatever waiting remains (cache lookup, MSHR
+        // merge, DRAM) is data-side time in every branch below.
+        self.probe_phase(now, id, Phase::Fetch);
+        let req = self.req(id);
         let sm = req.sm as usize;
         let Some(spec) = req.spec else {
             self.schedule_l1_access(now, id, self.cfg.l1_cache.latency);
@@ -1081,6 +1335,7 @@ impl<'a> Engine<'a> {
     fn schedule_l1_access(&mut self, now: Cycle, id: ReqId, latency: Cycle) {
         let sm = self.req(id).sm as usize;
         let grant = self.l1_cache_ports[sm].grant(now);
+        self.probe_queue_wait(grant - now);
         self.req_ref(id);
         self.q.schedule(grant + latency, Ev::L1Result { req: id });
     }
@@ -1209,6 +1464,11 @@ impl<'a> Engine<'a> {
                     self.req_ref(id);
                     self.stats.spec_fetches += 1;
                     self.req_mut(id).spec.as_mut().expect("spec state outlives its in-flight sector fetch").fetch_registered = true;
+                    self.probe_phase(now, id, Phase::Validate);
+                    #[cfg(feature = "probes")]
+                    {
+                        self.req_mut(id).spec_started = now;
+                    }
                     let grant = self.l2_cache_ports.grant(now);
                     self.q
                         .schedule(grant + self.cfg.l2_cache.latency, Ev::L2Access { sm, pa: spec_pa.0 });
@@ -1217,6 +1477,11 @@ impl<'a> Engine<'a> {
                     self.req_ref(id);
                     self.stats.spec_fetches += 1;
                     self.req_mut(id).spec.as_mut().expect("spec state outlives its in-flight sector fetch").fetch_registered = true;
+                    self.probe_phase(now, id, Phase::Validate);
+                    #[cfg(feature = "probes")]
+                    {
+                        self.req_mut(id).spec_started = now;
+                    }
                 }
                 MshrGrant::Full => {
                     // Resource-constrained: the speculation silently
@@ -1422,6 +1687,20 @@ impl<'a> Engine<'a> {
                         guarantee = true;
                         all_killed_specs = false;
                         self.stats.outcomes.record(SpecOutcome::FastTranslation);
+                        #[cfg(feature = "probes")]
+                        {
+                            let (warp, started) = {
+                                let r = self.req(id);
+                                (r.warp, r.spec_started)
+                            };
+                            self.stats.validation_latency_hist.add(now.saturating_sub(started));
+                            self.probe_instant(
+                                SpanPoint::Validation,
+                                Track::sm_warp(sm, warp),
+                                now,
+                                1,
+                            );
+                        }
                         let vpn = self.req(id).vpn();
                         self.complete_req(now, id);
                         self.eaf_resolve(now, sm, vpn, spec.ppn);
@@ -1447,6 +1726,22 @@ impl<'a> Engine<'a> {
                                 self.stats.spec_compressed += 1;
                             }
                             self.stats.outcomes.record(SpecOutcome::FastTranslation);
+                            #[cfg(feature = "probes")]
+                            {
+                                let (warp, started) = {
+                                    let r = self.req(id);
+                                    (r.warp, r.spec_started)
+                                };
+                                self.stats
+                                    .validation_latency_hist
+                                    .add(now.saturating_sub(started));
+                                self.probe_instant(
+                                    SpanPoint::Validation,
+                                    Track::sm_warp(sm, warp),
+                                    now,
+                                    1,
+                                );
+                            }
                             let vpn = self.req(id).vpn();
                             self.complete_req(now, id);
                             if eaf {
@@ -1455,6 +1750,22 @@ impl<'a> Engine<'a> {
                         }
                         SpecFillAction::Invalidate => {
                             self.stats.cava_mismatches += 1;
+                            #[cfg(feature = "probes")]
+                            {
+                                let (warp, started) = {
+                                    let r = self.req(id);
+                                    (r.warp, r.spec_started)
+                                };
+                                self.stats
+                                    .validation_latency_hist
+                                    .add(now.saturating_sub(started));
+                                self.probe_instant(
+                                    SpanPoint::Validation,
+                                    Track::sm_warp(sm, warp),
+                                    now,
+                                    0,
+                                );
+                            }
                             self.req_mut(id).spec.as_mut().expect("spec state outlives its in-flight sector fetch").killed = true;
                         }
                     }
@@ -1554,6 +1865,7 @@ impl<'a> Engine<'a> {
         self.trace(id, "complete");
         self.stats.sector_latency.add(now - issued);
         self.stats.sector_latency_hist.add(now - issued);
+        self.probe_complete(now, id);
         let slot = self.warp_slot(sm, warp);
         crate::debug_invariant!(
             self.warp_outstanding[slot] > 0,

@@ -72,17 +72,21 @@ pub mod cache;
 pub mod config;
 pub mod dram;
 pub mod engine;
+#[doc(hidden)] // calendar internals: public for integration tests/benches only
 pub mod event;
+#[doc(hidden)] // hashing utility shared with workloads/core, not driving API
 pub mod fxhash;
 pub mod hooks;
 pub mod invariant;
 pub mod page_table;
-pub mod port;
-pub mod reqslab;
+pub(crate) mod port;
+pub mod probe;
+pub(crate) mod reqslab;
 pub mod rng;
 pub mod sm;
 pub mod stats;
 pub mod tlb;
+pub mod trace_export;
 pub mod uvm;
 pub mod walker;
 
@@ -90,3 +94,30 @@ pub use addr::{PhysAddr, Ppn, VirtAddr, Vpn};
 pub use config::{BasePage, Cycle, GpuConfig};
 pub use engine::Engine;
 pub use stats::Stats;
+
+/// The driving API in one import: everything a harness needs to
+/// configure, run, and observe a simulation.
+///
+/// Internals (the request slab, ports, event-calendar plumbing) are
+/// deliberately absent — they are `pub(crate)` or `#[doc(hidden)]`.
+///
+/// ```
+/// use avatar_sim::prelude::*;
+/// let cfg = GpuConfig::builder().num_sms(2).build().expect("valid config");
+/// assert_eq!(cfg.num_sms, 2);
+/// ```
+pub mod prelude {
+    pub use crate::addr::{PhysAddr, Ppn, VirtAddr, Vpn};
+    pub use crate::config::{
+        BasePage, CacheArrangement, ConfigError, Cycle, GpuConfig, GpuConfigBuilder,
+    };
+    pub use crate::engine::Engine;
+    pub use crate::hooks::{
+        NoSpeculation, SectorCompression, TranslationAccel, UniformCompression,
+    };
+    pub use crate::probe::{LatencyBreakdown, Phase, Probe, SpanPoint, Track};
+    pub use crate::sm::{WarpOp, WarpProgram};
+    pub use crate::stats::Stats;
+    pub use crate::tlb::TlbModel;
+    pub use crate::trace_export::ChromeTraceProbe;
+}

@@ -122,6 +122,7 @@ impl<K: std::hash::Hash + Eq + Copy, W> MshrFile<K, W> {
     }
 
     /// Drops the entry for `key` without waking waiters (EAF release path).
+    #[cfg_attr(not(test), allow(dead_code))] // crate-private; test-exercised API completeness
     pub fn release(&mut self, key: K) -> Option<Vec<W>> {
         self.complete(key)
     }
@@ -144,6 +145,7 @@ impl<K: std::hash::Hash + Eq + Copy, W> MshrFile<K, W> {
     }
 
     /// Whether the file has no live entries.
+    #[cfg_attr(not(test), allow(dead_code))] // crate-private; test-exercised API completeness
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
@@ -155,6 +157,7 @@ impl<K: std::hash::Hash + Eq + Copy, W> MshrFile<K, W> {
 
     /// Total waiters across all live entries (checked-mode conservation
     /// audits compare this against the requests known to be in flight).
+    #[cfg_attr(not(test), allow(dead_code))] // crate-private; test-exercised API completeness
     pub fn waiter_count(&self) -> usize {
         self.entries.values().map(Vec::len).sum()
     }
@@ -273,6 +276,22 @@ mod tests {
     }
 
     #[test]
+    fn mshr_release_drops_waiters_and_waiter_count_tracks() {
+        let mut m: MshrFile<u64, u32> = MshrFile::new(4);
+        m.request(1, 10);
+        m.merge(1, 11);
+        m.request(2, 20);
+        assert_eq!(m.waiter_count(), 3);
+        // EAF release: entry goes away, waiters are handed back unwoken.
+        assert_eq!(m.release(1), Some(vec![10, 11]));
+        assert_eq!(m.waiter_count(), 1);
+        assert!(!m.is_empty());
+        m.complete(2);
+        assert!(m.is_empty());
+        assert_eq!(m.waiter_count(), 0);
+    }
+
+    #[test]
     fn mshr_recycle_reuses_capacity() {
         let mut m: MshrFile<u64, u32> = MshrFile::new(4);
         m.request(1, 10);
@@ -301,5 +320,78 @@ mod tests {
         m.request(5, 0);
         assert!(m.merge(5, 1));
         assert_eq!(m.complete(5), Some(vec![0, 1]));
+    }
+
+    // Property tests (hand-rolled generators over SimRng; the registry
+    // is unreachable, so no proptest). These lived in the integration
+    // suite until `port` became `pub(crate)`.
+
+    use crate::rng::SimRng;
+
+    const TRIALS: u64 = 64;
+
+    fn vec_of<T>(
+        rng: &mut SimRng,
+        min: usize,
+        max: usize,
+        mut gen: impl FnMut(&mut SimRng) -> T,
+    ) -> Vec<T> {
+        let n = min + rng.index(max - min + 1);
+        (0..n).map(|_| gen(rng)).collect()
+    }
+
+    #[test]
+    fn ports_grants_are_monotonic_and_bounded() {
+        for trial in 0..TRIALS {
+            let mut rng = SimRng::seed_from_u64(0x1001 ^ trial);
+            let width = 1 + rng.next_below(7) as u32;
+            let mut times = vec_of(&mut rng, 1, 200, |r| r.next_below(1000));
+            times.sort_unstable();
+            let mut p = Ports::new(width);
+            let mut grants = Vec::new();
+            for t in times {
+                grants.push(p.grant(t));
+            }
+            // Monotonic when requests arrive in time order.
+            for w in grants.windows(2) {
+                assert!(w[1] >= w[0], "trial {trial}: grants went backwards");
+            }
+            // No cycle is granted more than `width` times.
+            let mut counts = std::collections::HashMap::new();
+            for g in grants {
+                *counts.entry(g).or_insert(0u32) += 1;
+            }
+            assert!(counts.values().all(|&c| c <= width), "trial {trial}: cycle over-granted");
+        }
+    }
+
+    #[test]
+    fn mshr_capacity_is_respected() {
+        for trial in 0..TRIALS {
+            let mut rng = SimRng::seed_from_u64(0x1002 ^ trial);
+            let cap = 1 + rng.index(15);
+            let keys = vec_of(&mut rng, 1, 100, |r| r.next_below(32));
+            let mut m: MshrFile<u64, usize> = MshrFile::new(cap);
+            let mut live = std::collections::HashSet::new();
+            for (i, k) in keys.iter().enumerate() {
+                match m.request(*k, i) {
+                    MshrGrant::Allocated => {
+                        assert!(live.insert(*k), "trial {trial}: double allocation");
+                        assert!(live.len() <= cap, "trial {trial}: capacity exceeded");
+                    }
+                    MshrGrant::Merged => assert!(live.contains(k), "trial {trial}"),
+                    MshrGrant::Full => {
+                        assert_eq!(live.len(), cap, "trial {trial}");
+                        assert!(!live.contains(k), "trial {trial}");
+                    }
+                }
+                assert_eq!(m.len(), live.len(), "trial {trial}");
+            }
+            // Completion returns every merged waiter exactly once.
+            let total_waiters: usize =
+                live.iter().map(|k| m.complete(*k).map(|w| w.len()).unwrap_or(0)).sum();
+            assert!(total_waiters <= keys.len(), "trial {trial}");
+            assert!(m.is_empty(), "trial {trial}");
+        }
     }
 }

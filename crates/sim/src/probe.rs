@@ -1,0 +1,409 @@
+//! Structured observability probes: phase taxonomy, latency-breakdown
+//! attribution, and the [`Probe`] sink trait.
+//!
+//! The engine attributes every cycle of every completed sector request
+//! to exactly one [`Phase`] (issue → coalesce → tlb → walk → fetch →
+//! validate → commit) and, when a sink is attached, emits named spans
+//! at the same transition points so a run can be opened in a timeline
+//! viewer (see [`crate::trace_export`]).
+//!
+//! This module is always compiled (it is cold, plain data), but the
+//! engine only *threads* it through the hot path under the `probes`
+//! cargo feature; without the feature every call site collapses to an
+//! empty inline function and the per-request bookkeeping fields do not
+//! exist. All probe-fed statistics are excluded from
+//! [`crate::Stats::digest`], so results are bit-identical with the
+//! feature on or off.
+
+use crate::config::Cycle;
+
+/// The lifecycle phase a sector request is currently in.
+///
+/// Every cycle between issue and completion is attributed to exactly
+/// one phase; the per-request sums are conservation-checked against
+/// end-to-end latency (they must match *exactly*, by construction:
+/// transitions are contiguous — a phase ends on the cycle the next one
+/// begins).
+///
+/// `Issue` and `Commit` are boundary markers: requests that leave the
+/// issue stage on the cycle they were created accumulate zero cycles
+/// there, and `Commit` absorbs nothing because completion is
+/// instantaneous; they exist so the taxonomy matches the pipeline
+/// stages named in DESIGN.md §10 and traces show the full lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Phase {
+    /// Created by the warp scheduler, not yet presented to the MMU.
+    Issue = 0,
+    /// Intra-warp coalescing window (zero-width in the current model;
+    /// coalescing happens combinationally at issue).
+    Coalesce = 1,
+    /// Waiting on an L1 TLB port grant plus the L1 TLB lookup itself.
+    Tlb = 2,
+    /// L1 TLB missed: L2 TLB access, walk-buffer queueing, and the
+    /// page walk (including any UVM fault it triggers).
+    Walk = 3,
+    /// Translation known (or remote): data-side time — cache lookup,
+    /// MSHR wait, DRAM, or the remote-access window.
+    Fetch = 4,
+    /// Speculative fetch in flight: from the moment a CAST-predicted
+    /// fetch is registered until in-cache validation resolves it
+    /// (covers the fill wait and the validation outcome itself).
+    Validate = 5,
+    /// Completion boundary (zero-width): the cycle the sector retires.
+    Commit = 6,
+}
+
+impl Phase {
+    /// Number of phases (length of [`Phase::ALL`]).
+    pub const COUNT: usize = 7;
+
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Issue,
+        Phase::Coalesce,
+        Phase::Tlb,
+        Phase::Walk,
+        Phase::Fetch,
+        Phase::Validate,
+        Phase::Commit,
+    ];
+
+    /// Lower-case label used in tables and trace span names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Issue => "issue",
+            Phase::Coalesce => "coalesce",
+            Phase::Tlb => "tlb",
+            Phase::Walk => "walk",
+            Phase::Fetch => "fetch",
+            Phase::Validate => "validate",
+            Phase::Commit => "commit",
+        }
+    }
+}
+
+/// Per-phase cycle attribution, aggregated over all completed sector
+/// requests of a run.
+///
+/// Integer-only by design: fractions are derived by consumers. The
+/// conservation invariant is `total_cycles() == Stats::sector_latency`
+/// sum — every attributed cycle came from exactly one completed
+/// request's end-to-end latency. Excluded from [`crate::Stats::digest`]
+/// (probe-fed).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Cycles attributed to each phase, indexed by `Phase as usize`.
+    pub cycles: [u64; Phase::COUNT],
+    /// Completed sector requests folded into `cycles`.
+    pub sectors: u64,
+}
+
+impl LatencyBreakdown {
+    /// Attribute `cycles` to `phase`.
+    #[inline]
+    pub fn add(&mut self, phase: Phase, cycles: u64) {
+        self.cycles[phase as usize] += cycles;
+    }
+
+    /// Cycles attributed to one phase.
+    pub fn of(&self, phase: Phase) -> u64 {
+        self.cycles[phase as usize]
+    }
+
+    /// Sum over all phases; equals the summed end-to-end latency of
+    /// every completed sector request (conservation invariant).
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Share of `phase` in the total, in [0, 1]; 0 when empty.
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.of(phase) as f64 / total as f64
+        }
+    }
+}
+
+/// A named instrumentation point emitted to a [`Probe`] sink.
+///
+/// `Phase(p)` spans are the per-request lifecycle segments; the rest
+/// are component-side windows and instants that share the same sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanPoint {
+    /// A lifecycle segment of a sector request (see [`Phase`]).
+    Phase(Phase),
+    /// A whole warp memory instruction, issue to last-sector retire.
+    WarpMem,
+    /// A warp instruction resolved by the inline hit fast path.
+    FastPath,
+    /// A remote (host-pinned) access window for a non-resident page.
+    Remote,
+    /// A page walk occupying a walker, dispatch to completion.
+    WalkService,
+    /// One DRAM access, arrival to data return.
+    DramAccess,
+    /// Instant: a UVM page fault (first touch of a non-resident page).
+    UvmFault,
+    /// Instant: a chunk eviction under memory oversubscription.
+    Eviction,
+    /// Instant: an in-cache validation verdict (arg 1 = hit, 0 = kill).
+    Validation,
+}
+
+impl SpanPoint {
+    /// Span name as it appears in the exported trace.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanPoint::Phase(p) => p.label(),
+            SpanPoint::WarpMem => "warp_mem",
+            SpanPoint::FastPath => "fast_path",
+            SpanPoint::Remote => "remote",
+            SpanPoint::WalkService => "walk_service",
+            SpanPoint::DramAccess => "dram_access",
+            SpanPoint::UvmFault => "uvm_fault",
+            SpanPoint::Eviction => "eviction",
+            SpanPoint::Validation => "validation",
+        }
+    }
+}
+
+/// Identifies the timeline a span lands on: `pid` is the process row
+/// in a Chrome trace (one per SM, plus pseudo-processes for shared
+/// components), `tid` the thread row within it (the warp, walker, or
+/// channel index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Track {
+    /// Chrome-trace process id.
+    pub pid: u32,
+    /// Chrome-trace thread id.
+    pub tid: u32,
+}
+
+impl Track {
+    /// Pseudo-process id for the shared page-walk system.
+    pub const WALKERS_PID: u32 = 9001;
+    /// Pseudo-process id for DRAM.
+    pub const DRAM_PID: u32 = 9002;
+    /// Pseudo-process id for the UVM driver.
+    pub const UVM_PID: u32 = 9003;
+
+    /// Track for a warp on an SM (SM `s` maps to pid `s + 1`; pid 0 is
+    /// reserved so SM 0 is not confused with an absent pid).
+    pub fn sm_warp(sm: u32, warp: u32) -> Track {
+        Track { pid: sm + 1, tid: warp }
+    }
+
+    /// Track for one hardware page walker.
+    pub fn walker(index: u32) -> Track {
+        Track { pid: Track::WALKERS_PID, tid: index }
+    }
+
+    /// Track for one DRAM channel.
+    pub fn dram(channel: u32) -> Track {
+        Track { pid: Track::DRAM_PID, tid: channel }
+    }
+
+    /// Track for the UVM driver of one tenant.
+    pub fn uvm(tenant: u32) -> Track {
+        Track { pid: Track::UVM_PID, tid: tenant }
+    }
+}
+
+/// A sink for instrumentation events.
+///
+/// Implementations must tolerate out-of-order timestamps across tracks
+/// (the engine emits spans when they *close*, so a long span can
+/// arrive after a short one that started later). Timestamps are
+/// simulated cycles; the Chrome exporter writes them as microseconds
+/// 1:1 so the viewer's time axis reads directly in cycles.
+pub trait Probe {
+    /// A complete span: `[start, end)` on `track`. `arg` is a free
+    /// detail slot (request slab index, walk id, byte count, ...).
+    fn span(&mut self, point: SpanPoint, track: Track, start: Cycle, end: Cycle, arg: u64);
+
+    /// Open half of a paired span. Every `span_enter` must be matched
+    /// by a [`Probe::span_exit`] on the same track — the engine keeps
+    /// pairs within one function so the `probe-span-balance` lint rule
+    /// can check the invariant statically.
+    fn span_enter(&mut self, point: SpanPoint, track: Track, at: Cycle);
+
+    /// Close half of a paired span (see [`Probe::span_enter`]).
+    fn span_exit(&mut self, point: SpanPoint, track: Track, at: Cycle);
+
+    /// A zero-duration event.
+    fn instant(&mut self, point: SpanPoint, track: Track, at: Cycle, arg: u64);
+
+    /// A named counter sample (rendered as a counter track).
+    fn counter(&mut self, name: &'static str, track: Track, at: Cycle, value: u64);
+
+    /// The run is over (final simulated cycle `end`); flush output.
+    fn finish(&mut self, end: Cycle);
+}
+
+/// The engine-side dispatch point: an optional boxed sink plus the
+/// per-warp sampling policy.
+///
+/// All forwarding methods are no-ops when no sink is attached, so the
+/// probes build without a trace request pays only a branch per emitted
+/// span — and nothing at all in the default build, where the engine
+/// does not contain the call sites.
+#[derive(Default)]
+pub struct ProbeHub {
+    sink: Option<Box<dyn Probe>>,
+    /// Emit request-level spans only for warps where
+    /// `warp % warp_sample == 0` (component spans are never sampled
+    /// away). 0 behaves as 1 (trace everything).
+    warp_sample: u32,
+}
+
+impl std::fmt::Debug for ProbeHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProbeHub")
+            .field("attached", &self.sink.is_some())
+            .field("warp_sample", &self.warp_sample)
+            .finish()
+    }
+}
+
+impl ProbeHub {
+    /// Attach a sink; request-level spans are kept for every
+    /// `warp_sample`-th warp (0 or 1 = all).
+    pub fn attach(&mut self, sink: Box<dyn Probe>, warp_sample: u32) {
+        self.sink = Some(sink);
+        self.warp_sample = warp_sample;
+    }
+
+    /// Whether a sink is attached.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Whether request-level spans from `warp` survive sampling.
+    #[inline]
+    pub fn sampled(&self, warp: u32) -> bool {
+        self.warp_sample <= 1 || warp.is_multiple_of(self.warp_sample)
+    }
+
+    /// Forward a complete span (no-op without a sink).
+    #[inline]
+    pub fn span(&mut self, point: SpanPoint, track: Track, start: Cycle, end: Cycle, arg: u64) {
+        if let Some(sink) = &mut self.sink {
+            sink.span(point, track, start, end, arg);
+        }
+    }
+
+    /// Forward a span open (no-op without a sink).
+    #[inline]
+    // lint:allow(probe-span-balance) — forwarding shim, not a call pair.
+    pub fn span_enter(&mut self, point: SpanPoint, track: Track, at: Cycle) {
+        if let Some(sink) = &mut self.sink {
+            sink.span_enter(point, track, at);
+        }
+    }
+
+    /// Forward a span close (no-op without a sink).
+    #[inline]
+    // lint:allow(probe-span-balance) — forwarding shim, not a call pair.
+    pub fn span_exit(&mut self, point: SpanPoint, track: Track, at: Cycle) {
+        if let Some(sink) = &mut self.sink {
+            sink.span_exit(point, track, at);
+        }
+    }
+
+    /// Forward an instant (no-op without a sink).
+    #[inline]
+    pub fn instant(&mut self, point: SpanPoint, track: Track, at: Cycle, arg: u64) {
+        if let Some(sink) = &mut self.sink {
+            sink.instant(point, track, at, arg);
+        }
+    }
+
+    /// Forward a counter sample (no-op without a sink).
+    #[inline]
+    pub fn counter(&mut self, name: &'static str, track: Track, at: Cycle, value: u64) {
+        if let Some(sink) = &mut self.sink {
+            sink.counter(name, track, at, value);
+        }
+    }
+
+    /// Flush the sink, if any, consuming it.
+    pub fn finish(&mut self, end: Cycle) {
+        if let Some(mut sink) = self.sink.take() {
+            sink.finish(end);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_conserves_what_it_is_fed() {
+        let mut b = LatencyBreakdown::default();
+        b.add(Phase::Tlb, 10);
+        b.add(Phase::Walk, 90);
+        b.add(Phase::Fetch, 150);
+        b.sectors = 2;
+        assert_eq!(b.total_cycles(), 250);
+        assert_eq!(b.of(Phase::Walk), 90);
+        assert_eq!(b.of(Phase::Commit), 0);
+        assert!((b.fraction(Phase::Fetch) - 0.6).abs() < 1e-12);
+        assert_eq!(LatencyBreakdown::default().fraction(Phase::Tlb), 0.0);
+    }
+
+    #[test]
+    fn phase_order_matches_discriminants() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(*p as usize, i, "Phase::ALL out of order at {i}");
+        }
+        assert_eq!(Phase::ALL.len(), Phase::COUNT);
+    }
+
+    #[derive(Default)]
+    struct CountingSink {
+        spans: usize,
+        enters: usize,
+        exits: usize,
+        finished: bool,
+    }
+    impl Probe for CountingSink {
+        fn span(&mut self, _: SpanPoint, _: Track, _: Cycle, _: Cycle, _: u64) {
+            self.spans += 1;
+        }
+        fn span_enter(&mut self, _: SpanPoint, _: Track, _: Cycle) {
+            self.enters += 1;
+        }
+        fn span_exit(&mut self, _: SpanPoint, _: Track, _: Cycle) {
+            self.exits += 1;
+        }
+        fn instant(&mut self, _: SpanPoint, _: Track, _: Cycle, _: u64) {}
+        fn counter(&mut self, _: &'static str, _: Track, _: Cycle, _: u64) {}
+        fn finish(&mut self, _: Cycle) {
+            self.finished = true;
+        }
+    }
+
+    #[test]
+    fn hub_without_sink_is_inert_and_samples_every_warp() {
+        let mut hub = ProbeHub::default();
+        assert!(!hub.is_active());
+        assert!(hub.sampled(0) && hub.sampled(17));
+        hub.span_enter(SpanPoint::WarpMem, Track::sm_warp(0, 0), 5);
+        hub.finish(10); // nothing to flush, must not panic
+    }
+
+    #[test]
+    fn hub_sampling_keeps_every_nth_warp() {
+        let mut hub = ProbeHub::default();
+        hub.attach(Box::<CountingSink>::default(), 4);
+        assert!(hub.is_active());
+        assert!(hub.sampled(0) && hub.sampled(8));
+        assert!(!hub.sampled(1) && !hub.sampled(7));
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::config::Cycle;
 use crate::invariant::Fnv64;
+use crate::probe::LatencyBreakdown;
 
 /// Outcome classes for memory accesses that received a *correct*
 /// speculative translation (paper Fig 16).
@@ -100,6 +101,12 @@ impl Mean {
     pub fn count(&self) -> u64 {
         self.n
     }
+
+    /// Sum of all samples (the latency-conservation checks compare
+    /// this against per-phase attribution totals).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
 }
 
 /// A log2-bucketed latency histogram with percentile estimation.
@@ -121,6 +128,14 @@ impl Histogram {
     /// Number of samples.
     pub fn count(&self) -> u64 {
         self.n
+    }
+
+    /// Folds another histogram into this one, bucket by bucket.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.n += other.n;
     }
 
     /// Estimates percentile `p` (0.0–1.0) as the upper edge of the bucket
@@ -274,6 +289,29 @@ pub struct Stats {
     pub migrate_sectors: u64,
     /// Sectors that compressed below the 22B budget at migration.
     pub migrate_compressed: u64,
+
+    // --- Probe-fed observability fields (DESIGN.md §10) -------------
+    // Filled only when the `probes` cargo feature is on; always present
+    // so consumers need no cfg, and deliberately EXCLUDED from
+    // `digest()` so the feature cannot change the determinism digest.
+    /// Per-phase latency attribution over all completed sector requests
+    /// (`probes` feature; zeroes otherwise). The conservation invariant
+    /// `latency_breakdown.total_cycles() == sector_latency.sum()` is
+    /// test- and fig20-enforced.
+    pub latency_breakdown: LatencyBreakdown,
+    /// Log2 histogram of completed page-walk latencies, enqueue to
+    /// done (`probes` feature; empty otherwise).
+    pub walk_latency_hist: Histogram,
+    /// Log2 histogram of rapid-validation windows: speculative fetch
+    /// registration to CAVA verdict (`probes` feature; empty otherwise).
+    pub validation_latency_hist: Histogram,
+    /// Log2 histogram of queueing waits: TLB/cache port-grant delays
+    /// plus walk-buffer residency before a walker picks the walk up
+    /// (`probes` feature; empty otherwise).
+    pub queue_latency_hist: Histogram,
+    /// Log2 histogram of DRAM service times, arrival to data return
+    /// (`probes` feature; empty otherwise).
+    pub dram_service_hist: Histogram,
 }
 
 /// Per-outcome counters for Fig 16.
@@ -386,6 +424,12 @@ impl Stats {
     /// checked mode and the parallel runner both gate on this. Floats are
     /// folded as raw bit patterns, so any numeric drift (not just a changed
     /// rounding) flips the digest.
+    ///
+    /// The probe-fed observability fields (`latency_breakdown` and the
+    /// walk/validation/queue/DRAM histograms) are deliberately NOT
+    /// folded: they are empty without the `probes` feature, and the
+    /// probes-on/off differential test pins the digest identical across
+    /// the feature — folding them would make that impossible.
     pub fn digest(&self) -> u64 {
         let mut h = Fnv64::new();
         let mut w = |v: u64| h.write_u64(v);
@@ -542,6 +586,35 @@ mod tests {
         let mut with_hist = Stats::default();
         with_hist.sector_latency_hist.add(100);
         assert_ne!(Stats::default().digest(), with_hist.digest());
+    }
+
+    #[test]
+    fn digest_excludes_probe_fed_fields() {
+        // The probes-on/off differential relies on these fields never
+        // reaching the digest; pin that here so a refactor folding
+        // "every field" back in fails fast.
+        let base = Stats::default().digest();
+        let mut s = Stats::default();
+        s.latency_breakdown.add(crate::probe::Phase::Walk, 123);
+        s.latency_breakdown.sectors = 1;
+        s.walk_latency_hist.add(100);
+        s.validation_latency_hist.add(7);
+        s.queue_latency_hist.add(3);
+        s.dram_service_hist.add(250);
+        assert_eq!(base, s.digest(), "probe-fed fields leaked into the digest");
+    }
+
+    #[test]
+    fn histogram_merge_adds_buckets() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        a.add(10);
+        b.add(10);
+        b.add(10_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.percentile(0.5), 16);
+        assert_eq!(a.percentile(1.0), 16384);
     }
 
     #[test]

@@ -12,7 +12,6 @@ use avatar_sim::config::GpuConfig;
 use avatar_sim::dram::{Dram, DramOp};
 use avatar_sim::event::EventQueue;
 use avatar_sim::page_table::PageTable;
-use avatar_sim::port::{MshrFile, MshrGrant, Ports};
 use avatar_sim::rng::SimRng;
 use avatar_sim::tlb::{BaseTlb, TlbFill, TlbModel};
 use std::cmp::Reverse;
@@ -26,60 +25,8 @@ fn vec_of<T>(rng: &mut SimRng, min: usize, max: usize, mut gen: impl FnMut(&mut 
     (0..n).map(|_| gen(rng)).collect()
 }
 
-#[test]
-fn ports_grants_are_monotonic_and_bounded() {
-    for trial in 0..TRIALS {
-        let mut rng = SimRng::seed_from_u64(0x1001 ^ trial);
-        let width = 1 + rng.next_below(7) as u32;
-        let mut times = vec_of(&mut rng, 1, 200, |r| r.next_below(1000));
-        times.sort_unstable();
-        let mut p = Ports::new(width);
-        let mut grants = Vec::new();
-        for t in times {
-            grants.push(p.grant(t));
-        }
-        // Monotonic when requests arrive in time order.
-        for w in grants.windows(2) {
-            assert!(w[1] >= w[0], "trial {trial}: grants went backwards");
-        }
-        // No cycle is granted more than `width` times.
-        let mut counts = std::collections::HashMap::new();
-        for g in grants {
-            *counts.entry(g).or_insert(0u32) += 1;
-        }
-        assert!(counts.values().all(|&c| c <= width), "trial {trial}: cycle over-granted");
-    }
-}
-
-#[test]
-fn mshr_capacity_is_respected() {
-    for trial in 0..TRIALS {
-        let mut rng = SimRng::seed_from_u64(0x1002 ^ trial);
-        let cap = 1 + rng.index(15);
-        let keys = vec_of(&mut rng, 1, 100, |r| r.next_below(32));
-        let mut m: MshrFile<u64, usize> = MshrFile::new(cap);
-        let mut live = std::collections::HashSet::new();
-        for (i, k) in keys.iter().enumerate() {
-            match m.request(*k, i) {
-                MshrGrant::Allocated => {
-                    assert!(live.insert(*k), "trial {trial}: double allocation");
-                    assert!(live.len() <= cap, "trial {trial}: capacity exceeded");
-                }
-                MshrGrant::Merged => assert!(live.contains(k), "trial {trial}"),
-                MshrGrant::Full => {
-                    assert_eq!(live.len(), cap, "trial {trial}");
-                    assert!(!live.contains(k), "trial {trial}");
-                }
-            }
-            assert_eq!(m.len(), live.len(), "trial {trial}");
-        }
-        // Completion returns every merged waiter exactly once.
-        let total_waiters: usize =
-            live.iter().map(|k| m.complete(*k).map(|w| w.len()).unwrap_or(0)).sum();
-        assert!(total_waiters <= keys.len(), "trial {trial}");
-        assert!(m.is_empty(), "trial {trial}");
-    }
-}
+// The Ports / MshrFile property tests moved into `crates/sim/src/port.rs`
+// unit tests when the module became `pub(crate)` (public-surface curation).
 
 #[test]
 fn event_queue_pops_in_order() {
