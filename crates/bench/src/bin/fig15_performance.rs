@@ -18,12 +18,19 @@ fn main() {
     let workloads = Workload::all();
 
     // One cell per (workload × {Baseline + Fig-15 configs}), fanned across
-    // the thread pool; the grid is indexed back by fixed stride.
+    // the thread pool; the grid is indexed back by fixed stride. `--shards`
+    // applies to every cell (the figure is pinned shard-count invariant:
+    // CI byte-diffs this binary's output across shard counts).
+    let shards = opts.shards;
+    let sharded = |s: Scenario| match shards {
+        Some(n) => s.with_tweak(move |c| c.shards = n),
+        None => s,
+    };
     let mut scenarios = Vec::new();
     for w in &workloads {
-        scenarios.push(Scenario::new("Baseline", w, SystemConfig::Baseline, ro.clone()));
+        scenarios.push(sharded(Scenario::new("Baseline", w, SystemConfig::Baseline, ro.clone())));
         for cfg in configs {
-            scenarios.push(Scenario::new(cfg.label(), w, cfg, ro.clone()));
+            scenarios.push(sharded(Scenario::new(cfg.label(), w, cfg, ro.clone())));
         }
     }
     let results = run_scenarios(opts.threads, scenarios);

@@ -12,6 +12,14 @@
 //!
 //! One JSON entry is written per thread count to `BENCH_throughput.json`
 //! (override with `--json <path>`). `--quick` keeps it CI-sized.
+//!
+//! After the thread sweep, the same grid runs once per calendar shard
+//! count in [`SHARD_COUNTS`] (single-threaded): the sharded calendar is
+//! pinned digest-identical to the serial pass, so a divergence here is a
+//! hard `DETERMINISM VIOLATION` failure exactly like a thread-count
+//! divergence. Entries carry `scaling_measured: false` when the host has
+//! one CPU (or the pass is single-threaded) — scaling numbers from a
+//! serialized box are noise and the regression gate must not key on them.
 
 use avatar_bench::runner::{run_scenarios, Scenario, ScenarioResult};
 use avatar_bench::{obj, print_table, HarnessArgs};
@@ -34,18 +42,26 @@ const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// tight tolerance needs (single runs were observed ±5% on one core).
 const MEASURE_REPEATS: usize = 5;
 
-fn grid(opts: &HarnessArgs) -> Vec<Scenario> {
+/// Calendar shard-domain counts exercised after the thread sweep, each on
+/// one runner thread. Digest parity with the serial pass is enforced.
+const SHARD_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn grid(opts: &HarnessArgs, shards: Option<usize>) -> Vec<Scenario> {
     let ro = opts.run_options();
     let mut scenarios = Vec::new();
     for w in Workload::all() {
         let w = Arc::new(w);
         for cfg in CONFIGS {
-            scenarios.push(Scenario::shared(
+            let mut s = Scenario::shared(
                 format!("{}/{}", w.abbr, cfg.label()),
                 Arc::clone(&w),
                 cfg,
                 ro.clone(),
-            ));
+            );
+            if let Some(n) = shards {
+                s = s.with_tweak(move |c| c.shards = n);
+            }
+            scenarios.push(s);
         }
     }
     scenarios
@@ -93,9 +109,18 @@ fn measure(results: &[ScenarioResult]) -> PassMeasure {
     m
 }
 
+/// One measurement pass of the grid: a runner thread count plus an
+/// optional calendar shard-count tweak (`None` = the `--shards` /
+/// `AVATAR_SHARDS` default the thread sweep runs under).
+struct Pass {
+    threads: usize,
+    shards: usize,
+    tweak: Option<usize>,
+}
+
 fn main() {
     let opts = HarnessArgs::parse();
-    let n_cells = grid(&opts).len();
+    let n_cells = grid(&opts, None).len();
 
     // Host environment + speed-knob provenance, recorded per JSON entry so
     // a benchmark number can never be quoted without the knobs it ran
@@ -103,6 +128,15 @@ fn main() {
     // is where the env-driven knobs are read.
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let knobs = avatar_sim::config::GpuConfig::default();
+    let base_shards = opts.shards.unwrap_or(knobs.shards);
+
+    let mut passes: Vec<Pass> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| Pass { threads, shards: base_shards, tweak: opts.shards })
+        .collect();
+    passes.extend(
+        SHARD_COUNTS.iter().map(|&n| Pass { threads: 1, shards: n, tweak: Some(n) }),
+    );
 
     let mut json = Vec::new();
     let mut rows = Vec::new();
@@ -110,19 +144,22 @@ fn main() {
     let mut events_per_sec = 0.0f64;
     let mut serial_digest = 0u64;
     let mut total_failed = 0usize;
-    for (i, &threads) in THREAD_COUNTS.iter().enumerate() {
+    for (i, pass) in passes.iter().enumerate() {
+        let &Pass { threads, shards, tweak } = pass;
+        let serial_pass = i == 0;
         eprintln!(
-            "throughput: {n_cells} cells, pass {}/{} on {threads} thread(s){}...",
+            "throughput: {n_cells} cells, pass {}/{} on {threads} thread(s), \
+             {shards} shard(s){}...",
             i + 1,
-            THREAD_COUNTS.len(),
-            if threads == 1 { format!(" (best of {MEASURE_REPEATS})") } else { String::new() }
+            passes.len(),
+            if serial_pass { format!(" (best of {MEASURE_REPEATS})") } else { String::new() }
         );
-        let repeats = if threads == 1 { MEASURE_REPEATS } else { 1 };
+        let repeats = if serial_pass { MEASURE_REPEATS } else { 1 };
         let mut wall_s = f64::INFINITY;
         let mut results = Vec::new();
         for _ in 0..repeats {
             let t0 = Instant::now(); // lint:allow(nondeterminism)
-            let pass = run_scenarios(threads, grid(&opts));
+            let pass = run_scenarios(threads, grid(&opts, tweak));
             let s = t0.elapsed().as_secs_f64();
             if s < wall_s {
                 wall_s = s;
@@ -134,38 +171,45 @@ fn main() {
         total_failed += failed;
         let fast_path_ratio =
             if sector_requests > 0 { fast_path_sectors as f64 / sector_requests as f64 } else { 0.0 };
-        if threads == 1 {
+        if serial_pass {
             serial_s = wall_s;
             events_per_sec = events as f64 / wall_s;
             serial_digest = digest;
         } else if digest != serial_digest {
             eprintln!(
-                "DETERMINISM VIOLATION: {threads}-thread pass digest {digest:#018x} != \
-                 1-thread digest {serial_digest:#018x}"
+                "DETERMINISM VIOLATION: pass with {threads} thread(s), {shards} shard(s) \
+                 digest {digest:#018x} != serial digest {serial_digest:#018x}"
             );
             total_failed += 1;
         }
         let cells_per_sec = n_cells as f64 / wall_s;
         let scaling = serial_s / wall_s;
+        // Thread-scaling numbers only mean something when the pass was
+        // actually parallel on actually-parallel hardware; a one-CPU box
+        // serializes every pass and the "scaling" is scheduler noise.
+        let scaling_measured = cpus > 1 && threads > 1;
         rows.push(vec![
             threads.to_string(),
+            shards.to_string(),
             format!("{wall_s:.2}"),
             format!("{cells_per_sec:.3}"),
-            format!("{scaling:.2}"),
-            if threads == 1 { format!("{events_per_sec:.0}") } else { "-".into() },
+            if scaling_measured { format!("{scaling:.2}") } else { format!("{scaling:.2}*") },
+            if serial_pass { format!("{events_per_sec:.0}") } else { "-".into() },
             format!("{:.1}%", fast_path_ratio * 100.0),
             failed.to_string(),
         ]);
         json.push(obj! {
             "cells": n_cells,
             "threads": threads,
+            "shards": shards,
             "cpus": cpus,
             "digest": format!("{digest:#018x}"),
             "events_processed": events,
-            "events_per_sec": if threads == 1 { events_per_sec } else { events as f64 / wall_s },
+            "events_per_sec": if serial_pass { events_per_sec } else { events as f64 / wall_s },
             "wall_s": wall_s,
             "cells_per_sec": cells_per_sec,
             "scaling": scaling,
+            "scaling_measured": scaling_measured,
             "fast_path_ratio": fast_path_ratio,
             "fast_forward": knobs.fast_forward,
             "inline_hit_path": knobs.inline_hit_path,
@@ -177,8 +221,9 @@ fn main() {
         "\nThroughput: scenario grid (scale {}, {} SMs x {} warps)",
         opts.scale, opts.sms, opts.warps
     );
+    println!("(* = scaling not measured: single-threaded pass or one-CPU host)");
     print_table(
-        &["Threads", "Wall (s)", "Cells/sec", "Scaling", "Events/sec", "FastPath", "Failed"],
+        &["Threads", "Shards", "Wall (s)", "Cells/sec", "Scaling", "Events/sec", "FastPath", "Failed"],
         &rows,
     );
 

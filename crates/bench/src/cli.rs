@@ -50,6 +50,12 @@ pub struct HarnessArgs {
     pub json: Option<PathBuf>,
     /// Worker threads for the scenario grid.
     pub threads: usize,
+    /// Calendar shard-domain override (`--shards`); `None` keeps the
+    /// config default (`AVATAR_SHARDS`, else 1). Applied as a
+    /// [`GpuConfig`](avatar_sim::config::GpuConfig) tweak by harnesses —
+    /// the digest is pinned identical across shard counts, so this is a
+    /// structure knob, not a result knob.
+    pub shards: Option<usize>,
     /// Chrome-trace destination (`--trace-out` / `AVATAR_TRACE_OUT`).
     pub trace_out: Option<PathBuf>,
     /// Values captured for declared [`ExtraFlag`]s, in occurrence order.
@@ -77,6 +83,7 @@ impl Default for HarnessArgs {
             seed: RunOptions::default().seed,
             json: None,
             threads: default_threads(),
+            shards: None,
             trace_out: None,
             extras: Vec::new(),
         }
@@ -87,7 +94,7 @@ impl Default for HarnessArgs {
 pub fn usage(bin: &str, extras: &[ExtraFlag]) -> String {
     let mut s = format!(
         "usage: {bin} [--quick | --full] [--scale F] [--sms N] [--warps N]\n       \
-         [--threads N] [--seed N] [--json PATH] [--trace-out PATH]"
+         [--threads N] [--shards N] [--seed N] [--json PATH] [--trace-out PATH]"
     );
     for e in extras {
         match e.value_name {
@@ -102,6 +109,8 @@ pub fn usage(bin: &str, extras: &[ExtraFlag]) -> String {
          --sms N            SM count (default 16)\n  \
          --warps N          warps per SM (default 32)\n  \
          --threads N        worker threads (default: AVATAR_THREADS, else all cores)\n  \
+         --shards N         calendar shard domains per engine (default:\n                     \
+         AVATAR_SHARDS, else 1; results are shard-count invariant)\n  \
          --seed N           extra allocation seed (default 7)\n  \
          --json PATH        dump rows as JSON\n  \
          --trace-out PATH   write a Chrome/Perfetto trace (probes builds;\n                     \
@@ -176,6 +185,9 @@ impl HarnessArgs {
                 "--threads" => {
                     opts.threads = value::<usize>("--threads", args.next())?.max(1)
                 }
+                "--shards" => {
+                    opts.shards = Some(value::<usize>("--shards", args.next())?.max(1))
+                }
                 "--full" => {
                     opts.scale = 1.0;
                     opts.sms = 46;
@@ -236,6 +248,16 @@ impl HarnessArgs {
             seed: self.seed,
             trace_out: self.trace_out.clone(),
             ..RunOptions::default()
+        }
+    }
+
+    /// Applies the shared [`GpuConfig`](avatar_sim::config::GpuConfig)
+    /// tweak flags (currently `--shards`) to an assembled config.
+    /// Harnesses pass this as the `run_with` / `Scenario::with_tweak`
+    /// hook so every binary honours the flags identically.
+    pub fn apply_config(&self, cfg: &mut avatar_sim::config::GpuConfig) {
+        if let Some(n) = self.shards {
+            cfg.shards = n;
         }
     }
 
@@ -318,6 +340,24 @@ mod tests {
     fn threads_zero_clamps_to_one() {
         let o = parse(&["--threads", "0"]).expect("valid args");
         assert_eq!(o.threads, 1);
+    }
+
+    #[test]
+    fn shards_flag_tweaks_config() {
+        let o = parse(&["--shards", "4"]).expect("valid args");
+        assert_eq!(o.shards, Some(4));
+        let mut cfg = avatar_sim::config::GpuConfig::rtx3070();
+        o.apply_config(&mut cfg);
+        assert_eq!(cfg.shards, 4);
+        // Unset: the config keeps whatever default it was assembled with.
+        let d = parse(&[]).expect("valid args");
+        assert_eq!(d.shards, None);
+        let before = cfg.shards;
+        d.apply_config(&mut cfg);
+        assert_eq!(cfg.shards, before);
+        // Zero clamps to one shard (the classic single-domain calendar).
+        let z = parse(&["--shards", "0"]).expect("valid args");
+        assert_eq!(z.shards, Some(1));
     }
 
     #[test]

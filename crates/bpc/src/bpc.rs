@@ -218,22 +218,31 @@ fn two_consecutive_ones(plane: u8) -> Option<u8> {
     (0..PLANE_WIDTH as u8 - 1).find(|&s| plane == 0b11 << s)
 }
 
-/// Exact bit size of [`compress`]'s output without materializing the
-/// stream. This is the hot path of the compressibility model: deciding
-/// whether a sector fits the CAVA budget needs only the size, so the
-/// encoder's allocation and bit packing are skipped entirely. A test pins
-/// it bit-for-bit against [`compress`].
-pub fn compressed_size_bits(sector: &[u8; SECTOR_BYTES]) -> usize {
+/// The per-sector plane summary the size-only paths scan: the gray-coded
+/// deltas plus non-zero-plane accumulators and the base-symbol cost.
+/// Computing it once lets the exact sizer, the budget check, and the
+/// batch counter share a single gray-code pass per sector.
+struct PlaneSummary {
+    /// Bit p of `gray[j]` is bit j of DBX plane p.
+    gray: [u64; PLANE_WIDTH],
+    /// OR of all gray deltas: bit p set iff DBX plane p is non-zero.
+    dbx_any: u64,
+    /// OR of all deltas: bit p set iff DBP plane p is non-zero.
+    dbp_any: u64,
+    /// Encoded size of the base symbol.
+    base_bits: usize,
+}
+
+/// One pass over the sector's deltas: XOR-ing a delta with itself shifted
+/// down one position performs all 33 plane XORs of the DBX step at once
+/// (bit 33 of a delta is zero, so the top plane comes out equal to its
+/// DBP plane, exactly as the encoder defines it). The OR-accumulators
+/// flag which planes are non-zero, so zero runs — the common case on
+/// correlated data — cost O(1) instead of a transpose.
+#[inline]
+fn summarize(sector: &[u8; SECTOR_BYTES]) -> PlaneSummary {
     let words = words_of(sector);
     let deltas = deltas_of(&words);
-
-    // Bit p of `gray[j]` is bit j of DBX plane p: XOR-ing a delta with
-    // itself shifted down one position performs all 33 plane XORs of the
-    // DBX step at once (bit 33 of a delta is zero, so the top plane comes
-    // out equal to its DBP plane, exactly as the encoder defines it).
-    // The OR-accumulators flag which planes are non-zero, so zero runs —
-    // the common case on correlated data — cost O(1) instead of a
-    // transpose.
     let mut gray = [0u64; PLANE_WIDTH];
     let mut dbx_any = 0u64;
     let mut dbp_any = 0u64;
@@ -242,9 +251,8 @@ pub fn compressed_size_bits(sector: &[u8; SECTOR_BYTES]) -> usize {
         dbx_any |= gray[j];
         dbp_any |= d;
     }
-
     let s = words[0] as i32;
-    let mut bits = if s == 0 {
+    let base_bits = if s == 0 {
         3
     } else if (-8..8).contains(&s) {
         3 + 4
@@ -255,9 +263,52 @@ pub fn compressed_size_bits(sector: &[u8; SECTOR_BYTES]) -> usize {
     } else {
         1 + 32
     };
+    PlaneSummary { gray, dbx_any, dbp_any, base_bits }
+}
 
+/// Exact bit size of [`compress`]'s output without materializing the
+/// stream. This is the hot path of the compressibility model: deciding
+/// whether a sector fits the CAVA budget needs only the size, so the
+/// encoder's allocation and bit packing are skipped entirely. A test pins
+/// it bit-for-bit against [`compress`].
+pub fn compressed_size_bits(sector: &[u8; SECTOR_BYTES]) -> usize {
+    scan_bits(&summarize(sector), usize::MAX)
+}
+
+/// Whether the sector compresses to at most `budget_bits`, stopping the
+/// plane scan as soon as the running size exceeds the budget (sizes only
+/// grow, so the early exit cannot change the verdict). Exactly
+/// equivalent to `compressed_size_bits(sector) <= budget_bits` — a test
+/// pins the two across every budget — but incompressible sectors, whose
+/// full scan is the most expensive, bail out after a few planes.
+pub fn fits_within(sector: &[u8; SECTOR_BYTES], budget_bits: usize) -> bool {
+    scan_bits(&summarize(sector), budget_bits) <= budget_bits
+}
+
+/// Counts how many of `sectors` compress to at most `budget_bits` — the
+/// batch form of [`fits_within`] for callers sizing whole pages or lines
+/// at once (one call sites the summary buffers and the scan loop
+/// together, so the per-sector cost is the gray-code pass alone).
+pub fn count_fitting<'a, I>(sectors: I, budget_bits: usize) -> usize
+where
+    I: IntoIterator<Item = &'a [u8; SECTOR_BYTES]>,
+{
+    sectors.into_iter().filter(|s| fits_within(s, budget_bits)).count()
+}
+
+/// Walks the DBX planes of a summary, accumulating the encoded size and
+/// returning early once it exceeds `cap` (pass `usize::MAX` for the
+/// exact size). The running total only ever grows, so an early return
+/// means only "already over the cap", never a wrong size below it.
+fn scan_bits(sum: &PlaneSummary, cap: usize) -> usize {
+    let PlaneSummary { gray, dbx_any, dbp_any, base_bits } = sum;
+    let (dbx_any, dbp_any) = (*dbx_any, *dbp_any);
+    let mut bits = *base_bits;
     let mut p = DELTA_BITS - 1;
     loop {
+        if bits > cap {
+            return bits;
+        }
         if (dbx_any >> p) & 1 == 0 {
             // Zero run: extends down to just above the next non-zero plane.
             let below = dbx_any & ((1u64 << (p + 1)) - 1);
@@ -530,6 +581,66 @@ mod tests {
                 "trial {trial} diverged"
             );
         }
+    }
+
+    #[test]
+    fn budget_check_matches_exact_size_for_every_budget() {
+        // The early-exit scan must agree with the full sizer at every
+        // budget, including the exact boundary, for structured and
+        // high-entropy data alike.
+        let mut x = 0xDEAD_BEEF_CAFE_F00Du64;
+        for trial in 0..300u64 {
+            let mut sector = [0u8; SECTOR_BYTES];
+            match trial % 3 {
+                0 => {
+                    for b in sector.iter_mut() {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        *b = (x >> 56) as u8;
+                    }
+                }
+                1 => {
+                    let words: Vec<u32> =
+                        (0..8).map(|i| (trial as u32) * 5 + i * ((trial % 9) as u32 + 1)).collect();
+                    sector = sector_from_words(words.try_into().unwrap());
+                }
+                _ => {
+                    let words: Vec<u32> = (0..8)
+                        .map(|i| (2.0f32 + trial as f32 * 0.02 + i as f32 * 0.003).to_bits())
+                        .collect();
+                    sector = sector_from_words(words.try_into().unwrap());
+                }
+            }
+            let exact = compressed_size_bits(&sector);
+            for budget in [0, 1, exact.saturating_sub(1), exact, exact + 1, 176, 300] {
+                assert_eq!(
+                    fits_within(&sector, budget),
+                    exact <= budget,
+                    "trial {trial}, budget {budget}, exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_count_matches_per_sector_checks() {
+        let sectors: Vec<[u8; SECTOR_BYTES]> = (0..64u32)
+            .map(|t| {
+                if t % 2 == 0 {
+                    sector_from_words([t, t + 1, t + 2, t + 3, t + 4, t + 5, t + 6, t + 7])
+                } else {
+                    let mut s = [0u8; SECTOR_BYTES];
+                    let mut x = 0x5DEECE66Du64.wrapping_mul(u64::from(t) + 11);
+                    for b in s.iter_mut() {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        *b = (x >> 56) as u8;
+                    }
+                    s
+                }
+            })
+            .collect();
+        let expect = sectors.iter().filter(|s| compressed_size_bits(s) <= 176).count();
+        assert_eq!(count_fitting(&sectors, 176), expect);
+        assert!(expect > 0 && expect < sectors.len(), "both classes must be represented");
     }
 
     #[test]

@@ -75,9 +75,20 @@ impl Codec {
         }
     }
 
+    /// Whether the sector compresses to at most `budget_bits` under this
+    /// codec. The BPC path answers with an early-exit plane scan that
+    /// stops as soon as the budget is blown (see [`bpc::fits_within`]);
+    /// the verdict is exactly `compressed_bits(sector) <= budget_bits`.
+    pub fn fits_within(self, sector: &[u8; 32], budget_bits: usize) -> bool {
+        match self {
+            Codec::Bpc => bpc::fits_within(sector, budget_bits),
+            Codec::Fpc | Codec::Bdi => self.compressed_bits(sector) <= budget_bits,
+        }
+    }
+
     /// Whether the sector fits the 22-byte CAVA payload budget.
     pub fn fits_cava(self, sector: &[u8; 32]) -> bool {
-        self.compressed_bits(sector) <= embed::PAYLOAD_BITS
+        self.fits_within(sector, embed::PAYLOAD_BITS)
     }
 
     /// All codecs, paper's choice first.

@@ -63,6 +63,13 @@ pub const ZERO_DELTA_SCHEDULE: &str = "zero-delta-schedule";
 /// and usually means an early return skipped the close; the engine keeps
 /// every pair in one function so this is statically checkable.
 pub const PROBE_SPAN_BALANCE: &str = "probe-span-balance";
+/// Rule id: direct references to shared-domain types (walkers, DRAM,
+/// UVM) from shard-domain modules. Under the sharded calendar, SM-side
+/// code (`sm.rs`, `cache.rs`, `tlb.rs`) runs inside a bounded-lag window
+/// and may only reach the shared domain through scheduled events — a
+/// direct struct access would read state from a different logical time
+/// and silently break the shards-1/2/4/8 digest parity gate.
+pub const SHARD_SHARED_STATE: &str = "shard-shared-state";
 
 /// Minimum length for an `.expect("…")` message in hot crates; anything
 /// shorter cannot plausibly name the violated invariant.
@@ -72,6 +79,16 @@ pub const MIN_EXPECT_LEN: usize = 8;
 /// else in the bench crate routes timing through it or carries an
 /// explicit `lint:allow`.
 const TIMER_FILE: &str = "crates/bench/src/timer.rs";
+
+/// The shard-domain modules: code here executes inside a per-shard
+/// bounded-lag window, so it must never touch shared-domain structures
+/// directly (see [`SHARD_SHARED_STATE`]).
+const SHARD_DOMAIN_FILES: &[&str] =
+    &["crates/sim/src/sm.rs", "crates/sim/src/cache.rs", "crates/sim/src/tlb.rs"];
+
+/// Shared-domain type names whose mention in a shard-domain module is a
+/// cross-domain access hazard.
+const SHARED_DOMAIN_TYPES: &[&str] = &["PageWalkSystem", "PwCache", "Dram", "Uvm"];
 
 /// Static description of one lint rule (for `--list-rules` and JSON).
 pub struct RuleInfo {
@@ -129,6 +146,11 @@ pub const RULES: &[RuleInfo] = &[
         id: PROBE_SPAN_BALANCE,
         scope: "sim, core",
         summary: "every probe .span_enter( must have a matching .span_exit( in the same function (an unclosed span corrupts trace nesting)",
+    },
+    RuleInfo {
+        id: SHARD_SHARED_STATE,
+        scope: "sim shard-domain modules (sm.rs, cache.rs, tlb.rs)",
+        summary: "no direct shared-domain access (PageWalkSystem/PwCache/Dram/Uvm) from shard-domain modules; cross-domain work goes through scheduled events (DESIGN.md \u{a7}11)",
     },
 ];
 
@@ -643,6 +665,31 @@ pub fn lint_source(rel: &str, source: &str, cfg: &Config, out: &mut Vec<Finding>
         }
     }
 
+    // shard-shared-state: scoped to the shard-domain file list, not a
+    // whole crate — walker/dram/uvm themselves legitimately name these
+    // types, and engine.rs is the one sanctioned bridge between domains.
+    if SHARD_DOMAIN_FILES.contains(&rel) {
+        for (idx, cl) in code.iter().enumerate() {
+            if is_test[idx] {
+                continue;
+            }
+            for tok in SHARED_DOMAIN_TYPES {
+                if find_token(cl, tok).is_some() {
+                    emit(
+                        SHARD_SHARED_STATE,
+                        idx + 1,
+                        format!(
+                            "shared-domain type `{tok}` referenced from a shard-domain module; \
+                             under bounded-lag sharding, cross-domain work must go through \
+                             scheduled events, never direct struct access"
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
     if hot {
         for (line, message) in float_stats_findings(&code, &is_test) {
             emit(FLOAT_STATS, line, message);
@@ -1038,6 +1085,40 @@ mod tests {
         // Cold crates are out of scope.
         let bad = "//! Doc.\nfn f(&mut self) { self.probe.span_enter(p, t, 0); }\n";
         assert!(findings("crates/bench/src/x.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn shard_shared_state_scopes_to_shard_domain_files() {
+        let bad = "//! Doc.\nfn f(w: &mut crate::walker::PageWalkSystem) { w.tick(); }\n";
+        // Fires in each shard-domain module...
+        for file in ["crates/sim/src/sm.rs", "crates/sim/src/cache.rs", "crates/sim/src/tlb.rs"] {
+            let f = findings(file, bad);
+            assert_eq!(f.len(), 1, "must fire in {file}: {f:#?}");
+            assert_eq!(f[0].rule, SHARD_SHARED_STATE);
+            assert_eq!(f[0].line, 2);
+        }
+        // ...but not in the shared domain itself, the engine bridge, or
+        // other crates.
+        for file in
+            ["crates/sim/src/walker.rs", "crates/sim/src/engine.rs", "crates/core/src/x.rs"]
+        {
+            assert!(findings(file, bad).is_empty(), "false hit in {file}");
+        }
+        // Every shared-domain type name is covered; prefixed identifiers
+        // (DramConfig) are not boundary hits.
+        for tok in ["PwCache", "Dram", "Uvm"] {
+            let src = format!("//! Doc.\nfn f(x: &{tok}) {{ let _ = x; }}\n");
+            assert_eq!(findings("crates/sim/src/sm.rs", &src).len(), 1, "{tok} must fire");
+        }
+        let prefixed = "//! Doc.\nfn f(c: &crate::config::DramConfig) { let _ = c; }\n";
+        assert!(findings("crates/sim/src/sm.rs", prefixed).is_empty());
+        // Test blocks and lint:allow escape as usual.
+        let tested = "//! Doc.\n#[cfg(test)]\nmod tests {\n    fn f(w: &mut PageWalkSystem) { w.tick(); }\n}\n";
+        assert!(findings("crates/sim/src/sm.rs", tested).is_empty());
+        let escaped = "//! Doc.\n// lint:allow(shard-shared-state)\nfn f(w: &mut PageWalkSystem) { w.tick(); }\n";
+        let f = findings("crates/sim/src/sm.rs", escaped);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].allowed);
     }
 
     #[test]

@@ -84,6 +84,30 @@ fn probe_span_balance_golden() {
 }
 
 #[test]
+fn shard_shared_state_golden() {
+    // This rule is scoped to the shard-domain file *list*, not a crate,
+    // so the fixture is linted as if it were `crates/sim/src/sm.rs`.
+    let lint_as = |name: &str, rel: &str| -> Vec<Finding> {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+        let source = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+        let mut out = Vec::new();
+        lint_source(rel, &source, &Config::default(), &mut out);
+        out
+    };
+    let found = lint_as("shard_shared_state_violation.rs", "crates/sim/src/sm.rs");
+    assert_eq!(found.len(), 1, "exactly one seeded finding, got: {found:#?}");
+    assert_eq!(found[0].rule, "shard-shared-state");
+    assert_eq!(found[0].line, 5);
+    assert!(!found[0].allowed);
+    let clean = lint_as("shard_shared_state_clean.rs", "crates/sim/src/sm.rs");
+    assert!(clean.is_empty(), "clean twin must scan clean, got: {clean:#?}");
+    // Outside the shard-domain file list the violation is out of scope.
+    let elsewhere = lint_as("shard_shared_state_violation.rs", "crates/sim/src/walker.rs");
+    assert!(elsewhere.is_empty(), "rule fired outside shard-domain files: {elsewhere:#?}");
+}
+
+#[test]
 fn lint_allow_escape_downgrades_one_site() {
     let found = lint_fixture("escaped_site.rs");
     assert_eq!(found.len(), 1, "escape still reports the site: {found:#?}");

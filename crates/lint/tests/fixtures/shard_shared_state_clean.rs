@@ -1,0 +1,8 @@
+//! Fixture: the sanctioned shape — a shard-domain module requests
+//! shared-domain work by scheduling an event; the calendar's exchange
+//! rings deliver it at a deterministic point in the shared domain's
+//! own timeline.
+
+pub fn drain_walks(q: &mut crate::event::EventQueue<Ev>, now: u64) {
+    q.schedule(now + 1, Ev::WalkerTick);
+}

@@ -1,0 +1,7 @@
+//! Fixture: a shard-domain module reaching directly into shared-domain
+//! state — the read happens at the shard's local clock, which may lag or
+//! lead the shared domain by up to the bounded-lag window.
+
+pub fn drain_walks(walkers: &mut crate::walker::PageWalkSystem, now: u64) {
+    walkers.tick(now);
+}

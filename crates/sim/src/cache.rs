@@ -108,6 +108,27 @@ pub struct SectorCache {
     resident: usize,
 }
 
+/// Index of the first way in `tags` equal to `tag`, via a branchless
+/// 64-bit match mask: one compare-and-or per way, then a single
+/// `trailing_zeros`. The compiler vectorizes the mask loop where the
+/// early-exit scan it replaces defeated autovectorization; tags are
+/// unique within a set, so first-match == only-match and the result is
+/// identical to the linear scan. Sets wider than 64 ways (none in any
+/// shipped geometry) fall through to the next chunk.
+#[inline]
+fn match_way(tags: &[u64], tag: u64) -> Option<usize> {
+    for (chunk, ways) in tags.chunks(64).enumerate() {
+        let mut mask = 0u64;
+        for (i, &t) in ways.iter().enumerate() {
+            mask |= u64::from(t == tag) << i;
+        }
+        if mask != 0 {
+            return Some(chunk * 64 + mask.trailing_zeros() as usize);
+        }
+    }
+    None
+}
+
 impl SectorCache {
     /// Creates a cache with `lines` total 128B lines and `assoc` ways.
     ///
@@ -146,7 +167,7 @@ impl SectorCache {
         if self.tags[hint] == line_addr {
             return Some(hint);
         }
-        (base..base + self.assoc).find(|&w| self.tags[w] == line_addr)
+        match_way(&self.tags[base..base + self.assoc], line_addr).map(|i| base + i)
     }
 
     /// Records `w` as its set's most-recently-matched way.
@@ -201,25 +222,24 @@ impl SectorCache {
         self.stamp += 1;
         let stamp = self.stamp;
         let base = self.set_base(line_addr);
-        let mut empty = None;
-        for w in base..base + self.assoc {
-            if self.tags[w] == line_addr {
-                // A refill must not lose an earlier dirtying of the sector.
-                let old = (self.meta[w] >> shift) & 0xF;
-                let keep_dirty = old & (B_VALID | B_DIRTY) == (B_VALID | B_DIRTY);
-                let mut bits = flags.pack() | B_VALID;
-                if keep_dirty {
-                    bits |= B_DIRTY;
-                }
-                self.meta[w] = (self.meta[w] & !(0xF << shift)) | (bits << shift);
-                self.stamps[w] = stamp;
-                self.remember(w);
-                return None;
+        // Two batched mask scans (resident match, then first empty way)
+        // replace the fused early-exit loop: the masks vectorize, and the
+        // empty scan only runs on the miss path.
+        if let Some(i) = match_way(&self.tags[base..base + self.assoc], line_addr) {
+            let w = base + i;
+            // A refill must not lose an earlier dirtying of the sector.
+            let old = (self.meta[w] >> shift) & 0xF;
+            let keep_dirty = old & (B_VALID | B_DIRTY) == (B_VALID | B_DIRTY);
+            let mut bits = flags.pack() | B_VALID;
+            if keep_dirty {
+                bits |= B_DIRTY;
             }
-            if empty.is_none() && self.tags[w] == TAG_EMPTY {
-                empty = Some(w);
-            }
+            self.meta[w] = (self.meta[w] & !(0xF << shift)) | (bits << shift);
+            self.stamps[w] = stamp;
+            self.remember(w);
+            return None;
         }
+        let empty = match_way(&self.tags[base..base + self.assoc], TAG_EMPTY).map(|i| base + i);
         let (w, evicted) = match empty {
             Some(w) => {
                 self.resident += 1;
@@ -510,6 +530,27 @@ mod tests {
             }
             c.audit_invariants();
         }
+    }
+
+    #[test]
+    fn batched_match_agrees_with_linear_scan() {
+        // The mask compare must be a drop-in for the early-exit scan it
+        // replaced, including first-match tie-breaking and >64-way sets.
+        let cases: &[(&[u64], u64)] = &[
+            (&[], 5),
+            (&[1, 2, 3], 9),
+            (&[1, 2, 3], 1),
+            (&[1, 2, 3], 3),
+            (&[TAG_EMPTY, 7, TAG_EMPTY], TAG_EMPTY),
+        ];
+        for &(tags, tag) in cases {
+            assert_eq!(match_way(tags, tag), tags.iter().position(|&t| t == tag));
+        }
+        // Match beyond the first 64-way chunk.
+        let mut wide = vec![0u64; 70];
+        wide[67] = 42;
+        assert_eq!(match_way(&wide, 42), Some(67));
+        assert_eq!(match_way(&wide, 0), Some(0));
     }
 
     #[test]

@@ -203,6 +203,18 @@ pub struct GpuConfig {
     /// property). Defaults to on; set `AVATAR_NO_FASTPATH=1` to default it
     /// off for debugging.
     pub inline_hit_path: bool,
+    /// SM shard groups for the bounded-lag sharded calendar (host-side
+    /// structure knob; simulated behaviour — and `Stats::digest()` — is
+    /// identical for every shard count, a CI-enforced property). 1 keeps
+    /// the classic single-calendar path. Values above `num_sms` are
+    /// clamped by the engine. Defaults to 1; set `AVATAR_SHARDS=<n>` to
+    /// default it differently.
+    pub shards: usize,
+    /// Bounded-lag window span in cycles for the sharded calendar
+    /// (`None` derives the minimum cross-domain latency: the smaller of
+    /// `l2_tlb.latency` and `l2_cache.latency`). Ignored when `shards`
+    /// is 1.
+    pub lookahead: Option<Cycle>,
 }
 
 impl Default for GpuConfig {
@@ -288,6 +300,13 @@ impl Default for GpuConfig {
             fast_forward: true,
             // Read once at config construction, never on the event path.
             inline_hit_path: std::env::var_os("AVATAR_NO_FASTPATH").is_none(),
+            // Read once at config construction, never on the event path.
+            shards: std::env::var("AVATAR_SHARDS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(1),
+            lookahead: None,
         }
     }
 }
@@ -304,6 +323,16 @@ impl GpuConfig {
     /// fail loudly at configuration time instead of as simulation bugs.
     pub fn builder() -> GpuConfigBuilder {
         GpuConfigBuilder { cfg: GpuConfig::default() }
+    }
+
+    /// The bounded-lag window span the sharded calendar will use: the
+    /// explicit `lookahead` knob, else the minimum cross-domain latency
+    /// (a shard's earliest echo from the shared domain is an L2 TLB or
+    /// L2 cache response), never below 1 cycle.
+    pub fn effective_lookahead(&self) -> Cycle {
+        self.lookahead
+            .unwrap_or_else(|| self.l2_tlb.latency.min(self.l2_cache.latency))
+            .max(1)
     }
 
     /// GPU memory capacity in 4KB frames.
@@ -417,6 +446,12 @@ impl GpuConfig {
         if self.spec.mod_entries == 0 {
             return fail("spec.mod_entries must be at least 1".into());
         }
+        if self.shards == 0 {
+            return fail("shards must be at least 1 (1 = single calendar)".into());
+        }
+        if self.lookahead == Some(0) {
+            return fail("lookahead must be at least 1 cycle (or None to derive it)".into());
+        }
         Ok(())
     }
 }
@@ -495,6 +530,20 @@ impl GpuConfigBuilder {
     /// Inline hit fast path (host-side speed knob).
     pub fn inline_hit_path(mut self, on: bool) -> Self {
         self.cfg.inline_hit_path = on;
+        self
+    }
+
+    /// SM shard groups for the bounded-lag sharded calendar (host-side
+    /// structure knob; 1 = classic single calendar).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.cfg.shards = n;
+        self
+    }
+
+    /// Bounded-lag window span in cycles (must be at least 1; see
+    /// [`GpuConfig::effective_lookahead`] for the derived default).
+    pub fn lookahead(mut self, cycles: Cycle) -> Self {
+        self.cfg.lookahead = Some(cycles);
         self
     }
 
@@ -606,7 +655,7 @@ mod tests {
 
     #[test]
     fn builder_rejects_impossible_geometries() {
-        let cases: [(&str, GpuConfigBuilder); 7] = [
+        let cases: [(&str, GpuConfigBuilder); 9] = [
             ("zero SMs", GpuConfig::builder().num_sms(0)),
             ("zero warps", GpuConfig::builder().warps_per_sm(0)),
             ("tenants over SMs", GpuConfig::builder().num_sms(4).tenants(5)),
@@ -615,6 +664,8 @@ mod tests {
             ("walkers over buffer", GpuConfig::builder().walker(|w| w.buffer_entries = 4)),
             ("probability out of range", GpuConfig::builder().uvm(|u| u.fragmentation = 1.5)),
             ("zero migration threshold", GpuConfig::builder().uvm(|u| u.migration_threshold = 0)),
+            ("zero shards", GpuConfig::builder().shards(0)),
+            ("zero lookahead", GpuConfig::builder().lookahead(0)),
         ];
         for (what, builder) in cases {
             assert!(builder.build().is_err(), "validate accepted {what}");

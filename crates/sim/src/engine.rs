@@ -11,7 +11,7 @@ use crate::addr::{translate, PhysAddr, Ppn, VirtAddr, Vpn, SECTOR_BYTES};
 use crate::cache::{Probe, SectorCache, SectorFlags};
 use crate::config::{Cycle, GpuConfig};
 use crate::dram::{Dram, DramOp};
-use crate::event::EventQueue;
+use crate::event::{Domain, ShardRoutable, ShardedCalendar};
 use crate::hooks::{
     FetchedSector, PageMeta, SectorCompression, SpecFillAction, SpecFillContext, TranslationAccel,
     ValidationKind,
@@ -19,8 +19,8 @@ use crate::hooks::{
 use crate::page_table::PT_BASE;
 use crate::port::{MshrFile, MshrGrant, Ports};
 use crate::probe::{Phase, SpanPoint, Track};
-use crate::reqslab::{ReqId, ReqSlab};
-use crate::sm::{coalesce_into, SmState, WarpOp, WarpProgram, WarpState};
+use crate::reqslab::{ReqId, ShardedReqSlab};
+use crate::sm::{coalesce_into, shard_of, SmState, WarpOp, WarpProgram, WarpState};
 use crate::stats::{CoverageBucket, SpecOutcome, Stats};
 use crate::tlb::{TlbFill, TlbModel};
 use crate::uvm::Uvm;
@@ -112,10 +112,34 @@ enum Ev {
     FastComplete { sm: u32, warp: u32, last: bool },
 }
 
+impl ShardRoutable for Ev {
+    fn domain(&self, shards: u32, num_sms: u32) -> Domain {
+        match *self {
+            // SM-keyed events: warp issue, L1 fills, and fast-path
+            // completions run against one SM's warps/L1 structures.
+            Ev::WarpIssue { sm, .. } | Ev::L1Fill { sm, .. } | Ev::FastComplete { sm, .. } => {
+                Domain::Shard(sm * shards / num_sms)
+            }
+            // Request-carrying events: the owning shard rides in the
+            // ReqId's tag bits, so routing needs no slab lookup.
+            Ev::L1TlbResult { req }
+            | Ev::SpecL1Result { req }
+            | Ev::L1Result { req }
+            | Ev::RemoteDone { req } => Domain::Shard(req.shard() as u32),
+            // Shared-hierarchy events: L2 TLB, walker steps, L2 cache,
+            // and DRAM completions.
+            Ev::L2TlbResult { .. }
+            | Ev::WalkL2 { .. }
+            | Ev::L2Access { .. }
+            | Ev::DramDone { .. } => Domain::Shared,
+        }
+    }
+}
+
 /// The assembled system: all hardware structures plus the plugged policies.
 pub struct Engine<'a> {
     cfg: GpuConfig,
-    q: EventQueue<Ev>,
+    q: ShardedCalendar<Ev>,
     sms: Vec<SmState>,
     l1_tlbs: Vec<Box<dyn TlbModel>>,
     l2_tlb: Box<dyn TlbModel>,
@@ -134,7 +158,7 @@ pub struct Engine<'a> {
     program: Box<dyn WarpProgram + 'a>,
     stats: Stats,
 
-    reqs: ReqSlab<MemReq>,
+    reqs: ShardedReqSlab<MemReq>,
     l1_tlb_mshrs: Vec<MshrFile<u64, ReqId>>,
     // Per-SM retry queues: the outer Vec is fixed at SM count and the
     // inner ones are drained every retry event, so this never becomes a
@@ -207,8 +231,12 @@ impl<'a> Engine<'a> {
         let uvms: Vec<Uvm> = (0..cfg.tenants)
             .map(|t| Uvm::for_tenant(uvm_cfg.clone(), cfg.seed, t))
             .collect();
-        let mut q = EventQueue::new();
+        // The shard count is a host-side structure knob: the calendar
+        // clamps it to the SM count, and the simulated event order (and
+        // digest) is identical for every value by construction.
+        let mut q = ShardedCalendar::new(cfg.shards, n, cfg.effective_lookahead());
         q.set_fast_forward(cfg.fast_forward);
+        let shards = q.shards();
         Engine {
             q,
             sms: (0..n).map(|_| SmState::new(cfg.warps_per_sm)).collect(),
@@ -227,7 +255,7 @@ impl<'a> Engine<'a> {
             compression,
             program,
             stats: Stats::default(),
-            reqs: ReqSlab::new(),
+            reqs: ShardedReqSlab::new(shards),
             l1_tlb_mshrs: (0..n).map(|_| MshrFile::new(cfg.l1_tlb.mshr_entries)).collect(),
             tlb_overflow: vec![Vec::new(); n],
             l2_tlb_mshr: MshrFile::new(cfg.l2_tlb.mshr_entries),
@@ -282,6 +310,16 @@ impl<'a> Engine<'a> {
     /// [`Engine::run`] finishes.
     #[cfg(feature = "probes")]
     pub fn attach_probe(&mut self, sink: Box<dyn crate::probe::Probe>, warp_sample: u32) {
+        // Under a sharded calendar, group spans into per-shard streams
+        // and merge them in shard order at export, so the trace layout
+        // follows the domain partition (and stays a pure function of
+        // the deterministic pop sequence).
+        let shards = self.q.shards();
+        let sink = if shards > 1 {
+            Box::new(crate::probe::ShardMergeProbe::new(sink, shards, self.cfg.num_sms))
+        } else {
+            sink
+        };
         self.probe.attach(sink, warp_sample);
     }
 
@@ -441,6 +479,12 @@ impl<'a> Engine<'a> {
         sm as usize * self.cfg.warps_per_sm + warp as usize
     }
 
+    /// The calendar shard owning an SM (0 for everything when the
+    /// calendar is unsharded).
+    fn shard_for_sm(&self, sm: u32) -> usize {
+        shard_of(sm as usize, self.q.shards(), self.cfg.num_sms)
+    }
+
     /// The tenant an SM belongs to (contiguous spatial partitioning).
     fn tenant_of_sm(&self, sm: u32) -> usize {
         sm as usize * self.cfg.tenants / self.cfg.num_sms
@@ -518,6 +562,16 @@ impl<'a> Engine<'a> {
         self.stats.cycles = now;
         self.stats.idle_cycles_skipped = self.q.idle_cycles_skipped();
         self.stats.stall_cycles = self.sms.iter().map(|s| s.stall_cycles).sum();
+        // Sharded-calendar structure counters (all zero — and the event
+        // vector empty — on the single-calendar path). Digest-excluded:
+        // they describe how the host advanced the calendar, not what the
+        // simulated GPU did.
+        self.stats.horizon_barriers = self.q.horizon_barriers();
+        self.stats.horizon_stalls = self.q.horizon_stalls();
+        self.stats.exchange_enqueued = self.q.exchange_enqueued();
+        self.stats.exchange_dequeued = self.q.exchange_dequeued();
+        self.stats.exchange_bypass = self.q.exchange_bypass();
+        self.stats.shard_events = self.q.domain_event_counts().to_vec();
         self.stats.dram_read_bytes = self.dram.read_bytes;
         self.stats.dram_write_bytes = self.dram.write_bytes;
         self.stats.dram_row_hits = self.dram.row_hits;
@@ -647,9 +701,10 @@ impl<'a> Engine<'a> {
                     self.fast_path_commit(now, sm, warp, is_store, &sectors);
                     self.warp_outstanding[slot] = 0;
                 } else {
+                    let shard = self.shard_for_sm(sm);
                     for &vaddr in &sectors {
                         self.stats.sector_requests += 1;
-                        let id = self.reqs.insert(MemReq {
+                        let id = self.reqs.insert(shard, MemReq {
                             sm,
                             warp,
                             pc,
@@ -2032,7 +2087,34 @@ impl<'a> Engine<'a> {
                 r.refs > 0,
                 "live request {id:?} is unreachable: no event or waiter references it"
             );
+            // Per-shard slab accounting: a request must live in the bank
+            // of the shard that owns its SM, or request-carrying events
+            // would route to a domain whose handler state is foreign.
+            assert_eq!(
+                id.shard(),
+                self.shard_for_sm(r.sm),
+                "request {id:?} for SM {} stored in the wrong shard bank",
+                r.sm
+            );
         });
+
+        // Per-shard slab accounting: one bank per calendar shard domain,
+        // and each bank's live count must match the requests actually
+        // tagged with that shard.
+        assert_eq!(
+            self.reqs.banks(),
+            self.q.shards(),
+            "request banks out of step with calendar shard domains"
+        );
+        let mut per_bank = vec![0usize; self.reqs.banks()];
+        self.reqs.for_each(|id, _| per_bank[id.shard()] += 1);
+        for (shard, &n) in per_bank.iter().enumerate() {
+            assert_eq!(
+                self.reqs.bank_len(shard),
+                n,
+                "shard {shard} bank length disagrees with its live requests"
+            );
+        }
     }
 
     /// Deliberately corrupts the event calendar's free list so checked-mode
@@ -2040,5 +2122,13 @@ impl<'a> Engine<'a> {
     #[cfg(feature = "invariants")]
     pub fn corrupt_event_queue_for_test(&mut self) {
         self.q.corrupt_free_list_for_test();
+    }
+
+    /// Deliberately unbalances the sharded calendar's exchange-queue
+    /// conservation counters (slab corruption on the single-calendar
+    /// path), the sharded audit's negative-test hook.
+    #[cfg(feature = "invariants")]
+    pub fn corrupt_exchange_for_test(&mut self) {
+        self.q.corrupt_exchange_for_test();
     }
 }

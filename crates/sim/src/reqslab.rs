@@ -21,11 +21,29 @@ pub struct ReqId {
     gen: u32,
 }
 
+/// Bit position of the shard tag inside [`ReqId::slot`]: the low 24 bits
+/// index a slot within one shard's bank (16M in-flight requests per
+/// shard, orders of magnitude above any real peak), the high 8 bits name
+/// the owning shard. Shard 0 tags are all-zero, so single-shard runs mint
+/// byte-identical ids to the pre-sharding slab.
+const SHARD_SHIFT: u32 = 24;
+/// Mask selecting the intra-bank slot index.
+const SHARD_MASK: u32 = (1 << SHARD_SHIFT) - 1;
+
 impl ReqId {
     /// Slot index (stable for the lifetime of the allocation; reused —
-    /// under a new generation — after the request is freed).
+    /// under a new generation — after the request is freed). For ids
+    /// minted by a [`ShardedReqSlab`] this includes the shard tag in the
+    /// high bits, keeping the id unique across banks.
     pub fn slot(self) -> u32 {
         self.slot
+    }
+
+    /// The shard whose bank minted this id (0 for a plain [`ReqSlab`]),
+    /// letting the calendar route a request-carrying event to its owning
+    /// shard without a slab lookup.
+    pub fn shard(self) -> usize {
+        (self.slot >> SHARD_SHIFT) as usize
     }
 }
 
@@ -157,6 +175,101 @@ impl<T> ReqSlab<T> {
     }
 }
 
+/// Per-shard request banks behind one id space: bank `s` serves shard
+/// `s`, and every minted [`ReqId`] carries its shard in the high slot
+/// bits (see [`SHARD_SHIFT`]). Lookups untag and forward, so the engine
+/// keeps a single `reqs` field regardless of shard count — and with one
+/// bank the ids (and therefore anything keyed on [`ReqId::slot`], like
+/// request traces) are byte-identical to the pre-sharding [`ReqSlab`].
+#[derive(Debug, Clone)]
+pub struct ShardedReqSlab<T> {
+    banks: Vec<ReqSlab<T>>,
+}
+
+impl<T> ShardedReqSlab<T> {
+    /// Creates a slab with one bank per shard.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "at least one bank required");
+        assert!(
+            shards <= 1 << (32 - SHARD_SHIFT),
+            "shard count {shards} does not fit the ReqId tag"
+        );
+        Self { banks: (0..shards).map(|_| ReqSlab::new()).collect() }
+    }
+
+    /// Allocates a slot in `shard`'s bank, returning a shard-tagged id.
+    pub fn insert(&mut self, shard: usize, val: T) -> ReqId {
+        let id = self.banks[shard].insert(val);
+        debug_assert!(id.slot <= SHARD_MASK, "bank {shard} overflowed the slot tag space");
+        ReqId { slot: (shard as u32) << SHARD_SHIFT | id.slot, gen: id.gen }
+    }
+
+    #[inline]
+    fn untag(id: ReqId) -> (usize, ReqId) {
+        ((id.slot >> SHARD_SHIFT) as usize, ReqId { slot: id.slot & SHARD_MASK, gen: id.gen })
+    }
+
+    /// The payload for `id`, or `None` if the id is stale.
+    pub fn get(&self, id: ReqId) -> Option<&T> {
+        let (bank, inner) = Self::untag(id);
+        self.banks.get(bank)?.get(inner)
+    }
+
+    /// Mutable payload access; `None` on a stale id.
+    pub fn get_mut(&mut self, id: ReqId) -> Option<&mut T> {
+        let (bank, inner) = Self::untag(id);
+        self.banks.get_mut(bank)?.get_mut(inner)
+    }
+
+    /// Frees the slot for `id`, returning its payload (`None` if stale).
+    pub fn remove(&mut self, id: ReqId) -> Option<T> {
+        let (bank, inner) = Self::untag(id);
+        self.banks.get_mut(bank)?.remove(inner)
+    }
+
+    /// Live payloads across every bank.
+    pub fn len(&self) -> usize {
+        self.banks.iter().map(ReqSlab::len).sum()
+    }
+
+    /// Whether no payload is live in any bank.
+    pub fn is_empty(&self) -> bool {
+        self.banks.iter().all(ReqSlab::is_empty)
+    }
+
+    /// Live payloads in `shard`'s bank (per-shard slab accounting).
+    pub fn bank_len(&self, shard: usize) -> usize {
+        self.banks[shard].len()
+    }
+
+    /// Number of banks (== shard count).
+    pub fn banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Visits every live payload with its shard-tagged id, banks in
+    /// shard order, slots in index order within a bank. Read-only.
+    pub fn for_each(&self, mut f: impl FnMut(ReqId, &T)) {
+        for (shard, bank) in self.banks.iter().enumerate() {
+            bank.for_each(|inner, v| {
+                f(ReqId { slot: (shard as u32) << SHARD_SHIFT | inner.slot, gen: inner.gen }, v)
+            });
+        }
+    }
+
+    /// Audits every bank's slab consistency (see
+    /// [`ReqSlab::audit_invariants`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn audit_invariants(&self) {
+        for bank in &self.banks {
+            bank.audit_invariants();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +345,62 @@ mod tests {
         s.for_each(|id, v| seen.push((id.slot(), *v)));
         assert_eq!(seen, vec![(1, 20), (2, 30)]);
         assert!(s.get(c).is_some());
+    }
+
+    #[test]
+    fn sharded_ids_carry_their_bank_and_stay_unique() {
+        let mut s: ShardedReqSlab<u32> = ShardedReqSlab::new(4);
+        let a = s.insert(0, 10);
+        let b = s.insert(3, 20);
+        let c = s.insert(3, 30);
+        assert_eq!(a.shard(), 0);
+        assert_eq!(b.shard(), 3);
+        // Same intra-bank slot index, different banks → different ids.
+        assert_eq!(a.slot() & SHARD_MASK, b.slot() & SHARD_MASK);
+        assert_ne!(a.slot(), b.slot());
+        assert_eq!(s.get(a), Some(&10));
+        assert_eq!(s.get(b), Some(&20));
+        assert_eq!(s.get(c), Some(&30));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.bank_len(3), 2);
+        assert_eq!(s.remove(b), Some(20));
+        assert_eq!(s.get(b), None, "stale sharded id must miss");
+        assert_eq!(s.bank_len(3), 1);
+        s.audit_invariants();
+    }
+
+    #[test]
+    fn single_bank_ids_match_the_plain_slab() {
+        // shards == 1 must mint byte-identical ids to ReqSlab, so the
+        // serial path (and anything keyed on slot(), like traces) is
+        // unchanged by the sharded wrapper.
+        let mut sharded: ShardedReqSlab<u32> = ShardedReqSlab::new(1);
+        let mut plain: ReqSlab<u32> = ReqSlab::new();
+        let mut ids = Vec::new();
+        for i in 0..100 {
+            let a = sharded.insert(0, i);
+            let b = plain.insert(i);
+            assert_eq!(a, b);
+            ids.push(a);
+            if i % 3 == 0 {
+                let victim = ids.remove(ids.len() / 2);
+                assert_eq!(sharded.remove(victim), plain.remove(victim));
+            }
+        }
+        assert_eq!(sharded.len(), plain.len());
+    }
+
+    #[test]
+    fn sharded_for_each_visits_banks_in_shard_order() {
+        let mut s: ShardedReqSlab<u32> = ShardedReqSlab::new(3);
+        let a = s.insert(2, 1);
+        let b = s.insert(0, 2);
+        let c = s.insert(1, 3);
+        s.remove(c);
+        let mut seen = Vec::new();
+        s.for_each(|id, v| seen.push((id.shard(), *v)));
+        assert_eq!(seen, vec![(0, 2), (2, 1)]);
+        assert!(s.get(a).is_some() && s.get(b).is_some());
     }
 
     #[test]

@@ -59,6 +59,16 @@ pub fn coalesce_into(addrs: &[VirtAddr], out: &mut Vec<VirtAddr>) {
     }
 }
 
+/// The shard group owning SM `sm` when `num_sms` SMs are partitioned
+/// into `shards` contiguous groups (the sharded calendar's SM→domain
+/// map). Balanced to within one SM and monotone in `sm`, so shard
+/// domains always cover contiguous SM ranges.
+pub fn shard_of(sm: usize, shards: usize, num_sms: usize) -> usize {
+    debug_assert!(sm < num_sms, "SM {sm} out of range for {num_sms} SMs");
+    debug_assert!(shards >= 1 && shards <= num_sms);
+    sm * shards / num_sms
+}
+
 /// Execution state of one warp slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WarpState {
@@ -178,6 +188,24 @@ mod tests {
         let addrs = vec![VirtAddr(100), VirtAddr(0), VirtAddr(101)];
         let sectors = coalesce(&addrs);
         assert_eq!(sectors, vec![VirtAddr(96), VirtAddr(0)]);
+    }
+
+    #[test]
+    fn shard_of_partitions_contiguously_and_covers_every_shard() {
+        for &(shards, num_sms) in &[(1usize, 46usize), (2, 46), (4, 46), (8, 46), (4, 4), (3, 8)] {
+            let mut seen = vec![0usize; shards];
+            let mut prev = 0;
+            for sm in 0..num_sms {
+                let s = shard_of(sm, shards, num_sms);
+                assert!(s < shards, "shard {s} out of range");
+                assert!(s >= prev, "shard map must be monotone in SM id");
+                prev = s;
+                seen[s] += 1;
+            }
+            assert!(seen.iter().all(|&n| n > 0), "{shards}/{num_sms}: empty shard");
+            let (min, max) = (seen.iter().min().unwrap(), seen.iter().max().unwrap());
+            assert!(max - min <= 1, "{shards}/{num_sms}: unbalanced split {seen:?}");
+        }
     }
 
     #[test]

@@ -312,6 +312,28 @@ pub struct Stats {
     /// Log2 histogram of DRAM service times, arrival to data return
     /// (`probes` feature; empty otherwise).
     pub dram_service_hist: Histogram,
+
+    // --- Sharded-calendar structure counters (DESIGN.md §11) --------
+    // Describe how the host advanced the calendar, not what the
+    // simulated GPU did, so — like the probe-fed fields above — they
+    // are EXCLUDED from `digest()`: the shards-1/2/4/8 parity gate
+    // pins the digest identical across shard counts, and these
+    // counters necessarily differ. All zero (and `shard_events`
+    // empty) on the single-calendar path.
+    /// Horizon barriers taken by the sharded calendar.
+    pub horizon_barriers: u64,
+    /// Times a non-empty shard domain was held at a horizon barrier.
+    pub horizon_stalls: u64,
+    /// Cross-domain events staged through the exchange rings.
+    pub exchange_enqueued: u64,
+    /// Exchange-ring events delivered at horizon barriers.
+    pub exchange_dequeued: u64,
+    /// Cross-domain events under the horizon delivered directly
+    /// (sub-lookahead edges bypass the rings).
+    pub exchange_bypass: u64,
+    /// Events dispatched per calendar domain (shard domains in index
+    /// order, then the shared domain last).
+    pub shard_events: Vec<u64>,
 }
 
 /// Per-outcome counters for Fig 16.
@@ -602,6 +624,24 @@ mod tests {
         s.queue_latency_hist.add(3);
         s.dram_service_hist.add(250);
         assert_eq!(base, s.digest(), "probe-fed fields leaked into the digest");
+    }
+
+    #[test]
+    fn digest_excludes_shard_structure_counters() {
+        // The shards-1/2/4/8 parity gate pins digests identical across
+        // shard counts; the calendar-structure counters necessarily
+        // differ, so they must never reach the digest.
+        let base = Stats::default().digest();
+        let s = Stats {
+            horizon_barriers: 12,
+            horizon_stalls: 3,
+            exchange_enqueued: 40,
+            exchange_dequeued: 38,
+            exchange_bypass: 7,
+            shard_events: vec![100, 200, 50],
+            ..Stats::default()
+        };
+        assert_eq!(base, s.digest(), "shard-structure counters leaked into the digest");
     }
 
     #[test]

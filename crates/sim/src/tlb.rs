@@ -146,6 +146,29 @@ pub(crate) struct EntryArray {
     hints: Vec<u32>,
 }
 
+/// First way index in `0..n` satisfying `pred`, via 64-wide branchless
+/// match masks: each chunk builds a bitmask with one compare-and-or per
+/// way, then takes a single `trailing_zeros`. The mask loop vectorizes
+/// where the early-exit scan it replaces defeated autovectorization —
+/// fully associative arrays (the L2 TLB scans hundreds of ways per
+/// lookup) are the win. First-match order is preserved exactly.
+#[inline]
+fn mask_scan(n: usize, mut pred: impl FnMut(usize) -> bool) -> Option<usize> {
+    let mut w = 0;
+    while w < n {
+        let lim = (n - w).min(64);
+        let mut mask = 0u64;
+        for i in 0..lim {
+            mask |= u64::from(pred(w + i)) << i;
+        }
+        if mask != 0 {
+            return Some(w + mask.trailing_zeros() as usize);
+        }
+        w += lim;
+    }
+    None
+}
+
 impl EntryArray {
     pub(crate) fn new(entries: usize, assoc: usize, index_pages: u64) -> Self {
         let (nsets, ways) = if assoc == 0 || assoc >= entries {
@@ -207,7 +230,8 @@ impl EntryArray {
         if Self::covers(self.vpns[hint], self.spans[hint], vpn) {
             return Some(hint);
         }
-        (base..base + self.ways).find(|&w| Self::covers(self.vpns[w], self.spans[w], vpn))
+        mask_scan(self.ways, |i| Self::covers(self.vpns[base + i], self.spans[base + i], vpn))
+            .map(|i| base + i)
     }
 
     fn lookup(&mut self, vpn: u64) -> Option<TlbHit> {
@@ -227,17 +251,18 @@ impl EntryArray {
         self.stamp += 1;
         let stamp = self.stamp;
         let base = self.set_base(vpn);
-        let mut empty = None;
-        for w in base..base + self.ways {
-            if self.vpns[w] == vpn && self.spans[w] == pages {
-                self.ppns[w] = ppn;
-                self.stamps[w] = stamp;
-                return;
-            }
-            if empty.is_none() && self.vpns[w] == VPN_EMPTY {
-                empty = Some(w);
-            }
+        // Two batched scans (exact-entry refresh, then first empty way)
+        // replace the fused early-exit loop; the empty scan only runs on
+        // the install path.
+        if let Some(i) =
+            mask_scan(self.ways, |i| self.vpns[base + i] == vpn && self.spans[base + i] == pages)
+        {
+            let w = base + i;
+            self.ppns[w] = ppn;
+            self.stamps[w] = stamp;
+            return;
         }
+        let empty = mask_scan(self.ways, |i| self.vpns[base + i] == VPN_EMPTY).map(|i| base + i);
         let w = match empty {
             Some(w) => {
                 self.live += 1;
@@ -542,6 +567,19 @@ mod tests {
         t.fill(&fill4k(3, 33));
         assert!(t.lookup(Vpn(1)).is_some());
         assert!(t.lookup(Vpn(2)).is_none());
+    }
+
+    #[test]
+    fn mask_scan_agrees_with_linear_scan() {
+        // The batched scan must be a drop-in for `(0..n).find(pred)`,
+        // including first-match tie-breaking and >64-way arrays.
+        let hits: &[&[usize]] = &[&[], &[0], &[2], &[1, 5], &[63], &[64], &[67, 69], &[0, 130]];
+        for &set in hits {
+            for n in [0usize, 1, 3, 64, 65, 130, 131] {
+                let pred = |i: usize| set.contains(&i);
+                assert_eq!(mask_scan(n, pred), (0..n).find(|&i| pred(i)), "hits {set:?}, n {n}");
+            }
+        }
     }
 
     #[test]

@@ -159,8 +159,9 @@ impl SectorCompression for ContentModel {
         if let Some(&hit) = self.memo.get(&sector_id) {
             return hit;
         }
-        let fits = self.codec.compressed_bits(&sector_bytes(&self.workload, sector_id))
-            <= PAYLOAD_BITS;
+        // Early-exit budget check: same verdict as sizing fully, but
+        // incompressible sectors stop scanning once the budget is blown.
+        let fits = self.codec.fits_within(&sector_bytes(&self.workload, sector_id), PAYLOAD_BITS);
         self.memo.insert(sector_id, fits);
         self.evaluated += 1;
         if fits {

@@ -7,10 +7,13 @@
 # path changes any simulated statistic (the on/off digest differential),
 # the observability layer changes any simulated statistic (probe-sink
 # differential + latency-conservation tests), the fig15 grid diverges
-# between the default, invariants, or probes-compiled-out builds, a
-# scenario cell panics during the throughput grid (the harness exits
-# non-zero on a failed cell), or single-thread events/sec — measured with
-# probes compiled out, the shipping hot path — regresses more than
+# between the default, invariants, or probes-compiled-out builds, the
+# sharded calendar changes any figure result (fig15 byte-diff at
+# --shards 4, plus the checked-mode suite re-run under AVATAR_SHARDS=4),
+# a scenario cell panics during the throughput grid (the harness exits
+# non-zero on a failed cell, and on any shard/thread digest divergence),
+# or single-thread events/sec — measured with probes compiled out and
+# shards 1, the shipping hot path — regresses more than
 # AVATAR_TP_TOLERANCE percent (default 2) below the checked-in
 # BENCH_throughput.json baseline.
 #
@@ -44,6 +47,13 @@ echo "== checked-mode invariants (audits + negative tests) =="
 cargo test -q -p avatar-sim --features invariants
 cargo test -q -p avatar-sim --features invariants,probes
 
+echo "== checked-mode invariants under the sharded calendar (AVATAR_SHARDS=4) =="
+# Every engine audit (slab accounting, exchange conservation, monotone
+# shard clocks) must also hold when the calendar defaults to four
+# domains; the suite's own digests are shard-invariant by the parity
+# gate, so any failure here is a sharding bug, not a flaky test.
+AVATAR_SHARDS=4 cargo test -q -p avatar-sim --features invariants
+
 echo "== observability differential + conservation gate (release) =="
 # Attaching a probe sink must change no simulated statistic, and the
 # per-phase latency breakdown must attribute every sector cycle exactly
@@ -62,8 +72,9 @@ echo "== invariants/probes builds must not perturb results (fig15 byte-diff) =="
 fig_default=$(mktemp /tmp/avatar-fig15-default.XXXXXX.json)
 fig_checked=$(mktemp /tmp/avatar-fig15-checked.XXXXXX.json)
 fig_noprobes=$(mktemp /tmp/avatar-fig15-noprobes.XXXXXX.json)
+fig_sharded=$(mktemp /tmp/avatar-fig15-sharded.XXXXXX.json)
 tp_json=$(mktemp /tmp/avatar-throughput.XXXXXX.json)
-trap 'rm -f "$fig_default" "$fig_checked" "$fig_noprobes" "$tp_json"' EXIT
+trap 'rm -f "$fig_default" "$fig_checked" "$fig_noprobes" "$fig_sharded" "$tp_json"' EXIT
 cargo run --release -q -p avatar-bench --bin fig15_performance -- --quick --json "$fig_default"
 cargo run --release -q -p avatar-bench --features invariants --bin fig15_performance -- --quick --json "$fig_checked"
 cargo run --release -q -p avatar-bench --no-default-features --bin fig15_performance -- --quick --json "$fig_noprobes"
@@ -76,6 +87,15 @@ if ! diff -q "$fig_default" "$fig_noprobes"; then
     exit 1
 fi
 
+echo "== sharded calendar must not perturb results (fig15 byte-diff at --shards 4) =="
+# The bounded-lag sharded calendar is a host-side structure knob: the
+# full figure grid must be byte-identical to the serial calendar's.
+cargo run --release -q -p avatar-bench --bin fig15_performance -- --quick --shards 4 --json "$fig_sharded"
+if ! diff -q "$fig_default" "$fig_sharded"; then
+    echo "SHARDING DIVERGENCE: fig15 JSON differs between --shards 4 and the serial calendar" >&2
+    exit 1
+fi
+
 echo "== throughput smoke + regression gate (--quick, probes compiled out) =="
 # The gate measures the shipping hot path: probes erased at compile time.
 # This is also what pins the tentpole's zero-overhead-when-off promise —
@@ -83,13 +103,15 @@ echo "== throughput smoke + regression gate (--quick, probes compiled out) =="
 # instrumentation leaked into the off path.
 cargo run --release -p avatar-bench --no-default-features --bin throughput -- --quick --json "$tp_json"
 
-# events/sec is measured on the single-thread pass; select the JSON entry
-# whose "threads" field is 1 rather than trusting entry order. Widen for
-# noisy shared runners with AVATAR_TP_TOLERANCE=<pct>.
+# events/sec is measured on the single-thread, single-shard pass; select
+# the JSON entry whose "threads" and "shards" fields are both 1 rather
+# than trusting entry order (the shard sweep also runs on one thread).
+# Widen for noisy shared runners with AVATAR_TP_TOLERANCE=<pct>.
 extract_eps() {
     awk -F': ' '
         /"threads"/ { v = $2; gsub(/,/, "", v); serial = (v == 1) }
-        serial && /"events_per_sec"/ { gsub(/,/, "", $2); print $2; exit }
+        /"shards"/  { v = $2; gsub(/,/, "", v); oneshard = (v == 1) }
+        serial && oneshard && /"events_per_sec"/ { gsub(/,/, "", $2); print $2; exit }
     ' "$1"
 }
 baseline_eps=$(extract_eps BENCH_throughput.json)
