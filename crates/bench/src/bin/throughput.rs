@@ -20,6 +20,14 @@
 //! divergence. Entries carry `scaling_measured: false` when the host has
 //! one CPU (or the pass is single-threaded) — scaling numbers from a
 //! serialized box are noise and the regression gate must not key on them.
+//! On a one-CPU host the 2/4/8-thread passes are skipped outright: they
+//! would re-measure the serial pass three times for numbers the gate
+//! already refuses to key on. The shard sweep still runs — shard-count
+//! digest parity is a correctness gate, not a scaling measurement.
+//!
+//! The result cache is pinned **off** before argument parsing: every
+//! number this harness reports is a wall-clock measurement, and a replay
+//! — from disk or a prior pass — would be reported as impossible speed.
 
 use avatar_bench::runner::{run_scenarios, Scenario, ScenarioResult};
 use avatar_bench::{obj, print_table, HarnessArgs};
@@ -119,6 +127,11 @@ struct Pass {
 }
 
 fn main() {
+    // Pin the result cache off before `parse` can install one: this
+    // harness measures wall time, and replayed cells would report as
+    // impossible throughput. First configuration wins, so `--cache` /
+    // AVATAR_CACHE cannot re-enable it here.
+    avatar_bench::cache::configure(None);
     let opts = HarnessArgs::parse();
     let n_cells = grid(&opts, None).len();
 
@@ -130,10 +143,21 @@ fn main() {
     let knobs = avatar_sim::config::GpuConfig::default();
     let base_shards = opts.shards.unwrap_or(knobs.shards);
 
+    // On a one-CPU host every multi-thread pass serializes into a repeat
+    // of the serial measurement; skip them (the scaling gate ignores
+    // them anyway) and keep only the measurement pass. The shard sweep
+    // below is a digest-parity gate and runs regardless.
     let mut passes: Vec<Pass> = THREAD_COUNTS
         .iter()
+        .filter(|&&threads| threads == 1 || cpus > 1)
         .map(|&threads| Pass { threads, shards: base_shards, tweak: opts.shards })
         .collect();
+    if cpus == 1 {
+        eprintln!(
+            "throughput: one-CPU host; skipping the {} multi-thread passes",
+            THREAD_COUNTS.len() - passes.len()
+        );
+    }
     passes.extend(
         SHARD_COUNTS.iter().map(|&n| Pass { threads: 1, shards: n, tweak: Some(n) }),
     );

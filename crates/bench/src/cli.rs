@@ -12,6 +12,10 @@
 //! * `--json <path>` — dump rows as machine-readable JSON
 //! * `--trace-out <path>` — Chrome-trace destination (`probes` builds;
 //!   falls back to the `AVATAR_TRACE_OUT` environment variable)
+//! * `--cache <dir>` / `--no-cache` — result-cache directory override /
+//!   kill switch. The cache is **on by default** (`AVATAR_CACHE` env,
+//!   else `target/avatar-cache`): repeat sweeps replay digest-verified
+//!   results instead of re-simulating — see [`crate::cache`].
 //!
 //! Binaries with bespoke flags declare them as [`ExtraFlag`]s; anything
 //! else is a **hard error**: the binary prints its usage text and exits
@@ -58,6 +62,11 @@ pub struct HarnessArgs {
     pub shards: Option<usize>,
     /// Chrome-trace destination (`--trace-out` / `AVATAR_TRACE_OUT`).
     pub trace_out: Option<PathBuf>,
+    /// Result-cache directory override (`--cache`); `None` falls back to
+    /// `AVATAR_CACHE`, then [`crate::cache::DEFAULT_DIR`].
+    pub cache_dir: Option<PathBuf>,
+    /// Disables the result cache entirely (`--no-cache`).
+    pub no_cache: bool,
     /// Values captured for declared [`ExtraFlag`]s, in occurrence order.
     extras: Vec<(&'static str, Option<String>)>,
 }
@@ -85,6 +94,8 @@ impl Default for HarnessArgs {
             threads: default_threads(),
             shards: None,
             trace_out: None,
+            cache_dir: None,
+            no_cache: false,
             extras: Vec::new(),
         }
     }
@@ -94,7 +105,8 @@ impl Default for HarnessArgs {
 pub fn usage(bin: &str, extras: &[ExtraFlag]) -> String {
     let mut s = format!(
         "usage: {bin} [--quick | --full] [--scale F] [--sms N] [--warps N]\n       \
-         [--threads N] [--shards N] [--seed N] [--json PATH] [--trace-out PATH]"
+         [--threads N] [--shards N] [--seed N] [--json PATH] [--trace-out PATH]\n       \
+         [--cache DIR | --no-cache]"
     );
     for e in extras {
         match e.value_name {
@@ -114,7 +126,11 @@ pub fn usage(bin: &str, extras: &[ExtraFlag]) -> String {
          --seed N           extra allocation seed (default 7)\n  \
          --json PATH        dump rows as JSON\n  \
          --trace-out PATH   write a Chrome/Perfetto trace (probes builds;\n                     \
-         env fallback: AVATAR_TRACE_OUT)",
+         env fallback: AVATAR_TRACE_OUT)\n  \
+         --cache DIR        result-cache directory (default: AVATAR_CACHE,\n                     \
+         else target/avatar-cache; repeat sweeps replay\n                     \
+         digest-verified results instead of re-simulating)\n  \
+         --no-cache         disable the result cache for this run",
     );
     for e in extras {
         let head = match e.value_name {
@@ -151,6 +167,7 @@ impl HarnessArgs {
                 if args.trace_out.is_none() {
                     args.trace_out = std::env::var_os("AVATAR_TRACE_OUT").map(PathBuf::from);
                 }
+                args.configure_cache();
                 args
             }
             Err(e) => {
@@ -206,6 +223,11 @@ impl HarnessArgs {
                     opts.trace_out =
                         Some(PathBuf::from(value::<String>("--trace-out", args.next())?))
                 }
+                "--cache" => {
+                    opts.cache_dir =
+                        Some(PathBuf::from(value::<String>("--cache", args.next())?))
+                }
+                "--no-cache" => opts.no_cache = true,
                 other => {
                     for e in extras {
                         if e.flag == other {
@@ -222,6 +244,26 @@ impl HarnessArgs {
             }
         }
         Ok(opts)
+    }
+
+    /// Installs the process-global result cache from the resolved
+    /// `--cache` / `--no-cache` / `AVATAR_CACHE` knobs (default: enabled
+    /// at [`crate::cache::DEFAULT_DIR`]). First configuration wins, so a
+    /// harness that must never replay cached results (the throughput
+    /// timing bin) pins the cache off by calling
+    /// `cache::configure(None)` *before* parsing.
+    pub fn configure_cache(&self) {
+        let cache = if self.no_cache {
+            None
+        } else {
+            let dir = self
+                .cache_dir
+                .clone()
+                .or_else(|| std::env::var_os("AVATAR_CACHE").map(PathBuf::from))
+                .unwrap_or_else(|| PathBuf::from(crate::cache::DEFAULT_DIR));
+            Some(crate::cache::ResultCache::new(dir))
+        };
+        crate::cache::configure(cache);
     }
 
     /// The captured value of a declared value-taking extra flag (last
@@ -270,8 +312,26 @@ impl HarnessArgs {
 
     /// Writes rows to an explicit path (used by harnesses with a default
     /// dump location, e.g. `throughput`).
+    ///
+    /// When the result cache is active, a trailing `"section": "cache"`
+    /// object records the process-wide hit/miss/memoized counters and
+    /// the wall time replays skipped, so a dump can never be quoted
+    /// without disclosing how much of it was replayed. CI's warm-sweep
+    /// gate strips this section (it legitimately differs between the
+    /// cold and warm pass) and byte-diffs the rest.
     pub fn dump_json_to(&self, path: PathBuf, rows: &[Json]) {
-        let doc = Json::Arr(rows.to_vec());
+        let mut rows = rows.to_vec();
+        if crate::cache::global().is_some() {
+            let t = crate::cache::tally();
+            rows.push(crate::obj! {
+                "section": "cache",
+                "cache_hits": t.hits,
+                "cache_misses": t.misses,
+                "cache_memoized": t.memoized,
+                "cache_skipped_wall_s": t.skipped_wall_s,
+            });
+        }
+        let doc = Json::Arr(rows);
         if let Err(e) = std::fs::write(&path, doc.pretty()) {
             eprintln!("failed to write {}: {e}", path.display());
         }
@@ -387,6 +447,18 @@ mod tests {
         let o2 = HarnessArgs::try_parse(args(&["--abbr", "SSSP", "--abbr", "KM"]), &extras)
             .expect("repeats parse");
         assert_eq!(o2.extra_value("--abbr"), Some("KM"));
+    }
+
+    #[test]
+    fn cache_flags_parse() {
+        let d = parse(&[]).expect("valid args");
+        assert_eq!(d.cache_dir, None);
+        assert!(!d.no_cache, "cache defaults to enabled");
+        let o = parse(&["--cache", "/tmp/c"]).expect("valid args");
+        assert_eq!(o.cache_dir.as_deref(), Some(std::path::Path::new("/tmp/c")));
+        let n = parse(&["--no-cache"]).expect("valid args");
+        assert!(n.no_cache);
+        assert!(parse(&["--cache"]).is_err(), "--cache requires a directory");
     }
 
     #[test]

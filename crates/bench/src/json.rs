@@ -1,4 +1,4 @@
-//! A minimal JSON value and emitter.
+//! A minimal JSON value, emitter, and parser.
 //!
 //! The harness binaries dump machine-readable rows for EXPERIMENTS.md
 //! bookkeeping. The crates.io registry is unreachable from the build
@@ -7,6 +7,10 @@
 //! conversions for the row field types, and a deterministic pretty
 //! printer. Determinism matters beyond aesthetics — the runner's
 //! 1-thread-vs-N-thread test asserts byte-identical dumps.
+//!
+//! [`Json::parse`] is the emitter's inverse, added for the result cache
+//! ([`crate::cache`]): cache entries are stored as JSON and must be read
+//! back with hard errors on malformed input, never silent defaults.
 
 use std::fmt::Write as _;
 
@@ -147,6 +151,274 @@ impl Json {
     }
 }
 
+impl Json {
+    /// Parses a JSON document. Object field order is preserved (matching
+    /// the emitter); duplicate keys are rejected. Any syntax error —
+    /// including trailing garbage — is a hard error: the one caller that
+    /// parses untrusted bytes (the result cache) must treat a mangled
+    /// entry as corruption, not best-effort data.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { b: text.as_bytes(), i: 0 };
+        p.ws();
+        let v = p.value(0)?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing bytes at offset {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// Looks up an object field by key (`None` for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Json::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a [`Json::Int`].
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64` ([`Json::Int`] or [`Json::Float`]).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a [`Json::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is a [`Json::Arr`].
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Recursion guard for [`Json::parse`]: cache entries nest two levels
+/// deep, so anything approaching this bound is hostile or corrupt input.
+const MAX_PARSE_DEPTH: u32 = 128;
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, want: u8) -> Result<(), String> {
+        if self.b.get(self.i) == Some(&want) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", want as char, self.i))
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Json, String> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err("nesting exceeds parser depth limit".to_string());
+        }
+        match self.b.get(self.i) {
+            None => Err("unexpected end of input".to_string()),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.ws();
+                if self.b.get(self.i) == Some(&b']') {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.ws();
+                    items.push(self.value(depth + 1)?);
+                    self.ws();
+                    match self.b.get(self.i) {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at offset {}", self.i)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.i += 1;
+                let mut fields: Vec<(String, Json)> = Vec::new();
+                self.ws();
+                if self.b.get(self.i) == Some(&b'}') {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.ws();
+                    let key = self.string()?;
+                    if fields.iter().any(|(k, _)| *k == key) {
+                        return Err(format!("duplicate object key '{key}'"));
+                    }
+                    self.ws();
+                    self.expect_byte(b':')?;
+                    self.ws();
+                    let val = self.value(depth + 1)?;
+                    fields.push((key, val));
+                    self.ws();
+                    match self.b.get(self.i) {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at offset {}", self.i)),
+                    }
+                }
+            }
+            Some(_) => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("malformed literal at offset {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|_| format!("non-UTF-8 number at offset {start}"))?;
+        if text.is_empty() {
+            return Err(format!("expected a value at offset {start}"));
+        }
+        if text.bytes().all(|b| b.is_ascii_digit() || b == b'-') {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(Json::Float(f)),
+            _ => Err(format!("malformed number '{text}' at offset {start}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = *self.b.get(self.i).ok_or("unterminated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xd800..0xdc00).contains(&code) {
+                                if self.b.get(self.i) == Some(&b'\\')
+                                    && self.b.get(self.i + 1) == Some(&b'u')
+                                {
+                                    self.i += 2;
+                                    let low = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((code - 0xd800) << 10)
+                                        + low.checked_sub(0xdc00).ok_or("bad low surrogate")?;
+                                    char::from_u32(combined).ok_or("bad surrogate pair")?
+                                } else {
+                                    return Err("lone high surrogate".to_string());
+                                }
+                            } else {
+                                char::from_u32(code).ok_or("bad \\u escape")?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(format!("unknown escape '\\{}'", other as char));
+                        }
+                    }
+                }
+                Some(&b) if b < 0x20 => {
+                    return Err(format!("raw control byte {b:#04x} in string"));
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (multi-byte sequences intact).
+                    let rest = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|_| "non-UTF-8 string payload".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .b
+            .get(self.i..self.i + 4)
+            .and_then(|s| std::str::from_utf8(s).ok())
+            .ok_or("truncated \\u escape")?;
+        self.i += 4;
+        u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape '{hex}'"))
+    }
+}
+
 fn push_indent(out: &mut String, levels: usize) {
     for _ in 0..levels {
         out.push_str("  ");
@@ -242,5 +514,75 @@ mod tests {
     fn output_is_deterministic() {
         let build = || Json::Arr(vec![obj! { "w": "SSSP", "s": 1.5, "n": 42u64 }]);
         assert_eq!(build().pretty(), build().pretty());
+    }
+
+    #[test]
+    fn parse_round_trips_the_emitter() {
+        let doc = Json::Arr(vec![
+            obj! {
+                "s": "a\"b\\c\nd\ttab",
+                "i": -42i64,
+                "f": 0.125,
+                "whole": 2.0,
+                "t": true,
+                "nothing": None::<u64>,
+                "nested": vec![1u64, 2, 3],
+            },
+            Json::Arr(vec![]),
+            obj! {},
+        ]);
+        let text = doc.pretty();
+        assert_eq!(Json::parse(&text).expect("emitter output parses"), doc);
+    }
+
+    #[test]
+    fn parse_accessors_extract_fields() {
+        let v = Json::parse(r#"{"a": "x", "b": 3, "c": 1.5, "d": [true, null]}"#)
+            .expect("valid document");
+        assert_eq!(v.get("a").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("b").and_then(Json::as_i64), Some(3));
+        assert_eq!(v.get("b").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(v.get("c").and_then(Json::as_f64), Some(1.5));
+        let arr = v.get("d").and_then(Json::as_arr).expect("array field");
+        assert_eq!(arr[0].as_bool(), Some(true));
+        assert_eq!(arr[1], Json::Null);
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_hard_errors() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\": 1 \"b\": 2}",
+            "{\"a\": 1} trailing",
+            "{\"dup\": 1, \"dup\": 2}",
+            "\"unterminated",
+            "\"bad escape \\q\"",
+            "nul",
+            "1.2.3",
+        ] {
+            assert!(Json::parse(bad).is_err(), "must reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        let v = Json::parse(r#""\u00e9 \ud83d\ude00 caf\u00e9""#).expect("escapes parse");
+        assert_eq!(v.as_str(), Some("é 😀 café"));
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "lone surrogate rejected");
+    }
+
+    #[test]
+    fn parse_preserves_object_field_order() {
+        let v = Json::parse(r#"{"z": 1, "a": 2}"#).expect("valid document");
+        match v {
+            Json::Obj(fields) => {
+                assert_eq!(fields[0].0, "z");
+                assert_eq!(fields[1].0, "a");
+            }
+            _ => unreachable!(),
+        }
     }
 }

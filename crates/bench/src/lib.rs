@@ -14,6 +14,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod cli;
 pub mod json;
 pub mod runner;

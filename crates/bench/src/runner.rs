@@ -13,9 +13,19 @@
 //!   (`Err` with the panic message) instead of killing the whole figure.
 //! * **Wall-time capture** — each cell records its own execution time, so
 //!   the throughput harness can report cells/sec without re-running.
+//!
+//! [`run_scenarios`] additionally plans each sweep against the result
+//! cache ([`crate::cache`]): cells whose content-address has a valid
+//! on-disk entry replay instead of running, duplicate cells within one
+//! sweep run once and memoize (even with the disk cache disabled), and
+//! fresh results are stored back. Cells with a trace destination bypass
+//! both paths — trace files are a side effect a replay would not
+//! reproduce. A cache entry whose recorded digest fails re-verification
+//! aborts the sweep: silent reuse of a corrupt result is never an option.
 
-use avatar_core::system::{run_with, RunOptions, SystemConfig};
+use avatar_core::system::{gpu_config, run_with, RunOptions, SystemConfig};
 use avatar_sim::config::GpuConfig;
+use avatar_sim::fxhash::FxHashMap;
 use avatar_sim::Stats;
 use avatar_workloads::Workload;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -138,6 +148,20 @@ impl Scenario {
         self
     }
 
+    /// The cell's content-address for the result cache, or `None` when
+    /// the cell writes a trace — a side effect a cache replay would not
+    /// reproduce, so traced cells always run (and are never memoized).
+    pub fn cache_key(&self) -> Option<u64> {
+        if self.opts.trace_out.is_some() {
+            return None;
+        }
+        let mut cfg = gpu_config(&self.workload, self.config, &self.opts);
+        if let Some(t) = &self.tweak {
+            t(&mut cfg);
+        }
+        Some(crate::cache::cell_key(&self.workload, self.config, &self.opts, &cfg))
+    }
+
     /// Runs the cell synchronously. When a trace destination is set but
     /// untagged, workload + cell label become the tag, so every cell of
     /// a grid sharing one `--trace-out` writes its own file.
@@ -192,19 +216,108 @@ pub fn fmt_cell(v: Option<f64>, digits: usize) -> String {
     }
 }
 
+/// How one submitted cell will be satisfied, planned before any worker
+/// thread spawns.
+enum Plan {
+    /// Run for real; payload is the index into the spawned job list.
+    Run(usize),
+    /// Identical to an earlier cell of this sweep (by content-address);
+    /// payload is that cell's submission index. Replayed by cloning.
+    Memo(usize),
+    /// Replayed from a digest-verified on-disk entry (boxed: `Stats`
+    /// is large and `Run`/`Memo` are a single word).
+    Hit(Box<crate::cache::CachedCell>),
+}
+
 /// Fans `scenarios` across `threads` workers; results are in submission
 /// order regardless of thread count or completion order.
+///
+/// Before spawning, the sweep is planned against the result cache:
+/// disk hits and in-sweep duplicates replay instead of running (see the
+/// module docs). A cache entry that fails digest re-verification
+/// panics — a sweep must never silently mix verified and unverifiable
+/// results.
 pub fn run_scenarios(threads: usize, scenarios: Vec<Scenario>) -> Vec<ScenarioResult> {
     // Labels are split off up front: workers return bare `Stats`, and a
     // panicked cell still reports under its real label instead of an
     // anonymous index.
     let labels: Vec<String> = scenarios.iter().map(|s| s.label.clone()).collect();
-    let jobs: Vec<_> = scenarios.into_iter().map(|s| move || s.run()).collect();
-    run_cells(threads, jobs)
-        .into_iter()
-        .zip(labels)
-        .map(|(c, label)| ScenarioResult { label, stats: c.outcome, wall: c.wall })
-        .collect()
+    let keys: Vec<Option<u64>> = scenarios.iter().map(|s| s.cache_key()).collect();
+    let cache = crate::cache::global();
+
+    // Plan each cell: first occurrence of a key checks the disk cache;
+    // later occurrences memoize the first regardless of disk state.
+    let mut first_of: FxHashMap<u64, usize> = FxHashMap::default();
+    let mut plans: Vec<Plan> = Vec::with_capacity(scenarios.len());
+    let mut jobs: Vec<Scenario> = Vec::new();
+    let mut job_keys: Vec<Option<u64>> = Vec::new();
+    for (i, s) in scenarios.into_iter().enumerate() {
+        let key = keys[i];
+        if let Some(k) = key {
+            if let Some(&orig) = first_of.get(&k) {
+                plans.push(Plan::Memo(orig));
+                continue;
+            }
+            first_of.insert(k, i);
+            if let Some(c) = cache {
+                match c.load(k) {
+                    Ok(Some(cell)) => {
+                        crate::cache::note_hit(cell.wall_s);
+                        plans.push(Plan::Hit(Box::new(cell)));
+                        continue;
+                    }
+                    Ok(None) => crate::cache::note_miss(),
+                    // Hard stop: the entry exists, claims this address,
+                    // and fails verification. Running the cell anyway
+                    // would paper over a corrupt store.
+                    Err(e) => panic!("result cache error for cell '{}': {e}", labels[i]),
+                }
+            }
+        }
+        plans.push(Plan::Run(jobs.len()));
+        jobs.push(s);
+        job_keys.push(key);
+    }
+
+    let closures: Vec<_> = jobs.into_iter().map(|s| move || s.run()).collect();
+    let cells = run_cells(threads, closures);
+
+    // Store fresh results back (best-effort: a read-only cache directory
+    // degrades to a warning, not a failed sweep).
+    if let Some(c) = cache {
+        for (cell, key) in cells.iter().zip(&job_keys) {
+            if let (Ok(stats), Some(k)) = (&cell.outcome, key) {
+                if let Err(e) = c.store(*k, stats, cell.wall.as_secs_f64()) {
+                    eprintln!("warning: {e}");
+                }
+            }
+        }
+    }
+
+    // Assemble in submission order. Memoized cells clone the resolved
+    // result of their original (always an earlier index) and credit the
+    // wall time that original spent — or recorded, if it was itself a
+    // disk hit — as skipped.
+    let mut ran: Vec<Option<Cell<Stats>>> = cells.into_iter().map(Some).collect();
+    let mut results: Vec<ScenarioResult> = Vec::with_capacity(plans.len());
+    let mut source_wall_s: Vec<f64> = Vec::with_capacity(plans.len());
+    for (plan, label) in plans.into_iter().zip(labels) {
+        let (stats, wall, src_wall_s) = match plan {
+            Plan::Run(j) => {
+                let cell = ran[j].take().expect("each job index is consumed exactly once");
+                let wall_s = cell.wall.as_secs_f64();
+                (cell.outcome, cell.wall, wall_s)
+            }
+            Plan::Hit(cell) => (Ok(cell.stats), Duration::ZERO, cell.wall_s),
+            Plan::Memo(orig) => {
+                crate::cache::note_memoized(source_wall_s[orig]);
+                (results[orig].stats.clone(), Duration::ZERO, source_wall_s[orig])
+            }
+        };
+        source_wall_s.push(src_wall_s);
+        results.push(ScenarioResult { label, stats, wall });
+    }
+    results
 }
 
 #[cfg(test)]

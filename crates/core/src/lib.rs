@@ -45,7 +45,7 @@ pub mod vpn_table;
 
 pub use cast::{AvatarPolicy, Predictor};
 pub use mod_table::ModTable;
-pub use system::{run, run_with, speedup, RunOptions, SystemConfig};
+pub use system::{assemble, run, run_with, speedup, RunOptions, SystemConfig};
 pub use vpn_table::VpnTable;
 
 pub(crate) use avatar_sim::addr::CHUNK_BYTES;

@@ -132,6 +132,44 @@ impl Default for RunOptions {
 }
 
 impl RunOptions {
+    /// Canonical digest over every simulation-affecting field, for
+    /// result-cache keys. `trace_out`/`trace_tag` are excluded — they
+    /// only add observers, never change simulated behaviour (and cached
+    /// replay is bypassed entirely when a trace is requested). The
+    /// exhaustive destructuring (no `..`) makes adding a field without
+    /// deciding its cache-key role a compile error.
+    pub fn key_digest(&self) -> u64 {
+        let RunOptions {
+            scale,
+            oversubscription,
+            base_page,
+            seed,
+            sms,
+            warps,
+            tenants,
+            codec,
+            trace_out: _,
+            trace_tag: _,
+        } = self;
+        let mut h = avatar_sim::invariant::Fnv64::new();
+        h.write_u64(scale.to_bits());
+        h.write_u64(u64::from(oversubscription.is_some()));
+        h.write_u64(oversubscription.map_or(0, f64::to_bits));
+        h.write_u64(base_page.pages());
+        h.write_u64(*seed);
+        h.write_u64(u64::from(sms.is_some()));
+        h.write_u64(sms.map_or(0, |s| s as u64));
+        h.write_u64(u64::from(warps.is_some()));
+        h.write_u64(warps.map_or(0, |w| w as u64));
+        h.write_u64(*tenants as u64);
+        h.write_u64(match codec {
+            avatar_bpc::Codec::Bpc => 0,
+            avatar_bpc::Codec::Fpc => 1,
+            avatar_bpc::Codec::Bdi => 2,
+        });
+        h.finish()
+    }
+
     /// The effective trace path: `trace_out` with `trace_tag` (sanitized
     /// to `[a-z0-9_]`) inserted before the extension. `None` when no
     /// trace was requested.
@@ -283,6 +321,20 @@ pub fn run_with(
     opts: &RunOptions,
     tweak: impl FnOnce(&mut GpuConfig),
 ) -> Stats {
+    assemble(workload, config, opts, tweak).run()
+}
+
+/// Assembles the engine for (workload, configuration, options) without
+/// running it. This is [`run_with`] stopped just before `Engine::run` —
+/// the entry point for checkpoint/restore flows, which need the engine
+/// object itself (to step it partway, serialize it, or rebuild a fresh
+/// twin to restore into).
+pub fn assemble(
+    workload: &Workload,
+    config: SystemConfig,
+    opts: &RunOptions,
+    tweak: impl FnOnce(&mut GpuConfig),
+) -> Engine<'static> {
     let mut cfg = gpu_config(workload, config, opts);
     tweak(&mut cfg);
     let (l1s, l2) = build_tlbs(config, &cfg);
@@ -307,7 +359,7 @@ pub fn run_with(
     };
     let mut engine = Engine::new(cfg, l1s, l2, policy, Box::new(content), program);
     attach_trace(&mut engine, opts);
-    engine.run()
+    engine
 }
 
 /// Attaches a Chrome-trace exporter to the engine when the run options

@@ -1,0 +1,115 @@
+//! Checkpoint/restore must be invisible to simulated behaviour.
+//!
+//! A checkpoint taken at an event boundary, restored into a freshly
+//! assembled twin engine, and run to completion must produce a `Stats`
+//! digest byte-identical to the straight-through run — for every figure
+//! system configuration. The restored engine must also pass the full
+//! `audit_invariants` sweep immediately after restore, before processing
+//! a single event.
+//!
+//! This is the DESIGN.md §12 gate for the incremental-sweep engine: warm
+//! restarts of long oversubscription runs (Fig 19) are only sound if a
+//! checkpointed run is indistinguishable from an uninterrupted one.
+
+use avatar_core::system::{assemble, run_with, RunOptions, SystemConfig};
+use avatar_workloads::Workload;
+
+/// Every configuration any figure bin runs, not just Fig 15's seven.
+const ALL_CONFIGS: [SystemConfig; 10] = [
+    SystemConfig::Baseline,
+    SystemConfig::IdealTlb,
+    SystemConfig::Promotion,
+    SystemConfig::Colt,
+    SystemConfig::SnakeByte,
+    SystemConfig::CastOnly,
+    SystemConfig::Avatar,
+    SystemConfig::AvatarNoEaf,
+    SystemConfig::CastIdealValid,
+    SystemConfig::AvatarVpnT,
+];
+
+fn opts(seed: u64) -> RunOptions {
+    RunOptions { scale: 0.03, sms: Some(4), warps: Some(8), seed, ..RunOptions::default() }
+}
+
+/// Events to process before taking the mid-run checkpoint: far enough in
+/// that TLBs, caches, MSHRs, walks, and predictor tables hold live state.
+const CHECKPOINT_AT: u64 = 50_000;
+
+#[test]
+fn restored_run_digest_matches_straight_through_for_every_figure_config() {
+    let w = Workload::by_abbr("MD").expect("workload table contains MD");
+    for seed in [7u64, 99] {
+        for config in ALL_CONFIGS {
+            let straight = run_with(&w, config, &opts(seed), |_| {}).digest();
+
+            // Run partway, checkpoint at the event boundary.
+            let mut engine = assemble(&w, config, &opts(seed), |_| {});
+            engine.start();
+            let more = engine.run_steps(CHECKPOINT_AT);
+            let bytes = engine.save_checkpoint();
+
+            // Restore into a freshly assembled twin and finish there.
+            let mut twin = assemble(&w, config, &opts(seed), |_| {});
+            twin.restore_checkpoint(&bytes).unwrap_or_else(|e| {
+                panic!("{} seed {seed}: restore failed: {e:?}", config.label())
+            });
+            twin.audit_invariants();
+            if more {
+                twin.run_steps(u64::MAX);
+            }
+            let restored = twin.finish().digest();
+
+            assert_eq!(
+                restored,
+                straight,
+                "{} seed {seed}: restored-run digest diverged from straight-through",
+                config.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpoint_bytes_are_deterministic() {
+    // Two identical runs checkpointed at the same boundary serialize to
+    // identical bytes — the property that makes checkpoints diffable for
+    // divergence bisection.
+    let w = Workload::by_abbr("MD").expect("workload table contains MD");
+    let snap = |()| {
+        let mut e = assemble(&w, SystemConfig::Avatar, &opts(7), |_| {});
+        e.start();
+        e.run_steps(CHECKPOINT_AT);
+        e.save_checkpoint()
+    };
+    assert_eq!(snap(()), snap(()));
+}
+
+#[test]
+fn restore_rejects_mismatched_config() {
+    let w = Workload::by_abbr("MD").expect("workload table contains MD");
+    let mut e = assemble(&w, SystemConfig::Promotion, &opts(7), |_| {});
+    e.start();
+    e.run_steps(10_000);
+    let bytes = e.save_checkpoint();
+    // A twin assembled with different geometry must refuse the payload.
+    let mut other = assemble(&w, SystemConfig::Promotion, &opts(7), |c| c.warps_per_sm = 4);
+    assert!(
+        other.restore_checkpoint(&bytes).is_err(),
+        "restore into a different GpuConfig must fail loudly"
+    );
+}
+
+#[test]
+fn double_checkpoint_roundtrip_is_stable() {
+    // checkpoint → restore → immediately checkpoint again must reproduce
+    // the same bytes: restore loses nothing the serializer records.
+    let w = Workload::by_abbr("MD").expect("workload table contains MD");
+    let mut e = assemble(&w, SystemConfig::Avatar, &opts(99), |_| {});
+    e.start();
+    e.run_steps(CHECKPOINT_AT);
+    let bytes = e.save_checkpoint();
+    let mut twin = assemble(&w, SystemConfig::Avatar, &opts(99), |_| {});
+    twin.restore_checkpoint(&bytes).expect("restore of a fresh checkpoint succeeds");
+    assert_eq!(twin.save_checkpoint(), bytes);
+}

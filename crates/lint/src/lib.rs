@@ -70,6 +70,14 @@ pub const PROBE_SPAN_BALANCE: &str = "probe-span-balance";
 /// direct struct access would read state from a different logical time
 /// and silently break the shards-1/2/4/8 digest parity gate.
 pub const SHARD_SHARED_STATE: &str = "shard-shared-state";
+/// Rule id: `..` rest patterns inside `key_digest` functions of the
+/// cache-key owner files. The result cache's content-addressing is only
+/// sound if *every* field of `GpuConfig`/`RunOptions`/`Workload` folds
+/// into the key: the digests destructure exhaustively so that adding a
+/// field without folding it is a compile error, and a `..` would
+/// silently reopen that hole — a new field could then change results
+/// while stale cache entries keep replaying.
+pub const CACHE_KEY_COMPLETENESS: &str = "cache-key-completeness";
 
 /// Minimum length for an `.expect("…")` message in hot crates; anything
 /// shorter cannot plausibly name the violated invariant.
@@ -89,6 +97,14 @@ const SHARD_DOMAIN_FILES: &[&str] =
 /// Shared-domain type names whose mention in a shard-domain module is a
 /// cross-domain access hazard.
 const SHARED_DOMAIN_TYPES: &[&str] = &["PageWalkSystem", "PwCache", "Dram", "Uvm"];
+
+/// The files owning a result-cache `key_digest` function; only here does
+/// the [`CACHE_KEY_COMPLETENESS`] rule apply.
+const KEY_OWNER_FILES: &[&str] = &[
+    "crates/sim/src/config.rs",
+    "crates/core/src/system.rs",
+    "crates/workloads/src/spec.rs",
+];
 
 /// Static description of one lint rule (for `--list-rules` and JSON).
 pub struct RuleInfo {
@@ -151,6 +167,11 @@ pub const RULES: &[RuleInfo] = &[
         id: SHARD_SHARED_STATE,
         scope: "sim shard-domain modules (sm.rs, cache.rs, tlb.rs)",
         summary: "no direct shared-domain access (PageWalkSystem/PwCache/Dram/Uvm) from shard-domain modules; cross-domain work goes through scheduled events (DESIGN.md \u{a7}11)",
+    },
+    RuleInfo {
+        id: CACHE_KEY_COMPLETENESS,
+        scope: "cache-key owner files (config.rs, system.rs, spec.rs)",
+        summary: "no `..` rest patterns inside key_digest functions; destructure exhaustively so a new field that is not folded into the result-cache key is a compile error (DESIGN.md \u{a7}12)",
     },
 ];
 
@@ -690,6 +711,14 @@ pub fn lint_source(rel: &str, source: &str, cfg: &Config, out: &mut Vec<Finding>
         }
     }
 
+    // cache-key-completeness: scoped to the files that own a result-cache
+    // key_digest — rest patterns are fine everywhere else.
+    if KEY_OWNER_FILES.contains(&rel) {
+        for (line, message) in cache_key_findings(&code, &is_test) {
+            emit(CACHE_KEY_COMPLETENESS, line, message);
+        }
+    }
+
     if hot {
         for (line, message) in float_stats_findings(&code, &is_test) {
             emit(FLOAT_STATS, line, message);
@@ -698,6 +727,66 @@ pub fn lint_source(rel: &str, source: &str, cfg: &Config, out: &mut Vec<Finding>
             emit(PROBE_SPAN_BALANCE, line, message);
         }
     }
+}
+
+/// `..` rest patterns inside `fn key_digest` bodies (brace-tracked,
+/// non-test lines only). A rest pattern's `..` always immediately
+/// precedes the closing `}` of its struct pattern, so the detector is
+/// `..}` on the whitespace-compacted line — range expressions
+/// (`0..n`, `..=hi`, `&x[..]`) never put `}` directly after the dots.
+fn cache_key_findings(code: &[String], is_test: &[bool]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    let mut active = false; // inside a key_digest fn
+    let mut entered = false; // its body brace seen
+    let mut depth_at: i64 = 0; // depth where the fn keyword appeared
+    for (idx, line) in code.iter().enumerate() {
+        if is_test[idx] {
+            continue;
+        }
+        if !active {
+            if let Some(p) = find_token(line, "fn") {
+                if line[p + 2..].trim_start().starts_with("key_digest") {
+                    active = true;
+                    entered = false;
+                    depth_at = depth;
+                }
+            }
+        }
+        if active {
+            let compact: String = line.chars().filter(|c| !c.is_whitespace()).collect();
+            if compact.contains("..}") {
+                out.push((
+                    idx + 1,
+                    "rest pattern `..` inside a cache-key digest; destructure every field \
+                     so a new field that is not folded into the key fails to compile"
+                        .to_string(),
+                ));
+            }
+        }
+        for b in line.bytes() {
+            match b {
+                b'{' => {
+                    depth += 1;
+                    if active && !entered && depth == depth_at + 1 {
+                        entered = true;
+                    }
+                }
+                b'}' => {
+                    depth -= 1;
+                    if active && entered && depth <= depth_at {
+                        active = false;
+                    }
+                }
+                b';' if active && !entered && depth == depth_at => {
+                    // Bodyless declaration (trait method): no body to scan.
+                    active = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    out
 }
 
 /// Functions whose `.span_enter(` and `.span_exit(` call counts differ
@@ -1119,6 +1208,73 @@ mod tests {
         let f = findings("crates/sim/src/sm.rs", escaped);
         assert_eq!(f.len(), 1);
         assert!(f[0].allowed);
+    }
+
+    #[test]
+    fn cache_key_completeness_scopes_and_shapes() {
+        let bad = "//! Doc.\n\
+                   pub fn key_digest(c: &Cfg) -> u64 {\n\
+                       let Cfg { sms, .. } = c;\n\
+                       *sms\n\
+                   }\n";
+        // Fires in every key-owner file...
+        for file in
+            ["crates/sim/src/config.rs", "crates/core/src/system.rs", "crates/workloads/src/spec.rs"]
+        {
+            let f = findings(file, bad);
+            assert_eq!(f.len(), 1, "must fire in {file}: {f:#?}");
+            assert_eq!(f[0].rule, CACHE_KEY_COMPLETENESS);
+            assert_eq!(f[0].line, 3);
+        }
+        // ...but nowhere else, even in the same crates.
+        for file in ["crates/sim/src/engine.rs", "crates/core/src/cast.rs", "crates/bench/src/cache.rs"]
+        {
+            assert!(findings(file, bad).is_empty(), "false hit in {file}");
+        }
+        // Rest patterns outside key_digest in a key-owner file are fine.
+        let other_fn = "//! Doc.\n\
+                        pub fn label(c: &Cfg) -> u64 {\n\
+                            let Cfg { sms, .. } = c;\n\
+                            *sms\n\
+                        }\n";
+        assert!(findings("crates/sim/src/config.rs", other_fn).is_empty());
+        // Range expressions inside key_digest are not rest patterns.
+        let ranges = "//! Doc.\n\
+                      pub fn key_digest(v: &[u64]) -> u64 {\n\
+                          let mut h = 0u64;\n\
+                          for x in v[..v.len()].iter() { h ^= x; }\n\
+                          for i in 0..4 { h = h.rotate_left(i); }\n\
+                          h\n\
+                      }\n";
+        assert!(findings("crates/sim/src/config.rs", ranges).is_empty(), "ranges are clean");
+        // The exhaustive form — every field named — is the sanctioned shape.
+        let clean = "//! Doc.\n\
+                     pub fn key_digest(c: &Cfg) -> u64 {\n\
+                         let Cfg { sms, warps } = c;\n\
+                         sms ^ warps\n\
+                     }\n";
+        assert!(findings("crates/sim/src/config.rs", clean).is_empty());
+        // lint:allow escapes per site, as everywhere.
+        let escaped = "//! Doc.\n\
+                       pub fn key_digest(c: &Cfg) -> u64 {\n\
+                           // lint:allow(cache-key-completeness)\n\
+                           let Cfg { sms, .. } = c;\n\
+                           *sms\n\
+                       }\n";
+        let f = findings("crates/sim/src/config.rs", escaped);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].allowed);
+        // A second fn after key_digest closes is out of scope again.
+        let after = "//! Doc.\n\
+                     pub fn key_digest(c: &Cfg) -> u64 {\n\
+                         let Cfg { sms, warps } = c;\n\
+                         sms ^ warps\n\
+                     }\n\
+                     pub fn unrelated(c: &Cfg) -> u64 {\n\
+                         let Cfg { sms, .. } = c;\n\
+                         *sms\n\
+                     }\n";
+        assert!(findings("crates/sim/src/config.rs", after).is_empty());
     }
 
     #[test]

@@ -108,6 +108,31 @@ fn shard_shared_state_golden() {
 }
 
 #[test]
+fn cache_key_completeness_golden() {
+    // This rule is scoped to the cache-key owner file *list*, so the
+    // fixture is linted as if it were `crates/sim/src/config.rs`.
+    let lint_as = |name: &str, rel: &str| -> Vec<Finding> {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+        let source = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+        let mut out = Vec::new();
+        lint_source(rel, &source, &Config::default(), &mut out);
+        out
+    };
+    let found = lint_as("cache_key_completeness_violation.rs", "crates/sim/src/config.rs");
+    assert_eq!(found.len(), 1, "exactly one seeded finding, got: {found:#?}");
+    assert_eq!(found[0].rule, "cache-key-completeness");
+    assert_eq!(found[0].line, 12);
+    assert!(!found[0].allowed);
+    let clean = lint_as("cache_key_completeness_clean.rs", "crates/sim/src/config.rs");
+    assert!(clean.is_empty(), "clean twin must scan clean, got: {clean:#?}");
+    // Outside the key-owner file list the violation is out of scope.
+    let elsewhere =
+        lint_as("cache_key_completeness_violation.rs", "crates/sim/src/engine.rs");
+    assert!(elsewhere.is_empty(), "rule fired outside key-owner files: {elsewhere:#?}");
+}
+
+#[test]
 fn lint_allow_escape_downgrades_one_site() {
     let found = lint_fixture("escaped_site.rs");
     assert_eq!(found.len(), 1, "escape still reports the site: {found:#?}");

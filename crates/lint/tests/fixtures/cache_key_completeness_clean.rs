@@ -1,0 +1,15 @@
+//! Fixture: the sanctioned cache-key digest shape — exhaustive
+//! destructuring, so adding a `Fixture` field without folding it into
+//! the key is a compile error, never a silent cache-staleness hole.
+
+pub struct Fixture {
+    pub num_sms: u64,
+    pub warps_per_sm: u64,
+}
+
+impl Fixture {
+    pub fn key_digest(&self) -> u64 {
+        let Fixture { num_sms, warps_per_sm } = self;
+        num_sms ^ warps_per_sm.rotate_left(17)
+    }
+}

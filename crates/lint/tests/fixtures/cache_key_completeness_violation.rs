@@ -1,0 +1,15 @@
+//! Fixture: a cache-key digest that skips fields with a rest pattern.
+//! A field added to `Fixture` later would silently stay out of the
+//! result-cache key — stale entries would keep replaying.
+
+pub struct Fixture {
+    pub num_sms: u64,
+    pub warps_per_sm: u64,
+}
+
+impl Fixture {
+    pub fn key_digest(&self) -> u64 {
+        let Fixture { num_sms, .. } = self;
+        *num_sms
+    }
+}

@@ -1,0 +1,59 @@
+//! Build script: computes the engine-version fingerprint.
+//!
+//! The fingerprint is an FNV-1a digest over the sim crate's source tree
+//! (file names and contents, in sorted path order). It is baked into the
+//! library via the `AVATAR_ENGINE_FINGERPRINT` environment variable and
+//! becomes part of every result-cache key: any change to the simulator's
+//! source — even one that happens to keep digests stable — invalidates
+//! previously cached sweep results, so a stale cache can never masquerade
+//! as a fresh run of a modified engine.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fold(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() {
+    let manifest =
+        PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").expect("cargo sets CARGO_MANIFEST_DIR"));
+    let src = manifest.join("src");
+    let mut files = Vec::new();
+    collect_sources(&src, &mut files);
+    files.push(manifest.join("build.rs"));
+    files.sort();
+
+    let mut h = FNV_OFFSET;
+    for path in &files {
+        let rel = path.strip_prefix(&manifest).unwrap_or(path);
+        fold(&mut h, rel.to_string_lossy().as_bytes());
+        fold(&mut h, &[0]);
+        let contents = fs::read(path).unwrap_or_default();
+        fold(&mut h, &(contents.len() as u64).to_le_bytes());
+        fold(&mut h, &contents);
+        println!("cargo:rerun-if-changed={}", path.display());
+    }
+    println!("cargo:rerun-if-changed={}", src.display());
+    println!("cargo:rustc-env=AVATAR_ENGINE_FINGERPRINT={h:016x}");
+}

@@ -9,6 +9,7 @@
 
 use crate::addr::{translate, PhysAddr, Ppn, VirtAddr, Vpn, SECTOR_BYTES};
 use crate::cache::{Probe, SectorCache, SectorFlags};
+use crate::checkpoint::{CkptError, Reader, Writer, FORMAT_VERSION, MAGIC};
 use crate::config::{Cycle, GpuConfig};
 use crate::dram::{Dram, DramOp};
 use crate::event::{Domain, ShardRoutable, ShardedCalendar};
@@ -136,6 +137,178 @@ impl ShardRoutable for Ev {
     }
 }
 
+/// Encodes one calendar event for a checkpoint (tag byte + fields;
+/// request ids as their packed slot/generation bits).
+fn enc_ev(w: &mut Writer, ev: &Ev) {
+    match *ev {
+        Ev::WarpIssue { sm, warp } => {
+            w.u8(0);
+            w.u32(sm);
+            w.u32(warp);
+        }
+        Ev::L1TlbResult { req } => {
+            w.u8(1);
+            w.u64(req.to_bits());
+        }
+        Ev::L2TlbResult { sm, vpn } => {
+            w.u8(2);
+            w.u32(sm);
+            w.u64(vpn);
+        }
+        Ev::WalkL2 { walk, pa } => {
+            w.u8(3);
+            w.u64(walk.0);
+            w.u64(pa);
+        }
+        Ev::SpecL1Result { req } => {
+            w.u8(4);
+            w.u64(req.to_bits());
+        }
+        Ev::L1Result { req } => {
+            w.u8(5);
+            w.u64(req.to_bits());
+        }
+        Ev::L2Access { sm, pa } => {
+            w.u8(6);
+            w.u32(sm);
+            w.u64(pa);
+        }
+        Ev::DramDone { pa } => {
+            w.u8(7);
+            w.u64(pa);
+        }
+        Ev::L1Fill { sm, pa } => {
+            w.u8(8);
+            w.u32(sm);
+            w.u64(pa);
+        }
+        Ev::RemoteDone { req } => {
+            w.u8(9);
+            w.u64(req.to_bits());
+        }
+        Ev::FastComplete { sm, warp, last } => {
+            w.u8(10);
+            w.u32(sm);
+            w.u32(warp);
+            w.bool(last);
+        }
+    }
+}
+
+/// Decodes one calendar event written by [`enc_ev`].
+fn dec_ev(r: &mut Reader<'_>) -> Result<Ev, CkptError> {
+    Ok(match r.u8()? {
+        0 => Ev::WarpIssue { sm: r.u32()?, warp: r.u32()? },
+        1 => Ev::L1TlbResult { req: ReqId::from_bits(r.u64()?) },
+        2 => Ev::L2TlbResult { sm: r.u32()?, vpn: r.u64()? },
+        3 => Ev::WalkL2 { walk: WalkId(r.u64()?), pa: r.u64()? },
+        4 => Ev::SpecL1Result { req: ReqId::from_bits(r.u64()?) },
+        5 => Ev::L1Result { req: ReqId::from_bits(r.u64()?) },
+        6 => Ev::L2Access { sm: r.u32()?, pa: r.u64()? },
+        7 => Ev::DramDone { pa: r.u64()? },
+        8 => Ev::L1Fill { sm: r.u32()?, pa: r.u64()? },
+        9 => Ev::RemoteDone { req: ReqId::from_bits(r.u64()?) },
+        10 => Ev::FastComplete { sm: r.u32()?, warp: r.u32()?, last: r.bool()? },
+        _ => return Err(CkptError::Corrupt("unknown calendar event tag")),
+    })
+}
+
+/// Encodes one L2-MSHR waiter for a checkpoint.
+fn enc_l2_waiter(w: &mut Writer, wt: &L2Waiter) {
+    match *wt {
+        L2Waiter::Sector { sm } => {
+            w.u8(0);
+            w.u32(sm);
+        }
+        L2Waiter::Walk { walk } => {
+            w.u8(1);
+            w.u64(walk.0);
+        }
+    }
+}
+
+/// Decodes one L2-MSHR waiter written by [`enc_l2_waiter`].
+fn dec_l2_waiter(r: &mut Reader<'_>) -> Result<L2Waiter, CkptError> {
+    Ok(match r.u8()? {
+        0 => L2Waiter::Sector { sm: r.u32()? },
+        1 => L2Waiter::Walk { walk: WalkId(r.u64()?) },
+        _ => return Err(CkptError::Corrupt("unknown L2 waiter tag")),
+    })
+}
+
+/// Encodes one in-flight request for a checkpoint, every field in
+/// declaration order. The probe-attribution fields exist only under the
+/// `probes` feature; the checkpoint header's feature flag guarantees the
+/// saving and restoring builds agree on the layout.
+fn enc_req(w: &mut Writer, req: &MemReq) {
+    w.u32(req.sm);
+    w.u32(req.warp);
+    w.u64(req.pc);
+    w.u64(req.vaddr.0);
+    w.u64(req.issued);
+    w.opt_u64(req.real_ppn.map(|p| p.0));
+    w.bool(req.translation_done);
+    w.bool(req.completed);
+    w.bool(req.is_store);
+    match req.spec {
+        None => w.bool(false),
+        Some(s) => {
+            w.bool(true);
+            w.u64(s.ppn.0);
+            w.bool(s.ideal);
+            w.bool(s.killed);
+            w.bool(s.fetch_registered);
+        }
+    }
+    w.u32(req.refs);
+    #[cfg(feature = "probes")]
+    {
+        w.u8(req.phase as u8);
+        w.u64(req.phase_entered);
+        w.u64(req.phase_acc);
+        w.u64(req.spec_started);
+    }
+}
+
+/// Decodes one in-flight request written by [`enc_req`].
+fn dec_req(r: &mut Reader<'_>) -> Result<MemReq, CkptError> {
+    Ok(MemReq {
+        sm: r.u32()?,
+        warp: r.u32()?,
+        pc: r.u64()?,
+        vaddr: VirtAddr(r.u64()?),
+        issued: r.u64()?,
+        real_ppn: r.opt_u64()?.map(Ppn),
+        translation_done: r.bool()?,
+        completed: r.bool()?,
+        is_store: r.bool()?,
+        spec: if r.bool()? {
+            Some(SpecState {
+                ppn: Ppn(r.u64()?),
+                ideal: r.bool()?,
+                killed: r.bool()?,
+                fetch_registered: r.bool()?,
+            })
+        } else {
+            None
+        },
+        refs: r.u32()?,
+        #[cfg(feature = "probes")]
+        phase: {
+            let idx = r.u8()? as usize;
+            *Phase::ALL
+                .get(idx)
+                .ok_or(CkptError::Corrupt("request phase tag out of range"))?
+        },
+        #[cfg(feature = "probes")]
+        phase_entered: r.u64()?,
+        #[cfg(feature = "probes")]
+        phase_acc: r.u64()?,
+        #[cfg(feature = "probes")]
+        spec_started: r.u64()?,
+    })
+}
+
 /// The assembled system: all hardware structures plus the plugged policies.
 pub struct Engine<'a> {
     cfg: GpuConfig,
@@ -187,6 +360,22 @@ pub struct Engine<'a> {
     warp_outstanding: Vec<u32>,
     warp_issue_time: Vec<Cycle>,
     max_cycles: Cycle,
+    /// The initial warp-issue events have been seeded (by [`Engine::start`]
+    /// or by [`Engine::restore_checkpoint`], whose calendar arrives
+    /// mid-flight). Makes [`Engine::run`] compose with both fresh and
+    /// restored engines.
+    started: bool,
+    /// The cycle cap tripped; [`Engine::finish`] skips the
+    /// everything-completed accounting.
+    timed_out: bool,
+    /// Checked-mode audit cadence (`invariants` feature): interval in
+    /// events, read once at construction, and the countdown to the next
+    /// audit. Host-side only — never serialized, so a restored engine
+    /// restarts its countdown without affecting simulated state.
+    #[cfg(feature = "invariants")]
+    audit_every: u64,
+    #[cfg(feature = "invariants")]
+    until_audit: u64,
     /// `AVATAR_TRACE_REQ`, parsed once at construction — `trace` sits on
     /// the per-event path and must not re-read the environment. Matches
     /// requests by slab slot index (slots recycle, so one trace value may
@@ -274,6 +463,12 @@ impl<'a> Engine<'a> {
             warp_outstanding: vec![0; n * cfg.warps_per_sm],
             warp_issue_time: vec![0; n * cfg.warps_per_sm],
             max_cycles: 2_000_000_000,
+            started: false,
+            timed_out: false,
+            #[cfg(feature = "invariants")]
+            audit_every: crate::invariant::audit_interval(),
+            #[cfg(feature = "invariants")]
+            until_audit: crate::invariant::audit_interval().max(1),
             trace_req: std::env::var("AVATAR_TRACE_REQ").ok().and_then(|v| v.parse().ok()),
             #[cfg(feature = "probes")]
             probe: crate::probe::ProbeHub::default(),
@@ -522,37 +717,74 @@ impl<'a> Engine<'a> {
         &self.uvms[0]
     }
 
-    /// Runs the program to completion and returns the statistics.
-    pub fn run(mut self) -> Stats {
+    /// Seeds the calendar with every warp's first issue event. Idempotent:
+    /// later calls — including on a restored engine, whose calendar
+    /// arrives mid-flight from the checkpoint — do nothing, so
+    /// [`Engine::run`] composes with both fresh and restored engines.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
         for sm in 0..self.cfg.num_sms as u32 {
             for warp in 0..self.cfg.warps_per_sm as u32 {
                 self.q.schedule(0, Ev::WarpIssue { sm, warp });
             }
         }
-        // Checked mode: re-audit every structure at a fixed event cadence.
-        // The interval is read once — the audit must not touch the
-        // environment (or anything else nondeterministic) on the event path.
-        #[cfg(feature = "invariants")]
-        let audit_every = crate::invariant::audit_interval();
-        #[cfg(feature = "invariants")]
-        let mut until_audit = audit_every;
-        let mut timed_out = false;
-        while let Some((now, ev)) = self.q.pop() {
+    }
+
+    /// Processes up to `max_events` calendar events. Returns `true` while
+    /// more events remain, `false` once the calendar drains or the cycle
+    /// cap trips — after which [`Engine::finish`] produces the
+    /// statistics. Between calls the engine sits at an event boundary,
+    /// exactly the state [`Engine::save_checkpoint`] captures; splitting
+    /// a run across any sequence of `run_steps` calls (with or without a
+    /// checkpoint/restore in between) cannot change the event order, so
+    /// the final [`Stats::digest`] is identical to a straight-through
+    /// run — the checkpoint differential test's claim.
+    ///
+    /// Checked mode (`invariants` feature) re-audits every structure at
+    /// the configured event cadence. The interval is read once at
+    /// construction — the audit must not touch the environment (or
+    /// anything else nondeterministic) on the event path.
+    pub fn run_steps(&mut self, max_events: u64) -> bool {
+        let mut left = max_events;
+        while left > 0 {
+            let Some((now, ev)) = self.q.pop() else {
+                return false;
+            };
             if now > self.max_cycles {
-                timed_out = true;
-                break;
+                self.timed_out = true;
+                return false;
             }
             self.stats.events_processed += 1;
             self.handle(now, ev);
             #[cfg(feature = "invariants")]
-            if audit_every != 0 {
-                until_audit -= 1;
-                if until_audit == 0 {
-                    until_audit = audit_every;
+            if self.audit_every != 0 {
+                self.until_audit -= 1;
+                if self.until_audit == 0 {
+                    self.until_audit = self.audit_every;
                     self.audit_invariants();
                 }
             }
+            left -= 1;
         }
+        true
+    }
+
+    /// Runs the program to completion and returns the statistics.
+    pub fn run(mut self) -> Stats {
+        self.start();
+        self.run_steps(u64::MAX);
+        self.finish()
+    }
+
+    /// End-of-run bookkeeping once [`Engine::run_steps`] has returned
+    /// `false`: final audit, SM stall accounting, calendar/DRAM counter
+    /// harvest, and the everything-completed check. Consumes the engine
+    /// and returns the statistics.
+    pub fn finish(mut self) -> Stats {
+        let timed_out = self.timed_out;
         #[cfg(feature = "invariants")]
         self.audit_invariants();
         let now = self.q.now();
@@ -613,6 +845,277 @@ impl<'a> Engine<'a> {
             }
         }
         self.stats
+    }
+
+    /// Serializes the engine's complete mutable state at an event
+    /// boundary into the versioned checkpoint format (see
+    /// [`crate::checkpoint`]). Static geometry — the configuration and
+    /// model wiring — is never stored; it is re-supplied by assembling a
+    /// fresh engine, and the header carries the configuration's
+    /// [`GpuConfig::key_digest`] so restoring onto a
+    /// differently-configured engine fails loudly instead of silently
+    /// diverging. Host-side scratch (coalescing buffers, trace knobs,
+    /// probe sinks, audit cadence) is likewise omitted: none of it
+    /// affects the simulated event order.
+    pub fn save_checkpoint(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(MAGIC);
+        w.u32(FORMAT_VERSION);
+        w.bool(cfg!(feature = "probes"));
+        w.u64(self.cfg.key_digest());
+        self.q.save_state(&mut w, &mut enc_ev);
+        w.usize(self.sms.len());
+        for sm in &self.sms {
+            sm.save_state(&mut w);
+        }
+        for t in &self.l1_tlbs {
+            t.save_state(&mut w);
+        }
+        self.l2_tlb.save_state(&mut w);
+        for p in &self.l1_tlb_ports {
+            p.save_state(&mut w);
+        }
+        self.l2_tlb_ports.save_state(&mut w);
+        for c in &self.l1_caches {
+            c.save_state(&mut w);
+        }
+        self.l2_cache.save_state(&mut w);
+        for p in &self.l1_cache_ports {
+            p.save_state(&mut w);
+        }
+        self.l2_cache_ports.save_state(&mut w);
+        self.dram.save_state(&mut w);
+        self.walks.save_state(&mut w);
+        w.usize(self.uvms.len());
+        for u in &self.uvms {
+            u.save_state(&mut w);
+        }
+        self.accel.save_state(&mut w);
+        self.compression.save_state(&mut w);
+        self.program.save_state(&mut w);
+        self.stats.save_state(&mut w);
+        self.reqs.save_state(&mut w, &mut enc_req);
+        w.usize(self.l1_tlb_mshrs.len());
+        for m in &self.l1_tlb_mshrs {
+            m.save_state(&mut w, &mut |w, k| w.u64(*k), &mut |w, id| w.u64(id.to_bits()));
+        }
+        w.usize(self.tlb_overflow.len());
+        for v in &self.tlb_overflow {
+            w.seq(v.iter(), |w, id| w.u64(id.to_bits()));
+        }
+        self.l2_tlb_mshr.save_state(&mut w, &mut |w, k| w.u64(*k), &mut |w, sm| w.u32(*sm));
+        w.seq(self.l2_tlb_overflow.iter(), |w, &(sm, vpn)| {
+            w.u32(sm);
+            w.u64(vpn);
+        });
+        w.usize(self.l1_mshrs.len());
+        for m in &self.l1_mshrs {
+            m.save_state(&mut w, &mut |w, k| w.u64(*k), &mut |w, id| w.u64(id.to_bits()));
+        }
+        w.usize(self.l1_mshr_overflow.len());
+        for dq in &self.l1_mshr_overflow {
+            w.seq(dq.iter(), |w, id| w.u64(id.to_bits()));
+        }
+        self.l2_mshr.save_state(&mut w, &mut |w, k| w.u64(*k), &mut enc_l2_waiter);
+        w.seq(self.l2_mshr_overflow.iter(), |w, &(pa, wt)| {
+            w.u64(pa);
+            enc_l2_waiter(w, &wt);
+        });
+        // Hash-map state is serialized in sorted-key order so the bytes —
+        // and therefore any digest over them — are independent of
+        // insertion history.
+        let mut unguaranteed: Vec<(u32, u64)> = self.unguaranteed_waiters.keys().copied().collect();
+        unguaranteed.sort_unstable();
+        w.usize(unguaranteed.len());
+        for key in unguaranteed {
+            w.u32(key.0);
+            w.u64(key.1);
+            let waiters = &self.unguaranteed_waiters[&key];
+            w.seq(waiters.iter(), |w, id| w.u64(id.to_bits()));
+        }
+        // `vpn_of_walk` is the exact inverse of `walk_of_vpn` (an audited
+        // invariant), so only the forward map is stored.
+        let mut walk_pairs: Vec<(u64, u64)> =
+            self.walk_of_vpn.iter().map(|(&svpn, &walk)| (svpn, walk.0)).collect();
+        walk_pairs.sort_unstable();
+        w.seq(walk_pairs.iter(), |w, &(svpn, walk)| {
+            w.u64(svpn);
+            w.u64(walk);
+        });
+        let mut started_pairs: Vec<(u64, u64)> =
+            self.walk_started.iter().map(|(&svpn, &at)| (svpn, at)).collect();
+        started_pairs.sort_unstable();
+        w.seq(started_pairs.iter(), |w, &(svpn, at)| {
+            w.u64(svpn);
+            w.u64(at);
+        });
+        w.seq(self.pw_overflow.iter(), |w, &svpn| w.u64(svpn));
+        w.u32_slice(&self.warp_outstanding);
+        w.u64_slice(&self.warp_issue_time);
+        w.u64(self.max_cycles);
+        w.bool(self.timed_out);
+        w.into_bytes()
+    }
+
+    /// Restores a checkpoint written by [`Engine::save_checkpoint`] onto
+    /// a freshly assembled (not yet started) engine built from the *same*
+    /// configuration, programs, and policies. On success the engine is
+    /// marked started and continues from the checkpointed event boundary
+    /// via [`Engine::run_steps`]/[`Engine::finish`] (or [`Engine::run`],
+    /// whose seeding step skips restored engines).
+    ///
+    /// Every error is hard: a partially restored engine must be
+    /// discarded, never run.
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), CkptError> {
+        let mut r = Reader::new(bytes);
+        if r.u32()? != MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(CkptError::VersionMismatch { found: version });
+        }
+        let saved_probes = r.bool()?;
+        if saved_probes != cfg!(feature = "probes") {
+            return Err(CkptError::FeatureMismatch { saved_probes });
+        }
+        let saved = r.u64()?;
+        let current = self.cfg.key_digest();
+        if saved != current {
+            return Err(CkptError::ConfigMismatch { saved, current });
+        }
+        self.q.load_state(&mut r, &mut dec_ev)?;
+        if r.usize()? != self.sms.len() {
+            return Err(CkptError::Corrupt("SM count mismatch"));
+        }
+        for sm in &mut self.sms {
+            sm.load_state(&mut r)?;
+        }
+        for t in &mut self.l1_tlbs {
+            t.load_state(&mut r)?;
+        }
+        self.l2_tlb.load_state(&mut r)?;
+        for p in &mut self.l1_tlb_ports {
+            p.load_state(&mut r)?;
+        }
+        self.l2_tlb_ports.load_state(&mut r)?;
+        for c in &mut self.l1_caches {
+            c.load_state(&mut r)?;
+        }
+        self.l2_cache.load_state(&mut r)?;
+        for p in &mut self.l1_cache_ports {
+            p.load_state(&mut r)?;
+        }
+        self.l2_cache_ports.load_state(&mut r)?;
+        self.dram.load_state(&mut r)?;
+        self.walks.load_state(&mut r)?;
+        if r.usize()? != self.uvms.len() {
+            return Err(CkptError::Corrupt("tenant count mismatch"));
+        }
+        for u in &mut self.uvms {
+            u.load_state(&mut r)?;
+        }
+        self.accel.load_state(&mut r)?;
+        self.compression.load_state(&mut r)?;
+        self.program.load_state(&mut r)?;
+        self.stats.load_state(&mut r)?;
+        self.reqs.load_state(&mut r, &mut dec_req)?;
+        if r.usize()? != self.l1_tlb_mshrs.len() {
+            return Err(CkptError::Corrupt("L1 TLB MSHR file count mismatch"));
+        }
+        for m in &mut self.l1_tlb_mshrs {
+            m.load_state(&mut r, &mut |r| r.u64(), &mut |r| r.u64().map(ReqId::from_bits))?;
+        }
+        if r.usize()? != self.tlb_overflow.len() {
+            return Err(CkptError::Corrupt("TLB overflow queue count mismatch"));
+        }
+        for v in &mut self.tlb_overflow {
+            let n = r.seq_len()?;
+            v.clear();
+            for _ in 0..n {
+                v.push(ReqId::from_bits(r.u64()?));
+            }
+        }
+        self.l2_tlb_mshr.load_state(&mut r, &mut |r| r.u64(), &mut |r| r.u32())?;
+        let n = r.seq_len()?;
+        self.l2_tlb_overflow.clear();
+        for _ in 0..n {
+            self.l2_tlb_overflow.push((r.u32()?, r.u64()?));
+        }
+        if r.usize()? != self.l1_mshrs.len() {
+            return Err(CkptError::Corrupt("L1 cache MSHR file count mismatch"));
+        }
+        for m in &mut self.l1_mshrs {
+            m.load_state(&mut r, &mut |r| r.u64(), &mut |r| r.u64().map(ReqId::from_bits))?;
+        }
+        if r.usize()? != self.l1_mshr_overflow.len() {
+            return Err(CkptError::Corrupt("L1 MSHR overflow queue count mismatch"));
+        }
+        for dq in &mut self.l1_mshr_overflow {
+            let n = r.seq_len()?;
+            dq.clear();
+            for _ in 0..n {
+                dq.push_back(ReqId::from_bits(r.u64()?));
+            }
+        }
+        self.l2_mshr.load_state(&mut r, &mut |r| r.u64(), &mut dec_l2_waiter)?;
+        let n = r.seq_len()?;
+        self.l2_mshr_overflow.clear();
+        for _ in 0..n {
+            self.l2_mshr_overflow.push_back((r.u64()?, dec_l2_waiter(&mut r)?));
+        }
+        let n = r.seq_len()?;
+        self.unguaranteed_waiters.clear();
+        for _ in 0..n {
+            let key = (r.u32()?, r.u64()?);
+            let count = r.seq_len()?;
+            let mut waiters = Vec::with_capacity(count);
+            for _ in 0..count {
+                waiters.push(ReqId::from_bits(r.u64()?));
+            }
+            if self.unguaranteed_waiters.insert(key, waiters).is_some() {
+                return Err(CkptError::Corrupt("repeated unguaranteed-waiter key"));
+            }
+        }
+        let n = r.seq_len()?;
+        self.walk_of_vpn.clear();
+        self.vpn_of_walk.clear();
+        for _ in 0..n {
+            let svpn = r.u64()?;
+            let walk = WalkId(r.u64()?);
+            if self.walk_of_vpn.insert(svpn, walk).is_some() {
+                return Err(CkptError::Corrupt("repeated walk page key"));
+            }
+            if self.vpn_of_walk.insert(walk, Vpn(svpn)).is_some() {
+                return Err(CkptError::Corrupt("two pages claim one walk id"));
+            }
+        }
+        let n = r.seq_len()?;
+        self.walk_started.clear();
+        for _ in 0..n {
+            let svpn = r.u64()?;
+            let at = r.u64()?;
+            if !self.walk_of_vpn.contains_key(&svpn) {
+                return Err(CkptError::Corrupt("walk start-time for a page with no live walk"));
+            }
+            if self.walk_started.insert(svpn, at).is_some() {
+                return Err(CkptError::Corrupt("repeated walk start-time key"));
+            }
+        }
+        let n = r.seq_len()?;
+        self.pw_overflow.clear();
+        for _ in 0..n {
+            self.pw_overflow.push_back(r.u64()?);
+        }
+        r.u32_slice_into(&mut self.warp_outstanding)?;
+        r.u64_slice_into(&mut self.warp_issue_time)?;
+        self.max_cycles = r.u64()?;
+        self.timed_out = r.bool()?;
+        if !r.is_exhausted() {
+            return Err(CkptError::Corrupt("trailing bytes after checkpoint payload"));
+        }
+        self.started = true;
+        Ok(())
     }
 
     fn handle(&mut self, now: Cycle, ev: Ev) {

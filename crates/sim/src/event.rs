@@ -28,6 +28,7 @@
 //! (FIFO by a global sequence number), which keeps whole-simulation runs
 //! bit-reproducible.
 
+use crate::checkpoint::{CkptError, Reader, Writer};
 use crate::config::Cycle;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -465,6 +466,81 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Serializes the calendar (checkpointing): clock state plus every
+    /// pending event as `(time, seq, payload)` triples in `(time, seq)`
+    /// order. Slab slot indices and the ring/overflow partition are
+    /// *not* serialized — they are internal bookkeeping with no effect
+    /// on pop order, and restore re-inserts canonically.
+    pub(crate) fn save_state(&self, w: &mut Writer, enc: &mut dyn FnMut(&mut Writer, &E)) {
+        w.u64(self.cursor);
+        w.u64(self.seq);
+        w.u64(self.now);
+        w.bool(self.fast_forward);
+        w.u64(self.idle_skipped);
+        let mut pending: Vec<(Cycle, u64, u32)> = self
+            .slab
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.event.is_some())
+            .map(|(i, s)| (s.time, s.seq, i as u32))
+            .collect();
+        pending.sort_unstable_by_key(|&(t, s, _)| (t, s));
+        w.usize(pending.len());
+        for (t, seq, slot) in pending {
+            w.u64(t);
+            w.u64(seq);
+            let e = self.slab[slot as usize]
+                .event
+                .as_ref()
+                .expect("pending list only holds occupied slots");
+            enc(w, e);
+        }
+    }
+
+    /// Restores a calendar written by [`save_state`](Self::save_state),
+    /// replacing this queue's entire contents.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut Reader,
+        dec: &mut dyn FnMut(&mut Reader) -> Result<E, CkptError>,
+    ) -> Result<(), CkptError> {
+        self.slab.clear();
+        self.free.clear();
+        self.heads.fill(NIL);
+        self.tails.fill(NIL);
+        self.occupied = [0; OCC_WORDS];
+        self.overflow.clear();
+        self.ring_len = 0;
+        self.cursor = r.u64()?;
+        let saved_seq = r.u64()?;
+        self.now = r.u64()?;
+        self.fast_forward = r.bool()?;
+        self.idle_skipped = r.u64()?;
+        if self.cursor > self.now {
+            return Err(CkptError::Corrupt("calendar cursor ahead of its clock"));
+        }
+        self.seq = 0;
+        let n = r.seq_len()?;
+        let mut prev = None;
+        for _ in 0..n {
+            let t = r.u64()?;
+            let seq = r.u64()?;
+            if t < self.now || seq >= saved_seq {
+                return Err(CkptError::Corrupt("calendar event behind clock or from the future"));
+            }
+            if let Some(p) = prev {
+                if (t, seq) <= p {
+                    return Err(CkptError::Corrupt("calendar events not in (time, seq) order"));
+                }
+            }
+            prev = Some((t, seq));
+            let e = dec(r)?;
+            self.schedule_at_seq(t, seq, e);
+        }
+        self.seq = saved_seq;
+        Ok(())
+    }
+
     /// Deliberately pushes an in-use slot onto the free list, breaking the
     /// slab accounting. Exists only so the checked-mode test suite can
     /// prove [`audit_invariants`](Self::audit_invariants) actually catches
@@ -761,6 +837,113 @@ impl<E> ShardedCalendar<E> {
         match self {
             Self::Single(q) => q.audit_invariants(),
             Self::Sharded(s) => s.audit_invariants(),
+        }
+    }
+
+    /// Serializes the calendar — variant tag, bounded-lag window state,
+    /// per-domain calendars, and in-flight exchange-ring entries — for
+    /// checkpointing.
+    pub(crate) fn save_state(&self, w: &mut Writer, enc: &mut dyn FnMut(&mut Writer, &E)) {
+        match self {
+            Self::Single(q) => {
+                w.u8(0);
+                q.save_state(w, enc);
+            }
+            Self::Sharded(s) => {
+                w.u8(1);
+                w.usize(s.shards);
+                w.usize(s.num_sms);
+                w.u64(s.lookahead);
+                w.u64(s.seq);
+                w.u64(s.now);
+                w.u64(s.window_start);
+                w.u64(s.horizon);
+                w.opt_u64(s.active.map(|a| a as u64));
+                w.u64_slice(&s.clocks);
+                w.bool(s.fast_forward);
+                w.u64(s.idle_skipped);
+                w.u64(s.horizon_barriers);
+                w.u64(s.horizon_stalls);
+                w.u64(s.exchange_enqueued);
+                w.u64(s.exchange_dequeued);
+                w.u64(s.exchange_bypass);
+                w.u64(s.exchange_overflow_flushes);
+                w.u64_slice(&s.domain_events);
+                w.usize(s.domains.len());
+                for q in &s.domains {
+                    q.save_state(w, enc);
+                }
+                w.usize(s.rings.len());
+                for ring in &s.rings {
+                    w.usize(ring.len());
+                    for (t, sq, e) in ring {
+                        w.u64(*t);
+                        w.u64(*sq);
+                        enc(w, e);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restores a calendar written by [`save_state`](Self::save_state).
+    /// The receiver must have been constructed with the identical shard
+    /// partitioning (the engine rebuilds it from the same config);
+    /// variant or geometry mismatches are hard errors.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut Reader,
+        dec: &mut dyn FnMut(&mut Reader) -> Result<E, CkptError>,
+    ) -> Result<(), CkptError> {
+        let tag = r.u8()?;
+        match (tag, self) {
+            (0, Self::Single(q)) => q.load_state(r, dec),
+            (1, Self::Sharded(s)) => {
+                if r.usize()? != s.shards || r.usize()? != s.num_sms || r.u64()? != s.lookahead
+                {
+                    return Err(CkptError::Corrupt("sharded-calendar geometry mismatch"));
+                }
+                s.seq = r.u64()?;
+                s.now = r.u64()?;
+                s.window_start = r.u64()?;
+                s.horizon = r.u64()?;
+                s.active = match r.opt_u64()? {
+                    Some(a) if (a as usize) < s.domains.len() => Some(a as usize),
+                    Some(_) => return Err(CkptError::Corrupt("active domain out of range")),
+                    None => None,
+                };
+                r.u64_slice_into(&mut s.clocks)?;
+                s.fast_forward = r.bool()?;
+                s.idle_skipped = r.u64()?;
+                s.horizon_barriers = r.u64()?;
+                s.horizon_stalls = r.u64()?;
+                s.exchange_enqueued = r.u64()?;
+                s.exchange_dequeued = r.u64()?;
+                s.exchange_bypass = r.u64()?;
+                s.exchange_overflow_flushes = r.u64()?;
+                r.u64_slice_into(&mut s.domain_events)?;
+                if r.usize()? != s.domains.len() {
+                    return Err(CkptError::Corrupt("domain-calendar count mismatch"));
+                }
+                for q in &mut s.domains {
+                    q.load_state(r, dec)?;
+                }
+                if r.usize()? != s.rings.len() {
+                    return Err(CkptError::Corrupt("exchange-ring count mismatch"));
+                }
+                for ring in &mut s.rings {
+                    ring.clear();
+                    let n = r.seq_len()?;
+                    for _ in 0..n {
+                        let t = r.u64()?;
+                        let sq = r.u64()?;
+                        let e = dec(r)?;
+                        ring.push((t, sq, e));
+                    }
+                }
+                Ok(())
+            }
+            _ => Err(CkptError::Corrupt("calendar variant mismatch (shards knob changed)")),
         }
     }
 

@@ -3,6 +3,7 @@
 //! the data-content/compressibility model supplied by workloads.
 
 use crate::addr::{Ppn, Vpn};
+use crate::checkpoint::{CkptError, Reader, Writer};
 
 /// Page metadata as embedded into sectors (the simulator's view of
 /// `avatar_bpc::PageInfo`).
@@ -97,6 +98,18 @@ pub trait TranslationAccel: std::fmt::Debug {
     fn propagates_cross_sm(&self) -> bool {
         false
     }
+
+    /// Serializes the policy's mutable state for a checkpoint. The default
+    /// writes nothing — correct only for stateless policies; predictors
+    /// that train across calls must override this together with
+    /// [`load_state`](TranslationAccel::load_state).
+    fn save_state(&self, _w: &mut Writer) {}
+
+    /// Restores state written by [`save_state`](TranslationAccel::save_state).
+    /// The default reads nothing (stateless policies).
+    fn load_state(&mut self, _r: &mut Reader<'_>) -> Result<(), CkptError> {
+        Ok(())
+    }
 }
 
 /// The baseline policy: never speculates.
@@ -127,6 +140,18 @@ impl TranslationAccel for NoSpeculation {
 pub trait SectorCompression: std::fmt::Debug {
     /// Whether the sector at (`vpn`, `sector_in_page` ∈ 0..128) fits 22B.
     fn compressible(&mut self, vpn: Vpn, sector_in_page: u32) -> bool;
+
+    /// Serializes the model's mutable state (memo tables, counters) for a
+    /// checkpoint. The default writes nothing — correct only for models
+    /// whose answers never depend on call history.
+    fn save_state(&self, _w: &mut Writer) {}
+
+    /// Restores state written by
+    /// [`save_state`](SectorCompression::save_state). The default reads
+    /// nothing (history-free models).
+    fn load_state(&mut self, _r: &mut Reader<'_>) -> Result<(), CkptError> {
+        Ok(())
+    }
 }
 
 /// A content model with uniform compressibility decided by a hash of the

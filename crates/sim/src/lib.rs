@@ -69,6 +69,7 @@
 
 pub mod addr;
 pub mod cache;
+pub mod checkpoint;
 pub mod config;
 pub mod dram;
 pub mod engine;
@@ -94,6 +95,14 @@ pub use addr::{PhysAddr, Ppn, VirtAddr, Vpn};
 pub use config::{BasePage, Cycle, GpuConfig};
 pub use engine::Engine;
 pub use stats::Stats;
+
+/// The engine-version fingerprint: an FNV-1a digest over the sim crate's
+/// source tree, computed by `build.rs` at compile time. Result caches key
+/// on it so entries recorded by a different engine build are misses, never
+/// silently replayed.
+pub fn engine_fingerprint() -> &'static str {
+    env!("AVATAR_ENGINE_FINGERPRINT")
+}
 
 /// The driving API in one import: everything a harness needs to
 /// configure, run, and observe a simulation.

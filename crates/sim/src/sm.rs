@@ -2,6 +2,7 @@
 //! occupancy/stall accounting.
 
 use crate::addr::{VirtAddr, SECTOR_BYTES};
+use crate::checkpoint::{CkptError, Reader, Writer};
 use crate::config::Cycle;
 
 /// One warp-level operation.
@@ -36,6 +37,19 @@ pub trait WarpProgram {
     /// The next operation for warp `warp` of SM `sm`; `None` retires the
     /// warp.
     fn next_op(&mut self, sm: usize, warp: usize) -> Option<WarpOp>;
+
+    /// Serializes the program's mutable state for a checkpoint. The
+    /// default writes nothing — correct only for stateless programs;
+    /// every generator that advances internal state across `next_op`
+    /// calls must override this together with
+    /// [`load_state`](WarpProgram::load_state).
+    fn save_state(&self, _w: &mut Writer) {}
+
+    /// Restores state written by [`save_state`](WarpProgram::save_state).
+    /// The default reads nothing (stateless programs).
+    fn load_state(&mut self, _r: &mut Reader<'_>) -> Result<(), CkptError> {
+        Ok(())
+    }
 }
 
 /// Coalesces a warp's per-thread addresses into unique 32B sector requests,
@@ -151,6 +165,48 @@ impl SmState {
         if let Some(start) = self.stall_started.take() {
             self.stall_cycles += now.saturating_sub(start);
         }
+    }
+
+    /// Serializes the SM's mutable state: every warp slot, the open
+    /// stall interval (if any), and the accounting counters.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.usize(self.warps.len());
+        for warp in &self.warps {
+            match warp {
+                WarpState::Ready => w.u8(0),
+                WarpState::WaitingMemory { outstanding } => {
+                    w.u8(1);
+                    w.u32(*outstanding);
+                }
+                WarpState::Computing => w.u8(2),
+                WarpState::Retired => w.u8(3),
+            }
+        }
+        w.opt_u64(self.stall_started);
+        w.u64(self.stall_cycles);
+        w.u64(self.issue_free_at);
+    }
+
+    /// Restores state saved by [`SmState::save_state`]. The warp-slot
+    /// count is configuration geometry; a mismatch is corruption.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), CkptError> {
+        let n = r.usize()?;
+        if n != self.warps.len() {
+            return Err(CkptError::Corrupt("SM warp slot count mismatch"));
+        }
+        for warp in &mut self.warps {
+            *warp = match r.u8()? {
+                0 => WarpState::Ready,
+                1 => WarpState::WaitingMemory { outstanding: r.u32()? },
+                2 => WarpState::Computing,
+                3 => WarpState::Retired,
+                _ => return Err(CkptError::Corrupt("warp state tag out of range")),
+            };
+        }
+        self.stall_started = r.opt_u64()?;
+        self.stall_cycles = r.u64()?;
+        self.issue_free_at = r.u64()?;
+        Ok(())
     }
 
     /// Whether every warp has retired.

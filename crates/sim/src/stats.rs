@@ -1,5 +1,6 @@
 //! Simulation statistics: everything the paper's figures report.
 
+use crate::checkpoint::{CkptError, Reader, Writer};
 use crate::config::Cycle;
 use crate::invariant::Fnv64;
 use crate::probe::LatencyBreakdown;
@@ -107,6 +108,19 @@ impl Mean {
     pub fn sum(&self) -> u64 {
         self.sum
     }
+
+    /// Serializes the accumulator (checkpointing).
+    pub fn save_state(&self, w: &mut Writer) {
+        w.u64(self.sum);
+        w.u64(self.n);
+    }
+
+    /// Restores the accumulator (checkpointing).
+    pub fn load_state(&mut self, r: &mut Reader) -> Result<(), CkptError> {
+        self.sum = r.u64()?;
+        self.n = r.u64()?;
+        Ok(())
+    }
 }
 
 /// A log2-bucketed latency histogram with percentile estimation.
@@ -136,6 +150,19 @@ impl Histogram {
             *b += o;
         }
         self.n += other.n;
+    }
+
+    /// Serializes the histogram (checkpointing).
+    pub fn save_state(&self, w: &mut Writer) {
+        w.u64_slice(&self.buckets);
+        w.u64(self.n);
+    }
+
+    /// Restores the histogram (checkpointing).
+    pub fn load_state(&mut self, r: &mut Reader) -> Result<(), CkptError> {
+        r.u64_slice_into(&mut self.buckets)?;
+        self.n = r.u64()?;
+        Ok(())
     }
 
     /// Estimates percentile `p` (0.0–1.0) as the upper edge of the bucket
@@ -523,6 +550,241 @@ impl Stats {
         w(self.migrate_compressed);
         h.finish()
     }
+
+    /// Serializes every field — including the digest-excluded probe-fed
+    /// and shard-structure ones — in declaration order. Engine
+    /// checkpoints and the bench result cache both ride on this. The
+    /// exhaustive destructuring is deliberate: adding a `Stats` field
+    /// without serializing it becomes a compile error here.
+    pub fn save_state(&self, w: &mut Writer) {
+        let Stats {
+            cycles,
+            events_processed,
+            idle_cycles_skipped,
+            instructions,
+            loads,
+            stores,
+            writebacks,
+            sector_requests,
+            fast_path_hits,
+            fast_path_sectors,
+            lost_requests,
+            stall_cycles,
+            l1_tlb_lookups,
+            l1_tlb_hits,
+            l2_tlb_lookups,
+            l2_tlb_hits,
+            page_walks,
+            walks_aborted,
+            walk_merges,
+            walk_memory_accesses,
+            eaf_cross_sm_fills,
+            eaf_fills,
+            l1_tlb_mshr_full,
+            l2_tlb_mshr_full,
+            cache_mshr_full,
+            pw_buffer_full,
+            eaf_releases,
+            l1d_lookups,
+            l1d_hits,
+            l2_lookups,
+            l2_hits,
+            dram_read_bytes,
+            dram_write_bytes,
+            dram_row_hits,
+            dram_row_misses,
+            page_faults,
+            pages_migrated,
+            remote_accesses,
+            chunks_evicted,
+            tlb_shootdowns,
+            promotions,
+            splinters,
+            merge_memory_accesses,
+            speculations,
+            spec_correct,
+            spec_false,
+            spec_fetches,
+            spec_compressed,
+            cava_mismatches,
+            outcomes,
+            coverage_hits,
+            load_latency,
+            sector_latency,
+            sector_latency_hist,
+            walk_latency,
+            migrate_sectors,
+            migrate_compressed,
+            latency_breakdown,
+            walk_latency_hist,
+            validation_latency_hist,
+            queue_latency_hist,
+            dram_service_hist,
+            horizon_barriers,
+            horizon_stalls,
+            exchange_enqueued,
+            exchange_dequeued,
+            exchange_bypass,
+            shard_events,
+        } = self;
+        for v in [
+            cycles,
+            events_processed,
+            idle_cycles_skipped,
+            instructions,
+            loads,
+            stores,
+            writebacks,
+            sector_requests,
+            fast_path_hits,
+            fast_path_sectors,
+            lost_requests,
+            stall_cycles,
+            l1_tlb_lookups,
+            l1_tlb_hits,
+            l2_tlb_lookups,
+            l2_tlb_hits,
+            page_walks,
+            walks_aborted,
+            walk_merges,
+            walk_memory_accesses,
+            eaf_cross_sm_fills,
+            eaf_fills,
+            l1_tlb_mshr_full,
+            l2_tlb_mshr_full,
+            cache_mshr_full,
+            pw_buffer_full,
+            eaf_releases,
+            l1d_lookups,
+            l1d_hits,
+            l2_lookups,
+            l2_hits,
+            dram_read_bytes,
+            dram_write_bytes,
+            dram_row_hits,
+            dram_row_misses,
+            page_faults,
+            pages_migrated,
+            remote_accesses,
+            chunks_evicted,
+            tlb_shootdowns,
+            promotions,
+            splinters,
+            merge_memory_accesses,
+            speculations,
+            spec_correct,
+            spec_false,
+            spec_fetches,
+            spec_compressed,
+            cava_mismatches,
+        ] {
+            w.u64(*v);
+        }
+        w.u64(outcomes.fast_translation);
+        w.u64(outcomes.l1d_hit);
+        w.u64(outcomes.l1d_merge);
+        w.u64(outcomes.l1d_miss);
+        w.u64_slice(coverage_hits);
+        load_latency.save_state(w);
+        sector_latency.save_state(w);
+        sector_latency_hist.save_state(w);
+        walk_latency.save_state(w);
+        w.u64(*migrate_sectors);
+        w.u64(*migrate_compressed);
+        w.u64_slice(&latency_breakdown.cycles);
+        w.u64(latency_breakdown.sectors);
+        walk_latency_hist.save_state(w);
+        validation_latency_hist.save_state(w);
+        queue_latency_hist.save_state(w);
+        dram_service_hist.save_state(w);
+        w.u64(*horizon_barriers);
+        w.u64(*horizon_stalls);
+        w.u64(*exchange_enqueued);
+        w.u64(*exchange_dequeued);
+        w.u64(*exchange_bypass);
+        w.u64_slice(shard_events);
+    }
+
+    /// Restores every field written by [`save_state`](Self::save_state).
+    pub fn load_state(&mut self, r: &mut Reader) -> Result<(), CkptError> {
+        for v in [
+            &mut self.cycles,
+            &mut self.events_processed,
+            &mut self.idle_cycles_skipped,
+            &mut self.instructions,
+            &mut self.loads,
+            &mut self.stores,
+            &mut self.writebacks,
+            &mut self.sector_requests,
+            &mut self.fast_path_hits,
+            &mut self.fast_path_sectors,
+            &mut self.lost_requests,
+            &mut self.stall_cycles,
+            &mut self.l1_tlb_lookups,
+            &mut self.l1_tlb_hits,
+            &mut self.l2_tlb_lookups,
+            &mut self.l2_tlb_hits,
+            &mut self.page_walks,
+            &mut self.walks_aborted,
+            &mut self.walk_merges,
+            &mut self.walk_memory_accesses,
+            &mut self.eaf_cross_sm_fills,
+            &mut self.eaf_fills,
+            &mut self.l1_tlb_mshr_full,
+            &mut self.l2_tlb_mshr_full,
+            &mut self.cache_mshr_full,
+            &mut self.pw_buffer_full,
+            &mut self.eaf_releases,
+            &mut self.l1d_lookups,
+            &mut self.l1d_hits,
+            &mut self.l2_lookups,
+            &mut self.l2_hits,
+            &mut self.dram_read_bytes,
+            &mut self.dram_write_bytes,
+            &mut self.dram_row_hits,
+            &mut self.dram_row_misses,
+            &mut self.page_faults,
+            &mut self.pages_migrated,
+            &mut self.remote_accesses,
+            &mut self.chunks_evicted,
+            &mut self.tlb_shootdowns,
+            &mut self.promotions,
+            &mut self.splinters,
+            &mut self.merge_memory_accesses,
+            &mut self.speculations,
+            &mut self.spec_correct,
+            &mut self.spec_false,
+            &mut self.spec_fetches,
+            &mut self.spec_compressed,
+            &mut self.cava_mismatches,
+        ] {
+            *v = r.u64()?;
+        }
+        self.outcomes.fast_translation = r.u64()?;
+        self.outcomes.l1d_hit = r.u64()?;
+        self.outcomes.l1d_merge = r.u64()?;
+        self.outcomes.l1d_miss = r.u64()?;
+        r.u64_slice_into(&mut self.coverage_hits)?;
+        self.load_latency.load_state(r)?;
+        self.sector_latency.load_state(r)?;
+        self.sector_latency_hist.load_state(r)?;
+        self.walk_latency.load_state(r)?;
+        self.migrate_sectors = r.u64()?;
+        self.migrate_compressed = r.u64()?;
+        r.u64_slice_into(&mut self.latency_breakdown.cycles)?;
+        self.latency_breakdown.sectors = r.u64()?;
+        self.walk_latency_hist.load_state(r)?;
+        self.validation_latency_hist.load_state(r)?;
+        self.queue_latency_hist.load_state(r)?;
+        self.dram_service_hist.load_state(r)?;
+        self.horizon_barriers = r.u64()?;
+        self.horizon_stalls = r.u64()?;
+        self.exchange_enqueued = r.u64()?;
+        self.exchange_dequeued = r.u64()?;
+        self.exchange_bypass = r.u64()?;
+        self.shard_events = r.u64_vec()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -655,6 +917,34 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.percentile(0.5), 16);
         assert_eq!(a.percentile(1.0), 16384);
+    }
+
+    #[test]
+    fn save_load_round_trips_every_field() {
+        let mut s = Stats { loads: 3, cycles: 99, spec_correct: 4, ..Stats::default() };
+        s.load_latency.add(10);
+        s.sector_latency_hist.add(100);
+        s.coverage_hits[2] = 7;
+        s.outcomes.record(SpecOutcome::L1dMerge);
+        s.latency_breakdown.add(crate::probe::Phase::Walk, 55);
+        s.walk_latency_hist.add(200);
+        s.shard_events = vec![5, 6];
+        s.horizon_barriers = 2;
+        let mut w = Writer::new();
+        s.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = Stats::default();
+        restored.load_state(&mut Reader::new(&bytes)).expect("stats round-trip decodes");
+        assert_eq!(s.digest(), restored.digest());
+        assert_eq!(format!("{s:?}"), format!("{restored:?}"), "full-field equality");
+        // A flipped byte must change the digest or fail the decode —
+        // never silently restore.
+        let mut tampered = bytes.clone();
+        tampered[0] ^= 0xFF;
+        let mut t = Stats::default();
+        if t.load_state(&mut Reader::new(&tampered)).is_ok() {
+            assert_ne!(s.digest(), t.digest());
+        }
     }
 
     #[test]

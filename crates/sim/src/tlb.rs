@@ -7,6 +7,7 @@
 //! `avatar-baselines` crate.
 
 use crate::addr::{Ppn, Vpn, PAGES_PER_CHUNK};
+use crate::checkpoint::{CkptError, Reader, Writer};
 
 /// A physically contiguous virtual→physical run around a translated page,
 /// computed by the page table at walk completion. Coalescing TLBs use it to
@@ -111,6 +112,18 @@ pub trait TlbModel: std::fmt::Debug {
     /// Must be read-only. Models with no auditable state keep the default
     /// no-op.
     fn audit_invariants(&self) {}
+
+    /// Serializes the model's mutable state for a checkpoint. The default
+    /// writes nothing — correct only for stateless models; every model
+    /// holding entries must override this together with
+    /// [`load_state`](TlbModel::load_state).
+    fn save_state(&self, _w: &mut Writer) {}
+
+    /// Restores state written by [`save_state`](TlbModel::save_state).
+    /// The default reads nothing (stateless models).
+    fn load_state(&mut self, _r: &mut Reader<'_>) -> Result<(), CkptError> {
+        Ok(())
+    }
 }
 
 /// Sentinel VPN for an unoccupied way. Salted VPNs stay far below 2^63, so
@@ -306,6 +319,40 @@ impl EntryArray {
         self.live
     }
 
+    /// Serializes the array's mutable state (entries, LRU stamps, hints).
+    /// Geometry (`nsets`, `ways`, `index_pages`) is configuration-derived
+    /// and not serialized; the slice length checks on load catch a
+    /// geometry mismatch.
+    pub(crate) fn save_state(&self, w: &mut Writer) {
+        w.u64_slice(&self.vpns);
+        w.u64_slice(&self.ppns);
+        w.u64_slice(&self.spans);
+        w.u64_slice(&self.stamps);
+        w.u64(self.stamp);
+        w.usize(self.live);
+        w.u32_slice(&self.hints);
+    }
+
+    /// Restores state saved by [`EntryArray::save_state`], verifying the
+    /// live count against actual occupancy and every hint's range.
+    pub(crate) fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), CkptError> {
+        r.u64_slice_into(&mut self.vpns)?;
+        r.u64_slice_into(&mut self.ppns)?;
+        r.u64_slice_into(&mut self.spans)?;
+        r.u64_slice_into(&mut self.stamps)?;
+        self.stamp = r.u64()?;
+        self.live = r.usize()?;
+        r.u32_slice_into(&mut self.hints)?;
+        let occupied = self.vpns.iter().filter(|&&v| v != VPN_EMPTY).count();
+        if occupied != self.live {
+            return Err(CkptError::Corrupt("TLB live counter disagrees with occupancy"));
+        }
+        if self.hints.iter().any(|&h| h as usize >= self.ways) {
+            return Err(CkptError::Corrupt("TLB hit hint out of way range"));
+        }
+        Ok(())
+    }
+
     /// Asserts array consistency: the live counter matches the occupied
     /// ways, every occupied way has a non-zero reach and indexes into its
     /// own set, and no LRU stamp is ahead of the global counter.
@@ -426,6 +473,16 @@ impl TlbModel for BaseTlb {
     fn audit_invariants(&self) {
         self.base.audit_invariants();
         self.large.audit_invariants();
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        self.base.save_state(w);
+        self.large.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), CkptError> {
+        self.base.load_state(r)?;
+        self.large.load_state(r)
     }
 }
 
@@ -580,6 +637,36 @@ mod tests {
                 assert_eq!(mask_scan(n, pred), (0..n).find(|&i| pred(i)), "hits {set:?}, n {n}");
             }
         }
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_entries_and_lru() {
+        let mut t = BaseTlb::new(2, 1, 0, 1);
+        t.fill(&fill4k(1, 11));
+        t.fill(&fill4k(2, 22));
+        t.lookup(Vpn(1)); // make 2 the LRU victim
+        let mut w = Writer::new();
+        t.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut u = BaseTlb::new(2, 1, 0, 1);
+        let mut r = Reader::new(&bytes);
+        u.load_state(&mut r).expect("TLB checkpoint round-trip");
+        assert!(r.is_exhausted());
+        u.audit_invariants();
+        assert_eq!(u.lookup(Vpn(2)).map(|h| h.ppn), Some(Ppn(22)));
+        // LRU state carried over: a capacity fill into the restored copy
+        // evicts the same victim the original would have chosen.
+        let mut v = BaseTlb::new(2, 1, 0, 1);
+        v.load_state(&mut Reader::new(&bytes)).expect("TLB checkpoint round-trip");
+        v.fill(&fill4k(3, 33));
+        assert!(v.lookup(Vpn(1)).is_some());
+        assert!(v.lookup(Vpn(2)).is_none());
+        // A differently sized TLB refuses the bytes.
+        let mut wrong = BaseTlb::new(4, 1, 0, 1);
+        assert!(matches!(
+            wrong.load_state(&mut Reader::new(&bytes)),
+            Err(CkptError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Multi-tenant workload composition: one warp program per tenant, mapped
 //! onto the tenant's SM partition (paper §III-D spatial sharing).
 
+use avatar_sim::checkpoint::{CkptError, Reader, Writer};
 use avatar_sim::sm::{WarpOp, WarpProgram};
 
 /// Runs one program per tenant over contiguous SM partitions, mirroring
@@ -57,6 +58,26 @@ impl WarpProgram for MultiTenantProgram {
         let tenant = self.tenant_of_sm(sm);
         let local_sm = sm - self.first_sm_of(tenant);
         self.programs[tenant].next_op(local_sm, warp)
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        // Tenant count is assembly geometry; delegate to each tenant's
+        // program in partition order.
+        w.usize(self.programs.len());
+        for p in &self.programs {
+            p.save_state(w);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), CkptError> {
+        let n = r.usize()?;
+        if n != self.programs.len() {
+            return Err(CkptError::Corrupt("multi-tenant program count mismatch"));
+        }
+        for p in &mut self.programs {
+            p.load_state(r)?;
+        }
+        Ok(())
     }
 }
 

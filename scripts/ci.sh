@@ -10,6 +10,10 @@
 # between the default, invariants, or probes-compiled-out builds, the
 # sharded calendar changes any figure result (fig15 byte-diff at
 # --shards 4, plus the checked-mode suite re-run under AVATAR_SHARDS=4),
+# the result cache fails its warm-sweep gate (a repeat fig15 run into a
+# fresh cache directory must replay every cell, match the cold pass
+# byte-for-byte modulo the cache section, and beat the
+# AVATAR_CACHE_SPEEDUP_MIN floor, default 5x),
 # a scenario cell panics during the throughput grid (the harness exits
 # non-zero on a failed cell, and on any shard/thread digest divergence),
 # or single-thread events/sec — measured with probes compiled out and
@@ -69,15 +73,21 @@ echo "== fast-path differential gate (inline vs evented, all figure configs) =="
 cargo test --release -q -p avatar-core --test fast_path
 
 echo "== invariants/probes builds must not perturb results (fig15 byte-diff) =="
+# The differential gates run with --no-cache: replaying one build's cached
+# results under another build's label would defeat the exact divergence
+# these byte-diffs exist to catch.
 fig_default=$(mktemp /tmp/avatar-fig15-default.XXXXXX.json)
 fig_checked=$(mktemp /tmp/avatar-fig15-checked.XXXXXX.json)
 fig_noprobes=$(mktemp /tmp/avatar-fig15-noprobes.XXXXXX.json)
 fig_sharded=$(mktemp /tmp/avatar-fig15-sharded.XXXXXX.json)
+fig_cold=$(mktemp /tmp/avatar-fig15-cold.XXXXXX.json)
+fig_warm=$(mktemp /tmp/avatar-fig15-warm.XXXXXX.json)
+cache_dir=$(mktemp -d /tmp/avatar-cache-gate.XXXXXX)
 tp_json=$(mktemp /tmp/avatar-throughput.XXXXXX.json)
-trap 'rm -f "$fig_default" "$fig_checked" "$fig_noprobes" "$fig_sharded" "$tp_json"' EXIT
-cargo run --release -q -p avatar-bench --bin fig15_performance -- --quick --json "$fig_default"
-cargo run --release -q -p avatar-bench --features invariants --bin fig15_performance -- --quick --json "$fig_checked"
-cargo run --release -q -p avatar-bench --no-default-features --bin fig15_performance -- --quick --json "$fig_noprobes"
+trap 'rm -f "$fig_default" "$fig_checked" "$fig_noprobes" "$fig_sharded" "$fig_cold" "$fig_warm" "$tp_json"; rm -rf "$cache_dir"' EXIT
+cargo run --release -q -p avatar-bench --bin fig15_performance -- --quick --no-cache --json "$fig_default"
+cargo run --release -q -p avatar-bench --features invariants --bin fig15_performance -- --quick --no-cache --json "$fig_checked"
+cargo run --release -q -p avatar-bench --no-default-features --bin fig15_performance -- --quick --no-cache --json "$fig_noprobes"
 if ! diff -q "$fig_default" "$fig_checked"; then
     echo "INVARIANTS DIVERGENCE: fig15 JSON differs between default and --features invariants builds" >&2
     exit 1
@@ -90,18 +100,57 @@ fi
 echo "== sharded calendar must not perturb results (fig15 byte-diff at --shards 4) =="
 # The bounded-lag sharded calendar is a host-side structure knob: the
 # full figure grid must be byte-identical to the serial calendar's.
-cargo run --release -q -p avatar-bench --bin fig15_performance -- --quick --shards 4 --json "$fig_sharded"
+cargo run --release -q -p avatar-bench --bin fig15_performance -- --quick --shards 4 --no-cache --json "$fig_sharded"
 if ! diff -q "$fig_default" "$fig_sharded"; then
     echo "SHARDING DIVERGENCE: fig15 JSON differs between --shards 4 and the serial calendar" >&2
     exit 1
 fi
+
+echo "== result-cache warm-sweep gate (fig15 cold vs warm) =="
+# The same sweep into a fresh cache directory, twice. The warm pass must
+# (a) replay every cell — zero misses — and come in at least
+# AVATAR_CACHE_SPEEDUP_MIN times faster (default 5; the paper-scale win
+# is far larger, --quick pays proportionally more process overhead), and
+# (b) produce byte-identical rows. Only the trailing "section": "cache"
+# object may differ between the passes (hits vs misses), so both dumps
+# are compared with it stripped.
+t0=$(date +%s%N)
+cargo run --release -q -p avatar-bench --bin fig15_performance -- --quick --cache "$cache_dir" --json "$fig_cold"
+t1=$(date +%s%N)
+cargo run --release -q -p avatar-bench --bin fig15_performance -- --quick --cache "$cache_dir" --json "$fig_warm"
+t2=$(date +%s%N)
+if ! grep -q '"cache_misses": 0' "$fig_warm"; then
+    echo "CACHE GATE: warm fig15 pass re-ran cells (expected zero misses)" >&2
+    grep -A5 '"section": "cache"' "$fig_warm" >&2 || true
+    exit 1
+fi
+# The cache section is the last array element; strip from its marker to
+# EOF in both dumps and byte-diff the remaining rows.
+strip_cache_section() { sed '/"section": "cache"/,$d' "$1"; }
+if ! diff -q <(strip_cache_section "$fig_cold") <(strip_cache_section "$fig_warm"); then
+    echo "CACHE DIVERGENCE: warm fig15 rows differ from the cold pass" >&2
+    exit 1
+fi
+awk -v cold="$((t1 - t0))" -v warm="$((t2 - t1))" \
+    -v min="${AVATAR_CACHE_SPEEDUP_MIN:-5}" 'BEGIN {
+    ratio = cold / warm;
+    printf "cache warm-sweep: cold %.2fs, warm %.2fs, speedup %.1fx (floor %sx)\n",
+           cold / 1e9, warm / 1e9, ratio, min;
+    if (ratio < min) {
+        print "CACHE GATE: warm sweep below the speedup floor" > "/dev/stderr";
+        exit 1;
+    }
+}'
 
 echo "== throughput smoke + regression gate (--quick, probes compiled out) =="
 # The gate measures the shipping hot path: probes erased at compile time.
 # This is also what pins the tentpole's zero-overhead-when-off promise —
 # the baseline predates the probe layer, so a slowdown here means the
 # instrumentation leaked into the off path.
-cargo run --release -p avatar-bench --no-default-features --bin throughput -- --quick --json "$tp_json"
+# --no-cache is belt-and-braces here: the throughput bin already pins the
+# result cache off (a timing harness must never replay), and this makes
+# the intent visible in the gate itself.
+cargo run --release -p avatar-bench --no-default-features --bin throughput -- --quick --no-cache --json "$tp_json"
 
 # events/sec is measured on the single-thread, single-shard pass; select
 # the JSON entry whose "threads" and "shards" fields are both 1 rather
