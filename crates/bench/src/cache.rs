@@ -16,9 +16,12 @@
 //! * the post-tweak `GpuConfig::key_digest()` — the full hardware
 //!   model configuration, after ablation tweaks;
 //! * the **engine fingerprint** — a build-time FNV digest over the
-//!   `avatar-sim` source tree ([`avatar_sim::engine_fingerprint`]), so
-//!   any change to the simulator invalidates every prior entry even if
-//!   it would happen to keep results stable.
+//!   source trees of every result-affecting crate (`avatar-sim`,
+//!   `avatar-core`, `avatar-workloads`, `avatar-bpc`,
+//!   `avatar-baselines`; see [`avatar_sim::engine_fingerprint`]), so
+//!   any change to code that can influence a cell's `Stats` — engine,
+//!   CAST policy, content model, codec, or baseline TLB — invalidates
+//!   every prior entry even if it would happen to keep results stable.
 //!
 //! All three `key_digest` methods use exhaustive destructuring: adding
 //! a field to `Workload`, `RunOptions`, or `GpuConfig` without folding

@@ -332,6 +332,13 @@ impl Parser<'_> {
         if text.is_empty() {
             return Err(format!("expected a value at offset {start}"));
         }
+        // Rust's f64 parser accepts forms JSON forbids (`+5`, `1.`,
+        // `.5`, `05`, `inf`), so the scanned token is validated against
+        // the JSON grammar first — the cache's corruption detection
+        // depends on every syntax deviation being a hard error.
+        if !is_json_number(text.as_bytes()) {
+            return Err(format!("malformed number '{text}' at offset {start}"));
+        }
         if text.bytes().all(|b| b.is_ascii_digit() || b == b'-') {
             if let Ok(i) = text.parse::<i64>() {
                 return Ok(Json::Int(i));
@@ -417,6 +424,45 @@ impl Parser<'_> {
         self.i += 4;
         u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape '{hex}'"))
     }
+}
+
+/// JSON number grammar: `-? (0 | [1-9][0-9]*) ('.' [0-9]+)? ([eE] [+-]? [0-9]+)?`.
+fn is_json_number(b: &[u8]) -> bool {
+    let mut i = 0;
+    if b.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    match b.get(i) {
+        Some(b'0') => i += 1,
+        Some(b'1'..=b'9') => {
+            while b.get(i).is_some_and(u8::is_ascii_digit) {
+                i += 1;
+            }
+        }
+        _ => return false,
+    }
+    if b.get(i) == Some(&b'.') {
+        i += 1;
+        if !b.get(i).is_some_and(u8::is_ascii_digit) {
+            return false;
+        }
+        while b.get(i).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+        }
+    }
+    if matches!(b.get(i), Some(b'e' | b'E')) {
+        i += 1;
+        if matches!(b.get(i), Some(b'+' | b'-')) {
+            i += 1;
+        }
+        if !b.get(i).is_some_and(u8::is_ascii_digit) {
+            return false;
+        }
+        while b.get(i).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+        }
+    }
+    i == b.len()
 }
 
 fn push_indent(out: &mut String, levels: usize) {
@@ -564,6 +610,26 @@ mod tests {
             "1.2.3",
         ] {
             assert!(Json::parse(bad).is_err(), "must reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_non_json_number_forms() {
+        // f64::from_str is laxer than JSON; the grammar check must catch
+        // every deviation it would otherwise wave through.
+        for bad in ["+5", "1.", ".5", "05", "-.5", "1e", "1e+", "--1", "1.e5", "inf", "NaN"] {
+            assert!(Json::parse(bad).is_err(), "must reject non-JSON number: {bad}");
+        }
+        for (good, want) in [
+            ("0", Json::Int(0)),
+            ("-0", Json::Int(0)),
+            ("42", Json::Int(42)),
+            ("1.25", Json::Float(1.25)),
+            ("-0.5e+2", Json::Float(-50.0)),
+            ("2E-1", Json::Float(0.2)),
+            ("1e9", Json::Float(1e9)),
+        ] {
+            assert_eq!(Json::parse(good).expect("valid JSON number"), want, "for {good}");
         }
     }
 

@@ -96,9 +96,11 @@ pub use config::{BasePage, Cycle, GpuConfig};
 pub use engine::Engine;
 pub use stats::Stats;
 
-/// The engine-version fingerprint: an FNV-1a digest over the sim crate's
-/// source tree, computed by `build.rs` at compile time. Result caches key
-/// on it so entries recorded by a different engine build are misses, never
+/// The engine-version fingerprint: an FNV-1a digest over the source
+/// trees of every result-affecting workspace crate (this one plus
+/// `avatar-core`, `avatar-workloads`, `avatar-bpc`, `avatar-baselines`),
+/// computed by `build.rs` at compile time. Result caches key on it so
+/// entries recorded by a different engine build are misses, never
 /// silently replayed.
 pub fn engine_fingerprint() -> &'static str {
     env!("AVATAR_ENGINE_FINGERPRINT")
