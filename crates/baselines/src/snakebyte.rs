@@ -188,6 +188,7 @@ impl TlbModel for SnakeByteTlb {
         std::mem::take(&mut self.extra_refs)
     }
 
+    // lint:exempt(checkpoint-field-parity: capacity is construction-time geometry; load_state reads it only to reject streams larger than the live table)
     fn save_state(&self, w: &mut Writer) {
         // Storage order matters: merge buddies are found by `position`
         // and LRU victims by linear scan.

@@ -109,6 +109,7 @@ impl ModTable {
     /// Serializes the table's mutable state. Entries go in storage
     /// order: lookups and LRU victims are found by linear scan, so a
     /// reordered restore would train and evict differently.
+    // lint:exempt(checkpoint-field-parity: capacity is construction-time geometry; load_state reads it only to reject streams larger than the live table)
     pub fn save_state(&self, w: &mut avatar_sim::checkpoint::Writer) {
         w.u64(self.stamp);
         w.seq(self.entries.iter(), |w, e| {

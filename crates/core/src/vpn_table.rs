@@ -80,6 +80,7 @@ impl VpnTable {
 
     /// Serializes the table's mutable state in storage order (linear-scan
     /// lookups and LRU eviction make order behaviourally significant).
+    // lint:exempt(checkpoint-field-parity: capacity is construction-time geometry; load_state reads it only to reject streams larger than the live table)
     pub fn save_state(&self, w: &mut avatar_sim::checkpoint::Writer) {
         w.u64(self.stamp);
         w.seq(self.entries.iter(), |w, e| {

@@ -1,0 +1,65 @@
+//! Build script: fingerprints the linter's own source tree.
+//!
+//! The incremental lint cache (`cache.rs`) must never replay findings
+//! produced by a *different* linter: editing a rule, the lexer, or the
+//! item model changes what a given source set lints to, so the cache
+//! key folds in an FNV-1a digest over `crates/lint/src` (plus this
+//! build script), baked in as `AVATAR_LINT_SRC_FINGERPRINT`. Same
+//! discipline as the sim crate's `AVATAR_ENGINE_FINGERPRINT`: file
+//! names and contents in sorted path order, panic on anything
+//! unreadable rather than minting a fingerprint for sources that were
+//! never seen.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fold(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    // Every visited directory is a rerun dependency: a new file in a
+    // nested subdirectory only bumps its parent's mtime.
+    println!("cargo:rerun-if-changed={}", dir.display());
+    let entries = fs::read_dir(dir).unwrap_or_else(|e| {
+        panic!("lint fingerprint: cannot read source dir {}: {e}", dir.display())
+    });
+    for entry in entries {
+        let entry = entry
+            .unwrap_or_else(|e| panic!("lint fingerprint: cannot list {}: {e}", dir.display()));
+        let path = entry.path();
+        if path.is_dir() {
+            collect_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() {
+    let manifest =
+        PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").expect("cargo sets CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    collect_sources(&manifest.join("src"), &mut files);
+    files.push(manifest.join("build.rs"));
+    files.sort();
+
+    let mut h = FNV_OFFSET;
+    for path in &files {
+        let rel = path.strip_prefix(&manifest).unwrap_or(path);
+        fold(&mut h, rel.to_string_lossy().as_bytes());
+        fold(&mut h, &[0]);
+        let contents = fs::read(path)
+            .unwrap_or_else(|e| panic!("lint fingerprint: cannot read {}: {e}", path.display()));
+        fold(&mut h, &(contents.len() as u64).to_le_bytes());
+        fold(&mut h, &contents);
+        println!("cargo:rerun-if-changed={}", path.display());
+    }
+    println!("cargo:rustc-env=AVATAR_LINT_SRC_FINGERPRINT={h:016x}");
+}

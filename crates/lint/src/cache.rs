@@ -1,0 +1,259 @@
+//! Incremental lint cache: content-addressed replay of a whole-workspace
+//! lint run, mirroring the PR 7 sweep result cache's shape.
+//!
+//! The cache holds exactly one entry — the findings of the last run —
+//! keyed by an FNV-1a digest over everything that can change the
+//! output:
+//!
+//! * the lint crate's own source fingerprint (`AVATAR_LINT_SRC_FINGERPRINT`,
+//!   computed by `build.rs` over `crates/lint/src`, same discipline as
+//!   the sim crate's `AVATAR_SIM_SRC_FINGERPRINT`) — editing a rule
+//!   invalidates the cache;
+//! * the sorted rule-level allow set — `--allow` changes which findings
+//!   are deny-level;
+//! * every scanned file's workspace-relative path and content digest,
+//!   in sorted path order — touching any file invalidates the cache.
+//!
+//! The on-disk format is the same self-verifying line discipline as the
+//! sweep cache (`target/avatar-cache` in `crates/bench`): a versioned
+//! header, the key, one tab-separated record per finding with escaped
+//! messages, and a trailing digest over everything above it. Any
+//! mismatch — version, key, digest, or an unknown rule id from an older
+//! binary — degrades to a miss and the caller re-lints; the cache can
+//! never produce wrong findings, only absent ones. Writes go through a
+//! temp file + rename so a crashed run leaves the previous entry intact.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::{Config, Finding, RULES};
+
+/// Format tag on the first line; bump on any layout change.
+const FORMAT: &str = "avatar-lint-cache/2";
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a over a byte slice (the workspace-standard cheap digest).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fold(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // A length separator keeps ("ab","c") and ("a","bc") distinct.
+    h ^= bytes.len() as u64;
+    h.wrapping_mul(FNV_PRIME)
+}
+
+/// Cache key for a lint run over `files` with config `cfg`. The lint
+/// binary's own source fingerprint is baked in at compile time, so a
+/// rebuilt linter never replays stale findings.
+pub fn cache_key(files: &[(String, String)], cfg: &Config) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fold(h, option_env!("AVATAR_LINT_SRC_FINGERPRINT").unwrap_or("0").as_bytes());
+    for rule in cfg.allow_fingerprint() {
+        h = fold(h, rule.as_bytes());
+    }
+    // `files` arrives path-sorted from `read_workspace_sources`; fold a
+    // sorted view anyway so library callers with ad-hoc ordering get
+    // the same key.
+    let mut order: Vec<usize> = (0..files.len()).collect();
+    order.sort_by(|&a, &b| files[a].0.cmp(&files[b].0));
+    for i in order {
+        let (rel, src) = &files[i];
+        h = fold(h, rel.as_bytes());
+        h = fold(h, &fnv64(src.as_bytes()).to_le_bytes());
+    }
+    h
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Serializes `findings` (with the run's `files_scanned` count) under
+/// `key` and writes them to `path` atomically (temp file + rename).
+pub fn store(
+    path: &Path,
+    key: u64,
+    files_scanned: usize,
+    findings: &[Finding],
+) -> io::Result<()> {
+    let mut body = String::new();
+    body.push_str(FORMAT);
+    body.push('\n');
+    body.push_str(&format!("key {key:016x}\n"));
+    body.push_str(&format!("files {files_scanned}\n"));
+    for f in findings {
+        body.push_str(&format!(
+            "finding\t{}\t{}\t{}\t{}\t{}\n",
+            escape(&f.file),
+            f.line,
+            f.rule,
+            u8::from(f.allowed),
+            escape(&f.message),
+        ));
+    }
+    body.push_str(&format!("digest {:016x}\n", fnv64(body.as_bytes())));
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, body)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads the cached findings from `path` if — and only if — the file
+/// decodes cleanly, its trailing digest verifies, and its key equals
+/// `key`. Returns `(files_scanned, findings)` on a hit, `None` on any
+/// miss (absent file, stale key, corruption, unknown rule id).
+pub fn load(path: &Path, key: u64) -> Option<(usize, Vec<Finding>)> {
+    let text = fs::read_to_string(path).ok()?;
+    // Split off and verify the trailing digest line first.
+    let body_end = text.rfind("digest ")?;
+    let (body, digest_line) = text.split_at(body_end);
+    let stored: u64 = u64::from_str_radix(digest_line.strip_prefix("digest ")?.trim(), 16).ok()?;
+    if fnv64(body.as_bytes()) != stored {
+        return None;
+    }
+    let mut lines = body.lines();
+    if lines.next()? != FORMAT {
+        return None;
+    }
+    let file_key: u64 =
+        u64::from_str_radix(lines.next()?.strip_prefix("key ")?, 16).ok()?;
+    if file_key != key {
+        return None;
+    }
+    let files_scanned: usize = lines.next()?.strip_prefix("files ")?.parse().ok()?;
+    let mut findings = Vec::new();
+    for line in lines {
+        let mut parts = line.split('\t');
+        if parts.next()? != "finding" {
+            return None;
+        }
+        let file = unescape(parts.next()?)?;
+        let line_no: usize = parts.next()?.parse().ok()?;
+        let rule_str = parts.next()?;
+        // Re-intern against the live rule catalogue; an id this binary
+        // does not know means the entry came from a different linter.
+        let rule = RULES.iter().map(|r| r.id).find(|id| *id == rule_str)?;
+        let allowed = match parts.next()? {
+            "0" => false,
+            "1" => true,
+            _ => return None,
+        };
+        let message = unescape(parts.next()?)?;
+        if parts.next().is_some() {
+            return None;
+        }
+        findings.push(Finding { file, line: line_no, rule, message, allowed });
+    }
+    Some((files_scanned, findings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DEFAULT_COLLECTIONS;
+
+    fn sample_findings() -> Vec<Finding> {
+        vec![Finding {
+            file: "crates/sim/src/x.rs".to_string(),
+            line: 7,
+            rule: DEFAULT_COLLECTIONS,
+            message: "tabs\tand\nnewlines survive".to_string(),
+            allowed: true,
+        }]
+    }
+
+    #[test]
+    fn round_trip_preserves_findings() {
+        let dir = std::env::temp_dir().join("avatar-lint-cache-test-rt");
+        let path = dir.join("cache.txt");
+        let findings = sample_findings();
+        store(&path, 0xabcd, 42, &findings).expect("cache store must succeed in temp dir");
+        let (files, loaded) = load(&path, 0xabcd).expect("fresh cache entry must load");
+        assert_eq!(files, 42);
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].file, findings[0].file);
+        assert_eq!(loaded[0].line, 7);
+        assert_eq!(loaded[0].rule, DEFAULT_COLLECTIONS);
+        assert_eq!(loaded[0].message, findings[0].message);
+        assert!(loaded[0].allowed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_key_and_corruption_are_misses() {
+        let dir = std::env::temp_dir().join("avatar-lint-cache-test-miss");
+        let path = dir.join("cache.txt");
+        store(&path, 1, 1, &sample_findings()).expect("cache store must succeed in temp dir");
+        assert!(load(&path, 2).is_none(), "stale key must miss");
+        let mut text = std::fs::read_to_string(&path).expect("cache file just written");
+        text = text.replace("x.rs", "y.rs");
+        std::fs::write(&path, text).expect("rewrite in temp dir");
+        assert!(load(&path, 1).is_none(), "digest mismatch must miss");
+        assert!(load(&dir.join("absent.txt"), 1).is_none(), "absent file must miss");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_tracks_content_allow_set_and_order() {
+        let a = ("a.rs".to_string(), "fn a() {}\n".to_string());
+        let b = ("b.rs".to_string(), "fn b() {}\n".to_string());
+        let cfg = Config::default();
+        let k1 = cache_key(&[a.clone(), b.clone()], &cfg);
+        // Order-insensitive: the key folds a path-sorted view.
+        let k2 = cache_key(&[b.clone(), a.clone()], &cfg);
+        assert_eq!(k1, k2);
+        // Content-sensitive.
+        let a2 = ("a.rs".to_string(), "fn a() { let _ = 1; }\n".to_string());
+        assert_ne!(k1, cache_key(&[a2, b.clone()], &cfg));
+        // Allow-set-sensitive.
+        let mut cfg2 = Config::default();
+        cfg2.allow_list("vec-vec");
+        assert_ne!(k1, cache_key(&[a, b], &cfg2));
+    }
+}

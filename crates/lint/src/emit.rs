@@ -1,0 +1,150 @@
+//! CI-facing output formats: SARIF 2.1.0 and GitHub workflow
+//! annotations.
+//!
+//! The text and JSON reports (`Report::to_text` / `Report::to_json`)
+//! serve humans and the bench history; these two emitters serve code
+//! hosting. SARIF is the interchange format GitHub's code-scanning tab
+//! ingests, so `scripts/ci.sh` archives `target/avatar-lint.sarif` as a
+//! build artifact; the annotation format (`::error file=…`) puts each
+//! deny finding directly on the PR diff when the lint step runs inside
+//! a workflow. Both are hand-rolled string builders — the whole crate
+//! is zero-dependency by charter, and the subset of each format we emit
+//! is small enough that a serializer would be more code than this.
+
+use crate::{json_escape, Report, RULES};
+
+/// Renders the report as a minimal SARIF 2.1.0 log: one run, one
+/// `tool.driver` carrying the full rule catalogue, one `result` per
+/// finding. Deny findings carry level `"error"`; suppressed ones are
+/// emitted at level `"note"` with a `suppressions` entry so viewers
+/// show them greyed-out rather than dropping them.
+pub fn to_sarif(report: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"avatar-lint\",\n");
+    s.push_str("          \"version\": \"2.0.0\",\n");
+    s.push_str("          \"rules\": [\n");
+    for (i, r) in RULES.iter().enumerate() {
+        s.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            json_escape(r.id),
+            json_escape(r.summary),
+            if i + 1 == RULES.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        let level = if f.allowed { "note" } else { "error" };
+        s.push_str("        {\n");
+        s.push_str(&format!("          \"ruleId\": \"{}\",\n", json_escape(f.rule)));
+        s.push_str(&format!("          \"level\": \"{level}\",\n"));
+        s.push_str(&format!(
+            "          \"message\": {{\"text\": \"{}\"}},\n",
+            json_escape(&f.message)
+        ));
+        if f.allowed {
+            s.push_str(
+                "          \"suppressions\": [{\"kind\": \"inSource\", \"justification\": \"lint:allow / lint:exempt marker\"}],\n",
+            );
+        }
+        s.push_str("          \"locations\": [\n");
+        s.push_str("            {\"physicalLocation\": {\n");
+        s.push_str(&format!(
+            "              \"artifactLocation\": {{\"uri\": \"{}\"}},\n",
+            json_escape(&f.file)
+        ));
+        s.push_str(&format!(
+            "              \"region\": {{\"startLine\": {}}}\n",
+            f.line
+        ));
+        s.push_str("            }}\n");
+        s.push_str("          ]\n");
+        s.push_str(&format!(
+            "        }}{}\n",
+            if i + 1 == report.findings.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
+}
+
+/// Percent-escapes for GitHub workflow-command *values* (the message
+/// after `::`): `%`, CR, LF.
+fn gh_data(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
+/// Percent-escapes for workflow-command *properties* (file/title):
+/// values plus `:` and `,`, which delimit the property list.
+fn gh_prop(s: &str) -> String {
+    gh_data(s).replace(':', "%3A").replace(',', "%2C")
+}
+
+/// Renders deny findings as GitHub workflow annotations, one
+/// `::error file=…,line=…,title=…::message` line each. Suppressed
+/// findings are omitted — annotations exist to block a merge, and the
+/// greyed-out view belongs to the SARIF artifact.
+pub fn to_github(report: &Report) -> String {
+    let mut s = String::new();
+    for f in report.deny() {
+        s.push_str(&format!(
+            "::error file={},line={},title={}::{}\n",
+            gh_prop(&f.file),
+            f.line,
+            gh_prop(&format!("avatar-lint({})", f.rule)),
+            gh_data(&f.message),
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Config, lint_sources};
+
+    fn sample_report() -> Report {
+        let files = vec![
+            (
+                "crates/sim/src/x.rs".to_string(),
+                "//! Doc.\n// lint:allow(nondeterminism)\nuse std::time::Instant;\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n"
+                    .to_string(),
+            ),
+        ];
+        lint_sources(&files, &Config::default())
+    }
+
+    #[test]
+    fn sarif_contains_schema_rules_and_levels() {
+        let report = sample_report();
+        let sarif = to_sarif(&report);
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"name\": \"avatar-lint\""));
+        // Every catalogue rule is declared even if it did not fire.
+        for r in RULES {
+            assert!(sarif.contains(&format!("\"id\": \"{}\"", r.id)), "missing rule {}", r.id);
+        }
+        assert!(sarif.contains("\"level\": \"error\""), "deny finding must be an error");
+        assert!(sarif.contains("\"level\": \"note\""), "allowed finding must be a note");
+        assert!(sarif.contains("\"suppressions\""));
+        assert!(sarif.contains("\"uri\": \"crates/sim/src/x.rs\""));
+    }
+
+    #[test]
+    fn github_annotations_cover_deny_only_and_escape() {
+        let report = sample_report();
+        let gh = to_github(&report);
+        let lines: Vec<&str> = gh.lines().collect();
+        assert_eq!(lines.len(), report.deny_count());
+        assert!(lines[0].starts_with("::error file=crates/sim/src/x.rs,line="));
+        assert!(gh.contains("title=avatar-lint(hot-path-panic)"));
+        assert!(!gh.contains("nondeterminism"), "allowed findings are omitted");
+    }
+}

@@ -1,0 +1,482 @@
+//! A lossless-enough Rust lexer for static analysis.
+//!
+//! Produces a flat token stream with byte spans and 1-based line
+//! numbers. Unlike the PR 3 line scanner this models the full literal
+//! grammar the workspace uses: plain/raw/byte/byte-raw strings
+//! (`"…"`, `r#"…"#`, `b"…"`, `br#"…"#`), char and byte literals,
+//! raw identifiers (`r#match`), lifetimes, and *nested* block comments
+//! (`/* /* */ */`). Comments are not tokens — their byte spans are
+//! reported separately so the rule layer can blank them while keeping
+//! column positions.
+//!
+//! The lexer is byte-oriented and error-tolerant: an unterminated
+//! literal consumes to end of input rather than failing, because lint
+//! must degrade gracefully on code that does not (yet) compile. Bytes
+//! `>= 0x80` are treated as identifier continuation, which groups
+//! multi-byte UTF-8 sequences into single tokens and keeps every token
+//! boundary on an ASCII byte (so span slicing is always valid UTF-8).
+
+/// Token classification. Punctuation is kept single-byte (`::` is two
+/// `Punct` tokens) — compound operators are reconstructed by adjacency
+/// (`lo`/`hi` spans touching) where a rule needs them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `FxHashMap`, `r#match`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// Plain string literal `"…"` (escapes modeled).
+    Str,
+    /// Raw string literal `r"…"` / `r#"…"#` (no escapes).
+    RawStr,
+    /// Byte string literal `b"…"` (escapes modeled).
+    ByteStr,
+    /// Byte-raw string literal `br"…"` / `br#"…"#` (no escapes).
+    ByteRawStr,
+    /// Char literal `'x'` / `'\n'`.
+    CharLit,
+    /// Byte literal `b'x'` / `b'\xFF'`.
+    ByteLit,
+    /// One punctuation byte (`.`, `:`, `<`, …).
+    Punct,
+    /// Opening delimiter `(`, `[`, or `{`.
+    Open,
+    /// Closing delimiter `)`, `]`, or `}`.
+    Close,
+}
+
+/// One lexed token: classification plus byte span and source line.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Classification.
+    pub kind: Kind,
+    /// Byte offset of the first byte (inclusive).
+    pub lo: usize,
+    /// Byte offset one past the last byte (exclusive).
+    pub hi: usize,
+    /// 1-based line number of `lo`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text, sliced from the source it was lexed from.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.lo..self.hi]
+    }
+}
+
+/// Full lexing result: the token stream plus comment byte spans (line
+/// comments exclude the trailing newline; block comments include the
+/// closing `*/`).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment, non-whitespace tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Byte spans of comments, in source order.
+    pub comments: Vec<(usize, usize)>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// If position `at` (pointing at `r`, or at the byte after a `b`
+/// prefix) starts a raw-string opener `r#*"` returns the hash count.
+fn raw_opener(b: &[u8], at: usize) -> Option<usize> {
+    let mut j = at + 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'"' {
+        Some(j - at - 1)
+    } else {
+        None
+    }
+}
+
+/// Lexes `src` into tokens and comment spans. Never fails: malformed
+/// input degrades to best-effort tokens consuming to end of input.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Counts newlines in b[lo..hi] into `line`.
+    let count_lines = |lo: usize, hi: usize, line: &mut u32| {
+        for &c in &b[lo..hi] {
+            if c == b'\n' {
+                *line += 1;
+            }
+        }
+    };
+    // Scans a double-quoted body with escapes, starting at the opening
+    // quote; returns one past the closing quote (or n).
+    let scan_str_body = |mut j: usize| -> usize {
+        j += 1; // opening quote
+        while j < n {
+            match b[j] {
+                b'\\' => j = (j + 2).min(n),
+                b'"' => return j + 1,
+                _ => j += 1,
+            }
+        }
+        n
+    };
+    // Scans a raw-string body `"…"##` with `hashes` hashes, starting at
+    // the opening quote; returns one past the closing delimiter.
+    let scan_raw_body = |mut j: usize, hashes: usize| -> usize {
+        j += 1; // opening quote
+        while j < n {
+            if b[j] == b'"' {
+                let mut k = 0;
+                while k < hashes && j + 1 + k < n && b[j + 1 + k] == b'#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    return j + 1 + hashes;
+                }
+            }
+            j += 1;
+        }
+        n
+    };
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let start_line = line;
+        // Comments.
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            let mut j = i + 2;
+            while j < n && b[j] != b'\n' {
+                j += 1;
+            }
+            out.comments.push((i, j));
+            i = j;
+            continue;
+        }
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let mut depth = 1u32;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if b[j] == b'/' && j + 1 < n && b[j + 1] == b'*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == b'*' && j + 1 < n && b[j + 1] == b'/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            count_lines(i, j, &mut line);
+            out.comments.push((i, j));
+            i = j;
+            continue;
+        }
+        // String-family literals and prefixed identifiers.
+        let (kind, end) = if c == b'"' {
+            (Kind::Str, scan_str_body(i))
+        } else if c == b'r' {
+            if let Some(h) = raw_opener(b, i) {
+                (Kind::RawStr, scan_raw_body(i + 1 + h, h))
+            } else if i + 1 < n && b[i + 1] == b'#' && i + 2 < n && is_ident_start(b[i + 2]) {
+                // Raw identifier r#name.
+                let mut j = i + 2;
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                (Kind::Ident, j)
+            } else {
+                lex_ident_or_num(b, i)
+            }
+        } else if c == b'b' && i + 1 < n && (b[i + 1] == b'"' || b[i + 1] == b'\'' || b[i + 1] == b'r')
+        {
+            match b[i + 1] {
+                b'"' => (Kind::ByteStr, scan_str_body(i + 1)),
+                b'\'' => (Kind::ByteLit, scan_char_body(b, i + 1)),
+                _ => {
+                    // b'r': byte-raw string `br"…"` / `br#"…"#`, or just
+                    // an identifier starting with "br".
+                    if let Some(h) = raw_opener(b, i + 1) {
+                        (Kind::ByteRawStr, scan_raw_body(i + 2 + h, h))
+                    } else {
+                        lex_ident_or_num(b, i)
+                    }
+                }
+            }
+        } else if c == b'\'' {
+            lex_quote(b, i)
+        } else if is_ident_start(c) || c.is_ascii_digit() {
+            lex_ident_or_num(b, i)
+        } else {
+            let kind = match c {
+                b'(' | b'[' | b'{' => Kind::Open,
+                b')' | b']' | b'}' => Kind::Close,
+                _ => Kind::Punct,
+            };
+            (kind, i + 1)
+        };
+        let end = end.max(i + 1).min(n);
+        count_lines(start, end, &mut line);
+        out.tokens.push(Token { kind, lo: start, hi: end, line: start_line });
+        i = end;
+    }
+    out
+}
+
+/// Scans a char/byte-literal body starting at the opening `'`; returns
+/// one past the closing `'` (or end of input).
+fn scan_char_body(b: &[u8], at: usize) -> usize {
+    let n = b.len();
+    let mut j = at + 1;
+    if j < n && b[j] == b'\\' {
+        j += 2; // the escape head; tail consumed below
+    } else if j < n {
+        j += 1;
+    }
+    while j < n && b[j] != b'\'' && b[j] != b'\n' {
+        j += 1;
+    }
+    (j + 1).min(n)
+}
+
+/// Disambiguates `'…` into a char literal or a lifetime.
+fn lex_quote(b: &[u8], i: usize) -> (Kind, usize) {
+    let n = b.len();
+    if i + 1 < n && b[i + 1] == b'\\' {
+        return (Kind::CharLit, scan_char_body(b, i));
+    }
+    // 'x' — any single byte closed immediately.
+    if i + 2 < n && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+        return (Kind::CharLit, i + 3);
+    }
+    // Lifetime: consume identifier bytes; if the run is immediately
+    // closed by a quote it was a multi-byte char literal after all.
+    let mut j = i + 1;
+    while j < n && is_ident_continue(b[j]) {
+        j += 1;
+    }
+    if j < n && b[j] == b'\'' && j > i + 1 {
+        (Kind::CharLit, j + 1)
+    } else {
+        (Kind::Lifetime, j)
+    }
+}
+
+/// Lexes an identifier or number starting at `i`.
+fn lex_ident_or_num(b: &[u8], i: usize) -> (Kind, usize) {
+    let n = b.len();
+    if b[i].is_ascii_digit() {
+        let mut j = i + 1;
+        while j < n && (is_ident_continue(b[j])) {
+            j += 1;
+        }
+        // A fractional part only when `.` is followed by a digit — this
+        // keeps `0..len`, `1..=k`, and `1.max(2)` out of the number.
+        if j < n && b[j] == b'.' && j + 1 < n && b[j + 1].is_ascii_digit() {
+            j += 1;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+        }
+        (Kind::Num, j)
+    } else {
+        let mut j = i + 1;
+        while j < n && is_ident_continue(b[j]) {
+            j += 1;
+        }
+        (Kind::Ident, j)
+    }
+}
+
+/// Blanks comments and literal *interiors* while preserving byte
+/// columns, returning one string per source line. String delimiters
+/// (including raw-string prefix hashes) are kept so spans such as
+/// `.expect("…")` stay measurable; char/byte literals are blanked
+/// entirely (their quotes would confuse lifetime handling downstream);
+/// everything else is copied verbatim.
+pub fn strip_lines(src: &str, lexed: &Lexed) -> Vec<String> {
+    let b = src.as_bytes();
+    // blank[i] == true → replace byte i with a space (newlines stay).
+    let mut blank = vec![false; b.len()];
+    for &(lo, hi) in &lexed.comments {
+        for f in blank.iter_mut().take(hi).skip(lo) {
+            *f = true;
+        }
+    }
+    for t in &lexed.tokens {
+        let (keep_head, keep_tail) = match t.kind {
+            Kind::Str | Kind::ByteStr | Kind::RawStr | Kind::ByteRawStr => {
+                // Head: through the opening quote. Tail: closing quote
+                // plus raw-string hashes (when actually closed).
+                let head = b[t.lo..t.hi].iter().position(|&c| c == b'"').map_or(0, |p| p + 1);
+                let hashes = match t.kind {
+                    Kind::RawStr => head.saturating_sub(2),
+                    Kind::ByteRawStr => head.saturating_sub(3),
+                    _ => 0,
+                };
+                let closed = t.hi - t.lo > head && b[t.hi - 1 - hashes] == b'"';
+                (head, if closed { 1 + hashes } else { 0 })
+            }
+            Kind::CharLit | Kind::ByteLit => (0, 0),
+            _ => continue,
+        };
+        let (lo, hi) = (t.lo + keep_head, t.hi - keep_tail);
+        for f in blank.iter_mut().take(hi).skip(lo) {
+            *f = true;
+        }
+    }
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for (i, &c) in b.iter().enumerate() {
+        if c == b'\n' {
+            out.push(std::mem::take(&mut cur));
+        } else if blank[i] {
+            cur.push(' ');
+        } else {
+            // Token/whitespace bytes are copied verbatim; multi-byte
+            // UTF-8 sequences only occur inside kept ident tokens, so
+            // the result stays valid UTF-8.
+            cur.push(c as char);
+        }
+    }
+    if !cur.is_empty() || src.ends_with('\n') {
+        // `lines()` semantics: a trailing newline does not open an
+        // empty final line, but a non-terminated last line is kept.
+        if !cur.is_empty() {
+            out.push(cur);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        let l = lex(src);
+        l.tokens.iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_spans() {
+        let src = "fn add(a: u64) -> u64 { a + 1 }";
+        let l = lex(src);
+        assert_eq!(l.tokens[0].text(src), "fn");
+        assert_eq!(l.tokens[0].kind, Kind::Ident);
+        assert!(l.tokens.iter().all(|t| t.lo < t.hi && t.hi <= src.len()));
+        assert!(l.tokens.windows(2).all(|w| w[0].hi <= w[1].lo), "spans ordered");
+    }
+
+    #[test]
+    fn byte_raw_strings_are_single_tokens() {
+        for (src, kind) in [
+            (r#"let x = br"HashMap Instant";"#, Kind::ByteRawStr),
+            ("let x = br#\"nested \"quote\" inside\"#;", Kind::ByteRawStr),
+            (r#"let x = b"bytes \" here";"#, Kind::ByteStr),
+            ("let x = r#\"raw \"q\" body\"#;", Kind::RawStr),
+        ] {
+            let toks = kinds(src);
+            let lit = toks.iter().find(|(k, _)| *k == kind);
+            assert!(lit.is_some(), "no {kind:?} token in {src}: {toks:?}");
+            let semi = toks.last().expect("token stream non-empty");
+            assert_eq!(semi.1, ";", "literal consumed past its closing delimiter in {src}");
+        }
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let l = lex(src);
+        let toks: Vec<&str> = l.tokens.iter().map(|t| t.text(src)).collect();
+        assert_eq!(toks, ["a", "b"]);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn char_byte_and_lifetime_disambiguation() {
+        let toks = kinds("('}', b'x', 'a', '\\n', &'static str)");
+        let lits: Vec<Kind> = toks.iter().map(|(k, _)| *k).collect();
+        assert!(lits.contains(&Kind::CharLit));
+        assert!(lits.contains(&Kind::ByteLit));
+        assert!(lits.contains(&Kind::Lifetime));
+        // The brace inside '}' must not surface as a Close token.
+        assert!(!toks.iter().any(|(k, t)| *k == Kind::Close && t == "}"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Ident && t == "r#match"));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let toks = kinds("for i in 0..16 { x = 1.5 + 2.max(i) + 0x1f; }");
+        let nums: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == Kind::Num).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(nums, ["0", "16", "1.5", "2", "0x1f"]);
+    }
+
+    #[test]
+    fn strip_preserves_columns_and_delimiters() {
+        let src = "let m = x.expect(\"spec\"); // HashMap here\n";
+        let l = lex(src);
+        let s = strip_lines(src, &l);
+        assert_eq!(s.len(), 1);
+        assert!(s[0].starts_with("let m = x.expect(\"    \");"), "got: {:?}", s[0]);
+        assert!(!s[0].contains("HashMap"));
+    }
+
+    #[test]
+    fn strip_blanks_byte_raw_strings_and_nested_comments() {
+        let src = "let a = br#\"HashMap\"#; /* Instant /* SystemTime */ */ let b = 1;\n";
+        let s = strip_lines(src, &lex(src));
+        assert!(!s[0].contains("HashMap"), "byte-raw interior leaked: {:?}", s[0]);
+        assert!(!s[0].contains("Instant"), "nested comment leaked: {:?}", s[0]);
+        assert!(!s[0].contains("SystemTime"));
+        assert!(s[0].contains("let b = 1;"), "code after nested comment lost: {:?}", s[0]);
+        assert_eq!(s[0].len(), src.len() - 1, "columns must be preserved");
+    }
+
+    #[test]
+    fn multiline_strings_blank_across_lines() {
+        let src = "let s = \"line one\nHashMap line\";\nlet t = 2;\n";
+        let s = strip_lines(src, &lex(src));
+        assert_eq!(s.len(), 3);
+        assert!(!s[1].contains("HashMap"));
+        assert!(s[1].ends_with("\";"), "closing delimiter kept: {:?}", s[1]);
+        assert_eq!(s[2], "let t = 2;");
+    }
+
+    #[test]
+    fn relex_of_rendered_tokens_is_stable() {
+        let src = "impl Foo { fn f(&self) -> u64 { self.map.keys().count() as u64 } }";
+        let l = lex(src);
+        let rendered: Vec<&str> = l.tokens.iter().map(|t| t.text(src)).collect();
+        let joined = rendered.join(" ");
+        let l2 = lex(&joined);
+        let rendered2: Vec<&str> = l2.tokens.iter().map(|t| t.text(&joined)).collect();
+        assert_eq!(rendered, rendered2);
+    }
+}

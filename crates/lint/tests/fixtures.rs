@@ -7,18 +7,46 @@
 //! test lints the real workspace: the tree must be deny-clean so that a
 //! freshly seeded violation is attributable to the patch that added it.
 
-use avatar_lint::{lint_source, lint_workspace, Config, Finding};
+use avatar_lint::{lint_source, lint_sources, lint_workspace, Config, Finding};
 use std::fs;
 use std::path::Path;
 
-/// Lints one fixture under the hot-path crate scope.
-fn lint_fixture(name: &str) -> Vec<Finding> {
+fn read_fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
-    let source = fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// Lints one fixture under the hot-path crate scope (local rules only).
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    let source = read_fixture(name);
     let mut out = Vec::new();
     lint_source(&format!("crates/sim/src/{name}"), &source, &Config::default(), &mut out);
     out
+}
+
+/// Lints one fixture as a one-file workspace under the hot-path crate
+/// scope, so the semantic rules (item graph, call graph) run too.
+fn lint_fixture_semantic(name: &str) -> Vec<Finding> {
+    let files = vec![(format!("crates/sim/src/{name}"), read_fixture(name))];
+    lint_sources(&files, &Config::default()).findings
+}
+
+/// Asserts the semantic fixture produces exactly one deny finding of
+/// `rule` at `line`, and that its clean twin produces nothing at all.
+fn assert_semantic_golden(stem: &str, rule: &str, line: usize) {
+    let found = lint_fixture_semantic(&format!("{stem}_violation.rs"));
+    assert_eq!(
+        found.len(),
+        1,
+        "{stem}_violation.rs must seed exactly one finding, got: {found:#?}"
+    );
+    assert_eq!(found[0].rule, rule, "wrong rule for {stem}");
+    assert_eq!(found[0].line, line, "wrong line for {stem}");
+    assert!(!found[0].allowed, "seeded violation must be deny-level");
+
+    let clean = lint_fixture_semantic(&format!("{stem}_clean.rs"));
+    assert!(clean.is_empty(), "{stem}_clean.rs must scan clean, got: {clean:#?}");
 }
 
 /// Asserts the fixture produces exactly one deny finding of `rule` at
@@ -84,26 +112,52 @@ fn probe_span_balance_golden() {
 }
 
 #[test]
-fn shard_shared_state_golden() {
-    // This rule is scoped to the shard-domain file *list*, not a crate,
-    // so the fixture is linted as if it were `crates/sim/src/sm.rs`.
-    let lint_as = |name: &str, rel: &str| -> Vec<Finding> {
-        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
-        let source = fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
-        let mut out = Vec::new();
-        lint_source(rel, &source, &Config::default(), &mut out);
-        out
+fn digest_field_parity_golden() {
+    assert_semantic_golden("digest_field_parity", "digest-field-parity", 8);
+}
+
+#[test]
+fn checkpoint_field_parity_golden() {
+    assert_semantic_golden("checkpoint_field_parity", "checkpoint-field-parity", 16);
+}
+
+#[test]
+fn map_iteration_determinism_golden() {
+    assert_semantic_golden("map_iteration_determinism", "map-iteration-determinism", 12);
+}
+
+#[test]
+fn shard_reachability_golden() {
+    // The rule needs the workspace call graph, so these fixtures are
+    // directories of cooperating files, linted together under their
+    // shard-domain / helper / shared-domain paths.
+    let lint_dir = |dir: &str, sm_as: &str| -> Vec<Finding> {
+        let files: Vec<(String, String)> = ["sm.rs", "addr.rs", "dram.rs"]
+            .iter()
+            .map(|name| {
+                let rel =
+                    if *name == "sm.rs" { sm_as.to_string() } else { format!("crates/sim/src/{name}") };
+                (rel, read_fixture(&format!("{dir}/{name}")))
+            })
+            .collect();
+        lint_sources(&files, &Config::default()).findings
     };
-    let found = lint_as("shard_shared_state_violation.rs", "crates/sim/src/sm.rs");
+    let found = lint_dir("shard_reachability_violation", "crates/sim/src/sm.rs");
     assert_eq!(found.len(), 1, "exactly one seeded finding, got: {found:#?}");
-    assert_eq!(found[0].rule, "shard-shared-state");
-    assert_eq!(found[0].line, 5);
+    assert_eq!(found[0].rule, "shard-reachability");
+    assert_eq!(found[0].file, "crates/sim/src/sm.rs");
+    assert_eq!(found[0].line, 6, "anchored at the first hop's call site");
     assert!(!found[0].allowed);
-    let clean = lint_as("shard_shared_state_clean.rs", "crates/sim/src/sm.rs");
+    assert!(
+        found[0].message.contains("Dram::service"),
+        "message must name the shared-domain method: {}",
+        found[0].message
+    );
+    let clean = lint_dir("shard_reachability_clean", "crates/sim/src/sm.rs");
     assert!(clean.is_empty(), "clean twin must scan clean, got: {clean:#?}");
-    // Outside the shard-domain file list the violation is out of scope.
-    let elsewhere = lint_as("shard_shared_state_violation.rs", "crates/sim/src/walker.rs");
+    // The same entry chain outside the shard-domain file list is out of
+    // scope: only sm.rs/cache.rs/tlb.rs entry points are constrained.
+    let elsewhere = lint_dir("shard_reachability_violation", "crates/sim/src/walker.rs");
     assert!(elsewhere.is_empty(), "rule fired outside shard-domain files: {elsewhere:#?}");
 }
 

@@ -1,0 +1,19 @@
+//! Fixture: the sanctioned shape — `save_state` and `load_state` touch
+//! identical field sets, so a restore reproduces the saved run exactly.
+
+pub struct FixtureQueue {
+    pub head: u64,
+    pub tail: u64,
+}
+
+impl FixtureQueue {
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.head);
+        out.push(self.tail);
+    }
+
+    pub fn load_state(&mut self, data: &[u64]) {
+        self.head = data[0];
+        self.tail = data[1];
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: a `save_state`/`load_state` pair that disagrees on the
+//! field set — `tail` is saved but never restored, so a checkpoint
+//! round-trip silently diverges from the uncheckpointed run.
+
+pub struct FixtureQueue {
+    pub head: u64,
+    pub tail: u64,
+}
+
+impl FixtureQueue {
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.head);
+        out.push(self.tail);
+    }
+
+    pub fn load_state(&mut self, data: &[u64]) {
+        self.head = data[0];
+    }
+}

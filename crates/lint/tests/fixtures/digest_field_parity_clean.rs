@@ -1,0 +1,14 @@
+//! Fixture: the sanctioned shape — every field of a digest-bearing
+//! struct folds into its digest (or would carry a reasoned
+//! `lint:digest-exempt(...)` marker naming why it is excluded).
+
+pub struct FixtureStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl FixtureStats {
+    pub fn digest(&self) -> u64 {
+        self.hits.wrapping_mul(31) ^ self.misses
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: a digest-bearing struct with a field the digest never
+//! folds. A counter that silently falls out of `digest()` weakens every
+//! digest-equality gate in CI — runs can diverge in `misses` and still
+//! compare equal.
+
+pub struct FixtureStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl FixtureStats {
+    pub fn digest(&self) -> u64 {
+        self.hits
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: the sanctioned shape — collect the keys, sort them, then
+//! fold in sorted order. The digest now depends only on map contents.
+
+pub struct FixtureTable {
+    pub slots: FxHashMap<u64, u64>,
+}
+
+impl FixtureTable {
+    pub fn digest(&self) -> u64 {
+        let mut keys: Vec<u64> = self.slots.keys().copied().collect();
+        keys.sort_unstable();
+        let mut h = 0u64;
+        for k in keys {
+            h = h.wrapping_mul(31) ^ k;
+        }
+        h
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: hash-map iteration order leaking into a digest. Folding
+//! `(k, v)` pairs in hash order makes the digest depend on allocator
+//! layout and hasher seams, not on model state.
+
+pub struct FixtureTable {
+    pub slots: FxHashMap<u64, u64>,
+}
+
+impl FixtureTable {
+    pub fn digest(&self) -> u64 {
+        let mut h = 0u64;
+        for (k, v) in self.slots.iter() {
+            h = h.wrapping_mul(31) ^ k ^ v;
+        }
+        h
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: the shared-domain memory model, reachable from shards only
+//! through scheduled events — defining it is fine, reaching it is not.
+
+pub struct Dram {
+    pub queue_depth: u64,
+}
+
+impl Dram {
+    pub fn service(&mut self, now: u64) {
+        self.queue_depth = now;
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: the sanctioned shape — the shard domain requests
+//! shared-domain work by scheduling an event; the calendar's exchange
+//! rings deliver it at a deterministic point in the shared timeline.
+
+pub fn tick(q: &mut crate::event::EventQueue, now: u64) {
+    q.schedule(now + 1, crate::event::Ev::DramTick);
+}

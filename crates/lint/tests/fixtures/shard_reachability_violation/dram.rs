@@ -1,0 +1,12 @@
+//! Fixture: the shared-domain memory model the shard must not touch
+//! directly.
+
+pub struct Dram {
+    pub queue_depth: u64,
+}
+
+impl Dram {
+    pub fn service(&mut self, now: u64) {
+        self.queue_depth = now;
+    }
+}

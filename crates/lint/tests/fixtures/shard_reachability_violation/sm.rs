@@ -1,0 +1,7 @@
+//! Fixture: a shard-domain entry point whose helper chain reaches the
+//! shared domain two hops away — a route the retired file-scoped
+//! `shard-shared-state` rule could not see.
+
+pub fn tick(now: u64) {
+    crate::addr::poke(now);
+}

@@ -1,0 +1,92 @@
+//! Lexer property test: strip → relex round-trips on every workspace
+//! source file.
+//!
+//! `lexer::strip_lines` claims two invariants the local rules depend
+//! on: (1) byte-for-byte column preservation — every stripped line has
+//! exactly the length of its original, so finding columns/spans remain
+//! meaningful; (2) token preservation — code tokens survive verbatim,
+//! string tokens keep their delimiters with a blanked interior, and
+//! comments and char/byte literals vanish into spaces. Together they
+//! imply a strong checkable property: relexing the stripped text must
+//! yield exactly the original token stream, minus comments and
+//! char/byte literals, at identical byte offsets. Running the check
+//! over every real workspace file exercises the lexer against every
+//! string/comment/lifetime shape the codebase actually contains — a
+//! far broader corpus than hand-written unit fixtures.
+
+use avatar_lint::lexer::{lex, strip_lines, Kind};
+use avatar_lint::workspace_files;
+use std::fs;
+use std::path::Path;
+
+#[test]
+fn strip_relex_round_trips_on_every_workspace_file() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = workspace_files(&root).expect("workspace root is scannable");
+    assert!(files.len() > 50, "scan missed most of the workspace");
+    let mut checked = 0usize;
+    for path in &files {
+        let src = fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let lexed = lex(&src);
+        let stripped_lines = strip_lines(&src, &lexed);
+
+        // Invariant 1: line count and per-line byte length are preserved.
+        let raw: Vec<&str> = src.lines().collect();
+        assert_eq!(
+            stripped_lines.len(),
+            raw.len(),
+            "{}: line count changed by stripping",
+            path.display()
+        );
+        for (i, (r, s)) in raw.iter().zip(&stripped_lines).enumerate() {
+            assert_eq!(
+                r.len(),
+                s.len(),
+                "{}:{}: stripped line length differs\n raw: {r:?}\n strip: {s:?}",
+                path.display(),
+                i + 1
+            );
+        }
+
+        // Invariant 2: relexing the stripped text reproduces the token
+        // stream minus comments and char/byte literals, span-identical.
+        // Rebuild the stripped text with the original line terminators
+        // so byte offsets line up.
+        let mut stripped = stripped_lines.join("\n");
+        if src.ends_with('\n') && !src.is_empty() {
+            stripped.push('\n');
+        }
+        assert_eq!(
+            stripped.len(),
+            src.len(),
+            "{}: stripped text length differs from source",
+            path.display()
+        );
+        let relexed = lex(&stripped);
+        let expected: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| !matches!(t.kind, Kind::CharLit | Kind::ByteLit))
+            .collect();
+        assert_eq!(
+            relexed.tokens.len(),
+            expected.len(),
+            "{}: token count changed by strip→relex",
+            path.display()
+        );
+        for (orig, re) in expected.iter().zip(&relexed.tokens) {
+            assert_eq!(
+                (orig.kind, orig.lo, orig.hi, orig.line),
+                (re.kind, re.lo, re.hi, re.line),
+                "{}: token moved across strip→relex (orig {:?} vs relexed {:?})",
+                path.display(),
+                orig,
+                re
+            );
+        }
+        assert!(relexed.comments.is_empty(), "{}: comments survived stripping", path.display());
+        checked += 1;
+    }
+    assert_eq!(checked, files.len());
+}

@@ -355,6 +355,7 @@ impl SectorCache {
     /// Serializes the directory's mutable state (tags, LRU stamps, packed
     /// sector flags, scan hints). Geometry is configuration-derived; the
     /// slice length checks on load catch a mismatch.
+    // lint:exempt(checkpoint-field-parity: assoc is construction-time geometry; load_state reads it only to validate per-set way counts against the live configuration)
     pub fn save_state(&self, w: &mut Writer) {
         w.u64_slice(&self.tags);
         w.u64_slice(&self.stamps);

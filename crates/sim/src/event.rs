@@ -471,6 +471,7 @@ impl<E> EventQueue<E> {
     /// order. Slab slot indices and the ring/overflow partition are
     /// *not* serialized — they are internal bookkeeping with no effect
     /// on pop order, and restore re-inserts canonically.
+    // lint:exempt(checkpoint-field-parity: free, heads, tails, occupied, overflow, and ring_len are slab/ring bookkeeping with no effect on pop order; load_state clears them and re-inserts every event canonically)
     pub(crate) fn save_state(&self, w: &mut Writer, enc: &mut dyn FnMut(&mut Writer, &E)) {
         w.u64(self.cursor);
         w.u64(self.seq);

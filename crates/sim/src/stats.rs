@@ -325,19 +325,24 @@ pub struct Stats {
     /// (`probes` feature; zeroes otherwise). The conservation invariant
     /// `latency_breakdown.total_cycles() == sector_latency.sum()` is
     /// test- and fig20-enforced.
+    // lint:digest-exempt(probe-fed attribution, zero unless the probes feature is on; excluded so the feature cannot shift the determinism digest)
     pub latency_breakdown: LatencyBreakdown,
     /// Log2 histogram of completed page-walk latencies, enqueue to
     /// done (`probes` feature; empty otherwise).
+    // lint:digest-exempt(probe-fed histogram, empty unless the probes feature is on; excluded so the feature cannot shift the determinism digest)
     pub walk_latency_hist: Histogram,
     /// Log2 histogram of rapid-validation windows: speculative fetch
     /// registration to CAVA verdict (`probes` feature; empty otherwise).
+    // lint:digest-exempt(probe-fed histogram, empty unless the probes feature is on; excluded so the feature cannot shift the determinism digest)
     pub validation_latency_hist: Histogram,
     /// Log2 histogram of queueing waits: TLB/cache port-grant delays
     /// plus walk-buffer residency before a walker picks the walk up
     /// (`probes` feature; empty otherwise).
+    // lint:digest-exempt(probe-fed histogram, empty unless the probes feature is on; excluded so the feature cannot shift the determinism digest)
     pub queue_latency_hist: Histogram,
     /// Log2 histogram of DRAM service times, arrival to data return
     /// (`probes` feature; empty otherwise).
+    // lint:digest-exempt(probe-fed histogram, empty unless the probes feature is on; excluded so the feature cannot shift the determinism digest)
     pub dram_service_hist: Histogram,
 
     // --- Sharded-calendar structure counters (DESIGN.md §11) --------
@@ -348,18 +353,24 @@ pub struct Stats {
     // counters necessarily differ. All zero (and `shard_events`
     // empty) on the single-calendar path.
     /// Horizon barriers taken by the sharded calendar.
+    // lint:digest-exempt(host calendar-structure counter; differs across shard counts by construction while the digest is pinned shard-invariant)
     pub horizon_barriers: u64,
     /// Times a non-empty shard domain was held at a horizon barrier.
+    // lint:digest-exempt(host calendar-structure counter; differs across shard counts by construction while the digest is pinned shard-invariant)
     pub horizon_stalls: u64,
     /// Cross-domain events staged through the exchange rings.
+    // lint:digest-exempt(host calendar-structure counter; differs across shard counts by construction while the digest is pinned shard-invariant)
     pub exchange_enqueued: u64,
     /// Exchange-ring events delivered at horizon barriers.
+    // lint:digest-exempt(host calendar-structure counter; differs across shard counts by construction while the digest is pinned shard-invariant)
     pub exchange_dequeued: u64,
     /// Cross-domain events under the horizon delivered directly
     /// (sub-lookahead edges bypass the rings).
+    // lint:digest-exempt(host calendar-structure counter; differs across shard counts by construction while the digest is pinned shard-invariant)
     pub exchange_bypass: u64,
     /// Events dispatched per calendar domain (shard domains in index
     /// order, then the shared domain last).
+    // lint:digest-exempt(host per-domain dispatch tally; differs across shard counts by construction while the digest is pinned shard-invariant)
     pub shard_events: Vec<u64>,
 }
 

@@ -127,6 +127,7 @@ impl PwCache {
 
     /// Serializes the cache's entries in insertion order plus the LRU
     /// clock (capacity is configuration-derived).
+    // lint:exempt(checkpoint-field-parity: capacity is construction-time geometry; load_state reads it only to reject streams larger than the live cache)
     pub fn save_state(&self, w: &mut Writer) {
         w.usize(self.entries.len());
         for &(k, t) in &self.entries {
@@ -319,6 +320,7 @@ impl PageWalkSystem {
 
     /// Serializes the walk system's mutable state: the queued and active
     /// walks, the id allocation cursor, and the page-walk cache.
+    // lint:exempt(checkpoint-field-parity: cfg is fixed at construction; load_state reads it only to validate stream compatibility with the live walker configuration)
     pub fn save_state(&self, w: &mut Writer) {
         w.usize(self.queue.len());
         for q in &self.queue {

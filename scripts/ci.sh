@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification + a quick throughput smoke run with a regression gate.
 #
-# Fails if the build breaks, avatar-lint reports any deny finding, clippy
+# Fails if the build breaks, avatar-lint reports any deny finding (local
+# rules plus the workspace-semantic rules: shard-reachability,
+# digest/checkpoint field parity, map-iteration determinism), the lint
+# cache fails its warm re-lint gate (a repeat scan into a fresh cache
+# file must replay as a hit and beat the AVATAR_LINT_SPEEDUP_MIN floor,
+# default 5x), clippy
 # reports any warning, any test fails (including the probes-off build and
 # the checked-mode `--features invariants` suite), the inline-hit fast
 # path changes any simulated statistic (the on/off digest differential),
@@ -32,11 +37,45 @@ cd "$(dirname "$0")/.."
 echo "== build (release) =="
 cargo build --release
 
-echo "== avatar-lint (deny gate) =="
-# The JSON report is archived next to the throughput baseline so a CI
-# failure leaves a machine-readable artifact (exit is non-zero on any
-# deny finding; `allowed` sites are still listed in the report).
-cargo run --release -q -p avatar-lint -- --json BENCH_lint.json --show-allowed
+echo "== avatar-lint (semantic deny gate) =="
+# The JSON report (per-rule counts + wall time) is archived next to the
+# throughput baseline so a CI failure leaves a machine-readable artifact
+# (exit is non-zero on any deny finding; `allowed` sites are still
+# listed in the report), and the SARIF dump under target/ is the
+# code-scanning upload artifact. The scan runs into a fresh cache file
+# so the warm re-lint below exercises a true cold-then-hit pair.
+lint_cache=$(mktemp -u /tmp/avatar-lint-cache.XXXXXX.txt)
+lint_warm_json=$(mktemp /tmp/avatar-lint-warm.XXXXXX.json)
+cargo run --release -q -p avatar-lint -- \
+    --json BENCH_lint.json --sarif target/avatar-lint.sarif \
+    --cache "$lint_cache" --show-allowed
+
+echo "== avatar-lint warm re-lint gate (content-addressed cache) =="
+# Same sources, same allow set, same binary: the second scan must replay
+# from the cache (status "hit") and come in at least
+# AVATAR_LINT_SPEEDUP_MIN times faster than the cold pass (default 5;
+# the warm path reads sources and verifies the key but skips the lexer,
+# item graph, and call graph entirely).
+cargo run --release -q -p avatar-lint -- \
+    --json "$lint_warm_json" --cache "$lint_cache" --quiet
+grep -q '"cache": "hit"' "$lint_warm_json" || {
+    echo "LINT CACHE GATE: warm re-lint did not replay from cache" >&2
+    exit 1
+}
+lint_wall_ms() { grep -o '"wall_ms": [0-9]*' "$1" | head -1 | grep -o '[0-9]*'; }
+awk -v cold="$(lint_wall_ms BENCH_lint.json)" \
+    -v warm="$(lint_wall_ms "$lint_warm_json")" \
+    -v min="${AVATAR_LINT_SPEEDUP_MIN:-5}" 'BEGIN {
+    if (warm < 1) warm = 1;
+    ratio = cold / warm;
+    printf "lint warm re-lint: cold %d ms, warm %d ms, speedup %.1fx (floor %sx)\n",
+           cold, warm, ratio, min;
+    if (ratio < min) {
+        print "LINT CACHE GATE: warm re-lint below the speedup floor" > "/dev/stderr";
+        exit 1;
+    }
+}'
+rm -f "$lint_cache" "$lint_warm_json"
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
