@@ -17,13 +17,18 @@
 //! count in [`SHARD_COUNTS`] (single-threaded): the sharded calendar is
 //! pinned digest-identical to the serial pass, so a divergence here is a
 //! hard `DETERMINISM VIOLATION` failure exactly like a thread-count
-//! divergence. Entries carry `scaling_measured: false` when the host has
-//! one CPU (or the pass is single-threaded) — scaling numbers from a
-//! serialized box are noise and the regression gate must not key on them.
-//! On a one-CPU host the 2/4/8-thread passes are skipped outright: they
-//! would re-measure the serial pass three times for numbers the gate
-//! already refuses to key on. The shard sweep still runs — shard-count
-//! digest parity is a correctness gate, not a scaling measurement.
+//! divergence. A second sweep runs the grid once per intra-engine shard
+//! *worker* count in [`WORKER_COUNTS`] (one runner thread, four calendar
+//! shards): the parallel shard-lane engine is pinned digest-identical
+//! too, and its entries are what CI's conditional worker-scaling gate
+//! keys on. Entries carry `scaling_measured: false` when the host has
+//! one CPU (or the pass ran no host parallelism at all) — scaling
+//! numbers from a serialized box are noise and the regression gates must
+//! not key on them. On a one-CPU host the 2/4/8-thread passes are
+//! skipped outright: they would re-measure the serial pass three times
+//! for numbers the gate already refuses to key on. The shard and worker
+//! sweeps still run — digest parity is a correctness gate, not a
+//! scaling measurement.
 //!
 //! The result cache is pinned **off** before argument parsing: every
 //! number this harness reports is a wall-clock measurement, and a replay
@@ -54,8 +59,16 @@ const MEASURE_REPEATS: usize = 5;
 /// one runner thread. Digest parity with the serial pass is enforced.
 const SHARD_COUNTS: [usize; 3] = [2, 4, 8];
 
-fn grid(opts: &HarnessArgs, shards: Option<usize>) -> Vec<Scenario> {
-    let ro = opts.run_options();
+/// Intra-engine shard worker counts exercised after the shard sweep,
+/// each on one runner thread with four calendar shards (workers can only
+/// split work that sharding already partitioned). Digest parity with the
+/// serial pass is enforced; CI's worker-scaling gate keys on these
+/// entries when the host has enough CPUs to make the number meaningful.
+const WORKER_COUNTS: [usize; 2] = [2, 4];
+
+fn grid(opts: &HarnessArgs, shards: Option<usize>, workers: usize) -> Vec<Scenario> {
+    let mut ro = opts.run_options();
+    ro.workers = Some(workers);
     let mut scenarios = Vec::new();
     for w in Workload::all() {
         let w = Arc::new(w);
@@ -117,12 +130,14 @@ fn measure(results: &[ScenarioResult]) -> PassMeasure {
     m
 }
 
-/// One measurement pass of the grid: a runner thread count plus an
-/// optional calendar shard-count tweak (`None` = the `--shards` /
-/// `AVATAR_SHARDS` default the thread sweep runs under).
+/// One measurement pass of the grid: a runner thread count, an
+/// intra-engine shard worker count, plus an optional calendar
+/// shard-count tweak (`None` = the `--shards` / `AVATAR_SHARDS` default
+/// the thread sweep runs under).
 struct Pass {
     threads: usize,
     shards: usize,
+    workers: usize,
     tweak: Option<usize>,
 }
 
@@ -133,7 +148,8 @@ fn main() {
     // AVATAR_CACHE cannot re-enable it here.
     avatar_bench::cache::configure(None);
     let opts = HarnessArgs::parse();
-    let n_cells = grid(&opts, None).len();
+    let base_workers = opts.effective_workers();
+    let n_cells = grid(&opts, None, base_workers).len();
 
     // Host environment + speed-knob provenance, recorded per JSON entry so
     // a benchmark number can never be quoted without the knobs it ran
@@ -150,7 +166,12 @@ fn main() {
     let mut passes: Vec<Pass> = THREAD_COUNTS
         .iter()
         .filter(|&&threads| threads == 1 || cpus > 1)
-        .map(|&threads| Pass { threads, shards: base_shards, tweak: opts.shards })
+        .map(|&threads| Pass {
+            threads,
+            shards: base_shards,
+            workers: base_workers,
+            tweak: opts.shards,
+        })
         .collect();
     if cpus == 1 {
         eprintln!(
@@ -158,9 +179,18 @@ fn main() {
             THREAD_COUNTS.len() - passes.len()
         );
     }
-    passes.extend(
-        SHARD_COUNTS.iter().map(|&n| Pass { threads: 1, shards: n, tweak: Some(n) }),
-    );
+    passes.extend(SHARD_COUNTS.iter().map(|&n| Pass {
+        threads: 1,
+        shards: n,
+        workers: base_workers,
+        tweak: Some(n),
+    }));
+    passes.extend(WORKER_COUNTS.iter().map(|&w| Pass {
+        threads: 1,
+        shards: 4,
+        workers: w,
+        tweak: Some(4),
+    }));
 
     let mut json = Vec::new();
     let mut rows = Vec::new();
@@ -169,11 +199,11 @@ fn main() {
     let mut serial_digest = 0u64;
     let mut total_failed = 0usize;
     for (i, pass) in passes.iter().enumerate() {
-        let &Pass { threads, shards, tweak } = pass;
+        let &Pass { threads, shards, workers, tweak } = pass;
         let serial_pass = i == 0;
         eprintln!(
             "throughput: {n_cells} cells, pass {}/{} on {threads} thread(s), \
-             {shards} shard(s){}...",
+             {shards} shard(s), {workers} worker(s){}...",
             i + 1,
             passes.len(),
             if serial_pass { format!(" (best of {MEASURE_REPEATS})") } else { String::new() }
@@ -183,7 +213,7 @@ fn main() {
         let mut results = Vec::new();
         for _ in 0..repeats {
             let t0 = Instant::now(); // lint:allow(nondeterminism)
-            let pass = run_scenarios(threads, grid(&opts, tweak));
+            let pass = run_scenarios(threads, grid(&opts, tweak, workers));
             let s = t0.elapsed().as_secs_f64();
             if s < wall_s {
                 wall_s = s;
@@ -201,20 +231,23 @@ fn main() {
             serial_digest = digest;
         } else if digest != serial_digest {
             eprintln!(
-                "DETERMINISM VIOLATION: pass with {threads} thread(s), {shards} shard(s) \
-                 digest {digest:#018x} != serial digest {serial_digest:#018x}"
+                "DETERMINISM VIOLATION: pass with {threads} thread(s), {shards} shard(s), \
+                 {workers} worker(s) digest {digest:#018x} != serial digest \
+                 {serial_digest:#018x}"
             );
             total_failed += 1;
         }
         let cells_per_sec = n_cells as f64 / wall_s;
         let scaling = serial_s / wall_s;
-        // Thread-scaling numbers only mean something when the pass was
-        // actually parallel on actually-parallel hardware; a one-CPU box
-        // serializes every pass and the "scaling" is scheduler noise.
-        let scaling_measured = cpus > 1 && threads > 1;
+        // Scaling numbers only mean something when the pass was actually
+        // parallel (grid threads or intra-engine workers) on
+        // actually-parallel hardware; a one-CPU box serializes every
+        // pass and the "scaling" is scheduler noise.
+        let scaling_measured = cpus > 1 && (threads > 1 || workers > 1);
         rows.push(vec![
             threads.to_string(),
             shards.to_string(),
+            workers.to_string(),
             format!("{wall_s:.2}"),
             format!("{cells_per_sec:.3}"),
             if scaling_measured { format!("{scaling:.2}") } else { format!("{scaling:.2}*") },
@@ -226,6 +259,7 @@ fn main() {
             "cells": n_cells,
             "threads": threads,
             "shards": shards,
+            "workers": workers,
             "cpus": cpus,
             "digest": format!("{digest:#018x}"),
             "events_processed": events,
@@ -245,9 +279,12 @@ fn main() {
         "\nThroughput: scenario grid (scale {}, {} SMs x {} warps)",
         opts.scale, opts.sms, opts.warps
     );
-    println!("(* = scaling not measured: single-threaded pass or one-CPU host)");
+    println!("(* = scaling not measured: fully serial pass or one-CPU host)");
     print_table(
-        &["Threads", "Shards", "Wall (s)", "Cells/sec", "Scaling", "Events/sec", "FastPath", "Failed"],
+        &[
+            "Threads", "Shards", "Workers", "Wall (s)", "Cells/sec", "Scaling", "Events/sec",
+            "FastPath", "Failed",
+        ],
         &rows,
     );
 

@@ -108,7 +108,7 @@ impl TranslationAccel for AvatarPolicy {
         }
     }
 
-    fn on_spec_fill(&mut self, ctx: &SpecFillContext) -> SpecFillAction {
+    fn on_spec_fill(&self, ctx: &SpecFillContext) -> SpecFillAction {
         match self.validation {
             // CAST-only: no validation hardware — always wait.
             ValidationKind::None => SpecFillAction::AwaitTranslation,
@@ -200,35 +200,35 @@ mod tests {
 
     #[test]
     fn cava_validates_matching_vpn() {
-        let mut p = AvatarPolicy::avatar(1, 32, 2);
+        let p = AvatarPolicy::avatar(1, 32, 2);
         let action = p.on_spec_fill(&ctx(true, Some(PageMeta { vpn: Vpn(42), asid: 1 }), 42));
         assert_eq!(action, SpecFillAction::Validated { eaf: true });
     }
 
     #[test]
     fn cava_invalidates_vpn_mismatch() {
-        let mut p = AvatarPolicy::avatar(1, 32, 2);
+        let p = AvatarPolicy::avatar(1, 32, 2);
         let action = p.on_spec_fill(&ctx(true, Some(PageMeta { vpn: Vpn(43), asid: 1 }), 42));
         assert_eq!(action, SpecFillAction::Invalidate);
     }
 
     #[test]
     fn cava_invalidates_asid_mismatch() {
-        let mut p = AvatarPolicy::avatar(1, 32, 2);
+        let p = AvatarPolicy::avatar(1, 32, 2);
         let action = p.on_spec_fill(&ctx(true, Some(PageMeta { vpn: Vpn(42), asid: 9 }), 42));
         assert_eq!(action, SpecFillAction::Invalidate);
     }
 
     #[test]
     fn raw_sector_awaits_translation() {
-        let mut p = AvatarPolicy::avatar(1, 32, 2);
+        let p = AvatarPolicy::avatar(1, 32, 2);
         let action = p.on_spec_fill(&ctx(false, None, 42));
         assert_eq!(action, SpecFillAction::AwaitTranslation);
     }
 
     #[test]
     fn cast_only_never_validates() {
-        let mut p = AvatarPolicy::cast_only(1, 32, 2);
+        let p = AvatarPolicy::cast_only(1, 32, 2);
         let action = p.on_spec_fill(&ctx(true, Some(PageMeta { vpn: Vpn(42), asid: 1 }), 42));
         assert_eq!(action, SpecFillAction::AwaitTranslation);
         assert_eq!(p.validation_kind(), ValidationKind::None);
@@ -237,7 +237,7 @@ mod tests {
 
     #[test]
     fn no_eaf_variant_validates_without_release() {
-        let mut p = AvatarPolicy::avatar_no_eaf(1, 32, 2);
+        let p = AvatarPolicy::avatar_no_eaf(1, 32, 2);
         let action = p.on_spec_fill(&ctx(true, Some(PageMeta { vpn: Vpn(42), asid: 1 }), 42));
         assert_eq!(action, SpecFillAction::Validated { eaf: false });
     }

@@ -112,6 +112,10 @@ pub struct RunOptions {
     /// cells sharing one `trace_out` write distinct files (typically the
     /// scenario label).
     pub trace_tag: Option<String>,
+    /// Intra-engine shard workers (`--workers` / `AVATAR_SHARD_WORKERS`);
+    /// `None` keeps the engine's own default. Host-side execution width
+    /// only — the digest is pinned identical for every value.
+    pub workers: Option<usize>,
 }
 
 impl Default for RunOptions {
@@ -127,6 +131,7 @@ impl Default for RunOptions {
             codec: avatar_bpc::Codec::Bpc,
             trace_out: None,
             trace_tag: None,
+            workers: None,
         }
     }
 }
@@ -135,9 +140,12 @@ impl RunOptions {
     /// Canonical digest over every simulation-affecting field, for
     /// result-cache keys. `trace_out`/`trace_tag` are excluded — they
     /// only add observers, never change simulated behaviour (and cached
-    /// replay is bypassed entirely when a trace is requested). The
-    /// exhaustive destructuring (no `..`) makes adding a field without
-    /// deciding its cache-key role a compile error.
+    /// replay is bypassed entirely when a trace is requested).
+    /// `workers` is excluded too: it is the host-side execution width of
+    /// the shard worker pool, and the engine pins the digest identical
+    /// for every value. The exhaustive destructuring (no `..`) makes
+    /// adding a field without deciding its cache-key role a compile
+    /// error.
     pub fn key_digest(&self) -> u64 {
         let RunOptions {
             scale,
@@ -150,6 +158,7 @@ impl RunOptions {
             codec,
             trace_out: _,
             trace_tag: _,
+            workers: _,
         } = self;
         let mut h = avatar_sim::invariant::Fnv64::new();
         h.write_u64(scale.to_bits());
@@ -358,6 +367,9 @@ pub fn assemble(
         Box::new(workload.program(cfg.num_sms, cfg.warps_per_sm, opts.scale))
     };
     let mut engine = Engine::new(cfg, l1s, l2, policy, Box::new(content), program);
+    if let Some(w) = opts.workers {
+        engine.set_workers(w);
+    }
     attach_trace(&mut engine, opts);
     engine
 }

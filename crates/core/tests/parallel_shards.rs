@@ -1,0 +1,257 @@
+//! The parallel shard worker pool must be invisible to simulated
+//! behaviour.
+//!
+//! PR 9 turns the sharded calendar into a parallel execution engine:
+//! per-shard lanes are drained by worker threads between horizon
+//! barriers, and the exchange is delivered in deterministic lane order
+//! at each barrier. The worker count (`RunOptions::workers` /
+//! `AVATAR_SHARD_WORKERS`) is pure host-side execution width: every
+//! simulated statistic — and `Stats::digest()` itself — must be
+//! byte-identical across the full (shards × workers) grid, for every
+//! figure system configuration. This is the DESIGN.md §14 gate, the
+//! worker-pool sibling of `shard_determinism.rs`.
+//!
+//! Also covered here: a checkpoint taken at a horizon barrier of a
+//! parallel run restores into a twin with a different worker count and
+//! still reproduces the serial digest (the checkpoint deliberately does
+//! not serialize the worker count), and a panic on a worker thread is
+//! contained by the same `catch_unwind` harness the bench runner wraps
+//! around every cell — a poisoned shard fails the cell, not the
+//! process.
+
+use avatar_core::system::{assemble, run_with, RunOptions, SystemConfig};
+use avatar_sim::config::GpuConfig;
+use avatar_sim::engine::Engine;
+use avatar_sim::hooks::{NoSpeculation, UniformCompression};
+use avatar_sim::sm::{WarpOp, WarpProgram};
+use avatar_sim::tlb::{BaseTlb, TlbModel};
+use avatar_sim::Stats;
+use avatar_workloads::Workload;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A representative spread of figure-bin configurations: the baseline,
+/// both prior-work baselines, CAST alone, and the full Avatar stack in
+/// both speculation-metadata variants.
+const CONFIGS: [SystemConfig; 6] = [
+    SystemConfig::Baseline,
+    SystemConfig::Promotion,
+    SystemConfig::Colt,
+    SystemConfig::CastOnly,
+    SystemConfig::Avatar,
+    SystemConfig::AvatarVpnT,
+];
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn opts(seed: u64, workers: usize) -> RunOptions {
+    RunOptions {
+        scale: 0.03,
+        sms: Some(4),
+        warps: Some(8),
+        seed,
+        workers: Some(workers),
+        ..RunOptions::default()
+    }
+}
+
+/// Zeroes the digest-excluded shard-structure counters so full `Debug`
+/// renderings can be compared field-for-field across the grid.
+fn strip_structure(mut s: Stats) -> Stats {
+    s.horizon_barriers = 0;
+    s.horizon_stalls = 0;
+    s.exchange_enqueued = 0;
+    s.exchange_dequeued = 0;
+    s.exchange_bypass = 0;
+    s.shard_events = Vec::new();
+    s
+}
+
+#[test]
+fn digest_and_debug_identical_across_the_shards_x_workers_grid() {
+    let w = Workload::by_abbr("MD").expect("workload table contains MD");
+    let mut parallel_barriers = 0u64;
+    for seed in [7u64, 99] {
+        for config in CONFIGS {
+            let serial = run_with(&w, config, &opts(seed, 1), |c| c.shards = 1);
+            let serial_digest = serial.digest();
+            let serial_debug = format!("{:?}", strip_structure(serial));
+            for shards in SHARD_COUNTS {
+                for workers in WORKER_COUNTS {
+                    if shards == 1 && workers == 1 {
+                        continue; // that IS the serial reference
+                    }
+                    let run =
+                        run_with(&w, config, &opts(seed, workers), |c| c.shards = shards);
+                    if workers > 1 {
+                        parallel_barriers += run.horizon_barriers;
+                    }
+                    assert_eq!(
+                        run.digest(),
+                        serial_digest,
+                        "{} seed {seed}: shards={shards} workers={workers} digest \
+                         diverged from serial",
+                        config.label()
+                    );
+                    assert_eq!(
+                        format!("{:?}", strip_structure(run)),
+                        serial_debug,
+                        "{} seed {seed}: shards={shards} workers={workers} leaked into \
+                         a non-digested field",
+                        config.label()
+                    );
+                }
+            }
+        }
+    }
+    // The grid must actually open bounded-lag windows under multi-worker
+    // drains, or the identity above never exercised the worker pool.
+    assert!(parallel_barriers > 0, "no multi-worker run ever opened a horizon window");
+}
+
+#[test]
+fn ideal_tlb_clamps_the_worker_pool_to_one_lane() {
+    // Ideal-TLB mode resolves translations synchronously against the
+    // shared page tables, so the engine clamps it to one lane and one
+    // worker regardless of the requested geometry. The clamp must be
+    // digest-invisible too.
+    let w = Workload::by_abbr("MD").expect("workload table contains MD");
+    let serial = run_with(&w, SystemConfig::IdealTlb, &opts(7, 1), |c| c.shards = 1);
+    let clamped = run_with(&w, SystemConfig::IdealTlb, &opts(7, 4), |c| c.shards = 8);
+    assert!(clamped.loads > 0, "the clamped run must do real work");
+    assert_eq!(clamped.digest(), serial.digest(), "ideal-TLB clamp diverged");
+}
+
+/// Events to process before taking the mid-run checkpoint: far enough in
+/// that lanes, MSHRs, walks, and the exchange hold live state.
+const CHECKPOINT_AT: u64 = 50_000;
+
+#[test]
+fn checkpoint_at_barrier_restores_across_worker_counts() {
+    // A checkpoint is only taken between windows (run_steps returns at a
+    // horizon barrier), so a parallel run's checkpoint is always
+    // barrier-aligned: lane outboxes are empty and the exchange is fully
+    // delivered. The worker count is host-side and deliberately NOT part
+    // of the checkpoint — restore into a twin with a different width and
+    // the digest must still match the straight-through serial run.
+    let w = Workload::by_abbr("MD").expect("workload table contains MD");
+    for config in [SystemConfig::Baseline, SystemConfig::Avatar] {
+        for seed in [7u64, 99] {
+            let straight = run_with(&w, config, &opts(seed, 1), |c| c.shards = 1).digest();
+
+            let mut engine = assemble(&w, config, &opts(seed, 2), |c| c.shards = 4);
+            engine.start();
+            let more = engine.run_steps(CHECKPOINT_AT);
+            let bytes = engine.save_checkpoint();
+
+            let mut twin = assemble(&w, config, &opts(seed, 4), |c| c.shards = 4);
+            twin.restore_checkpoint(&bytes).unwrap_or_else(|e| {
+                panic!("{} seed {seed}: restore failed: {e:?}", config.label())
+            });
+            twin.audit_invariants();
+            if more {
+                twin.run_steps(u64::MAX);
+            }
+            let restored = twin.finish().digest();
+
+            assert_eq!(
+                restored,
+                straight,
+                "{} seed {seed}: checkpoint restored across worker counts diverged",
+                config.label()
+            );
+        }
+    }
+}
+
+/// A program that poisons one shard: SM 3's warps issue a few loads and
+/// then panic mid-issue, on whatever thread is draining lane 3.
+#[derive(Debug, Clone)]
+struct PoisonedProgram {
+    issued: Vec<u64>,
+}
+
+impl WarpProgram for PoisonedProgram {
+    fn clone_box(&self) -> Box<dyn WarpProgram> {
+        Box::new(self.clone())
+    }
+
+    fn next_op(&mut self, sm: usize, warp: usize) -> Option<WarpOp> {
+        let n = &mut self.issued[warp];
+        if sm == 3 && *n >= 4 {
+            panic!("poisoned shard: SM 3 corrupted its lane");
+        }
+        if *n >= 64 {
+            return None;
+        }
+        let i = *n;
+        *n += 1;
+        let addr = ((sm as u64) << 32) | ((warp as u64) << 24) | (i * 4096);
+        Some(WarpOp::Load { pc: 0x40, addrs: vec![avatar_sim::addr::VirtAddr(addr)] })
+    }
+}
+
+fn poisoned_engine() -> Engine<'static> {
+    let mut cfg = GpuConfig::rtx3070();
+    cfg.num_sms = 4;
+    cfg.warps_per_sm = 4;
+    cfg.shards = 4;
+    cfg.validate().expect("valid poisoned-lane geometry");
+    let base_pages = cfg.uvm.base_page.pages();
+    let l1s: Vec<Box<dyn TlbModel>> = (0..cfg.num_sms)
+        .map(|_| {
+            Box::new(BaseTlb::new(
+                cfg.l1_tlb.base_entries,
+                cfg.l1_tlb.large_entries,
+                cfg.l1_tlb.assoc,
+                base_pages,
+            )) as Box<dyn TlbModel>
+        })
+        .collect();
+    let l2: Box<dyn TlbModel> = Box::new(BaseTlb::new(
+        cfg.l2_tlb.base_entries,
+        cfg.l2_tlb.large_entries,
+        cfg.l2_tlb.assoc,
+        base_pages,
+    ));
+    let warps = cfg.warps_per_sm;
+    let mut engine = Engine::new(
+        cfg,
+        l1s,
+        l2,
+        Box::new(NoSpeculation),
+        Box::new(UniformCompression { fraction: 0.5 }),
+        Box::new(PoisonedProgram { issued: vec![0; warps] }),
+    );
+    // Two workers over four lanes: lane 3 (SM 3) is drained by the
+    // spawned worker thread, so the panic originates off-coordinator.
+    engine.set_workers(2);
+    engine
+}
+
+#[test]
+fn worker_panic_fails_the_cell_not_the_process() {
+    // The bench runner wraps every cell in catch_unwind; the engine's
+    // worker pool re-raises a worker panic on the coordinator via
+    // resume_unwind, so the same harness contains a poisoned shard.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let engine = poisoned_engine();
+        engine.run()
+    }));
+    let payload = outcome.expect_err("the poisoned lane must panic the cell");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(
+        msg.contains("poisoned shard"),
+        "the cell failure must carry the worker's panic message, got: {msg}"
+    );
+
+    // The process (and any following cell) is unaffected: a healthy run
+    // on the same thread still completes and produces work.
+    let w = Workload::by_abbr("MD").expect("workload table contains MD");
+    let healthy = run_with(&w, SystemConfig::Avatar, &opts(7, 2), |c| c.shards = 4);
+    assert!(healthy.loads > 0, "the process must keep running healthy cells");
+}

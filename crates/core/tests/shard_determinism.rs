@@ -103,13 +103,17 @@ fn full_debug_rendering_matches_modulo_structure_counters() {
 
 /// A program where only SM 0 ever issues work: every other shard's domain
 /// runs dry immediately, the worst case for bounded-lag synchronization.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct OneSmProgram {
     issued: Vec<u64>,
     ops_per_warp: u64,
 }
 
 impl WarpProgram for OneSmProgram {
+    fn clone_box(&self) -> Box<dyn WarpProgram> {
+        Box::new(self.clone())
+    }
+
     fn next_op(&mut self, sm: usize, warp: usize) -> Option<WarpOp> {
         if sm != 0 {
             return None;

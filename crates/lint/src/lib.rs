@@ -81,15 +81,19 @@ pub const ZERO_DELTA_SCHEDULE: &str = "zero-delta-schedule";
 /// every pair in one function so this is statically checkable.
 pub const PROBE_SPAN_BALANCE: &str = "probe-span-balance";
 /// Rule id (semantic): a call path from a fn defined in a shard-domain
-/// module (`sm.rs`, `cache.rs`, `tlb.rs`) reaching a method of a
-/// shared-domain type (`PageWalkSystem`/`PwCache`/`Dram`/`Uvm`), or a
-/// direct mention of one. Under the sharded calendar, SM-side code runs
-/// inside a bounded-lag window and may only reach the shared domain
-/// through scheduled events — a direct access (even through helper
-/// fns in other modules, which the retired file-scoped
-/// `shard-shared-state` rule could not see) would read state from a
-/// different logical time and silently break the shards-1/2/4/8 digest
-/// parity gate.
+/// module (`sm.rs`, `cache.rs`, `tlb.rs`) — or from a worker entry
+/// point, an inherent method of a [`SHARD_ENTRY_TYPES`] type such as
+/// `ShardLane`, wherever it is defined — reaching a method of a
+/// shared-domain type (`PageWalkSystem`/`PwCache`/`Dram`/`Uvm`), or (in
+/// shard-domain modules) a direct mention of one. Under the sharded
+/// calendar, SM-side code runs inside a bounded-lag window, possibly on
+/// a worker thread, and may only reach the shared domain through
+/// scheduled events — a direct access (even through helper fns in other
+/// modules, which the retired file-scoped `shard-shared-state` rule
+/// could not see) would read state from a different logical time and
+/// silently break the shards-1/2/4/8 digest parity gate. Sanctioned
+/// exceptions (the one-lane one-worker ideal-TLB mode) carry
+/// `lint:exempt(shard-reachability): <reason>` at the call site.
 pub const SHARD_REACHABILITY: &str = "shard-reachability";
 /// Rule id (semantic): a field of a struct that has a `digest` /
 /// `key_digest` method is never read inside that method and carries no
@@ -131,6 +135,15 @@ const TIMER_FILE: &str = "crates/bench/src/timer.rs";
 /// directly or through helpers (see [`SHARD_REACHABILITY`]).
 pub(crate) const SHARD_DOMAIN_FILES: &[&str] =
     &["crates/sim/src/sm.rs", "crates/sim/src/cache.rs", "crates/sim/src/tlb.rs"];
+
+/// Worker entry-point types: inherent methods of these types run on
+/// shard worker threads inside the bounded-lag window, so every one of
+/// them is a first-class BFS root for [`SHARD_REACHABILITY`] regardless
+/// of which file defines it (the engine module also hosts the shared
+/// lane, so a file-scoped list cannot express this). The entry-point
+/// audit is call-graph only — the engine file legitimately *names*
+/// shared-domain types on the shared-lane side.
+pub(crate) const SHARD_ENTRY_TYPES: &[&str] = &["ShardLane"];
 
 /// Shared-domain type names whose methods must be unreachable from
 /// shard-domain code.
@@ -203,8 +216,8 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: SHARD_REACHABILITY,
-        scope: "sim shard-domain modules (sm.rs, cache.rs, tlb.rs) + workspace call graph",
-        summary: "no call path (and no direct reference) from shard-domain code to shared-domain state (PageWalkSystem/PwCache/Dram/Uvm); cross-domain work goes through scheduled events (DESIGN.md \u{a7}11, \u{a7}13)",
+        scope: "sim shard-domain modules (sm.rs, cache.rs, tlb.rs) + ShardLane worker entry points + workspace call graph",
+        summary: "no call path (and no direct reference) from shard-domain code or a ShardLane worker entry point to shared-domain state (PageWalkSystem/PwCache/Dram/Uvm); cross-domain work goes through scheduled events (DESIGN.md \u{a7}11, \u{a7}13, \u{a7}14)",
     },
     RuleInfo {
         id: DIGEST_FIELD_PARITY,

@@ -35,8 +35,8 @@ use crate::items::{self, FileModel, StructDef};
 use crate::lexer::{self, Kind, Lexed, Token};
 use crate::{
     crate_of, mark_tests, Config, Finding, CHECKPOINT_FIELD_PARITY, DIGEST_FIELD_PARITY,
-    MAP_ITERATION_DETERMINISM, MIN_EXPECT_LEN, SHARD_DOMAIN_FILES, SHARD_REACHABILITY,
-    SHARED_DOMAIN_TYPES,
+    MAP_ITERATION_DETERMINISM, MIN_EXPECT_LEN, SHARD_DOMAIN_FILES, SHARD_ENTRY_TYPES,
+    SHARD_REACHABILITY, SHARED_DOMAIN_TYPES,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -86,6 +86,13 @@ impl FileCtx<'_> {
     fn stem(&self) -> &str {
         self.file_name().strip_suffix(".rs").unwrap_or(self.file_name())
     }
+
+    /// Whether the 0-based line holds nothing but a `//` comment — used
+    /// to let an exemption marker sit at the head of a multi-line
+    /// explanation block above the flagged line.
+    fn line_is_comment(&self, l0: usize) -> bool {
+        self.src.lines().nth(l0).is_some_and(|l| l.trim_start().starts_with("//"))
+    }
 }
 
 /// `(file index, fn index within that file's model)`.
@@ -105,7 +112,8 @@ struct Workspace<'s> {
 }
 
 /// Parses reasoned exemption markers from one raw source line:
-/// `lint:exempt(rule-id: reason)` and the digest-rule shorthand
+/// `lint:exempt(rule-id: reason)`, the trailing-reason form
+/// `lint:exempt(rule-id): reason`, and the digest-rule shorthand
 /// `lint:digest-exempt(reason)`.
 fn parse_exempts(raw: &str) -> Vec<(String, String)> {
     let mut out = Vec::new();
@@ -124,7 +132,15 @@ fn parse_exempts(raw: &str) -> Vec<(String, String)> {
         if let Some((rule, reason)) = inner.split_once(':') {
             out.push((rule.trim().to_string(), reason.trim().to_string()));
         } else {
-            out.push((inner.trim().to_string(), String::new()));
+            // Bare rule id inside the parens: the reason may trail the
+            // closing paren — `lint:exempt(rule): reason…` — and spill
+            // onto the following comment lines.
+            let reason = after[close + 1..]
+                .trim_start()
+                .strip_prefix([':', '—', '-'])
+                .unwrap_or("")
+                .trim();
+            out.push((inner.trim().to_string(), reason.to_string()));
         }
         rest = &after[close..];
     }
@@ -529,9 +545,20 @@ impl<'s> Workspace<'s> {
     ) {
         let ctx = &self.files[file];
         let l0 = line as usize - 1;
-        let marker = [Some(l0), l0.checked_sub(1)]
+        // The marker may sit on the flagged line, the line directly
+        // above, or at the head of the contiguous comment block ending
+        // directly above (a multi-line exemption explanation).
+        let mut candidates = vec![l0];
+        let mut k = l0;
+        while k > 0 {
+            k -= 1;
+            candidates.push(k);
+            if !ctx.line_is_comment(k) {
+                break;
+            }
+        }
+        let marker = candidates
             .into_iter()
-            .flatten()
             .filter_map(|l| ctx.exempts.get(l))
             .flatten()
             .find(|(r, _)| r == rule);
@@ -576,6 +603,15 @@ impl<'s> Workspace<'s> {
                 targets.extend(ids.iter().copied());
             }
         }
+        // Worker entry points: every inherent method of a
+        // SHARD_ENTRY_TYPES type is a first-class BFS root, wherever it
+        // is defined.
+        let mut entry_roots: BTreeSet<FnId> = BTreeSet::new();
+        for ((ty, _), ids) in &self.methods {
+            if SHARD_ENTRY_TYPES.contains(&ty.as_str()) {
+                entry_roots.extend(ids.iter().copied());
+            }
+        }
         for (fi, ctx) in self.files.iter().enumerate() {
             if !SHARD_DOMAIN_FILES.contains(&ctx.rel) {
                 continue;
@@ -610,7 +646,9 @@ impl<'s> Workspace<'s> {
                     continue;
                 }
                 let entry = (fi, ni);
-                if let Some((path, first_line)) = self.reach_shared(entry, &targets) {
+                if let Some((path, first_line)) =
+                    self.reach_shared(entry, &targets, &BTreeSet::new())
+                {
                     let rendered: Vec<String> =
                         path.iter().map(|&id| self.fn_label(id)).collect();
                     self.emit(
@@ -627,11 +665,51 @@ impl<'s> Workspace<'s> {
                 }
             }
         }
+        // Worker entry points, audited call-graph only (their file also
+        // hosts shared-lane code, so the direct-mention scan would
+        // drown in legitimate references). Paths through *other* entry
+        // points are pruned: the inner root is audited — and, for the
+        // sanctioned ideal-mode calls, exempted — at its own call site.
+        for &entry in &entry_roots {
+            let (fi, ni) = entry;
+            let ctx = &self.files[fi];
+            if SHARD_DOMAIN_FILES.contains(&ctx.rel) {
+                continue; // already covered by the file-scoped pass
+            }
+            let f = &ctx.model.fns[ni];
+            if f.is_test || f.body.is_none() {
+                continue;
+            }
+            if let Some((path, first_line)) =
+                self.reach_shared(entry, &targets, &entry_roots)
+            {
+                let rendered: Vec<String> = path.iter().map(|&id| self.fn_label(id)).collect();
+                self.emit(
+                    fi,
+                    first_line,
+                    SHARD_REACHABILITY,
+                    format!(
+                        "call path from shard worker entry point reaches shared-domain \
+                         state: {}",
+                        rendered.join(" -> ")
+                    ),
+                    cfg,
+                    out,
+                );
+            }
+        }
     }
 
     /// BFS from `entry`; on reaching a target returns the call path and
-    /// the line of the first hop out of `entry`.
-    fn reach_shared(&self, entry: FnId, targets: &BTreeSet<FnId>) -> Option<(Vec<FnId>, u32)> {
+    /// the line of the first hop out of `entry`. Fns in `stop` are not
+    /// traversed *through* (they are independent audit roots), though
+    /// `entry` itself may be one.
+    fn reach_shared(
+        &self,
+        entry: FnId,
+        targets: &BTreeSet<FnId>,
+        stop: &BTreeSet<FnId>,
+    ) -> Option<(Vec<FnId>, u32)> {
         let mut parent: BTreeMap<FnId, (FnId, u32)> = BTreeMap::new();
         let mut queue = std::collections::VecDeque::new();
         queue.push_back(entry);
@@ -640,6 +718,9 @@ impl<'s> Workspace<'s> {
         while let Some(cur) = queue.pop_front() {
             if let Some(edges) = self.calls.get(&cur) {
                 for &(next, line) in edges {
+                    if stop.contains(&next) {
+                        continue;
+                    }
                     if targets.contains(&next) {
                         // Reconstruct entry → … → cur → next.
                         let mut path = vec![next, cur];
@@ -1276,6 +1357,118 @@ mod tests {
         assert_eq!(f[0].line, 3, "anchored at the first hop's call site");
         assert!(f[0].message.contains("sm.rs::tick"), "{}", f[0].message);
         assert!(f[0].message.contains("Dram::service"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn shard_reachability_roots_at_worker_entry_types() {
+        // A ShardLane method is a BFS root even though engine.rs is not
+        // in the shard-domain file list.
+        let engine = "//! d\n\
+            pub struct ShardLane { pub now: u64 }\n\
+            impl ShardLane {\n\
+                pub fn drain_window(&mut self, horizon: u64) {\n\
+                    self.now = horizon;\n\
+                    crate::addr::poke(horizon);\n\
+                }\n\
+            }\n";
+        let addr = "//! d\n\
+            pub fn poke(now: u64) {\n\
+                let mut d: crate::dram::Dram = crate::dram::Dram::default();\n\
+                d.service(now);\n\
+            }\n";
+        let dram = "//! d\n\
+            pub struct Dram { pub q: u64 }\n\
+            impl Dram {\n\
+                pub fn service(&mut self, now: u64) { self.q = now; }\n\
+            }\n";
+        let f = run(&[
+            ("crates/sim/src/engine.rs", engine),
+            ("crates/sim/src/addr.rs", addr),
+            ("crates/sim/src/dram.rs", dram),
+        ]);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].rule, SHARD_REACHABILITY);
+        assert_eq!(f[0].file, "crates/sim/src/engine.rs");
+        assert_eq!(f[0].line, 6, "anchored at the first hop's call site");
+        assert!(!f[0].allowed);
+        assert!(f[0].message.contains("worker entry point"), "{}", f[0].message);
+        assert!(f[0].message.contains("Dram::service"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn shard_reachability_exempt_supports_trailing_reason_and_comment_blocks() {
+        // The sanctioned ideal-mode shape: the call site carries a
+        // multi-line `lint:exempt(rule): reason` comment whose marker
+        // sits at the head of the block.
+        let engine = "//! d\n\
+            pub struct ShardLane { pub now: u64 }\n\
+            impl ShardLane {\n\
+                pub fn drain_window(&mut self, horizon: u64) {\n\
+                    self.now = horizon;\n\
+                    // lint:exempt(shard-reachability): ideal-TLB mode is\n\
+                    // clamped to one lane, one worker; the shared lane\n\
+                    // is handed in synchronously.\n\
+                    crate::addr::poke(horizon);\n\
+                }\n\
+            }\n";
+        let addr = "//! d\n\
+            pub fn poke(now: u64) {\n\
+                let mut d: crate::dram::Dram = crate::dram::Dram::default();\n\
+                d.service(now);\n\
+            }\n";
+        let dram = "//! d\n\
+            pub struct Dram { pub q: u64 }\n\
+            impl Dram {\n\
+                pub fn service(&mut self, now: u64) { self.q = now; }\n\
+            }\n";
+        let f = run(&[
+            ("crates/sim/src/engine.rs", engine),
+            ("crates/sim/src/addr.rs", addr),
+            ("crates/sim/src/dram.rs", dram),
+        ]);
+        let shard: Vec<_> = f.iter().filter(|f| f.rule == SHARD_REACHABILITY).collect();
+        assert_eq!(shard.len(), 1, "{shard:#?}");
+        assert!(
+            shard[0].allowed,
+            "reasoned exemption at the head of the comment block must downgrade: {shard:#?}"
+        );
+    }
+
+    #[test]
+    fn shard_reachability_prunes_paths_through_other_entry_roots() {
+        // lane_a -> lane_b -> Dram: the path is audited (and here
+        // exempted) at lane_b's own call site; lane_a is not re-flagged
+        // for reaching Dram through another root.
+        let engine = "//! d\n\
+            pub struct ShardLane { pub now: u64 }\n\
+            impl ShardLane {\n\
+                pub fn lane_a(&mut self) {\n\
+                    self.lane_b();\n\
+                }\n\
+                pub fn lane_b(&mut self) {\n\
+                    // lint:exempt(shard-reachability): ideal-TLB mode is clamped to one lane\n\
+                    crate::addr::poke(self.now);\n\
+                }\n\
+            }\n";
+        let addr = "//! d\n\
+            pub fn poke(now: u64) {\n\
+                let mut d: crate::dram::Dram = crate::dram::Dram::default();\n\
+                d.service(now);\n\
+            }\n";
+        let dram = "//! d\n\
+            pub struct Dram { pub q: u64 }\n\
+            impl Dram {\n\
+                pub fn service(&mut self, now: u64) { self.q = now; }\n\
+            }\n";
+        let f = run(&[
+            ("crates/sim/src/engine.rs", engine),
+            ("crates/sim/src/addr.rs", addr),
+            ("crates/sim/src/dram.rs", dram),
+        ]);
+        let shard: Vec<_> = f.iter().filter(|f| f.rule == SHARD_REACHABILITY).collect();
+        assert_eq!(shard.len(), 1, "only lane_b's own site is audited: {shard:#?}");
+        assert_eq!(shard[0].line, 9);
+        assert!(shard[0].allowed, "{shard:#?}");
     }
 
     #[test]

@@ -1,0 +1,5 @@
+//! Fixture: a helper with no route to the shared domain.
+
+pub fn poke(now: u64) -> u64 {
+    now.wrapping_mul(3)
+}

@@ -1,0 +1,13 @@
+//! Fixture: the shared-domain memory model, reachable from worker
+//! threads only through the horizon-barrier exchange — defining it is
+//! fine, reaching it is not.
+
+pub struct Dram {
+    pub queue_depth: u64,
+}
+
+impl Dram {
+    pub fn service(&mut self, now: u64) {
+        self.queue_depth = now;
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: the sanctioned shape — the worker entry point records the
+//! cross-domain request in its outbox; the engine delivers outboxes to
+//! the shared lane at the next horizon barrier, in deterministic lane
+//! order.
+
+pub struct ShardLane {
+    pub now: u64,
+    pub outbox: Vec<u64>,
+}
+
+impl ShardLane {
+    pub fn drain_window(&mut self, horizon: u64) {
+        self.now = horizon;
+        self.outbox.push(crate::addr::poke(horizon));
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: an innocent-looking helper module sitting between the
+//! worker entry point and shared state.
+
+pub fn poke(now: u64) {
+    let mut d: crate::dram::Dram = crate::dram::Dram::default();
+    d.service(now);
+}

@@ -1,0 +1,12 @@
+//! Fixture: the shared-domain memory model a worker thread must not
+//! touch — another lane may be at a different logical time.
+
+pub struct Dram {
+    pub queue_depth: u64,
+}
+
+impl Dram {
+    pub fn service(&mut self, now: u64) {
+        self.queue_depth = now;
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: a shard worker entry point — an inherent method of
+//! `ShardLane`, drained on worker threads inside the bounded-lag
+//! window — whose helper chain reaches the shared domain two hops
+//! away. Entry types are BFS roots wherever they are defined, so this
+//! fires even though engine.rs is not in the shard-domain file list.
+
+pub struct ShardLane {
+    pub now: u64,
+}
+
+impl ShardLane {
+    pub fn drain_window(&mut self, horizon: u64) {
+        self.now = horizon;
+        crate::addr::poke(horizon);
+    }
+}

@@ -23,7 +23,7 @@
 
 /// Checkpoint format version. Bump on any layout change; restore
 /// hard-errors on mismatch.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Magic bytes opening every checkpoint ("AVCK").
 pub const MAGIC: u32 = 0x4156_434b;

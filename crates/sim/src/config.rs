@@ -210,12 +210,19 @@ pub struct GpuConfig {
     /// clamped by the engine. Defaults to 1; set `AVATAR_SHARDS=<n>` to
     /// default it differently.
     pub shards: usize,
-    /// Bounded-lag window span in cycles for the sharded calendar
-    /// (`None` derives the minimum cross-domain latency: the smaller of
-    /// `l2_tlb.latency` and `l2_cache.latency`). Ignored when `shards`
-    /// is 1.
+    /// Bounded-lag window span in cycles for the parallel shard engine
+    /// (`None` uses [`DEFAULT_RESPONSE_LOOKAHEAD`]). This is a modeled
+    /// latency — the shared domain's response turnaround — so it applies
+    /// at every shard count, including 1.
     pub lookahead: Option<Cycle>,
 }
+
+/// Default bounded-lag window span (cycles): the modeled turnaround of
+/// the SM↔shared-domain interconnect. Shard→shared hops take 1 cycle;
+/// shared→shard responses are deferred by one full window plus the
+/// device latency, so this is the effective round-trip overhead added
+/// to every cross-domain exchange.
+pub const DEFAULT_RESPONSE_LOOKAHEAD: Cycle = 8;
 
 impl Default for GpuConfig {
     fn default() -> Self {
@@ -325,14 +332,17 @@ impl GpuConfig {
         GpuConfigBuilder { cfg: GpuConfig::default() }
     }
 
-    /// The bounded-lag window span the sharded calendar will use: the
-    /// explicit `lookahead` knob, else the minimum cross-domain latency
-    /// (a shard's earliest echo from the shared domain is an L2 TLB or
-    /// L2 cache response), never below 1 cycle.
+    /// The bounded-lag window span the parallel shard engine will use:
+    /// the explicit `lookahead` knob, else
+    /// [`DEFAULT_RESPONSE_LOOKAHEAD`]. Shard→shared messages travel on a
+    /// fixed 1-cycle hop and shared→shard responses are deferred by at
+    /// least one full window, so — unlike the old sharded calendar — the
+    /// window span is itself a modeled interconnect latency rather than
+    /// something that must stay below the minimum L2 latency. A short
+    /// window keeps the response latency small; making it longer trades
+    /// response latency for fewer barriers.
     pub fn effective_lookahead(&self) -> Cycle {
-        self.lookahead
-            .unwrap_or_else(|| self.l2_tlb.latency.min(self.l2_cache.latency))
-            .max(1)
+        self.lookahead.unwrap_or(DEFAULT_RESPONSE_LOOKAHEAD).max(1)
     }
 
     /// GPU memory capacity in 4KB frames.

@@ -6,27 +6,59 @@
 //! the plugged-in [`TranslationAccel`] and compressibility from the
 //! [`SectorCompression`] content model. The baseline, the prior-work TLB
 //! designs, and Avatar all run on this same plumbing.
+//!
+//! # Sharded execution model
+//!
+//! State is split into per-shard [`ShardLane`]s (each owning a contiguous
+//! SM range: warps, L1 TLBs, L1 sector caches, their ports/MSHRs, and a
+//! [`ReqBank`] partition of the request slab) and one [`SharedLane`] (the
+//! L2 TLB, L2 cache, walker, DRAM, UVM managers, and the plugged
+//! policies). Each lane has its own event queue and per-actor striped
+//! sequence counters, so the global `(time, seq)` order of every event is
+//! a pure function of the simulated machine — independent of how many
+//! shards the state is packed into or how many worker threads drain them.
+//!
+//! Execution proceeds in lookahead windows of `W = effective_lookahead()`
+//! cycles with a two-phase barrier:
+//!
+//! 1. **Phase A** — every shard lane drains its queue up to the horizon.
+//!    Lanes touch only their own state (plus the immutable speculation
+//!    policy for [`TranslationAccel::on_spec_fill`]), so with
+//!    `workers > 1` they run on scoped worker threads. Cross-domain
+//!    messages are appended to per-lane outboxes, never applied directly.
+//! 2. **Phase B** — the coordinator drains lane outboxes into the shared
+//!    queue in lane order, advances the shared lane to the same horizon,
+//!    and routes the shared outbox back to the lane queues.
+//!
+//! Safety of the split: every shard→shared edge is scheduled at
+//! `now + 1 ≥ start` of the *same* window (delivered at the Phase B
+//! barrier before the shared lane advances), and every shared→shard edge
+//! at `now + W + delay ≥ horizon` (delivered before the next window
+//! opens). No event can ever be scheduled into a lane's past, so the
+//! drain order — and the [`Stats::digest`] — is byte-identical across
+//! every `(shards, workers)` combination.
 
 use crate::addr::{translate, PhysAddr, Ppn, VirtAddr, Vpn, SECTOR_BYTES};
 use crate::cache::{Probe, SectorCache, SectorFlags};
 use crate::checkpoint::{CkptError, Reader, Writer, FORMAT_VERSION, MAGIC};
 use crate::config::{Cycle, GpuConfig};
 use crate::dram::{Dram, DramOp};
-use crate::event::{Domain, ShardRoutable, ShardedCalendar};
+use crate::event::EventQueue;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::hooks::{
-    FetchedSector, PageMeta, SectorCompression, SpecFillAction, SpecFillContext, TranslationAccel,
-    ValidationKind,
+    FetchedSector, NoSpeculation, PageMeta, SectorCompression, SpecFillAction, SpecFillContext,
+    TranslationAccel, ValidationKind,
 };
 use crate::page_table::PT_BASE;
 use crate::port::{MshrFile, MshrGrant, Ports};
 use crate::probe::{Phase, SpanPoint, Track};
-use crate::reqslab::{ReqId, ShardedReqSlab};
+use crate::reqslab::{ReqBank, ReqId};
 use crate::sm::{coalesce_into, shard_of, SmState, WarpOp, WarpProgram, WarpState};
 use crate::stats::{CoverageBucket, SpecOutcome, Stats};
-use crate::tlb::{TlbFill, TlbModel};
+use crate::tlb::{ContigRun, TlbFill, TlbModel};
 use crate::uvm::Uvm;
 use crate::walker::{PageWalkSystem, WalkId, WalkProgress};
-use crate::fxhash::{FxHashMap, FxHashSet};
+use std::sync::Arc;
 
 /// Bit position where the tenant id is folded into TLB/walk keys, so one
 /// physical TLB hierarchy holds entries of several address spaces without
@@ -96,43 +128,78 @@ enum L2Waiter {
     Walk { walk: WalkId },
 }
 
-#[derive(Debug, Clone, Copy)]
+/// One calendar event. Variants are grouped by the lane that handles
+/// them; `target_shard` routes the shard-targeted group, and the rest are
+/// handled by the shared lane only.
+#[derive(Debug, Clone)]
 enum Ev {
+    // ---- shard-targeted (handled by the owning ShardLane) ----
     WarpIssue { sm: u32, warp: u32 },
     L1TlbResult { req: ReqId },
-    L2TlbResult { sm: u32, vpn: u64 },
-    WalkL2 { walk: WalkId, pa: u64 },
     SpecL1Result { req: ReqId },
     L1Result { req: ReqId },
-    L2Access { sm: u32, pa: u64 },
-    DramDone { pa: u64 },
-    L1Fill { sm: u32, pa: u64 },
+    /// A sector arriving at an SM's L1 from the shared hierarchy, with
+    /// the content metadata sampled at emission time.
+    L1Fill { sm: u32, pa: u64, meta: FetchedSector },
     RemoteDone { req: ReqId },
     /// Evented twin of the inline fast path (`inline_hit_path` off): one
     /// sector of a fully-hitting warp completing at its computed cycle.
     FastComplete { sm: u32, warp: u32, last: bool },
+    /// The speculation policy predicted a frame for this request; the
+    /// lane starts the speculative L1 probe. Token event: the request is
+    /// NOT pinned by it (the translation may complete first).
+    SpecDispatch { req: ReqId, ppn: u64, ideal: bool },
+    /// A resolved translation being delivered to one SM's L1 TLB.
+    ResolveSm { sm: u32, svpn: u64, ppn: u64, pages: u64, run: Option<ContigRun>, via_eaf: bool },
+    /// UVM chunk eviction invalidating one SM's L1 structures.
+    Shootdown { sm: u32, first_svpn: u64, pages: u64, frames: Arc<FxHashSet<u64>> },
+    // ---- shared-targeted (handled by the SharedLane) ----
+    /// An L1 TLB miss crossing into the shared hierarchy. Token event:
+    /// carries everything the shared lane needs, never dereferenced.
+    TlbMiss { req: ReqId, sm: u32, svpn: u64, pc: u64, is_store: bool, need_l2: bool },
+    L2TlbResult { sm: u32, svpn: u64 },
+    WalkL2 { walk: WalkId, pa: u64 },
+    /// A shard-side L1 miss requesting a sector from the L2.
+    L2Req { sm: u32, pa: u64 },
+    L2Access { sm: u32, pa: u64 },
+    DramDone { pa: u64 },
+    /// Deferred accel training for a resolved translation (the accel is
+    /// shared-lane state; lanes cannot call it mutably).
+    AccelTrain { sm: u32, pc: u64, svpn: u64, ppn: u64 },
+    /// Early-TLB-Fill release: a lane validated an embedded translation
+    /// and the shared side releases walks/MSHRs and propagates it.
+    EafResolve { sm: u32, svpn: u64, ppn: u64 },
+    /// A dirty sector evicted from an L1 writing back to the L2.
+    WritebackL2 { pa: u64 },
 }
 
-impl ShardRoutable for Ev {
-    fn domain(&self, shards: u32, num_sms: u32) -> Domain {
-        match *self {
-            // SM-keyed events: warp issue, L1 fills, and fast-path
-            // completions run against one SM's warps/L1 structures.
-            Ev::WarpIssue { sm, .. } | Ev::L1Fill { sm, .. } | Ev::FastComplete { sm, .. } => {
-                Domain::Shard(sm * shards / num_sms)
-            }
-            // Request-carrying events: the owning shard rides in the
-            // ReqId's tag bits, so routing needs no slab lookup.
-            Ev::L1TlbResult { req }
-            | Ev::SpecL1Result { req }
-            | Ev::L1Result { req }
-            | Ev::RemoteDone { req } => Domain::Shard(req.shard() as u32),
-            // Shared-hierarchy events: L2 TLB, walker steps, L2 cache,
-            // and DRAM completions.
-            Ev::L2TlbResult { .. }
-            | Ev::WalkL2 { .. }
-            | Ev::L2Access { .. }
-            | Ev::DramDone { .. } => Domain::Shared,
+/// The shard lane that must handle a shard-targeted event. Shared-domain
+/// events never reach this function: the shared lane's outbox is routed
+/// through it, and only shard-targeted events are ever placed there.
+fn target_shard(ev: &Ev, shards: usize, num_sms: usize) -> usize {
+    match *ev {
+        Ev::WarpIssue { sm, .. }
+        | Ev::L1Fill { sm, .. }
+        | Ev::FastComplete { sm, .. }
+        | Ev::ResolveSm { sm, .. }
+        | Ev::Shootdown { sm, .. } => shard_of(sm as usize, shards, num_sms),
+        Ev::L1TlbResult { req }
+        | Ev::SpecL1Result { req }
+        | Ev::L1Result { req }
+        | Ev::RemoteDone { req }
+        | Ev::SpecDispatch { req, .. } => req.shard(),
+        Ev::TlbMiss { .. }
+        | Ev::L2TlbResult { .. }
+        | Ev::WalkL2 { .. }
+        | Ev::L2Req { .. }
+        | Ev::L2Access { .. }
+        | Ev::DramDone { .. }
+        | Ev::AccelTrain { .. }
+        | Ev::EafResolve { .. }
+        | Ev::WritebackL2 { .. } => {
+            // A shared-domain event reaching the router is unrecoverable
+            // cross-domain corruption. lint:allow(hot-path-panic)
+            unreachable!("shared-domain event routed to a shard")
         }
     }
 }
@@ -150,47 +217,113 @@ fn enc_ev(w: &mut Writer, ev: &Ev) {
             w.u8(1);
             w.u64(req.to_bits());
         }
-        Ev::L2TlbResult { sm, vpn } => {
-            w.u8(2);
-            w.u32(sm);
-            w.u64(vpn);
-        }
-        Ev::WalkL2 { walk, pa } => {
-            w.u8(3);
-            w.u64(walk.0);
-            w.u64(pa);
-        }
         Ev::SpecL1Result { req } => {
-            w.u8(4);
+            w.u8(2);
             w.u64(req.to_bits());
         }
         Ev::L1Result { req } => {
+            w.u8(3);
+            w.u64(req.to_bits());
+        }
+        Ev::L1Fill { sm, pa, meta } => {
+            w.u8(4);
+            w.u32(sm);
+            w.u64(pa);
+            enc_sector_meta(w, &meta);
+        }
+        Ev::RemoteDone { req } => {
             w.u8(5);
             w.u64(req.to_bits());
         }
-        Ev::L2Access { sm, pa } => {
+        Ev::FastComplete { sm, warp, last } => {
             w.u8(6);
+            w.u32(sm);
+            w.u32(warp);
+            w.bool(last);
+        }
+        Ev::SpecDispatch { req, ppn, ideal } => {
+            w.u8(7);
+            w.u64(req.to_bits());
+            w.u64(ppn);
+            w.bool(ideal);
+        }
+        Ev::ResolveSm { sm, svpn, ppn, pages, run, via_eaf } => {
+            w.u8(8);
+            w.u32(sm);
+            w.u64(svpn);
+            w.u64(ppn);
+            w.u64(pages);
+            match run {
+                None => w.bool(false),
+                Some(r) => {
+                    w.bool(true);
+                    w.u64(r.start_vpn);
+                    w.u64(r.start_ppn);
+                    w.u64(r.len);
+                }
+            }
+            w.bool(via_eaf);
+        }
+        Ev::Shootdown { sm, first_svpn, pages, ref frames } => {
+            w.u8(9);
+            w.u32(sm);
+            w.u64(first_svpn);
+            w.u64(pages);
+            // Serialize the frame set in sorted order so checkpoint bytes
+            // are deterministic.
+            let mut sorted: Vec<u64> = frames.iter().copied().collect();
+            sorted.sort_unstable();
+            w.u64_slice(&sorted);
+        }
+        Ev::TlbMiss { req, sm, svpn, pc, is_store, need_l2 } => {
+            w.u8(10);
+            w.u64(req.to_bits());
+            w.u32(sm);
+            w.u64(svpn);
+            w.u64(pc);
+            w.bool(is_store);
+            w.bool(need_l2);
+        }
+        Ev::L2TlbResult { sm, svpn } => {
+            w.u8(11);
+            w.u32(sm);
+            w.u64(svpn);
+        }
+        Ev::WalkL2 { walk, pa } => {
+            w.u8(12);
+            w.u64(walk.0);
+            w.u64(pa);
+        }
+        Ev::L2Req { sm, pa } => {
+            w.u8(13);
+            w.u32(sm);
+            w.u64(pa);
+        }
+        Ev::L2Access { sm, pa } => {
+            w.u8(14);
             w.u32(sm);
             w.u64(pa);
         }
         Ev::DramDone { pa } => {
-            w.u8(7);
+            w.u8(15);
             w.u64(pa);
         }
-        Ev::L1Fill { sm, pa } => {
-            w.u8(8);
+        Ev::AccelTrain { sm, pc, svpn, ppn } => {
+            w.u8(16);
             w.u32(sm);
+            w.u64(pc);
+            w.u64(svpn);
+            w.u64(ppn);
+        }
+        Ev::EafResolve { sm, svpn, ppn } => {
+            w.u8(17);
+            w.u32(sm);
+            w.u64(svpn);
+            w.u64(ppn);
+        }
+        Ev::WritebackL2 { pa } => {
+            w.u8(18);
             w.u64(pa);
-        }
-        Ev::RemoteDone { req } => {
-            w.u8(9);
-            w.u64(req.to_bits());
-        }
-        Ev::FastComplete { sm, warp, last } => {
-            w.u8(10);
-            w.u32(sm);
-            w.u32(warp);
-            w.bool(last);
         }
     }
 }
@@ -200,16 +333,72 @@ fn dec_ev(r: &mut Reader<'_>) -> Result<Ev, CkptError> {
     Ok(match r.u8()? {
         0 => Ev::WarpIssue { sm: r.u32()?, warp: r.u32()? },
         1 => Ev::L1TlbResult { req: ReqId::from_bits(r.u64()?) },
-        2 => Ev::L2TlbResult { sm: r.u32()?, vpn: r.u64()? },
-        3 => Ev::WalkL2 { walk: WalkId(r.u64()?), pa: r.u64()? },
-        4 => Ev::SpecL1Result { req: ReqId::from_bits(r.u64()?) },
-        5 => Ev::L1Result { req: ReqId::from_bits(r.u64()?) },
-        6 => Ev::L2Access { sm: r.u32()?, pa: r.u64()? },
-        7 => Ev::DramDone { pa: r.u64()? },
-        8 => Ev::L1Fill { sm: r.u32()?, pa: r.u64()? },
-        9 => Ev::RemoteDone { req: ReqId::from_bits(r.u64()?) },
-        10 => Ev::FastComplete { sm: r.u32()?, warp: r.u32()?, last: r.bool()? },
+        2 => Ev::SpecL1Result { req: ReqId::from_bits(r.u64()?) },
+        3 => Ev::L1Result { req: ReqId::from_bits(r.u64()?) },
+        4 => Ev::L1Fill { sm: r.u32()?, pa: r.u64()?, meta: dec_sector_meta(r)? },
+        5 => Ev::RemoteDone { req: ReqId::from_bits(r.u64()?) },
+        6 => Ev::FastComplete { sm: r.u32()?, warp: r.u32()?, last: r.bool()? },
+        7 => Ev::SpecDispatch { req: ReqId::from_bits(r.u64()?), ppn: r.u64()?, ideal: r.bool()? },
+        8 => Ev::ResolveSm {
+            sm: r.u32()?,
+            svpn: r.u64()?,
+            ppn: r.u64()?,
+            pages: r.u64()?,
+            run: if r.bool()? {
+                Some(ContigRun { start_vpn: r.u64()?, start_ppn: r.u64()?, len: r.u64()? })
+            } else {
+                None
+            },
+            via_eaf: r.bool()?,
+        },
+        9 => Ev::Shootdown {
+            sm: r.u32()?,
+            first_svpn: r.u64()?,
+            pages: r.u64()?,
+            frames: Arc::new(r.u64_vec()?.into_iter().collect()),
+        },
+        10 => Ev::TlbMiss {
+            req: ReqId::from_bits(r.u64()?),
+            sm: r.u32()?,
+            svpn: r.u64()?,
+            pc: r.u64()?,
+            is_store: r.bool()?,
+            need_l2: r.bool()?,
+        },
+        11 => Ev::L2TlbResult { sm: r.u32()?, svpn: r.u64()? },
+        12 => Ev::WalkL2 { walk: WalkId(r.u64()?), pa: r.u64()? },
+        13 => Ev::L2Req { sm: r.u32()?, pa: r.u64()? },
+        14 => Ev::L2Access { sm: r.u32()?, pa: r.u64()? },
+        15 => Ev::DramDone { pa: r.u64()? },
+        16 => Ev::AccelTrain { sm: r.u32()?, pc: r.u64()?, svpn: r.u64()?, ppn: r.u64()? },
+        17 => Ev::EafResolve { sm: r.u32()?, svpn: r.u64()?, ppn: r.u64()? },
+        18 => Ev::WritebackL2 { pa: r.u64()? },
         _ => return Err(CkptError::Corrupt("unknown calendar event tag")),
+    })
+}
+
+/// Encodes the content metadata riding an [`Ev::L1Fill`].
+fn enc_sector_meta(w: &mut Writer, meta: &FetchedSector) {
+    w.bool(meta.compressed);
+    match meta.embedded {
+        None => w.bool(false),
+        Some(m) => {
+            w.bool(true);
+            w.u64(m.vpn.0);
+            w.u32(m.asid as u32);
+        }
+    }
+}
+
+/// Decodes metadata written by [`enc_sector_meta`].
+fn dec_sector_meta(r: &mut Reader<'_>) -> Result<FetchedSector, CkptError> {
+    Ok(FetchedSector {
+        compressed: r.bool()?,
+        embedded: if r.bool()? {
+            Some(PageMeta { vpn: Vpn(r.u64()?), asid: r.u32()? as u16 })
+        } else {
+            None
+        },
     })
 }
 
@@ -309,178 +498,137 @@ fn dec_req(r: &mut Reader<'_>) -> Result<MemReq, CkptError> {
     })
 }
 
-/// The assembled system: all hardware structures plus the plugged policies.
-pub struct Engine<'a> {
+/// The tenant an SM belongs to (contiguous spatial partitioning).
+fn tenant_of_sm(cfg: &GpuConfig, sm: u32) -> usize {
+    sm as usize * cfg.tenants / cfg.num_sms
+}
+
+fn asid_of(tenant: usize) -> u16 {
+    tenant as u16 + 1
+}
+
+/// Folds the tenant into a TLB/walk key (ASID tagging).
+fn salt(tenant: usize, vpn: Vpn) -> u64 {
+    debug_assert!(vpn.0 < 1 << ASID_SHIFT);
+    vpn.0 | ((tenant as u64) << ASID_SHIFT)
+}
+
+fn unsalt(svpn: u64) -> Vpn {
+    Vpn(svpn & ((1 << ASID_SHIFT) - 1))
+}
+
+fn tenant_of_svpn(svpn: u64) -> usize {
+    (svpn >> ASID_SHIFT) as usize
+}
+
+/// Salts a contiguity run so its reach stays within the tenant's key
+/// space.
+fn salt_run(tenant: usize, run: Option<ContigRun>) -> Option<ContigRun> {
+    run.map(|r| ContigRun { start_vpn: salt(tenant, Vpn(r.start_vpn)), ..r })
+}
+
+// ----------------------------------------------------------------------
+// Shard lane: per-shard state + handlers
+// ----------------------------------------------------------------------
+
+/// A contiguous SM range and everything those SMs own exclusively: warp
+/// state, L1 TLBs/caches/ports/MSHRs, the requests they originate (a
+/// [`ReqBank`] partition), an event queue, and per-SM sequence stripes.
+/// During Phase A of a window, lanes are advanced independently —
+/// possibly on worker threads — and communicate with the shared
+/// hierarchy only through their outboxes.
+struct ShardLane<'a> {
     cfg: GpuConfig,
-    q: ShardedCalendar<Ev>,
+    shard: usize,
+    /// First SM owned by this lane (global SM id); `l()` localizes.
+    sm_lo: u32,
+    /// Striping modulus for sequence numbers: one stripe per SM plus one
+    /// for the shared actor, so `(time, seq)` orders identically for
+    /// every shard packing.
+    actors: u64,
+    trace_req: Option<u32>,
+    q: EventQueue<Ev>,
+    /// Per-owned-SM sequence counters (`seq = c * actors + sm`).
+    seqs: Vec<u64>,
     sms: Vec<SmState>,
     l1_tlbs: Vec<Box<dyn TlbModel>>,
-    l2_tlb: Box<dyn TlbModel>,
     l1_tlb_ports: Vec<Ports>,
-    l2_tlb_ports: Ports,
     l1_caches: Vec<SectorCache>,
-    l2_cache: SectorCache,
     l1_cache_ports: Vec<Ports>,
-    l2_cache_ports: Ports,
-    dram: Dram,
-    walks: PageWalkSystem,
-    /// One UVM manager per tenant (index = tenant id).
-    uvms: Vec<Uvm>,
-    accel: Box<dyn TranslationAccel>,
-    compression: Box<dyn SectorCompression + 'a>,
-    program: Box<dyn WarpProgram + 'a>,
-    stats: Stats,
-
-    reqs: ShardedReqSlab<MemReq>,
+    reqs: ReqBank<MemReq>,
     l1_tlb_mshrs: Vec<MshrFile<u64, ReqId>>,
-    // Per-SM retry queues: the outer Vec is fixed at SM count and the
-    // inner ones are drained every retry event, so this never becomes a
-    // per-element hot structure. lint:allow(vec-vec)
+    // Per-SM retry queues: the outer Vec is fixed at the owned-SM count
+    // and the inner ones are drained every retry, so this never becomes
+    // a per-element hot structure. lint:allow(vec-vec)
     tlb_overflow: Vec<Vec<ReqId>>,
-    l2_tlb_mshr: MshrFile<u64, u32>,
-    l2_tlb_overflow: Vec<(u32, u64)>,
     l1_mshrs: Vec<MshrFile<u64, ReqId>>,
     l1_mshr_overflow: Vec<std::collections::VecDeque<ReqId>>,
-    l2_mshr: MshrFile<u64, L2Waiter>,
-    l2_mshr_overflow: std::collections::VecDeque<(u64, L2Waiter)>,
     /// Requests that found a present-but-unguaranteed sector and wait for
     /// its validation outcome instead of duplicating the fetch.
     unguaranteed_waiters: FxHashMap<(u32, u64), Vec<ReqId>>,
-    walk_of_vpn: FxHashMap<u64, WalkId>,
-    vpn_of_walk: FxHashMap<WalkId, Vpn>,
-    walk_started: FxHashMap<u64, Cycle>,
-    pw_overflow: std::collections::VecDeque<u64>,
+    warp_outstanding: Vec<u32>,
+    warp_issue_time: Vec<Cycle>,
+    program: Box<dyn WarpProgram + 'a>,
+    stats: Stats,
+    /// Events bound for the shared lane, applied at the next barrier in
+    /// lane order. `(time, seq, event)` — the sequence is assigned here,
+    /// by the emitting SM's stripe, so delivery order is packing-free.
+    outbox: Vec<(Cycle, u64, Ev)>,
+    /// Total events this lane has pushed through its outbox.
+    exchange_out: u64,
     /// Scratch for the coalescer: reused across warp instructions so the
     /// issue loop does not allocate in steady state.
     coalesce_buf: Vec<VirtAddr>,
     /// Scratch key list for shootdown wakes (reused, see
     /// `wake_all_unguaranteed`).
     scratch_keys: Vec<u64>,
-
-    warp_outstanding: Vec<u32>,
-    warp_issue_time: Vec<Cycle>,
-    max_cycles: Cycle,
-    /// The initial warp-issue events have been seeded (by [`Engine::start`]
-    /// or by [`Engine::restore_checkpoint`], whose calendar arrives
-    /// mid-flight). Makes [`Engine::run`] compose with both fresh and
-    /// restored engines.
-    started: bool,
-    /// The cycle cap tripped; [`Engine::finish`] skips the
-    /// everything-completed accounting.
-    timed_out: bool,
-    /// Checked-mode audit cadence (`invariants` feature): interval in
-    /// events, read once at construction, and the countdown to the next
-    /// audit. Host-side only — never serialized, so a restored engine
-    /// restarts its countdown without affecting simulated state.
-    #[cfg(feature = "invariants")]
-    audit_every: u64,
-    #[cfg(feature = "invariants")]
-    until_audit: u64,
-    /// `AVATAR_TRACE_REQ`, parsed once at construction — `trace` sits on
-    /// the per-event path and must not re-read the environment. Matches
-    /// requests by slab slot index (slots recycle, so one trace value may
-    /// follow several requests over a run).
-    trace_req: Option<u32>,
-    /// Observability hub: forwards spans/instants to an attached
-    /// [`crate::probe::Probe`] sink (no-op without one) and feeds the
-    /// probe-fed `Stats` fields. Exists only under the `probes` feature;
-    /// default builds carry no probe state or call sites at all.
+    /// Distinct cycles at which this lane processed events in the
+    /// current window (consecutively deduped; merged across lanes at
+    /// each barrier for global idle accounting).
+    times: Vec<Cycle>,
+    /// Deferred probe records, replayed into the engine sink in lane
+    /// order at `finish` (worker threads cannot share the boxed sink).
     #[cfg(feature = "probes")]
-    probe: crate::probe::ProbeHub,
+    log: crate::probe::RecordLog,
 }
 
-impl std::fmt::Debug for Engine<'_> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Engine")
-            .field("now", &self.q.now())
-            .field("reqs", &self.reqs.len())
-            .finish_non_exhaustive()
-    }
-}
-
-impl<'a> Engine<'a> {
-    /// Builds an engine from a configuration, TLB models, a speculation
-    /// policy, a content model, and a warp program.
-    pub fn new(
-        cfg: GpuConfig,
-        l1_tlbs: Vec<Box<dyn TlbModel>>,
-        l2_tlb: Box<dyn TlbModel>,
-        accel: Box<dyn TranslationAccel>,
-        compression: Box<dyn SectorCompression + 'a>,
-        program: Box<dyn WarpProgram + 'a>,
-    ) -> Self {
-        assert_eq!(l1_tlbs.len(), cfg.num_sms, "one L1 TLB per SM");
-        assert!(cfg.tenants >= 1 && cfg.tenants <= cfg.num_sms, "tenants partition the SMs");
-        let n = cfg.num_sms;
-        // Spatial sharing partitions GPU memory evenly among tenants.
-        let mut uvm_cfg = cfg.uvm.clone();
-        if cfg.tenants > 1 && uvm_cfg.gpu_memory_bytes != u64::MAX {
-            uvm_cfg.gpu_memory_bytes /= cfg.tenants as u64;
-        }
-        let uvms: Vec<Uvm> = (0..cfg.tenants)
-            .map(|t| Uvm::for_tenant(uvm_cfg.clone(), cfg.seed, t))
-            .collect();
-        // The shard count is a host-side structure knob: the calendar
-        // clamps it to the SM count, and the simulated event order (and
-        // digest) is identical for every value by construction.
-        let mut q = ShardedCalendar::new(cfg.shards, n, cfg.effective_lookahead());
-        q.set_fast_forward(cfg.fast_forward);
-        let shards = q.shards();
-        Engine {
-            q,
-            sms: (0..n).map(|_| SmState::new(cfg.warps_per_sm)).collect(),
-            l1_tlb_ports: (0..n).map(|_| Ports::new(cfg.l1_tlb.ports)).collect(),
-            l2_tlb_ports: Ports::new(cfg.l2_tlb.ports),
-            l1_caches: (0..n)
-                .map(|_| SectorCache::new(cfg.l1_cache.lines(), cfg.l1_cache.assoc))
-                .collect(),
-            l2_cache: SectorCache::new(cfg.l2_cache.lines(), cfg.l2_cache.assoc),
-            l1_cache_ports: (0..n).map(|_| Ports::new(cfg.l1_cache.ports)).collect(),
-            l2_cache_ports: Ports::new(cfg.l2_cache.ports),
-            dram: Dram::new(cfg.dram.clone()),
-            walks: PageWalkSystem::new(cfg.walker.clone()),
-            uvms,
-            accel,
-            compression,
-            program,
-            stats: Stats::default(),
-            reqs: ShardedReqSlab::new(shards),
-            l1_tlb_mshrs: (0..n).map(|_| MshrFile::new(cfg.l1_tlb.mshr_entries)).collect(),
-            tlb_overflow: vec![Vec::new(); n],
-            l2_tlb_mshr: MshrFile::new(cfg.l2_tlb.mshr_entries),
-            l2_tlb_overflow: Vec::new(),
-            l1_mshrs: (0..n).map(|_| MshrFile::new(cfg.l1_cache.mshr_entries)).collect(),
-            l1_mshr_overflow: vec![std::collections::VecDeque::new(); n],
-            l2_mshr: MshrFile::new(cfg.l2_cache.mshr_entries),
-            l2_mshr_overflow: std::collections::VecDeque::new(),
-            unguaranteed_waiters: FxHashMap::default(),
-            walk_of_vpn: FxHashMap::default(),
-            vpn_of_walk: FxHashMap::default(),
-            walk_started: FxHashMap::default(),
-            pw_overflow: std::collections::VecDeque::new(),
-            coalesce_buf: Vec::new(),
-            scratch_keys: Vec::new(),
-            warp_outstanding: vec![0; n * cfg.warps_per_sm],
-            warp_issue_time: vec![0; n * cfg.warps_per_sm],
-            max_cycles: 2_000_000_000,
-            started: false,
-            timed_out: false,
-            #[cfg(feature = "invariants")]
-            audit_every: crate::invariant::audit_interval(),
-            #[cfg(feature = "invariants")]
-            until_audit: crate::invariant::audit_interval().max(1),
-            trace_req: std::env::var("AVATAR_TRACE_REQ").ok().and_then(|v| v.parse().ok()),
-            #[cfg(feature = "probes")]
-            probe: crate::probe::ProbeHub::default(),
-            l1_tlbs,
-            l2_tlb,
-            cfg,
-        }
+impl<'a> ShardLane<'a> {
+    /// Localizes a global SM id into this lane's arrays.
+    #[inline]
+    fn l(&self, sm: u32) -> usize {
+        debug_assert!(sm >= self.sm_lo, "SM {sm} not owned by shard {}", self.shard);
+        (sm - self.sm_lo) as usize
     }
 
-    /// Caps the simulated cycle count (safety valve; the default is ample).
-    pub fn set_max_cycles(&mut self, cycles: Cycle) {
-        self.max_cycles = cycles;
+    /// Next sequence number on `sm`'s stripe.
+    #[inline]
+    fn next_seq(&mut self, sm: u32) -> u64 {
+        let li = (sm - self.sm_lo) as usize;
+        let c = self.seqs[li];
+        self.seqs[li] += 1;
+        c * self.actors + sm as u64
+    }
+
+    /// Discards one sequence number on `sm`'s stripe. The inline fast
+    /// path burns the seq its evented twin would have used for each
+    /// `FastComplete`, keeping the two modes' sequence streams — and
+    /// digests — identical.
+    #[inline]
+    fn burn_seq(&mut self, sm: u32) {
+        self.seqs[(sm - self.sm_lo) as usize] += 1;
+    }
+
+    /// Schedules a lane-internal event.
+    fn sched(&mut self, sm: u32, t: Cycle, ev: Ev) {
+        let seq = self.next_seq(sm);
+        self.q.schedule_at_seq(t, seq, ev);
+    }
+
+    /// Emits an event to the shared lane (applied at the next barrier).
+    fn send(&mut self, sm: u32, t: Cycle, ev: Ev) {
+        let seq = self.next_seq(sm);
+        self.outbox.push((t, seq, ev));
+        self.exchange_out += 1;
     }
 
     fn trace(&self, id: ReqId, msg: &str) {
@@ -489,34 +637,47 @@ impl<'a> Engine<'a> {
         }
     }
 
-    // ------------------------------------------------------------------
-    // Observability (`probes` feature)
-    //
-    // Every probe helper has an empty `#[inline(always)]` twin for the
-    // default build, so the call sites below compile away entirely and
-    // the hot path carries no probe code when the feature is off.
-    // ------------------------------------------------------------------
-
-    /// Attaches a probe sink (e.g.
-    /// [`ChromeTraceProbe`](crate::trace_export::ChromeTraceProbe)).
-    /// Request-level spans are emitted only for warps where
-    /// `warp % warp_sample == 0` (0 or 1 keeps every warp); component
-    /// spans are never sampled away. The sink is flushed when
-    /// [`Engine::run`] finishes.
-    #[cfg(feature = "probes")]
-    pub fn attach_probe(&mut self, sink: Box<dyn crate::probe::Probe>, warp_sample: u32) {
-        // Under a sharded calendar, group spans into per-shard streams
-        // and merge them in shard order at export, so the trace layout
-        // follows the domain partition (and stays a pure function of
-        // the deterministic pop sequence).
-        let shards = self.q.shards();
-        let sink = if shards > 1 {
-            Box::new(crate::probe::ShardMergeProbe::new(sink, shards, self.cfg.num_sms))
-        } else {
-            sink
-        };
-        self.probe.attach(sink, warp_sample);
+    /// The live request behind `id`.
+    ///
+    /// Panics on a stale id: a request was freed while a copy of its id
+    /// was still stored somewhere — exactly the bug the reference counts
+    /// exist to prevent, so it must never be survivable.
+    fn req(&self, id: ReqId) -> &MemReq {
+        self.reqs.get(id).expect("stale ReqId: request freed while a reference was still live")
     }
+
+    fn req_mut(&mut self, id: ReqId) -> &mut MemReq {
+        self.reqs.get_mut(id).expect("stale ReqId: request freed while a reference was still live")
+    }
+
+    /// Records that a copy of `id` was stored — in a calendar event, an
+    /// MSHR waiter list, or an overflow queue. Every stored copy pins the
+    /// slab slot until [`Self::req_unref`] consumes it.
+    fn req_ref(&mut self, id: ReqId) {
+        self.req_mut(id).refs += 1;
+    }
+
+    /// Consumes one stored copy of `id`, freeing (and recycling) the slab
+    /// slot once the request is completed and no copies remain.
+    fn req_unref(&mut self, id: ReqId) {
+        let r = self.req_mut(id);
+        crate::debug_invariant!(r.refs > 0, "unbalanced request unref");
+        r.refs -= 1;
+        if r.refs == 0 && r.completed {
+            self.reqs.remove(id);
+        }
+    }
+
+    fn warp_slot(&self, sm: u32, warp: u32) -> usize {
+        self.l(sm) * self.cfg.warps_per_sm + warp as usize
+    }
+
+    fn tenant(&self, sm: u32) -> usize {
+        tenant_of_sm(&self.cfg, sm)
+    }
+
+    // Probe helpers (`probes` feature): identical to their pre-shard
+    // engine twins, except spans land in the lane's deferred log.
 
     /// Moves `id` into phase `next`, attributing the cycles since the
     /// last transition to the phase being left and emitting it as a span
@@ -534,8 +695,8 @@ impl<'a> Engine<'a> {
             (r.sm, r.warp, prev, entered)
         };
         self.stats.latency_breakdown.add(prev, now - entered);
-        if self.probe.is_active() && self.probe.sampled(warp) && now > entered {
-            self.probe.span(
+        if self.log.is_active() && self.log.sampled(warp) && now > entered {
+            self.log.span(
                 SpanPoint::Phase(prev),
                 Track::sm_warp(sm, warp),
                 entered,
@@ -572,8 +733,8 @@ impl<'a> Engine<'a> {
                 now - r.issued
             );
         }
-        if self.probe.is_active() && self.probe.sampled(warp) && now > entered {
-            self.probe.span(
+        if self.log.is_active() && self.log.sampled(warp) && now > entered {
+            self.log.span(
                 SpanPoint::Phase(phase),
                 Track::sm_warp(sm, warp),
                 entered,
@@ -587,10 +748,206 @@ impl<'a> Engine<'a> {
     #[inline(always)]
     fn probe_complete(&mut self, _now: Cycle, _id: ReqId) {}
 
+    /// Emits a zero-duration component event. Only called from inside
+    /// `probes`-gated accounting blocks, so no cfg-off twin exists.
+    #[cfg(feature = "probes")]
+    fn probe_instant(&mut self, point: SpanPoint, track: Track, at: Cycle, arg: u64) {
+        self.log.instant(point, track, at, arg);
+    }
+
+    /// Records a structural-hazard wait (port arbitration) in the
+    /// queue-latency histogram. Zero waits are skipped — the histogram
+    /// answers "when a request queued, for how long?".
+    #[cfg(feature = "probes")]
+    fn probe_queue_wait(&mut self, wait: u64) {
+        if wait > 0 {
+            self.stats.queue_latency_hist.add(wait);
+        }
+    }
+
+    #[cfg(not(feature = "probes"))]
+    #[inline(always)]
+    fn probe_queue_wait(&mut self, _wait: u64) {}
+
+    /// Drains this lane's queue up to (strictly before) `horizon`,
+    /// touching only lane-owned state plus the immutable speculation
+    /// policy. Returns the number of events processed.
+    fn drain(&mut self, horizon: Cycle, accel: &dyn TranslationAccel) -> u64 {
+        let mut n = 0;
+        while let Some((now, ev)) = self.q.pop_before(horizon) {
+            n += 1;
+            if self.times.last() != Some(&now) {
+                self.times.push(now);
+            }
+            self.handle(now, ev, accel, None);
+        }
+        self.stats.events_processed += n;
+        n
+    }
+
+    /// Single-lane drain for ideal-TLB mode, which resolves translations
+    /// synchronously against the shared lane's page tables. Only runs
+    /// with `shards == 1, workers == 1` (the engine clamps), so handing
+    /// the shared lane in mutably is safe and cheap.
+    fn drain_ideal(
+        &mut self,
+        horizon: Cycle,
+        shared: &mut SharedLane<'_>,
+        accel: &dyn TranslationAccel,
+    ) -> u64 {
+        let mut n = 0;
+        while let Some((now, ev)) = self.q.pop_before(horizon) {
+            n += 1;
+            if self.times.last() != Some(&now) {
+                self.times.push(now);
+            }
+            self.handle(now, ev, accel, Some(shared));
+        }
+        self.stats.events_processed += n;
+        n
+    }
+
+    /// Dispatches one shard-targeted event. `ideal` is `Some` only in
+    /// ideal-TLB mode (see [`Self::drain_ideal`]).
+    fn handle(
+        &mut self,
+        now: Cycle,
+        ev: Ev,
+        accel: &dyn TranslationAccel,
+        ideal: Option<&mut SharedLane<'_>>,
+    ) {
+        match ev {
+            Ev::WarpIssue { sm, warp } => self.warp_issue(now, sm, warp, ideal),
+            // Request-carrying events hold one pin on their request for
+            // the lifetime of the event; it is consumed here, after the
+            // handler, so the request stays live throughout.
+            Ev::L1TlbResult { req } => {
+                self.l1_tlb_result(now, req);
+                self.req_unref(req);
+            }
+            Ev::SpecL1Result { req } => {
+                self.spec_l1_result(now, req);
+                self.req_unref(req);
+            }
+            Ev::L1Result { req } => {
+                self.l1_result(now, req);
+                self.req_unref(req);
+            }
+            Ev::L1Fill { sm, pa, meta } => self.l1_fill(now, sm, PhysAddr(pa), meta, accel),
+            // RemoteDone pins its request only in ideal-TLB mode (where
+            // no MSHR waiter holds it); the handler balances the books.
+            Ev::RemoteDone { req } => self.remote_done(now, req),
+            Ev::FastComplete { sm, warp, last } => self.fast_complete(now, sm, warp, last),
+            // Token event: never pinned, the handler tolerates a freed id.
+            Ev::SpecDispatch { req, ppn, ideal } => self.spec_dispatch(now, req, Ppn(ppn), ideal),
+            Ev::ResolveSm { sm, svpn, ppn, pages, run, via_eaf } => {
+                self.resolve_sm(now, sm, svpn, Ppn(ppn), pages, run, via_eaf);
+            }
+            Ev::Shootdown { sm, first_svpn, pages, frames } => {
+                self.shootdown(now, sm, first_svpn, pages, &frames);
+            }
+            Ev::TlbMiss { .. }
+            | Ev::L2TlbResult { .. }
+            | Ev::WalkL2 { .. }
+            | Ev::L2Req { .. }
+            | Ev::L2Access { .. }
+            | Ev::DramDone { .. }
+            | Ev::AccelTrain { .. }
+            | Ev::EafResolve { .. }
+            | Ev::WritebackL2 { .. } => {
+                // Only [`target_shard`]-routable events may sit in a lane
+                // calendar; anything else is unrecoverable cross-domain
+                // corruption. lint:allow(hot-path-panic)
+                unreachable!("shared-domain event in a shard lane")
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Shared lane: L2/walker/DRAM/UVM state + handlers
+// ----------------------------------------------------------------------
+
+/// Everything below the per-SM structures: L2 TLB and cache, the
+/// page-walk system, DRAM, the UVM managers, and the plugged policies.
+/// Advanced only by the coordinator thread, between lane windows.
+struct SharedLane<'a> {
+    cfg: GpuConfig,
+    /// Lookahead window `W` — the shard→shared/shared→shard edge delays.
+    window: Cycle,
+    actors: u64,
+    trace_req: Option<u32>,
+    q: EventQueue<Ev>,
+    /// Sequence counter for the shared actor's stripe
+    /// (`seq = c * actors + (actors - 1)`).
+    seq: u64,
+    l2_tlb: Box<dyn TlbModel>,
+    l2_tlb_ports: Ports,
+    l2_cache: SectorCache,
+    l2_cache_ports: Ports,
+    dram: Dram,
+    walks: PageWalkSystem,
+    /// One UVM manager per tenant (index = tenant id).
+    uvms: Vec<Uvm>,
+    accel: Box<dyn TranslationAccel>,
+    compression: Box<dyn SectorCompression + 'a>,
+    l2_tlb_mshr: MshrFile<u64, u32>,
+    l2_tlb_overflow: Vec<(u32, u64)>,
+    l2_mshr: MshrFile<u64, L2Waiter>,
+    l2_mshr_overflow: std::collections::VecDeque<(u64, L2Waiter)>,
+    walk_of_vpn: FxHashMap<u64, WalkId>,
+    vpn_of_walk: FxHashMap<WalkId, Vpn>,
+    walk_started: FxHashMap<u64, Cycle>,
+    pw_overflow: std::collections::VecDeque<u64>,
+    /// Mirror of which `(sm, salted vpn)` translations are in flight on
+    /// the shared side. The L1 TLB MSHRs live in the lanes, so this set
+    /// is what dedups L2 lookups and what `ResolveSm` emission clears.
+    pending_resolve: FxHashSet<(u32, u64)>,
+    stats: Stats,
+    /// Events bound for shard lanes, routed at the end of Phase B.
+    outbox: Vec<(Cycle, u64, Ev)>,
+    exchange_out: u64,
+    times: Vec<Cycle>,
+    #[cfg(feature = "probes")]
+    log: crate::probe::RecordLog,
+}
+
+impl<'a> SharedLane<'a> {
+    /// Next sequence number on the shared actor's stripe.
+    #[inline]
+    fn next_seq(&mut self) -> u64 {
+        let c = self.seq;
+        self.seq += 1;
+        c * self.actors + (self.actors - 1)
+    }
+
+    /// Schedules a shared-internal event.
+    fn sched(&mut self, t: Cycle, ev: Ev) {
+        let seq = self.next_seq();
+        self.q.schedule_at_seq(t, seq, ev);
+    }
+
+    /// Emits an event to a shard lane (routed at the end of Phase B).
+    fn send(&mut self, t: Cycle, ev: Ev) {
+        let seq = self.next_seq();
+        self.outbox.push((t, seq, ev));
+        self.exchange_out += 1;
+    }
+
+    fn trace_id(&self, id: ReqId, msg: &str) {
+        if self.trace_req == Some(id.slot()) {
+            eprintln!("[req {} @ {}] {msg}", id.slot(), self.q.now());
+        }
+    }
+
+    fn tenant(&self, sm: u32) -> usize {
+        tenant_of_sm(&self.cfg, sm)
+    }
+
     /// Emits a component-side complete span (never warp-sampled).
     #[cfg(feature = "probes")]
     fn probe_span(&mut self, point: SpanPoint, track: Track, start: Cycle, end: Cycle, arg: u64) {
-        self.probe.span(point, track, start, end, arg);
+        self.log.span(point, track, start, end, arg);
     }
 
     #[cfg(not(feature = "probes"))]
@@ -608,7 +965,7 @@ impl<'a> Engine<'a> {
     /// Emits a zero-duration component event.
     #[cfg(feature = "probes")]
     fn probe_instant(&mut self, point: SpanPoint, track: Track, at: Cycle, arg: u64) {
-        self.probe.instant(point, track, at, arg);
+        self.log.instant(point, track, at, arg);
     }
 
     #[cfg(not(feature = "probes"))]
@@ -618,7 +975,7 @@ impl<'a> Engine<'a> {
     /// Emits a counter sample on a component track.
     #[cfg(feature = "probes")]
     fn probe_counter(&mut self, name: &'static str, track: Track, at: Cycle, value: u64) {
-        self.probe.counter(name, track, at, value);
+        self.log.counter(name, track, at, value);
     }
 
     #[cfg(not(feature = "probes"))]
@@ -626,8 +983,7 @@ impl<'a> Engine<'a> {
     fn probe_counter(&mut self, _name: &'static str, _track: Track, _at: Cycle, _value: u64) {}
 
     /// Records a structural-hazard wait (port arbitration or walk-buffer
-    /// queueing) in the queue-latency histogram. Zero waits are skipped —
-    /// the histogram answers "when a request queued, for how long?".
+    /// queueing) in the queue-latency histogram.
     #[cfg(feature = "probes")]
     fn probe_queue_wait(&mut self, wait: u64) {
         if wait > 0 {
@@ -639,537 +995,77 @@ impl<'a> Engine<'a> {
     #[inline(always)]
     fn probe_queue_wait(&mut self, _wait: u64) {}
 
-    /// The live request behind `id`.
-    ///
-    /// Panics on a stale id: a request was freed while a copy of its id
-    /// was still stored somewhere — exactly the bug the reference counts
-    /// exist to prevent, so it must never be survivable.
-    fn req(&self, id: ReqId) -> &MemReq {
-        self.reqs.get(id).expect("stale ReqId: request freed while a reference was still live")
-    }
-
-    fn req_mut(&mut self, id: ReqId) -> &mut MemReq {
-        self.reqs.get_mut(id).expect("stale ReqId: request freed while a reference was still live")
-    }
-
-    /// Records that a copy of `id` was stored — in a calendar event, an
-    /// MSHR waiter list, or an overflow queue. Every stored copy pins the
-    /// slab slot until [`Self::req_unref`] consumes it.
-    fn req_ref(&mut self, id: ReqId) {
-        self.req_mut(id).refs += 1;
-    }
-
-    /// Consumes one stored copy of `id`, freeing (and recycling) the slab
-    /// slot once the request is completed and no copies remain.
-    fn req_unref(&mut self, id: ReqId) {
-        let r = self.req_mut(id);
-        crate::debug_invariant!(r.refs > 0, "unbalanced request unref");
-        r.refs -= 1;
-        if r.refs == 0 && r.completed {
-            self.reqs.remove(id);
-        }
-    }
-
-    fn warp_slot(&self, sm: u32, warp: u32) -> usize {
-        sm as usize * self.cfg.warps_per_sm + warp as usize
-    }
-
-    /// The calendar shard owning an SM (0 for everything when the
-    /// calendar is unsharded).
-    fn shard_for_sm(&self, sm: u32) -> usize {
-        shard_of(sm as usize, self.q.shards(), self.cfg.num_sms)
-    }
-
-    /// The tenant an SM belongs to (contiguous spatial partitioning).
-    fn tenant_of_sm(&self, sm: u32) -> usize {
-        sm as usize * self.cfg.tenants / self.cfg.num_sms
-    }
-
-    fn asid_of(&self, tenant: usize) -> u16 {
-        tenant as u16 + 1
-    }
-
-    /// Folds the tenant into a TLB/walk key (ASID tagging).
-    fn salt(&self, tenant: usize, vpn: Vpn) -> u64 {
-        debug_assert!(vpn.0 < 1 << ASID_SHIFT);
-        vpn.0 | ((tenant as u64) << ASID_SHIFT)
-    }
-
-    fn unsalt(svpn: u64) -> Vpn {
-        Vpn(svpn & ((1 << ASID_SHIFT) - 1))
-    }
-
-    fn tenant_of_svpn(svpn: u64) -> usize {
-        (svpn >> ASID_SHIFT) as usize
-    }
-
-    /// Salts a contiguity run so its reach stays within the tenant's key
-    /// space.
-    fn salt_run(&self, tenant: usize, run: Option<crate::tlb::ContigRun>) -> Option<crate::tlb::ContigRun> {
-        run.map(|r| crate::tlb::ContigRun {
-            start_vpn: self.salt(tenant, Vpn(r.start_vpn)),
-            ..r
-        })
-    }
-
-    /// Inspection access to a tenant's UVM manager.
-    pub fn uvm(&self) -> &Uvm {
-        &self.uvms[0]
-    }
-
-    /// Seeds the calendar with every warp's first issue event. Idempotent:
-    /// later calls — including on a restored engine, whose calendar
-    /// arrives mid-flight from the checkpoint — do nothing, so
-    /// [`Engine::run`] composes with both fresh and restored engines.
-    pub fn start(&mut self) {
-        if self.started {
-            return;
-        }
-        self.started = true;
-        for sm in 0..self.cfg.num_sms as u32 {
-            for warp in 0..self.cfg.warps_per_sm as u32 {
-                self.q.schedule(0, Ev::WarpIssue { sm, warp });
+    /// Drains the shared queue up to (strictly before) `horizon`.
+    /// Returns the number of events processed.
+    fn drain(&mut self, horizon: Cycle) -> u64 {
+        let mut n = 0;
+        while let Some((now, ev)) = self.q.pop_before(horizon) {
+            n += 1;
+            if self.times.last() != Some(&now) {
+                self.times.push(now);
             }
-        }
-    }
-
-    /// Processes up to `max_events` calendar events. Returns `true` while
-    /// more events remain, `false` once the calendar drains or the cycle
-    /// cap trips — after which [`Engine::finish`] produces the
-    /// statistics. Between calls the engine sits at an event boundary,
-    /// exactly the state [`Engine::save_checkpoint`] captures; splitting
-    /// a run across any sequence of `run_steps` calls (with or without a
-    /// checkpoint/restore in between) cannot change the event order, so
-    /// the final [`Stats::digest`] is identical to a straight-through
-    /// run — the checkpoint differential test's claim.
-    ///
-    /// Checked mode (`invariants` feature) re-audits every structure at
-    /// the configured event cadence. The interval is read once at
-    /// construction — the audit must not touch the environment (or
-    /// anything else nondeterministic) on the event path.
-    pub fn run_steps(&mut self, max_events: u64) -> bool {
-        let mut left = max_events;
-        while left > 0 {
-            let Some((now, ev)) = self.q.pop() else {
-                return false;
-            };
-            if now > self.max_cycles {
-                self.timed_out = true;
-                return false;
-            }
-            self.stats.events_processed += 1;
             self.handle(now, ev);
-            #[cfg(feature = "invariants")]
-            if self.audit_every != 0 {
-                self.until_audit -= 1;
-                if self.until_audit == 0 {
-                    self.until_audit = self.audit_every;
-                    self.audit_invariants();
-                }
-            }
-            left -= 1;
         }
-        true
+        self.stats.events_processed += n;
+        n
     }
 
-    /// Runs the program to completion and returns the statistics.
-    pub fn run(mut self) -> Stats {
-        self.start();
-        self.run_steps(u64::MAX);
-        self.finish()
-    }
-
-    /// End-of-run bookkeeping once [`Engine::run_steps`] has returned
-    /// `false`: final audit, SM stall accounting, calendar/DRAM counter
-    /// harvest, and the everything-completed check. Consumes the engine
-    /// and returns the statistics.
-    pub fn finish(mut self) -> Stats {
-        let timed_out = self.timed_out;
-        #[cfg(feature = "invariants")]
-        self.audit_invariants();
-        let now = self.q.now();
-        for sm in &mut self.sms {
-            sm.finish(now);
-        }
-        self.stats.cycles = now;
-        self.stats.idle_cycles_skipped = self.q.idle_cycles_skipped();
-        self.stats.stall_cycles = self.sms.iter().map(|s| s.stall_cycles).sum();
-        // Sharded-calendar structure counters (all zero — and the event
-        // vector empty — on the single-calendar path). Digest-excluded:
-        // they describe how the host advanced the calendar, not what the
-        // simulated GPU did.
-        self.stats.horizon_barriers = self.q.horizon_barriers();
-        self.stats.horizon_stalls = self.q.horizon_stalls();
-        self.stats.exchange_enqueued = self.q.exchange_enqueued();
-        self.stats.exchange_dequeued = self.q.exchange_dequeued();
-        self.stats.exchange_bypass = self.q.exchange_bypass();
-        self.stats.shard_events = self.q.domain_event_counts().to_vec();
-        self.stats.dram_read_bytes = self.dram.read_bytes;
-        self.stats.dram_write_bytes = self.dram.write_bytes;
-        self.stats.dram_row_hits = self.dram.row_hits;
-        self.stats.dram_row_misses = self.dram.row_misses;
-        #[cfg(feature = "probes")]
-        {
-            self.stats.dram_service_hist.merge(&self.dram.service_hist);
-            self.probe.finish(now);
-        }
-        // With the calendar drained, every request should have completed
-        // and been recycled. Anything left is a lost event. Counted in
-        // all builds (so `--features invariants` release runs report it
-        // through `Stats::lost_requests` instead of dying); debug builds
-        // additionally halt so the bug cannot slip through development.
-        if !timed_out {
-            let mut lost = 0u64;
-            self.reqs.for_each(|id, r| {
-                if !r.completed {
-                    lost += 1;
-                    if cfg!(debug_assertions) {
-                        eprintln!(
-                            "INCOMPLETE req {}: sm={} pc={:#x} va={:#x} tdone={} spec={:?}",
-                            id.slot(),
-                            r.sm,
-                            r.pc,
-                            r.vaddr.0,
-                            r.translation_done,
-                            r.spec
-                        );
-                    }
-                }
-            });
-            self.stats.lost_requests = lost;
-            if cfg!(debug_assertions) {
-                assert!(
-                    lost == 0 && self.reqs.is_empty(),
-                    "all sector requests must complete and be freed (lost events?)"
-                );
-            }
-        }
-        self.stats
-    }
-
-    /// Serializes the engine's complete mutable state at an event
-    /// boundary into the versioned checkpoint format (see
-    /// [`crate::checkpoint`]). Static geometry — the configuration and
-    /// model wiring — is never stored; it is re-supplied by assembling a
-    /// fresh engine, and the header carries the configuration's
-    /// [`GpuConfig::key_digest`] so restoring onto a
-    /// differently-configured engine fails loudly instead of silently
-    /// diverging. Host-side scratch (coalescing buffers, trace knobs,
-    /// probe sinks, audit cadence) is likewise omitted: none of it
-    /// affects the simulated event order.
-    pub fn save_checkpoint(&self) -> Vec<u8> {
-        let mut w = Writer::new();
-        w.u32(MAGIC);
-        w.u32(FORMAT_VERSION);
-        w.bool(cfg!(feature = "probes"));
-        w.u64(self.cfg.key_digest());
-        self.q.save_state(&mut w, &mut enc_ev);
-        w.usize(self.sms.len());
-        for sm in &self.sms {
-            sm.save_state(&mut w);
-        }
-        for t in &self.l1_tlbs {
-            t.save_state(&mut w);
-        }
-        self.l2_tlb.save_state(&mut w);
-        for p in &self.l1_tlb_ports {
-            p.save_state(&mut w);
-        }
-        self.l2_tlb_ports.save_state(&mut w);
-        for c in &self.l1_caches {
-            c.save_state(&mut w);
-        }
-        self.l2_cache.save_state(&mut w);
-        for p in &self.l1_cache_ports {
-            p.save_state(&mut w);
-        }
-        self.l2_cache_ports.save_state(&mut w);
-        self.dram.save_state(&mut w);
-        self.walks.save_state(&mut w);
-        w.usize(self.uvms.len());
-        for u in &self.uvms {
-            u.save_state(&mut w);
-        }
-        self.accel.save_state(&mut w);
-        self.compression.save_state(&mut w);
-        self.program.save_state(&mut w);
-        self.stats.save_state(&mut w);
-        self.reqs.save_state(&mut w, &mut enc_req);
-        w.usize(self.l1_tlb_mshrs.len());
-        for m in &self.l1_tlb_mshrs {
-            m.save_state(&mut w, &mut |w, k| w.u64(*k), &mut |w, id| w.u64(id.to_bits()));
-        }
-        w.usize(self.tlb_overflow.len());
-        for v in &self.tlb_overflow {
-            w.seq(v.iter(), |w, id| w.u64(id.to_bits()));
-        }
-        self.l2_tlb_mshr.save_state(&mut w, &mut |w, k| w.u64(*k), &mut |w, sm| w.u32(*sm));
-        w.seq(self.l2_tlb_overflow.iter(), |w, &(sm, vpn)| {
-            w.u32(sm);
-            w.u64(vpn);
-        });
-        w.usize(self.l1_mshrs.len());
-        for m in &self.l1_mshrs {
-            m.save_state(&mut w, &mut |w, k| w.u64(*k), &mut |w, id| w.u64(id.to_bits()));
-        }
-        w.usize(self.l1_mshr_overflow.len());
-        for dq in &self.l1_mshr_overflow {
-            w.seq(dq.iter(), |w, id| w.u64(id.to_bits()));
-        }
-        self.l2_mshr.save_state(&mut w, &mut |w, k| w.u64(*k), &mut enc_l2_waiter);
-        w.seq(self.l2_mshr_overflow.iter(), |w, &(pa, wt)| {
-            w.u64(pa);
-            enc_l2_waiter(w, &wt);
-        });
-        // Hash-map state is serialized in sorted-key order so the bytes —
-        // and therefore any digest over them — are independent of
-        // insertion history.
-        let mut unguaranteed: Vec<(u32, u64)> = self.unguaranteed_waiters.keys().copied().collect();
-        unguaranteed.sort_unstable();
-        w.usize(unguaranteed.len());
-        for key in unguaranteed {
-            w.u32(key.0);
-            w.u64(key.1);
-            let waiters = &self.unguaranteed_waiters[&key];
-            w.seq(waiters.iter(), |w, id| w.u64(id.to_bits()));
-        }
-        // `vpn_of_walk` is the exact inverse of `walk_of_vpn` (an audited
-        // invariant), so only the forward map is stored.
-        let mut walk_pairs: Vec<(u64, u64)> =
-            self.walk_of_vpn.iter().map(|(&svpn, &walk)| (svpn, walk.0)).collect();
-        walk_pairs.sort_unstable();
-        w.seq(walk_pairs.iter(), |w, &(svpn, walk)| {
-            w.u64(svpn);
-            w.u64(walk);
-        });
-        let mut started_pairs: Vec<(u64, u64)> =
-            self.walk_started.iter().map(|(&svpn, &at)| (svpn, at)).collect();
-        started_pairs.sort_unstable();
-        w.seq(started_pairs.iter(), |w, &(svpn, at)| {
-            w.u64(svpn);
-            w.u64(at);
-        });
-        w.seq(self.pw_overflow.iter(), |w, &svpn| w.u64(svpn));
-        w.u32_slice(&self.warp_outstanding);
-        w.u64_slice(&self.warp_issue_time);
-        w.u64(self.max_cycles);
-        w.bool(self.timed_out);
-        w.into_bytes()
-    }
-
-    /// Restores a checkpoint written by [`Engine::save_checkpoint`] onto
-    /// a freshly assembled (not yet started) engine built from the *same*
-    /// configuration, programs, and policies. On success the engine is
-    /// marked started and continues from the checkpointed event boundary
-    /// via [`Engine::run_steps`]/[`Engine::finish`] (or [`Engine::run`],
-    /// whose seeding step skips restored engines).
-    ///
-    /// Every error is hard: a partially restored engine must be
-    /// discarded, never run.
-    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), CkptError> {
-        let mut r = Reader::new(bytes);
-        if r.u32()? != MAGIC {
-            return Err(CkptError::BadMagic);
-        }
-        let version = r.u32()?;
-        if version != FORMAT_VERSION {
-            return Err(CkptError::VersionMismatch { found: version });
-        }
-        let saved_probes = r.bool()?;
-        if saved_probes != cfg!(feature = "probes") {
-            return Err(CkptError::FeatureMismatch { saved_probes });
-        }
-        let saved = r.u64()?;
-        let current = self.cfg.key_digest();
-        if saved != current {
-            return Err(CkptError::ConfigMismatch { saved, current });
-        }
-        self.q.load_state(&mut r, &mut dec_ev)?;
-        if r.usize()? != self.sms.len() {
-            return Err(CkptError::Corrupt("SM count mismatch"));
-        }
-        for sm in &mut self.sms {
-            sm.load_state(&mut r)?;
-        }
-        for t in &mut self.l1_tlbs {
-            t.load_state(&mut r)?;
-        }
-        self.l2_tlb.load_state(&mut r)?;
-        for p in &mut self.l1_tlb_ports {
-            p.load_state(&mut r)?;
-        }
-        self.l2_tlb_ports.load_state(&mut r)?;
-        for c in &mut self.l1_caches {
-            c.load_state(&mut r)?;
-        }
-        self.l2_cache.load_state(&mut r)?;
-        for p in &mut self.l1_cache_ports {
-            p.load_state(&mut r)?;
-        }
-        self.l2_cache_ports.load_state(&mut r)?;
-        self.dram.load_state(&mut r)?;
-        self.walks.load_state(&mut r)?;
-        if r.usize()? != self.uvms.len() {
-            return Err(CkptError::Corrupt("tenant count mismatch"));
-        }
-        for u in &mut self.uvms {
-            u.load_state(&mut r)?;
-        }
-        self.accel.load_state(&mut r)?;
-        self.compression.load_state(&mut r)?;
-        self.program.load_state(&mut r)?;
-        self.stats.load_state(&mut r)?;
-        self.reqs.load_state(&mut r, &mut dec_req)?;
-        if r.usize()? != self.l1_tlb_mshrs.len() {
-            return Err(CkptError::Corrupt("L1 TLB MSHR file count mismatch"));
-        }
-        for m in &mut self.l1_tlb_mshrs {
-            m.load_state(&mut r, &mut |r| r.u64(), &mut |r| r.u64().map(ReqId::from_bits))?;
-        }
-        if r.usize()? != self.tlb_overflow.len() {
-            return Err(CkptError::Corrupt("TLB overflow queue count mismatch"));
-        }
-        for v in &mut self.tlb_overflow {
-            let n = r.seq_len()?;
-            v.clear();
-            for _ in 0..n {
-                v.push(ReqId::from_bits(r.u64()?));
-            }
-        }
-        self.l2_tlb_mshr.load_state(&mut r, &mut |r| r.u64(), &mut |r| r.u32())?;
-        let n = r.seq_len()?;
-        self.l2_tlb_overflow.clear();
-        for _ in 0..n {
-            self.l2_tlb_overflow.push((r.u32()?, r.u64()?));
-        }
-        if r.usize()? != self.l1_mshrs.len() {
-            return Err(CkptError::Corrupt("L1 cache MSHR file count mismatch"));
-        }
-        for m in &mut self.l1_mshrs {
-            m.load_state(&mut r, &mut |r| r.u64(), &mut |r| r.u64().map(ReqId::from_bits))?;
-        }
-        if r.usize()? != self.l1_mshr_overflow.len() {
-            return Err(CkptError::Corrupt("L1 MSHR overflow queue count mismatch"));
-        }
-        for dq in &mut self.l1_mshr_overflow {
-            let n = r.seq_len()?;
-            dq.clear();
-            for _ in 0..n {
-                dq.push_back(ReqId::from_bits(r.u64()?));
-            }
-        }
-        self.l2_mshr.load_state(&mut r, &mut |r| r.u64(), &mut dec_l2_waiter)?;
-        let n = r.seq_len()?;
-        self.l2_mshr_overflow.clear();
-        for _ in 0..n {
-            self.l2_mshr_overflow.push_back((r.u64()?, dec_l2_waiter(&mut r)?));
-        }
-        let n = r.seq_len()?;
-        self.unguaranteed_waiters.clear();
-        for _ in 0..n {
-            let key = (r.u32()?, r.u64()?);
-            let count = r.seq_len()?;
-            let mut waiters = Vec::with_capacity(count);
-            for _ in 0..count {
-                waiters.push(ReqId::from_bits(r.u64()?));
-            }
-            if self.unguaranteed_waiters.insert(key, waiters).is_some() {
-                return Err(CkptError::Corrupt("repeated unguaranteed-waiter key"));
-            }
-        }
-        let n = r.seq_len()?;
-        self.walk_of_vpn.clear();
-        self.vpn_of_walk.clear();
-        for _ in 0..n {
-            let svpn = r.u64()?;
-            let walk = WalkId(r.u64()?);
-            if self.walk_of_vpn.insert(svpn, walk).is_some() {
-                return Err(CkptError::Corrupt("repeated walk page key"));
-            }
-            if self.vpn_of_walk.insert(walk, Vpn(svpn)).is_some() {
-                return Err(CkptError::Corrupt("two pages claim one walk id"));
-            }
-        }
-        let n = r.seq_len()?;
-        self.walk_started.clear();
-        for _ in 0..n {
-            let svpn = r.u64()?;
-            let at = r.u64()?;
-            if !self.walk_of_vpn.contains_key(&svpn) {
-                return Err(CkptError::Corrupt("walk start-time for a page with no live walk"));
-            }
-            if self.walk_started.insert(svpn, at).is_some() {
-                return Err(CkptError::Corrupt("repeated walk start-time key"));
-            }
-        }
-        let n = r.seq_len()?;
-        self.pw_overflow.clear();
-        for _ in 0..n {
-            self.pw_overflow.push_back(r.u64()?);
-        }
-        r.u32_slice_into(&mut self.warp_outstanding)?;
-        r.u64_slice_into(&mut self.warp_issue_time)?;
-        self.max_cycles = r.u64()?;
-        self.timed_out = r.bool()?;
-        if !r.is_exhausted() {
-            return Err(CkptError::Corrupt("trailing bytes after checkpoint payload"));
-        }
-        self.started = true;
-        Ok(())
-    }
-
+    /// Dispatches one shared-domain event.
     fn handle(&mut self, now: Cycle, ev: Ev) {
         match ev {
-            Ev::WarpIssue { sm, warp } => self.warp_issue(now, sm, warp),
-            // Request-carrying events hold one pin on their request for
-            // the lifetime of the event; it is consumed here, after the
-            // handler, so the request stays live throughout.
-            Ev::L1TlbResult { req } => {
-                self.l1_tlb_result(now, req);
-                self.req_unref(req);
+            Ev::TlbMiss { req, sm, svpn, pc, is_store, need_l2 } => {
+                self.tlb_miss(now, req, sm, svpn, pc, is_store, need_l2);
             }
-            Ev::L2TlbResult { sm, vpn } => self.l2_tlb_result(now, sm, vpn),
+            Ev::L2TlbResult { sm, svpn } => self.l2_tlb_result(now, sm, svpn),
             Ev::WalkL2 { walk, pa } => self.walk_l2(now, walk, PhysAddr(pa)),
-            Ev::SpecL1Result { req } => {
-                self.spec_l1_result(now, req);
-                self.req_unref(req);
-            }
-            Ev::L1Result { req } => {
-                self.l1_result(now, req);
-                self.req_unref(req);
-            }
+            Ev::L2Req { sm, pa } => self.l2_req(now, sm, PhysAddr(pa)),
             Ev::L2Access { sm, pa } => self.l2_access(now, sm, PhysAddr(pa)),
             Ev::DramDone { pa } => self.dram_done(now, PhysAddr(pa)),
-            Ev::L1Fill { sm, pa } => self.l1_fill(now, sm, PhysAddr(pa)),
-            Ev::RemoteDone { req } => {
-                if !self.req(req).completed {
-                    self.complete_req(now, req);
-                }
-                self.req_unref(req);
+            Ev::AccelTrain { sm, pc, svpn, ppn } => {
+                self.accel.on_translation_resolved(sm as usize, pc, unsalt(svpn), Ppn(ppn));
             }
-            Ev::FastComplete { sm, warp, last } => self.fast_complete(now, sm, warp, last),
+            Ev::EafResolve { sm, svpn, ppn } => self.eaf_resolve(now, sm, svpn, Ppn(ppn)),
+            Ev::WritebackL2 { pa } => self.writeback_to_l2(now, PhysAddr(pa)),
+            Ev::WarpIssue { .. }
+            | Ev::L1TlbResult { .. }
+            | Ev::SpecL1Result { .. }
+            | Ev::L1Result { .. }
+            | Ev::L1Fill { .. }
+            | Ev::RemoteDone { .. }
+            | Ev::FastComplete { .. }
+            | Ev::SpecDispatch { .. }
+            | Ev::ResolveSm { .. }
+            | Ev::Shootdown { .. } => {
+                // Lane-owned events never enter the shared calendar (the
+                // exchange routes them at the barrier); this is
+                // unrecoverable cross-domain corruption. lint:allow(hot-path-panic)
+                unreachable!("shard-domain event in the shared lane")
+            }
         }
     }
+}
 
+impl<'a> ShardLane<'a> {
     // ------------------------------------------------------------------
     // Warp issue
     // ------------------------------------------------------------------
 
-    fn warp_issue(&mut self, now: Cycle, sm: u32, warp: u32) {
-        let issue_free = self.sms[sm as usize].issue_free_at;
+    fn warp_issue(&mut self, now: Cycle, sm: u32, warp: u32, mut ideal: Option<&mut SharedLane<'_>>) {
+        let li = self.l(sm);
+        let issue_free = self.sms[li].issue_free_at;
         if issue_free > now {
-            self.q.schedule(issue_free, Ev::WarpIssue { sm, warp });
+            self.sched(sm, issue_free, Ev::WarpIssue { sm, warp });
             return;
         }
         match self.program.next_op(sm as usize, warp as usize) {
             None => {
-                self.sms[sm as usize].set_warp(warp as usize, WarpState::Retired, now);
+                self.sms[li].set_warp(warp as usize, WarpState::Retired, now);
             }
             Some(WarpOp::Compute { cycles }) => {
                 self.stats.instructions += 1;
-                self.sms[sm as usize].issue_free_at = now + 1;
-                self.sms[sm as usize].set_warp(warp as usize, WarpState::Computing, now);
-                self.q.schedule(now + cycles.max(1), Ev::WarpIssue { sm, warp });
+                self.sms[li].issue_free_at = now + 1;
+                self.sms[li].set_warp(warp as usize, WarpState::Computing, now);
+                self.sched(sm, now + cycles.max(1), Ev::WarpIssue { sm, warp });
             }
             Some(op @ (WarpOp::Load { .. } | WarpOp::Store { .. })) => {
                 let (pc, addrs, is_store) = match op {
@@ -1185,29 +1081,29 @@ impl<'a> Engine<'a> {
                 } else {
                     self.stats.loads += 1;
                 }
-                self.sms[sm as usize].issue_free_at = now + 1;
+                self.sms[li].issue_free_at = now + 1;
                 let mut sectors = std::mem::take(&mut self.coalesce_buf);
                 coalesce_into(&addrs, &mut sectors);
                 let slot = self.warp_slot(sm, warp);
                 self.warp_outstanding[slot] = sectors.len() as u32;
                 self.warp_issue_time[slot] = now;
-                self.sms[sm as usize].set_warp(
+                self.sms[li].set_warp(
                     warp as usize,
                     WarpState::WaitingMemory { outstanding: sectors.len() as u32 },
                     now,
                 );
-                if !sectors.is_empty() && self.fast_path_classify(now, sm, &sectors) {
+                if !sectors.is_empty() && self.fast_path_classify(now, sm, &sectors, ideal.as_deref())
+                {
                     // Every sector is a guaranteed L1 TLB + L1 data hit
                     // and the ports have a free slot this cycle: resolve
                     // the whole instruction at issue with the Table II
                     // latency arithmetic instead of per-sector events.
-                    self.fast_path_commit(now, sm, warp, is_store, &sectors);
+                    self.fast_path_commit(now, sm, warp, is_store, &sectors, ideal);
                     self.warp_outstanding[slot] = 0;
                 } else {
-                    let shard = self.shard_for_sm(sm);
                     for &vaddr in &sectors {
                         self.stats.sector_requests += 1;
-                        let id = self.reqs.insert(shard, MemReq {
+                        let id = self.reqs.insert(MemReq {
                             sm,
                             warp,
                             pc,
@@ -1228,7 +1124,7 @@ impl<'a> Engine<'a> {
                             #[cfg(feature = "probes")]
                             spec_started: 0,
                         });
-                        self.start_translation(now, id);
+                        self.start_translation(now, id, ideal.as_deref_mut());
                     }
                 }
                 self.coalesce_buf = sectors;
@@ -1237,35 +1133,53 @@ impl<'a> Engine<'a> {
     }
 
     /// Decides whether a warp memory instruction can be resolved by the
-    /// inline hit fast path: every coalesced sector must be backed by a
-    /// resident page, hit the L1 TLB on a probe (skipped under
-    /// `ideal_tlb`), hit the L1 data cache with a *guaranteed* sector,
-    /// and each required port group must have a free slot this cycle.
-    /// Strictly read-only — when any sector fails, the warp takes the
-    /// event path with no state disturbed. All-or-nothing per warp, so a
-    /// warp's sectors never straddle the two mechanisms.
-    fn fast_path_classify(&self, now: Cycle, sm: u32, sectors: &[VirtAddr]) -> bool {
-        let tenant = self.tenant_of_sm(sm);
+    /// inline hit fast path: every coalesced sector must hit the L1 TLB
+    /// on a probe (under `ideal_tlb`, be resident and mapped instead),
+    /// hit the L1 data cache with a *guaranteed* sector, and each
+    /// required port group must have a free slot this cycle. Strictly
+    /// read-only — when any sector fails, the warp takes the event path
+    /// with no state disturbed. All-or-nothing per warp, so a warp's
+    /// sectors never straddle the two mechanisms.
+    ///
+    /// The pre-shard engine also required residency in the non-ideal
+    /// case; a lane cannot see the UVM maps, so a stale-TLB window of at
+    /// most `W` cycles exists between an eviction and its `Shootdown`
+    /// arriving. The TLB and cache entries are invalidated together by
+    /// that shootdown, so a stale fast-path hit reads data that is still
+    /// physically present — harmless, and identical for every shard
+    /// packing.
+    fn fast_path_classify(
+        &self,
+        now: Cycle,
+        sm: u32,
+        sectors: &[VirtAddr],
+        ideal: Option<&SharedLane<'_>>,
+    ) -> bool {
+        let tenant = self.tenant(sm);
+        let li = self.l(sm);
         // Structural hazards: a fully backed-up port means the grants
         // would land in future cycles; leave that to the event path.
-        if !self.cfg.ideal_tlb && self.l1_tlb_ports[sm as usize].peek_grant(now) != now {
+        if !self.cfg.ideal_tlb && self.l1_tlb_ports[li].peek_grant(now) != now {
             return false;
         }
-        if self.l1_cache_ports[sm as usize].peek_grant(now) != now {
+        if self.l1_cache_ports[li].peek_grant(now) != now {
             return false;
         }
         for &vaddr in sectors {
             let vpn = vaddr.vpn();
-            if !self.uvms[tenant].is_resident(vpn) {
-                return false;
-            }
-            let ppn = if self.cfg.ideal_tlb {
-                match self.uvms[tenant].page_table.translate(vpn) {
+            let ppn = if let Some(sh) = ideal {
+                // lint:exempt(shard-reachability): ideal-TLB mode is
+                // clamped to one lane, one worker; the shared lane is
+                // handed in synchronously.
+                if !sh.uvms[tenant].is_resident(vpn) {
+                    return false;
+                }
+                match sh.uvms[tenant].page_table.translate(vpn) {
                     Some(t) => t.ppn,
                     None => return false,
                 }
             } else {
-                match self.l1_tlbs[sm as usize].probe(Vpn(self.salt(tenant, vpn))) {
+                match self.l1_tlbs[li].probe(Vpn(salt(tenant, vpn))) {
                     Some(Some(hit)) => hit.ppn,
                     // A probe miss — or a model that cannot preview its
                     // lookups (the coalescing CoLT/SnakeByte designs) —
@@ -1273,8 +1187,7 @@ impl<'a> Engine<'a> {
                     _ => return false,
                 }
             };
-            if !matches!(self.l1_caches[sm as usize].peek_probe(translate(vaddr, ppn)), Probe::Hit)
-            {
+            if !matches!(self.l1_caches[li].peek_probe(translate(vaddr, ppn)), Probe::Hit) {
                 return false;
             }
         }
@@ -1283,14 +1196,15 @@ impl<'a> Engine<'a> {
 
     /// Commits a classified fast-path warp: performs, at issue time, the
     /// state updates the event path spreads across its TLB-result and
-    /// L1-result events — page touch, TLB LRU bump and stats, port
-    /// grants, cache LRU/dirty bits — and computes each sector's
-    /// completion cycle from the Table II latencies. With
-    /// `inline_hit_path` on, the latency bookkeeping happens inline and
-    /// the calendar carries only the warp wake-up; with it off, the
-    /// identical bookkeeping rides per-sector [`Ev::FastComplete`]
-    /// events. The two must be digest-identical — that is the CI
-    /// differential gate's whole claim.
+    /// L1-result events — TLB LRU bump and stats, port grants, cache
+    /// LRU/dirty bits — and computes each sector's completion cycle from
+    /// the Table II latencies. With `inline_hit_path` on, the latency
+    /// bookkeeping happens inline and the calendar carries only the warp
+    /// wake-up; with it off, the identical bookkeeping rides per-sector
+    /// [`Ev::FastComplete`] events. The two must be digest-identical —
+    /// that is the CI differential gate's whole claim. The inline mode
+    /// burns one sequence number per sector (the seq its evented twin
+    /// would consume), so the two modes' event orderings stay aligned.
     fn fast_path_commit(
         &mut self,
         now: Cycle,
@@ -1298,41 +1212,44 @@ impl<'a> Engine<'a> {
         warp: u32,
         is_store: bool,
         sectors: &[VirtAddr],
+        mut ideal: Option<&mut SharedLane<'_>>,
     ) {
-        let tenant = self.tenant_of_sm(sm);
+        let tenant = self.tenant(sm);
+        let li = self.l(sm);
         let tlb_lat = self.cfg.l1_tlb.latency;
         let cache_lat = self.cfg.l1_cache.latency;
         self.stats.fast_path_hits += 1;
         self.stats.fast_path_sectors += sectors.len() as u64;
         #[cfg(feature = "probes")]
-        let emit_span = self.probe.is_active() && self.probe.sampled(warp);
+        let emit_span = self.log.is_active() && self.log.sampled(warp);
         #[cfg(feature = "probes")]
         if emit_span {
-            self.probe.span_enter(SpanPoint::FastPath, Track::sm_warp(sm, warp), now);
+            self.log.span_enter(SpanPoint::FastPath, Track::sm_warp(sm, warp), now);
         }
         let mut t_done = now;
         for (i, &vaddr) in sectors.iter().enumerate() {
             self.stats.sector_requests += 1;
             let vpn = vaddr.vpn();
-            let remote = self.touch_page(tenant, vpn);
-            debug_assert!(!remote, "fast path classified a non-resident page as a hit");
-            let (ppn, done) = if self.cfg.ideal_tlb {
-                let t = self
-                    .uvms[tenant]
+            let (ppn, done) = if let Some(sh) = ideal.as_deref_mut() {
+                // lint:exempt(shard-reachability): ideal-TLB mode is
+                // clamped to one lane, one worker.
+                let remote = sh.touch_page(now, tenant, vpn);
+                debug_assert!(!remote, "fast path classified a non-resident page as a hit");
+                let t = sh.uvms[tenant]
                     .page_table
                     .translate(vpn)
                     .expect("fast path classified an unmapped page as resident");
-                (t.ppn, self.l1_cache_ports[sm as usize].grant(now))
+                (t.ppn, self.l1_cache_ports[li].grant(now))
             } else {
                 self.stats.l1_tlb_lookups += 1;
-                let g_tlb = self.l1_tlb_ports[sm as usize].grant(now);
-                let svpn = self.salt(tenant, vpn);
-                let hit = self.l1_tlbs[sm as usize]
+                let g_tlb = self.l1_tlb_ports[li].grant(now);
+                let svpn = salt(tenant, vpn);
+                let hit = self.l1_tlbs[li]
                     .lookup(Vpn(svpn))
                     .expect("fast path classified an L1 TLB miss as a hit");
                 self.stats.l1_tlb_hits += 1;
                 self.record_coverage(hit.coverage_pages);
-                let g_cache = self.l1_cache_ports[sm as usize].grant(now);
+                let g_cache = self.l1_cache_ports[li].grant(now);
                 let done = match self.cfg.l1_arrangement {
                     // VIPT: translation and data lookup overlap from
                     // their respective port grants.
@@ -1349,14 +1266,14 @@ impl<'a> Engine<'a> {
             };
             let pa = translate(vaddr, ppn);
             self.stats.l1d_lookups += 1;
-            let probe = self.l1_caches[sm as usize].probe(pa);
+            let probe = self.l1_caches[li].probe(pa);
             debug_assert!(
                 matches!(probe, Probe::Hit),
                 "fast path classified an L1 data miss as a hit: {probe:?}"
             );
             self.stats.l1d_hits += 1;
             if is_store {
-                self.l1_caches[sm as usize].mark_dirty(pa);
+                self.l1_caches[li].mark_dirty(pa);
             }
             if self.cfg.inline_hit_path {
                 self.stats.sector_latency.add(done - now);
@@ -1370,11 +1287,10 @@ impl<'a> Engine<'a> {
                     self.stats.latency_breakdown.add(Phase::Fetch, done - now);
                     self.stats.latency_breakdown.sectors += 1;
                 }
+                // Seq-stream parity with the evented twin's FastComplete.
+                self.burn_seq(sm);
             } else {
-                self.q.schedule(
-                    done,
-                    Ev::FastComplete { sm, warp, last: i + 1 == sectors.len() },
-                );
+                self.sched(sm, done, Ev::FastComplete { sm, warp, last: i + 1 == sectors.len() });
             }
             // Port grants are non-decreasing across the loop, so the last
             // sector carries the warp's completion cycle.
@@ -1385,13 +1301,13 @@ impl<'a> Engine<'a> {
         }
         #[cfg(feature = "probes")]
         if emit_span {
-            self.probe.span_exit(SpanPoint::FastPath, Track::sm_warp(sm, warp), t_done);
+            self.log.span_exit(SpanPoint::FastPath, Track::sm_warp(sm, warp), t_done);
         }
         // The warp re-issues one cycle after its last sector completes —
         // the same wake point `complete_req` produces. Scheduled here, at
         // issue, in *both* modes, so the wake-up occupies the identical
-        // calendar FIFO position whichever mode does the bookkeeping.
-        self.q.schedule(t_done + 1, Ev::WarpIssue { sm, warp });
+        // calendar position whichever mode does the bookkeeping.
+        self.sched(sm, t_done + 1, Ev::WarpIssue { sm, warp });
     }
 
     /// Evented twin of the inline fast-path latency bookkeeping
@@ -1413,32 +1329,36 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn start_translation(&mut self, now: Cycle, id: ReqId) {
+    fn start_translation(&mut self, now: Cycle, id: ReqId, ideal: Option<&mut SharedLane<'_>>) {
         let (vpn, sm) = {
             let r = self.req(id);
             (r.vpn(), r.sm)
         };
-        let tenant = self.tenant_of_sm(sm);
-        if self.touch_page(tenant, vpn) {
-            // Cold page below the migration threshold: the GMMU faults and
-            // the access is serviced from host memory over the
-            // interconnect. No GPU TLB entry is installed and MOD is not
-            // trained (the paper restricts updates to GPU-mapped regions).
-            self.stats.remote_accesses += 1;
-            self.probe_phase(now, id, Phase::Fetch);
-            self.probe_span(
-                SpanPoint::Remote,
-                Track::uvm(tenant as u32),
-                now,
-                now + self.cfg.uvm.remote_latency,
-                id.slot() as u64,
-            );
-            self.req_ref(id);
-            self.q.schedule(now + self.cfg.uvm.remote_latency, Ev::RemoteDone { req: id });
-            return;
-        }
-        if self.cfg.ideal_tlb {
-            let t = self.uvms[tenant].page_table.translate(vpn).expect("page just touched");
+        let tenant = self.tenant(sm);
+        if let Some(sh) = ideal {
+            // lint:exempt(shard-reachability): ideal-TLB mode is clamped
+            // to one lane, one worker; translations resolve synchronously
+            // against the shared page tables.
+            if sh.touch_page(now, tenant, vpn) {
+                // Cold page below the migration threshold: the GMMU
+                // faults and the access is serviced from host memory over
+                // the interconnect. No GPU TLB entry is installed and MOD
+                // is not trained (the paper restricts updates to
+                // GPU-mapped regions).
+                sh.stats.remote_accesses += 1;
+                self.probe_phase(now, id, Phase::Fetch);
+                sh.probe_span(
+                    SpanPoint::Remote,
+                    Track::uvm(tenant as u32),
+                    now,
+                    now + self.cfg.uvm.remote_latency,
+                    id.slot() as u64,
+                );
+                self.req_ref(id);
+                self.sched(sm, now + self.cfg.uvm.remote_latency, Ev::RemoteDone { req: id });
+                return;
+            }
+            let t = sh.uvms[tenant].page_table.translate(vpn).expect("page just touched");
             let r = self.req_mut(id);
             r.real_ppn = Some(t.ppn);
             r.translation_done = true;
@@ -1446,90 +1366,28 @@ impl<'a> Engine<'a> {
             self.schedule_l1_access(now, id, 0);
             return;
         }
-        let grant = self.l1_tlb_ports[sm as usize].grant(now);
+        let li = self.l(sm);
+        let grant = self.l1_tlb_ports[li].grant(now);
         self.probe_phase(now, id, Phase::Tlb);
         self.probe_queue_wait(grant - now);
         self.req_ref(id);
-        self.q.schedule(grant + self.cfg.l1_tlb.latency, Ev::L1TlbResult { req: id });
-    }
-
-    /// Touches a page; returns `true` when the access must be served
-    /// remotely (cold page under threshold-based migration).
-    fn touch_page(&mut self, tenant: usize, vpn: Vpn) -> bool {
-        let result = self.uvms[tenant].touch(vpn);
-        if result.remote {
-            return true;
-        }
-        if !result.faulted {
-            return false;
-        }
-        self.stats.page_faults += 1;
-        self.stats.pages_migrated += result.migrated.len() as u64;
-        self.probe_instant(
-            SpanPoint::UvmFault,
-            Track::uvm(tenant as u32),
-            self.q.now(),
-            result.migrated.len() as u64,
-        );
-        // Migration traffic: page contents written into GPU DRAM (timing
-        // excluded per §IV-B, traffic counted).
-        self.dram
-            .account_untimed(DramOp::Write, result.migrated.len() as u64 * crate::addr::PAGE_BYTES);
-        if result.promoted {
-            self.stats.promotions += 1;
-        }
-        for chunk in result.evicted {
-            self.stats.chunks_evicted += 1;
-            self.stats.tlb_shootdowns += 1;
-            self.probe_instant(
-                SpanPoint::Eviction,
-                Track::uvm(tenant as u32),
-                self.q.now(),
-                chunk.pages,
-            );
-            if chunk.was_promoted {
-                self.stats.splinters += 1;
-            }
-            // Eviction reads the chunk out of DRAM for transfer to the host.
-            self.dram
-                .account_untimed(DramOp::Read, chunk.frames.len() as u64 * crate::addr::PAGE_BYTES);
-            let salted_first = Vpn(chunk.first_vpn.0 | ((tenant as u64) << ASID_SHIFT));
-            for tlb in &mut self.l1_tlbs {
-                tlb.invalidate(salted_first, chunk.pages);
-            }
-            self.l2_tlb.invalidate(salted_first, chunk.pages);
-            let frames: FxHashSet<u64> = chunk.frames.iter().map(|p| p.0).collect();
-            for cache in &mut self.l1_caches {
-                cache.invalidate_frames(&frames);
-            }
-            self.l2_cache.invalidate_frames(&frames);
-            let now = self.q.now();
-            for sm in 0..self.cfg.num_sms as u32 {
-                self.wake_all_unguaranteed(now, sm);
-            }
-        }
-        self.probe_counter(
-            "resident_pages",
-            Track::uvm(tenant as u32),
-            self.q.now(),
-            self.uvms[tenant].used_frames(),
-        );
-        false
+        self.sched(sm, grant + self.cfg.l1_tlb.latency, Ev::L1TlbResult { req: id });
     }
 
     // ------------------------------------------------------------------
-    // Translation path
+    // Translation path (lane side)
     // ------------------------------------------------------------------
 
     fn l1_tlb_result(&mut self, now: Cycle, id: ReqId) {
-        let (sm, pc, vpn) = {
+        let (sm, vpn) = {
             let r = self.req(id);
-            (r.sm, r.pc, r.vpn())
+            (r.sm, r.vpn())
         };
         self.stats.l1_tlb_lookups += 1;
-        let tenant = self.tenant_of_sm(sm);
-        let svpn = self.salt(tenant, vpn);
-        if let Some(hit) = self.l1_tlbs[sm as usize].lookup(Vpn(svpn)) {
+        let tenant = self.tenant(sm);
+        let svpn = salt(tenant, vpn);
+        let li = self.l(sm);
+        if let Some(hit) = self.l1_tlbs[li].lookup(Vpn(svpn)) {
             self.stats.l1_tlb_hits += 1;
             self.record_coverage(hit.coverage_pages);
             self.probe_phase(now, id, Phase::Fetch);
@@ -1547,263 +1405,131 @@ impl<'a> Engine<'a> {
             self.schedule_l1_access(now, id, latency);
             return;
         }
-
-        // CAST hook: attempt speculative translation. Stores never
-        // speculate — erroneously performed writes cannot be rolled back.
-        let is_store = self.req(id).is_store;
-        let prediction =
-            if is_store { None } else { self.accel.on_l1_tlb_miss(sm as usize, pc, vpn) };
-        if let Some(spec_ppn) = prediction {
-            self.stats.speculations += 1;
-            // The page can have been evicted (oversubscription) between
-            // warp issue and this miss; such speculations validate false.
-            let real = self.uvms[tenant].page_table.translate(vpn);
-            let correct = real.is_some_and(|r| r.ppn == spec_ppn);
-            if correct {
-                self.stats.spec_correct += 1;
-            }
-            if self.frame_owner_any(spec_ppn).is_none() {
-                self.stats.spec_false += 1;
-            }
-            let ideal = self.accel.validation_kind() == ValidationKind::Ideal;
-            if !ideal || correct {
-                // Ideal validation confirms speculations before fetching;
-                // incorrect ones never fetch.
-                self.req_mut(id).spec =
-                    Some(SpecState { ppn: spec_ppn, ideal, killed: false, fetch_registered: false });
-                let grant = self.l1_cache_ports[sm as usize].grant(now);
-                self.req_ref(id);
-                self.q.schedule(grant + self.cfg.l1_cache.latency, Ev::SpecL1Result { req: id });
-            }
-        }
-
-        // Forward the translation request toward the L2 TLB.
-        self.request_l2_translation(now, id);
+        // Miss: cross into the shared hierarchy, where residency,
+        // speculation (the CAST hook), and the L2 TLB lookup live.
+        self.l1_tlb_miss_forward(now, id);
     }
 
-    fn request_l2_translation(&mut self, now: Cycle, id: ReqId) {
-        let (sm, vpn) = {
+    /// Registers a missing request in the L1 TLB MSHRs and emits the
+    /// cross-domain `TlbMiss`. `need_l2` distinguishes the allocating
+    /// request (which triggers the shared L2 TLB lookup) from merged
+    /// followers (which still want residency/speculation handling).
+    fn l1_tlb_miss_forward(&mut self, now: Cycle, id: ReqId) {
+        let (sm, vpn, pc, is_store) = {
             let r = self.req(id);
-            (r.sm, r.vpn())
+            (r.sm, r.vpn(), r.pc, r.is_store)
         };
-        let svpn = self.salt(self.tenant_of_sm(sm), vpn);
+        let svpn = salt(self.tenant(sm), vpn);
         self.probe_phase(now, id, Phase::Walk);
         // Whatever the grant, the id gets stored: as an MSHR waiter
         // (allocated or merged) or on the overflow queue.
         self.req_ref(id);
-        match self.l1_tlb_mshrs[sm as usize].request(svpn, id) {
+        let li = self.l(sm);
+        match self.l1_tlb_mshrs[li].request(svpn, id) {
             MshrGrant::Allocated => {
-                self.stats.l2_tlb_lookups += 1;
-                let grant = self.l2_tlb_ports.grant(now);
-                self.probe_queue_wait(grant - now);
-                self.q.schedule(grant + self.cfg.l2_tlb.latency, Ev::L2TlbResult { sm, vpn: svpn });
+                self.send(sm, now + 1, Ev::TlbMiss { req: id, sm, svpn, pc, is_store, need_l2: true });
             }
-            MshrGrant::Merged => {}
+            MshrGrant::Merged => {
+                self.send(sm, now + 1, Ev::TlbMiss { req: id, sm, svpn, pc, is_store, need_l2: false });
+            }
             MshrGrant::Full => {
                 self.stats.l1_tlb_mshr_full += 1;
-                self.tlb_overflow[sm as usize].push(id);
+                self.tlb_overflow[li].push(id);
             }
         }
     }
 
-    fn l2_tlb_result(&mut self, now: Cycle, sm: u32, vpn: u64) {
-        if !self.l1_tlb_mshrs[sm as usize].contains(vpn) {
-            // Already resolved (e.g. EAF released the MSHR).
+    /// Handles [`Ev::SpecDispatch`]: the shared-side policy predicted a
+    /// frame; start the speculative L1 probe unless the normal path has
+    /// already won the race.
+    fn spec_dispatch(&mut self, now: Cycle, id: ReqId, ppn: Ppn, pre_validated: bool) {
+        // Token event: the request may have completed and been freed
+        // while the dispatch was in flight.
+        let Some(r) = self.reqs.get(id) else { return };
+        if r.completed || r.translation_done || r.spec.is_some() {
             return;
         }
-        if let Some(hit) = self.l2_tlb.lookup(Vpn(vpn)) {
-            self.stats.l2_tlb_hits += 1;
-            self.record_coverage(hit.coverage_pages);
-            let pages = if hit.coverage_pages >= crate::addr::PAGES_PER_CHUNK {
-                crate::addr::PAGES_PER_CHUNK
-            } else {
-                1
-            };
-            let fill = TlbFill { vpn: Vpn(vpn), ppn: hit.ppn, pages, run: Some(hit.run()) };
-            self.resolve_for_sm(now, sm, vpn, hit.ppn, &fill, false);
-            return;
-        }
-        match self.l2_tlb_mshr.request(vpn, sm) {
-            MshrGrant::Allocated => self.start_walk(now, vpn),
-            MshrGrant::Merged => self.stats.walk_merges += 1,
-            MshrGrant::Full => {
-                self.stats.l2_tlb_mshr_full += 1;
-                self.l2_tlb_overflow.push((sm, vpn));
-            }
-        }
+        let sm = r.sm;
+        self.req_mut(id).spec =
+            Some(SpecState { ppn, ideal: pre_validated, killed: false, fetch_registered: false });
+        let li = self.l(sm);
+        let grant = self.l1_cache_ports[li].grant(now);
+        self.req_ref(id);
+        self.sched(sm, grant + self.cfg.l1_cache.latency, Ev::SpecL1Result { req: id });
     }
 
-    fn start_walk(&mut self, now: Cycle, vpn: u64) {
-        let tenant = Self::tenant_of_svpn(vpn);
-        let levels = self.uvms[tenant].page_table.walk_levels(Self::unsalt(vpn));
-        match self.walks.enqueue(Vpn(vpn), levels, now) {
-            Some(id) => {
-                self.walk_of_vpn.insert(vpn, id);
-                self.vpn_of_walk.insert(id, Vpn(vpn));
-                self.walk_started.insert(vpn, now);
-                // Dispatch synchronously: a zero-delta event would only
-                // defer this same call behind the rest of the cycle's
-                // queue (and is deny-listed by avatar-lint).
-                self.walk_dispatch(now);
-            }
-            None => {
-                self.stats.pw_buffer_full += 1;
-                self.pw_overflow.push_back(vpn);
-            }
-        }
+    /// Handles [`Ev::ResolveSm`]: fills this SM's L1 TLB with a resolved
+    /// translation and wakes its waiting requests.
+    // The parameter list mirrors the event's fields one-to-one.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_sm(
+        &mut self,
+        now: Cycle,
+        sm: u32,
+        svpn: u64,
+        ppn: Ppn,
+        pages: u64,
+        run: Option<ContigRun>,
+        via_eaf: bool,
+    ) {
+        let fill = TlbFill { vpn: Vpn(svpn), ppn, pages, run };
+        let li = self.l(sm);
+        self.l1_tlbs[li].fill(&fill);
+        self.complete_tlb_waiters(now, sm, svpn, ppn, via_eaf);
+        self.retry_tlb_overflow(now, sm);
     }
 
-    fn walk_dispatch(&mut self, now: Cycle) {
-        while let Some((walk, addr)) = self.walks.dispatch() {
-            // The walker records its enqueue cycle as the walk's start:
-            // the gap to the dispatch cycle is walk-buffer queueing.
-            #[cfg(feature = "probes")]
-            if let Some(enqueued) = self.walks.started_at(walk) {
-                self.probe_queue_wait(now - enqueued);
-            }
-            self.walk_mem(now, walk, addr);
-        }
-    }
-
-    fn walk_mem(&mut self, now: Cycle, walk: WalkId, addr: PhysAddr) {
-        self.stats.walk_memory_accesses += 1;
-        let pa = PhysAddr(addr.0 & !(SECTOR_BYTES - 1));
-        let grant = self.l2_cache_ports.grant(now);
-        self.q.schedule(grant + self.cfg.l2_cache.latency, Ev::WalkL2 { walk, pa: pa.0 });
-    }
-
-    fn walk_l2(&mut self, now: Cycle, walk: WalkId, pa: PhysAddr) {
-        self.stats.l2_lookups += 1;
-        match self.l2_cache.probe(pa) {
-            Probe::Hit | Probe::HitUnguaranteed => {
-                self.stats.l2_hits += 1;
-                self.advance_walk(now, walk);
-            }
-            Probe::Miss => match self.l2_mshr.request(pa.0, L2Waiter::Walk { walk }) {
-                MshrGrant::Allocated => {
-                    let done = self.dram.access(pa, DramOp::Read, now, SECTOR_BYTES);
-                    self.q.schedule(done, Ev::DramDone { pa: pa.0 });
-                }
-                MshrGrant::Merged => {}
-                MshrGrant::Full => self.l2_mshr_overflow.push_back((pa.0, L2Waiter::Walk { walk })),
-            },
-        }
-    }
-
-    fn advance_walk(&mut self, now: Cycle, walk: WalkId) {
-        match self.walks.step(walk) {
-            None => {} // aborted by EAF
-            Some(WalkProgress::Access(addr)) => self.walk_mem(now, walk, addr),
-            Some(WalkProgress::Done) => {
-                let svpn = self.vpn_of_walk.remove(&walk).expect("walk has vpn");
-                let tenant = Self::tenant_of_svpn(svpn.0);
-                let vpn = Self::unsalt(svpn.0);
-                self.stats.page_walks += 1;
-                if let Some(start) = self.walk_started.remove(&svpn.0) {
-                    self.stats.walk_latency.add(now - start);
-                    #[cfg(feature = "probes")]
-                    {
-                        self.stats.walk_latency_hist.add(now - start);
-                        let walker =
-                            (walk.0 % self.cfg.walker.walkers as u64) as u32;
-                        self.probe_span(
-                            SpanPoint::WalkService,
-                            Track::walker(walker),
-                            start,
-                            now,
-                            svpn.0,
-                        );
-                    }
-                }
-                self.walk_of_vpn.remove(&svpn.0);
-                // The PTE may have been invalidated by a concurrent
-                // eviction; refault instantly (latency excluded).
-                if self.uvms[tenant].page_table.translate(vpn).is_none() {
-                    // The page was evicted while its walk was in flight;
-                    // refault it in (repeat touches satisfy the access
-                    // counter when threshold-based migration is active).
-                    while self.touch_page(tenant, vpn) {}
-                }
-                let t = self.uvms[tenant].page_table.translate(vpn).expect("resident after touch");
-                self.resolve_translation(now, svpn.0, t.ppn, t.pages);
-                // A walker freed: dispatch more walks and retry overflow,
-                // synchronously rather than via a zero-delta event.
-                self.drain_pw_overflow(now);
-                self.walk_dispatch(now);
-            }
-        }
-    }
-
-    fn drain_pw_overflow(&mut self, now: Cycle) {
-        while !self.pw_overflow.is_empty() && self.walks.has_buffer_space() {
-            let vpn = self.pw_overflow.pop_front().expect("checked non-empty");
-            self.start_walk(now, vpn);
-        }
-    }
-
-    /// Resolves a translation globally: fills the L2 TLB, wakes every
-    /// waiting SM, and retries overflow queues.
-    fn resolve_translation(&mut self, now: Cycle, svpn: u64, ppn: Ppn, pages: u64) {
-        let tenant = Self::tenant_of_svpn(svpn);
-        let run = self.uvms[tenant].page_table.contiguous_run(Self::unsalt(svpn), 16);
-        let run = self.salt_run(tenant, run);
-        let vpn = svpn;
-        let fill = TlbFill { vpn: Vpn(vpn), ppn, pages, run };
-        self.l2_tlb.fill(&fill);
-        self.charge_merge_refs(now);
-        if let Some(mut waiters) = self.l2_tlb_mshr.complete(vpn) {
-            let mut seen = Vec::new();
-            for sm in waiters.drain(..) {
-                if !seen.contains(&sm) {
-                    seen.push(sm);
-                    self.resolve_for_sm(now, sm, vpn, ppn, &fill, false);
-                }
-            }
-            self.l2_tlb_mshr.recycle(waiters);
-        }
-        self.drain_l2_tlb_overflow(now);
-    }
-
-    fn charge_merge_refs(&mut self, now: Cycle) {
-        let refs = self.l2_tlb.drain_extra_memory_refs();
-        if refs > 0 {
-            self.stats.merge_memory_accesses += refs;
-            // Merge traffic consumes page-table bandwidth: fire-and-forget
-            // DRAM reads in the page-table region.
-            for i in 0..refs {
-                let pa = PhysAddr(PT_BASE + (self.stats.merge_memory_accesses + i) * 64 % (1 << 30));
-                self.dram.access(pa, DramOp::Read, now, SECTOR_BYTES);
-            }
-        }
-    }
-
-    fn drain_l2_tlb_overflow(&mut self, now: Cycle) {
-        let pending = std::mem::take(&mut self.l2_tlb_overflow);
-        for (sm, vpn) in pending {
-            self.l2_tlb_result(now, sm, vpn);
-        }
-    }
-
-    /// Fills one SM's L1 TLB and wakes its waiting requests. `via_eaf`
-    /// marks resolutions produced by Early-TLB-Fill, which the paper's
-    /// Fig 16 accounting attributes to `Fast_Translation`.
-    fn resolve_for_sm(&mut self, now: Cycle, sm: u32, vpn: u64, ppn: Ppn, fill: &TlbFill, via_eaf: bool) {
-        self.l1_tlbs[sm as usize].fill(fill);
-        if let Some(mut waiters) = self.l1_tlb_mshrs[sm as usize].complete(vpn) {
+    /// Completes every L1-TLB-MSHR waiter on `svpn` and defers accel
+    /// training to the shared lane (one hop; the accel is shared state).
+    fn complete_tlb_waiters(&mut self, now: Cycle, sm: u32, svpn: u64, ppn: Ppn, via_eaf: bool) {
+        let li = self.l(sm);
+        if let Some(mut waiters) = self.l1_tlb_mshrs[li].complete(svpn) {
             for id in waiters.drain(..) {
                 let pc = self.req(id).pc;
-                self.accel.on_translation_resolved(sm as usize, pc, Self::unsalt(vpn), ppn);
+                self.send(sm, now + 1, Ev::AccelTrain { sm, pc, svpn, ppn: ppn.0 });
                 self.translation_resolved_for_req(now, id, ppn, via_eaf);
                 self.req_unref(id);
             }
-            self.l1_tlb_mshrs[sm as usize].recycle(waiters);
+            self.l1_tlb_mshrs[li].recycle(waiters);
         }
-        // MSHR space freed: retry overflow translation requests. The
-        // retry re-pins the id before the queue's own pin is consumed.
-        let pending = std::mem::take(&mut self.tlb_overflow[sm as usize]);
+    }
+
+    /// MSHR space freed: retry overflow translation requests. The retry
+    /// re-pins the id before the queue's own pin is consumed.
+    fn retry_tlb_overflow(&mut self, now: Cycle, sm: u32) {
+        let li = self.l(sm);
+        let pending = std::mem::take(&mut self.tlb_overflow[li]);
         for id in pending {
-            self.request_l2_translation(now, id);
+            self.l1_tlb_miss_forward(now, id);
             self.req_unref(id);
+        }
+    }
+
+    /// Handles [`Ev::RemoteDone`]: a remote (host-memory) access
+    /// completing. In ideal-TLB mode the event itself pins the request;
+    /// otherwise the L1-TLB-MSHR waiter entry does, and is released here.
+    fn remote_done(&mut self, now: Cycle, id: ReqId) {
+        if self.cfg.ideal_tlb {
+            if !self.req(id).completed {
+                self.complete_req(now, id);
+            }
+            self.req_unref(id);
+            return;
+        }
+        // Unpinned token: an EAF/resolution may have completed the
+        // request and drained its waiter entry already.
+        let Some(r) = self.reqs.get(id) else { return };
+        let sm = r.sm;
+        let svpn = salt(self.tenant(sm), r.vpn());
+        if !r.completed {
+            self.complete_req(now, id);
+        }
+        let li = self.l(sm);
+        if self.l1_tlb_mshrs[li].remove_waiter(svpn, &id) {
+            self.req_unref(id);
+            // The waiter slot freed may have been the last one holding an
+            // entry: overflowed requests can now retry.
+            self.retry_tlb_overflow(now, sm);
         }
     }
 
@@ -1823,7 +1549,8 @@ impl<'a> Engine<'a> {
         // merge, DRAM) is data-side time in every branch below.
         self.probe_phase(now, id, Phase::Fetch);
         let req = self.req(id);
-        let sm = req.sm as usize;
+        let sm = req.sm;
+        let li = self.l(sm);
         let Some(spec) = req.spec else {
             self.schedule_l1_access(now, id, self.cfg.l1_cache.latency);
             return;
@@ -1834,15 +1561,17 @@ impl<'a> Engine<'a> {
             // Fig 16 accounting: a resolution delivered by Early-TLB-Fill
             // counts as Fast_Translation — one rapid validation serves
             // many accesses.
-            if self.l1_mshrs[sm].contains(spec_pa.0) {
+            if self.l1_mshrs[li].contains(spec_pa.0) {
                 // A fetch of the speculated sector is in flight (this
                 // request's own, or another warp's): the original access
                 // merges with it in the cache MSHR.
-                if !spec.fetch_registered
-                    && self.l1_mshrs[sm].merge(spec_pa.0, id)
-                {
+                if !spec.fetch_registered && self.l1_mshrs[li].merge(spec_pa.0, id) {
                     self.req_ref(id);
-                    self.req_mut(id).spec.as_mut().expect("spec state outlives its in-flight sector fetch").fetch_registered = true;
+                    self.req_mut(id)
+                        .spec
+                        .as_mut()
+                        .expect("spec state outlives its in-flight sector fetch")
+                        .fetch_registered = true;
                 }
                 self.stats.outcomes.record(if via_eaf {
                     SpecOutcome::FastTranslation
@@ -1852,10 +1581,10 @@ impl<'a> Engine<'a> {
                 self.trace(id, "merge-wait");
                 return; // completion happens at the fill
             }
-            if self.l1_caches[sm].peek(spec_pa).is_some() {
+            if self.l1_caches[li].peek(spec_pa).is_some() {
                 // Prefetched sector still resident: guarantee and re-access.
-                self.l1_caches[sm].set_guarantee(spec_pa, true);
-                self.wake_unguaranteed(now, sm as u32, spec_pa);
+                self.l1_caches[li].set_guarantee(spec_pa, true);
+                self.wake_unguaranteed(now, sm, spec_pa);
                 self.trace(id, "l1d-hit-path");
                 self.stats.outcomes.record(if via_eaf {
                     SpecOutcome::FastTranslation
@@ -1876,10 +1605,10 @@ impl<'a> Engine<'a> {
             self.req_mut(id).spec.as_mut().expect("spec present").killed = true;
             // Drop the wrongly fetched sector if it is resident and not
             // legitimately owned (guaranteed) by some other request.
-            if let Some(flags) = self.l1_caches[sm].peek(spec_pa) {
+            if let Some(flags) = self.l1_caches[li].peek(spec_pa) {
                 if !flags.guaranteed {
-                    self.l1_caches[sm].invalidate_sector(spec_pa);
-                    self.wake_unguaranteed(now, sm as u32, spec_pa);
+                    self.l1_caches[li].invalidate_sector(spec_pa);
+                    self.wake_unguaranteed(now, sm, spec_pa);
                 }
             }
             self.schedule_l1_access(now, id, self.cfg.l1_cache.latency);
@@ -1887,15 +1616,16 @@ impl<'a> Engine<'a> {
     }
 
     // ------------------------------------------------------------------
-    // Data path
+    // Data path (lane side)
     // ------------------------------------------------------------------
 
     fn schedule_l1_access(&mut self, now: Cycle, id: ReqId, latency: Cycle) {
-        let sm = self.req(id).sm as usize;
-        let grant = self.l1_cache_ports[sm].grant(now);
+        let sm = self.req(id).sm;
+        let li = self.l(sm);
+        let grant = self.l1_cache_ports[li].grant(now);
         self.probe_queue_wait(grant - now);
         self.req_ref(id);
-        self.q.schedule(grant + latency, Ev::L1Result { req: id });
+        self.sched(sm, grant + latency, Ev::L1Result { req: id });
     }
 
     fn l1_result(&mut self, now: Cycle, id: ReqId) {
@@ -1907,12 +1637,13 @@ impl<'a> Engine<'a> {
             let r = self.req(id);
             (r.sm, r.real_pa().expect("translated before L1 access"), r.is_store)
         };
+        let li = self.l(sm);
         self.stats.l1d_lookups += 1;
-        match self.l1_caches[sm as usize].probe(pa) {
+        match self.l1_caches[li].probe(pa) {
             Probe::Hit => {
                 self.stats.l1d_hits += 1;
                 if is_store {
-                    self.l1_caches[sm as usize].mark_dirty(pa);
+                    self.l1_caches[li].mark_dirty(pa);
                 }
                 self.complete_req(now, id);
             }
@@ -1923,9 +1654,9 @@ impl<'a> Engine<'a> {
                 // proof the guarantee bit requires ("if the speculation
                 // is accurate, set the guarantee bit"). Validate and use.
                 self.stats.l1d_hits += 1;
-                self.l1_caches[sm as usize].set_guarantee(pa, true);
+                self.l1_caches[li].set_guarantee(pa, true);
                 if is_store {
-                    self.l1_caches[sm as usize].mark_dirty(pa);
+                    self.l1_caches[li].mark_dirty(pa);
                 }
                 self.complete_req(now, id);
                 self.wake_unguaranteed(now, sm, pa);
@@ -1952,9 +1683,7 @@ impl<'a> Engine<'a> {
     fn wake_all_unguaranteed(&mut self, now: Cycle, sm: u32) {
         let mut keys = std::mem::take(&mut self.scratch_keys);
         keys.clear();
-        keys.extend(
-            self.unguaranteed_waiters.keys().filter(|(s, _)| *s == sm).map(|(_, pa)| *pa),
-        );
+        keys.extend(self.unguaranteed_waiters.keys().filter(|(s, _)| *s == sm).map(|(_, pa)| *pa));
         for &pa in &keys {
             self.wake_unguaranteed(now, sm, PhysAddr(pa));
         }
@@ -1963,18 +1692,18 @@ impl<'a> Engine<'a> {
 
     fn l1_miss(&mut self, now: Cycle, id: ReqId, pa: PhysAddr) {
         let sm = self.req(id).sm;
-        // All three grants store the id: as an MSHR waiter or on the
-        // overflow queue.
+        let li = self.l(sm);
+        // Both grants store the id: as an MSHR waiter or on the overflow
+        // queue.
         self.req_ref(id);
-        match self.l1_mshrs[sm as usize].request(pa.0, id) {
+        match self.l1_mshrs[li].request(pa.0, id) {
             MshrGrant::Allocated => {
-                let grant = self.l2_cache_ports.grant(now);
-                self.q.schedule(grant + self.cfg.l2_cache.latency, Ev::L2Access { sm, pa: pa.0 });
+                self.send(sm, now + 1, Ev::L2Req { sm, pa: pa.0 });
             }
             MshrGrant::Merged => {}
             MshrGrant::Full => {
                 self.stats.cache_mshr_full += 1;
-                self.l1_mshr_overflow[sm as usize].push_back(id);
+                self.l1_mshr_overflow[li].push_back(id);
             }
         }
     }
@@ -1988,9 +1717,10 @@ impl<'a> Engine<'a> {
             return;
         }
         let sm = req.sm;
+        let li = self.l(sm);
         let Some(spec) = req.spec else { return };
         let spec_pa = translate(req.vaddr, spec.ppn);
-        match self.l1_caches[sm as usize].probe(spec_pa) {
+        match self.l1_caches[li].probe(spec_pa) {
             Probe::Hit => {
                 if spec.ideal {
                     // Ideal validation: the speculation is already
@@ -2000,7 +1730,7 @@ impl<'a> Engine<'a> {
                     let vpn = self.req(id).vpn();
                     self.stats.outcomes.record(SpecOutcome::FastTranslation);
                     self.complete_req(now, id);
-                    self.eaf_resolve(now, sm, vpn, spec.ppn);
+                    self.eaf_local(now, sm, vpn, spec.ppn);
                 }
             }
             Probe::HitUnguaranteed => {
@@ -2011,185 +1741,60 @@ impl<'a> Engine<'a> {
                 // Demand fetches take priority: speculative fetches lapse
                 // when the MSHR file is under pressure (the LSU pending
                 // table drops speculative entries rather than stalling).
-                let mshrs = &self.l1_mshrs[sm as usize];
-                if !mshrs.contains(spec_pa.0)
-                    && mshrs.len() * 2 >= self.cfg.l1_cache.mshr_entries
-                {
+                let mshrs = &self.l1_mshrs[li];
+                if !mshrs.contains(spec_pa.0) && mshrs.len() * 2 >= self.cfg.l1_cache.mshr_entries {
                     return;
                 }
-                match self.l1_mshrs[sm as usize].request(spec_pa.0, id) {
-                MshrGrant::Allocated => {
-                    self.req_ref(id);
-                    self.stats.spec_fetches += 1;
-                    self.req_mut(id).spec.as_mut().expect("spec state outlives its in-flight sector fetch").fetch_registered = true;
-                    self.probe_phase(now, id, Phase::Validate);
-                    #[cfg(feature = "probes")]
-                    {
-                        self.req_mut(id).spec_started = now;
+                match self.l1_mshrs[li].request(spec_pa.0, id) {
+                    MshrGrant::Allocated => {
+                        self.req_ref(id);
+                        self.stats.spec_fetches += 1;
+                        self.req_mut(id)
+                            .spec
+                            .as_mut()
+                            .expect("spec state outlives its in-flight sector fetch")
+                            .fetch_registered = true;
+                        self.probe_phase(now, id, Phase::Validate);
+                        #[cfg(feature = "probes")]
+                        {
+                            self.req_mut(id).spec_started = now;
+                        }
+                        self.send(sm, now + 1, Ev::L2Req { sm, pa: spec_pa.0 });
                     }
-                    let grant = self.l2_cache_ports.grant(now);
-                    self.q
-                        .schedule(grant + self.cfg.l2_cache.latency, Ev::L2Access { sm, pa: spec_pa.0 });
-                }
-                MshrGrant::Merged => {
-                    self.req_ref(id);
-                    self.stats.spec_fetches += 1;
-                    self.req_mut(id).spec.as_mut().expect("spec state outlives its in-flight sector fetch").fetch_registered = true;
-                    self.probe_phase(now, id, Phase::Validate);
-                    #[cfg(feature = "probes")]
-                    {
-                        self.req_mut(id).spec_started = now;
+                    MshrGrant::Merged => {
+                        self.req_ref(id);
+                        self.stats.spec_fetches += 1;
+                        self.req_mut(id)
+                            .spec
+                            .as_mut()
+                            .expect("spec state outlives its in-flight sector fetch")
+                            .fetch_registered = true;
+                        self.probe_phase(now, id, Phase::Validate);
+                        #[cfg(feature = "probes")]
+                        {
+                            self.req_mut(id).spec_started = now;
+                        }
+                    }
+                    MshrGrant::Full => {
+                        // Resource-constrained: the speculation silently
+                        // lapses — the id was never stored, so no pin.
                     }
                 }
-                MshrGrant::Full => {
-                    // Resource-constrained: the speculation silently
-                    // lapses — the id was never stored, so no pin.
-                }
-                }
             }
         }
     }
 
-    fn l2_access(&mut self, now: Cycle, sm: u32, pa: PhysAddr) {
-        self.stats.l2_lookups += 1;
-        match self.l2_cache.probe(pa) {
-            Probe::Hit | Probe::HitUnguaranteed => {
-                self.stats.l2_hits += 1;
-                let meta = self.sector_meta(pa);
-                let extra = if meta.compressed { self.cfg.spec.decompression_latency } else { 0 };
-                self.q.schedule(now + extra, Ev::L1Fill { sm, pa: pa.0 });
-            }
-            Probe::Miss => match self.l2_mshr.request(pa.0, L2Waiter::Sector { sm }) {
-                MshrGrant::Allocated => {
-                    let done = self.dram.access(pa, DramOp::Read, now, SECTOR_BYTES);
-                    self.q.schedule(done, Ev::DramDone { pa: pa.0 });
-                }
-                MshrGrant::Merged => {}
-                MshrGrant::Full => {
-                    self.stats.cache_mshr_full += 1;
-                    self.l2_mshr_overflow.push_back((pa.0, L2Waiter::Sector { sm }));
-                }
-            },
-        }
-    }
-
-    fn dram_done(&mut self, now: Cycle, pa: PhysAddr) {
-        let meta = self.sector_meta(pa);
-        let evicted = self.l2_cache.fill(
-            pa,
-            SectorFlags { valid: true, compressed: meta.compressed, guaranteed: true, dirty: false },
-        );
-        self.writeback_evicted_l2(now, evicted);
-        let extra = if meta.compressed { self.cfg.spec.decompression_latency } else { 0 };
-        if let Some(mut waiters) = self.l2_mshr.complete(pa.0) {
-            for w in waiters.drain(..) {
-                match w {
-                    L2Waiter::Sector { sm } => {
-                        self.q.schedule(now + extra, Ev::L1Fill { sm, pa: pa.0 })
-                    }
-                    L2Waiter::Walk { walk } => self.advance_walk(now, walk),
-                }
-            }
-            self.l2_mshr.recycle(waiters);
-        }
-        // MSHR space freed: admit overflow waiters into the capacity that
-        // opened up. They already paid the L2 port on their original
-        // access — re-probe directly (no extra port grant or latency).
-        while let Some(&(pa, _)) = self.l2_mshr_overflow.front() {
-            if self.l2_mshr.is_full() && !self.l2_mshr.contains(pa) {
-                break;
-            }
-            let (pa, w) = self.l2_mshr_overflow.pop_front().expect("checked non-empty");
-            self.l2_retry(now, PhysAddr(pa), w);
-        }
-    }
-
-    /// Re-probes the L2 for an overflow waiter without charging the port
-    /// again.
-    fn l2_retry(&mut self, now: Cycle, pa: PhysAddr, w: L2Waiter) {
-        match self.l2_cache.probe(pa) {
-            Probe::Hit | Probe::HitUnguaranteed => {
-                let meta = self.sector_meta(pa);
-                let extra = if meta.compressed { self.cfg.spec.decompression_latency } else { 0 };
-                match w {
-                    L2Waiter::Sector { sm } => {
-                        self.q.schedule(now + extra, Ev::L1Fill { sm, pa: pa.0 })
-                    }
-                    L2Waiter::Walk { walk } => self.advance_walk(now, walk),
-                }
-            }
-            Probe::Miss => match self.l2_mshr.request(pa.0, w) {
-                MshrGrant::Allocated => {
-                    let done = self.dram.access(pa, DramOp::Read, now, SECTOR_BYTES);
-                    self.q.schedule(done, Ev::DramDone { pa: pa.0 });
-                }
-                MshrGrant::Merged => {}
-                MshrGrant::Full => self.l2_mshr_overflow.push_front((pa.0, w)),
-            },
-        }
-    }
-
-    /// Writes a dirty L1 sector back into the L2 (write-back, 
-    /// write-allocate hierarchy). Cascading L2 evictions write to DRAM.
-    fn writeback_to_l2(&mut self, now: Cycle, pa: PhysAddr) {
-        let meta = self.sector_meta(pa);
-        let evicted = self.l2_cache.fill(
-            pa,
-            SectorFlags { valid: true, compressed: meta.compressed, guaranteed: true, dirty: true },
-        );
-        self.writeback_evicted_l2(now, evicted);
-    }
-
-    /// Writes the dirty sectors of an evicted L2 line to DRAM.
-    fn writeback_evicted_l2(&mut self, now: Cycle, evicted: Option<crate::cache::EvictedLine>) {
-        if let Some(ev) = evicted {
-            for sector in 0..crate::addr::SECTORS_PER_LINE {
-                let f = ev.sectors[sector as usize];
-                if f.valid && f.dirty {
-                    let spa =
-                        PhysAddr(ev.line_addr * crate::addr::LINE_BYTES + sector * SECTOR_BYTES);
-                    // Fire-and-forget: the writeback occupies the channel
-                    // but nothing waits on it.
-                    self.dram.access(spa, DramOp::Write, now, SECTOR_BYTES);
-                    self.stats.writebacks += 1;
-                }
-            }
-        }
-    }
-
-    /// The frame owner, whichever tenant's region the frame lies in.
-    fn frame_owner_any(&self, ppn: Ppn) -> Option<(usize, crate::uvm::FrameOwner)> {
-        let tenant = crate::uvm::tenant_of_frame(ppn);
-        let uvm = self.uvms.get(tenant)?;
-        uvm.frame_owner(ppn).map(|o| (tenant, o))
-    }
-
-    /// What the memory controller sees in the stored sector at `pa`.
-    fn sector_meta(&mut self, pa: PhysAddr) -> FetchedSector {
-        if pa.0 >= PT_BASE {
-            return FetchedSector { compressed: false, embedded: None };
-        }
-        match self.frame_owner_any(pa.ppn()) {
-            Some((tenant, owner)) if owner.embedded => {
-                let sector = (pa.page_offset() / SECTOR_BYTES) as u32;
-                if self.compression.compressible(owner.vpn, sector) {
-                    let asid = self.asid_of(tenant);
-                    FetchedSector {
-                        compressed: true,
-                        embedded: Some(PageMeta { vpn: owner.vpn, asid }),
-                    }
-                } else {
-                    FetchedSector { compressed: false, embedded: None }
-                }
-            }
-            _ => FetchedSector { compressed: false, embedded: None },
-        }
-    }
-
-    fn l1_fill(&mut self, now: Cycle, sm: u32, pa: PhysAddr) {
-        let meta = self.sector_meta(pa);
+    fn l1_fill(
+        &mut self,
+        now: Cycle,
+        sm: u32,
+        pa: PhysAddr,
+        meta: FetchedSector,
+        accel: &dyn TranslationAccel,
+    ) {
+        let li = self.l(sm);
         // Fill invisible first; waiters below decide visibility.
-        let evicted_line = self.l1_caches[sm as usize].fill(
+        let evicted_line = self.l1_caches[li].fill(
             pa,
             SectorFlags { valid: true, compressed: meta.compressed, guaranteed: false, dirty: false },
         );
@@ -2200,14 +1805,14 @@ impl<'a> Engine<'a> {
                 // Write-back: dirty sectors leave the L1 toward the L2.
                 let f = ev.sectors[sector as usize];
                 if f.valid && f.dirty {
-                    self.writeback_to_l2(now, spa);
+                    self.send(sm, now + 1, Ev::WritebackL2 { pa: spa.0 });
                 }
             }
         }
         let mut guarantee = false;
         let mut dirty = false;
         let mut all_killed_specs = true;
-        if let Some(mut waiters) = self.l1_mshrs[sm as usize].complete(pa.0) {
+        if let Some(mut waiters) = self.l1_mshrs[li].complete(pa.0) {
             for id in waiters.drain(..) {
                 if self.trace_req.is_some() {
                     self.trace(id, &format!("l1_fill waiter pa={:#x}", pa.0));
@@ -2261,7 +1866,7 @@ impl<'a> Engine<'a> {
                         }
                         let vpn = self.req(id).vpn();
                         self.complete_req(now, id);
-                        self.eaf_resolve(now, sm, vpn, spec.ppn);
+                        self.eaf_local(now, sm, vpn, spec.ppn);
                         self.req_unref(id);
                         continue;
                     }
@@ -2269,11 +1874,11 @@ impl<'a> Engine<'a> {
                         sm: sm as usize,
                         pc: req.pc,
                         requested_vpn: req.vpn(),
-                        asid: self.asid_of(self.tenant_of_sm(sm)),
+                        asid: asid_of(self.tenant(sm)),
                         spec_ppn: spec.ppn,
                         sector: meta,
                     };
-                    match self.accel.on_spec_fill(&ctx) {
+                    match accel.on_spec_fill(&ctx) {
                         SpecFillAction::AwaitTranslation => {
                             all_killed_specs = false;
                         }
@@ -2303,7 +1908,7 @@ impl<'a> Engine<'a> {
                             let vpn = self.req(id).vpn();
                             self.complete_req(now, id);
                             if eaf {
-                                self.eaf_resolve(now, sm, vpn, spec.ppn);
+                                self.eaf_local(now, sm, vpn, spec.ppn);
                             }
                         }
                         SpecFillAction::Invalidate => {
@@ -2324,7 +1929,11 @@ impl<'a> Engine<'a> {
                                     0,
                                 );
                             }
-                            self.req_mut(id).spec.as_mut().expect("spec state outlives its in-flight sector fetch").killed = true;
+                            self.req_mut(id)
+                                .spec
+                                .as_mut()
+                                .expect("spec state outlives its in-flight sector fetch")
+                                .killed = true;
                         }
                     }
                 }
@@ -2336,81 +1945,57 @@ impl<'a> Engine<'a> {
             all_killed_specs = false;
         }
         if guarantee {
-            self.l1_caches[sm as usize].set_guarantee(pa, true);
+            self.l1_caches[li].set_guarantee(pa, true);
             if dirty {
-                self.l1_caches[sm as usize].mark_dirty(pa);
+                self.l1_caches[li].mark_dirty(pa);
             }
             self.wake_unguaranteed(now, sm, pa);
         } else if all_killed_specs {
             // Only mis-speculated fetches wanted this sector: drop it.
-            self.l1_caches[sm as usize].invalidate_sector(pa);
+            self.l1_caches[li].invalidate_sector(pa);
             self.wake_unguaranteed(now, sm, pa);
         }
         // L1 MSHR space freed: admit overflow waiters into free capacity.
-        while let Some(&id) = self.l1_mshr_overflow[sm as usize].front() {
+        while let Some(&id) = self.l1_mshr_overflow[li].front() {
             if self.req(id).completed {
-                self.l1_mshr_overflow[sm as usize].pop_front();
+                self.l1_mshr_overflow[li].pop_front();
                 self.req_unref(id);
                 continue;
             }
             let target = self.req(id).real_pa().expect("overflowed after translation");
-            if self.l1_mshrs[sm as usize].is_full() && !self.l1_mshrs[sm as usize].contains(target.0) {
+            if self.l1_mshrs[li].is_full() && !self.l1_mshrs[li].contains(target.0) {
                 break;
             }
-            self.l1_mshr_overflow[sm as usize].pop_front();
+            self.l1_mshr_overflow[li].pop_front();
             // The retry (`l1_miss`) re-pins before the queue's pin drops.
             self.l1_miss(now, id, target);
             self.req_unref(id);
         }
     }
 
-    /// Early TLB Fill: installs the validated translation, releases pending
-    /// translation resources, aborts the in-flight walk, and propagates the
-    /// entry to other SMs waiting on the same page.
-    fn eaf_resolve(&mut self, now: Cycle, sm: u32, vpn: Vpn, ppn: Ppn) {
+    /// Lane half of Early TLB Fill: installs the validated translation
+    /// in this SM's L1 TLB, wakes its local waiters, and hands the
+    /// resource release + cross-SM propagation to the shared lane.
+    fn eaf_local(&mut self, now: Cycle, sm: u32, vpn: Vpn, ppn: Ppn) {
         self.stats.eaf_fills += 1;
-        let tenant = self.tenant_of_sm(sm);
-        let vpn = Vpn(self.salt(tenant, vpn));
-        let fill = TlbFill { vpn, ppn, pages: 1, run: None };
-        self.l2_tlb.fill(&fill);
-        // Wake this SM's own waiters (other requests to the same page).
-        self.resolve_for_sm(now, sm, vpn.0, ppn, &fill, true);
-        // Release the shared translation machinery.
-        if let Some(mut waiters) = self.l2_tlb_mshr.complete(vpn.0) {
-            self.stats.eaf_releases += 1;
-            if let Some(walk) = self.walk_of_vpn.remove(&vpn.0) {
-                if self.walks.abort(walk) {
-                    self.stats.walks_aborted += 1;
-                }
-                self.vpn_of_walk.remove(&walk);
-                self.walk_started.remove(&vpn.0);
-                // The aborted walk freed a walker: dispatch synchronously.
-                self.walk_dispatch(now);
-            }
-            self.pw_overflow.retain(|&v| v != vpn.0);
-            let mut seen = Vec::new();
-            for other in waiters.drain(..) {
-                if other != sm && !seen.contains(&other) {
-                    seen.push(other);
-                    self.resolve_for_sm(now, other, vpn.0, ppn, &fill, true);
-                }
-            }
-            self.l2_tlb_mshr.recycle(waiters);
-        }
-        // Cross-SM propagation: the entry is *prefetched* into every
-        // other SM's L1 TLB ("ensuring the desired translation is
-        // efficiently prefetched across SMs"), not only handed to SMs
-        // with a pending miss.
-        if self.accel.propagates_cross_sm() {
-            for other in 0..self.cfg.num_sms as u32 {
-                // Isolation: entries are only forwarded within the tenant.
-                if other != sm && self.tenant_of_sm(other) == tenant {
-                    self.stats.eaf_cross_sm_fills += 1;
-                    self.resolve_for_sm(now, other, vpn.0, ppn, &fill, true);
-                }
-            }
-        }
-        self.drain_l2_tlb_overflow(now);
+        let tenant = self.tenant(sm);
+        let svpn = salt(tenant, vpn);
+        let fill = TlbFill { vpn: Vpn(svpn), ppn, pages: 1, run: None };
+        let li = self.l(sm);
+        self.l1_tlbs[li].fill(&fill);
+        self.complete_tlb_waiters(now, sm, svpn, ppn, true);
+        self.retry_tlb_overflow(now, sm);
+        self.send(sm, now + 1, Ev::EafResolve { sm, svpn, ppn: ppn.0 });
+    }
+
+    /// Handles [`Ev::Shootdown`]: a UVM chunk eviction reaching this SM.
+    /// The shared structures were invalidated at the eviction; here the
+    /// SM's L1 TLB and cache drop their now-stale entries.
+    fn shootdown(&mut self, now: Cycle, sm: u32, first_svpn: u64, pages: u64, frames: &FxHashSet<u64>) {
+        let li = self.l(sm);
+        self.l1_tlbs[li].invalidate(Vpn(first_svpn), pages);
+        self.l1_caches[li].invalidate_frames(frames);
+        self.wake_all_unguaranteed(now, sm);
     }
 
     fn complete_req(&mut self, now: Cycle, id: ReqId) {
@@ -2425,6 +2010,7 @@ impl<'a> Engine<'a> {
         self.stats.sector_latency_hist.add(now - issued);
         self.probe_complete(now, id);
         let slot = self.warp_slot(sm, warp);
+        let li = self.l(sm);
         crate::debug_invariant!(
             self.warp_outstanding[slot] > 0,
             "completing request {id:?} for a warp with no outstanding sectors"
@@ -2433,10 +2019,10 @@ impl<'a> Engine<'a> {
         let left = self.warp_outstanding[slot];
         if left == 0 {
             self.stats.load_latency.add(now - self.warp_issue_time[slot]);
-            self.sms[sm as usize].set_warp(warp as usize, WarpState::Ready, now);
-            self.q.schedule(now + 1, Ev::WarpIssue { sm, warp });
+            self.sms[li].set_warp(warp as usize, WarpState::Ready, now);
+            self.sched(sm, now + 1, Ev::WarpIssue { sm, warp });
         } else {
-            self.sms[sm as usize].set_warp(
+            self.sms[li].set_warp(
                 warp as usize,
                 WarpState::WaitingMemory { outstanding: left },
                 now,
@@ -2452,186 +2038,1627 @@ impl<'a> Engine<'a> {
             .expect("CoverageBucket::ALL enumerates every bucket of_pages can return");
         self.stats.coverage_hits[idx] += 1;
     }
+}
+
+impl<'a> SharedLane<'a> {
+    // ------------------------------------------------------------------
+    // Translation path (shared side)
+    // ------------------------------------------------------------------
+
+    /// Handles [`Ev::TlbMiss`]: the shared half of an L1 TLB miss.
+    /// Residency (and hence remoteness), the speculation policy, and the
+    /// L2 TLB all live here, behind the horizon barrier.
+    // The parameter list mirrors the event's fields one-to-one.
+    #[allow(clippy::too_many_arguments)]
+    fn tlb_miss(
+        &mut self,
+        now: Cycle,
+        id: ReqId,
+        sm: u32,
+        svpn: u64,
+        pc: u64,
+        is_store: bool,
+        need_l2: bool,
+    ) {
+        let tenant = tenant_of_svpn(svpn);
+        let vpn = unsalt(svpn);
+        self.trace_id(id, "tlb-miss reaches shared lane");
+        // Residency first: the pre-shard engine touched at issue; the
+        // decomposed protocol touches at the first shared-side sighting.
+        if self.touch_page(now, tenant, vpn) {
+            // Cold page below the migration threshold: serviced from host
+            // memory over the interconnect. No GPU TLB entry is installed
+            // and the accel is not trained (the paper restricts updates
+            // to GPU-mapped regions). The lane-side MSHR waiter entry
+            // drains one RemoteDone at a time.
+            self.stats.remote_accesses += 1;
+            if need_l2 {
+                // Nothing was dispatched for this entry; make sure no
+                // stale resolution marker survives from a prior lifetime.
+                self.pending_resolve.remove(&(sm, svpn));
+            }
+            self.probe_span(
+                SpanPoint::Remote,
+                Track::uvm(tenant as u32),
+                now,
+                now + self.cfg.uvm.remote_latency,
+                id.slot() as u64,
+            );
+            self.send(now + self.window + self.cfg.uvm.remote_latency, Ev::RemoteDone { req: id });
+            return;
+        }
+        // CAST hook: attempt speculative translation. Stores never
+        // speculate — erroneously performed writes cannot be rolled back.
+        let prediction =
+            if is_store { None } else { self.accel.on_l1_tlb_miss(sm as usize, pc, vpn) };
+        if let Some(spec_ppn) = prediction {
+            self.stats.speculations += 1;
+            // The page can have been evicted (oversubscription) between
+            // warp issue and this miss; such speculations validate false.
+            let real = self.uvms[tenant].page_table.translate(vpn);
+            let correct = real.is_some_and(|r| r.ppn == spec_ppn);
+            if correct {
+                self.stats.spec_correct += 1;
+            }
+            if self.frame_owner_any(spec_ppn).is_none() {
+                self.stats.spec_false += 1;
+            }
+            let ideal = self.accel.validation_kind() == ValidationKind::Ideal;
+            if !ideal || correct {
+                // Ideal validation confirms speculations before fetching;
+                // incorrect ones never fetch.
+                self.send(now + self.window, Ev::SpecDispatch { req: id, ppn: spec_ppn.0, ideal });
+            }
+        }
+        // Forward toward the L2 TLB. The allocating waiter dispatches the
+        // lookup; merged followers only do so when no resolution is
+        // pending for their (sm, page) — which happens when the entry's
+        // allocating request went remote in an earlier residency state.
+        if need_l2 {
+            self.pending_resolve.insert((sm, svpn));
+            self.dispatch_l2_lookup(now, sm, svpn);
+        } else if self.pending_resolve.insert((sm, svpn)) {
+            self.dispatch_l2_lookup(now, sm, svpn);
+        }
+    }
+
+    fn dispatch_l2_lookup(&mut self, now: Cycle, sm: u32, svpn: u64) {
+        self.stats.l2_tlb_lookups += 1;
+        let grant = self.l2_tlb_ports.grant(now);
+        self.probe_queue_wait(grant - now);
+        self.sched(grant + self.cfg.l2_tlb.latency, Ev::L2TlbResult { sm, svpn });
+    }
+
+    fn l2_tlb_result(&mut self, now: Cycle, sm: u32, svpn: u64) {
+        if !self.pending_resolve.contains(&(sm, svpn)) {
+            // Already resolved (e.g. EAF released the entry).
+            return;
+        }
+        if let Some(hit) = self.l2_tlb.lookup(Vpn(svpn)) {
+            self.stats.l2_tlb_hits += 1;
+            self.record_coverage(hit.coverage_pages);
+            let pages = if hit.coverage_pages >= crate::addr::PAGES_PER_CHUNK {
+                crate::addr::PAGES_PER_CHUNK
+            } else {
+                1
+            };
+            self.resolve_one_sm(now, sm, svpn, hit.ppn, pages, Some(hit.run()), false);
+            return;
+        }
+        match self.l2_tlb_mshr.request(svpn, sm) {
+            MshrGrant::Allocated => self.start_walk(now, svpn),
+            MshrGrant::Merged => self.stats.walk_merges += 1,
+            MshrGrant::Full => {
+                self.stats.l2_tlb_mshr_full += 1;
+                self.l2_tlb_overflow.push((sm, svpn));
+            }
+        }
+    }
+
+    /// Delivers a resolved translation to one SM: clears its pending
+    /// marker and ships the fill across the horizon. The lane installs
+    /// it and wakes that SM's waiters.
+    // The parameter list mirrors the event's fields one-to-one.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_one_sm(
+        &mut self,
+        now: Cycle,
+        sm: u32,
+        svpn: u64,
+        ppn: Ppn,
+        pages: u64,
+        run: Option<ContigRun>,
+        via_eaf: bool,
+    ) {
+        self.pending_resolve.remove(&(sm, svpn));
+        self.send(
+            now + self.window,
+            Ev::ResolveSm { sm, svpn, ppn: ppn.0, pages, run, via_eaf },
+        );
+    }
+
+    fn start_walk(&mut self, now: Cycle, svpn: u64) {
+        let tenant = tenant_of_svpn(svpn);
+        let levels = self.uvms[tenant].page_table.walk_levels(unsalt(svpn));
+        match self.walks.enqueue(Vpn(svpn), levels, now) {
+            Some(id) => {
+                self.walk_of_vpn.insert(svpn, id);
+                self.vpn_of_walk.insert(id, Vpn(svpn));
+                self.walk_started.insert(svpn, now);
+                // Dispatch synchronously: a zero-delta event would only
+                // defer this same call behind the rest of the cycle's
+                // queue (and is deny-listed by avatar-lint).
+                self.walk_dispatch(now);
+            }
+            None => {
+                self.stats.pw_buffer_full += 1;
+                self.pw_overflow.push_back(svpn);
+            }
+        }
+    }
+
+    fn walk_dispatch(&mut self, now: Cycle) {
+        while let Some((walk, addr)) = self.walks.dispatch() {
+            // The walker records its enqueue cycle as the walk's start:
+            // the gap to the dispatch cycle is walk-buffer queueing.
+            #[cfg(feature = "probes")]
+            if let Some(enqueued) = self.walks.started_at(walk) {
+                self.probe_queue_wait(now - enqueued);
+            }
+            self.walk_mem(now, walk, addr);
+        }
+    }
+
+    fn walk_mem(&mut self, now: Cycle, walk: WalkId, addr: PhysAddr) {
+        self.stats.walk_memory_accesses += 1;
+        let pa = PhysAddr(addr.0 & !(SECTOR_BYTES - 1));
+        let grant = self.l2_cache_ports.grant(now);
+        self.sched(grant + self.cfg.l2_cache.latency, Ev::WalkL2 { walk, pa: pa.0 });
+    }
+
+    fn walk_l2(&mut self, now: Cycle, walk: WalkId, pa: PhysAddr) {
+        self.stats.l2_lookups += 1;
+        match self.l2_cache.probe(pa) {
+            Probe::Hit | Probe::HitUnguaranteed => {
+                self.stats.l2_hits += 1;
+                self.advance_walk(now, walk);
+            }
+            Probe::Miss => match self.l2_mshr.request(pa.0, L2Waiter::Walk { walk }) {
+                MshrGrant::Allocated => {
+                    let done = self.dram.access(pa, DramOp::Read, now, SECTOR_BYTES);
+                    self.sched(done, Ev::DramDone { pa: pa.0 });
+                }
+                MshrGrant::Merged => {}
+                MshrGrant::Full => self.l2_mshr_overflow.push_back((pa.0, L2Waiter::Walk { walk })),
+            },
+        }
+    }
+
+    fn advance_walk(&mut self, now: Cycle, walk: WalkId) {
+        match self.walks.step(walk) {
+            None => {} // aborted by EAF
+            Some(WalkProgress::Access(addr)) => self.walk_mem(now, walk, addr),
+            Some(WalkProgress::Done) => {
+                let svpn = self.vpn_of_walk.remove(&walk).expect("walk has vpn");
+                let tenant = tenant_of_svpn(svpn.0);
+                let vpn = unsalt(svpn.0);
+                self.stats.page_walks += 1;
+                if let Some(start) = self.walk_started.remove(&svpn.0) {
+                    self.stats.walk_latency.add(now - start);
+                    #[cfg(feature = "probes")]
+                    {
+                        self.stats.walk_latency_hist.add(now - start);
+                        let walker = (walk.0 % self.cfg.walker.walkers as u64) as u32;
+                        self.probe_span(
+                            SpanPoint::WalkService,
+                            Track::walker(walker),
+                            start,
+                            now,
+                            svpn.0,
+                        );
+                    }
+                }
+                self.walk_of_vpn.remove(&svpn.0);
+                // The PTE may have been invalidated by a concurrent
+                // eviction; refault instantly (latency excluded).
+                if self.uvms[tenant].page_table.translate(vpn).is_none() {
+                    // The page was evicted while its walk was in flight;
+                    // refault it in (repeat touches satisfy the access
+                    // counter when threshold-based migration is active).
+                    while self.touch_page(now, tenant, vpn) {}
+                }
+                let t = self.uvms[tenant].page_table.translate(vpn).expect("resident after touch");
+                self.resolve_translation(now, svpn.0, t.ppn, t.pages);
+                // A walker freed: dispatch more walks and retry overflow,
+                // synchronously rather than via a zero-delta event.
+                self.drain_pw_overflow(now);
+                self.walk_dispatch(now);
+            }
+        }
+    }
+
+    fn drain_pw_overflow(&mut self, now: Cycle) {
+        while !self.pw_overflow.is_empty() && self.walks.has_buffer_space() {
+            let vpn = self.pw_overflow.pop_front().expect("checked non-empty");
+            self.start_walk(now, vpn);
+        }
+    }
+
+    /// Resolves a translation globally: fills the L2 TLB and wakes every
+    /// waiting SM, then retries overflow queues.
+    fn resolve_translation(&mut self, now: Cycle, svpn: u64, ppn: Ppn, pages: u64) {
+        let tenant = tenant_of_svpn(svpn);
+        let run = self.uvms[tenant].page_table.contiguous_run(unsalt(svpn), 16);
+        let run = salt_run(tenant, run);
+        let fill = TlbFill { vpn: Vpn(svpn), ppn, pages, run };
+        self.l2_tlb.fill(&fill);
+        self.charge_merge_refs(now);
+        if let Some(mut waiters) = self.l2_tlb_mshr.complete(svpn) {
+            let mut seen = Vec::new();
+            for sm in waiters.drain(..) {
+                if !seen.contains(&sm) {
+                    seen.push(sm);
+                    self.resolve_one_sm(now, sm, svpn, ppn, pages, run, false);
+                }
+            }
+            self.l2_tlb_mshr.recycle(waiters);
+        }
+        self.drain_l2_tlb_overflow(now);
+    }
+
+    fn charge_merge_refs(&mut self, now: Cycle) {
+        let refs = self.l2_tlb.drain_extra_memory_refs();
+        if refs > 0 {
+            self.stats.merge_memory_accesses += refs;
+            // Merge traffic consumes page-table bandwidth: fire-and-forget
+            // DRAM reads in the page-table region.
+            for i in 0..refs {
+                let pa = PhysAddr(PT_BASE + (self.stats.merge_memory_accesses + i) * 64 % (1 << 30));
+                self.dram.access(pa, DramOp::Read, now, SECTOR_BYTES);
+            }
+        }
+    }
+
+    fn drain_l2_tlb_overflow(&mut self, now: Cycle) {
+        let pending = std::mem::take(&mut self.l2_tlb_overflow);
+        for (sm, vpn) in pending {
+            self.l2_tlb_result(now, sm, vpn);
+        }
+    }
+
+    /// Shared half of Early TLB Fill ([`Ev::EafResolve`]): installs the
+    /// validated translation in the L2 TLB, releases pending translation
+    /// resources, aborts the in-flight walk, and propagates the entry to
+    /// other SMs. The originating SM's L1 side was already served by
+    /// `eaf_local`.
+    fn eaf_resolve(&mut self, now: Cycle, sm: u32, svpn: u64, ppn: Ppn) {
+        let tenant = tenant_of_svpn(svpn);
+        let fill = TlbFill { vpn: Vpn(svpn), ppn, pages: 1, run: None };
+        self.l2_tlb.fill(&fill);
+        // The origin resolved locally; retire its pending marker so a
+        // later L2TlbResult doesn't double-deliver.
+        self.pending_resolve.remove(&(sm, svpn));
+        // Release the shared translation machinery.
+        if let Some(mut waiters) = self.l2_tlb_mshr.complete(svpn) {
+            self.stats.eaf_releases += 1;
+            if let Some(walk) = self.walk_of_vpn.remove(&svpn) {
+                if self.walks.abort(walk) {
+                    self.stats.walks_aborted += 1;
+                }
+                self.vpn_of_walk.remove(&walk);
+                self.walk_started.remove(&svpn);
+                // The aborted walk freed a walker: dispatch synchronously.
+                self.walk_dispatch(now);
+            }
+            self.pw_overflow.retain(|&v| v != svpn);
+            let mut seen = Vec::new();
+            for other in waiters.drain(..) {
+                if other != sm && !seen.contains(&other) {
+                    seen.push(other);
+                    self.resolve_one_sm(now, other, svpn, ppn, 1, None, true);
+                }
+            }
+            self.l2_tlb_mshr.recycle(waiters);
+        }
+        // Cross-SM propagation: the entry is *prefetched* into every
+        // other SM's L1 TLB ("ensuring the desired translation is
+        // efficiently prefetched across SMs"), not only handed to SMs
+        // with a pending miss.
+        if self.accel.propagates_cross_sm() {
+            for other in 0..self.cfg.num_sms as u32 {
+                // Isolation: entries are only forwarded within the tenant.
+                if other != sm && self.tenant(other) == tenant {
+                    self.stats.eaf_cross_sm_fills += 1;
+                    self.resolve_one_sm(now, other, svpn, ppn, 1, None, true);
+                }
+            }
+        }
+        self.drain_l2_tlb_overflow(now);
+    }
+
+    // ------------------------------------------------------------------
+    // Data path (shared side)
+    // ------------------------------------------------------------------
+
+    /// Handles [`Ev::L2Req`]: a lane-side L1 miss arriving at the L2.
+    /// The port is charged at arrival, matching the pre-shard engine's
+    /// grant-at-allocation.
+    fn l2_req(&mut self, now: Cycle, sm: u32, pa: PhysAddr) {
+        let grant = self.l2_cache_ports.grant(now);
+        self.sched(grant + self.cfg.l2_cache.latency, Ev::L2Access { sm, pa: pa.0 });
+    }
+
+    fn l2_access(&mut self, now: Cycle, sm: u32, pa: PhysAddr) {
+        self.stats.l2_lookups += 1;
+        match self.l2_cache.probe(pa) {
+            Probe::Hit | Probe::HitUnguaranteed => {
+                self.stats.l2_hits += 1;
+                self.send_l1_fill(now, sm, pa);
+            }
+            Probe::Miss => match self.l2_mshr.request(pa.0, L2Waiter::Sector { sm }) {
+                MshrGrant::Allocated => {
+                    let done = self.dram.access(pa, DramOp::Read, now, SECTOR_BYTES);
+                    self.sched(done, Ev::DramDone { pa: pa.0 });
+                }
+                MshrGrant::Merged => {}
+                MshrGrant::Full => {
+                    self.stats.cache_mshr_full += 1;
+                    self.l2_mshr_overflow.push_back((pa.0, L2Waiter::Sector { sm }));
+                }
+            },
+        }
+    }
+
+    /// Ships a sector to an SM's L1, sampling the stored metadata (the
+    /// compression bit rides the wire with the data) at emission time.
+    fn send_l1_fill(&mut self, now: Cycle, sm: u32, pa: PhysAddr) {
+        let meta = self.sector_meta(pa);
+        let extra = if meta.compressed { self.cfg.spec.decompression_latency } else { 0 };
+        self.send(now + self.window + extra, Ev::L1Fill { sm, pa: pa.0, meta });
+    }
+
+    fn dram_done(&mut self, now: Cycle, pa: PhysAddr) {
+        let meta = self.sector_meta(pa);
+        let evicted = self.l2_cache.fill(
+            pa,
+            SectorFlags { valid: true, compressed: meta.compressed, guaranteed: true, dirty: false },
+        );
+        self.writeback_evicted_l2(now, evicted);
+        if let Some(mut waiters) = self.l2_mshr.complete(pa.0) {
+            for w in waiters.drain(..) {
+                match w {
+                    L2Waiter::Sector { sm } => self.send_l1_fill(now, sm, pa),
+                    L2Waiter::Walk { walk } => self.advance_walk(now, walk),
+                }
+            }
+            self.l2_mshr.recycle(waiters);
+        }
+        // MSHR space freed: admit overflow waiters into the capacity that
+        // opened up. They already paid the L2 port on their original
+        // access — re-probe directly (no extra port grant or latency).
+        while let Some(&(pa, _)) = self.l2_mshr_overflow.front() {
+            if self.l2_mshr.is_full() && !self.l2_mshr.contains(pa) {
+                break;
+            }
+            let (pa, w) = self.l2_mshr_overflow.pop_front().expect("checked non-empty");
+            self.l2_retry(now, PhysAddr(pa), w);
+        }
+    }
+
+    /// Re-probes the L2 for an overflow waiter without charging the port
+    /// again.
+    fn l2_retry(&mut self, now: Cycle, pa: PhysAddr, w: L2Waiter) {
+        match self.l2_cache.probe(pa) {
+            Probe::Hit | Probe::HitUnguaranteed => match w {
+                L2Waiter::Sector { sm } => self.send_l1_fill(now, sm, pa),
+                L2Waiter::Walk { walk } => self.advance_walk(now, walk),
+            },
+            Probe::Miss => match self.l2_mshr.request(pa.0, w) {
+                MshrGrant::Allocated => {
+                    let done = self.dram.access(pa, DramOp::Read, now, SECTOR_BYTES);
+                    self.sched(done, Ev::DramDone { pa: pa.0 });
+                }
+                MshrGrant::Merged => {}
+                MshrGrant::Full => self.l2_mshr_overflow.push_front((pa.0, w)),
+            },
+        }
+    }
+
+    /// Writes a dirty L1 sector back into the L2 (write-back,
+    /// write-allocate hierarchy). Cascading L2 evictions write to DRAM.
+    fn writeback_to_l2(&mut self, now: Cycle, pa: PhysAddr) {
+        let meta = self.sector_meta(pa);
+        let evicted = self.l2_cache.fill(
+            pa,
+            SectorFlags { valid: true, compressed: meta.compressed, guaranteed: true, dirty: true },
+        );
+        self.writeback_evicted_l2(now, evicted);
+    }
+
+    /// Writes the dirty sectors of an evicted L2 line to DRAM.
+    fn writeback_evicted_l2(&mut self, now: Cycle, evicted: Option<crate::cache::EvictedLine>) {
+        if let Some(ev) = evicted {
+            for sector in 0..crate::addr::SECTORS_PER_LINE {
+                let f = ev.sectors[sector as usize];
+                if f.valid && f.dirty {
+                    let spa =
+                        PhysAddr(ev.line_addr * crate::addr::LINE_BYTES + sector * SECTOR_BYTES);
+                    // Fire-and-forget: the writeback occupies the channel
+                    // but nothing waits on it.
+                    self.dram.access(spa, DramOp::Write, now, SECTOR_BYTES);
+                    self.stats.writebacks += 1;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // UVM
+    // ------------------------------------------------------------------
+
+    /// Touches a page; returns `true` when the access must be served
+    /// remotely (cold page under threshold-based migration). Evictions
+    /// invalidate the shared structures immediately and broadcast one
+    /// [`Ev::Shootdown`] per SM for the L1 side.
+    fn touch_page(&mut self, now: Cycle, tenant: usize, vpn: Vpn) -> bool {
+        let result = self.uvms[tenant].touch(vpn);
+        if result.remote {
+            return true;
+        }
+        if !result.faulted {
+            return false;
+        }
+        self.stats.page_faults += 1;
+        self.stats.pages_migrated += result.migrated.len() as u64;
+        self.probe_instant(
+            SpanPoint::UvmFault,
+            Track::uvm(tenant as u32),
+            now,
+            result.migrated.len() as u64,
+        );
+        // Migration traffic: page contents written into GPU DRAM (timing
+        // excluded per §IV-B, traffic counted).
+        self.dram
+            .account_untimed(DramOp::Write, result.migrated.len() as u64 * crate::addr::PAGE_BYTES);
+        if result.promoted {
+            self.stats.promotions += 1;
+        }
+        for chunk in result.evicted {
+            self.stats.chunks_evicted += 1;
+            self.stats.tlb_shootdowns += 1;
+            self.probe_instant(SpanPoint::Eviction, Track::uvm(tenant as u32), now, chunk.pages);
+            if chunk.was_promoted {
+                self.stats.splinters += 1;
+            }
+            // Eviction reads the chunk out of DRAM for transfer to the host.
+            self.dram
+                .account_untimed(DramOp::Read, chunk.frames.len() as u64 * crate::addr::PAGE_BYTES);
+            let salted_first = Vpn(chunk.first_vpn.0 | ((tenant as u64) << ASID_SHIFT));
+            self.l2_tlb.invalidate(salted_first, chunk.pages);
+            let frames: Arc<FxHashSet<u64>> =
+                Arc::new(chunk.frames.iter().map(|p| p.0).collect());
+            self.l2_cache.invalidate_frames(&frames);
+            // The L1 side is a lane concern: one shootdown per SM crosses
+            // the horizon. Until it lands, that SM may hit stale entries
+            // for at most `window` cycles — bounded, shard-count
+            // independent staleness.
+            for sm in 0..self.cfg.num_sms as u32 {
+                self.send(
+                    now + self.window,
+                    Ev::Shootdown {
+                        sm,
+                        first_svpn: salted_first.0,
+                        pages: chunk.pages,
+                        frames: Arc::clone(&frames),
+                    },
+                );
+            }
+        }
+        self.probe_counter(
+            "resident_pages",
+            Track::uvm(tenant as u32),
+            now,
+            self.uvms[tenant].used_frames(),
+        );
+        false
+    }
+
+    /// The frame owner, whichever tenant's region the frame lies in.
+    fn frame_owner_any(&self, ppn: Ppn) -> Option<(usize, crate::uvm::FrameOwner)> {
+        let tenant = crate::uvm::tenant_of_frame(ppn);
+        let uvm = self.uvms.get(tenant)?;
+        uvm.frame_owner(ppn).map(|o| (tenant, o))
+    }
+
+    /// What the memory controller sees in the stored sector at `pa`.
+    fn sector_meta(&mut self, pa: PhysAddr) -> FetchedSector {
+        if pa.0 >= PT_BASE {
+            return FetchedSector { compressed: false, embedded: None };
+        }
+        match self.frame_owner_any(pa.ppn()) {
+            Some((tenant, owner)) if owner.embedded => {
+                let sector = (pa.page_offset() / SECTOR_BYTES) as u32;
+                if self.compression.compressible(owner.vpn, sector) {
+                    let asid = asid_of(tenant);
+                    FetchedSector {
+                        compressed: true,
+                        embedded: Some(PageMeta { vpn: owner.vpn, asid }),
+                    }
+                } else {
+                    FetchedSector { compressed: false, embedded: None }
+                }
+            }
+            _ => FetchedSector { compressed: false, embedded: None },
+        }
+    }
+
+    fn record_coverage(&mut self, pages: u64) {
+        let bucket = CoverageBucket::of_pages(pages);
+        let idx = CoverageBucket::ALL
+            .iter()
+            .position(|b| *b == bucket)
+            .expect("CoverageBucket::ALL enumerates every bucket of_pages can return");
+        self.stats.coverage_hits[idx] += 1;
+    }
+}
+
+// ----------------------------------------------------------------------
+// Engine: window loop, worker pool, barriers, checkpoint
+// ----------------------------------------------------------------------
+
+/// Ideal-TLB drains carry no speculation; the lane still needs *an*
+/// accel reference, satisfied by this inert policy (the shared lane's
+/// own box is mutably borrowed during an ideal drain).
+static NOSPEC: NoSpeculation = NoSpeculation;
+
+/// The assembled system: shard lanes (per-SM state), the shared lane
+/// (L2/walker/DRAM/UVM), and the window loop that advances them under
+/// the two-phase horizon barrier.
+pub struct Engine<'a> {
+    cfg: GpuConfig,
+    /// Lookahead window `W`: Phase A drains `[start, start + W)`.
+    window: Cycle,
+    /// Worker threads for Phase A (1 = serial on the coordinator).
+    workers: usize,
+    lanes: Vec<ShardLane<'a>>,
+    shared: SharedLane<'a>,
+    max_cycles: Cycle,
+    /// The initial warp-issue events have been seeded (by [`Engine::start`]
+    /// or by [`Engine::restore_checkpoint`], whose calendars arrive
+    /// mid-flight). Makes [`Engine::run`] compose with both fresh and
+    /// restored engines.
+    started: bool,
+    /// The cycle cap tripped; [`Engine::finish`] skips the
+    /// everything-completed accounting.
+    timed_out: bool,
+    /// Global idle accounting: the last processed cycle across all
+    /// domains, and the accumulated strictly-idle cycles between
+    /// processed cycles. Folded from the per-domain `times` buffers at
+    /// every barrier, so the result is a pure function of the global
+    /// event-time set — independent of shard packing and worker count.
+    idle_prev: Cycle,
+    idle_acc: u64,
+    barriers: u64,
+    /// `(window, domain)` pairs where a domain processed zero events
+    /// while the window processed some: the serial tax (or imbalance)
+    /// the worker pool is meant to absorb.
+    stalls: u64,
+    /// Events moved across the shard/shared edge, counted at delivery.
+    exchange_delivered: u64,
+    /// Scratch for `merge_idle` (reused across barriers).
+    time_merge: Vec<Cycle>,
+    /// Checked-mode audit cadence (`invariants` feature): interval in
+    /// events, read once at construction, and the countdown to the next
+    /// audit. Host-side only — never serialized, so a restored engine
+    /// restarts its countdown without affecting simulated state.
+    #[cfg(feature = "invariants")]
+    audit_every: u64,
+    #[cfg(feature = "invariants")]
+    until_audit: u64,
+    /// Attached probe sink: per-domain logs are replayed into it, in
+    /// deterministic domain order, at [`Engine::finish`].
+    #[cfg(feature = "probes")]
+    sink: Option<Box<dyn crate::probe::Probe>>,
+}
+
+impl std::fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now())
+            .field("reqs", &self.lanes.iter().map(|l| l.reqs.len()).sum::<usize>())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Engine<'a> {
+    /// Builds an engine from a configuration, TLB models, a speculation
+    /// policy, a content model, and a warp program.
+    pub fn new(
+        cfg: GpuConfig,
+        l1_tlbs: Vec<Box<dyn TlbModel>>,
+        l2_tlb: Box<dyn TlbModel>,
+        accel: Box<dyn TranslationAccel>,
+        compression: Box<dyn SectorCompression + 'a>,
+        program: Box<dyn WarpProgram + 'a>,
+    ) -> Self {
+        assert_eq!(l1_tlbs.len(), cfg.num_sms, "one L1 TLB per SM");
+        assert!(cfg.tenants >= 1 && cfg.tenants <= cfg.num_sms, "tenants partition the SMs");
+        let n = cfg.num_sms;
+        // The shard count is a host-side structure knob clamped to the
+        // SM count; the simulated event order (and digest) is identical
+        // for every value by construction. Ideal-TLB mode resolves
+        // translations synchronously against shared state, so it runs
+        // on a single lane.
+        let shards = if cfg.ideal_tlb { 1 } else { cfg.shards.max(1).min(n) };
+        let window = cfg.effective_lookahead();
+        let actors = n as u64 + 1;
+        // Spatial sharing partitions GPU memory evenly among tenants.
+        let mut uvm_cfg = cfg.uvm.clone();
+        if cfg.tenants > 1 && uvm_cfg.gpu_memory_bytes != u64::MAX {
+            uvm_cfg.gpu_memory_bytes /= cfg.tenants as u64;
+        }
+        let uvms: Vec<Uvm> =
+            (0..cfg.tenants).map(|t| Uvm::for_tenant(uvm_cfg.clone(), cfg.seed, t)).collect();
+        // `AVATAR_TRACE_REQ`, parsed once at construction — `trace` sits
+        // on the per-event path and must not re-read the environment.
+        let trace_req = std::env::var("AVATAR_TRACE_REQ").ok().and_then(|v| v.parse().ok());
+        // Worker-pool width: `AVATAR_SHARD_WORKERS` seeds the default;
+        // `set_workers` overrides. Purely host-side — any value produces
+        // the same digest.
+        let workers = std::env::var("AVATAR_SHARD_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1usize)
+            .max(1);
+        // Lane 0 runs the caller's program box (preserving borrowed
+        // programs on the common shards=1 path); further lanes run
+        // replicas. Each replica is only ever asked about its own SMs.
+        let mut progs: Vec<Box<dyn WarpProgram + 'a>> = Vec::with_capacity(shards);
+        progs.push(program);
+        while progs.len() < shards {
+            let replica: Box<dyn WarpProgram + 'a> = progs[0].clone_box();
+            progs.push(replica);
+        }
+        let mut prog_iter = progs.into_iter();
+        let mut tlb_iter = l1_tlbs.into_iter();
+        let mut lanes = Vec::with_capacity(shards);
+        for s in 0..shards {
+            // Contiguous partition agreeing with `shard_of`: lane `s`
+            // owns exactly the SMs with `sm * shards / n == s`.
+            let lo = (s * n).div_ceil(shards);
+            let hi = ((s + 1) * n).div_ceil(shards);
+            let count = hi - lo;
+            debug_assert!(count > 0, "shard {s} owns no SMs");
+            debug_assert!((lo..hi).all(|sm| shard_of(sm, shards, n) == s));
+            lanes.push(ShardLane {
+                shard: s,
+                sm_lo: lo as u32,
+                actors,
+                trace_req,
+                q: EventQueue::new(),
+                seqs: vec![0; count],
+                sms: (0..count).map(|_| SmState::new(cfg.warps_per_sm)).collect(),
+                l1_tlbs: tlb_iter.by_ref().take(count).collect(),
+                l1_tlb_ports: (0..count).map(|_| Ports::new(cfg.l1_tlb.ports)).collect(),
+                l1_caches: (0..count)
+                    .map(|_| SectorCache::new(cfg.l1_cache.lines(), cfg.l1_cache.assoc))
+                    .collect(),
+                l1_cache_ports: (0..count).map(|_| Ports::new(cfg.l1_cache.ports)).collect(),
+                reqs: ReqBank::new(s),
+                l1_tlb_mshrs: (0..count).map(|_| MshrFile::new(cfg.l1_tlb.mshr_entries)).collect(),
+                tlb_overflow: vec![Vec::new(); count],
+                l1_mshrs: (0..count).map(|_| MshrFile::new(cfg.l1_cache.mshr_entries)).collect(),
+                l1_mshr_overflow: vec![std::collections::VecDeque::new(); count],
+                unguaranteed_waiters: FxHashMap::default(),
+                warp_outstanding: vec![0; count * cfg.warps_per_sm],
+                warp_issue_time: vec![0; count * cfg.warps_per_sm],
+                program: prog_iter.next().expect("one program per lane"),
+                stats: Stats::default(),
+                outbox: Vec::new(),
+                exchange_out: 0,
+                coalesce_buf: Vec::new(),
+                scratch_keys: Vec::new(),
+                times: Vec::new(),
+                #[cfg(feature = "probes")]
+                log: crate::probe::RecordLog::default(),
+                cfg: cfg.clone(),
+            });
+        }
+        let shared = SharedLane {
+            window,
+            actors,
+            trace_req,
+            q: EventQueue::new(),
+            seq: 0,
+            l2_tlb,
+            l2_tlb_ports: Ports::new(cfg.l2_tlb.ports),
+            l2_cache: SectorCache::new(cfg.l2_cache.lines(), cfg.l2_cache.assoc),
+            l2_cache_ports: Ports::new(cfg.l2_cache.ports),
+            dram: Dram::new(cfg.dram.clone()),
+            walks: PageWalkSystem::new(cfg.walker.clone()),
+            uvms,
+            accel,
+            compression,
+            l2_tlb_mshr: MshrFile::new(cfg.l2_tlb.mshr_entries),
+            l2_tlb_overflow: Vec::new(),
+            l2_mshr: MshrFile::new(cfg.l2_cache.mshr_entries),
+            l2_mshr_overflow: std::collections::VecDeque::new(),
+            walk_of_vpn: FxHashMap::default(),
+            vpn_of_walk: FxHashMap::default(),
+            walk_started: FxHashMap::default(),
+            pw_overflow: std::collections::VecDeque::new(),
+            pending_resolve: FxHashSet::default(),
+            stats: Stats::default(),
+            outbox: Vec::new(),
+            exchange_out: 0,
+            times: Vec::new(),
+            #[cfg(feature = "probes")]
+            log: crate::probe::RecordLog::default(),
+            cfg: cfg.clone(),
+        };
+        Engine {
+            window,
+            workers,
+            lanes,
+            shared,
+            max_cycles: 2_000_000_000,
+            started: false,
+            timed_out: false,
+            idle_prev: 0,
+            idle_acc: 0,
+            barriers: 0,
+            stalls: 0,
+            exchange_delivered: 0,
+            time_merge: Vec::new(),
+            #[cfg(feature = "invariants")]
+            audit_every: crate::invariant::audit_interval(),
+            #[cfg(feature = "invariants")]
+            until_audit: crate::invariant::audit_interval().max(1),
+            #[cfg(feature = "probes")]
+            sink: None,
+            cfg,
+        }
+    }
+
+    /// Caps the simulated cycle count (safety valve; the default is ample).
+    pub fn set_max_cycles(&mut self, cycles: Cycle) {
+        self.max_cycles = cycles;
+    }
+
+    /// Sets the Phase-A worker-thread count (overrides
+    /// `AVATAR_SHARD_WORKERS`). Host-side: the digest is identical for
+    /// every value. Capped at the lane count when the loop runs.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The latest cycle any domain has advanced to.
+    fn now(&self) -> Cycle {
+        let mut now = self.shared.q.now();
+        for lane in &self.lanes {
+            now = now.max(lane.q.now());
+        }
+        now
+    }
+
+    /// Inspection access to a tenant's UVM manager.
+    pub fn uvm(&self) -> &Uvm {
+        &self.shared.uvms[0]
+    }
+
+    /// Attaches a probe sink (e.g.
+    /// [`ChromeTraceProbe`](crate::trace_export::ChromeTraceProbe)).
+    /// Request-level spans are emitted only for warps where
+    /// `warp % warp_sample == 0` (0 or 1 keeps every warp); component
+    /// spans are never sampled away. Each domain records into its own
+    /// log (workers cannot share the sink); the logs are replayed into
+    /// the sink in deterministic domain order — and the sink flushed —
+    /// when [`Engine::finish`] runs.
+    #[cfg(feature = "probes")]
+    pub fn attach_probe(&mut self, sink: Box<dyn crate::probe::Probe>, warp_sample: u32) {
+        for lane in &mut self.lanes {
+            lane.log.arm(warp_sample);
+        }
+        self.shared.log.arm(warp_sample);
+        self.sink = Some(sink);
+    }
+
+    /// Seeds the calendars with every warp's first issue event.
+    /// Idempotent: later calls — including on a restored engine, whose
+    /// calendars arrive mid-flight from the checkpoint — do nothing, so
+    /// [`Engine::run`] composes with both fresh and restored engines.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let warps = self.cfg.warps_per_sm as u32;
+        for lane in &mut self.lanes {
+            for i in 0..lane.sms.len() {
+                let sm = lane.sm_lo + i as u32;
+                for warp in 0..warps {
+                    lane.sched(sm, 0, Ev::WarpIssue { sm, warp });
+                }
+            }
+        }
+    }
+
+    /// Processes at least `max_events` calendar events (rounded up to a
+    /// whole barrier window). Returns `true` while more events remain,
+    /// `false` once every calendar drains or the cycle cap trips — after
+    /// which [`Engine::finish`] produces the statistics. Between calls
+    /// the engine sits at a barrier boundary, exactly the state
+    /// [`Engine::save_checkpoint`] captures; splitting a run across any
+    /// sequence of `run_steps` calls (with or without a
+    /// checkpoint/restore in between, and whatever the worker count)
+    /// cannot change the event order, so the final [`Stats::digest`] is
+    /// identical to a straight-through run — the checkpoint and
+    /// parallel-shard differential tests' claim.
+    ///
+    /// Checked mode (`invariants` feature) re-audits every structure at
+    /// the configured event cadence (rounded to barriers). The interval
+    /// is read once at construction — the audit must not touch the
+    /// environment (or anything else nondeterministic) on the event path.
+    pub fn run_steps(&mut self, max_events: u64) -> bool {
+        let mut done = 0u64;
+        while done < max_events {
+            // The next window starts at the globally earliest pending
+            // event; nothing anywhere means the run is complete.
+            let mut start: Option<Cycle> = None;
+            for lane in &self.lanes {
+                if let Some((t, _)) = lane.q.peek_key() {
+                    start = Some(start.map_or(t, |s: Cycle| s.min(t)));
+                }
+            }
+            if let Some((t, _)) = self.shared.q.peek_key() {
+                start = Some(start.map_or(t, |s: Cycle| s.min(t)));
+            }
+            let Some(start) = start else {
+                return false;
+            };
+            if start > self.max_cycles {
+                self.timed_out = true;
+                return false;
+            }
+            let horizon = (start + self.window).min(self.max_cycles.saturating_add(1));
+
+            // Phase A: every lane advances independently to the horizon.
+            // Cross-domain effects only accumulate in outboxes, and all
+            // shard→shared edges carry ≥1 cycle of latency, so the lanes
+            // cannot observe each other inside the window — any
+            // execution order (serial, or any thread interleaving)
+            // produces identical per-lane state.
+            let mut total = 0u64;
+            let mut zero_domains = 0u64;
+            if self.cfg.ideal_tlb {
+                // Single lane, synchronous shared access (see drain_ideal).
+                let n = self.lanes[0].drain_ideal(horizon, &mut self.shared, &NOSPEC);
+                total += n;
+                zero_domains += u64::from(n == 0);
+            } else if self.workers <= 1 || self.lanes.len() == 1 {
+                let accel: &dyn TranslationAccel = &*self.shared.accel;
+                for lane in &mut self.lanes {
+                    let n = lane.drain(horizon, accel);
+                    total += n;
+                    zero_domains += u64::from(n == 0);
+                }
+            } else {
+                let accel: &dyn TranslationAccel = &*self.shared.accel;
+                let workers = self.workers.min(self.lanes.len());
+                let chunk = self.lanes.len().div_ceil(workers);
+                let counts = std::thread::scope(|scope| {
+                    let mut it = self.lanes.chunks_mut(chunk);
+                    let first = it.next();
+                    let handles: Vec<_> = it
+                        .map(|lanes| {
+                            scope.spawn(move || {
+                                lanes.iter_mut().map(|l| l.drain(horizon, accel)).collect::<Vec<u64>>()
+                            })
+                        })
+                        .collect();
+                    // The coordinator advances the first chunk itself
+                    // instead of idling at the join.
+                    let mut counts: Vec<u64> = first
+                        .map(|lanes| lanes.iter_mut().map(|l| l.drain(horizon, accel)).collect())
+                        .unwrap_or_default();
+                    for h in handles {
+                        match h.join() {
+                            Ok(c) => counts.extend(c),
+                            // A worker panicked (a simulation bug tripped
+                            // an assert): re-raise on the coordinator so
+                            // the caller's catch_unwind sees it.
+                            Err(p) => std::panic::resume_unwind(p),
+                        }
+                    }
+                    counts
+                });
+                for &n in &counts {
+                    total += n;
+                    zero_domains += u64::from(n == 0);
+                }
+            }
+
+            // Phase B, step 1: deliver lane outboxes in lane order. The
+            // (time, seq) key makes the queue order independent of the
+            // delivery order anyway; the fixed order keeps the exchange
+            // counters and any debug output deterministic too.
+            {
+                let shared_q = &mut self.shared.q;
+                let delivered = &mut self.exchange_delivered;
+                for lane in &mut self.lanes {
+                    for (t, seq, ev) in lane.outbox.drain(..) {
+                        shared_q.schedule_at_seq(t, seq, ev);
+                        *delivered += 1;
+                    }
+                }
+            }
+            // Phase B, step 2: the shared lane catches up to the same
+            // horizon, seeing every +1-cycle lane emission of this window.
+            let n = self.shared.drain(horizon);
+            total += n;
+            zero_domains += u64::from(n == 0);
+            // Phase B, step 3: route shared emissions (all timed at or
+            // beyond the horizon) back to their owning lanes.
+            let mut out = std::mem::take(&mut self.shared.outbox);
+            for (t, seq, ev) in out.drain(..) {
+                let shard = target_shard(&ev, self.lanes.len(), self.cfg.num_sms);
+                self.lanes[shard].q.schedule_at_seq(t, seq, ev);
+                self.exchange_delivered += 1;
+            }
+            self.shared.outbox = out;
+
+            self.barriers += 1;
+            if total > 0 {
+                self.stalls += zero_domains;
+            }
+            self.merge_idle();
+            done += total;
+
+            #[cfg(feature = "invariants")]
+            if self.audit_every != 0 {
+                self.until_audit = self.until_audit.saturating_sub(total);
+                if self.until_audit == 0 {
+                    self.until_audit = self.audit_every.max(1);
+                    self.audit_invariants();
+                }
+            }
+        }
+        true
+    }
+
+    /// Folds the per-domain processed-cycle buffers into the global idle
+    /// accumulator. The merged, deduped cycle sequence is a pure
+    /// function of the global event set, so the accumulated idle count
+    /// is identical for every shard packing and worker count.
+    fn merge_idle(&mut self) {
+        let mut buf = std::mem::take(&mut self.time_merge);
+        for lane in &mut self.lanes {
+            buf.append(&mut lane.times);
+        }
+        buf.append(&mut self.shared.times);
+        buf.sort_unstable();
+        buf.dedup();
+        for &t in &buf {
+            self.idle_acc += (t - self.idle_prev).saturating_sub(1);
+            self.idle_prev = t;
+        }
+        buf.clear();
+        self.time_merge = buf;
+    }
+
+    /// Runs the program to completion and returns the statistics.
+    pub fn run(mut self) -> Stats {
+        self.start();
+        self.run_steps(u64::MAX);
+        self.finish()
+    }
+
+    /// End-of-run bookkeeping once [`Engine::run_steps`] has returned
+    /// `false`: final audit, SM stall accounting, per-domain stats
+    /// merge, calendar/DRAM counter harvest, probe replay, and the
+    /// everything-completed check. Consumes the engine and returns the
+    /// statistics.
+    pub fn finish(mut self) -> Stats {
+        let timed_out = self.timed_out;
+        #[cfg(feature = "invariants")]
+        self.audit_invariants();
+        self.merge_idle();
+        let now = self.now();
+        let fast_forward = self.cfg.fast_forward;
+        let mut stats = Stats::default();
+        for lane in &mut self.lanes {
+            for sm in &mut lane.sms {
+                sm.finish(now);
+            }
+            lane.stats.stall_cycles = lane.sms.iter().map(|s| s.stall_cycles).sum();
+            stats.merge(&lane.stats);
+        }
+        stats.merge(&self.shared.stats);
+        // Global fields the merge cannot derive. The structure counters
+        // (barriers/stalls/exchange/shard_events) are digest-excluded:
+        // they describe how the host advanced the calendars, not what
+        // the simulated GPU did.
+        stats.cycles = now;
+        stats.idle_cycles_skipped = if fast_forward { self.idle_acc } else { 0 };
+        stats.horizon_barriers = self.barriers;
+        stats.horizon_stalls = self.stalls;
+        stats.exchange_enqueued =
+            self.lanes.iter().map(|l| l.exchange_out).sum::<u64>() + self.shared.exchange_out;
+        stats.exchange_dequeued = self.exchange_delivered;
+        stats.exchange_bypass = 0;
+        stats.shard_events = self
+            .lanes
+            .iter()
+            .map(|l| l.stats.events_processed)
+            .chain(std::iter::once(self.shared.stats.events_processed))
+            .collect();
+        stats.dram_read_bytes = self.shared.dram.read_bytes;
+        stats.dram_write_bytes = self.shared.dram.write_bytes;
+        stats.dram_row_hits = self.shared.dram.row_hits;
+        stats.dram_row_misses = self.shared.dram.row_misses;
+        #[cfg(feature = "probes")]
+        {
+            stats.dram_service_hist.merge(&self.shared.dram.service_hist);
+            if let Some(sink) = self.sink.as_mut() {
+                for lane in &mut self.lanes {
+                    lane.log.replay_into(sink.as_mut());
+                }
+                self.shared.log.replay_into(sink.as_mut());
+                sink.finish(now);
+            }
+        }
+        // With the calendars drained, every request should have completed
+        // and been recycled. Anything left is a lost event. Counted in
+        // all builds (so `--features invariants` release runs report it
+        // through `Stats::lost_requests` instead of dying); debug builds
+        // additionally halt so the bug cannot slip through development.
+        if !timed_out {
+            let mut lost = 0u64;
+            for lane in &self.lanes {
+                lane.reqs.for_each(|id, r| {
+                    if !r.completed {
+                        lost += 1;
+                        if cfg!(debug_assertions) {
+                            eprintln!(
+                                "INCOMPLETE req {}: sm={} pc={:#x} va={:#x} tdone={} spec={:?}",
+                                id.slot(),
+                                r.sm,
+                                r.pc,
+                                r.vaddr.0,
+                                r.translation_done,
+                                r.spec
+                            );
+                        }
+                    }
+                });
+            }
+            stats.lost_requests = lost;
+            if cfg!(debug_assertions) {
+                assert!(
+                    lost == 0 && self.lanes.iter().all(|l| l.reqs.is_empty()),
+                    "all sector requests must complete and be freed (lost events?)"
+                );
+            }
+        }
+        stats
+    }
+
+    /// Serializes the engine's complete mutable state at a barrier
+    /// boundary into the versioned checkpoint format (see
+    /// [`crate::checkpoint`]). Static geometry — the configuration and
+    /// model wiring — is never stored; it is re-supplied by assembling a
+    /// fresh engine, and the header carries the configuration's
+    /// [`GpuConfig::key_digest`] so restoring onto a
+    /// differently-configured engine fails loudly instead of silently
+    /// diverging. Host-side scratch (coalescing buffers, trace knobs,
+    /// probe sinks, audit cadence, worker count) is likewise omitted:
+    /// none of it affects the simulated event order. At a barrier every
+    /// outbox and idle-time buffer is empty, so the exchange state
+    /// reduces to its counters.
+    pub fn save_checkpoint(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(MAGIC);
+        w.u32(FORMAT_VERSION);
+        w.bool(cfg!(feature = "probes"));
+        w.u64(self.cfg.key_digest());
+        w.usize(self.lanes.len());
+        for lane in &self.lanes {
+            debug_assert!(
+                lane.outbox.is_empty() && lane.times.is_empty(),
+                "checkpoint must be taken at a barrier boundary"
+            );
+            lane.q.save_state(&mut w, &mut enc_ev);
+            w.u64_slice(&lane.seqs);
+            for sm in &lane.sms {
+                sm.save_state(&mut w);
+            }
+            for t in &lane.l1_tlbs {
+                t.save_state(&mut w);
+            }
+            for p in &lane.l1_tlb_ports {
+                p.save_state(&mut w);
+            }
+            for c in &lane.l1_caches {
+                c.save_state(&mut w);
+            }
+            for p in &lane.l1_cache_ports {
+                p.save_state(&mut w);
+            }
+            lane.reqs.save_state(&mut w, &mut enc_req);
+            for m in &lane.l1_tlb_mshrs {
+                m.save_state(&mut w, &mut |w, k| w.u64(*k), &mut |w, id| w.u64(id.to_bits()));
+            }
+            for v in &lane.tlb_overflow {
+                w.seq(v.iter(), |w, id| w.u64(id.to_bits()));
+            }
+            for m in &lane.l1_mshrs {
+                m.save_state(&mut w, &mut |w, k| w.u64(*k), &mut |w, id| w.u64(id.to_bits()));
+            }
+            for dq in &lane.l1_mshr_overflow {
+                w.seq(dq.iter(), |w, id| w.u64(id.to_bits()));
+            }
+            // Hash-map state is serialized in sorted-key order so the
+            // bytes — and therefore any digest over them — are
+            // independent of insertion history.
+            let mut unguaranteed: Vec<(u32, u64)> =
+                lane.unguaranteed_waiters.keys().copied().collect();
+            unguaranteed.sort_unstable();
+            w.usize(unguaranteed.len());
+            for key in unguaranteed {
+                w.u32(key.0);
+                w.u64(key.1);
+                let waiters = &lane.unguaranteed_waiters[&key];
+                w.seq(waiters.iter(), |w, id| w.u64(id.to_bits()));
+            }
+            lane.program.save_state(&mut w);
+            lane.stats.save_state(&mut w);
+            w.u32_slice(&lane.warp_outstanding);
+            w.u64_slice(&lane.warp_issue_time);
+            w.u64(lane.exchange_out);
+        }
+        debug_assert!(
+            self.shared.outbox.is_empty() && self.shared.times.is_empty(),
+            "checkpoint must be taken at a barrier boundary"
+        );
+        self.shared.q.save_state(&mut w, &mut enc_ev);
+        w.u64(self.shared.seq);
+        self.shared.l2_tlb.save_state(&mut w);
+        self.shared.l2_tlb_ports.save_state(&mut w);
+        self.shared.l2_cache.save_state(&mut w);
+        self.shared.l2_cache_ports.save_state(&mut w);
+        self.shared.dram.save_state(&mut w);
+        self.shared.walks.save_state(&mut w);
+        w.usize(self.shared.uvms.len());
+        for u in &self.shared.uvms {
+            u.save_state(&mut w);
+        }
+        self.shared.accel.save_state(&mut w);
+        self.shared.compression.save_state(&mut w);
+        self.shared.l2_tlb_mshr.save_state(&mut w, &mut |w, k| w.u64(*k), &mut |w, sm| w.u32(*sm));
+        w.seq(self.shared.l2_tlb_overflow.iter(), |w, &(sm, vpn)| {
+            w.u32(sm);
+            w.u64(vpn);
+        });
+        self.shared.l2_mshr.save_state(&mut w, &mut |w, k| w.u64(*k), &mut enc_l2_waiter);
+        w.seq(self.shared.l2_mshr_overflow.iter(), |w, &(pa, wt)| {
+            w.u64(pa);
+            enc_l2_waiter(w, &wt);
+        });
+        // `vpn_of_walk` is the exact inverse of `walk_of_vpn` (an audited
+        // invariant), so only the forward map is stored.
+        let mut walk_pairs: Vec<(u64, u64)> =
+            self.shared.walk_of_vpn.iter().map(|(&svpn, &walk)| (svpn, walk.0)).collect();
+        walk_pairs.sort_unstable();
+        w.seq(walk_pairs.iter(), |w, &(svpn, walk)| {
+            w.u64(svpn);
+            w.u64(walk);
+        });
+        let mut started_pairs: Vec<(u64, u64)> =
+            self.shared.walk_started.iter().map(|(&svpn, &at)| (svpn, at)).collect();
+        started_pairs.sort_unstable();
+        w.seq(started_pairs.iter(), |w, &(svpn, at)| {
+            w.u64(svpn);
+            w.u64(at);
+        });
+        w.seq(self.shared.pw_overflow.iter(), |w, &svpn| w.u64(svpn));
+        let mut pending: Vec<(u32, u64)> = self.shared.pending_resolve.iter().copied().collect();
+        pending.sort_unstable();
+        w.seq(pending.iter(), |w, &(sm, svpn)| {
+            w.u32(sm);
+            w.u64(svpn);
+        });
+        self.shared.stats.save_state(&mut w);
+        w.u64(self.shared.exchange_out);
+        w.u64(self.max_cycles);
+        w.bool(self.timed_out);
+        w.u64(self.idle_prev);
+        w.u64(self.idle_acc);
+        w.u64(self.barriers);
+        w.u64(self.stalls);
+        w.u64(self.exchange_delivered);
+        w.into_bytes()
+    }
+
+    /// Restores a checkpoint written by [`Engine::save_checkpoint`] onto
+    /// a freshly assembled (not yet started) engine built from the *same*
+    /// configuration, programs, and policies — including the same shard
+    /// count, which shapes the lane partition. On success the engine is
+    /// marked started and continues from the checkpointed barrier via
+    /// [`Engine::run_steps`]/[`Engine::finish`] (or [`Engine::run`],
+    /// whose seeding step skips restored engines). The worker count is
+    /// deliberately *not* restored: it is host-side, so a checkpoint
+    /// taken under one pool width replays identically under another.
+    ///
+    /// Every error is hard: a partially restored engine must be
+    /// discarded, never run.
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), CkptError> {
+        let mut r = Reader::new(bytes);
+        if r.u32()? != MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(CkptError::VersionMismatch { found: version });
+        }
+        let saved_probes = r.bool()?;
+        if saved_probes != cfg!(feature = "probes") {
+            return Err(CkptError::FeatureMismatch { saved_probes });
+        }
+        let saved = r.u64()?;
+        let current = self.cfg.key_digest();
+        if saved != current {
+            return Err(CkptError::ConfigMismatch { saved, current });
+        }
+        if r.usize()? != self.lanes.len() {
+            return Err(CkptError::Corrupt("shard lane count mismatch"));
+        }
+        for lane in &mut self.lanes {
+            lane.q.load_state(&mut r, &mut dec_ev)?;
+            r.u64_slice_into(&mut lane.seqs)?;
+            for sm in &mut lane.sms {
+                sm.load_state(&mut r)?;
+            }
+            for t in &mut lane.l1_tlbs {
+                t.load_state(&mut r)?;
+            }
+            for p in &mut lane.l1_tlb_ports {
+                p.load_state(&mut r)?;
+            }
+            for c in &mut lane.l1_caches {
+                c.load_state(&mut r)?;
+            }
+            for p in &mut lane.l1_cache_ports {
+                p.load_state(&mut r)?;
+            }
+            lane.reqs.load_state(&mut r, &mut dec_req)?;
+            for m in &mut lane.l1_tlb_mshrs {
+                m.load_state(&mut r, &mut |r| r.u64(), &mut |r| r.u64().map(ReqId::from_bits))?;
+            }
+            for v in &mut lane.tlb_overflow {
+                let n = r.seq_len()?;
+                v.clear();
+                for _ in 0..n {
+                    v.push(ReqId::from_bits(r.u64()?));
+                }
+            }
+            for m in &mut lane.l1_mshrs {
+                m.load_state(&mut r, &mut |r| r.u64(), &mut |r| r.u64().map(ReqId::from_bits))?;
+            }
+            for dq in &mut lane.l1_mshr_overflow {
+                let n = r.seq_len()?;
+                dq.clear();
+                for _ in 0..n {
+                    dq.push_back(ReqId::from_bits(r.u64()?));
+                }
+            }
+            let n = r.usize()?;
+            lane.unguaranteed_waiters.clear();
+            for _ in 0..n {
+                let key = (r.u32()?, r.u64()?);
+                let count = r.seq_len()?;
+                let mut waiters = Vec::with_capacity(count);
+                for _ in 0..count {
+                    waiters.push(ReqId::from_bits(r.u64()?));
+                }
+                if lane.unguaranteed_waiters.insert(key, waiters).is_some() {
+                    return Err(CkptError::Corrupt("repeated unguaranteed-waiter key"));
+                }
+            }
+            lane.program.load_state(&mut r)?;
+            lane.stats.load_state(&mut r)?;
+            r.u32_slice_into(&mut lane.warp_outstanding)?;
+            r.u64_slice_into(&mut lane.warp_issue_time)?;
+            lane.exchange_out = r.u64()?;
+        }
+        self.shared.q.load_state(&mut r, &mut dec_ev)?;
+        self.shared.seq = r.u64()?;
+        self.shared.l2_tlb.load_state(&mut r)?;
+        self.shared.l2_tlb_ports.load_state(&mut r)?;
+        self.shared.l2_cache.load_state(&mut r)?;
+        self.shared.l2_cache_ports.load_state(&mut r)?;
+        self.shared.dram.load_state(&mut r)?;
+        self.shared.walks.load_state(&mut r)?;
+        if r.usize()? != self.shared.uvms.len() {
+            return Err(CkptError::Corrupt("tenant count mismatch"));
+        }
+        for u in &mut self.shared.uvms {
+            u.load_state(&mut r)?;
+        }
+        self.shared.accel.load_state(&mut r)?;
+        self.shared.compression.load_state(&mut r)?;
+        self.shared.l2_tlb_mshr.load_state(&mut r, &mut |r| r.u64(), &mut |r| r.u32())?;
+        let n = r.seq_len()?;
+        self.shared.l2_tlb_overflow.clear();
+        for _ in 0..n {
+            self.shared.l2_tlb_overflow.push((r.u32()?, r.u64()?));
+        }
+        self.shared.l2_mshr.load_state(&mut r, &mut |r| r.u64(), &mut dec_l2_waiter)?;
+        let n = r.seq_len()?;
+        self.shared.l2_mshr_overflow.clear();
+        for _ in 0..n {
+            self.shared.l2_mshr_overflow.push_back((r.u64()?, dec_l2_waiter(&mut r)?));
+        }
+        let n = r.seq_len()?;
+        self.shared.walk_of_vpn.clear();
+        self.shared.vpn_of_walk.clear();
+        for _ in 0..n {
+            let svpn = r.u64()?;
+            let walk = WalkId(r.u64()?);
+            if self.shared.walk_of_vpn.insert(svpn, walk).is_some() {
+                return Err(CkptError::Corrupt("repeated walk page key"));
+            }
+            if self.shared.vpn_of_walk.insert(walk, Vpn(svpn)).is_some() {
+                return Err(CkptError::Corrupt("two pages claim one walk id"));
+            }
+        }
+        let n = r.seq_len()?;
+        self.shared.walk_started.clear();
+        for _ in 0..n {
+            let svpn = r.u64()?;
+            let at = r.u64()?;
+            if !self.shared.walk_of_vpn.contains_key(&svpn) {
+                return Err(CkptError::Corrupt("walk start-time for a page with no live walk"));
+            }
+            if self.shared.walk_started.insert(svpn, at).is_some() {
+                return Err(CkptError::Corrupt("repeated walk start-time key"));
+            }
+        }
+        let n = r.seq_len()?;
+        self.shared.pw_overflow.clear();
+        for _ in 0..n {
+            self.shared.pw_overflow.push_back(r.u64()?);
+        }
+        let n = r.seq_len()?;
+        self.shared.pending_resolve.clear();
+        for _ in 0..n {
+            let key = (r.u32()?, r.u64()?);
+            if !self.shared.pending_resolve.insert(key) {
+                return Err(CkptError::Corrupt("repeated pending-resolve key"));
+            }
+        }
+        self.shared.stats.load_state(&mut r)?;
+        self.shared.exchange_out = r.u64()?;
+        self.max_cycles = r.u64()?;
+        self.timed_out = r.bool()?;
+        self.idle_prev = r.u64()?;
+        self.idle_acc = r.u64()?;
+        self.barriers = r.u64()?;
+        self.stalls = r.u64()?;
+        self.exchange_delivered = r.u64()?;
+        if !r.is_exhausted() {
+            return Err(CkptError::Corrupt("trailing bytes after checkpoint payload"));
+        }
+        self.started = true;
+        Ok(())
+    }
 
     /// Asserts whole-system consistency: every structure's own audit
-    /// (calendar slab, cache/TLB directories, MSHR files, walker, UVM)
-    /// plus the cross-structure invariants only the engine can see —
-    /// the walk-to-page maps are mutual inverses, every walk the walker
-    /// tracks is known to the engine, walk start-times belong to live
-    /// walks, and the per-warp outstanding counters sum to exactly the
-    /// incomplete sector requests.
+    /// (calendars, cache/TLB directories, MSHR files, walker, UVM) plus
+    /// the cross-structure invariants only the engine can see — the
+    /// walk-to-page maps are mutual inverses, every walk the walker
+    /// tracks is known to the shared lane, walk start-times belong to
+    /// live walks, each lane's per-warp outstanding counters sum to
+    /// exactly its incomplete sector requests, request pin counts match
+    /// their stored copies, requests live in the bank of the shard that
+    /// owns their SM, and the exchange counters conserve (everything a
+    /// domain ever emitted was delivered).
     ///
-    /// Read-only and O(total structure size): called between events, never
-    /// inside a handler. Checked (`invariants` feature) builds run it
-    /// every [`crate::invariant::audit_interval`] events and at end of
-    /// run; tests may call it directly in any build.
+    /// Read-only and O(total structure size): called at barrier
+    /// boundaries, never inside a window. Checked (`invariants` feature)
+    /// builds run it every [`crate::invariant::audit_interval`] events
+    /// (rounded up to a barrier) and at end of run; tests may call it
+    /// directly in any build.
     ///
     /// # Panics
     ///
     /// Panics on the first violated invariant.
     pub fn audit_invariants(&self) {
-        self.q.audit_invariants();
-        self.reqs.audit_invariants();
-        for c in &self.l1_caches {
-            c.audit_invariants();
+        for lane in &self.lanes {
+            lane.q.audit_invariants();
+            lane.reqs.audit_invariants();
+            for c in &lane.l1_caches {
+                c.audit_invariants();
+            }
+            for t in &lane.l1_tlbs {
+                t.audit_invariants();
+            }
+            for m in &lane.l1_tlb_mshrs {
+                m.audit_invariants();
+            }
+            for m in &lane.l1_mshrs {
+                m.audit_invariants();
+            }
+            assert!(
+                lane.outbox.is_empty(),
+                "shard {} outbox not drained at the barrier",
+                lane.shard
+            );
+
+            // Waiter conservation: each warp's outstanding counter drops
+            // by one exactly when one of its sector requests completes
+            // (fast-path warps allocate no requests and zero their
+            // counter at issue), so the sums must agree at every barrier.
+            let outstanding: u64 = lane.warp_outstanding.iter().map(|&o| o as u64).sum();
+            let mut incomplete = 0u64;
+            lane.reqs.for_each(|_, r| {
+                if !r.completed {
+                    incomplete += 1;
+                }
+            });
+            assert_eq!(
+                outstanding, incomplete,
+                "shard {}: warp outstanding counters desynchronized from incomplete requests",
+                lane.shard
+            );
+
+            // Reference conservation: each live request's pin count must
+            // equal the stored copies of its id across this lane's
+            // calendar, MSHR waiter lists, and overflow queues — and no
+            // stored id may be stale. A mismatch here is what would let
+            // the slab free (and recycle) a slot that an in-flight event
+            // still points at. Request ids never cross the shard/shared
+            // edge as pins (shared-domain events carry `(sm, svpn)` keys
+            // or unpinned tokens), so the scan is lane-local — except
+            // RemoteDone, which is pinned only in ideal mode where it
+            // stays on the one lane's own calendar.
+            let ideal = self.cfg.ideal_tlb;
+            let mut counted: FxHashMap<ReqId, u32> = FxHashMap::default();
+            {
+                let mut bump = |id: ReqId| *counted.entry(id).or_insert(0) += 1;
+                lane.q.for_each_event(|ev| match *ev {
+                    Ev::L1TlbResult { req } | Ev::SpecL1Result { req } | Ev::L1Result { req } => {
+                        bump(req)
+                    }
+                    Ev::RemoteDone { req } if ideal => bump(req),
+                    _ => {}
+                });
+                for m in &lane.l1_tlb_mshrs {
+                    m.for_each_waiter(|&id| bump(id));
+                }
+                for m in &lane.l1_mshrs {
+                    m.for_each_waiter(|&id| bump(id));
+                }
+                for v in &lane.tlb_overflow {
+                    for &id in v {
+                        bump(id);
+                    }
+                }
+                for dq in &lane.l1_mshr_overflow {
+                    for &id in dq {
+                        bump(id);
+                    }
+                }
+                for v in lane.unguaranteed_waiters.values() {
+                    for &id in v {
+                        bump(id);
+                    }
+                }
+            }
+            for (&id, &n) in &counted {
+                assert!(
+                    lane.reqs.get(id).is_some(),
+                    "stale request id {id:?} still referenced by {n} holder(s)"
+                );
+            }
+            let shards = self.lanes.len();
+            let n_sms = self.cfg.num_sms;
+            lane.reqs.for_each(|id, r| {
+                let stored = counted.get(&id).copied().unwrap_or(0);
+                assert_eq!(
+                    r.refs, stored,
+                    "request {id:?} pin count disagrees with its stored copies"
+                );
+                assert!(
+                    r.refs > 0,
+                    "live request {id:?} is unreachable: no event or waiter references it"
+                );
+                // Per-shard slab accounting: a request must live in the
+                // bank of the shard that owns its SM, or request-carrying
+                // events would route to a lane whose handler state is
+                // foreign.
+                assert_eq!(
+                    id.shard(),
+                    lane.shard,
+                    "request {id:?} stored in a foreign shard bank"
+                );
+                assert_eq!(
+                    shard_of(r.sm as usize, shards, n_sms),
+                    lane.shard,
+                    "request {id:?} for SM {} owned by the wrong lane",
+                    r.sm
+                );
+            });
         }
-        self.l2_cache.audit_invariants();
-        for t in &self.l1_tlbs {
-            t.audit_invariants();
-        }
-        self.l2_tlb.audit_invariants();
-        for m in &self.l1_tlb_mshrs {
-            m.audit_invariants();
-        }
-        self.l2_tlb_mshr.audit_invariants();
-        for m in &self.l1_mshrs {
-            m.audit_invariants();
-        }
-        self.l2_mshr.audit_invariants();
-        self.walks.audit_invariants();
-        for u in &self.uvms {
+
+        self.shared.q.audit_invariants();
+        self.shared.l2_cache.audit_invariants();
+        self.shared.l2_tlb.audit_invariants();
+        self.shared.l2_tlb_mshr.audit_invariants();
+        self.shared.l2_mshr.audit_invariants();
+        self.shared.walks.audit_invariants();
+        for u in &self.shared.uvms {
             u.audit_invariants();
         }
+        assert!(self.shared.outbox.is_empty(), "shared outbox not drained at the barrier");
 
         // The walk maps are mutual inverses (keys are salted VPNs).
         assert_eq!(
-            self.walk_of_vpn.len(),
-            self.vpn_of_walk.len(),
+            self.shared.walk_of_vpn.len(),
+            self.shared.vpn_of_walk.len(),
             "walk maps disagree on live walk count"
         );
-        for (&svpn, &walk) in &self.walk_of_vpn {
+        for (&svpn, &walk) in &self.shared.walk_of_vpn {
             let back = self
+                .shared
                 .vpn_of_walk
                 .get(&walk)
                 // Audit code: panicking is the whole point. lint:allow(hot-path-panic)
                 .unwrap_or_else(|| panic!("walk {} for page {svpn} has no inverse entry", walk.0));
             assert_eq!(back.0, svpn, "walk {} maps back to page {}, not {svpn}", walk.0, back.0);
         }
-        for &svpn in self.walk_started.keys() {
+        for &svpn in self.shared.walk_started.keys() {
             assert!(
-                self.walk_of_vpn.contains_key(&svpn),
+                self.shared.walk_of_vpn.contains_key(&svpn),
                 "walk start-time recorded for page {svpn} with no live walk"
             );
         }
-        for id in self.walks.pending_walk_ids() {
+        for id in self.shared.walks.pending_walk_ids() {
             assert!(
-                self.vpn_of_walk.contains_key(&id),
-                "walker tracks walk {} unknown to the engine",
+                self.shared.vpn_of_walk.contains_key(&id),
+                "walker tracks walk {} unknown to the shared lane",
                 id.0
             );
         }
-
-        // Waiter conservation: each warp's outstanding counter drops by one
-        // exactly when one of its sector requests completes (fast-path
-        // warps allocate no requests and zero their counter at issue), so
-        // the sums must agree at every event boundary.
-        let outstanding: u64 = self.warp_outstanding.iter().map(|&o| o as u64).sum();
-        let mut incomplete = 0u64;
-        self.reqs.for_each(|_, r| {
-            if !r.completed {
-                incomplete += 1;
-            }
-        });
-        assert_eq!(
-            outstanding, incomplete,
-            "warp outstanding counters desynchronized from incomplete requests"
-        );
-
-        // Reference conservation: each live request's pin count must equal
-        // the stored copies of its id across the calendar, the MSHR waiter
-        // lists, and the overflow queues — and no stored id may be stale.
-        // A mismatch here is what would let the slab free (and recycle) a
-        // slot that an in-flight event still points at.
-        let mut counted: FxHashMap<ReqId, u32> = FxHashMap::default();
-        {
-            let mut bump = |id: ReqId| *counted.entry(id).or_insert(0) += 1;
-            self.q.for_each_event(|ev| match *ev {
-                Ev::L1TlbResult { req }
-                | Ev::SpecL1Result { req }
-                | Ev::L1Result { req }
-                | Ev::RemoteDone { req } => bump(req),
-                _ => {}
-            });
-            for m in &self.l1_tlb_mshrs {
-                m.for_each_waiter(|&id| bump(id));
-            }
-            for m in &self.l1_mshrs {
-                m.for_each_waiter(|&id| bump(id));
-            }
-            for v in &self.tlb_overflow {
-                for &id in v {
-                    bump(id);
-                }
-            }
-            for dq in &self.l1_mshr_overflow {
-                for &id in dq {
-                    bump(id);
-                }
-            }
-            for v in self.unguaranteed_waiters.values() {
-                for &id in v {
-                    bump(id);
-                }
-            }
-        }
-        for (&id, &n) in &counted {
+        for &(sm, _) in &self.shared.pending_resolve {
             assert!(
-                self.reqs.get(id).is_some(),
-                "stale request id {id:?} still referenced by {n} holder(s)"
+                (sm as usize) < self.cfg.num_sms,
+                "pending-resolve entry names nonexistent SM {sm}"
             );
         }
-        self.reqs.for_each(|id, r| {
-            let stored = counted.get(&id).copied().unwrap_or(0);
-            assert_eq!(
-                r.refs, stored,
-                "request {id:?} pin count disagrees with its stored copies"
-            );
-            assert!(
-                r.refs > 0,
-                "live request {id:?} is unreachable: no event or waiter references it"
-            );
-            // Per-shard slab accounting: a request must live in the bank
-            // of the shard that owns its SM, or request-carrying events
-            // would route to a domain whose handler state is foreign.
-            assert_eq!(
-                id.shard(),
-                self.shard_for_sm(r.sm),
-                "request {id:?} for SM {} stored in the wrong shard bank",
-                r.sm
-            );
-        });
 
-        // Per-shard slab accounting: one bank per calendar shard domain,
-        // and each bank's live count must match the requests actually
-        // tagged with that shard.
+        // Exchange conservation: everything any domain pushed into its
+        // outbox was delivered to a calendar at a barrier. A mismatch
+        // means a cross-domain event was dropped or double-delivered.
+        let emitted =
+            self.lanes.iter().map(|l| l.exchange_out).sum::<u64>() + self.shared.exchange_out;
         assert_eq!(
-            self.reqs.banks(),
-            self.q.shards(),
-            "request banks out of step with calendar shard domains"
+            emitted, self.exchange_delivered,
+            "exchange counters desynchronized: a cross-domain event was lost or duplicated"
         );
-        let mut per_bank = vec![0usize; self.reqs.banks()];
-        self.reqs.for_each(|id, _| per_bank[id.shard()] += 1);
-        for (shard, &n) in per_bank.iter().enumerate() {
-            assert_eq!(
-                self.reqs.bank_len(shard),
-                n,
-                "shard {shard} bank length disagrees with its live requests"
-            );
-        }
     }
 
-    /// Deliberately corrupts the event calendar's free list so checked-mode
+    /// Deliberately corrupts a lane calendar's free list so checked-mode
     /// tests can prove the audit detects real damage.
     #[cfg(feature = "invariants")]
     pub fn corrupt_event_queue_for_test(&mut self) {
-        self.q.corrupt_free_list_for_test();
+        self.lanes[0].q.corrupt_free_list_for_test();
     }
 
-    /// Deliberately unbalances the sharded calendar's exchange-queue
-    /// conservation counters (slab corruption on the single-calendar
-    /// path), the sharded audit's negative-test hook.
+    /// Deliberately unbalances the exchange conservation counters (a
+    /// dropped cross-domain event), the barrier audit's negative-test
+    /// hook.
     #[cfg(feature = "invariants")]
     pub fn corrupt_exchange_for_test(&mut self) {
-        self.q.corrupt_exchange_for_test();
+        self.exchange_delivered += 1;
     }
 }

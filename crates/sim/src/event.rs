@@ -250,8 +250,8 @@ impl<E> EventQueue<E> {
     }
 
     /// `(time, seq)` of the event `pop` would return next, without
-    /// popping. Read-only; the sharded calendar's merge step compares
-    /// domain heads this way.
+    /// popping. Read-only; the engine's window loop compares lane heads
+    /// this way when choosing the next window start.
     pub fn peek_key(&self) -> Option<(Cycle, u64)> {
         let ring = if self.ring_len > 0 {
             let t = self.next_occupied();
@@ -345,6 +345,71 @@ impl<E> EventQueue<E> {
         if self.fast_forward {
             // Cycles strictly between the previous and the new clock carry
             // no events at all — they were never visited.
+            self.idle_skipped += (time - self.now).saturating_sub(1);
+        }
+        self.now = time;
+        self.cursor = time;
+        Some((time, event))
+    }
+
+    /// Pops the next event only if its timestamp is strictly below
+    /// `horizon`, advancing the clock to it. Returns `None` when the
+    /// queue is empty or its head lies at or beyond the horizon — in
+    /// the latter case the clock does not move. This is the shard-lane
+    /// drain primitive: workers pop until the window's horizon without
+    /// paying a separate peek scan per event.
+    pub fn pop_before(&mut self, horizon: Cycle) -> Option<(Cycle, E)> {
+        let ring_head = if self.ring_len > 0 {
+            let t = if self.fast_forward { self.next_occupied() } else { self.next_occupied_scan() };
+            let head = self.heads[(t & (WINDOW - 1)) as usize];
+            debug_assert_ne!(head, NIL);
+            let s = &self.slab[head as usize];
+            debug_assert_eq!(s.time, t, "bucket holds a foreign cycle");
+            Some((s.time, s.seq))
+        } else {
+            None
+        };
+        let overflow_head = self.overflow.peek().map(|Reverse(e)| (e.time, e.seq));
+
+        let take_ring = match (ring_head, overflow_head) {
+            (Some(r), Some(o)) => {
+                if r.min(o).0 >= horizon {
+                    return None;
+                }
+                r < o
+            }
+            (Some(r), None) => {
+                if r.0 >= horizon {
+                    return None;
+                }
+                true
+            }
+            (None, Some(o)) => {
+                if o.0 >= horizon {
+                    return None;
+                }
+                false
+            }
+            (None, None) => return None,
+        };
+        let (time, slot) = if take_ring {
+            let (t, _) = ring_head.expect("take_ring implies the ring head exists");
+            let b = (t & (WINDOW - 1)) as usize;
+            let slot = self.heads[b];
+            self.heads[b] = self.slab[slot as usize].next;
+            if self.heads[b] == NIL {
+                self.tails[b] = NIL;
+                self.occupied[b / 64] &= !(1 << (b % 64));
+            }
+            self.ring_len -= 1;
+            (t, slot)
+        } else {
+            let Reverse(e) = self.overflow.pop().expect("overflow head vanished");
+            (e.time, e.slot)
+        };
+        let event = self.slab[slot as usize].event.take().expect("slot holds an event");
+        self.free.push(slot);
+        if self.fast_forward {
             self.idle_skipped += (time - self.now).saturating_sub(1);
         }
         self.now = time;
@@ -561,595 +626,6 @@ impl<E> EventQueue<E> {
     }
 }
 
-/// Capacity of one cross-domain exchange ring before a mid-window flush
-/// is forced. Flushing early is always safe — the target calendar orders
-/// by `(time, seq)` regardless — so the cap only bounds memory, never
-/// correctness.
-const EXCHANGE_RING_CAP: usize = 1024;
-
-/// Target domain of an event routed through a [`ShardedCalendar`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Domain {
-    /// SM-group-local state: the shard owning this SM's warps, L1 TLB,
-    /// and L1 sector cache.
-    Shard(u32),
-    /// State every shard contends on: L2 TLB/cache, DRAM, the walker
-    /// pool, and UVM.
-    Shared,
-}
-
-/// Routing contract for events run through a [`ShardedCalendar`]: maps an
-/// event to the domain whose state its handler touches first. `shards`
-/// and `num_sms` describe the active partitioning (SM `s` belongs to
-/// shard `s * shards / num_sms`).
-pub trait ShardRoutable {
-    /// The domain that owns this event.
-    fn domain(&self, shards: u32, num_sms: u32) -> Domain;
-}
-
-/// The engine-facing calendar.
-///
-/// With `shards == 1` this is a thin wrapper over the classic single
-/// [`EventQueue`] — byte-for-byte the pre-sharding hot path. With more
-/// shards it becomes a bounded-lag collection of per-domain calendars
-/// (one per SM shard plus one shared L2/DRAM/walker/UVM domain): each
-/// domain buffers its own future, a single global sequence counter
-/// preserves the serial FIFO tie-break, and the merge step always
-/// surfaces the globally earliest `(time, seq)` event below the current
-/// horizon `H = window_start + lookahead`. Cross-domain events scheduled
-/// at or beyond `H` land on fixed-capacity exchange rings and are
-/// drained at the horizon barrier in target-domain-index order.
-///
-/// Because every event still retires in global `(time, seq)` order, the
-/// popped stream — and therefore `Stats::digest()` — is identical for
-/// every shard count by construction; the sharding changes *where*
-/// pending events wait, not *when* they run. Determinism across
-/// `--shards 1/2/4/8` is CI-enforced.
-#[derive(Debug)]
-pub enum ShardedCalendar<E> {
-    /// Classic single-calendar path (`shards == 1`).
-    Single(EventQueue<E>),
-    /// Bounded-lag per-domain calendars (`shards > 1`).
-    Sharded(ShardedInner<E>),
-}
-
-/// State of the multi-shard calendar. See [`ShardedCalendar`].
-#[derive(Debug)]
-pub struct ShardedInner<E> {
-    /// Per-domain calendars: indices `0..shards` are the SM-shard
-    /// domains, index `shards` is the shared domain.
-    domains: Vec<EventQueue<E>>,
-    /// Exchange rings, one per **target** domain, holding `(time, seq,
-    /// event)` for cross-domain events at or beyond the horizon. The
-    /// outer vec is fixed at construction (one ring per domain) and each
-    /// ring is capacity-bounded and fully drained at every barrier, so
-    /// this is not a growing per-element-box hot structure.
-    /// lint:allow(vec-vec)
-    rings: Vec<Vec<(Cycle, u64, E)>>,
-    shards: usize,
-    num_sms: usize,
-    /// Bounded-lag window span (minimum cross-domain latency).
-    lookahead: Cycle,
-    /// Global FIFO sequence allocator (the single queue's `seq`
-    /// analogue; domain queues inherit assigned seqs verbatim).
-    seq: u64,
-    /// Global simulation time (timestamp of the last popped event).
-    now: Cycle,
-    /// First cycle of the current bounded-lag window.
-    window_start: Cycle,
-    /// Exclusive upper bound of the current window
-    /// (`window_start + lookahead`); 0 until the first barrier.
-    horizon: Cycle,
-    /// Domain of the event currently being handled: set by `pop`,
-    /// cleared at barriers. Schedules from a handler into a *different*
-    /// domain are the cross-domain edges that route through the rings.
-    active: Option<usize>,
-    /// Timestamp of the last event popped from each domain. Monotone,
-    /// never at or beyond the horizon (checked-mode invariant).
-    clocks: Vec<Cycle>,
-    /// Whether skipped idle cycles are accounted (parity with
-    /// [`EventQueue::set_fast_forward`]; domain queues always scan via
-    /// their occupancy bitmaps regardless).
-    fast_forward: bool,
-    idle_skipped: u64,
-    /// Bounded-lag windows opened.
-    horizon_barriers: u64,
-    /// Domains that still held pending events when a window closed —
-    /// i.e. shards stopped by the horizon rather than by running dry.
-    horizon_stalls: u64,
-    /// Events routed through an exchange ring.
-    exchange_enqueued: u64,
-    /// Ring entries drained into their target domain's calendar.
-    exchange_dequeued: u64,
-    /// Cross-domain events below the horizon, inserted directly (the
-    /// sub-lookahead edges: e.g. a same-cycle L1 fill bounced off L2).
-    exchange_bypass: u64,
-    /// Mid-window flushes forced by a ring reaching capacity.
-    exchange_overflow_flushes: u64,
-    /// Events popped per domain (shards first, shared domain last).
-    domain_events: Vec<u64>,
-}
-
-impl<E> ShardedCalendar<E> {
-    /// Creates a calendar partitioned into `shards` SM groups (clamped
-    /// to `[1, num_sms]`; 1 selects the classic single-queue path) plus
-    /// one shared domain, with the given bounded-lag `lookahead`.
-    pub fn new(shards: usize, num_sms: usize, lookahead: Cycle) -> Self {
-        let shards = shards.clamp(1, num_sms.max(1));
-        if shards == 1 {
-            return Self::Single(EventQueue::new());
-        }
-        Self::Sharded(ShardedInner {
-            domains: (0..=shards).map(|_| EventQueue::new()).collect(),
-            rings: (0..=shards).map(|_| Vec::new()).collect(),
-            shards,
-            num_sms,
-            lookahead: lookahead.max(1),
-            seq: 0,
-            now: 0,
-            window_start: 0,
-            horizon: 0,
-            active: None,
-            clocks: vec![0; shards + 1],
-            fast_forward: true,
-            idle_skipped: 0,
-            horizon_barriers: 0,
-            horizon_stalls: 0,
-            exchange_enqueued: 0,
-            exchange_dequeued: 0,
-            exchange_bypass: 0,
-            exchange_overflow_flushes: 0,
-            domain_events: vec![0; shards + 1],
-        })
-    }
-
-    /// Number of SM-shard domains (1 on the single-queue path).
-    pub fn shards(&self) -> usize {
-        match self {
-            Self::Single(_) => 1,
-            Self::Sharded(s) => s.shards,
-        }
-    }
-
-    /// Current simulation time (the timestamp of the last popped event).
-    pub fn now(&self) -> Cycle {
-        match self {
-            Self::Single(q) => q.now(),
-            Self::Sharded(s) => s.now,
-        }
-    }
-
-    /// See [`EventQueue::set_fast_forward`].
-    pub fn set_fast_forward(&mut self, on: bool) {
-        match self {
-            Self::Single(q) => q.set_fast_forward(on),
-            Self::Sharded(s) => s.fast_forward = on,
-        }
-    }
-
-    /// Cycles jumped over by fast-forward so far (0 while disabled).
-    pub fn idle_cycles_skipped(&self) -> u64 {
-        match self {
-            Self::Single(q) => q.idle_cycles_skipped(),
-            Self::Sharded(s) => s.idle_skipped,
-        }
-    }
-
-    /// Pops the globally next `(time, seq)` event, advancing the clock.
-    pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        match self {
-            Self::Single(q) => q.pop(),
-            Self::Sharded(s) => s.pop(),
-        }
-    }
-
-    /// Visits every pending event — domain calendars and in-flight
-    /// exchange-ring entries — in unspecified order.
-    pub fn for_each_event(&self, mut f: impl FnMut(&E)) {
-        match self {
-            Self::Single(q) => q.for_each_event(f),
-            Self::Sharded(s) => {
-                for q in &s.domains {
-                    q.for_each_event(&mut f);
-                }
-                for ring in &s.rings {
-                    for (_, _, e) in ring {
-                        f(e);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Number of pending events (including in-flight ring entries).
-    pub fn len(&self) -> usize {
-        match self {
-            Self::Single(q) => q.len(),
-            Self::Sharded(s) => {
-                s.domains.iter().map(EventQueue::len).sum::<usize>()
-                    + s.rings.iter().map(Vec::len).sum::<usize>()
-            }
-        }
-    }
-
-    /// Whether the calendar is drained.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Bounded-lag windows opened so far (0 on the single-queue path).
-    pub fn horizon_barriers(&self) -> u64 {
-        match self {
-            Self::Single(_) => 0,
-            Self::Sharded(s) => s.horizon_barriers,
-        }
-    }
-
-    /// Domain-stopped-by-horizon occurrences (0 on the single path).
-    pub fn horizon_stalls(&self) -> u64 {
-        match self {
-            Self::Single(_) => 0,
-            Self::Sharded(s) => s.horizon_stalls,
-        }
-    }
-
-    /// Events routed through an exchange ring.
-    pub fn exchange_enqueued(&self) -> u64 {
-        match self {
-            Self::Single(_) => 0,
-            Self::Sharded(s) => s.exchange_enqueued,
-        }
-    }
-
-    /// Ring entries drained into their target domain.
-    pub fn exchange_dequeued(&self) -> u64 {
-        match self {
-            Self::Single(_) => 0,
-            Self::Sharded(s) => s.exchange_dequeued,
-        }
-    }
-
-    /// Sub-horizon cross-domain events inserted directly.
-    pub fn exchange_bypass(&self) -> u64 {
-        match self {
-            Self::Single(_) => 0,
-            Self::Sharded(s) => s.exchange_bypass,
-        }
-    }
-
-    /// Events popped per domain (shard domains first, shared domain
-    /// last); empty on the single-queue path.
-    pub fn domain_event_counts(&self) -> &[u64] {
-        match self {
-            Self::Single(_) => &[],
-            Self::Sharded(s) => &s.domain_events,
-        }
-    }
-
-    /// Full consistency audit: every domain calendar's own invariants,
-    /// exchange-queue conservation (`enqueued == dequeued + in-flight`),
-    /// ring entries at or beyond the horizon in sorted seq order, and
-    /// monotone per-domain clocks bounded by `now` and the horizon.
-    ///
-    /// # Panics
-    ///
-    /// Panics on the first violated invariant.
-    pub fn audit_invariants(&self) {
-        match self {
-            Self::Single(q) => q.audit_invariants(),
-            Self::Sharded(s) => s.audit_invariants(),
-        }
-    }
-
-    /// Serializes the calendar — variant tag, bounded-lag window state,
-    /// per-domain calendars, and in-flight exchange-ring entries — for
-    /// checkpointing.
-    pub(crate) fn save_state(&self, w: &mut Writer, enc: &mut dyn FnMut(&mut Writer, &E)) {
-        match self {
-            Self::Single(q) => {
-                w.u8(0);
-                q.save_state(w, enc);
-            }
-            Self::Sharded(s) => {
-                w.u8(1);
-                w.usize(s.shards);
-                w.usize(s.num_sms);
-                w.u64(s.lookahead);
-                w.u64(s.seq);
-                w.u64(s.now);
-                w.u64(s.window_start);
-                w.u64(s.horizon);
-                w.opt_u64(s.active.map(|a| a as u64));
-                w.u64_slice(&s.clocks);
-                w.bool(s.fast_forward);
-                w.u64(s.idle_skipped);
-                w.u64(s.horizon_barriers);
-                w.u64(s.horizon_stalls);
-                w.u64(s.exchange_enqueued);
-                w.u64(s.exchange_dequeued);
-                w.u64(s.exchange_bypass);
-                w.u64(s.exchange_overflow_flushes);
-                w.u64_slice(&s.domain_events);
-                w.usize(s.domains.len());
-                for q in &s.domains {
-                    q.save_state(w, enc);
-                }
-                w.usize(s.rings.len());
-                for ring in &s.rings {
-                    w.usize(ring.len());
-                    for (t, sq, e) in ring {
-                        w.u64(*t);
-                        w.u64(*sq);
-                        enc(w, e);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Restores a calendar written by [`save_state`](Self::save_state).
-    /// The receiver must have been constructed with the identical shard
-    /// partitioning (the engine rebuilds it from the same config);
-    /// variant or geometry mismatches are hard errors.
-    pub(crate) fn load_state(
-        &mut self,
-        r: &mut Reader,
-        dec: &mut dyn FnMut(&mut Reader) -> Result<E, CkptError>,
-    ) -> Result<(), CkptError> {
-        let tag = r.u8()?;
-        match (tag, self) {
-            (0, Self::Single(q)) => q.load_state(r, dec),
-            (1, Self::Sharded(s)) => {
-                if r.usize()? != s.shards || r.usize()? != s.num_sms || r.u64()? != s.lookahead
-                {
-                    return Err(CkptError::Corrupt("sharded-calendar geometry mismatch"));
-                }
-                s.seq = r.u64()?;
-                s.now = r.u64()?;
-                s.window_start = r.u64()?;
-                s.horizon = r.u64()?;
-                s.active = match r.opt_u64()? {
-                    Some(a) if (a as usize) < s.domains.len() => Some(a as usize),
-                    Some(_) => return Err(CkptError::Corrupt("active domain out of range")),
-                    None => None,
-                };
-                r.u64_slice_into(&mut s.clocks)?;
-                s.fast_forward = r.bool()?;
-                s.idle_skipped = r.u64()?;
-                s.horizon_barriers = r.u64()?;
-                s.horizon_stalls = r.u64()?;
-                s.exchange_enqueued = r.u64()?;
-                s.exchange_dequeued = r.u64()?;
-                s.exchange_bypass = r.u64()?;
-                s.exchange_overflow_flushes = r.u64()?;
-                r.u64_slice_into(&mut s.domain_events)?;
-                if r.usize()? != s.domains.len() {
-                    return Err(CkptError::Corrupt("domain-calendar count mismatch"));
-                }
-                for q in &mut s.domains {
-                    q.load_state(r, dec)?;
-                }
-                if r.usize()? != s.rings.len() {
-                    return Err(CkptError::Corrupt("exchange-ring count mismatch"));
-                }
-                for ring in &mut s.rings {
-                    ring.clear();
-                    let n = r.seq_len()?;
-                    for _ in 0..n {
-                        let t = r.u64()?;
-                        let sq = r.u64()?;
-                        let e = dec(r)?;
-                        ring.push((t, sq, e));
-                    }
-                }
-                Ok(())
-            }
-            _ => Err(CkptError::Corrupt("calendar variant mismatch (shards knob changed)")),
-        }
-    }
-
-    /// See [`EventQueue::corrupt_free_list_for_test`].
-    #[cfg(feature = "invariants")]
-    pub fn corrupt_free_list_for_test(&mut self) {
-        match self {
-            Self::Single(q) => q.corrupt_free_list_for_test(),
-            Self::Sharded(s) => s.domains[0].corrupt_free_list_for_test(),
-        }
-    }
-
-    /// Deliberately unbalances the exchange-queue conservation counters
-    /// (no-op re-routed to slab corruption on the single-queue path), so
-    /// the checked-mode suite can prove the sharded audit catches it.
-    #[cfg(feature = "invariants")]
-    pub fn corrupt_exchange_for_test(&mut self) {
-        match self {
-            Self::Single(q) => q.corrupt_free_list_for_test(),
-            Self::Sharded(s) => s.exchange_enqueued += 1,
-        }
-    }
-}
-
-impl<E: ShardRoutable> ShardedCalendar<E> {
-    /// Schedules `event` at absolute cycle `time`, routing it to its
-    /// owning domain (see [`ShardRoutable`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if `time` is in the past.
-    pub fn schedule(&mut self, time: Cycle, event: E) {
-        match self {
-            Self::Single(q) => q.schedule(time, event),
-            Self::Sharded(s) => s.schedule(time, event),
-        }
-    }
-
-    /// Schedules `event` `delta` cycles from now.
-    pub fn schedule_in(&mut self, delta: Cycle, event: E) {
-        self.schedule(self.now() + delta, event);
-    }
-}
-
-impl<E> ShardedInner<E> {
-    fn pop(&mut self) -> Option<(Cycle, E)> {
-        loop {
-            // Merge step: globally earliest (time, seq) among domain
-            // heads. Ring entries never undercut this — they all lie at
-            // or beyond the horizon (audited), and pops stop below it.
-            let mut best: Option<(Cycle, u64, usize)> = None;
-            for (d, q) in self.domains.iter().enumerate() {
-                if let Some((t, s)) = q.peek_key() {
-                    let better = match best {
-                        Some((bt, bs, _)) => (t, s) < (bt, bs),
-                        None => true,
-                    };
-                    if better {
-                        best = Some((t, s, d));
-                    }
-                }
-            }
-            match best {
-                Some((t, _, d)) if t < self.horizon => {
-                    let (time, event) = self.domains[d].pop().expect("peeked head vanished");
-                    if self.fast_forward {
-                        self.idle_skipped += (time - self.now).saturating_sub(1);
-                    }
-                    self.now = time;
-                    self.clocks[d] = time;
-                    self.domain_events[d] += 1;
-                    self.active = Some(d);
-                    return Some((time, event));
-                }
-                _ => {
-                    if !self.barrier() {
-                        return None;
-                    }
-                }
-            }
-        }
-    }
-
-    /// Ends the current bounded-lag window: drains every exchange ring
-    /// in target-domain-index order (the deterministic merge order) and
-    /// opens the next window at the earliest pending event. Returns
-    /// `false` when nothing is pending anywhere.
-    fn barrier(&mut self) -> bool {
-        self.active = None;
-        if self.horizon > 0 {
-            // Domains still holding events were stopped by the horizon,
-            // not by running dry — the bounded-lag stall cost.
-            self.horizon_stalls +=
-                self.domains.iter().filter(|q| !q.is_empty()).count() as u64;
-        }
-        for d in 0..self.rings.len() {
-            self.flush_ring(d);
-        }
-        let start =
-            self.domains.iter().filter_map(|q| q.peek_key()).map(|(t, _)| t).min();
-        if let Some(t) = start {
-            self.window_start = t;
-            self.horizon = t + self.lookahead;
-            self.horizon_barriers += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Drains ring `d` into domain `d`'s calendar, preserving the
-    /// assigned global seqs (the sorted insert in
-    /// [`EventQueue::schedule_at_seq`] restores FIFO order).
-    fn flush_ring(&mut self, d: usize) {
-        let mut ring = std::mem::take(&mut self.rings[d]);
-        self.exchange_dequeued += ring.len() as u64;
-        for (t, s, e) in ring.drain(..) {
-            self.domains[d].schedule_at_seq(t, s, e);
-        }
-        // Hand the allocation back so steady state stays allocation-free.
-        self.rings[d] = ring;
-    }
-
-    fn schedule(&mut self, time: Cycle, event: E)
-    where
-        E: ShardRoutable,
-    {
-        debug_assert!(time >= self.now, "event scheduled in the past: {time} < {}", self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        let d = match event.domain(self.shards as u32, self.num_sms as u32) {
-            Domain::Shard(g) => (g as usize).min(self.shards - 1),
-            Domain::Shared => self.shards,
-        };
-        match self.active {
-            Some(a) if a != d => {
-                if time >= self.horizon {
-                    if self.rings[d].len() >= EXCHANGE_RING_CAP {
-                        self.exchange_overflow_flushes += 1;
-                        self.flush_ring(d);
-                    }
-                    self.rings[d].push((time, seq, event));
-                    self.exchange_enqueued += 1;
-                } else {
-                    // Sub-lookahead cross-domain edge: must be visible
-                    // to the current window, so it bypasses the ring.
-                    self.exchange_bypass += 1;
-                    self.domains[d].schedule_at_seq(time, seq, event);
-                }
-            }
-            _ => self.domains[d].schedule_at_seq(time, seq, event),
-        }
-    }
-
-    fn audit_invariants(&self) {
-        for (d, q) in self.domains.iter().enumerate() {
-            q.audit_invariants();
-            assert!(
-                q.seq <= self.seq,
-                "domain {d} seq {} ahead of the global allocator {}",
-                q.seq,
-                self.seq
-            );
-        }
-        let in_flight: usize = self.rings.iter().map(Vec::len).sum();
-        assert_eq!(
-            self.exchange_enqueued,
-            self.exchange_dequeued + in_flight as u64,
-            "exchange-queue conservation broken: {} enqueued != {} dequeued + {} in flight",
-            self.exchange_enqueued,
-            self.exchange_dequeued,
-            in_flight
-        );
-        for (d, ring) in self.rings.iter().enumerate() {
-            let mut prev_seq = None;
-            for (t, s, _) in ring {
-                assert!(
-                    *t >= self.horizon,
-                    "ring {d} holds a sub-horizon event at {} (horizon {})",
-                    t,
-                    self.horizon
-                );
-                assert!(*s < self.seq, "ring {d} seq {s} from the future");
-                if let Some(p) = prev_seq {
-                    assert!(*s > p, "ring {d} seq order broken: {s} after {p}");
-                }
-                prev_seq = Some(*s);
-            }
-        }
-        for (d, &c) in self.clocks.iter().enumerate() {
-            assert!(c <= self.now, "domain {d} clock {c} ahead of global now {}", self.now);
-            assert!(
-                self.horizon == 0 || c < self.horizon,
-                "domain {d} clock {c} at or beyond horizon {}",
-                self.horizon
-            );
-        }
-        assert!(
-            self.window_start <= self.horizon,
-            "window start {} beyond horizon {}",
-            self.window_start,
-            self.horizon
-        );
-    }
-}
 
 #[cfg(test)]
 mod tests {
@@ -1479,143 +955,87 @@ mod tests {
         }
     }
 
-    /// Test payload for the sharded calendar: routed by SM id or pinned
-    /// to the shared domain, exactly like the engine's event enum.
-    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-    struct RoutedEv {
-        tag: u32,
-        sm: u32,
-        shared: bool,
-    }
-    impl ShardRoutable for RoutedEv {
-        fn domain(&self, shards: u32, num_sms: u32) -> Domain {
-            if self.shared {
-                Domain::Shared
-            } else {
-                Domain::Shard(self.sm * shards / num_sms)
-            }
-        }
-    }
-
-    /// The sharding determinism property at queue level: for any shard
-    /// count, a script of handler-context schedules and pops produces
-    /// the exact `(time, event)` stream — and idle accounting — of the
-    /// single serial queue.
     #[test]
-    fn sharded_calendar_matches_single_queue() {
-        const NUM_SMS: u32 = 8;
-        for &shards in &[2usize, 3, 4, 8] {
-            for trial in 0..20u64 {
-                let mut rng = SimRng::seed_from_u64(0x5AAD ^ trial ^ (shards as u64) << 32);
-                let ff = trial % 2 == 0;
-                let mut cal = ShardedCalendar::new(shards, NUM_SMS as usize, 64);
-                cal.set_fast_forward(ff);
-                let mut serial = EventQueue::new();
-                serial.set_fast_forward(ff);
-                let mut tag = 0u32;
-                let emit = |cal: &mut ShardedCalendar<RoutedEv>,
-                                serial: &mut EventQueue<RoutedEv>,
-                                rng: &mut SimRng,
-                                tag: &mut u32| {
-                    let horizon = if rng.next_f64() < 0.15 { WINDOW * 3 } else { 200 };
-                    let t = cal.now() + rng.next_below(horizon);
-                    let ev = RoutedEv {
-                        tag: *tag,
-                        sm: rng.index(NUM_SMS as usize) as u32,
-                        shared: rng.next_f64() < 0.35,
-                    };
-                    *tag += 1;
-                    cal.schedule(t, ev);
-                    serial.schedule(t, ev);
-                };
-                // Seed a burst outside any handler (engine init pattern).
-                for _ in 0..8 {
-                    emit(&mut cal, &mut serial, &mut rng, &mut tag);
-                }
-                for _ in 0..3000 {
-                    // Pop one event, then schedule 0..3 follow-ups "from
-                    // its handler" so cross-domain ring routing engages.
-                    let (a, b) = (cal.pop(), serial.pop());
-                    assert_eq!(a, b, "shards {shards} trial {trial} diverged");
-                    assert_eq!(cal.now(), serial.now());
-                    if a.is_none() {
-                        break;
-                    }
-                    for _ in 0..rng.index(3) {
-                        emit(&mut cal, &mut serial, &mut rng, &mut tag);
-                    }
-                }
-                loop {
-                    let (a, b) = (cal.pop(), serial.pop());
-                    assert_eq!(a, b, "shards {shards} trial {trial} diverged during drain");
-                    if a.is_none() {
-                        break;
-                    }
-                }
-                assert_eq!(cal.idle_cycles_skipped(), serial.idle_cycles_skipped());
-                assert!(cal.is_empty());
-                cal.audit_invariants();
-                assert!(cal.horizon_barriers() > 0, "sharded run never opened a window");
-                assert_eq!(
-                    cal.exchange_enqueued(),
-                    cal.exchange_dequeued(),
-                    "drained calendar still has ring entries in flight"
-                );
-                assert_eq!(
-                    cal.domain_event_counts().iter().sum::<u64>(),
-                    u64::from(tag),
-                    "per-domain event counts must cover every popped event"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn sharded_calendar_with_one_shard_is_the_single_queue() {
-        let cal: ShardedCalendar<RoutedEv> = ShardedCalendar::new(1, 8, 64);
-        assert!(matches!(cal, ShardedCalendar::Single(_)));
-        assert_eq!(cal.shards(), 1);
-        assert_eq!(cal.domain_event_counts(), &[] as &[u64]);
-        // Shard counts beyond the SM count clamp to the SM count.
-        let cal: ShardedCalendar<RoutedEv> = ShardedCalendar::new(16, 4, 64);
-        assert_eq!(cal.shards(), 4);
-        let cal: ShardedCalendar<RoutedEv> = ShardedCalendar::new(4, 1, 64);
-        assert_eq!(cal.shards(), 1);
-    }
-
-    #[test]
-    fn sharded_audit_passes_under_random_churn() {
-        let mut rng = SimRng::seed_from_u64(0xCA1E);
-        let mut cal: ShardedCalendar<RoutedEv> = ShardedCalendar::new(4, 8, 32);
-        let mut tag = 0u32;
-        for step in 0..4000u32 {
+    fn pop_before_respects_horizon_and_matches_pop() {
+        let mut rng = SimRng::seed_from_u64(0xFACE);
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for step in 0..3000u32 {
             if rng.next_f64() < 0.6 {
-                let t = cal.now() + rng.next_below(300);
-                let ev = RoutedEv {
-                    tag,
-                    sm: rng.index(8) as u32,
-                    shared: rng.next_f64() < 0.3,
-                };
-                tag += 1;
-                cal.schedule(t, ev);
+                let span = if rng.next_f64() < 0.1 { WINDOW * 3 } else { WINDOW / 2 };
+                let t = a.now() + rng.next_below(span);
+                a.schedule(t, step);
+                b.schedule(t, step);
             } else {
-                cal.pop();
-            }
-            if step % 128 == 0 {
-                cal.audit_invariants();
+                // `pop_before(now + k)` must return exactly what `pop`
+                // would, whenever the head falls below the horizon — and
+                // must not move the clock when it does not.
+                let horizon = a.now() + rng.next_below(WINDOW);
+                let head = a.peek_key();
+                let got = a.pop_before(horizon);
+                match head {
+                    Some((t, _)) if t < horizon => {
+                        assert_eq!(got, b.pop());
+                    }
+                    _ => {
+                        assert_eq!(got, None);
+                        assert_eq!(a.now(), b.now(), "refused pop must not advance the clock");
+                    }
+                }
+                assert_eq!(a.peek_key(), b.peek_key());
             }
         }
-        while cal.pop().is_some() {}
-        cal.audit_invariants();
+        assert_eq!(a.len(), b.len());
     }
 
-    #[cfg(feature = "invariants")]
+    /// Per-actor striped sequence numbers make the global `(time, seq)`
+    /// order independent of how actors are packed into queues: replaying
+    /// the same striped schedule into one queue or into two and merging by
+    /// key yields the identical stream. This is the property the engine's
+    /// parallel shard lanes rely on for digest parity across shard counts.
     #[test]
-    #[should_panic(expected = "exchange-queue conservation")]
-    fn sharded_audit_detects_exchange_corruption() {
-        let mut cal: ShardedCalendar<RoutedEv> = ShardedCalendar::new(2, 8, 32);
-        cal.schedule(1, RoutedEv { tag: 0, sm: 0, shared: false });
-        cal.corrupt_exchange_for_test();
-        cal.audit_invariants();
+    fn striped_seqs_are_packing_invariant() {
+        const ACTORS: u64 = 5;
+        let mut rng = SimRng::seed_from_u64(0x571219ED);
+        // (time, seq, actor) schedule: each actor owns seqs ≡ actor (mod ACTORS).
+        let mut counters = [0u64; ACTORS as usize];
+        let mut sched: Vec<(Cycle, u64, u64)> = Vec::new();
+        let mut t = 0u64;
+        for _ in 0..800 {
+            t += rng.next_below(3);
+            let actor = rng.next_below(ACTORS);
+            let seq = counters[actor as usize] * ACTORS + actor;
+            counters[actor as usize] += 1;
+            sched.push((t, seq, actor));
+        }
+
+        let mut single = EventQueue::new();
+        for &(t, s, a) in &sched {
+            single.schedule_at_seq(t, s, a);
+        }
+        let mut expect = Vec::new();
+        while let Some((t, a)) = single.pop() {
+            expect.push((t, a));
+        }
+
+        // Partition actors into two lanes and merge by (time, seq) key.
+        for split in 1..ACTORS {
+            let mut lanes = [EventQueue::new(), EventQueue::new()];
+            for &(t, s, a) in &sched {
+                lanes[usize::from(a >= split)].schedule_at_seq(t, s, a);
+            }
+            let mut merged = Vec::new();
+            loop {
+                let pick = match (lanes[0].peek_key(), lanes[1].peek_key()) {
+                    (Some(k0), Some(k1)) => usize::from(k1 < k0),
+                    (Some(_), None) => 0,
+                    (None, Some(_)) => 1,
+                    (None, None) => break,
+                };
+                let (t, a) = lanes[pick].pop().expect("peeked head exists");
+                merged.push((t, a));
+            }
+            assert_eq!(merged, expect, "packing split at {split} changed the stream");
+        }
     }
 }

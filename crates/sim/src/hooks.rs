@@ -79,7 +79,12 @@ pub struct SpecFillContext {
 ///
 /// The baseline uses [`NoSpeculation`]; Avatar's CAST/CAVA/EAF policies
 /// live in the `avatar-core` crate.
-pub trait TranslationAccel: std::fmt::Debug {
+///
+/// `Send + Sync` because the policy is owned by the shared lane but
+/// lent (`&dyn`) into shard-lane workers for fill-time validation:
+/// [`on_spec_fill`](TranslationAccel::on_spec_fill) takes `&self` and
+/// must be a pure function of the policy's current state.
+pub trait TranslationAccel: std::fmt::Debug + Send + Sync {
     /// Called on every L1 TLB miss: may return a speculated frame for the
     /// page, triggering an immediate fetch from the speculated address.
     fn on_l1_tlb_miss(&mut self, sm: usize, pc: u64, vpn: Vpn) -> Option<Ppn>;
@@ -89,7 +94,9 @@ pub trait TranslationAccel: std::fmt::Debug {
     fn on_translation_resolved(&mut self, sm: usize, pc: u64, vpn: Vpn, ppn: Ppn);
 
     /// Called when a speculatively fetched sector arrives at the L1.
-    fn on_spec_fill(&mut self, ctx: &SpecFillContext) -> SpecFillAction;
+    /// Takes `&self`: this runs on shard-lane workers while the policy
+    /// is shared read-only across lanes, so it must not mutate state.
+    fn on_spec_fill(&self, ctx: &SpecFillContext) -> SpecFillAction;
 
     /// The validation strategy this policy implements.
     fn validation_kind(&self) -> ValidationKind;
@@ -123,7 +130,7 @@ impl TranslationAccel for NoSpeculation {
 
     fn on_translation_resolved(&mut self, _sm: usize, _pc: u64, _vpn: Vpn, _ppn: Ppn) {}
 
-    fn on_spec_fill(&mut self, _ctx: &SpecFillContext) -> SpecFillAction {
+    fn on_spec_fill(&self, _ctx: &SpecFillContext) -> SpecFillAction {
         SpecFillAction::AwaitTranslation
     }
 

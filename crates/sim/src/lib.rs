@@ -33,8 +33,10 @@
 //! use avatar_sim::tlb::{BaseTlb, TlbModel};
 //! use avatar_sim::addr::VirtAddr;
 //!
+//! #[derive(Clone)]
 //! struct Stream { remaining: u32 }
 //! impl WarpProgram for Stream {
+//!     fn clone_box(&self) -> Box<dyn WarpProgram> { Box::new(self.clone()) }
 //!     fn next_op(&mut self, sm: usize, warp: usize) -> Option<WarpOp> {
 //!         if sm > 0 || warp > 0 || self.remaining == 0 {
 //!             return None;

@@ -151,6 +151,30 @@ impl<K: std::hash::Hash + Eq + Copy, W> MshrFile<K, W> {
         self.complete(key)
     }
 
+    /// Removes one waiter equal to `w` from the entry for `key`,
+    /// dropping the entry when its waiter list empties. Returns whether
+    /// a waiter was removed. Tolerates both a missing entry and a
+    /// missing waiter — the remote-access completion path races benignly
+    /// with ordinary resolution, and whichever side runs second must be
+    /// a no-op.
+    pub fn remove_waiter(&mut self, key: K, w: &W) -> bool
+    where
+        W: PartialEq,
+    {
+        let Some(waiters) = self.entries.get_mut(&key) else {
+            return false;
+        };
+        let Some(pos) = waiters.iter().position(|x| x == w) else {
+            return false;
+        };
+        waiters.remove(pos);
+        if waiters.is_empty() {
+            let empty = self.entries.remove(&key).expect("entry just accessed");
+            self.recycle(empty);
+        }
+        true
+    }
+
     /// Returns a drained waiter vector to the file's spare pool.
     ///
     /// Callers that `complete` an entry, drain its waiters, and hand the

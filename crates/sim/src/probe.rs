@@ -349,6 +349,109 @@ enum Record {
     Counter { name: &'static str, track: Track, at: Cycle, value: u64 },
 }
 
+/// A per-lane probe buffer: shard lanes (which may run on worker
+/// threads, where the boxed sink cannot live) record their probe
+/// traffic as plain data and the engine replays every lane's log into
+/// the real sink at finish, in fixed lane order. The result is the
+/// same regrouped stream [`ShardMergeProbe`] produces, but built
+/// directly by ownership instead of by routing.
+#[cfg(feature = "probes")]
+#[derive(Debug, Default)]
+pub(crate) struct RecordLog {
+    records: Vec<Record>,
+    /// Per-warp sampling stride (see [`ProbeHub::sampled`]).
+    warp_sample: u32,
+    active: bool,
+}
+
+#[cfg(feature = "probes")]
+impl RecordLog {
+    /// Arms the log: records are kept and `sampled` applies `warp_sample`.
+    pub(crate) fn arm(&mut self, warp_sample: u32) {
+        self.active = true;
+        self.warp_sample = warp_sample;
+    }
+
+    /// Whether a sink is attached downstream (records are being kept).
+    #[inline]
+    pub(crate) fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Whether request-level spans from `warp` survive sampling.
+    #[inline]
+    pub(crate) fn sampled(&self, warp: u32) -> bool {
+        self.warp_sample <= 1 || warp.is_multiple_of(self.warp_sample)
+    }
+
+    /// Buffer a complete span (no-op when unarmed).
+    #[inline]
+    pub(crate) fn span(
+        &mut self,
+        point: SpanPoint,
+        track: Track,
+        start: Cycle,
+        end: Cycle,
+        arg: u64,
+    ) {
+        if self.active {
+            self.records.push(Record::Span { point, track, start, end, arg });
+        }
+    }
+
+    /// Buffer a span open (no-op when unarmed).
+    #[inline]
+    // lint:allow(probe-span-balance) — buffering shim, not a call pair.
+    pub(crate) fn span_enter(&mut self, point: SpanPoint, track: Track, at: Cycle) {
+        if self.active {
+            self.records.push(Record::Enter { point, track, at });
+        }
+    }
+
+    /// Buffer a span close (no-op when unarmed).
+    #[inline]
+    // lint:allow(probe-span-balance) — buffering shim, not a call pair.
+    pub(crate) fn span_exit(&mut self, point: SpanPoint, track: Track, at: Cycle) {
+        if self.active {
+            self.records.push(Record::Exit { point, track, at });
+        }
+    }
+
+    /// Buffer an instant (no-op when unarmed).
+    #[inline]
+    pub(crate) fn instant(&mut self, point: SpanPoint, track: Track, at: Cycle, arg: u64) {
+        if self.active {
+            self.records.push(Record::Mark { point, track, at, arg });
+        }
+    }
+
+    /// Buffer a counter sample (no-op when unarmed).
+    #[inline]
+    pub(crate) fn counter(&mut self, name: &'static str, track: Track, at: Cycle, value: u64) {
+        if self.active {
+            self.records.push(Record::Counter { name, track, at, value });
+        }
+    }
+
+    /// Replays every buffered record into `sink` in emission order,
+    /// draining the log.
+    pub(crate) fn replay_into(&mut self, sink: &mut dyn Probe) {
+        for rec in self.records.drain(..) {
+            match rec {
+                Record::Span { point, track, start, end, arg } => {
+                    sink.span(point, track, start, end, arg)
+                }
+                Record::Enter { point, track, at } => sink.span_enter(point, track, at),
+                Record::Exit { point, track, at } => sink.span_exit(point, track, at),
+                Record::Mark { point, track, at, arg } => sink.instant(point, track, at, arg),
+                Record::Counter { name, track, at, value } => {
+                    sink.counter(name, track, at, value)
+                }
+            }
+        }
+    }
+}
+
 /// Groups probe traffic into per-shard span streams and merges them at
 /// export: each record is routed by its track — SM pids to the shard
 /// owning that SM (the calendar's [`crate::sm::shard_of`] map), shared

@@ -35,7 +35,7 @@ const SHARD_MASK: u32 = (1 << SHARD_SHIFT) - 1;
 impl ReqId {
     /// Slot index (stable for the lifetime of the allocation; reused —
     /// under a new generation — after the request is freed). For ids
-    /// minted by a [`ShardedReqSlab`] this includes the shard tag in the
+    /// minted by a [`ReqBank`] this includes the shard tag in the
     /// high bits, keeping the id unique across banks.
     pub fn slot(self) -> u32 {
         self.slot
@@ -246,15 +246,19 @@ impl<T> ReqSlab<T> {
 
 /// Per-shard request banks behind one id space: bank `s` serves shard
 /// `s`, and every minted [`ReqId`] carries its shard in the high slot
-/// bits (see [`SHARD_SHIFT`]). Lookups untag and forward, so the engine
-/// keeps a single `reqs` field regardless of shard count — and with one
-/// bank the ids (and therefore anything keyed on [`ReqId::slot`], like
-/// request traces) are byte-identical to the pre-sharding [`ReqSlab`].
+/// bits (see [`SHARD_SHIFT`]). The live engine owns one [`ReqBank`] per
+/// lane instead (banks must move onto worker threads independently);
+/// this combined form is retained as the test oracle that the bank's
+/// id minting, lookup, and checkpoint bytes match the single-structure
+/// semantics exactly.
+#[cfg(test)]
 #[derive(Debug, Clone)]
 pub struct ShardedReqSlab<T> {
     banks: Vec<ReqSlab<T>>,
 }
 
+#[cfg(test)]
+#[allow(dead_code)] // test oracle: keeps the full single-structure API even where tests only exercise part of it
 impl<T> ShardedReqSlab<T> {
     /// Creates a slab with one bank per shard.
     pub fn new(shards: usize) -> Self {
@@ -365,9 +369,130 @@ impl<T> ShardedReqSlab<T> {
     }
 }
 
+/// One shard's bank of the request id space, owned outright by that
+/// shard's lane (and therefore movable onto a worker thread): a plain
+/// [`ReqSlab`] whose minted ids carry the bank's shard tag, exactly as
+/// `ShardedReqSlab` (the test oracle below) would mint them. Bank 0's
+/// ids are byte-identical
+/// to an untagged [`ReqSlab`]'s.
+#[derive(Debug, Clone)]
+pub struct ReqBank<T> {
+    shard: u32,
+    slab: ReqSlab<T>,
+}
+
+impl<T> ReqBank<T> {
+    /// Creates the empty bank for `shard`.
+    pub fn new(shard: usize) -> Self {
+        assert!(
+            shard < 1 << (32 - SHARD_SHIFT),
+            "shard index {shard} does not fit the ReqId tag"
+        );
+        Self { shard: shard as u32, slab: ReqSlab::new() }
+    }
+
+    #[inline]
+    fn untag(&self, id: ReqId) -> ReqId {
+        debug_assert_eq!(id.shard(), self.shard as usize, "foreign-bank ReqId");
+        ReqId { slot: id.slot & SHARD_MASK, gen: id.gen }
+    }
+
+    #[inline]
+    fn tag(&self, id: ReqId) -> ReqId {
+        ReqId { slot: self.shard << SHARD_SHIFT | id.slot, gen: id.gen }
+    }
+
+    /// Allocates a slot, returning a shard-tagged id.
+    pub fn insert(&mut self, val: T) -> ReqId {
+        let id = self.slab.insert(val);
+        debug_assert!(id.slot <= SHARD_MASK, "bank {} overflowed the slot tag space", self.shard);
+        self.tag(id)
+    }
+
+    /// The payload for `id`, or `None` if the id is stale.
+    pub fn get(&self, id: ReqId) -> Option<&T> {
+        let inner = self.untag(id);
+        self.slab.get(inner)
+    }
+
+    /// Mutable payload access; `None` on a stale id.
+    pub fn get_mut(&mut self, id: ReqId) -> Option<&mut T> {
+        let inner = self.untag(id);
+        self.slab.get_mut(inner)
+    }
+
+    /// Frees the slot for `id`, returning its payload (`None` if stale).
+    pub fn remove(&mut self, id: ReqId) -> Option<T> {
+        let inner = self.untag(id);
+        self.slab.remove(inner)
+    }
+
+    /// Live payloads in the bank.
+    pub fn len(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// Whether no payload is live.
+    pub fn is_empty(&self) -> bool {
+        self.slab.is_empty()
+    }
+
+    /// Visits every live payload with its shard-tagged id, in slot order.
+    pub fn for_each(&self, mut f: impl FnMut(ReqId, &T)) {
+        let shard = self.shard;
+        self.slab.for_each(|inner, v| {
+            f(ReqId { slot: shard << SHARD_SHIFT | inner.slot, gen: inner.gen }, v)
+        });
+    }
+
+    /// Serializes the bank (see [`ReqSlab::save_state`]). The shard tag
+    /// is assembly geometry, never stored.
+    pub(crate) fn save_state(&self, w: &mut Writer, enc: &mut dyn FnMut(&mut Writer, &T)) {
+        self.slab.save_state(w, enc);
+    }
+
+    /// Restores the bank from [`ReqBank::save_state`] output.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut Reader<'_>,
+        dec: &mut dyn FnMut(&mut Reader<'_>) -> Result<T, CkptError>,
+    ) -> Result<(), CkptError> {
+        self.slab.load_state(r, dec)
+    }
+
+    /// Audits the bank's slab consistency (see
+    /// [`ReqSlab::audit_invariants`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn audit_invariants(&self) {
+        self.slab.audit_invariants();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bank_ids_match_the_sharded_slab() {
+        let mut bank: ReqBank<u32> = ReqBank::new(3);
+        let mut sharded: ShardedReqSlab<u32> = ShardedReqSlab::new(4);
+        for i in 0..50 {
+            let a = bank.insert(i);
+            let b = sharded.insert(3, i);
+            assert_eq!(a, b, "bank must mint the ids its sharded twin would");
+            assert_eq!(a.shard(), 3);
+            assert_eq!(bank.get(a), Some(&i));
+            if i % 4 == 0 {
+                assert_eq!(bank.remove(a), sharded.remove(b));
+                assert_eq!(bank.get(a), None);
+            }
+        }
+        assert_eq!(bank.len(), sharded.bank_len(3));
+        bank.audit_invariants();
+    }
 
     #[test]
     fn insert_get_remove_roundtrip() {

@@ -33,10 +33,21 @@ pub enum WarpOp {
 
 /// A supplier of per-warp instruction streams — implemented by the workload
 /// generators.
-pub trait WarpProgram {
+///
+/// Programs must be `Send` (each shard lane owns a clone and may be
+/// advanced on a worker thread) and cloneable via
+/// [`clone_box`](WarpProgram::clone_box): warp-stream state is per
+/// `(sm, warp)` slot, and each lane only ever calls `next_op` for the
+/// SMs it owns, so independent per-lane clones observe exactly the
+/// per-slot subsequences a single shared instance would.
+pub trait WarpProgram: Send {
     /// The next operation for warp `warp` of SM `sm`; `None` retires the
     /// warp.
     fn next_op(&mut self, sm: usize, warp: usize) -> Option<WarpOp>;
+
+    /// A boxed deep copy of the program, used to hand each shard lane
+    /// its own instance.
+    fn clone_box(&self) -> Box<dyn WarpProgram>;
 
     /// Serializes the program's mutable state for a checkpoint. The
     /// default writes nothing — correct only for stateless programs;

@@ -109,6 +109,15 @@ impl Mean {
         self.sum
     }
 
+    /// Folds another accumulator into this one. Exact, because the
+    /// accumulator is an integer sum — merging per-lane means in any
+    /// order yields the same (sum, n) a single sequential accumulator
+    /// would have.
+    pub fn merge(&mut self, other: &Mean) {
+        self.sum += other.sum;
+        self.n += other.n;
+    }
+
     /// Serializes the accumulator (checkpointing).
     pub fn save_state(&self, w: &mut Writer) {
         w.u64(self.sum);
@@ -716,6 +725,169 @@ impl Stats {
         w.u64_slice(shard_events);
     }
 
+    /// Folds another `Stats` into this one — the parallel shard engine
+    /// keeps one `Stats` per lane and merges them in fixed lane order at
+    /// finish. Counters add; means and histograms fold their integer
+    /// accumulators (exact and order-insensitive); `cycles` takes the
+    /// max (each lane records the last cycle it dispatched);
+    /// `shard_events` appends (each lane contributes its own dispatch
+    /// tally). The exhaustive destructuring makes adding a `Stats` field
+    /// without deciding its merge role a compile error.
+    pub fn merge(&mut self, other: &Stats) {
+        let Stats {
+            cycles,
+            events_processed,
+            idle_cycles_skipped,
+            instructions,
+            loads,
+            stores,
+            writebacks,
+            sector_requests,
+            fast_path_hits,
+            fast_path_sectors,
+            lost_requests,
+            stall_cycles,
+            l1_tlb_lookups,
+            l1_tlb_hits,
+            l2_tlb_lookups,
+            l2_tlb_hits,
+            page_walks,
+            walks_aborted,
+            walk_merges,
+            walk_memory_accesses,
+            eaf_cross_sm_fills,
+            eaf_fills,
+            l1_tlb_mshr_full,
+            l2_tlb_mshr_full,
+            cache_mshr_full,
+            pw_buffer_full,
+            eaf_releases,
+            l1d_lookups,
+            l1d_hits,
+            l2_lookups,
+            l2_hits,
+            dram_read_bytes,
+            dram_write_bytes,
+            dram_row_hits,
+            dram_row_misses,
+            page_faults,
+            pages_migrated,
+            remote_accesses,
+            chunks_evicted,
+            tlb_shootdowns,
+            promotions,
+            splinters,
+            merge_memory_accesses,
+            speculations,
+            spec_correct,
+            spec_false,
+            spec_fetches,
+            spec_compressed,
+            cava_mismatches,
+            outcomes,
+            coverage_hits,
+            load_latency,
+            sector_latency,
+            sector_latency_hist,
+            walk_latency,
+            migrate_sectors,
+            migrate_compressed,
+            latency_breakdown,
+            walk_latency_hist,
+            validation_latency_hist,
+            queue_latency_hist,
+            dram_service_hist,
+            horizon_barriers,
+            horizon_stalls,
+            exchange_enqueued,
+            exchange_dequeued,
+            exchange_bypass,
+            shard_events,
+        } = other;
+        self.cycles = self.cycles.max(*cycles);
+        for (dst, src) in [
+            (&mut self.events_processed, events_processed),
+            (&mut self.idle_cycles_skipped, idle_cycles_skipped),
+            (&mut self.instructions, instructions),
+            (&mut self.loads, loads),
+            (&mut self.stores, stores),
+            (&mut self.writebacks, writebacks),
+            (&mut self.sector_requests, sector_requests),
+            (&mut self.fast_path_hits, fast_path_hits),
+            (&mut self.fast_path_sectors, fast_path_sectors),
+            (&mut self.lost_requests, lost_requests),
+            (&mut self.stall_cycles, stall_cycles),
+            (&mut self.l1_tlb_lookups, l1_tlb_lookups),
+            (&mut self.l1_tlb_hits, l1_tlb_hits),
+            (&mut self.l2_tlb_lookups, l2_tlb_lookups),
+            (&mut self.l2_tlb_hits, l2_tlb_hits),
+            (&mut self.page_walks, page_walks),
+            (&mut self.walks_aborted, walks_aborted),
+            (&mut self.walk_merges, walk_merges),
+            (&mut self.walk_memory_accesses, walk_memory_accesses),
+            (&mut self.eaf_cross_sm_fills, eaf_cross_sm_fills),
+            (&mut self.eaf_fills, eaf_fills),
+            (&mut self.l1_tlb_mshr_full, l1_tlb_mshr_full),
+            (&mut self.l2_tlb_mshr_full, l2_tlb_mshr_full),
+            (&mut self.cache_mshr_full, cache_mshr_full),
+            (&mut self.pw_buffer_full, pw_buffer_full),
+            (&mut self.eaf_releases, eaf_releases),
+            (&mut self.l1d_lookups, l1d_lookups),
+            (&mut self.l1d_hits, l1d_hits),
+            (&mut self.l2_lookups, l2_lookups),
+            (&mut self.l2_hits, l2_hits),
+            (&mut self.dram_read_bytes, dram_read_bytes),
+            (&mut self.dram_write_bytes, dram_write_bytes),
+            (&mut self.dram_row_hits, dram_row_hits),
+            (&mut self.dram_row_misses, dram_row_misses),
+            (&mut self.page_faults, page_faults),
+            (&mut self.pages_migrated, pages_migrated),
+            (&mut self.remote_accesses, remote_accesses),
+            (&mut self.chunks_evicted, chunks_evicted),
+            (&mut self.tlb_shootdowns, tlb_shootdowns),
+            (&mut self.promotions, promotions),
+            (&mut self.splinters, splinters),
+            (&mut self.merge_memory_accesses, merge_memory_accesses),
+            (&mut self.speculations, speculations),
+            (&mut self.spec_correct, spec_correct),
+            (&mut self.spec_false, spec_false),
+            (&mut self.spec_fetches, spec_fetches),
+            (&mut self.spec_compressed, spec_compressed),
+            (&mut self.cava_mismatches, cava_mismatches),
+            (&mut self.horizon_barriers, horizon_barriers),
+            (&mut self.horizon_stalls, horizon_stalls),
+            (&mut self.exchange_enqueued, exchange_enqueued),
+            (&mut self.exchange_dequeued, exchange_dequeued),
+            (&mut self.exchange_bypass, exchange_bypass),
+        ] {
+            *dst += *src;
+        }
+        self.outcomes.fast_translation += outcomes.fast_translation;
+        self.outcomes.l1d_hit += outcomes.l1d_hit;
+        self.outcomes.l1d_merge += outcomes.l1d_merge;
+        self.outcomes.l1d_miss += outcomes.l1d_miss;
+        for (dst, src) in self.coverage_hits.iter_mut().zip(coverage_hits.iter()) {
+            *dst += *src;
+        }
+        self.load_latency.merge(load_latency);
+        self.sector_latency.merge(sector_latency);
+        self.sector_latency_hist.merge(sector_latency_hist);
+        self.walk_latency.merge(walk_latency);
+        self.migrate_sectors += migrate_sectors;
+        self.migrate_compressed += migrate_compressed;
+        for (dst, src) in
+            self.latency_breakdown.cycles.iter_mut().zip(latency_breakdown.cycles.iter())
+        {
+            *dst += *src;
+        }
+        self.latency_breakdown.sectors += latency_breakdown.sectors;
+        self.walk_latency_hist.merge(walk_latency_hist);
+        self.validation_latency_hist.merge(validation_latency_hist);
+        self.queue_latency_hist.merge(queue_latency_hist);
+        self.dram_service_hist.merge(dram_service_hist);
+        self.shard_events.extend_from_slice(shard_events);
+    }
+
     /// Restores every field written by [`save_state`](Self::save_state).
     pub fn load_state(&mut self, r: &mut Reader) -> Result<(), CkptError> {
         for v in [
@@ -956,6 +1128,27 @@ mod tests {
         if t.load_state(&mut Reader::new(&tampered)).is_ok() {
             assert_ne!(s.digest(), t.digest());
         }
+    }
+
+    #[test]
+    fn merge_folds_lane_stats_exactly() {
+        let mut a = Stats { cycles: 50, loads: 3, l1_tlb_lookups: 9, ..Stats::default() };
+        a.load_latency.add(10);
+        a.sector_latency_hist.add(100);
+        a.coverage_hits[1] = 2;
+        a.shard_events = vec![4];
+        let mut b = Stats { cycles: 80, loads: 5, spec_correct: 2, ..Stats::default() };
+        b.load_latency.add(30);
+        b.outcomes.record(SpecOutcome::L1dHit);
+        b.shard_events = vec![9];
+        a.merge(&b);
+        assert_eq!(a.cycles, 80, "cycles take the max");
+        assert_eq!(a.loads, 8);
+        assert_eq!(a.spec_correct, 2);
+        assert_eq!(a.load_latency.count(), 2);
+        assert_eq!(a.load_latency.sum(), 40);
+        assert_eq!(a.outcomes.l1d_hit, 1);
+        assert_eq!(a.shard_events, vec![4, 9]);
     }
 
     #[test]

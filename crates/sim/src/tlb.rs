@@ -72,8 +72,9 @@ impl TlbHit {
     }
 }
 
-/// The pluggable TLB interface.
-pub trait TlbModel: std::fmt::Debug {
+/// The pluggable TLB interface. `Send` because per-SM L1 TLBs are owned
+/// by shard lanes that may execute on worker threads.
+pub trait TlbModel: std::fmt::Debug + Send {
     /// Looks up a page, updating replacement state.
     fn lookup(&mut self, vpn: Vpn) -> Option<TlbHit>;
 

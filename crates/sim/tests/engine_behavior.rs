@@ -13,6 +13,7 @@ use avatar_sim::stats::Stats;
 use avatar_sim::tlb::{BaseTlb, TlbModel};
 
 /// A scripted program: each warp slot gets its own op list.
+#[derive(Clone)]
 struct Script {
     warps_per_sm: usize,
     ops: Vec<Vec<WarpOp>>,
@@ -34,6 +35,10 @@ impl Script {
 }
 
 impl WarpProgram for Script {
+    fn clone_box(&self) -> Box<dyn WarpProgram> {
+        Box::new(self.clone())
+    }
+
     fn next_op(&mut self, sm: usize, warp: usize) -> Option<WarpOp> {
         let slot = sm * self.warps_per_sm + warp;
         let i = self.cursor[slot];
@@ -95,7 +100,7 @@ impl TranslationAccel for FixedOffset {
         (p > 0).then_some(Ppn(p as u64))
     }
     fn on_translation_resolved(&mut self, _sm: usize, _pc: u64, _vpn: Vpn, _ppn: Ppn) {}
-    fn on_spec_fill(&mut self, ctx: &SpecFillContext) -> SpecFillAction {
+    fn on_spec_fill(&self, ctx: &SpecFillContext) -> SpecFillAction {
         if !ctx.sector.compressed {
             return SpecFillAction::AwaitTranslation;
         }

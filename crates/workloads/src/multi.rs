@@ -54,6 +54,13 @@ impl MultiTenantProgram {
 }
 
 impl WarpProgram for MultiTenantProgram {
+    fn clone_box(&self) -> Box<dyn WarpProgram> {
+        Box::new(MultiTenantProgram {
+            programs: self.programs.iter().map(|p| p.clone_box()).collect(),
+            num_sms: self.num_sms,
+        })
+    }
+
     fn next_op(&mut self, sm: usize, warp: usize) -> Option<WarpOp> {
         let tenant = self.tenant_of_sm(sm);
         let local_sm = sm - self.first_sm_of(tenant);

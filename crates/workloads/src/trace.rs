@@ -45,7 +45,7 @@ struct WarpGen {
 }
 
 /// A deterministic warp program generated from a [`Workload`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TraceProgram {
     w: Workload,
     warps_per_sm: usize,
@@ -365,6 +365,10 @@ pub fn touched_footprint(w: &Workload, num_sms: usize, warps_per_sm: usize, scal
 }
 
 impl WarpProgram for TraceProgram {
+    fn clone_box(&self) -> Box<dyn WarpProgram> {
+        Box::new(self.clone())
+    }
+
     fn save_state(&self, w: &mut Writer) {
         // Workload spec, warp geometry, and round budget are rebuilt by
         // `new()`; only the per-warp generator cursors and the issued-load

@@ -172,6 +172,10 @@ impl FileProgram {
 }
 
 impl WarpProgram for FileProgram {
+    fn clone_box(&self) -> Box<dyn WarpProgram> {
+        Box::new(self.clone())
+    }
+
     fn next_op(&mut self, sm: usize, warp: usize) -> Option<WarpOp> {
         let key = (sm, warp);
         let list = self.ops.get(&key)?;

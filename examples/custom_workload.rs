@@ -21,6 +21,7 @@ const FILTER_BYTES: u64 = 64 << 10;
 const TILES_PER_WARP: u32 = 24;
 
 /// A tiled convolution-like kernel.
+#[derive(Clone)]
 struct Conv2d {
     warps_per_sm: usize,
     progress: Vec<u32>,
@@ -33,6 +34,10 @@ impl Conv2d {
 }
 
 impl WarpProgram for Conv2d {
+    fn clone_box(&self) -> Box<dyn WarpProgram> {
+        Box::new(self.clone())
+    }
+
     fn next_op(&mut self, sm: usize, warp: usize) -> Option<WarpOp> {
         let slot = sm * self.warps_per_sm + warp;
         let step = self.progress[slot];

@@ -15,6 +15,11 @@
 # between the default, invariants, or probes-compiled-out builds, the
 # sharded calendar changes any figure result (fig15 byte-diff at
 # --shards 4, plus the checked-mode suite re-run under AVATAR_SHARDS=4),
+# the parallel shard worker pool changes any figure result (fig15
+# byte-diff at --shards 4 with AVATAR_SHARD_WORKERS=4), the worker pool
+# fails to scale on a host that can measure it (4-worker pass must beat
+# the serial pass by AVATAR_SCALING_MIN x, default 1.5, armed only when
+# the box has >= 4 CPUs),
 # the result cache fails its warm-sweep gate (a repeat fig15 run into a
 # fresh cache directory must replay every cell, match the cold pass
 # byte-for-byte modulo the cache section, and beat the
@@ -119,11 +124,12 @@ fig_default=$(mktemp /tmp/avatar-fig15-default.XXXXXX.json)
 fig_checked=$(mktemp /tmp/avatar-fig15-checked.XXXXXX.json)
 fig_noprobes=$(mktemp /tmp/avatar-fig15-noprobes.XXXXXX.json)
 fig_sharded=$(mktemp /tmp/avatar-fig15-sharded.XXXXXX.json)
+fig_workers=$(mktemp /tmp/avatar-fig15-workers.XXXXXX.json)
 fig_cold=$(mktemp /tmp/avatar-fig15-cold.XXXXXX.json)
 fig_warm=$(mktemp /tmp/avatar-fig15-warm.XXXXXX.json)
 cache_dir=$(mktemp -d /tmp/avatar-cache-gate.XXXXXX)
 tp_json=$(mktemp /tmp/avatar-throughput.XXXXXX.json)
-trap 'rm -f "$fig_default" "$fig_checked" "$fig_noprobes" "$fig_sharded" "$fig_cold" "$fig_warm" "$tp_json"; rm -rf "$cache_dir"' EXIT
+trap 'rm -f "$fig_default" "$fig_checked" "$fig_noprobes" "$fig_sharded" "$fig_workers" "$fig_cold" "$fig_warm" "$tp_json"; rm -rf "$cache_dir"' EXIT
 cargo run --release -q -p avatar-bench --bin fig15_performance -- --quick --no-cache --json "$fig_default"
 cargo run --release -q -p avatar-bench --features invariants --bin fig15_performance -- --quick --no-cache --json "$fig_checked"
 cargo run --release -q -p avatar-bench --no-default-features --bin fig15_performance -- --quick --no-cache --json "$fig_noprobes"
@@ -142,6 +148,17 @@ echo "== sharded calendar must not perturb results (fig15 byte-diff at --shards 
 cargo run --release -q -p avatar-bench --bin fig15_performance -- --quick --shards 4 --no-cache --json "$fig_sharded"
 if ! diff -q "$fig_default" "$fig_sharded"; then
     echo "SHARDING DIVERGENCE: fig15 JSON differs between --shards 4 and the serial calendar" >&2
+    exit 1
+fi
+
+echo "== parallel shard workers must not perturb results (fig15 at --shards 4, AVATAR_SHARD_WORKERS=4) =="
+# The worker pool drains shard lanes on real threads between horizon
+# barriers; the exchange is delivered in deterministic lane order, so
+# the full figure grid must stay byte-identical to the serial calendar
+# regardless of how many workers the host actually has.
+AVATAR_SHARD_WORKERS=4 cargo run --release -q -p avatar-bench --bin fig15_performance -- --quick --shards 4 --no-cache --json "$fig_workers"
+if ! diff -q "$fig_default" "$fig_workers"; then
+    echo "WORKER DIVERGENCE: fig15 JSON differs between the 4-worker shard pool and the serial calendar" >&2
     exit 1
 fi
 
@@ -191,15 +208,17 @@ echo "== throughput smoke + regression gate (--quick, probes compiled out) =="
 # the intent visible in the gate itself.
 cargo run --release -p avatar-bench --no-default-features --bin throughput -- --quick --no-cache --json "$tp_json"
 
-# events/sec is measured on the single-thread, single-shard pass; select
-# the JSON entry whose "threads" and "shards" fields are both 1 rather
-# than trusting entry order (the shard sweep also runs on one thread).
-# Widen for noisy shared runners with AVATAR_TP_TOLERANCE=<pct>.
+# events/sec is measured on the fully serial pass; select the JSON entry
+# whose "threads", "shards", and "workers" fields are all 1 rather than
+# trusting entry order (the shard and worker sweeps also run on one
+# runner thread). Widen for noisy shared runners with
+# AVATAR_TP_TOLERANCE=<pct>.
 extract_eps() {
     awk -F': ' '
         /"threads"/ { v = $2; gsub(/,/, "", v); serial = (v == 1) }
         /"shards"/  { v = $2; gsub(/,/, "", v); oneshard = (v == 1) }
-        serial && oneshard && /"events_per_sec"/ { gsub(/,/, "", $2); print $2; exit }
+        /"workers"/ { v = $2; gsub(/,/, "", v); onewkr = (v == 1) }
+        serial && oneshard && onewkr && /"events_per_sec"/ { gsub(/,/, "", $2); print $2; exit }
     ' "$1"
 }
 baseline_eps=$(extract_eps BENCH_throughput.json)
@@ -214,5 +233,28 @@ awk -v base="$baseline_eps" -v cur="$current_eps" -v tol="$tolerance" 'BEGIN {
         exit 1;
     }
 }'
+
+echo "== worker-scaling gate (4 intra-engine workers vs serial) =="
+# At 4 workers the parallel shard engine must beat the serial pass by
+# AVATAR_SCALING_MIN x (default 1.5). Armed only on hosts with >= 4
+# CPUs: a serialized box measures scheduler noise, and the throughput
+# bin marks its entries scaling_measured: false for the same reason.
+cpus=$(nproc 2>/dev/null || echo 1)
+if [ "$cpus" -ge 4 ]; then
+    worker_scaling=$(awk -F': ' '
+        /"threads"/ { v = $2; gsub(/,/, "", v); serial = (v == 1) }
+        /"workers"/ { v = $2; gsub(/,/, "", v); four = (v == 4) }
+        serial && four && /"scaling":/ { gsub(/,/, "", $2); print $2; exit }
+    ' "$tp_json")
+    awk -v s="$worker_scaling" -v min="${AVATAR_SCALING_MIN:-1.5}" 'BEGIN {
+        printf "worker scaling at 4 workers: %.2fx (floor %sx)\n", s, min;
+        if (s == "" || s + 0 < min + 0) {
+            print "SCALING REGRESSION: 4-worker pass below the scaling floor" > "/dev/stderr";
+            exit 1;
+        }
+    }'
+else
+    echo "worker-scaling gate: dormant ($cpus CPU(s) < 4; entries carry scaling_measured: false)"
+fi
 
 echo "== OK =="
