@@ -4,20 +4,30 @@
 //! Paper headline: Avatar +37.2% on average; CAST-only +29.1%;
 //! Avatar beats Promotion by 14.9%, CoLT by 10.1%, SnakeByte by 16.3%;
 //! CAST+Ideal-Valid exceeds Avatar by 5.8%.
+//!
+//! `--policies` swaps the paper's Fig-15 column set for any registry
+//! selections (e.g. `--policies "avatar,revelator,avatar+dead"`); the
+//! default run is byte-identical to the enum-era output.
 
 use avatar_bench::json::Json;
 use avatar_bench::runner::{fmt_cell, run_scenarios, speedup_cell, Scenario};
 use avatar_bench::{geomean, obj, print_table, HarnessArgs};
+use avatar_core::policy::PolicySelection;
 use avatar_core::system::SystemConfig;
 use avatar_workloads::Workload;
 
 fn main() {
     let opts = HarnessArgs::parse();
     let ro = opts.run_options();
-    let configs = SystemConfig::FIG15;
+    let selections: Vec<PolicySelection> = match opts.policies() {
+        Some(sels) => sels.to_vec(),
+        None => SystemConfig::FIG15.iter().map(|c| c.selection()).collect(),
+    };
+    let labels: Vec<String> = selections.iter().map(|s| s.label()).collect();
+    let baseline = PolicySelection::parse("baseline").expect("baseline is in the registry");
     let workloads = Workload::all();
 
-    // One cell per (workload × {Baseline + Fig-15 configs}), fanned across
+    // One cell per (workload × {Baseline + column policies}), fanned across
     // the thread pool; the grid is indexed back by fixed stride. `--shards`
     // applies to every cell (the figure is pinned shard-count invariant:
     // CI byte-diffs this binary's output across shard counts).
@@ -28,29 +38,29 @@ fn main() {
     };
     let mut scenarios = Vec::new();
     for w in &workloads {
-        scenarios.push(sharded(Scenario::new("Baseline", w, SystemConfig::Baseline, ro.clone())));
-        for cfg in configs {
-            scenarios.push(sharded(Scenario::new(cfg.label(), w, cfg, ro.clone())));
+        scenarios.push(sharded(Scenario::new("Baseline", w, baseline, ro.clone())));
+        for (sel, label) in selections.iter().zip(&labels) {
+            scenarios.push(sharded(Scenario::new(label.clone(), w, *sel, ro.clone())));
         }
     }
     let results = run_scenarios(opts.threads, scenarios);
-    let stride = configs.len() + 1;
+    let stride = selections.len() + 1;
 
     let mut rows = Vec::new();
     let mut json_rows: Vec<Json> = Vec::new();
-    let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); selections.len()];
 
     for (wi, w) in workloads.iter().enumerate() {
         let base = &results[wi * stride];
         let mut cells = vec![w.abbr.to_string(), format!("{:?}", w.class)];
         let mut speedups = Vec::new();
-        for (i, cfg) in configs.iter().enumerate() {
+        for (i, label) in labels.iter().enumerate() {
             let x = speedup_cell(base, &results[wi * stride + 1 + i]);
             if let Some(x) = x {
-                per_config[i].push(x);
+                per_policy[i].push(x);
             }
             cells.push(fmt_cell(x, 3));
-            speedups.push(obj! { "config": cfg.label(), "speedup": x });
+            speedups.push(obj! { "config": label.clone(), "speedup": x });
         }
         json_rows.push(obj! {
             "workload": w.abbr,
@@ -61,23 +71,24 @@ fn main() {
     }
 
     let mut gmean_cells = vec!["GMEAN".to_string(), "-".to_string()];
-    for xs in &per_config {
+    for xs in &per_policy {
         gmean_cells.push(format!("{:.3}", geomean(xs)));
     }
     rows.push(gmean_cells);
 
     let mut headers = vec!["Workload", "Class"];
-    headers.extend(configs.iter().map(|c| c.label()));
+    headers.extend(labels.iter().map(String::as_str));
     println!(
         "\nFig 15: speedup over baseline (scale {}, {} SMs x {} warps)",
         opts.scale, opts.sms, opts.warps
     );
     print_table(&headers, &rows);
 
-    let avatar_idx = configs.iter().position(|c| *c == SystemConfig::Avatar).expect("Avatar in set");
-    println!(
-        "\npaper: Avatar 1.372x (avg) | measured GMEAN Avatar {:.3}x",
-        geomean(&per_config[avatar_idx])
-    );
+    if let Some(avatar_idx) = selections.iter().position(|s| s.label() == "Avatar") {
+        println!(
+            "\npaper: Avatar 1.372x (avg) | measured GMEAN Avatar {:.3}x",
+            geomean(&per_policy[avatar_idx])
+        );
+    }
     opts.dump_json(&json_rows);
 }

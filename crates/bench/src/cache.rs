@@ -1,7 +1,7 @@
 //! Content-addressed on-disk result cache for sweep cells.
 //!
 //! A figure sweep is a grid of deterministic simulations: the same
-//! `(workload, system config, run options, GpuConfig, engine build)`
+//! `(workload, policy selection, run options, GpuConfig, engine build)`
 //! cell always produces the same [`Stats`]. Re-running a 45-minute
 //! paper-scale sweep because one workload row changed is pure waste, so
 //! the runner consults this cache before spawning cells.
@@ -10,7 +10,9 @@
 //! every input that can influence its result:
 //!
 //! * `Workload::key_digest()` — every field of the workload spec;
-//! * the `SystemConfig` label — which policy stack is assembled;
+//! * `PolicySelection::key_digest()` — which policy stack is assembled
+//!   (registry name + modifiers; `SystemConfig` cells key via their
+//!   registry alias);
 //! * `RunOptions::key_digest()` — scale, seed, geometry, codec
 //!   (trace destinations are excluded: observers, not inputs);
 //! * the post-tweak `GpuConfig::key_digest()` — the full hardware
@@ -46,7 +48,8 @@
 
 use crate::json::Json;
 use crate::obj;
-use avatar_core::system::{RunOptions, SystemConfig};
+use avatar_core::policy::PolicySelection;
+use avatar_core::system::RunOptions;
 use avatar_sim::checkpoint::{Reader, Writer};
 use avatar_sim::config::GpuConfig;
 use avatar_sim::invariant::Fnv64;
@@ -68,28 +71,24 @@ pub const DEFAULT_DIR: &str = "target/avatar-cache";
 /// *post-tweak* config — the one the engine is actually assembled from.
 pub fn cell_key(
     workload: &Workload,
-    config: SystemConfig,
+    policy: PolicySelection,
     opts: &RunOptions,
     cfg: &GpuConfig,
 ) -> u64 {
-    cell_key_with_fingerprint(workload, config, opts, cfg, avatar_sim::engine_fingerprint())
+    cell_key_with_fingerprint(workload, policy, opts, cfg, avatar_sim::engine_fingerprint())
 }
 
 /// [`cell_key`] with an explicit engine fingerprint (stale-cache tests).
 pub fn cell_key_with_fingerprint(
     workload: &Workload,
-    config: SystemConfig,
+    policy: PolicySelection,
     opts: &RunOptions,
     cfg: &GpuConfig,
     fingerprint: &str,
 ) -> u64 {
     let mut h = Fnv64::new();
     h.write_u64(workload.key_digest());
-    let label = config.label();
-    h.write_u64(label.len() as u64);
-    for b in label.bytes() {
-        h.write_u64(u64::from(b));
-    }
+    h.write_u64(policy.key_digest());
     h.write_u64(opts.key_digest());
     h.write_u64(cfg.key_digest());
     h.write_u64(fingerprint.len() as u64);
@@ -338,6 +337,7 @@ pub fn tally() -> CacheTally {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use avatar_core::system::SystemConfig;
     use std::sync::atomic::AtomicU32;
 
     /// A fresh scratch directory per test; `std::env::temp_dir` + pid +
@@ -472,36 +472,49 @@ mod tests {
         let w2 = Workload::by_abbr("SSSP").expect("workload table contains SSSP");
         let opts = RunOptions::default();
         let cfg = GpuConfig::rtx3070();
-        let base = cell_key_with_fingerprint(&w, SystemConfig::Avatar, &opts, &cfg, "fp");
+        let avatar = PolicySelection::parse("avatar").expect("registry name");
+        let baseline = PolicySelection::parse("baseline").expect("registry name");
+        let avatar_dead = PolicySelection::parse("avatar+dead").expect("registry name");
+        let base = cell_key_with_fingerprint(&w, avatar, &opts, &cfg, "fp");
         // Stable.
         assert_eq!(
             base,
-            cell_key_with_fingerprint(&w, SystemConfig::Avatar, &opts, &cfg, "fp")
+            cell_key_with_fingerprint(&w, avatar, &opts, &cfg, "fp")
+        );
+        // Enum aliases key identically to their registry selection.
+        assert_eq!(
+            base,
+            cell_key_with_fingerprint(&w, SystemConfig::Avatar.into(), &opts, &cfg, "fp")
         );
         // Every key input separates.
         assert_ne!(
             base,
-            cell_key_with_fingerprint(&w2, SystemConfig::Avatar, &opts, &cfg, "fp")
+            cell_key_with_fingerprint(&w2, avatar, &opts, &cfg, "fp")
         );
         assert_ne!(
             base,
-            cell_key_with_fingerprint(&w, SystemConfig::Baseline, &opts, &cfg, "fp")
+            cell_key_with_fingerprint(&w, baseline, &opts, &cfg, "fp")
+        );
+        assert_ne!(
+            base,
+            cell_key_with_fingerprint(&w, avatar_dead, &opts, &cfg, "fp"),
+            "policy modifiers must separate cells"
         );
         let mut opts2 = opts.clone();
         opts2.seed ^= 1;
         assert_ne!(
             base,
-            cell_key_with_fingerprint(&w, SystemConfig::Avatar, &opts2, &cfg, "fp")
+            cell_key_with_fingerprint(&w, avatar, &opts2, &cfg, "fp")
         );
         let mut cfg2 = cfg.clone();
         cfg2.num_sms += 1;
         assert_ne!(
             base,
-            cell_key_with_fingerprint(&w, SystemConfig::Avatar, &opts, &cfg2, "fp")
+            cell_key_with_fingerprint(&w, avatar, &opts, &cfg2, "fp")
         );
         assert_ne!(
             base,
-            cell_key_with_fingerprint(&w, SystemConfig::Avatar, &opts, &cfg, "fp2")
+            cell_key_with_fingerprint(&w, avatar, &opts, &cfg, "fp2")
         );
     }
 }

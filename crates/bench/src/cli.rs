@@ -12,6 +12,10 @@
 //!   `AVATAR_SHARD_WORKERS`, else 1). Digest-invariant. Unless
 //!   `--threads` is explicit, the grid width is divided by this so
 //!   cells × intra-cell workers stays within the thread budget.
+//! * `--policy <name>` / `--policies <list>` — restrict a harness to
+//!   named translation policies from the registry (repeatable flag /
+//!   comma-separated list; see [`avatar_core::policy::REGISTRY`]).
+//!   Unknown names are hard errors listing the catalog.
 //! * `--seed <n>` — extra seed mixed into allocation randomness
 //! * `--json <path>` — dump rows as machine-readable JSON
 //! * `--trace-out <path>` — Chrome-trace destination (`probes` builds;
@@ -27,6 +31,7 @@
 //! to run the default geometry and *look* like a paper-scale result).
 
 use crate::json::Json;
+use avatar_core::policy::PolicySelection;
 use avatar_core::system::RunOptions;
 use std::path::PathBuf;
 
@@ -80,6 +85,10 @@ pub struct HarnessArgs {
     pub cache_dir: Option<PathBuf>,
     /// Disables the result cache entirely (`--no-cache`).
     pub no_cache: bool,
+    /// Policy selections accumulated from `--policy` / `--policies`,
+    /// in occurrence order. Empty means "the harness's default set" —
+    /// query via [`policies`](Self::policies).
+    policy_list: Vec<PolicySelection>,
     /// Values captured for declared [`ExtraFlag`]s, in occurrence order.
     extras: Vec<(&'static str, Option<String>)>,
 }
@@ -111,6 +120,7 @@ impl Default for HarnessArgs {
             trace_out: None,
             cache_dir: None,
             no_cache: false,
+            policy_list: Vec::new(),
             extras: Vec::new(),
         }
     }
@@ -121,6 +131,7 @@ pub fn usage(bin: &str, extras: &[ExtraFlag]) -> String {
     let mut s = format!(
         "usage: {bin} [--quick | --full] [--scale F] [--sms N] [--warps N]\n       \
          [--threads N] [--shards N] [--workers N] [--seed N] [--json PATH]\n       \
+         [--policy NAME]... [--policies LIST]\n       \
          [--trace-out PATH] [--cache DIR | --no-cache]"
     );
     for e in extras {
@@ -144,6 +155,9 @@ pub fn usage(bin: &str, extras: &[ExtraFlag]) -> String {
          by this so total host threads stay within budget)\n  \
          --seed N           extra allocation seed (default 7)\n  \
          --json PATH        dump rows as JSON\n  \
+         --policy NAME      restrict to a registry policy (repeatable;\n                     \
+         e.g. avatar, revelator, avatar+dead)\n  \
+         --policies LIST    comma-separated policy names (appends to --policy)\n  \
          --trace-out PATH   write a Chrome/Perfetto trace (probes builds;\n                     \
          env fallback: AVATAR_TRACE_OUT)\n  \
          --cache DIR        result-cache directory (default: AVATAR_CACHE,\n                     \
@@ -252,6 +266,14 @@ impl HarnessArgs {
                         Some(PathBuf::from(value::<String>("--cache", args.next())?))
                 }
                 "--no-cache" => opts.no_cache = true,
+                "--policy" => {
+                    let name = value::<String>("--policy", args.next())?;
+                    opts.policy_list.push(PolicySelection::parse(&name)?);
+                }
+                "--policies" => {
+                    let list = value::<String>("--policies", args.next())?;
+                    opts.policy_list.extend(PolicySelection::parse_list(&list)?);
+                }
                 other => {
                     for e in extras {
                         if e.flag == other {
@@ -314,6 +336,17 @@ impl HarnessArgs {
             Some(crate::cache::ResultCache::new(dir))
         };
         crate::cache::configure(cache);
+    }
+
+    /// The policy selections given via `--policy` / `--policies`, in
+    /// occurrence order, or `None` when the user gave neither — the
+    /// harness then runs its own default set.
+    pub fn policies(&self) -> Option<&[PolicySelection]> {
+        if self.policy_list.is_empty() {
+            None
+        } else {
+            Some(&self.policy_list)
+        }
     }
 
     /// The captured value of a declared value-taking extra flag (last
@@ -530,6 +563,30 @@ mod tests {
         let o2 = HarnessArgs::try_parse(args(&["--abbr", "SSSP", "--abbr", "KM"]), &extras)
             .expect("repeats parse");
         assert_eq!(o2.extra_value("--abbr"), Some("KM"));
+    }
+
+    #[test]
+    fn policy_flags_parse() {
+        // Default: no restriction — harnesses run their own set.
+        let d = parse(&[]).expect("valid args");
+        assert!(d.policies().is_none());
+        // Repeatable --policy accumulates in order.
+        let o = parse(&["--policy", "avatar", "--policy", "revelator"]).expect("valid args");
+        let sels = o.policies().expect("two selections");
+        assert_eq!(sels.len(), 2);
+        assert_eq!(sels[0].label(), "Avatar");
+        assert_eq!(sels[1].label(), "Revelator");
+        // --policies takes a comma list and appends after --policy.
+        let m = parse(&["--policy", "baseline", "--policies", "colt, avatar+dead"])
+            .expect("valid args");
+        let sels = m.policies().expect("three selections");
+        assert_eq!(sels.len(), 3);
+        assert_eq!(sels[2].label(), "Avatar+DoA");
+        // Unknown names are hard errors that list the catalog.
+        let err = parse(&["--policy", "warpspeed"]).expect_err("unknown policy");
+        assert!(err.contains("warpspeed") && err.contains("avatar"), "{err}");
+        let err = parse(&["--policies", "colt,ideal+dead"]).expect_err("bad modifier combo");
+        assert!(err.contains("ideal"), "{err}");
     }
 
     #[test]

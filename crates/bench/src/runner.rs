@@ -1,6 +1,6 @@
 //! Parallel scenario runner for the figure/table harnesses.
 //!
-//! Every paper artifact is a grid of *independent* `(SystemConfig ×
+//! Every paper artifact is a grid of *independent* `(PolicySelection ×
 //! Workload)` simulations, so the harnesses fan their cells across a
 //! scoped `std::thread` pool (no external crates). Three properties are
 //! load-bearing:
@@ -23,7 +23,8 @@
 //! reproduce. A cache entry whose recorded digest fails re-verification
 //! aborts the sweep: silent reuse of a corrupt result is never an option.
 
-use avatar_core::system::{gpu_config, run_with, RunOptions, SystemConfig};
+use avatar_core::policy::PolicySelection;
+use avatar_core::system::{gpu_config_for, run_policy_with, RunOptions};
 use avatar_sim::config::GpuConfig;
 use avatar_sim::fxhash::FxHashMap;
 use avatar_sim::Stats;
@@ -107,17 +108,18 @@ where
 /// A [`GpuConfig`] adjustment applied after assembly (ablation knob).
 pub type ConfigTweak = Box<dyn Fn(&mut GpuConfig) + Send + Sync>;
 
-/// One simulation cell of a figure grid: a workload on a system
-/// configuration with run options, plus an optional [`GpuConfig`] tweak
-/// for ablation/sensitivity studies.
+/// One simulation cell of a figure grid: a workload on a translation
+/// policy with run options, plus an optional [`GpuConfig`] tweak for
+/// ablation/sensitivity studies.
 pub struct Scenario {
     /// Human-readable cell label, carried into the result (figure row/column).
     pub label: String,
     /// The workload to run, shared (not deep-cloned) across the cells of a
     /// grid: every row of a figure references the same `Arc`.
     pub workload: Arc<Workload>,
-    /// The system configuration to run it on.
-    pub config: SystemConfig,
+    /// The translation policy to run it on. `SystemConfig` converts via
+    /// `Into`, so enum-era call sites pass their variant unchanged.
+    pub policy: PolicySelection,
     /// Scale/SMs/oversubscription/etc.
     pub opts: RunOptions,
     /// Optional config tweak applied after assembly (ablations).
@@ -125,9 +127,15 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// A plain cell: workload × config × options, labelled by the config.
-    pub fn new(label: impl Into<String>, workload: &Workload, config: SystemConfig, opts: RunOptions) -> Self {
-        Self::shared(label, Arc::new(workload.clone()), config, opts)
+    /// A plain cell: workload × policy × options. Accepts a
+    /// [`PolicySelection`] or a legacy `SystemConfig` variant.
+    pub fn new(
+        label: impl Into<String>,
+        workload: &Workload,
+        policy: impl Into<PolicySelection>,
+        opts: RunOptions,
+    ) -> Self {
+        Self::shared(label, Arc::new(workload.clone()), policy, opts)
     }
 
     /// Like [`new`](Self::new) but shares an already-`Arc`d workload —
@@ -136,10 +144,10 @@ impl Scenario {
     pub fn shared(
         label: impl Into<String>,
         workload: Arc<Workload>,
-        config: SystemConfig,
+        policy: impl Into<PolicySelection>,
         opts: RunOptions,
     ) -> Self {
-        Self { label: label.into(), workload, config, opts, tweak: None }
+        Self { label: label.into(), workload, policy: policy.into(), opts, tweak: None }
     }
 
     /// Attaches a [`GpuConfig`] tweak (ablation/sensitivity knob).
@@ -155,11 +163,11 @@ impl Scenario {
         if self.opts.trace_out.is_some() {
             return None;
         }
-        let mut cfg = gpu_config(&self.workload, self.config, &self.opts);
+        let mut cfg = gpu_config_for(&self.workload, self.policy, &self.opts);
         if let Some(t) = &self.tweak {
             t(&mut cfg);
         }
-        Some(crate::cache::cell_key(&self.workload, self.config, &self.opts, &cfg))
+        Some(crate::cache::cell_key(&self.workload, self.policy, &self.opts, &cfg))
     }
 
     /// Runs the cell synchronously. When a trace destination is set but
@@ -171,8 +179,8 @@ impl Scenario {
             opts.trace_tag = Some(format!("{} {}", self.workload.abbr, self.label));
         }
         match &self.tweak {
-            Some(t) => run_with(&self.workload, self.config, &opts, |c| t(c)),
-            None => run_with(&self.workload, self.config, &opts, |_| {}),
+            Some(t) => run_policy_with(&self.workload, self.policy, &opts, |c| t(c)),
+            None => run_policy_with(&self.workload, self.policy, &opts, |_| {}),
         }
     }
 }

@@ -1,7 +1,7 @@
 //! The Avatar translation-acceleration policy: CAST speculation backed by
 //! MOD (or VPN-T), CAVA validation decisions, and the EAF/cross-SM knobs.
 //!
-//! This type implements the simulator's [`TranslationAccel`] interface and
+//! This type implements the simulator's [`TranslationPolicy`] interface and
 //! is the policy half of the paper's Fig 6: the engine provides the
 //! plumbing (speculative fetches, sector tag bits, resource release), this
 //! module decides *when* to speculate and *how* fetched sectors validate.
@@ -10,7 +10,7 @@ use crate::mod_table::ModTable;
 use crate::vpn_table::VpnTable;
 use avatar_sim::addr::{Ppn, Vpn};
 use avatar_sim::checkpoint::{CkptError, Reader, Writer};
-use avatar_sim::hooks::{SpecFillAction, SpecFillContext, TranslationAccel, ValidationKind};
+use avatar_sim::hooks::{SpecFillAction, SpecFillContext, TranslationPolicy, ValidationKind};
 
 /// Which contiguity predictor CAST uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,7 +88,7 @@ impl AvatarPolicy {
     }
 }
 
-impl TranslationAccel for AvatarPolicy {
+impl TranslationPolicy for AvatarPolicy {
     fn on_l1_tlb_miss(&mut self, sm: usize, pc: u64, vpn: Vpn) -> Option<Ppn> {
         let offset = self.predict_offset(sm, pc, vpn)?;
         let ppn = vpn.0 as i64 + offset;
@@ -112,9 +112,13 @@ impl TranslationAccel for AvatarPolicy {
         match self.validation {
             // CAST-only: no validation hardware — always wait.
             ValidationKind::None => SpecFillAction::AwaitTranslation,
-            // Ideal validation is resolved by the engine before fetch;
-            // nothing should reach here, but waiting is always safe.
-            ValidationKind::Ideal => SpecFillAction::AwaitTranslation,
+            // Ideal validation is resolved by the engine before fetch,
+            // and rapid validation-on-use resolves on the engine's
+            // verdict event; nothing should reach here, but waiting is
+            // always safe.
+            ValidationKind::Ideal | ValidationKind::Rapid { .. } => {
+                SpecFillAction::AwaitTranslation
+            }
             ValidationKind::InCache => {
                 if !ctx.sector.compressed {
                     return SpecFillAction::AwaitTranslation;

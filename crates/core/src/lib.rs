@@ -20,17 +20,27 @@
 //!   mapping into TLB entries, releases MSHR/walk-buffer resources, aborts
 //!   the in-flight walk, and forwards the entry to other SMs.
 //!
-//! [`system`] assembles every configuration of the paper's evaluation on
-//! the `avatar-sim` substrate; [`system::run`] executes one workload:
+//! Beyond the Avatar family, [`policy`] keeps a name-keyed registry of
+//! every assemblable translation policy — the prior-work baselines
+//! (CoLT, SnakeByte), the first post-paper rival [`revelator`]
+//! (hash-based speculation from SW-guided seed tables with rapid
+//! validation-on-use), and the [`dead_entry`] replacement modifier.
+//! [`system`] assembles full systems on the `avatar-sim` substrate;
+//! [`system::run_policy`] executes one workload on a selection:
 //!
 //! ```
-//! use avatar_core::system::{run, RunOptions, SystemConfig};
+//! use avatar_core::policy::PolicySelection;
+//! use avatar_core::system::{run, run_policy, RunOptions, SystemConfig};
 //! use avatar_workloads::Workload;
 //!
 //! let workload = Workload::by_abbr("GEMM").expect("in Table III");
 //! let opts = RunOptions { scale: 0.02, sms: Some(2), warps: Some(4), ..RunOptions::default() };
 //! let baseline = run(&workload, SystemConfig::Baseline, &opts);
-//! let avatar = run(&workload, SystemConfig::Avatar, &opts);
+//! let avatar = run_policy(
+//!     &workload,
+//!     PolicySelection::parse("avatar").expect("registry name"),
+//!     &opts,
+//! );
 //! assert!(avatar.speculations > 0);
 //! println!("speedup: {:.3}", avatar_core::system::speedup(&baseline, &avatar));
 //! ```
@@ -39,13 +49,37 @@
 #![warn(missing_docs)]
 
 pub mod cast;
+pub mod dead_entry;
 pub mod mod_table;
+pub mod policy;
+pub mod revelator;
 pub mod system;
 pub mod vpn_table;
 
 pub use cast::{AvatarPolicy, Predictor};
+pub use dead_entry::DeadEntryPolicy;
 pub use mod_table::ModTable;
-pub use system::{assemble, run, run_with, speedup, RunOptions, SystemConfig};
+pub use policy::{PolicyDef, PolicySelection};
+pub use revelator::RevelatorPolicy;
+pub use system::{
+    assemble, assemble_policy, run, run_policy, run_policy_with, run_with, speedup, RunOptions,
+    SystemConfig,
+};
 pub use vpn_table::VpnTable;
+
+/// The driving API in one import: select a policy, run a workload,
+/// inspect the result.
+///
+/// ```
+/// use avatar_core::prelude::*;
+/// let sel = PolicySelection::parse("revelator").expect("registry name");
+/// assert_eq!(sel.label(), "Revelator");
+/// ```
+pub mod prelude {
+    pub use crate::policy::{PolicyDef, PolicySelection, TlbKind, REGISTRY};
+    pub use crate::system::{
+        assemble_policy, run, run_policy, run_policy_with, speedup, RunOptions, SystemConfig,
+    };
+}
 
 pub(crate) use avatar_sim::addr::CHUNK_BYTES;

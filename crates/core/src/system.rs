@@ -1,22 +1,31 @@
 //! System assembly: the paper's evaluated configurations, wired onto the
 //! simulator with one call.
 //!
-//! [`SystemConfig`] enumerates every configuration that appears in the
-//! evaluation (Figs 3, 15, 19, 21, 22): the baseline, the ideal-TLB bound,
-//! the three prior-work techniques, and the Avatar family. [`run`] builds
-//! the TLB models, memory-manager behaviour, and speculation policy for a
-//! configuration and executes one workload on it.
+//! Assembly is driven by the name-keyed policy registry
+//! ([`crate::policy`]): a [`PolicySelection`] names the TLB family,
+//! memory-manager behaviour, and speculation policy, and
+//! [`run_policy`]/[`assemble_policy`] execute one workload on it.
+//!
+//! [`SystemConfig`] — the closed enum that used to own the assembly
+//! `match` arms — survives as a thin alias layer over the registry:
+//! every variant maps onto a registry entry via
+//! [`SystemConfig::selection`], and the enum-typed entry points
+//! ([`run`], [`run_with`], [`assemble`], [`gpu_config`]) delegate to the
+//! policy-typed ones. Existing harnesses and their byte-pinned outputs
+//! are untouched; new code (and anything that needs Revelator or the
+//! `+dead` modifier) should prefer [`PolicySelection`] directly.
 
-use crate::cast::AvatarPolicy;
-use avatar_baselines::{ColtTlb, SnakeByteTlb};
+use crate::policy::PolicySelection;
 use avatar_sim::config::{BasePage, GpuConfig};
 use avatar_sim::engine::Engine;
-use avatar_sim::hooks::NoSpeculation;
 use avatar_sim::stats::Stats;
-use avatar_sim::tlb::{BaseTlb, TlbModel};
 use avatar_workloads::Workload;
 
 /// A system configuration from the paper's evaluation.
+///
+/// Kept as a convenience alias over the policy registry — see the
+/// module docs. `SystemConfig::Avatar.selection()` is the registry
+/// entry named `"avatar"`, and so on for every variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SystemConfig {
     /// UVM baseline: base TLBs, TBN prefetcher, no promotion.
@@ -52,34 +61,45 @@ impl SystemConfig {
         SystemConfig::CastIdealValid,
     ];
 
+    /// The registry policy this configuration aliases.
+    pub fn selection(self) -> PolicySelection {
+        let name = match self {
+            SystemConfig::Baseline => "baseline",
+            SystemConfig::IdealTlb => "ideal",
+            SystemConfig::Promotion => "promotion",
+            SystemConfig::Colt => "colt",
+            SystemConfig::SnakeByte => "snakebyte",
+            SystemConfig::CastOnly => "cast",
+            SystemConfig::Avatar => "avatar",
+            SystemConfig::AvatarNoEaf => "avatar-noeaf",
+            SystemConfig::CastIdealValid => "cast-ideal",
+            SystemConfig::AvatarVpnT => "avatar-vpnt",
+        };
+        PolicySelection::base(
+            crate::policy::find(name).expect("every SystemConfig aliases a registry entry"),
+        )
+    }
+
     /// Short label used in harness tables.
     pub fn label(self) -> &'static str {
-        match self {
-            SystemConfig::Baseline => "Baseline",
-            SystemConfig::IdealTlb => "Ideal-TLB",
-            SystemConfig::Promotion => "Promotion",
-            SystemConfig::Colt => "CoLT",
-            SystemConfig::SnakeByte => "SnakeByte",
-            SystemConfig::CastOnly => "CAST-only",
-            SystemConfig::Avatar => "Avatar",
-            SystemConfig::AvatarNoEaf => "Avatar-noEAF",
-            SystemConfig::CastIdealValid => "CAST+Ideal-Valid",
-            SystemConfig::AvatarVpnT => "Avatar-VPNT",
-        }
+        self.selection().def.label
     }
 
     /// Whether the configuration adopts page promotion (the paper adopts
     /// it for everything except the plain baseline and the ideal bound).
     pub fn uses_promotion(self) -> bool {
-        !matches!(self, SystemConfig::Baseline | SystemConfig::IdealTlb)
+        self.selection().def.uses_promotion
     }
 
     /// Whether migrated data is compressed with embedded page info (CAVA).
     pub fn embeds_page_info(self) -> bool {
-        matches!(
-            self,
-            SystemConfig::Avatar | SystemConfig::AvatarNoEaf | SystemConfig::AvatarVpnT
-        )
+        self.selection().def.embeds_page_info
+    }
+}
+
+impl From<SystemConfig> for PolicySelection {
+    fn from(config: SystemConfig) -> Self {
+        config.selection()
     }
 }
 
@@ -202,6 +222,15 @@ impl RunOptions {
 
 /// Builds the `GpuConfig` for (workload, configuration, options).
 pub fn gpu_config(workload: &Workload, config: SystemConfig, opts: &RunOptions) -> GpuConfig {
+    gpu_config_for(workload, config.selection(), opts)
+}
+
+/// Builds the `GpuConfig` for (workload, policy selection, options).
+pub fn gpu_config_for(
+    workload: &Workload,
+    policy: PolicySelection,
+    opts: &RunOptions,
+) -> GpuConfig {
     let mut cfg = GpuConfig::rtx3070();
     if let Some(sms) = opts.sms {
         cfg.num_sms = sms;
@@ -211,10 +240,10 @@ pub fn gpu_config(workload: &Workload, config: SystemConfig, opts: &RunOptions) 
     }
     cfg.seed = opts.seed ^ workload.seed.rotate_left(17);
     cfg.tenants = opts.tenants.max(1);
-    cfg.ideal_tlb = config == SystemConfig::IdealTlb;
+    cfg.ideal_tlb = policy.def.ideal_tlb;
     cfg.uvm.base_page = opts.base_page;
-    cfg.uvm.promotion = config.uses_promotion();
-    cfg.uvm.embed_page_info = config.embeds_page_info();
+    cfg.uvm.promotion = policy.def.uses_promotion;
+    cfg.uvm.embed_page_info = policy.def.embeds_page_info;
     if let Some(factor) = opts.oversubscription {
         // Size memory against the footprint the trace actually touches
         // (the paper adjusts memory per workload to incur the target
@@ -256,69 +285,9 @@ fn touched_footprint_cached(
     v
 }
 
-fn build_tlbs(
-    config: SystemConfig,
-    cfg: &GpuConfig,
-) -> (Vec<Box<dyn TlbModel>>, Box<dyn TlbModel>) {
-    let base_pages = cfg.uvm.base_page.pages();
-    let l1 = |_i: usize| -> Box<dyn TlbModel> {
-        match config {
-            SystemConfig::Colt => Box::new(ColtTlb::new(
-                cfg.l1_tlb.base_entries,
-                cfg.l1_tlb.large_entries,
-                cfg.l1_tlb.assoc,
-            )),
-            SystemConfig::SnakeByte => Box::new(SnakeByteTlb::new(
-                cfg.l1_tlb.base_entries + cfg.l1_tlb.large_entries,
-            )),
-            _ => Box::new(BaseTlb::new(
-                cfg.l1_tlb.base_entries,
-                cfg.l1_tlb.large_entries,
-                cfg.l1_tlb.assoc,
-                base_pages,
-            )),
-        }
-    };
-    let l1s: Vec<Box<dyn TlbModel>> = (0..cfg.num_sms).map(l1).collect();
-    let l2: Box<dyn TlbModel> = match config {
-        SystemConfig::Colt => Box::new(ColtTlb::new(
-            cfg.l2_tlb.base_entries,
-            cfg.l2_tlb.large_entries,
-            cfg.l2_tlb.assoc,
-        )),
-        SystemConfig::SnakeByte => {
-            Box::new(SnakeByteTlb::new(cfg.l2_tlb.base_entries + cfg.l2_tlb.large_entries))
-        }
-        _ => Box::new(BaseTlb::new(
-            cfg.l2_tlb.base_entries,
-            cfg.l2_tlb.large_entries,
-            cfg.l2_tlb.assoc,
-            base_pages,
-        )),
-    };
-    (l1s, l2)
-}
-
-fn build_policy(
-    config: SystemConfig,
-    cfg: &GpuConfig,
-) -> Box<dyn avatar_sim::hooks::TranslationAccel> {
-    let n = cfg.num_sms;
-    let entries = cfg.spec.mod_entries;
-    let threshold = cfg.spec.confidence_threshold;
-    match config {
-        SystemConfig::CastOnly => Box::new(AvatarPolicy::cast_only(n, entries, threshold)),
-        SystemConfig::Avatar => Box::new(AvatarPolicy::avatar(n, entries, threshold)),
-        SystemConfig::AvatarNoEaf => Box::new(AvatarPolicy::avatar_no_eaf(n, entries, threshold)),
-        SystemConfig::CastIdealValid => Box::new(AvatarPolicy::cast_ideal(n, entries, threshold)),
-        SystemConfig::AvatarVpnT => Box::new(AvatarPolicy::avatar_vpnt(n, entries)),
-        _ => Box::new(NoSpeculation),
-    }
-}
-
 /// Runs one workload under one configuration and returns its statistics.
 pub fn run(workload: &Workload, config: SystemConfig, opts: &RunOptions) -> Stats {
-    run_with(workload, config, opts, |_| {})
+    run_policy(workload, config.selection(), opts)
 }
 
 /// Like [`run`] but lets the caller tweak the assembled [`GpuConfig`]
@@ -330,24 +299,50 @@ pub fn run_with(
     opts: &RunOptions,
     tweak: impl FnOnce(&mut GpuConfig),
 ) -> Stats {
-    assemble(workload, config, opts, tweak).run()
+    run_policy_with(workload, config.selection(), opts, tweak)
+}
+
+/// Runs one workload under one registry policy selection.
+pub fn run_policy(workload: &Workload, policy: PolicySelection, opts: &RunOptions) -> Stats {
+    run_policy_with(workload, policy, opts, |_| {})
+}
+
+/// Like [`run_policy`] with a pre-assembly [`GpuConfig`] tweak.
+pub fn run_policy_with(
+    workload: &Workload,
+    policy: PolicySelection,
+    opts: &RunOptions,
+    tweak: impl FnOnce(&mut GpuConfig),
+) -> Stats {
+    assemble_policy(workload, policy, opts, tweak).run()
 }
 
 /// Assembles the engine for (workload, configuration, options) without
-/// running it. This is [`run_with`] stopped just before `Engine::run` —
-/// the entry point for checkpoint/restore flows, which need the engine
-/// object itself (to step it partway, serialize it, or rebuild a fresh
-/// twin to restore into).
+/// running it — the enum-typed alias of [`assemble_policy`].
 pub fn assemble(
     workload: &Workload,
     config: SystemConfig,
     opts: &RunOptions,
     tweak: impl FnOnce(&mut GpuConfig),
 ) -> Engine<'static> {
-    let mut cfg = gpu_config(workload, config, opts);
+    assemble_policy(workload, config.selection(), opts, tweak)
+}
+
+/// Assembles the engine for (workload, policy selection, options)
+/// without running it. This is [`run_policy_with`] stopped just before
+/// `Engine::run` — the entry point for checkpoint/restore flows, which
+/// need the engine object itself (to step it partway, serialize it, or
+/// rebuild a fresh twin to restore into).
+pub fn assemble_policy(
+    workload: &Workload,
+    policy: PolicySelection,
+    opts: &RunOptions,
+    tweak: impl FnOnce(&mut GpuConfig),
+) -> Engine<'static> {
+    let mut cfg = gpu_config_for(workload, policy, opts);
     tweak(&mut cfg);
-    let (l1s, l2) = build_tlbs(config, &cfg);
-    let policy = build_policy(config, &cfg);
+    let (l1s, l2) = policy.build_tlbs(&cfg);
+    let accel = policy.build_policy(&cfg);
     let content = avatar_workloads::ContentModel::with_codec(workload.clone(), opts.codec);
     let program: Box<dyn avatar_sim::sm::WarpProgram> = if cfg.tenants > 1 {
         let tenants = cfg.tenants;
@@ -366,7 +361,7 @@ pub fn assemble(
     } else {
         Box::new(workload.program(cfg.num_sms, cfg.warps_per_sm, opts.scale))
     };
-    let mut engine = Engine::new(cfg, l1s, l2, policy, Box::new(content), program);
+    let mut engine = Engine::new(cfg, l1s, l2, accel, Box::new(content), program);
     if let Some(w) = opts.workers {
         engine.set_workers(w);
     }
@@ -506,6 +501,29 @@ mod tests {
         for config in [SystemConfig::Colt, SystemConfig::SnakeByte] {
             let stats = run(&w, config, &quick_opts());
             assert!(stats.cycles > 0, "{} must complete", config.label());
+        }
+    }
+
+    #[test]
+    fn enum_aliases_preserve_labels_and_flags() {
+        use SystemConfig::*;
+        let expect = [
+            (Baseline, "Baseline", false, false),
+            (IdealTlb, "Ideal-TLB", false, false),
+            (Promotion, "Promotion", true, false),
+            (Colt, "CoLT", true, false),
+            (SnakeByte, "SnakeByte", true, false),
+            (CastOnly, "CAST-only", true, false),
+            (Avatar, "Avatar", true, true),
+            (AvatarNoEaf, "Avatar-noEAF", true, true),
+            (CastIdealValid, "CAST+Ideal-Valid", true, false),
+            (AvatarVpnT, "Avatar-VPNT", true, true),
+        ];
+        for (config, label, promotes, embeds) in expect {
+            assert_eq!(config.label(), label);
+            assert_eq!(config.uses_promotion(), promotes, "{label}");
+            assert_eq!(config.embeds_page_info(), embeds, "{label}");
+            assert_eq!(PolicySelection::from(config), config.selection());
         }
     }
 }

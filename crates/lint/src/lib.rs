@@ -153,6 +153,7 @@ pub(crate) const SHARED_DOMAIN_TYPES: &[&str] = &["PageWalkSystem", "PwCache", "
 /// the [`CACHE_KEY_COMPLETENESS`] rule apply.
 const KEY_OWNER_FILES: &[&str] = &[
     "crates/sim/src/config.rs",
+    "crates/core/src/policy.rs",
     "crates/core/src/system.rs",
     "crates/workloads/src/spec.rs",
 ];
@@ -236,7 +237,7 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: CACHE_KEY_COMPLETENESS,
-        scope: "cache-key owner files (config.rs, system.rs, spec.rs)",
+        scope: "cache-key owner files (config.rs, policy.rs, system.rs, spec.rs)",
         summary: "no `..` rest patterns inside key_digest functions; destructure exhaustively so a new field that is not folded into the result-cache key is a compile error (DESIGN.md \u{a7}12)",
     },
 ];
@@ -1174,9 +1175,12 @@ mod tests {
                        *sms\n\
                    }\n";
         // Fires in every key-owner file...
-        for file in
-            ["crates/sim/src/config.rs", "crates/core/src/system.rs", "crates/workloads/src/spec.rs"]
-        {
+        for file in [
+            "crates/sim/src/config.rs",
+            "crates/core/src/policy.rs",
+            "crates/core/src/system.rs",
+            "crates/workloads/src/spec.rs",
+        ] {
             let f = findings(file, bad);
             assert_eq!(f.len(), 1, "must fire in {file}: {f:#?}");
             assert_eq!(f[0].rule, CACHE_KEY_COMPLETENESS);

@@ -156,6 +156,14 @@ pub struct SpecConfig {
     pub confidence_threshold: u8,
     /// Decompression latency added at the L2 for compressed sectors.
     pub decompression_latency: Cycle,
+    /// Per-SM seed-table entries for hash-based speculative translation
+    /// (Revelator-class policies). Ignored by offset predictors.
+    pub seed_entries: usize,
+    /// Latency of the rapid validation-on-use check, from speculative
+    /// dispatch to verdict ([`ValidationKind::Rapid`]).
+    ///
+    /// [`ValidationKind::Rapid`]: crate::hooks::ValidationKind::Rapid
+    pub rapid_latency: Cycle,
 }
 
 /// Full system configuration (paper Table II defaults).
@@ -299,6 +307,8 @@ impl Default for GpuConfig {
                 mod_entries: 32,
                 confidence_threshold: 2,
                 decompression_latency: 7,
+                seed_entries: 256,
+                rapid_latency: 20,
             },
             l1_arrangement: CacheArrangement::Vipt,
             tenants: 1,
@@ -454,10 +464,18 @@ impl GpuConfig {
         h.write_u64(u64::from(*embed_page_info));
         h.write_u64(u64::from(*migration_threshold));
         h.write_u64(*remote_latency);
-        let SpecConfig { mod_entries, confidence_threshold, decompression_latency } = spec;
+        let SpecConfig {
+            mod_entries,
+            confidence_threshold,
+            decompression_latency,
+            seed_entries,
+            rapid_latency,
+        } = spec;
         h.write_u64(*mod_entries as u64);
         h.write_u64(u64::from(*confidence_threshold));
         h.write_u64(*decompression_latency);
+        h.write_u64(*seed_entries as u64);
+        h.write_u64(*rapid_latency);
         h.write_u64(match l1_arrangement {
             CacheArrangement::Vipt => 0,
             CacheArrangement::Pipt => 1,
@@ -574,6 +592,19 @@ impl GpuConfig {
         }
         if self.spec.mod_entries == 0 {
             return fail("spec.mod_entries must be at least 1".into());
+        }
+        if self.spec.seed_entries == 0 {
+            return fail("spec.seed_entries must be at least 1".into());
+        }
+        if !self.spec.seed_entries.is_power_of_two() {
+            return fail(format!(
+                "spec.seed_entries must be a power of two (the seed table is hash-masked), \
+                 got {}",
+                self.spec.seed_entries
+            ));
+        }
+        if self.spec.rapid_latency == 0 {
+            return fail("spec.rapid_latency must be at least 1 cycle".into());
         }
         if self.shards == 0 {
             return fail("shards must be at least 1 (1 = single calendar)".into());
@@ -784,7 +815,7 @@ mod tests {
 
     #[test]
     fn builder_rejects_impossible_geometries() {
-        let cases: [(&str, GpuConfigBuilder); 9] = [
+        let cases: [(&str, GpuConfigBuilder); 11] = [
             ("zero SMs", GpuConfig::builder().num_sms(0)),
             ("zero warps", GpuConfig::builder().warps_per_sm(0)),
             ("tenants over SMs", GpuConfig::builder().num_sms(4).tenants(5)),
@@ -793,6 +824,9 @@ mod tests {
             ("walkers over buffer", GpuConfig::builder().walker(|w| w.buffer_entries = 4)),
             ("probability out of range", GpuConfig::builder().uvm(|u| u.fragmentation = 1.5)),
             ("zero migration threshold", GpuConfig::builder().uvm(|u| u.migration_threshold = 0)),
+            // The Revelator seed table is hash-masked: size must be 2^k.
+            ("non-pow2 seed entries", GpuConfig::builder().spec(|s| s.seed_entries = 48)),
+            ("zero rapid latency", GpuConfig::builder().spec(|s| s.rapid_latency = 0)),
             ("zero shards", GpuConfig::builder().shards(0)),
             ("zero lookahead", GpuConfig::builder().lookahead(0)),
         ];

@@ -169,6 +169,11 @@ enum Ev {
     /// Early-TLB-Fill release: a lane validated an embedded translation
     /// and the shared side releases walks/MSHRs and propagates it.
     EafResolve { sm: u32, svpn: u64, ppn: u64 },
+    /// Rapid validation-on-use verdict arriving for a correct
+    /// speculation ([`ValidationKind::Rapid`]): the shared lane
+    /// re-checks the mapping, fills the TLBs, and releases walk
+    /// resources early, like EAF without the compressed-sector channel.
+    RapidResolve { sm: u32, svpn: u64, ppn: u64 },
     /// A dirty sector evicted from an L1 writing back to the L2.
     WritebackL2 { pa: u64 },
 }
@@ -196,6 +201,7 @@ fn target_shard(ev: &Ev, shards: usize, num_sms: usize) -> usize {
         | Ev::DramDone { .. }
         | Ev::AccelTrain { .. }
         | Ev::EafResolve { .. }
+        | Ev::RapidResolve { .. }
         | Ev::WritebackL2 { .. } => {
             // A shared-domain event reaching the router is unrecoverable
             // cross-domain corruption. lint:allow(hot-path-panic)
@@ -325,6 +331,12 @@ fn enc_ev(w: &mut Writer, ev: &Ev) {
             w.u8(18);
             w.u64(pa);
         }
+        Ev::RapidResolve { sm, svpn, ppn } => {
+            w.u8(19);
+            w.u32(sm);
+            w.u64(svpn);
+            w.u64(ppn);
+        }
     }
 }
 
@@ -373,6 +385,7 @@ fn dec_ev(r: &mut Reader<'_>) -> Result<Ev, CkptError> {
         16 => Ev::AccelTrain { sm: r.u32()?, pc: r.u64()?, svpn: r.u64()?, ppn: r.u64()? },
         17 => Ev::EafResolve { sm: r.u32()?, svpn: r.u64()?, ppn: r.u64()? },
         18 => Ev::WritebackL2 { pa: r.u64()? },
+        19 => Ev::RapidResolve { sm: r.u32()?, svpn: r.u64()?, ppn: r.u64()? },
         _ => return Err(CkptError::Corrupt("unknown calendar event tag")),
     })
 }
@@ -826,7 +839,7 @@ impl<'a> ShardLane<'a> {
                 self.req_unref(req);
             }
             Ev::SpecL1Result { req } => {
-                self.spec_l1_result(now, req);
+                self.spec_l1_result(now, req, accel);
                 self.req_unref(req);
             }
             Ev::L1Result { req } => {
@@ -841,7 +854,7 @@ impl<'a> ShardLane<'a> {
             // Token event: never pinned, the handler tolerates a freed id.
             Ev::SpecDispatch { req, ppn, ideal } => self.spec_dispatch(now, req, Ppn(ppn), ideal),
             Ev::ResolveSm { sm, svpn, ppn, pages, run, via_eaf } => {
-                self.resolve_sm(now, sm, svpn, Ppn(ppn), pages, run, via_eaf);
+                self.resolve_sm(now, sm, svpn, Ppn(ppn), pages, run, via_eaf, accel);
             }
             Ev::Shootdown { sm, first_svpn, pages, frames } => {
                 self.shootdown(now, sm, first_svpn, pages, &frames);
@@ -854,6 +867,7 @@ impl<'a> ShardLane<'a> {
             | Ev::DramDone { .. }
             | Ev::AccelTrain { .. }
             | Ev::EafResolve { .. }
+            | Ev::RapidResolve { .. }
             | Ev::WritebackL2 { .. } => {
                 // Only [`target_shard`]-routable events may sit in a lane
                 // calendar; anything else is unrecoverable cross-domain
@@ -1025,6 +1039,7 @@ impl<'a> SharedLane<'a> {
                 self.accel.on_translation_resolved(sm as usize, pc, unsalt(svpn), Ppn(ppn));
             }
             Ev::EafResolve { sm, svpn, ppn } => self.eaf_resolve(now, sm, svpn, Ppn(ppn)),
+            Ev::RapidResolve { sm, svpn, ppn } => self.rapid_resolve(now, sm, svpn, Ppn(ppn)),
             Ev::WritebackL2 { pa } => self.writeback_to_l2(now, PhysAddr(pa)),
             Ev::WarpIssue { .. }
             | Ev::L1TlbResult { .. }
@@ -1471,10 +1486,12 @@ impl<'a> ShardLane<'a> {
         pages: u64,
         run: Option<ContigRun>,
         via_eaf: bool,
+        accel: &dyn TranslationAccel,
     ) {
         let fill = TlbFill { vpn: Vpn(svpn), ppn, pages, run };
         let li = self.l(sm);
-        self.l1_tlbs[li].fill(&fill);
+        let priority = accel.l1_fill_priority(sm as usize, unsalt(svpn));
+        self.l1_tlbs[li].fill_prioritized(&fill, priority);
         self.complete_tlb_waiters(now, sm, svpn, ppn, via_eaf);
         self.retry_tlb_overflow(now, sm);
     }
@@ -1708,7 +1725,7 @@ impl<'a> ShardLane<'a> {
         }
     }
 
-    fn spec_l1_result(&mut self, now: Cycle, id: ReqId) {
+    fn spec_l1_result(&mut self, now: Cycle, id: ReqId, accel: &dyn TranslationAccel) {
         self.trace(id, "spec_l1_result");
         let req = self.req(id);
         if req.completed || req.translation_done {
@@ -1730,7 +1747,7 @@ impl<'a> ShardLane<'a> {
                     let vpn = self.req(id).vpn();
                     self.stats.outcomes.record(SpecOutcome::FastTranslation);
                     self.complete_req(now, id);
-                    self.eaf_local(now, sm, vpn, spec.ppn);
+                    self.eaf_local(now, sm, vpn, spec.ppn, accel);
                 }
             }
             Probe::HitUnguaranteed => {
@@ -1866,7 +1883,7 @@ impl<'a> ShardLane<'a> {
                         }
                         let vpn = self.req(id).vpn();
                         self.complete_req(now, id);
-                        self.eaf_local(now, sm, vpn, spec.ppn);
+                        self.eaf_local(now, sm, vpn, spec.ppn, accel);
                         self.req_unref(id);
                         continue;
                     }
@@ -1908,7 +1925,7 @@ impl<'a> ShardLane<'a> {
                             let vpn = self.req(id).vpn();
                             self.complete_req(now, id);
                             if eaf {
-                                self.eaf_local(now, sm, vpn, spec.ppn);
+                                self.eaf_local(now, sm, vpn, spec.ppn, accel);
                             }
                         }
                         SpecFillAction::Invalidate => {
@@ -1976,13 +1993,21 @@ impl<'a> ShardLane<'a> {
     /// Lane half of Early TLB Fill: installs the validated translation
     /// in this SM's L1 TLB, wakes its local waiters, and hands the
     /// resource release + cross-SM propagation to the shared lane.
-    fn eaf_local(&mut self, now: Cycle, sm: u32, vpn: Vpn, ppn: Ppn) {
+    fn eaf_local(
+        &mut self,
+        now: Cycle,
+        sm: u32,
+        vpn: Vpn,
+        ppn: Ppn,
+        accel: &dyn TranslationAccel,
+    ) {
         self.stats.eaf_fills += 1;
         let tenant = self.tenant(sm);
         let svpn = salt(tenant, vpn);
         let fill = TlbFill { vpn: Vpn(svpn), ppn, pages: 1, run: None };
         let li = self.l(sm);
-        self.l1_tlbs[li].fill(&fill);
+        let priority = accel.l1_fill_priority(sm as usize, vpn);
+        self.l1_tlbs[li].fill_prioritized(&fill, priority);
         self.complete_tlb_waiters(now, sm, svpn, ppn, true);
         self.retry_tlb_overflow(now, sm);
         self.send(sm, now + 1, Ev::EafResolve { sm, svpn, ppn: ppn.0 });
@@ -2103,11 +2128,30 @@ impl<'a> SharedLane<'a> {
             if self.frame_owner_any(spec_ppn).is_none() {
                 self.stats.spec_false += 1;
             }
-            let ideal = self.accel.validation_kind() == ValidationKind::Ideal;
-            if !ideal || correct {
-                // Ideal validation confirms speculations before fetching;
-                // incorrect ones never fetch.
-                self.send(now + self.window, Ev::SpecDispatch { req: id, ppn: spec_ppn.0, ideal });
+            let kind = self.accel.validation_kind();
+            if let ValidationKind::Rapid { latency } = kind {
+                // Validation-on-use (Revelator): the fetch dispatches
+                // unconditionally, and a lightweight mapping check runs
+                // alongside it. A correct speculation is confirmed
+                // `latency` cycles from now, releasing the background
+                // walk early; a wrong one silently waits for the walk.
+                self.send(
+                    now + self.window,
+                    Ev::SpecDispatch { req: id, ppn: spec_ppn.0, ideal: false },
+                );
+                if correct {
+                    self.sched(now + latency, Ev::RapidResolve { sm, svpn, ppn: spec_ppn.0 });
+                }
+            } else {
+                let ideal = kind == ValidationKind::Ideal;
+                if !ideal || correct {
+                    // Ideal validation confirms speculations before
+                    // fetching; incorrect ones never fetch.
+                    self.send(
+                        now + self.window,
+                        Ev::SpecDispatch { req: id, ppn: spec_ppn.0, ideal },
+                    );
+                }
             }
         }
         // Forward toward the L2 TLB. The allocating waiter dispatches the
@@ -2374,6 +2418,29 @@ impl<'a> SharedLane<'a> {
             }
         }
         self.drain_l2_tlb_overflow(now);
+    }
+
+    /// Handles [`Ev::RapidResolve`]: the rapid validation-on-use verdict
+    /// for a correct speculation. Re-checks the mapping at verdict time
+    /// (the page can have been evicted while the check was in flight),
+    /// then delivers the translation to the originating SM and runs the
+    /// same shared-side release path as EAF: L2 TLB fill, MSHR release,
+    /// walk abort, waiter delivery.
+    fn rapid_resolve(&mut self, now: Cycle, sm: u32, svpn: u64, ppn: Ppn) {
+        if !self.pending_resolve.contains(&(sm, svpn)) {
+            // The background translation (or a merged EAF) won the race.
+            return;
+        }
+        let tenant = tenant_of_svpn(svpn);
+        match self.uvms[tenant].page_table.translate(unsalt(svpn)) {
+            Some(real) if real.ppn == ppn => {}
+            // Evicted or remapped since the miss: the verdict is stale
+            // and the request falls back to the background walk.
+            _ => return,
+        }
+        self.stats.rapid_validations += 1;
+        self.resolve_one_sm(now, sm, svpn, ppn, 1, None, true);
+        self.eaf_resolve(now, sm, svpn, ppn);
     }
 
     // ------------------------------------------------------------------
@@ -3096,6 +3163,13 @@ impl<'a> Engine<'a> {
         stats.dram_write_bytes = self.shared.dram.write_bytes;
         stats.dram_row_hits = self.shared.dram.row_hits;
         stats.dram_row_misses = self.shared.dram.row_misses;
+        // Per-policy table-activity counters, read once at finish. All
+        // zero for policies keeping the trait default, so pre-existing
+        // configurations digest identically to the hook-era engine.
+        let pc = self.shared.accel.policy_counters();
+        stats.policy_installs = pc.installs;
+        stats.policy_evictions = pc.evictions;
+        stats.policy_hits = pc.hits;
         #[cfg(feature = "probes")]
         {
             stats.dram_service_hist.merge(&self.shared.dram.service_hist);

@@ -1,9 +1,12 @@
 //! Interfaces between the simulator (hardware plumbing) and the policies
-//! plugged into it: translation speculation (CAST), validation (CAVA), and
-//! the data-content/compressibility model supplied by workloads.
+//! plugged into it: translation speculation (CAST, Revelator), validation
+//! (CAVA, rapid validation-on-use), TLB fill/replacement hints, and the
+//! data-content/compressibility model supplied by workloads.
 
 use crate::addr::{Ppn, Vpn};
 use crate::checkpoint::{CkptError, Reader, Writer};
+use crate::config::Cycle;
+use crate::tlb::FillPriority;
 
 /// Page metadata as embedded into sectors (the simulator's view of
 /// `avatar_bpc::PageInfo`).
@@ -36,6 +39,16 @@ pub enum ValidationKind {
     /// Oracle: every speculation is confirmed before the fetch even issues
     /// (the paper's CAST+Ideal-Valid configuration).
     Ideal,
+    /// Rapid validation-on-use (Revelator): a lightweight permission/
+    /// mapping check runs concurrently with the speculative fetch and
+    /// confirms a correct speculation `latency` cycles after the miss —
+    /// well before the background translation — releasing the MSHR and
+    /// walk resources early, like EAF but without needing compressed
+    /// sectors. Incorrect speculations still wait for the full walk.
+    Rapid {
+        /// Cycles from the speculative dispatch to the validation verdict.
+        latency: Cycle,
+    },
 }
 
 /// Decision returned by the policy when a speculatively fetched sector
@@ -75,16 +88,49 @@ pub struct SpecFillContext {
     pub sector: FetchedSector,
 }
 
-/// The translation-acceleration policy plugged into the engine.
+/// Aggregate activity counters a policy reports once per run, folded into
+/// the engine's [`Stats`](crate::stats::Stats) at `finish()`. All three
+/// are policy-defined: a predictor counts predictor-table traffic, a
+/// wrapper (the dead-entry modifier) adds its own table's traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyCounters {
+    /// Entries installed into policy-private tables (MOD table, seed
+    /// tables, dead-region tables).
+    pub installs: u64,
+    /// Entries displaced from policy-private tables by capacity/conflict.
+    pub evictions: u64,
+    /// Policy-table lookups that hit (fed a prediction or a hint).
+    pub hits: u64,
+}
+
+impl PolicyCounters {
+    /// Component-wise sum (for wrapper policies combining their own
+    /// counters with the inner policy's).
+    #[must_use]
+    pub fn merged(self, other: PolicyCounters) -> PolicyCounters {
+        PolicyCounters {
+            installs: self.installs + other.installs,
+            evictions: self.evictions + other.evictions,
+            hits: self.hits + other.hits,
+        }
+    }
+}
+
+/// The translation policy plugged into the engine: speculation, validation
+/// strategy, TLB fill/replacement hints, per-policy stats, and checkpoint
+/// state, behind one object-safe surface.
 ///
-/// The baseline uses [`NoSpeculation`]; Avatar's CAST/CAVA/EAF policies
-/// live in the `avatar-core` crate.
+/// The baseline uses [`NoSpeculation`]; Avatar's CAST/CAVA/EAF policies,
+/// Revelator, and the dead-entry replacement modifier live in the
+/// `avatar-core` crate, and a name-keyed registry there
+/// (`avatar_core::policy`) assembles full systems from policy names.
 ///
 /// `Send + Sync` because the policy is owned by the shared lane but
 /// lent (`&dyn`) into shard-lane workers for fill-time validation:
-/// [`on_spec_fill`](TranslationAccel::on_spec_fill) takes `&self` and
-/// must be a pure function of the policy's current state.
-pub trait TranslationAccel: std::fmt::Debug + Send + Sync {
+/// [`on_spec_fill`](TranslationPolicy::on_spec_fill) and
+/// [`l1_fill_priority`](TranslationPolicy::l1_fill_priority) take `&self`
+/// and must be pure functions of the policy's current state.
+pub trait TranslationPolicy: std::fmt::Debug + Send + Sync {
     /// Called on every L1 TLB miss: may return a speculated frame for the
     /// page, triggering an immediate fetch from the speculated address.
     fn on_l1_tlb_miss(&mut self, sm: usize, pc: u64, vpn: Vpn) -> Option<Ppn>;
@@ -106,24 +152,43 @@ pub trait TranslationAccel: std::fmt::Debug + Send + Sync {
         false
     }
 
+    /// Replacement-priority hint for an L1 TLB fill of `vpn` on `sm`.
+    /// Takes `&self` (runs on shard-lane workers at fill time, like
+    /// [`on_spec_fill`](TranslationPolicy::on_spec_fill)); the default
+    /// keeps the baseline MRU insertion for every fill.
+    fn l1_fill_priority(&self, _sm: usize, _vpn: Vpn) -> FillPriority {
+        FillPriority::Normal
+    }
+
+    /// Snapshot of the policy's aggregate table-activity counters, read
+    /// once when the engine finishes. Stateless policies keep the
+    /// all-zero default.
+    fn policy_counters(&self) -> PolicyCounters {
+        PolicyCounters::default()
+    }
+
     /// Serializes the policy's mutable state for a checkpoint. The default
     /// writes nothing — correct only for stateless policies; predictors
     /// that train across calls must override this together with
-    /// [`load_state`](TranslationAccel::load_state).
+    /// [`load_state`](TranslationPolicy::load_state).
     fn save_state(&self, _w: &mut Writer) {}
 
-    /// Restores state written by [`save_state`](TranslationAccel::save_state).
+    /// Restores state written by [`save_state`](TranslationPolicy::save_state).
     /// The default reads nothing (stateless policies).
     fn load_state(&mut self, _r: &mut Reader<'_>) -> Result<(), CkptError> {
         Ok(())
     }
 }
 
+/// The policy trait's original name, kept as an alias so engine-facing
+/// code written against the hook-era surface keeps compiling.
+pub use TranslationPolicy as TranslationAccel;
+
 /// The baseline policy: never speculates.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoSpeculation;
 
-impl TranslationAccel for NoSpeculation {
+impl TranslationPolicy for NoSpeculation {
     fn on_l1_tlb_miss(&mut self, _sm: usize, _pc: u64, _vpn: Vpn) -> Option<Ppn> {
         None
     }

@@ -109,10 +109,14 @@ pub fn engine_fingerprint() -> &'static str {
 }
 
 /// The driving API in one import: everything a harness needs to
-/// configure, run, and observe a simulation.
+/// configure, run, and observe a simulation, including the full
+/// [`TranslationPolicy`](crate::hooks::TranslationPolicy) surface that
+/// policy crates implement.
 ///
 /// Internals (the request slab, ports, event-calendar plumbing) are
-/// deliberately absent — they are `pub(crate)` or `#[doc(hidden)]`.
+/// deliberately absent — they are `pub(crate)` or `#[doc(hidden)]` —
+/// and so is the hook-era `TranslationAccel` alias, which survives only
+/// in [`hooks`](crate::hooks) for code written against the old name.
 ///
 /// ```
 /// use avatar_sim::prelude::*;
@@ -126,11 +130,12 @@ pub mod prelude {
     };
     pub use crate::engine::Engine;
     pub use crate::hooks::{
-        NoSpeculation, SectorCompression, TranslationAccel, UniformCompression,
+        FetchedSector, NoSpeculation, PageMeta, PolicyCounters, SectorCompression,
+        SpecFillAction, SpecFillContext, TranslationPolicy, UniformCompression, ValidationKind,
     };
     pub use crate::probe::{LatencyBreakdown, Phase, Probe, SpanPoint, Track};
     pub use crate::sm::{WarpOp, WarpProgram};
     pub use crate::stats::Stats;
-    pub use crate::tlb::TlbModel;
+    pub use crate::tlb::{BaseTlb, FillPriority, TlbModel};
     pub use crate::trace_export::ChromeTraceProbe;
 }

@@ -306,6 +306,19 @@ pub struct Stats {
     pub spec_compressed: u64,
     /// Mis-speculations detected by CAVA VPN mismatch.
     pub cava_mismatches: u64,
+    /// Speculations confirmed early by the rapid validation-on-use check
+    /// (Revelator-class policies), releasing walk resources before the
+    /// background translation completes.
+    pub rapid_validations: u64,
+    /// Policy-private table entries installed (MOD/seed/dead-region
+    /// tables), from [`TranslationPolicy::policy_counters`].
+    ///
+    /// [`TranslationPolicy::policy_counters`]: crate::hooks::TranslationPolicy::policy_counters
+    pub policy_installs: u64,
+    /// Policy-private table entries displaced by capacity or conflict.
+    pub policy_evictions: u64,
+    /// Policy-private table lookups that fed a prediction or hint.
+    pub policy_hits: u64,
     /// Counts per speculation outcome class (correct speculations only).
     pub outcomes: OutcomeCounts,
 
@@ -551,6 +564,10 @@ impl Stats {
         w(self.spec_fetches);
         w(self.spec_compressed);
         w(self.cava_mismatches);
+        w(self.rapid_validations);
+        w(self.policy_installs);
+        w(self.policy_evictions);
+        w(self.policy_hits);
         w(self.outcomes.fast_translation);
         w(self.outcomes.l1d_hit);
         w(self.outcomes.l1d_merge);
@@ -627,6 +644,10 @@ impl Stats {
             spec_fetches,
             spec_compressed,
             cava_mismatches,
+            rapid_validations,
+            policy_installs,
+            policy_evictions,
+            policy_hits,
             outcomes,
             coverage_hits,
             load_latency,
@@ -697,6 +718,10 @@ impl Stats {
             spec_fetches,
             spec_compressed,
             cava_mismatches,
+            rapid_validations,
+            policy_installs,
+            policy_evictions,
+            policy_hits,
         ] {
             w.u64(*v);
         }
@@ -784,6 +809,10 @@ impl Stats {
             spec_fetches,
             spec_compressed,
             cava_mismatches,
+            rapid_validations,
+            policy_installs,
+            policy_evictions,
+            policy_hits,
             outcomes,
             coverage_hits,
             load_latency,
@@ -854,6 +883,10 @@ impl Stats {
             (&mut self.spec_fetches, spec_fetches),
             (&mut self.spec_compressed, spec_compressed),
             (&mut self.cava_mismatches, cava_mismatches),
+            (&mut self.rapid_validations, rapid_validations),
+            (&mut self.policy_installs, policy_installs),
+            (&mut self.policy_evictions, policy_evictions),
+            (&mut self.policy_hits, policy_hits),
             (&mut self.horizon_barriers, horizon_barriers),
             (&mut self.horizon_stalls, horizon_stalls),
             (&mut self.exchange_enqueued, exchange_enqueued),
@@ -940,6 +973,10 @@ impl Stats {
             &mut self.spec_fetches,
             &mut self.spec_compressed,
             &mut self.cava_mismatches,
+            &mut self.rapid_validations,
+            &mut self.policy_installs,
+            &mut self.policy_evictions,
+            &mut self.policy_hits,
         ] {
             *v = r.u64()?;
         }

@@ -15,6 +15,10 @@
 # between the default, invariants, or probes-compiled-out builds, the
 # sharded calendar changes any figure result (fig15 byte-diff at
 # --shards 4, plus the checked-mode suite re-run under AVATAR_SHARDS=4),
+# the policy registry assembles a different system than the enum-era
+# SystemConfig path (fig15 byte-diff between the default column set and
+# the same set spelled as --policies registry names), the policy_sweep
+# harness drops a default-set policy or its GMEAN row,
 # the parallel shard worker pool changes any figure result (fig15
 # byte-diff at --shards 4 with AVATAR_SHARD_WORKERS=4), the worker pool
 # fails to scale on a host that can measure it (4-worker pass must beat
@@ -127,9 +131,11 @@ fig_sharded=$(mktemp /tmp/avatar-fig15-sharded.XXXXXX.json)
 fig_workers=$(mktemp /tmp/avatar-fig15-workers.XXXXXX.json)
 fig_cold=$(mktemp /tmp/avatar-fig15-cold.XXXXXX.json)
 fig_warm=$(mktemp /tmp/avatar-fig15-warm.XXXXXX.json)
+fig_named=$(mktemp /tmp/avatar-fig15-named.XXXXXX.json)
+sweep_json=$(mktemp /tmp/avatar-policy-sweep.XXXXXX.json)
 cache_dir=$(mktemp -d /tmp/avatar-cache-gate.XXXXXX)
 tp_json=$(mktemp /tmp/avatar-throughput.XXXXXX.json)
-trap 'rm -f "$fig_default" "$fig_checked" "$fig_noprobes" "$fig_sharded" "$fig_workers" "$fig_cold" "$fig_warm" "$tp_json"; rm -rf "$cache_dir"' EXIT
+trap 'rm -f "$fig_default" "$fig_checked" "$fig_noprobes" "$fig_sharded" "$fig_workers" "$fig_cold" "$fig_warm" "$fig_named" "$sweep_json" "$tp_json"; rm -rf "$cache_dir"' EXIT
 cargo run --release -q -p avatar-bench --bin fig15_performance -- --quick --no-cache --json "$fig_default"
 cargo run --release -q -p avatar-bench --features invariants --bin fig15_performance -- --quick --no-cache --json "$fig_checked"
 cargo run --release -q -p avatar-bench --no-default-features --bin fig15_performance -- --quick --no-cache --json "$fig_noprobes"
@@ -141,6 +147,37 @@ if ! diff -q "$fig_default" "$fig_noprobes"; then
     echo "PROBES DIVERGENCE: fig15 JSON differs between probes-on (default) and probes-compiled-out builds" >&2
     exit 1
 fi
+
+echo "== policy registry must not perturb results (fig15 byte-diff, enum vs --policies) =="
+# The name-keyed policy registry replaced the enum-era SystemConfig
+# assembly. The default fig15 run (enum aliases) and the same column set
+# spelled as parsed registry names must produce byte-identical JSON —
+# any divergence means the registry builds a different system than the
+# enum did.
+cargo run --release -q -p avatar-bench --bin fig15_performance -- --quick --no-cache \
+    --policies "promotion,colt,snakebyte,cast,avatar,cast-ideal" --json "$fig_named"
+if ! diff -q "$fig_default" "$fig_named"; then
+    echo "REGISTRY DIVERGENCE: fig15 JSON differs between enum aliases and parsed policy names" >&2
+    exit 1
+fi
+
+echo "== policy_sweep smoke (cross-policy comparison, Revelator + dead-entry) =="
+# The cross-policy harness must run its full default set — the paper
+# baselines plus the post-paper Revelator and dead-entry designs — and
+# emit a row per workload plus the GMEAN row. Exercises the registry's
+# novel-policy builds end to end (no byte-reference: these columns are
+# new in this harness).
+cargo run --release -q -p avatar-bench --bin policy_sweep -- --quick --no-cache --json "$sweep_json"
+for p in baseline colt snakebyte avatar revelator "avatar+dead"; do
+    if ! grep -q "\"policy\": \"$p\"" "$sweep_json"; then
+        echo "POLICY SWEEP GATE: policy '$p' missing from the sweep dump" >&2
+        exit 1
+    fi
+done
+grep -q '"workload": "GMEAN"' "$sweep_json" || {
+    echo "POLICY SWEEP GATE: GMEAN row missing from the sweep dump" >&2
+    exit 1
+}
 
 echo "== sharded calendar must not perturb results (fig15 byte-diff at --shards 4) =="
 # The bounded-lag sharded calendar is a host-side structure knob: the
